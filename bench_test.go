@@ -1,0 +1,109 @@
+package streambc
+
+// This file is the benchmark harness promised in DESIGN.md: one benchmark per
+// table and figure of the paper's evaluation (each drives the corresponding
+// experiment in internal/experiments at smoke-test scale; run
+// `go run ./cmd/bcbench -exp <id>` for the full, paper-scale reproduction and
+// see EXPERIMENTS.md for recorded results), plus micro-benchmarks of the core
+// operations (static Brandes, a single incremental addition/removal in the
+// MO and DO configurations, and one update on the parallel engine).
+
+import (
+	"io"
+	"testing"
+
+	"streambc/internal/experiments"
+)
+
+// benchGraph builds the social-like graph shared by the micro-benchmarks.
+func benchGraph(b *testing.B, n int) *Graph {
+	b.Helper()
+	return GenerateSocialGraph(n, 5, 0.5, 1)
+}
+
+// updatePairs returns a set of (addition, removal) pairs that leave the graph
+// unchanged when applied in sequence, so a benchmark can loop indefinitely.
+func updatePairs(b *testing.B, g *Graph, count int) []Update {
+	b.Helper()
+	adds, err := RandomAdditions(g, count, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := make([]Update, 0, 2*count)
+	for _, a := range adds {
+		pairs = append(pairs, a, Removal(a.U, a.V))
+	}
+	return pairs
+}
+
+func BenchmarkBrandesStatic(b *testing.B) {
+	g := benchGraph(b, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Betweenness(g)
+	}
+}
+
+func BenchmarkBrandesParallel(b *testing.B) {
+	g := benchGraph(b, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BetweennessParallel(g, 2)
+	}
+}
+
+// benchStreamUpdates measures the cost of one online update (half additions,
+// half removals) on an already initialised stream processor.
+func benchStreamUpdates(b *testing.B, opts ...Option) {
+	g := benchGraph(b, 500)
+	pairs := updatePairs(b, g, 64)
+	s, err := New(g, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Apply(pairs[i%len(pairs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIncrementalUpdateMemory(b *testing.B)  { benchStreamUpdates(b) }
+func BenchmarkIncrementalUpdateDisk(b *testing.B)    { benchStreamUpdates(b, WithDiskStore(b.TempDir())) }
+func BenchmarkIncrementalUpdateWorkers(b *testing.B) { benchStreamUpdates(b, WithWorkers(2)) }
+
+// benchExperiment runs one table/figure driver at smoke-test scale.
+func benchExperiment(b *testing.B, name string) {
+	cfg := experiments.Config{Quick: true, Seed: 42, ScratchDir: b.TempDir()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(name, cfg, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2Datasets(b *testing.B)           { benchExperiment(b, "table2") }
+func BenchmarkTable3SpeedupSmallGraphs(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkTable4KeySpeedups(b *testing.B)        { benchExperiment(b, "table4") }
+func BenchmarkTable5OnlineMisses(b *testing.B)       { benchExperiment(b, "table5") }
+func BenchmarkFigure5VariantSpeedup(b *testing.B)    { benchExperiment(b, "fig5") }
+func BenchmarkFigure6ParallelSpeedup(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkFigure7Scaling(b *testing.B)           { benchExperiment(b, "fig7") }
+func BenchmarkFigure8OnlineUpdates(b *testing.B)     { benchExperiment(b, "fig8") }
+func BenchmarkFigure9GirvanNewman(b *testing.B)      { benchExperiment(b, "fig9") }
+
+func BenchmarkGirvanNewmanIncremental(b *testing.B) {
+	g, _ := GenerateCommunityGraph(4, 40, 0.25, 0.01, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DetectCommunities(g, CommunityOptions{TargetCommunities: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Command bcbench regenerates the tables and figures of the paper's
+// evaluation (Section 6) on the scaled-down datasets described in DESIGN.md.
+//
+// Examples:
+//
+//	bcbench -list
+//	bcbench -exp table4
+//	bcbench -exp all -out results.txt
+//	bcbench -exp fig5 -quick          # fast smoke run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"streambc/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment to run (see -list) or \"all\"")
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		quick   = flag.Bool("quick", false, "run a drastically scaled-down version (smoke test)")
+		seed    = flag.Int64("seed", 42, "random seed")
+		updates = flag.Int("updates", 0, "updates per stream (0 = paper default of 100)")
+		outPath = flag.String("out", "", "write the report to this file instead of stdout")
+		scratch = flag.String("scratch", "", "scratch directory for out-of-core stores")
+	)
+	flag.Parse()
+
+	if *list {
+		desc := experiments.Describe()
+		for _, name := range experiments.Names() {
+			fmt.Printf("%-8s %s\n", name, desc[name])
+		}
+		return
+	}
+
+	var w io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	cfg := experiments.Config{
+		Quick:       *quick,
+		Seed:        *seed,
+		UpdateCount: *updates,
+		ScratchDir:  *scratch,
+	}
+	fmt.Fprintf(w, "streambc experiment report (%s, quick=%v, seed=%d)\n\n", time.Now().Format(time.RFC3339), *quick, *seed)
+	start := time.Now()
+	if err := experiments.Run(*exp, cfg, w); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(w, "total experiment time: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bcbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,146 @@
+// Command bcgen generates the graphs and update streams used by the
+// experiments and examples: synthetic social-like graphs, the paper's dataset
+// presets, and addition/removal/mixed update streams, all written as plain
+// text files that bcrun and gncommunity can read.
+//
+// Examples:
+//
+//	bcgen -preset 1k -out graph.txt -stats
+//	bcgen -model holmekim -n 5000 -k 6 -closure 0.7 -out social.txt
+//	bcgen -preset facebook -out fb.txt -stream mixed -count 200 -stream-out updates.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"streambc/internal/gen"
+	"streambc/internal/graph"
+)
+
+func main() {
+	var (
+		preset    = flag.String("preset", "", "dataset preset to generate (see -list)")
+		list      = flag.Bool("list", false, "list available presets and exit")
+		model     = flag.String("model", "", "generator model: holmekim, ba, er, ws, planted")
+		n         = flag.Int("n", 1000, "number of vertices (model generators)")
+		m         = flag.Int("m", 5000, "number of edges (er model)")
+		k         = flag.Int("k", 6, "edges per new vertex (holmekim/ba) or lattice degree (ws)")
+		closure   = flag.Float64("closure", 0.6, "triad closure probability (holmekim)")
+		beta      = flag.Float64("beta", 0.1, "rewiring probability (ws)")
+		comms     = flag.Int("communities", 4, "number of communities (planted model)")
+		commSize  = flag.Int("community-size", 250, "community size (planted model)")
+		pin       = flag.Float64("pin", 0.3, "intra-community edge probability (planted)")
+		pout      = flag.Float64("pout", 0.005, "inter-community edge probability (planted)")
+		seed      = flag.Int64("seed", 42, "random seed")
+		out       = flag.String("out", "", "output edge-list file (default stdout)")
+		stats     = flag.Bool("stats", false, "print graph statistics to stderr")
+		stream    = flag.String("stream", "", "also generate an update stream: additions, removals or mixed")
+		count     = flag.Int("count", 100, "number of updates in the stream")
+		removeFr  = flag.Float64("remove-fraction", 0.3, "fraction of removals in a mixed stream")
+		streamOut = flag.String("stream-out", "", "output file for the update stream (default stdout)")
+		timed     = flag.Float64("mean-gap", 0, "if > 0, timestamp the stream with this mean inter-arrival gap in seconds")
+		burst     = flag.Float64("burstiness", 0.2, "burstiness of the timestamped stream in [0,1)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range gen.Presets() {
+			p, _ := gen.GetPreset(name)
+			fmt.Printf("%-15s %-16s paper |V|=%d |E|=%d, generated |V|=%d\n", name, p.Kind, p.Paper.V, p.Paper.E, p.ScaledV)
+		}
+		return
+	}
+
+	g, err := buildGraph(*preset, *model, *n, *m, *k, *closure, *beta, *comms, *commSize, *pin, *pout, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		st := g.ComputeStats(500, *seed)
+		fmt.Fprintf(os.Stderr, "vertices=%d edges=%d avg-degree=%.2f clustering=%.4f effective-diameter=%.2f\n",
+			st.N, st.M, st.AvgDegree, st.Clustering, st.EffectiveDiameter)
+	}
+	if err := writeGraph(g, *out); err != nil {
+		fatal(err)
+	}
+
+	if *stream != "" {
+		updates, err := buildStream(g, *stream, *count, *removeFr, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if *timed > 0 {
+			updates = gen.Timestamp(updates, gen.ArrivalModel{MeanGap: *timed, Burstiness: *burst}, *seed+1)
+		}
+		if err := writeStream(updates, *streamOut); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func buildGraph(preset, model string, n, m, k int, closure, beta float64, comms, commSize int, pin, pout float64, seed int64) (*graph.Graph, error) {
+	if preset != "" {
+		return gen.BuildPreset(preset, seed)
+	}
+	switch model {
+	case "holmekim", "":
+		return gen.Connected(gen.HolmeKim(n, k, closure, seed)), nil
+	case "ba":
+		return gen.Connected(gen.BarabasiAlbert(n, k, seed)), nil
+	case "er":
+		return gen.Connected(gen.ErdosRenyi(n, m, seed)), nil
+	case "ws":
+		return gen.Connected(gen.WattsStrogatz(n, k, beta, seed)), nil
+	case "planted":
+		g, _ := gen.PlantedPartition(comms, commSize, pin, pout, seed)
+		return gen.Connected(g), nil
+	default:
+		return nil, fmt.Errorf("unknown model %q", model)
+	}
+}
+
+func buildStream(g *graph.Graph, kind string, count int, removeFraction float64, seed int64) ([]graph.Update, error) {
+	switch kind {
+	case "additions":
+		return gen.RandomAdditions(g, count, seed+1)
+	case "removals":
+		return gen.RandomRemovals(g, count, seed+1)
+	case "mixed":
+		return gen.MixedStream(g, count, removeFraction, seed+1)
+	default:
+		return nil, fmt.Errorf("unknown stream kind %q (additions, removals, mixed)", kind)
+	}
+}
+
+func writeGraph(g *graph.Graph, path string) error {
+	w := os.Stdout
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return graph.WriteEdgeList(w, g)
+}
+
+func writeStream(updates []graph.Update, path string) error {
+	w := os.Stdout
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return graph.WriteUpdateStream(w, updates)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bcgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,175 @@
+// Command bcrun maintains betweenness centrality online for an evolving
+// graph: it loads a graph, runs the offline initialisation, replays an update
+// stream and reports the resulting scores. It can run entirely in memory, out
+// of core, with several parallel workers, and — with -serve / -cluster — as a
+// coordinator plus remote RPC workers on different machines.
+//
+// Examples:
+//
+//	bcrun -graph graph.txt -updates updates.txt -top 10
+//	bcrun -graph graph.txt -updates updates.txt -workers 4 -disk /tmp/bd -out scores.txt
+//	bcrun -serve 127.0.0.1:7001                    # on each worker machine
+//	bcrun -graph g.txt -updates u.txt -cluster 127.0.0.1:7001,127.0.0.1:7002
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"strings"
+
+	"streambc"
+	"streambc/internal/engine"
+	"streambc/internal/graph"
+)
+
+func main() {
+	var (
+		graphPath   = flag.String("graph", "", "edge-list file of the initial graph")
+		updatesPath = flag.String("updates", "", "update-stream file (see bcgen -stream)")
+		directed    = flag.Bool("directed", false, "treat the graph as directed")
+		workers     = flag.Int("workers", 1, "number of parallel workers")
+		diskDir     = flag.String("disk", "", "keep the betweenness data out of core in this directory")
+		top         = flag.Int("top", 10, "print the top-k vertices and edges")
+		outPath     = flag.String("out", "", "write all vertex and edge scores to this file")
+		online      = flag.Bool("online", false, "replay the stream using its timestamps and report missed updates")
+		serve       = flag.String("serve", "", "run as an RPC worker listening on this address (host:port)")
+		cluster     = flag.String("cluster", "", "comma-separated worker addresses to use as a distributed cluster")
+	)
+	flag.Parse()
+
+	if *serve != "" {
+		runWorker(*serve)
+		return
+	}
+	if *graphPath == "" {
+		fatal(fmt.Errorf("missing -graph (or -serve)"))
+	}
+	g, err := streambc.LoadEdgeListFile(*graphPath, *directed)
+	if err != nil {
+		fatal(err)
+	}
+	var updates []streambc.Update
+	if *updatesPath != "" {
+		f, err := os.Open(*updatesPath)
+		if err != nil {
+			fatal(err)
+		}
+		updates, err = graph.LoadUpdateStream(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *cluster != "" {
+		runCluster(g, updates, strings.Split(*cluster, ","), *top)
+		return
+	}
+
+	opts := []streambc.Option{streambc.WithWorkers(*workers)}
+	if *diskDir != "" {
+		opts = append(opts, streambc.WithDiskStore(*diskDir))
+	}
+	s, err := streambc.New(g, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	defer s.Close()
+
+	if *online {
+		rep, err := s.Replay(updates)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("updates=%d missed=%d (%.2f%%) avg-delay=%.3fs max-delay=%.3fs total-processing=%.3fs\n",
+			rep.Updates, rep.Missed, rep.MissedFraction*100, rep.AvgDelay, rep.MaxDelay, rep.TotalProcessing)
+	} else if len(updates) > 0 {
+		if _, err := s.ApplyAll(updates); err != nil {
+			fatal(err)
+		}
+	}
+
+	st := s.Stats()
+	fmt.Printf("graph: %d vertices, %d edges; updates applied: %d; sources skipped: %d, updated: %d\n",
+		s.Graph().N(), s.Graph().M(), st.UpdatesApplied, st.SourcesSkipped, st.SourcesUpdated)
+	printTop(s.Result(), *top)
+	if *outPath != "" {
+		if err := writeScores(s.Result(), *outPath); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func runWorker(addr string) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("bcrun: worker listening on %s\n", l.Addr())
+	engine.ServeWorker(l, engine.NewWorkerServer())
+	select {} // serve until killed
+}
+
+func runCluster(g *streambc.Graph, updates []streambc.Update, addrs []string, top int) {
+	cluster, err := engine.NewCluster(g, addrs, nil)
+	if err != nil {
+		fatal(err)
+	}
+	defer cluster.Close()
+	for i, upd := range updates {
+		if err := cluster.Apply(upd); err != nil {
+			fatal(fmt.Errorf("update %d (%v): %w", i, upd, err))
+		}
+	}
+	fmt.Printf("cluster of %d workers: %d vertices, %d edges, %d updates applied\n",
+		len(addrs), cluster.Graph().N(), cluster.Graph().M(), len(updates))
+	printTop(cluster.Result(), top)
+}
+
+func printTop(res *streambc.Result, k int) {
+	fmt.Printf("top %d vertices by betweenness:\n", k)
+	for _, vs := range streambc.TopVertices(res, k) {
+		fmt.Printf("  v%-8d %.2f\n", vs.Vertex, vs.Score)
+	}
+	fmt.Printf("top %d edges by betweenness:\n", k)
+	for _, es := range streambc.TopEdges(res, k) {
+		fmt.Printf("  (%d,%d)  %.2f\n", es.Edge.U, es.Edge.V, es.Score)
+	}
+}
+
+func writeScores(res *streambc.Result, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for v, score := range res.VBC {
+		if _, err := fmt.Fprintf(f, "vertex %d %g\n", v, score); err != nil {
+			return err
+		}
+	}
+	edges := make([]streambc.Edge, 0, len(res.EBC))
+	for e := range res.EBC {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(f, "edge %d %d %g\n", e.U, e.V, res.EBC[e]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bcrun:", err)
+	os.Exit(1)
+}

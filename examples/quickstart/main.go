@@ -1,0 +1,70 @@
+// Quickstart: build a small graph, initialise the stream processor once, then
+// keep vertex and edge betweenness up to date while edges are added and
+// removed online.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streambc"
+)
+
+func main() {
+	// A small collaboration network: two tight groups joined by a bridge.
+	//
+	//   0 - 1         5 - 6
+	//   | X |   3-4   | X |
+	//   2 - +         + - 7
+	//
+	g := streambc.NewGraph(8)
+	edges := [][2]int{
+		{0, 1}, {0, 2}, {1, 2}, {1, 3}, // left triangle + link to the bridge
+		{3, 4},                         // the bridge
+		{4, 5}, {5, 6}, {5, 7}, {6, 7}, // right triangle + link to the bridge
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Offline step: one Brandes pass builds the per-source betweenness data.
+	stream, err := streambc.New(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stream.Close()
+
+	fmt.Println("== initial graph ==")
+	printTop(stream)
+
+	// Online step: updates arrive one by one and the scores stay up to date.
+	updates := []streambc.Update{
+		streambc.Addition(2, 4), // a second route to the bridge
+		streambc.Addition(0, 8), // a brand new vertex joins
+		streambc.Removal(3, 4),  // the original bridge disappears
+	}
+	for _, upd := range updates {
+		if err := stream.Apply(upd); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n== after %v ==\n", upd)
+		printTop(stream)
+	}
+
+	stats := stream.Stats()
+	fmt.Printf("\nprocessed %d updates; skipped %d source iterations, updated %d\n",
+		stats.UpdatesApplied, stats.SourcesSkipped, stats.SourcesUpdated)
+}
+
+func printTop(s *streambc.Stream) {
+	fmt.Println("  top vertices:")
+	for _, v := range s.TopVertices(3) {
+		fmt.Printf("    vertex %d  betweenness %.1f\n", v.Vertex, v.Score)
+	}
+	fmt.Println("  top edges:")
+	for _, e := range s.TopEdges(3) {
+		fmt.Printf("    edge (%d,%d)  betweenness %.1f\n", e.Edge.U, e.Edge.V, e.Score)
+	}
+}

@@ -1,0 +1,95 @@
+// Socialstream: keep betweenness centrality online while a social network
+// evolves. The example generates a social-like graph, replays a timestamped
+// stream of new friendships and unfollows, tracks the emerging "brokers" (the
+// vertices whose betweenness grows the most), and reports whether the updates
+// kept up with the arrival rate — the scenario that motivates the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streambc"
+)
+
+func main() {
+	const (
+		people      = 2000
+		attachments = 5
+		clustering  = 0.6
+		updates     = 150
+	)
+
+	// A social-network-like graph: heavy-tailed degrees, high clustering.
+	g := streambc.GenerateSocialGraph(people, attachments, clustering, 1)
+	fmt.Printf("generated social graph: %d people, %d ties\n", g.N(), g.M())
+
+	// An evolving workload: 70% new ties, 30% broken ties, arriving in bursts
+	// roughly every 50 ms.
+	mixed, err := streambc.MixedUpdates(g, updates, 0.3, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream := streambc.TimestampUpdates(mixed, 0.05, 0.25, 3)
+
+	// Two workers share the source set, exactly like two mappers of the
+	// paper's parallel deployment.
+	s, err := streambc.New(g.Clone(), streambc.WithWorkers(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+
+	before := snapshot(s)
+
+	report, err := s.Replay(stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("replayed %d updates: %d (%.1f%%) were not ready before the next arrival, avg delay %.0f ms\n",
+		report.Updates, report.Missed, report.MissedFraction*100, report.AvgDelay*1000)
+	fmt.Printf("total processing time: %.2fs (%.1f ms per update)\n",
+		report.TotalProcessing, 1000*report.TotalProcessing/float64(report.Updates))
+
+	fmt.Println("\ncurrent top brokers (highest betweenness):")
+	for _, v := range s.TopVertices(5) {
+		fmt.Printf("  person %-6d betweenness %12.0f\n", v.Vertex, v.Score)
+	}
+
+	fmt.Println("\nfastest risers (largest betweenness gain during the stream):")
+	type riser struct {
+		vertex int
+		gain   float64
+	}
+	var best []riser
+	for v, now := range s.VBC() {
+		gain := now
+		if v < len(before) {
+			gain = now - before[v]
+		}
+		best = append(best, riser{v, gain})
+	}
+	for i := 0; i < 5; i++ {
+		top := i
+		for j := i + 1; j < len(best); j++ {
+			if best[j].gain > best[top].gain {
+				top = j
+			}
+		}
+		best[i], best[top] = best[top], best[i]
+		fmt.Printf("  person %-6d gained %12.0f\n", best[i].vertex, best[i].gain)
+	}
+
+	fmt.Println("\nmost critical ties (highest edge betweenness):")
+	for _, e := range s.TopEdges(5) {
+		fmt.Printf("  tie (%d,%d)  betweenness %12.0f\n", e.Edge.U, e.Edge.V, e.Score)
+	}
+}
+
+func snapshot(s *streambc.Stream) []float64 {
+	vbc := s.VBC()
+	out := make([]float64, len(vbc))
+	copy(out, vbc)
+	return out
+}

@@ -1,0 +1,86 @@
+package streambc
+
+import (
+	"streambc/internal/community"
+	"streambc/internal/gen"
+)
+
+// This file exposes the workload generators and the Girvan-Newman use case
+// through the public API, so that examples and downstream users do not need
+// access to the internal packages.
+
+// GenerateSocialGraph generates a connected social-network-like graph with n
+// vertices using preferential attachment with triad closure (Holme-Kim):
+// heavy-tailed degrees and tunable clustering, the same qualitative structure
+// as the synthetic graphs of the paper. attach is the number of edges each
+// arriving vertex creates (average degree ~= 2*attach); closure in [0,1]
+// controls the clustering coefficient.
+func GenerateSocialGraph(n, attach int, closure float64, seed int64) *Graph {
+	return gen.Connected(gen.HolmeKim(n, attach, closure, seed))
+}
+
+// GenerateRandomGraph generates a connected Erdős–Rényi style graph with
+// (close to) m edges.
+func GenerateRandomGraph(n, m int, seed int64) *Graph {
+	return gen.Connected(gen.ErdosRenyi(n, m, seed))
+}
+
+// GenerateCommunityGraph generates a planted-partition graph with the given
+// number of communities of equal size and returns it together with the
+// ground-truth community of each vertex.
+func GenerateCommunityGraph(communities, size int, pIn, pOut float64, seed int64) (*Graph, []int) {
+	return gen.PlantedPartition(communities, size, pIn, pOut, seed)
+}
+
+// RandomAdditions builds an update stream of count additions between
+// unconnected vertex pairs of g.
+func RandomAdditions(g *Graph, count int, seed int64) ([]Update, error) {
+	return gen.RandomAdditions(g, count, seed)
+}
+
+// RandomRemovals builds an update stream of count removals of existing edges
+// of g.
+func RandomRemovals(g *Graph, count int, seed int64) ([]Update, error) {
+	return gen.RandomRemovals(g, count, seed)
+}
+
+// MixedUpdates builds a replayable stream that interleaves additions and
+// removals (removeFraction of the updates are removals).
+func MixedUpdates(g *Graph, count int, removeFraction float64, seed int64) ([]Update, error) {
+	return gen.MixedStream(g, count, removeFraction, seed)
+}
+
+// TimestampUpdates assigns bursty arrival times (mean inter-arrival gap in
+// seconds) to a copy of the update stream, for use with Stream.Replay.
+func TimestampUpdates(updates []Update, meanGapSeconds, burstiness float64, seed int64) []Update {
+	return gen.Timestamp(updates, gen.ArrivalModel{MeanGap: meanGapSeconds, Burstiness: burstiness}, seed)
+}
+
+// Communities is the result of a Girvan-Newman decomposition.
+type Communities = community.Result
+
+// CommunityOptions controls DetectCommunities.
+type CommunityOptions struct {
+	// MaxRemovals bounds the number of edges removed (0 = no bound).
+	MaxRemovals int
+	// TargetCommunities stops the decomposition once the graph has split into
+	// at least this many components (0 = ignore).
+	TargetCommunities int
+	// Recompute switches to the baseline that reruns Brandes after every
+	// removal instead of using the incremental framework.
+	Recompute bool
+}
+
+// DetectCommunities runs Girvan-Newman community detection on g (undirected),
+// driven by incrementally maintained edge betweenness.
+func DetectCommunities(g *Graph, opts CommunityOptions) (*Communities, error) {
+	method := community.Incremental
+	if opts.Recompute {
+		method = community.Recompute
+	}
+	return community.Detect(g, community.Options{
+		Method:            method,
+		MaxRemovals:       opts.MaxRemovals,
+		TargetCommunities: opts.TargetCommunities,
+	})
+}

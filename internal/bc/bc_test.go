@@ -1,0 +1,322 @@
+package bc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streambc/internal/graph"
+)
+
+const tol = 1e-9
+
+func approxEqual(a, b float64) bool { return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b)) }
+
+func buildGraph(t testing.TB, n int, edges [][2]int) *graph.Graph {
+	t.Helper()
+	g := graph.New(n)
+	for _, e := range edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatalf("AddEdge(%d,%d): %v", e[0], e[1], err)
+		}
+	}
+	return g
+}
+
+func pathGraph(t testing.TB, n int) *graph.Graph {
+	t.Helper()
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		if err := g.AddEdge(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func starGraph(t testing.TB, n int) *graph.Graph {
+	t.Helper()
+	g := graph.New(n)
+	for i := 1; i < n; i++ {
+		if err := g.AddEdge(0, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func completeGraph(t testing.TB, n int) *graph.Graph {
+	t.Helper()
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if err := g.AddEdge(i, j); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return g
+}
+
+// randomGraph builds a connected-ish Erdős–Rényi graph for differential tests.
+func randomGraph(t testing.TB, n int, p float64, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				if err := g.AddEdge(i, j); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return g
+}
+
+func randomDirectedGraph(t testing.TB, n int, p float64, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.NewDirected(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < p {
+				if err := g.AddEdge(i, j); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return g
+}
+
+func resultsEqual(t *testing.T, name string, got, want *Result) {
+	t.Helper()
+	if len(got.VBC) != len(want.VBC) {
+		t.Fatalf("%s: VBC length %d, want %d", name, len(got.VBC), len(want.VBC))
+	}
+	for v := range want.VBC {
+		if !approxEqual(got.VBC[v], want.VBC[v]) {
+			t.Fatalf("%s: VBC[%d] = %g, want %g", name, v, got.VBC[v], want.VBC[v])
+		}
+	}
+	for e, w := range want.EBC {
+		if !approxEqual(got.EBC[e], w) {
+			t.Fatalf("%s: EBC[%v] = %g, want %g", name, e, got.EBC[e], w)
+		}
+	}
+	for e, w := range got.EBC {
+		if _, ok := want.EBC[e]; !ok && !approxEqual(w, 0) {
+			t.Fatalf("%s: unexpected EBC[%v] = %g", name, e, w)
+		}
+	}
+}
+
+func TestPathGraphAnalytic(t *testing.T) {
+	// On a path 0-1-...-k, VBC(i) = 2*i*(n-1-i) and EBC(i,i+1) = 2*(i+1)*(n-1-i)
+	// with the ordered-pair convention.
+	n := 7
+	g := pathGraph(t, n)
+	res := Compute(g)
+	for i := 0; i < n; i++ {
+		want := 2 * float64(i) * float64(n-1-i)
+		if !approxEqual(res.VBC[i], want) {
+			t.Fatalf("VBC[%d] = %g, want %g", i, res.VBC[i], want)
+		}
+	}
+	for i := 0; i+1 < n; i++ {
+		want := 2 * float64(i+1) * float64(n-1-i)
+		got := res.EBC[graph.Edge{U: i, V: i + 1}]
+		if !approxEqual(got, want) {
+			t.Fatalf("EBC[(%d,%d)] = %g, want %g", i, i+1, got, want)
+		}
+	}
+}
+
+func TestStarGraphAnalytic(t *testing.T) {
+	n := 9
+	g := starGraph(t, n)
+	res := Compute(g)
+	wantCentre := float64((n - 1) * (n - 2))
+	if !approxEqual(res.VBC[0], wantCentre) {
+		t.Fatalf("centre VBC = %g, want %g", res.VBC[0], wantCentre)
+	}
+	for i := 1; i < n; i++ {
+		if !approxEqual(res.VBC[i], 0) {
+			t.Fatalf("leaf VBC[%d] = %g, want 0", i, res.VBC[i])
+		}
+		want := 2*float64(n-2) + 2
+		got := res.EBC[graph.Edge{U: 0, V: i}]
+		if !approxEqual(got, want) {
+			t.Fatalf("EBC[(0,%d)] = %g, want %g", i, got, want)
+		}
+	}
+}
+
+func TestCompleteGraphAnalytic(t *testing.T) {
+	g := completeGraph(t, 6)
+	res := Compute(g)
+	for v, b := range res.VBC {
+		if !approxEqual(b, 0) {
+			t.Fatalf("VBC[%d] = %g, want 0 in a clique", v, b)
+		}
+	}
+	for e, b := range res.EBC {
+		if !approxEqual(b, 2) {
+			t.Fatalf("EBC[%v] = %g, want 2 in a clique", e, b)
+		}
+	}
+}
+
+func TestBridgeGraph(t *testing.T) {
+	// Two triangles joined by a bridge (2,3): the bridge carries all 2*3*3
+	// cross pairs plus its endpoints' pair.
+	g := buildGraph(t, 6, [][2]int{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}})
+	res := Compute(g)
+	bridge := res.EBC[graph.Edge{U: 2, V: 3}]
+	if !approxEqual(bridge, 2*9) {
+		t.Fatalf("bridge EBC = %g, want 18", bridge)
+	}
+	if !(res.VBC[2] > res.VBC[0] && res.VBC[3] > res.VBC[5]) {
+		t.Fatalf("bridge endpoints should dominate: %v", res.VBC)
+	}
+}
+
+func TestDisconnectedGraph(t *testing.T) {
+	g := buildGraph(t, 5, [][2]int{{0, 1}, {1, 2}, {3, 4}})
+	res := Compute(g)
+	if !approxEqual(res.VBC[1], 2) {
+		t.Fatalf("VBC[1] = %g, want 2", res.VBC[1])
+	}
+	if !approxEqual(res.VBC[3], 0) || !approxEqual(res.VBC[4], 0) {
+		t.Fatalf("isolated component VBC = %v", res.VBC)
+	}
+}
+
+func TestAgainstNaiveUndirected(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		g := randomGraph(t, 20, 0.15, seed)
+		resultsEqual(t, "brandes-vs-naive", Compute(g), Naive(g))
+	}
+}
+
+func TestAgainstNaiveDirected(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		g := randomDirectedGraph(t, 15, 0.12, seed)
+		resultsEqual(t, "brandes-vs-naive-directed", Compute(g), Naive(g))
+	}
+}
+
+func TestPredecessorVariantMatches(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		g := randomGraph(t, 30, 0.1, seed)
+		resultsEqual(t, "mp-vs-mo", ComputeWithPredecessors(g), Compute(g))
+	}
+	gd := randomDirectedGraph(t, 20, 0.1, 3)
+	resultsEqual(t, "mp-vs-mo-directed", ComputeWithPredecessors(gd), Compute(gd))
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	g := randomGraph(t, 60, 0.08, 42)
+	want := Compute(g)
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		resultsEqual(t, "parallel", ComputeParallel(g, workers), want)
+	}
+	if got := ComputeParallel(g, 0); got == nil {
+		t.Fatal("ComputeParallel(0) returned nil")
+	}
+}
+
+func TestComputeVertexOnlyMatches(t *testing.T) {
+	g := randomGraph(t, 40, 0.1, 7)
+	want := Compute(g)
+	got := ComputeVertexOnly(g)
+	for v := range want.VBC {
+		if !approxEqual(got[v], want.VBC[v]) {
+			t.Fatalf("VBC[%d] = %g, want %g", v, got[v], want.VBC[v])
+		}
+	}
+}
+
+func TestSourceRangePartitioning(t *testing.T) {
+	n, parts := 17, 5
+	covered := make([]int, n)
+	prevHi := 0
+	for id := 0; id < parts; id++ {
+		lo, hi := SourceRange(n, parts, id)
+		if lo != prevHi {
+			t.Fatalf("partition %d starts at %d, want %d", id, lo, prevHi)
+		}
+		if hi < lo {
+			t.Fatalf("partition %d: hi %d < lo %d", id, hi, lo)
+		}
+		for i := lo; i < hi; i++ {
+			covered[i]++
+		}
+		prevHi = hi
+	}
+	if prevHi != n {
+		t.Fatalf("partitions end at %d, want %d", prevHi, n)
+	}
+	for i, c := range covered {
+		if c != 1 {
+			t.Fatalf("source %d covered %d times", i, c)
+		}
+	}
+	if lo, hi := SourceRange(10, 0, 0); lo != 0 || hi != 10 {
+		t.Fatalf("SourceRange with 0 parts = (%d,%d)", lo, hi)
+	}
+}
+
+func TestSingleSourceState(t *testing.T) {
+	g := buildGraph(t, 5, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}})
+	state := NewSourceState(g.N())
+	var queue []int
+	SingleSource(g, 0, state, &queue)
+	if state.Dist[4] != 3 {
+		t.Fatalf("dist[4] = %d, want 3", state.Dist[4])
+	}
+	if state.Sigma[3] != 2 || state.Sigma[4] != 2 {
+		t.Fatalf("sigma = %v", state.Sigma)
+	}
+	// delta[3] from source 0: vertex 4 depends fully on 3 => delta[3] >= 1.
+	if state.Delta[3] < 1 {
+		t.Fatalf("delta[3] = %g, want >= 1", state.Delta[3])
+	}
+	// Reuse of the same state must reset correctly.
+	SingleSource(g, 4, state, &queue)
+	if state.Dist[0] != 3 || state.Sigma[0] != 2 {
+		t.Fatalf("after reuse: dist[0]=%d sigma[0]=%g", state.Dist[0], state.Sigma[0])
+	}
+}
+
+func TestResultClone(t *testing.T) {
+	g := pathGraph(t, 4)
+	res := Compute(g)
+	c := res.Clone()
+	c.VBC[1] = -1
+	c.EBC[graph.Edge{U: 0, V: 1}] = -1
+	if res.VBC[1] == -1 || res.EBC[graph.Edge{U: 0, V: 1}] == -1 {
+		t.Fatal("Clone is not independent of the original")
+	}
+}
+
+func TestDirectedCycleBetweenness(t *testing.T) {
+	// Directed 4-cycle 0->1->2->3->0. Each vertex lies on paths between the
+	// others: VBC(v) = sum over ordered pairs (s,t) passing through v.
+	g := graph.NewDirected(4)
+	for i := 0; i < 4; i++ {
+		if err := g.AddEdge(i, (i+1)%4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := Compute(g)
+	// For a directed n-cycle every vertex has betweenness (n-1)(n-2)/2 = 3.
+	for v, b := range res.VBC {
+		if !approxEqual(b, 3) {
+			t.Fatalf("VBC[%d] = %g, want 3", v, b)
+		}
+	}
+	resultsEqual(t, "directed-cycle-naive", res, Naive(g))
+}

@@ -1,0 +1,85 @@
+package bc
+
+import (
+	"runtime"
+	"sync"
+
+	"streambc/internal/graph"
+)
+
+// ComputeParallel runs Brandes' algorithm with the source set partitioned
+// across workers goroutines (defaulting to GOMAXPROCS when workers <= 0).
+// Each worker accumulates partial scores for its source range and the partial
+// results are merged at the end, mirroring the map/reduce deployment of the
+// framework.
+func ComputeParallel(g *graph.Graph, workers int) *Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := g.N()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return Compute(g)
+	}
+
+	partials := make([]*Result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			lo, hi := SourceRange(n, workers, id)
+			partials[id] = computeRange(g, lo, hi)
+		}(w)
+	}
+	wg.Wait()
+
+	res := NewResult(n)
+	for _, p := range partials {
+		if p == nil {
+			continue
+		}
+		for v := range p.VBC {
+			res.VBC[v] += p.VBC[v]
+		}
+		for e, c := range p.EBC {
+			res.EBC[e] += c
+		}
+	}
+	return res
+}
+
+// SourceRange returns the half-open range [lo, hi) of sources assigned to
+// partition id out of parts partitions of n sources, balancing the remainder
+// over the first partitions.
+func SourceRange(n, parts, id int) (lo, hi int) {
+	if parts <= 0 {
+		return 0, n
+	}
+	base := n / parts
+	extra := n % parts
+	lo = id * base
+	if id < extra {
+		lo += id
+	} else {
+		lo += extra
+	}
+	size := base
+	if id < extra {
+		size++
+	}
+	return lo, lo + size
+}
+
+func computeRange(g *graph.Graph, lo, hi int) *Result {
+	res := NewResult(g.N())
+	state := NewSourceState(g.N())
+	queue := make([]int, 0, g.N())
+	for s := lo; s < hi; s++ {
+		SingleSource(g, s, state, &queue)
+		AccumulateSource(g, s, state, res)
+	}
+	return res
+}

@@ -1,0 +1,58 @@
+package bc
+
+import (
+	"streambc/internal/graph"
+)
+
+// ComputeWithPredecessors runs the classic Brandes algorithm that builds an
+// explicit predecessor list for every vertex during the search phase and
+// backtracks along those lists. It produces the same result as Compute and is
+// kept as the "MP" (memory, with predecessors) baseline of the paper's
+// Figure 5, where the overhead of building and storing the lists is measured.
+func ComputeWithPredecessors(g *graph.Graph) *Result {
+	res := NewResult(g.N())
+	n := g.N()
+	dist := make([]int32, n)
+	sigma := make([]float64, n)
+	delta := make([]float64, n)
+	preds := make([][]int, n)
+	queue := make([]int, 0, n)
+
+	for s := 0; s < n; s++ {
+		for i := 0; i < n; i++ {
+			dist[i] = Unreachable
+			sigma[i] = 0
+			delta[i] = 0
+			preds[i] = preds[i][:0]
+		}
+		queue = queue[:0]
+		dist[s] = 0
+		sigma[s] = 1
+		queue = append(queue, s)
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			for _, w := range g.OutNeighbors(v) {
+				if dist[w] == Unreachable {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+				if dist[w] == dist[v]+1 {
+					sigma[w] += sigma[v]
+					preds[w] = append(preds[w], v)
+				}
+			}
+		}
+		for i := len(queue) - 1; i >= 0; i-- {
+			w := queue[i]
+			for _, v := range preds[w] {
+				c := sigma[v] / sigma[w] * (1 + delta[w])
+				delta[v] += c
+				res.EBC[EdgeKey(g, v, w)] += c
+			}
+			if w != s {
+				res.VBC[w] += delta[w]
+			}
+		}
+	}
+	return res
+}

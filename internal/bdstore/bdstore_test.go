@@ -1,0 +1,301 @@
+package bdstore
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"streambc/internal/bc"
+	"streambc/internal/incremental"
+)
+
+// Both stores must satisfy the incremental.Store interface.
+var (
+	_ incremental.Store = (*MemStore)(nil)
+	_ incremental.Store = (*DiskStore)(nil)
+)
+
+func randomRecord(rng *rand.Rand, n int) *bc.SourceState {
+	rec := bc.NewSourceState(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(5) == 0 {
+			rec.Dist[i] = bc.Unreachable
+			rec.Sigma[i] = 0
+			rec.Delta[i] = 0
+			continue
+		}
+		rec.Dist[i] = int32(rng.Intn(100))
+		rec.Sigma[i] = float64(rng.Intn(1000) + 1)
+		rec.Delta[i] = rng.Float64() * 50
+	}
+	return rec
+}
+
+func recordsEqual(a, b *bc.SourceState) bool {
+	if len(a.Dist) != len(b.Dist) {
+		return false
+	}
+	for i := range a.Dist {
+		if a.Dist[i] != b.Dist[i] || a.Sigma[i] != b.Sigma[i] || math.Abs(a.Delta[i]-b.Delta[i]) > 1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 3, 17, 100} {
+		rec := randomRecord(rng, n)
+		buf := make([]byte, recordSize(n))
+		if err := encodeRecord(rec, buf); err != nil {
+			t.Fatalf("encode n=%d: %v", n, err)
+		}
+		out := bc.NewSourceState(0)
+		if err := decodeRecord(buf, n, out); err != nil {
+			t.Fatalf("decode n=%d: %v", n, err)
+		}
+		if !recordsEqual(rec, out) {
+			t.Fatalf("round trip mismatch for n=%d", n)
+		}
+		var dist []int32
+		if err := decodeDistances(buf[:distColumnSize(n)], n, &dist); err != nil {
+			t.Fatalf("decodeDistances: %v", err)
+		}
+		for i := range dist {
+			if dist[i] != rec.Dist[i] {
+				t.Fatalf("distance column mismatch at %d", i)
+			}
+		}
+	}
+}
+
+func TestCodecErrors(t *testing.T) {
+	rec := bc.NewSourceState(4)
+	if err := encodeRecord(rec, make([]byte, 10)); err == nil {
+		t.Fatal("expected error for wrong buffer size")
+	}
+	if err := decodeRecord(make([]byte, 10), 4, rec); err == nil {
+		t.Fatal("expected error for wrong decode size")
+	}
+	rec.Sigma = rec.Sigma[:2]
+	if err := encodeRecord(rec, make([]byte, recordSize(4))); err == nil {
+		t.Fatal("expected error for inconsistent record")
+	}
+}
+
+// quick property: codec round trip preserves arbitrary float payloads.
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(dists []int32, sigmas []float64) bool {
+		n := len(dists)
+		if len(sigmas) < n {
+			n = len(sigmas)
+		}
+		if n == 0 {
+			return true
+		}
+		rec := bc.NewSourceState(n)
+		for i := 0; i < n; i++ {
+			rec.Dist[i] = dists[i]
+			rec.Sigma[i] = sigmas[i]
+			rec.Delta[i] = sigmas[i] / 2
+		}
+		buf := make([]byte, recordSize(n))
+		if err := encodeRecord(rec, buf); err != nil {
+			return false
+		}
+		out := bc.NewSourceState(0)
+		if err := decodeRecord(buf, n, out); err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if out.Dist[i] != rec.Dist[i] {
+				return false
+			}
+			if math.Float64bits(out.Sigma[i]) != math.Float64bits(rec.Sigma[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newDiskStore(t *testing.T, n int) *DiskStore {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bd.bin")
+	d, err := NewDiskStore(path, n)
+	if err != nil {
+		t.Fatalf("NewDiskStore: %v", err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+func storeConformance(t *testing.T, name string, store incremental.Store, n int) {
+	t.Helper()
+	if store.NumVertices() != n {
+		t.Fatalf("%s: NumVertices = %d, want %d", name, store.NumVertices(), n)
+	}
+	if got := len(store.Sources()); got != n {
+		t.Fatalf("%s: Sources = %d, want %d", name, got, n)
+	}
+
+	// A freshly created store holds isolated-vertex records.
+	rec := bc.NewSourceState(0)
+	if err := store.Load(1, rec); err != nil {
+		t.Fatalf("%s: Load: %v", name, err)
+	}
+	if rec.Dist[1] != 0 || rec.Sigma[1] != 1 || rec.Dist[0] != bc.Unreachable {
+		t.Fatalf("%s: default record wrong: %+v", name, rec)
+	}
+
+	// Save then load round trip.
+	rng := rand.New(rand.NewSource(7))
+	want := randomRecord(rng, n)
+	if err := store.Save(2, want); err != nil {
+		t.Fatalf("%s: Save: %v", name, err)
+	}
+	got := bc.NewSourceState(0)
+	if err := store.Load(2, got); err != nil {
+		t.Fatalf("%s: Load: %v", name, err)
+	}
+	if !recordsEqual(want, got) {
+		t.Fatalf("%s: save/load mismatch", name)
+	}
+
+	// Distance-only load matches.
+	var dist []int32
+	if err := store.LoadDistances(2, &dist); err != nil {
+		t.Fatalf("%s: LoadDistances: %v", name, err)
+	}
+	for i := range dist {
+		if dist[i] != want.Dist[i] {
+			t.Fatalf("%s: distance column mismatch at %d", name, i)
+		}
+	}
+
+	// Unknown source is an error.
+	if err := store.Load(n+5, rec); err == nil {
+		t.Fatalf("%s: expected error for unknown source", name)
+	}
+
+	// Grow pads existing records and allows new sources.
+	if err := store.Grow(n + 2); err != nil {
+		t.Fatalf("%s: Grow: %v", name, err)
+	}
+	if err := store.Load(2, got); err != nil {
+		t.Fatalf("%s: Load after grow: %v", name, err)
+	}
+	if len(got.Dist) != n+2 || got.Dist[n] != bc.Unreachable || got.Dist[n+1] != bc.Unreachable {
+		t.Fatalf("%s: grown record not padded: %v", name, got.Dist)
+	}
+	for i := 0; i < n; i++ {
+		if got.Dist[i] != want.Dist[i] {
+			t.Fatalf("%s: grow lost data at %d", name, i)
+		}
+	}
+	if err := store.AddSource(n); err != nil {
+		t.Fatalf("%s: AddSource: %v", name, err)
+	}
+	if err := store.AddSource(n); err == nil {
+		t.Fatalf("%s: duplicate AddSource must fail", name)
+	}
+	if err := store.Load(n, got); err != nil {
+		t.Fatalf("%s: Load new source: %v", name, err)
+	}
+	if got.Dist[n] != 0 || got.Sigma[n] != 1 {
+		t.Fatalf("%s: new source record wrong", name)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatalf("%s: Close: %v", name, err)
+	}
+}
+
+func TestMemStoreConformance(t *testing.T) {
+	storeConformance(t, "mem", NewMemStore(6), 6)
+}
+
+func TestDiskStoreConformance(t *testing.T) {
+	storeConformance(t, "disk", newDiskStore(t, 6), 6)
+}
+
+func TestStoreForSourcesPartition(t *testing.T) {
+	n := 10
+	mem := NewMemStoreForSources(n, []int{2, 5, 7})
+	if got := mem.Sources(); len(got) != 3 || got[0] != 2 || got[2] != 7 {
+		t.Fatalf("mem sources = %v", got)
+	}
+	rec := bc.NewSourceState(0)
+	if err := mem.Load(3, rec); err == nil {
+		t.Fatal("expected error loading unmanaged source")
+	}
+	path := filepath.Join(t.TempDir(), "part.bin")
+	disk, err := NewDiskStoreForSources(path, n, []int{1, 4})
+	if err != nil {
+		t.Fatalf("NewDiskStoreForSources: %v", err)
+	}
+	defer disk.Close()
+	if got := disk.Sources(); len(got) != 2 || got[0] != 1 || got[1] != 4 {
+		t.Fatalf("disk sources = %v", got)
+	}
+	if err := disk.Load(1, rec); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if rec.Dist[1] != 0 {
+		t.Fatalf("partition default record wrong")
+	}
+}
+
+func TestDiskStoreFileSizeAndRemove(t *testing.T) {
+	d := newDiskStore(t, 8)
+	want := int64(diskHeaderSize + 8*recordSize(8))
+	if d.FileSize() != want {
+		t.Fatalf("FileSize = %d, want %d", d.FileSize(), want)
+	}
+	if d.Path() == "" {
+		t.Fatal("empty path")
+	}
+	if err := d.Remove(); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+}
+
+func TestMemStoreBytes(t *testing.T) {
+	m := NewMemStore(10)
+	if m.Bytes() != int64(10*recordSize(10)) {
+		t.Fatalf("Bytes = %d", m.Bytes())
+	}
+}
+
+func TestMemAndDiskStoreAgree(t *testing.T) {
+	n := 12
+	mem := NewMemStore(n)
+	disk := newDiskStore(t, n)
+	rng := rand.New(rand.NewSource(99))
+	for s := 0; s < n; s++ {
+		rec := randomRecord(rng, n)
+		if err := mem.Save(s, rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := disk.Save(s, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := bc.NewSourceState(0), bc.NewSourceState(0)
+	for s := 0; s < n; s++ {
+		if err := mem.Load(s, a); err != nil {
+			t.Fatal(err)
+		}
+		if err := disk.Load(s, b); err != nil {
+			t.Fatal(err)
+		}
+		if !recordsEqual(a, b) {
+			t.Fatalf("mem and disk records differ for source %d", s)
+		}
+	}
+}

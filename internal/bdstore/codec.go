@@ -1,0 +1,138 @@
+// Package bdstore provides the containers for the per-source betweenness
+// data BD[·] used by the incremental framework: an in-memory store (the "MO"
+// configuration of the paper) and an out-of-core store that keeps the data on
+// disk in the columnar, fixed-width binary layout of Section 5.1 (the "DO"
+// configuration). Both implement the incremental.Store interface, can manage
+// either the full source set or an arbitrary subset (one partition of the
+// parallel engine), and can grow when new vertices arrive in the stream.
+package bdstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"streambc/internal/bc"
+)
+
+// Record layout on disk, per source, for n vertices (little endian):
+//
+//	distance column:  n * 4 bytes (int32, -1 = unreachable)
+//	sigma column:     n * 8 bytes (float64)
+//	delta column:     n * 8 bytes (float64)
+//
+// Columns are stored back to back so that the distance column — the only data
+// needed to decide whether a source can be skipped (dd = 0) — can be read
+// with a single short sequential read.
+const (
+	distWidth  = 4
+	sigmaWidth = 8
+	deltaWidth = 8
+)
+
+// recordSize returns the number of bytes of one source record for n vertices.
+func recordSize(n int) int { return n * (distWidth + sigmaWidth + deltaWidth) }
+
+// distColumnSize returns the number of bytes of the distance column alone.
+func distColumnSize(n int) int { return n * distWidth }
+
+// encodeRecord serialises rec into buf, which must be recordSize(n) bytes.
+func encodeRecord(rec *bc.SourceState, buf []byte) error {
+	n := len(rec.Dist)
+	if len(rec.Sigma) != n || len(rec.Delta) != n {
+		return fmt.Errorf("bdstore: inconsistent record columns (%d/%d/%d)", n, len(rec.Sigma), len(rec.Delta))
+	}
+	if len(buf) != recordSize(n) {
+		return fmt.Errorf("bdstore: encode buffer is %d bytes, want %d", len(buf), recordSize(n))
+	}
+	off := 0
+	for _, d := range rec.Dist {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(d))
+		off += distWidth
+	}
+	for _, s := range rec.Sigma {
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(s))
+		off += sigmaWidth
+	}
+	for _, d := range rec.Delta {
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(d))
+		off += deltaWidth
+	}
+	return nil
+}
+
+// decodeRecord fills rec (resized to n vertices) from buf.
+func decodeRecord(buf []byte, n int, rec *bc.SourceState) error {
+	if len(buf) != recordSize(n) {
+		return fmt.Errorf("bdstore: decode buffer is %d bytes, want %d", len(buf), recordSize(n))
+	}
+	resizeRecord(rec, n)
+	off := 0
+	for i := 0; i < n; i++ {
+		rec.Dist[i] = int32(binary.LittleEndian.Uint32(buf[off:]))
+		off += distWidth
+	}
+	for i := 0; i < n; i++ {
+		rec.Sigma[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+		off += sigmaWidth
+	}
+	for i := 0; i < n; i++ {
+		rec.Delta[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+		off += deltaWidth
+	}
+	return nil
+}
+
+// decodeDistances fills dist (resized to n entries) from the distance column.
+func decodeDistances(buf []byte, n int, dist *[]int32) error {
+	if len(buf) != distColumnSize(n) {
+		return fmt.Errorf("bdstore: distance buffer is %d bytes, want %d", len(buf), distColumnSize(n))
+	}
+	d := *dist
+	if cap(d) < n {
+		d = make([]int32, n)
+	}
+	d = d[:n]
+	for i := 0; i < n; i++ {
+		d[i] = int32(binary.LittleEndian.Uint32(buf[i*distWidth:]))
+	}
+	*dist = d
+	return nil
+}
+
+// resizeRecord adjusts the record's columns to n vertices, preserving
+// existing prefixes and padding new entries with "unreachable".
+func resizeRecord(rec *bc.SourceState, n int) {
+	oldN := len(rec.Dist)
+	if cap(rec.Dist) >= n {
+		rec.Dist = rec.Dist[:n]
+		rec.Sigma = rec.Sigma[:n]
+		rec.Delta = rec.Delta[:n]
+	} else {
+		dist := make([]int32, n)
+		sigma := make([]float64, n)
+		delta := make([]float64, n)
+		copy(dist, rec.Dist)
+		copy(sigma, rec.Sigma)
+		copy(delta, rec.Delta)
+		rec.Dist, rec.Sigma, rec.Delta = dist, sigma, delta
+	}
+	for i := oldN; i < n; i++ {
+		rec.Dist[i] = bc.Unreachable
+		rec.Sigma[i] = 0
+		rec.Delta[i] = 0
+	}
+}
+
+// initIsolated fills rec (resized to n vertices) with the record of a source
+// that can only reach itself.
+func initIsolated(rec *bc.SourceState, s, n int) {
+	resizeRecord(rec, n)
+	for i := 0; i < n; i++ {
+		rec.Dist[i] = bc.Unreachable
+		rec.Sigma[i] = 0
+		rec.Delta[i] = 0
+	}
+	rec.Dist[s] = 0
+	rec.Sigma[s] = 1
+}

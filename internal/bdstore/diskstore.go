@@ -1,0 +1,265 @@
+package bdstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"streambc/internal/bc"
+)
+
+// DiskStore keeps the per-source betweenness data out of core, in a single
+// binary file laid out exactly as described in Section 5.1 of the paper: one
+// fixed-size record per source, each record storing the distance column, then
+// the shortest-path-count column, then the dependency column, so that records
+// are read sequentially and updated in place, and the distance column alone
+// can be read to skip unaffected sources.
+type DiskStore struct {
+	f    *os.File
+	path string
+
+	n     int         // vertices per record
+	slots map[int]int // source -> slot index in the file
+	order []int       // sources in ascending order
+
+	buf     []byte // reusable record buffer
+	distBuf []byte // reusable distance-column buffer
+}
+
+// diskHeaderSize is the fixed file prefix: magic (4), version (4), n (8),
+// slot count (8).
+const diskHeaderSize = 24
+
+var diskMagic = [4]byte{'B', 'D', 'S', '1'}
+
+// NewDiskStore creates (or truncates) the file at path and returns a store
+// managing every vertex of an n-vertex graph as a source.
+func NewDiskStore(path string, n int) (*DiskStore, error) {
+	sources := make([]int, n)
+	for i := range sources {
+		sources[i] = i
+	}
+	return NewDiskStoreForSources(path, n, sources)
+}
+
+// NewDiskStoreForSources creates (or truncates) the file at path and returns
+// a store managing only the given sources of an n-vertex graph, as used by
+// one worker of the parallel engine.
+func NewDiskStoreForSources(path string, n int, sources []int) (*DiskStore, error) {
+	if dir := filepath.Dir(path); dir != "" && dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("bdstore: creating directory for %s: %w", path, err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("bdstore: opening %s: %w", path, err)
+	}
+	d := &DiskStore{f: f, path: path, n: n, slots: make(map[int]int, len(sources))}
+	for _, s := range sources {
+		if _, ok := d.slots[s]; ok {
+			continue
+		}
+		d.slots[s] = len(d.slots)
+		d.order = append(d.order, s)
+	}
+	sort.Ints(d.order)
+	if err := d.initFile(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// initFile writes the header and one isolated-vertex record per source.
+func (d *DiskStore) initFile() error {
+	if err := d.writeHeader(); err != nil {
+		return err
+	}
+	rec := bc.NewSourceState(d.n)
+	for _, s := range d.order {
+		initIsolated(rec, s, d.n)
+		if err := d.Save(s, rec); err != nil {
+			return err
+		}
+	}
+	return d.f.Sync()
+}
+
+func (d *DiskStore) writeHeader() error {
+	hdr := make([]byte, diskHeaderSize)
+	copy(hdr[0:4], diskMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:8], 1)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(d.n))
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(len(d.slots)))
+	if _, err := d.f.WriteAt(hdr, 0); err != nil {
+		return fmt.Errorf("bdstore: writing header of %s: %w", d.path, err)
+	}
+	return nil
+}
+
+func (d *DiskStore) slotOffset(slot int) int64 {
+	return diskHeaderSize + int64(slot)*int64(recordSize(d.n))
+}
+
+// NumVertices implements incremental.Store.
+func (d *DiskStore) NumVertices() int { return d.n }
+
+// Sources implements incremental.Store.
+func (d *DiskStore) Sources() []int { return append([]int(nil), d.order...) }
+
+// Path returns the backing file path.
+func (d *DiskStore) Path() string { return d.path }
+
+// FileSize returns the size in bytes of the backing file.
+func (d *DiskStore) FileSize() int64 {
+	return diskHeaderSize + int64(len(d.slots))*int64(recordSize(d.n))
+}
+
+// Load implements incremental.Store.
+func (d *DiskStore) Load(s int, rec *bc.SourceState) error {
+	slot, ok := d.slots[s]
+	if !ok {
+		return fmt.Errorf("bdstore: source %d not managed by this store", s)
+	}
+	size := recordSize(d.n)
+	if cap(d.buf) < size {
+		d.buf = make([]byte, size)
+	}
+	buf := d.buf[:size]
+	if _, err := d.f.ReadAt(buf, d.slotOffset(slot)); err != nil {
+		return fmt.Errorf("bdstore: reading source %d from %s: %w", s, d.path, err)
+	}
+	return decodeRecord(buf, d.n, rec)
+}
+
+// Save implements incremental.Store.
+func (d *DiskStore) Save(s int, rec *bc.SourceState) error {
+	slot, ok := d.slots[s]
+	if !ok {
+		return fmt.Errorf("bdstore: source %d not managed by this store", s)
+	}
+	if len(rec.Dist) != d.n {
+		return fmt.Errorf("bdstore: record has %d vertices, store expects %d", len(rec.Dist), d.n)
+	}
+	size := recordSize(d.n)
+	if cap(d.buf) < size {
+		d.buf = make([]byte, size)
+	}
+	buf := d.buf[:size]
+	if err := encodeRecord(rec, buf); err != nil {
+		return err
+	}
+	if _, err := d.f.WriteAt(buf, d.slotOffset(slot)); err != nil {
+		return fmt.Errorf("bdstore: writing source %d to %s: %w", s, d.path, err)
+	}
+	return nil
+}
+
+// LoadDistances implements incremental.Store. Only the distance column is
+// read from disk.
+func (d *DiskStore) LoadDistances(s int, dist *[]int32) error {
+	slot, ok := d.slots[s]
+	if !ok {
+		return fmt.Errorf("bdstore: source %d not managed by this store", s)
+	}
+	size := distColumnSize(d.n)
+	if cap(d.distBuf) < size {
+		d.distBuf = make([]byte, size)
+	}
+	buf := d.distBuf[:size]
+	if _, err := d.f.ReadAt(buf, d.slotOffset(slot)); err != nil {
+		return fmt.Errorf("bdstore: reading distances of source %d from %s: %w", s, d.path, err)
+	}
+	return decodeDistances(buf, d.n, dist)
+}
+
+// Grow implements incremental.Store. Because the record stride depends on the
+// number of vertices, growing rewrites the whole file once.
+func (d *DiskStore) Grow(n int) error {
+	if n <= d.n {
+		return nil
+	}
+	oldN := d.n
+	rec := bc.NewSourceState(oldN)
+	tmpPath := d.path + ".grow"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("bdstore: creating %s: %w", tmpPath, err)
+	}
+	newBuf := make([]byte, recordSize(n))
+	for _, s := range d.order {
+		if err := d.Load(s, rec); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return err
+		}
+		resizeRecord(rec, n)
+		if err := encodeRecord(rec, newBuf); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return err
+		}
+		off := diskHeaderSize + int64(d.slots[s])*int64(recordSize(n))
+		if _, err := tmp.WriteAt(newBuf, off); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("bdstore: writing grown record of source %d: %w", s, err)
+		}
+		resizeRecord(rec, oldN)
+	}
+	if err := d.f.Close(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("bdstore: closing %s: %w", d.path, err)
+	}
+	if err := os.Rename(tmpPath, d.path); err != nil {
+		tmp.Close()
+		return fmt.Errorf("bdstore: replacing %s: %w", d.path, err)
+	}
+	d.f = tmp
+	d.n = n
+	d.buf = nil
+	d.distBuf = nil
+	return d.writeHeader()
+}
+
+// AddSource implements incremental.Store.
+func (d *DiskStore) AddSource(s int) error {
+	if _, ok := d.slots[s]; ok {
+		return fmt.Errorf("bdstore: source %d already managed", s)
+	}
+	if s < 0 || s >= d.n {
+		return fmt.Errorf("bdstore: source %d out of range (n=%d)", s, d.n)
+	}
+	d.slots[s] = len(d.slots)
+	rec := bc.NewSourceState(d.n)
+	initIsolated(rec, s, d.n)
+	if err := d.Save(s, rec); err != nil {
+		delete(d.slots, s)
+		return err
+	}
+	d.order = append(d.order, s)
+	sort.Ints(d.order)
+	return d.writeHeader()
+}
+
+// Close implements incremental.Store.
+func (d *DiskStore) Close() error {
+	if d.f == nil {
+		return nil
+	}
+	err := d.f.Close()
+	d.f = nil
+	return err
+}
+
+// Remove closes the store and deletes its backing file.
+func (d *DiskStore) Remove() error {
+	if err := d.Close(); err != nil {
+		return err
+	}
+	return os.Remove(d.path)
+}

@@ -1,0 +1,163 @@
+package bdstore
+
+import (
+	"fmt"
+	"sort"
+
+	"streambc/internal/bc"
+)
+
+// MemStore keeps the per-source betweenness data in memory, one contiguous
+// record per source. It is the "MO" configuration of the paper (in memory,
+// without predecessor lists).
+type MemStore struct {
+	n     int
+	slots map[int]int // source -> index into recs
+	order []int       // sources in ascending order
+	recs  []memRecord
+}
+
+type memRecord struct {
+	dist  []int32
+	sigma []float64
+	delta []float64
+}
+
+// NewMemStore returns an in-memory store managing every vertex of an
+// n-vertex graph as a source, each initialised as an isolated vertex.
+func NewMemStore(n int) *MemStore {
+	sources := make([]int, n)
+	for i := range sources {
+		sources[i] = i
+	}
+	return NewMemStoreForSources(n, sources)
+}
+
+// NewMemStoreForSources returns an in-memory store managing only the given
+// sources of an n-vertex graph. It is used by the parallel engine, where each
+// worker owns one partition of the source set.
+func NewMemStoreForSources(n int, sources []int) *MemStore {
+	m := &MemStore{n: n, slots: make(map[int]int, len(sources))}
+	for _, s := range sources {
+		if _, ok := m.slots[s]; ok {
+			continue
+		}
+		m.slots[s] = len(m.recs)
+		m.order = append(m.order, s)
+		m.recs = append(m.recs, newMemRecord(s, n))
+	}
+	sort.Ints(m.order)
+	return m
+}
+
+func newMemRecord(s, n int) memRecord {
+	r := memRecord{
+		dist:  make([]int32, n),
+		sigma: make([]float64, n),
+		delta: make([]float64, n),
+	}
+	for i := range r.dist {
+		r.dist[i] = bc.Unreachable
+	}
+	if s >= 0 && s < n {
+		r.dist[s] = 0
+		r.sigma[s] = 1
+	}
+	return r
+}
+
+// NumVertices implements incremental.Store.
+func (m *MemStore) NumVertices() int { return m.n }
+
+// Sources implements incremental.Store.
+func (m *MemStore) Sources() []int { return append([]int(nil), m.order...) }
+
+// Load implements incremental.Store.
+func (m *MemStore) Load(s int, rec *bc.SourceState) error {
+	slot, ok := m.slots[s]
+	if !ok {
+		return fmt.Errorf("bdstore: source %d not managed by this store", s)
+	}
+	resizeRecord(rec, m.n)
+	copy(rec.Dist, m.recs[slot].dist)
+	copy(rec.Sigma, m.recs[slot].sigma)
+	copy(rec.Delta, m.recs[slot].delta)
+	return nil
+}
+
+// Save implements incremental.Store.
+func (m *MemStore) Save(s int, rec *bc.SourceState) error {
+	slot, ok := m.slots[s]
+	if !ok {
+		return fmt.Errorf("bdstore: source %d not managed by this store", s)
+	}
+	if len(rec.Dist) != m.n {
+		return fmt.Errorf("bdstore: record has %d vertices, store expects %d", len(rec.Dist), m.n)
+	}
+	copy(m.recs[slot].dist, rec.Dist)
+	copy(m.recs[slot].sigma, rec.Sigma)
+	copy(m.recs[slot].delta, rec.Delta)
+	return nil
+}
+
+// LoadDistances implements incremental.Store.
+func (m *MemStore) LoadDistances(s int, dist *[]int32) error {
+	slot, ok := m.slots[s]
+	if !ok {
+		return fmt.Errorf("bdstore: source %d not managed by this store", s)
+	}
+	d := *dist
+	if cap(d) < m.n {
+		d = make([]int32, m.n)
+	}
+	d = d[:m.n]
+	copy(d, m.recs[slot].dist)
+	*dist = d
+	return nil
+}
+
+// Grow implements incremental.Store.
+func (m *MemStore) Grow(n int) error {
+	if n <= m.n {
+		return nil
+	}
+	for i := range m.recs {
+		r := &m.recs[i]
+		dist := make([]int32, n)
+		sigma := make([]float64, n)
+		delta := make([]float64, n)
+		copy(dist, r.dist)
+		copy(sigma, r.sigma)
+		copy(delta, r.delta)
+		for j := m.n; j < n; j++ {
+			dist[j] = bc.Unreachable
+		}
+		r.dist, r.sigma, r.delta = dist, sigma, delta
+	}
+	m.n = n
+	return nil
+}
+
+// AddSource implements incremental.Store.
+func (m *MemStore) AddSource(s int) error {
+	if _, ok := m.slots[s]; ok {
+		return fmt.Errorf("bdstore: source %d already managed", s)
+	}
+	if s < 0 || s >= m.n {
+		return fmt.Errorf("bdstore: source %d out of range (n=%d)", s, m.n)
+	}
+	m.slots[s] = len(m.recs)
+	m.recs = append(m.recs, newMemRecord(s, m.n))
+	m.order = append(m.order, s)
+	sort.Ints(m.order)
+	return nil
+}
+
+// Close implements incremental.Store.
+func (m *MemStore) Close() error { return nil }
+
+// Bytes returns the approximate memory footprint of the stored records. It is
+// reported by the experiment harness to contrast the MO and DO configurations.
+func (m *MemStore) Bytes() int64 {
+	return int64(len(m.recs)) * int64(recordSize(m.n))
+}

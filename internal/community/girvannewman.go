@@ -1,0 +1,228 @@
+// Package community implements the Girvan-Newman community-detection use
+// case of Section 6.3: communities are found by repeatedly removing the edge
+// with the highest betweenness, and the incremental framework keeps the edge
+// betweenness up to date after every removal instead of recomputing it from
+// scratch.
+package community
+
+import (
+	"fmt"
+	"math"
+
+	"streambc/internal/bc"
+	"streambc/internal/bdstore"
+	"streambc/internal/graph"
+	"streambc/internal/incremental"
+)
+
+// Method selects how edge betweenness is refreshed after each removal.
+type Method int
+
+const (
+	// Incremental uses the streaming betweenness framework (the paper's use
+	// case): one offline Brandes pass, then one incremental update per
+	// removed edge.
+	Incremental Method = iota
+	// Recompute runs Brandes' algorithm from scratch after every removal,
+	// which is the baseline the paper compares against (Figure 9).
+	Recompute
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case Incremental:
+		return "incremental"
+	case Recompute:
+		return "recompute"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Options controls a Girvan-Newman run.
+type Options struct {
+	// Method selects incremental maintenance or full recomputation.
+	Method Method
+	// MaxRemovals stops the decomposition after this many edge removals
+	// (0 means continue until no edges remain).
+	MaxRemovals int
+	// TargetCommunities stops as soon as the graph has split into at least
+	// this many connected components (0 means ignore).
+	TargetCommunities int
+}
+
+// Step records one iteration of the decomposition.
+type Step struct {
+	// Removed is the edge removed at this step.
+	Removed graph.Edge
+	// EBC is the betweenness of the removed edge at removal time.
+	EBC float64
+	// Components is the number of connected components after the removal.
+	Components int
+	// Modularity is the modularity (w.r.t. the original graph) of the
+	// partition induced by the components after the removal.
+	Modularity float64
+}
+
+// Result is the outcome of a Girvan-Newman decomposition.
+type Result struct {
+	Steps []Step
+	// BestPartition assigns a community identifier to every vertex at the
+	// step with the highest modularity.
+	BestPartition []int
+	// BestModularity is the modularity of BestPartition.
+	BestModularity float64
+	// BestStep is the index into Steps at which the best partition occurred
+	// (-1 when no step improved over the trivial partition).
+	BestStep int
+}
+
+// Communities returns the vertices of the best partition grouped by
+// community.
+func (r *Result) Communities() [][]int {
+	groups := make(map[int][]int)
+	for v, c := range r.BestPartition {
+		groups[c] = append(groups[c], v)
+	}
+	out := make([][]int, 0, len(groups))
+	for c := 0; ; c++ {
+		members, ok := groups[c]
+		if !ok {
+			break
+		}
+		out = append(out, members)
+	}
+	return out
+}
+
+// Detect runs the Girvan-Newman decomposition on a copy of g (the input graph
+// is not modified).
+func Detect(g *graph.Graph, opts Options) (*Result, error) {
+	if g.Directed() {
+		return nil, fmt.Errorf("community: Girvan-Newman requires an undirected graph")
+	}
+	work := g.Clone()
+	res := &Result{BestStep: -1}
+
+	var updater *incremental.Updater
+	var err error
+	if opts.Method == Incremental {
+		updater, err = incremental.NewUpdater(work, bdstore.NewMemStore(work.N()))
+		if err != nil {
+			return nil, fmt.Errorf("community: initialising incremental updater: %w", err)
+		}
+	}
+
+	// Baseline modularity of the unsplit graph (a single community, or the
+	// pre-existing components).
+	membership := componentMembership(work)
+	res.BestPartition = append([]int(nil), membership...)
+	res.BestModularity = Modularity(g, membership)
+
+	maxRemovals := opts.MaxRemovals
+	if maxRemovals <= 0 || maxRemovals > g.M() {
+		maxRemovals = g.M()
+	}
+
+	for step := 0; step < maxRemovals && work.M() > 0; step++ {
+		var ebc map[graph.Edge]float64
+		if opts.Method == Incremental {
+			ebc = updater.EBC()
+		} else {
+			ebc = bc.Compute(work).EBC
+		}
+		target, score, ok := highestEdge(work, ebc)
+		if !ok {
+			break
+		}
+		if opts.Method == Incremental {
+			if err := updater.Apply(graph.Removal(target.U, target.V)); err != nil {
+				return nil, fmt.Errorf("community: removing %v: %w", target, err)
+			}
+		} else if err := work.RemoveEdge(target.U, target.V); err != nil {
+			return nil, fmt.Errorf("community: removing %v: %w", target, err)
+		}
+
+		membership = componentMembership(work)
+		q := Modularity(g, membership)
+		comps := 0
+		for _, c := range membership {
+			if c+1 > comps {
+				comps = c + 1
+			}
+		}
+		res.Steps = append(res.Steps, Step{Removed: target, EBC: score, Components: comps, Modularity: q})
+		if q > res.BestModularity {
+			res.BestModularity = q
+			res.BestPartition = append(res.BestPartition[:0], membership...)
+			res.BestStep = len(res.Steps) - 1
+		}
+		if opts.TargetCommunities > 0 && comps >= opts.TargetCommunities {
+			break
+		}
+	}
+	return res, nil
+}
+
+// highestEdge returns the existing edge with the largest betweenness,
+// breaking ties deterministically by canonical edge order.
+func highestEdge(g *graph.Graph, ebc map[graph.Edge]float64) (graph.Edge, float64, bool) {
+	best := graph.Edge{U: -1, V: -1}
+	bestScore := math.Inf(-1)
+	found := false
+	for _, e := range g.Edges() {
+		score := ebc[bc.EdgeKey(g, e.U, e.V)]
+		switch {
+		case !found, score > bestScore:
+			best, bestScore, found = e, score, true
+		case score == bestScore && less(e, best):
+			best = e
+		}
+	}
+	return best, bestScore, found
+}
+
+func less(a, b graph.Edge) bool {
+	if a.U != b.U {
+		return a.U < b.U
+	}
+	return a.V < b.V
+}
+
+// componentMembership labels every vertex with the index of its connected
+// component (components ordered by decreasing size).
+func componentMembership(g *graph.Graph) []int {
+	membership := make([]int, g.N())
+	for i, comp := range g.Components() {
+		for _, v := range comp {
+			membership[v] = i
+		}
+	}
+	return membership
+}
+
+// Modularity computes Newman's modularity of a vertex partition with respect
+// to graph g: Q = sum_c (e_c/m - (d_c/2m)^2), where e_c is the number of
+// edges inside community c and d_c the total degree of its vertices.
+func Modularity(g *graph.Graph, membership []int) float64 {
+	m := float64(g.M())
+	if m == 0 {
+		return 0
+	}
+	inside := make(map[int]float64)
+	degree := make(map[int]float64)
+	for _, e := range g.Edges() {
+		cu, cv := membership[e.U], membership[e.V]
+		if cu == cv {
+			inside[cu]++
+		}
+		degree[cu]++
+		degree[cv]++
+	}
+	q := 0.0
+	for c, d := range degree {
+		q += inside[c]/m - (d/(2*m))*(d/(2*m))
+	}
+	return q
+}

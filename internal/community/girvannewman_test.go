@@ -1,0 +1,160 @@
+package community
+
+import (
+	"math"
+	"testing"
+
+	"streambc/internal/gen"
+	"streambc/internal/graph"
+)
+
+// twoCliques builds two k-cliques joined by a single bridge edge.
+func twoCliques(t *testing.T, k int) *graph.Graph {
+	t.Helper()
+	g := graph.New(2 * k)
+	addClique := func(offset int) {
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				if err := g.AddEdge(offset+i, offset+j); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	addClique(0)
+	addClique(k)
+	if err := g.AddEdge(k-1, k); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBridgeRemovedFirst(t *testing.T) {
+	g := twoCliques(t, 5)
+	for _, method := range []Method{Incremental, Recompute} {
+		res, err := Detect(g, Options{Method: method, MaxRemovals: 1})
+		if err != nil {
+			t.Fatalf("%v: Detect: %v", method, err)
+		}
+		if len(res.Steps) != 1 {
+			t.Fatalf("%v: steps = %d, want 1", method, len(res.Steps))
+		}
+		if got := res.Steps[0].Removed.Canonical(); got.U != 4 || got.V != 5 {
+			t.Fatalf("%v: removed %v, want the bridge (4,5)", method, got)
+		}
+		if res.Steps[0].Components != 2 {
+			t.Fatalf("%v: components = %d, want 2", method, res.Steps[0].Components)
+		}
+		if res.BestModularity <= 0.3 {
+			t.Fatalf("%v: best modularity = %g, want > 0.3", method, res.BestModularity)
+		}
+	}
+}
+
+func TestIncrementalAndRecomputeAgreeOnCliquePair(t *testing.T) {
+	g := twoCliques(t, 4)
+	inc, err := Detect(g, Options{Method: Incremental, TargetCommunities: 2})
+	if err != nil {
+		t.Fatalf("incremental: %v", err)
+	}
+	rec, err := Detect(g, Options{Method: Recompute, TargetCommunities: 2})
+	if err != nil {
+		t.Fatalf("recompute: %v", err)
+	}
+	if len(inc.Steps) != len(rec.Steps) {
+		t.Fatalf("step counts differ: %d vs %d", len(inc.Steps), len(rec.Steps))
+	}
+	for i := range inc.Steps {
+		if inc.Steps[i].Removed.Canonical() != rec.Steps[i].Removed.Canonical() {
+			t.Fatalf("step %d differs: %v vs %v", i, inc.Steps[i].Removed, rec.Steps[i].Removed)
+		}
+		if math.Abs(inc.Steps[i].EBC-rec.Steps[i].EBC) > 1e-6*(1+math.Abs(rec.Steps[i].EBC)) {
+			t.Fatalf("step %d EBC differs: %g vs %g", i, inc.Steps[i].EBC, rec.Steps[i].EBC)
+		}
+	}
+}
+
+func TestPlantedPartitionRecovery(t *testing.T) {
+	g, truth := gen.PlantedPartition(3, 8, 0.85, 0.02, 11)
+	lcc := gen.Connected(g)
+	// Work on the original (generated) graph if it is connected; otherwise
+	// skip: the planted parameters virtually guarantee connectivity.
+	if lcc.N() != g.N() {
+		t.Skip("planted graph unexpectedly disconnected")
+	}
+	res, err := Detect(g, Options{Method: Incremental, TargetCommunities: 3, MaxRemovals: g.M()})
+	if err != nil {
+		t.Fatalf("Detect: %v", err)
+	}
+	if res.BestModularity < 0.4 {
+		t.Fatalf("best modularity = %g, want >= 0.4", res.BestModularity)
+	}
+	// The best partition must be highly consistent with the ground truth:
+	// vertices in the same true community should mostly share a label.
+	agree, total := 0, 0
+	for u := 0; u < g.N(); u++ {
+		for v := u + 1; v < g.N(); v++ {
+			same := truth[u] == truth[v]
+			got := res.BestPartition[u] == res.BestPartition[v]
+			total++
+			if same == got {
+				agree++
+			}
+		}
+	}
+	if ratio := float64(agree) / float64(total); ratio < 0.85 {
+		t.Fatalf("pair agreement with planted communities = %g, want >= 0.85", ratio)
+	}
+}
+
+func TestModularity(t *testing.T) {
+	g := twoCliques(t, 4)
+	// Perfect split: each clique a community.
+	membership := make([]int, g.N())
+	for v := range membership {
+		if v >= 4 {
+			membership[v] = 1
+		}
+	}
+	q := Modularity(g, membership)
+	if q <= 0.3 || q >= 1 {
+		t.Fatalf("two-clique modularity = %g, want in (0.3, 1)", q)
+	}
+	// Single community has modularity 0 (by definition of the formula).
+	single := make([]int, g.N())
+	if q := Modularity(g, single); math.Abs(q) > 1e-12 {
+		t.Fatalf("single-community modularity = %g, want 0", q)
+	}
+	// Empty graph.
+	if q := Modularity(graph.New(3), single[:3]); q != 0 {
+		t.Fatalf("empty graph modularity = %g", q)
+	}
+}
+
+func TestDetectOptionsAndErrors(t *testing.T) {
+	if _, err := Detect(graph.NewDirected(3), Options{}); err == nil {
+		t.Fatal("directed graphs must be rejected")
+	}
+	g := twoCliques(t, 3)
+	res, err := Detect(g, Options{Method: Recompute, MaxRemovals: 2})
+	if err != nil {
+		t.Fatalf("Detect: %v", err)
+	}
+	if len(res.Steps) != 2 {
+		t.Fatalf("MaxRemovals not honoured: %d steps", len(res.Steps))
+	}
+	// Full decomposition terminates and removes every edge.
+	full, err := Detect(g, Options{Method: Recompute})
+	if err != nil {
+		t.Fatalf("Detect full: %v", err)
+	}
+	if len(full.Steps) != g.M() {
+		t.Fatalf("full decomposition removed %d edges, want %d", len(full.Steps), g.M())
+	}
+	if groups := full.Communities(); len(groups) == 0 {
+		t.Fatal("no communities reported")
+	}
+	if Incremental.String() != "incremental" || Recompute.String() != "recompute" || Method(9).String() == "" {
+		t.Fatal("Method.String misbehaves")
+	}
+}

@@ -1,0 +1,331 @@
+// Package engine runs the incremental betweenness framework on a pool of
+// shared-nothing workers, mirroring the parallel deployment of Section 5 of
+// the paper: the source set is split into contiguous ranges, each worker owns
+// the betweenness data BD[Πi] of its range (in memory or on its own disk
+// file), processes every update independently for its sources, and emits
+// partial vertex/edge betweenness changes that a reducer folds into the
+// global scores (Figure 4).
+//
+// Within a process the workers are goroutines; the rpc sub-files additionally
+// provide a net/rpc embodiment where each worker is a separate server
+// reachable over TCP, which is the shape a cluster deployment would take.
+package engine
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"streambc/internal/bc"
+	"streambc/internal/bdstore"
+	"streambc/internal/graph"
+	"streambc/internal/incremental"
+)
+
+// StoreFactory builds the per-worker store holding the betweenness data of
+// one source partition.
+type StoreFactory func(workerID, numVertices int, sources []int) (incremental.Store, error)
+
+// MemFactory returns a factory producing in-memory stores (the distributed
+// "MO" configuration).
+func MemFactory() StoreFactory {
+	return func(_, n int, sources []int) (incremental.Store, error) {
+		return bdstore.NewMemStoreForSources(n, sources), nil
+	}
+}
+
+// DiskFactory returns a factory producing one on-disk store per worker inside
+// dir (the distributed "DO" configuration, one file per machine/disk).
+func DiskFactory(dir string) StoreFactory {
+	return func(id, n int, sources []int) (incremental.Store, error) {
+		path := filepath.Join(dir, fmt.Sprintf("bd-worker-%03d.bin", id))
+		return bdstore.NewDiskStoreForSources(path, n, sources)
+	}
+}
+
+// Config configures an Engine.
+type Config struct {
+	// Workers is the number of parallel workers (mappers). Values < 1 mean 1.
+	Workers int
+	// Store builds the per-worker stores; defaults to MemFactory().
+	Store StoreFactory
+}
+
+// Stats aggregates the work counters of all workers.
+type Stats struct {
+	UpdatesApplied int
+	SourcesSkipped int64
+	SourcesUpdated int64
+}
+
+// Engine maintains betweenness centrality of an evolving graph using a pool
+// of workers, each owning one partition of the source set.
+type Engine struct {
+	g       *graph.Graph
+	workers []*worker
+	res     *bc.Result
+	stats   Stats
+	nextRR  int // round-robin cursor for assigning newly arrived sources
+}
+
+type worker struct {
+	id      int
+	store   incremental.Store
+	sources []int
+	ws      *incremental.Workspace
+	rec     *bc.SourceState
+	distBuf []int32
+	delta   *incremental.Delta
+
+	skipped int64
+	updated int64
+}
+
+// New partitions the sources of g across cfg.Workers workers, runs the
+// offline initialisation (a full Brandes pass, parallelised over the
+// partitions) and returns an engine ready to process updates. The engine
+// takes ownership of g.
+func New(g *graph.Graph, cfg Config) (*Engine, error) {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.Workers > g.N() && g.N() > 0 {
+		cfg.Workers = g.N()
+	}
+	if cfg.Store == nil {
+		cfg.Store = MemFactory()
+	}
+	e := &Engine{g: g, res: bc.NewResult(g.N())}
+	n := g.N()
+	for id := 0; id < cfg.Workers; id++ {
+		lo, hi := bc.SourceRange(n, cfg.Workers, id)
+		sources := make([]int, 0, hi-lo)
+		for s := lo; s < hi; s++ {
+			sources = append(sources, s)
+		}
+		store, err := cfg.Store(id, n, sources)
+		if err != nil {
+			e.Close()
+			return nil, fmt.Errorf("engine: creating store for worker %d: %w", id, err)
+		}
+		e.workers = append(e.workers, &worker{
+			id:      id,
+			store:   store,
+			sources: sources,
+			ws:      incremental.NewWorkspace(n),
+			rec:     bc.NewSourceState(n),
+			delta:   incremental.NewDelta(),
+		})
+	}
+	if err := e.initialize(); err != nil {
+		e.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// initialize runs step 1 of the framework: one Brandes iteration per source,
+// executed in parallel across the workers, storing BD[s] and accumulating the
+// initial betweenness scores.
+func (e *Engine) initialize() error {
+	partials := make([]*bc.Result, len(e.workers))
+	errs := make([]error, len(e.workers))
+	var wg sync.WaitGroup
+	for i, w := range e.workers {
+		wg.Add(1)
+		go func(i int, w *worker) {
+			defer wg.Done()
+			partial := bc.NewResult(e.g.N())
+			state := bc.NewSourceState(e.g.N())
+			var queue []int
+			for _, s := range w.sources {
+				bc.SingleSource(e.g, s, state, &queue)
+				bc.AccumulateSource(e.g, s, state, partial)
+				if err := w.store.Save(s, state); err != nil {
+					errs[i] = fmt.Errorf("engine: worker %d saving source %d: %w", w.id, s, err)
+					return
+				}
+			}
+			partials[i] = partial
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for _, p := range partials {
+		if p == nil {
+			continue
+		}
+		for v := range p.VBC {
+			e.res.VBC[v] += p.VBC[v]
+		}
+		for k, x := range p.EBC {
+			e.res.EBC[k] += x
+		}
+	}
+	return nil
+}
+
+// Graph returns the evolving graph (read-only for callers).
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Result returns the live betweenness scores.
+func (e *Engine) Result() *bc.Result { return e.res }
+
+// VBC returns the current vertex betweenness (live slice, do not modify).
+func (e *Engine) VBC() []float64 { return e.res.VBC }
+
+// EBC returns the current edge betweenness (live map, do not modify).
+func (e *Engine) EBC() map[graph.Edge]float64 { return e.res.EBC }
+
+// Workers returns the number of workers.
+func (e *Engine) Workers() int { return len(e.workers) }
+
+// Stats returns aggregated work counters.
+func (e *Engine) Stats() Stats {
+	st := e.stats
+	for _, w := range e.workers {
+		st.SourcesSkipped += w.skipped
+		st.SourcesUpdated += w.updated
+	}
+	return st
+}
+
+// Apply processes one update: the map phase runs the per-source incremental
+// algorithm on every worker in parallel, the reduce phase merges the partial
+// betweenness changes into the global result.
+func (e *Engine) Apply(upd graph.Update) error {
+	if err := e.validate(upd); err != nil {
+		return err
+	}
+	if !upd.Remove {
+		if m := max(upd.U, upd.V); m >= e.g.N() {
+			if err := e.growTo(m + 1); err != nil {
+				return err
+			}
+		}
+	}
+	if err := e.g.Apply(upd); err != nil {
+		return err
+	}
+
+	errs := make([]error, len(e.workers))
+	var wg sync.WaitGroup
+	for i, w := range e.workers {
+		wg.Add(1)
+		go func(i int, w *worker) {
+			defer wg.Done()
+			errs[i] = w.apply(e.g, upd)
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for _, w := range e.workers {
+		w.delta.ApplyTo(e.res)
+		w.delta.Reset()
+	}
+	if upd.Remove {
+		delete(e.res.EBC, bc.EdgeKey(e.g, upd.U, upd.V))
+	}
+	e.stats.UpdatesApplied++
+	return nil
+}
+
+// ApplyAll applies a stream of updates in order.
+func (e *Engine) ApplyAll(updates []graph.Update) (int, error) {
+	for i, upd := range updates {
+		if err := e.Apply(upd); err != nil {
+			return i, err
+		}
+	}
+	return len(updates), nil
+}
+
+func (w *worker) apply(g *graph.Graph, upd graph.Update) error {
+	directed := g.Directed()
+	for _, s := range w.sources {
+		if err := w.store.LoadDistances(s, &w.distBuf); err != nil {
+			return fmt.Errorf("engine: worker %d loading distances of source %d: %w", w.id, s, err)
+		}
+		if !incremental.Affected(w.distBuf, upd, directed) {
+			w.skipped++
+			continue
+		}
+		if err := w.store.Load(s, w.rec); err != nil {
+			return fmt.Errorf("engine: worker %d loading source %d: %w", w.id, s, err)
+		}
+		if incremental.UpdateSource(g, s, upd, w.rec, w.delta, w.ws) {
+			if err := w.store.Save(s, w.rec); err != nil {
+				return fmt.Errorf("engine: worker %d saving source %d: %w", w.id, s, err)
+			}
+		}
+		w.updated++
+	}
+	return nil
+}
+
+func (e *Engine) validate(upd graph.Update) error {
+	if upd.U == upd.V {
+		return graph.ErrSelfLoop
+	}
+	if upd.U < 0 || upd.V < 0 {
+		return fmt.Errorf("%w: negative vertex in %v", graph.ErrVertexRange, upd)
+	}
+	if upd.Remove {
+		if !e.g.HasEdge(upd.U, upd.V) {
+			return fmt.Errorf("%w: %v", graph.ErrMissingEdge, upd.Edge())
+		}
+		return nil
+	}
+	if upd.U < e.g.N() && upd.V < e.g.N() && e.g.HasEdge(upd.U, upd.V) {
+		return fmt.Errorf("%w: %v", graph.ErrDuplicateEdge, upd.Edge())
+	}
+	return nil
+}
+
+// growTo extends the graph, every worker store and the result to n vertices;
+// the new sources are spread over the workers round-robin.
+func (e *Engine) growTo(n int) error {
+	old := e.g.N()
+	for e.g.N() < n {
+		e.g.AddVertex()
+	}
+	for _, w := range e.workers {
+		if err := w.store.Grow(n); err != nil {
+			return fmt.Errorf("engine: growing store of worker %d: %w", w.id, err)
+		}
+	}
+	for s := old; s < n; s++ {
+		w := e.workers[e.nextRR%len(e.workers)]
+		e.nextRR++
+		if err := w.store.AddSource(s); err != nil {
+			return fmt.Errorf("engine: adding source %d to worker %d: %w", s, w.id, err)
+		}
+		w.sources = append(w.sources, s)
+	}
+	for len(e.res.VBC) < n {
+		e.res.VBC = append(e.res.VBC, 0)
+	}
+	return nil
+}
+
+// Close releases every worker store.
+func (e *Engine) Close() error {
+	var firstErr error
+	for _, w := range e.workers {
+		if w == nil || w.store == nil {
+			continue
+		}
+		if err := w.store.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

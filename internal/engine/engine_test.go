@@ -1,0 +1,283 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"net"
+	"path/filepath"
+	"testing"
+
+	"streambc/internal/bc"
+	"streambc/internal/gen"
+	"streambc/internal/graph"
+)
+
+const tol = 1e-7
+
+func approx(a, b float64) bool { return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b)) }
+
+func checkEngineAgainstBrandes(t *testing.T, g *graph.Graph, vbc []float64, ebc map[graph.Edge]float64, context string) {
+	t.Helper()
+	want := bc.Compute(g)
+	for v := range want.VBC {
+		if !approx(vbc[v], want.VBC[v]) {
+			t.Fatalf("%s: VBC[%d] = %g, want %g", context, v, vbc[v], want.VBC[v])
+		}
+	}
+	for _, e := range g.Edges() {
+		key := bc.EdgeKey(g, e.U, e.V)
+		if !approx(ebc[key], want.EBC[key]) {
+			t.Fatalf("%s: EBC[%v] = %g, want %g", context, key, ebc[key], want.EBC[key])
+		}
+	}
+}
+
+func testGraph(t *testing.T, n, m int, seed int64) *graph.Graph {
+	t.Helper()
+	g := gen.Connected(gen.ErdosRenyi(n, m, seed))
+	if g.N() < 3 {
+		t.Fatalf("test graph too small: n=%d", g.N())
+	}
+	return g
+}
+
+func mixedUpdates(t *testing.T, g *graph.Graph, count int, seed int64) []graph.Update {
+	t.Helper()
+	ups, err := gen.MixedStream(g, count, 0.4, seed)
+	if err != nil {
+		t.Fatalf("MixedStream: %v", err)
+	}
+	return ups
+}
+
+func TestEngineMatchesBrandesAcrossWorkerCounts(t *testing.T) {
+	base := testGraph(t, 40, 120, 1)
+	updates := mixedUpdates(t, base, 20, 2)
+	for _, workers := range []int{1, 2, 3, 7} {
+		e, err := New(base.Clone(), Config{Workers: workers})
+		if err != nil {
+			t.Fatalf("New(%d workers): %v", workers, err)
+		}
+		if e.Workers() != workers {
+			t.Fatalf("Workers() = %d, want %d", e.Workers(), workers)
+		}
+		if _, err := e.ApplyAll(updates); err != nil {
+			t.Fatalf("%d workers: ApplyAll: %v", workers, err)
+		}
+		checkEngineAgainstBrandes(t, e.Graph(), e.VBC(), e.EBC(), "engine")
+		st := e.Stats()
+		if st.UpdatesApplied != len(updates) || st.SourcesUpdated == 0 {
+			t.Fatalf("stats = %+v", st)
+		}
+		if err := e.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	}
+}
+
+func TestEngineDiskFactory(t *testing.T) {
+	base := testGraph(t, 25, 70, 3)
+	updates := mixedUpdates(t, base, 12, 4)
+	e, err := New(base.Clone(), Config{Workers: 3, Store: DiskFactory(t.TempDir())})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer e.Close()
+	if _, err := e.ApplyAll(updates); err != nil {
+		t.Fatalf("ApplyAll: %v", err)
+	}
+	checkEngineAgainstBrandes(t, e.Graph(), e.VBC(), e.EBC(), "disk engine")
+}
+
+func TestEngineNewVertexArrival(t *testing.T) {
+	base := testGraph(t, 15, 40, 5)
+	e, err := New(base.Clone(), Config{Workers: 3})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer e.Close()
+	n := e.Graph().N()
+	if err := e.Apply(graph.Addition(0, n)); err != nil {
+		t.Fatalf("Apply new vertex: %v", err)
+	}
+	if err := e.Apply(graph.Addition(1, n+1)); err != nil {
+		t.Fatalf("Apply second new vertex: %v", err)
+	}
+	checkEngineAgainstBrandes(t, e.Graph(), e.VBC(), e.EBC(), "engine growth")
+}
+
+func TestEngineValidation(t *testing.T) {
+	base := testGraph(t, 10, 20, 7)
+	e, err := New(base.Clone(), Config{Workers: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer e.Close()
+	if err := e.Apply(graph.Addition(0, 0)); err == nil {
+		t.Fatal("self loop accepted")
+	}
+	edges := e.Graph().Edges()
+	if err := e.Apply(graph.Addition(edges[0].U, edges[0].V)); err == nil {
+		t.Fatal("duplicate edge accepted")
+	}
+	if err := e.Apply(graph.Removal(0, e.Graph().N()+10)); err == nil {
+		t.Fatal("removal of non-existent edge accepted")
+	}
+	checkEngineAgainstBrandes(t, e.Graph(), e.VBC(), e.EBC(), "after rejected updates")
+}
+
+func TestEngineDefaultsToSingleWorker(t *testing.T) {
+	base := testGraph(t, 12, 30, 9)
+	e, err := New(base.Clone(), Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer e.Close()
+	if e.Workers() != 1 {
+		t.Fatalf("default workers = %d, want 1", e.Workers())
+	}
+}
+
+func TestReplayOnlineAccounting(t *testing.T) {
+	base := testGraph(t, 30, 90, 11)
+	adds, err := gen.RandomAdditions(base, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Generous inter-arrival gaps: nothing should be missed.
+	slow := gen.Timestamp(adds, gen.ArrivalModel{MeanGap: 10}, 2)
+	e1, err := New(base.Clone(), Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e1.Close()
+	rep, err := Replay(e1, slow)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if rep.Updates != len(slow) || rep.Missed != 0 || rep.MissedFraction != 0 {
+		t.Fatalf("slow replay report = %+v", rep)
+	}
+	if rep.TotalProcessing <= 0 || len(rep.Timings) != len(slow) {
+		t.Fatalf("replay timings missing: %+v", rep)
+	}
+
+	// Impossibly tight gaps: every non-final update must be missed.
+	fast := gen.Timestamp(adds, gen.ArrivalModel{MeanGap: 1e-12}, 2)
+	e2, err := New(base.Clone(), Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	rep2, err := Replay(e2, fast)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if rep2.Missed != len(fast)-1 {
+		t.Fatalf("fast replay missed = %d, want %d", rep2.Missed, len(fast)-1)
+	}
+	if rep2.AvgDelay <= 0 || rep2.MaxDelay < rep2.AvgDelay {
+		t.Fatalf("fast replay delays = %+v", rep2)
+	}
+
+	// Unsorted stream is rejected.
+	bad := append([]graph.Update(nil), slow...)
+	bad[0].Time = 1e9
+	if _, err := Replay(e2, bad); err == nil {
+		t.Fatal("unsorted stream accepted")
+	}
+}
+
+func TestRequiredWorkersModel(t *testing.T) {
+	// 1 ms per source, 10000 sources, negligible merge, 2 s inter-arrival:
+	// tS*n = 10 s of work, so at least 5 workers are needed.
+	p := RequiredWorkers(0.001, 10000, 0, 2.0)
+	if p < 5 || p > 6 {
+		t.Fatalf("RequiredWorkers = %d, want about 5", p)
+	}
+	// Impossible budget falls back to one source per machine.
+	if p := RequiredWorkers(0.001, 100, 1.0, 0.5); p != 100 {
+		t.Fatalf("RequiredWorkers impossible budget = %d, want 100", p)
+	}
+	if p := RequiredWorkers(1e-9, 10, 0, 100); p != 1 {
+		t.Fatalf("RequiredWorkers trivial = %d, want 1", p)
+	}
+}
+
+func startWorkers(t *testing.T, count int) []string {
+	t.Helper()
+	addrs := make([]string, count)
+	for i := 0; i < count; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		t.Cleanup(func() { l.Close() })
+		ServeWorker(l, NewWorkerServer())
+		addrs[i] = l.Addr().String()
+	}
+	return addrs
+}
+
+func TestRPCClusterMatchesBrandes(t *testing.T) {
+	base := testGraph(t, 25, 70, 13)
+	updates := mixedUpdates(t, base, 12, 5)
+	addrs := startWorkers(t, 3)
+
+	cluster, err := NewCluster(base.Clone(), addrs, nil)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer cluster.Close()
+
+	for i, upd := range updates {
+		if err := cluster.Apply(upd); err != nil {
+			t.Fatalf("cluster apply %d (%v): %v", i, upd, err)
+		}
+	}
+	checkEngineAgainstBrandes(t, cluster.Graph(), cluster.VBC(), cluster.EBC(), "rpc cluster")
+}
+
+func TestRPCClusterDiskWorkersAndGrowth(t *testing.T) {
+	base := testGraph(t, 15, 40, 17)
+	addrs := startWorkers(t, 2)
+	dir := t.TempDir()
+	paths := []string{filepath.Join(dir, "w0.bin"), filepath.Join(dir, "w1.bin")}
+
+	cluster, err := NewCluster(base.Clone(), addrs, paths)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer cluster.Close()
+
+	n := cluster.Graph().N()
+	seq := []graph.Update{
+		graph.Addition(0, n), // new vertex
+		graph.Addition(2, n),
+		graph.Removal(0, n),
+	}
+	rng := rand.New(rand.NewSource(1))
+	chosen := map[graph.Edge]bool{}
+	for len(seq) < 8 {
+		a, b := rng.Intn(n), rng.Intn(n)
+		key := (graph.Edge{U: a, V: b}).Canonical()
+		if a == b || cluster.Graph().HasEdge(a, b) || chosen[key] {
+			continue
+		}
+		chosen[key] = true
+		seq = append(seq, graph.Addition(a, b))
+	}
+	for i, upd := range seq {
+		if err := cluster.Apply(upd); err != nil {
+			t.Fatalf("apply %d (%v): %v", i, upd, err)
+		}
+	}
+	checkEngineAgainstBrandes(t, cluster.Graph(), cluster.VBC(), cluster.EBC(), "rpc cluster disk")
+}
+
+func TestClusterRequiresWorkers(t *testing.T) {
+	if _, err := NewCluster(graph.New(3), nil, nil); err == nil {
+		t.Fatal("expected error for empty worker list")
+	}
+}

@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"streambc/internal/graph"
+)
+
+// Applier is anything that can consume an edge update and keep betweenness up
+// to date. Both the single-machine incremental.Updater and the parallel
+// Engine satisfy it, so the online replay can compare them.
+type Applier interface {
+	Apply(graph.Update) error
+}
+
+// UpdateTiming records what happened to a single update of a timestamped
+// stream during an online replay.
+type UpdateTiming struct {
+	// Arrival is the arrival time of the update (seconds from stream start).
+	Arrival float64
+	// Processing is the measured wall-clock processing time in seconds.
+	Processing float64
+	// Completed is the simulated completion time: processing starts when the
+	// update arrives or when the previous update finishes, whichever is later.
+	Completed float64
+	// Missed reports whether the updated scores were not ready before the
+	// next update arrived (the paper's "missed" edges of Table 5).
+	Missed bool
+	// Delay is how long after the next arrival the scores became available
+	// (zero when not missed).
+	Delay float64
+}
+
+// ReplayReport summarises an online replay: the fraction of updates whose new
+// betweenness scores were not ready before the next update arrived, and the
+// average and maximum delay of those late updates (Table 5 and Figure 8).
+type ReplayReport struct {
+	Updates        int
+	Missed         int
+	MissedFraction float64
+	AvgDelay       float64
+	MaxDelay       float64
+	// TotalProcessing is the sum of the measured processing times (seconds).
+	TotalProcessing float64
+	// Timings holds the per-update detail, in stream order.
+	Timings []UpdateTiming
+}
+
+// Replay feeds a timestamped update stream to the applier, measuring the
+// processing time of every update, and simulates the online behaviour: an
+// update starts processing at its arrival time or as soon as the previous one
+// finishes, and it is "missed" when it completes after the next update has
+// already arrived. The stream must be sorted by arrival time.
+func Replay(a Applier, stream []graph.Update) (*ReplayReport, error) {
+	report := &ReplayReport{Updates: len(stream), Timings: make([]UpdateTiming, 0, len(stream))}
+	clock := 0.0
+	var delaySum float64
+	for i, upd := range stream {
+		if i > 0 && upd.Time < stream[i-1].Time {
+			return nil, fmt.Errorf("engine: update stream not sorted by time at index %d", i)
+		}
+		start := time.Now()
+		if err := a.Apply(upd); err != nil {
+			return nil, fmt.Errorf("engine: replaying update %d (%v): %w", i, upd, err)
+		}
+		proc := time.Since(start).Seconds()
+		report.TotalProcessing += proc
+
+		begin := upd.Time
+		if clock > begin {
+			begin = clock
+		}
+		completed := begin + proc
+		clock = completed
+
+		t := UpdateTiming{Arrival: upd.Time, Processing: proc, Completed: completed}
+		if i+1 < len(stream) && completed > stream[i+1].Time {
+			t.Missed = true
+			t.Delay = completed - stream[i+1].Time
+			report.Missed++
+			delaySum += t.Delay
+			if t.Delay > report.MaxDelay {
+				report.MaxDelay = t.Delay
+			}
+		}
+		report.Timings = append(report.Timings, t)
+	}
+	if report.Updates > 0 {
+		report.MissedFraction = float64(report.Missed) / float64(report.Updates)
+	}
+	if report.Missed > 0 {
+		report.AvgDelay = delaySum / float64(report.Missed)
+	}
+	return report, nil
+}
+
+// RequiredWorkers estimates, from the average per-source processing time, how
+// many workers are needed to keep updates online for a given inter-arrival
+// time, following the model of Section 5.3: tU = tS * n / p + tM <= tI.
+func RequiredWorkers(tSourceSeconds float64, numSources int, tMergeSeconds, interArrivalSeconds float64) int {
+	budget := interArrivalSeconds - tMergeSeconds
+	if budget <= 0 {
+		return numSources // cannot be met: one source per machine is the limit
+	}
+	p := int(tSourceSeconds*float64(numSources)/budget) + 1
+	if p < 1 {
+		p = 1
+	}
+	if p > numSources && numSources > 0 {
+		p = numSources
+	}
+	return p
+}

@@ -1,0 +1,369 @@
+package engine
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"streambc/internal/bc"
+	"streambc/internal/bdstore"
+	"streambc/internal/graph"
+	"streambc/internal/incremental"
+)
+
+// This file contains the cross-machine embodiment of the framework: each
+// worker is an RPC server that owns one source partition (and its BD file),
+// and a coordinator fans updates out to the workers and reduces their partial
+// betweenness deltas, exactly like the mapper/reducer roles of Figure 4. Only
+// the standard library net/rpc stack is used, so a deployment is a matter of
+// starting `bcrun -serve` processes on each machine.
+
+// InitArgs ships the graph replica and the source partition to a worker.
+type InitArgs struct {
+	N        int
+	Directed bool
+	Edges    []graph.Edge
+	Sources  []int
+	// DiskPath, when non-empty, makes the worker keep its BD partition in an
+	// out-of-core store at that path instead of in memory.
+	DiskPath string
+}
+
+// PartialScores is the unit of exchange between workers and the coordinator:
+// sparse partial vertex and edge betweenness values.
+type PartialScores struct {
+	VBC map[int]float64
+	EBC map[graph.Edge]float64
+}
+
+// ApplyArgs carries one edge update to a worker.
+type ApplyArgs struct {
+	Update graph.Update
+}
+
+// WorkerServer is the RPC-exposed worker. It is safe for the sequential use
+// pattern of the coordinator (one in-flight call per worker); a mutex guards
+// against accidental concurrent calls.
+type WorkerServer struct {
+	mu      sync.Mutex
+	g       *graph.Graph
+	store   incremental.Store
+	sources []int
+	ws      *incremental.Workspace
+	rec     *bc.SourceState
+	distBuf []int32
+}
+
+// NewWorkerServer returns an uninitialised worker server; the coordinator
+// initialises it through the Init RPC.
+func NewWorkerServer() *WorkerServer { return &WorkerServer{} }
+
+// Init builds the worker's graph replica, creates its store and runs the
+// offline Brandes pass for its source partition, returning the partial
+// initial scores.
+func (w *WorkerServer) Init(args *InitArgs, reply *PartialScores) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	var g *graph.Graph
+	if args.Directed {
+		g = graph.NewDirected(args.N)
+	} else {
+		g = graph.New(args.N)
+	}
+	for _, e := range args.Edges {
+		if err := g.AddEdge(e.U, e.V); err != nil {
+			return fmt.Errorf("engine: worker init: %w", err)
+		}
+	}
+	var store incremental.Store
+	var err error
+	if args.DiskPath != "" {
+		store, err = bdstore.NewDiskStoreForSources(args.DiskPath, args.N, args.Sources)
+		if err != nil {
+			return err
+		}
+	} else {
+		store = bdstore.NewMemStoreForSources(args.N, args.Sources)
+	}
+
+	w.g = g
+	w.store = store
+	w.sources = append([]int(nil), args.Sources...)
+	w.ws = incremental.NewWorkspace(args.N)
+	w.rec = bc.NewSourceState(args.N)
+
+	partial := bc.NewResult(args.N)
+	state := bc.NewSourceState(args.N)
+	var queue []int
+	for _, s := range w.sources {
+		bc.SingleSource(g, s, state, &queue)
+		bc.AccumulateSource(g, s, state, partial)
+		if err := store.Save(s, state); err != nil {
+			return err
+		}
+	}
+	reply.VBC = make(map[int]float64)
+	for v, x := range partial.VBC {
+		if x != 0 {
+			reply.VBC[v] = x
+		}
+	}
+	reply.EBC = partial.EBC
+	return nil
+}
+
+// ApplyUpdate applies one update to the worker's replica and source partition
+// and returns the partial betweenness changes.
+func (w *WorkerServer) ApplyUpdate(args *ApplyArgs, reply *PartialScores) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.g == nil {
+		return fmt.Errorf("engine: worker not initialised")
+	}
+	upd := args.Update
+	if !upd.Remove {
+		if m := max(upd.U, upd.V); m >= w.g.N() {
+			if err := w.grow(m + 1); err != nil {
+				return err
+			}
+		}
+	}
+	if err := w.g.Apply(upd); err != nil {
+		return err
+	}
+	delta := incremental.NewDelta()
+	directed := w.g.Directed()
+	for _, s := range w.sources {
+		if err := w.store.LoadDistances(s, &w.distBuf); err != nil {
+			return err
+		}
+		if !incremental.Affected(w.distBuf, upd, directed) {
+			continue
+		}
+		if err := w.store.Load(s, w.rec); err != nil {
+			return err
+		}
+		if incremental.UpdateSource(w.g, s, upd, w.rec, delta, w.ws) {
+			if err := w.store.Save(s, w.rec); err != nil {
+				return err
+			}
+		}
+	}
+	reply.VBC = delta.VBC
+	reply.EBC = delta.EBC
+	return nil
+}
+
+// AddSources registers extra sources (new vertices) with this worker.
+func (w *WorkerServer) AddSources(sources []int, reply *bool) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.g == nil {
+		return fmt.Errorf("engine: worker not initialised")
+	}
+	for _, s := range sources {
+		if s >= w.g.N() {
+			if err := w.grow(s + 1); err != nil {
+				return err
+			}
+		}
+		if err := w.store.AddSource(s); err != nil {
+			return err
+		}
+		w.sources = append(w.sources, s)
+	}
+	*reply = true
+	return nil
+}
+
+func (w *WorkerServer) grow(n int) error {
+	for w.g.N() < n {
+		w.g.AddVertex()
+	}
+	if err := w.store.Grow(n); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Shutdown closes the worker's store.
+func (w *WorkerServer) Shutdown(_ *struct{}, reply *bool) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.store != nil {
+		if err := w.store.Close(); err != nil {
+			return err
+		}
+		w.store = nil
+	}
+	*reply = true
+	return nil
+}
+
+// ServeWorker serves a WorkerServer on the listener until the listener is
+// closed. It returns the RPC server so tests can register additional
+// services.
+func ServeWorker(l net.Listener, w *WorkerServer) *rpc.Server {
+	srv := rpc.NewServer()
+	// RegisterName cannot fail for a type with valid exported methods.
+	_ = srv.RegisterName("Worker", w)
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return srv
+}
+
+// Cluster is the coordinator of a set of RPC workers: it keeps its own graph
+// replica (to validate updates and serve reads) and the global betweenness
+// scores, and delegates the per-source work to the workers.
+type Cluster struct {
+	g       *graph.Graph
+	clients []*rpc.Client
+	res     *bc.Result
+	nextRR  int
+	applied int
+}
+
+// NewCluster connects to the worker addresses, partitions the sources of g
+// across them, initialises every worker and merges the initial partial
+// scores. Pass diskDirs non-nil (one path per worker, may be empty strings)
+// to ask workers to keep their BD partition on disk.
+func NewCluster(g *graph.Graph, addrs []string, diskPaths []string) (*Cluster, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("engine: cluster needs at least one worker address")
+	}
+	c := &Cluster{g: g, res: bc.NewResult(g.N())}
+	edges := g.Edges()
+	for i, addr := range addrs {
+		client, err := rpc.Dial("tcp", addr)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("engine: dialing worker %s: %w", addr, err)
+		}
+		c.clients = append(c.clients, client)
+
+		lo, hi := bc.SourceRange(g.N(), len(addrs), i)
+		sources := make([]int, 0, hi-lo)
+		for s := lo; s < hi; s++ {
+			sources = append(sources, s)
+		}
+		args := &InitArgs{N: g.N(), Directed: g.Directed(), Edges: edges, Sources: sources}
+		if diskPaths != nil && i < len(diskPaths) {
+			args.DiskPath = diskPaths[i]
+		}
+		var reply PartialScores
+		if err := client.Call("Worker.Init", args, &reply); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("engine: initialising worker %s: %w", addr, err)
+		}
+		c.mergePartial(&reply)
+	}
+	return c, nil
+}
+
+func (c *Cluster) mergePartial(p *PartialScores) {
+	for v, x := range p.VBC {
+		c.res.VBC[v] += x
+	}
+	for e, x := range p.EBC {
+		c.res.EBC[e] += x
+	}
+}
+
+// Graph returns the coordinator's replica of the evolving graph.
+func (c *Cluster) Graph() *graph.Graph { return c.g }
+
+// Result returns the live betweenness scores.
+func (c *Cluster) Result() *bc.Result { return c.res }
+
+// VBC returns the current vertex betweenness scores.
+func (c *Cluster) VBC() []float64 { return c.res.VBC }
+
+// EBC returns the current edge betweenness scores.
+func (c *Cluster) EBC() map[graph.Edge]float64 { return c.res.EBC }
+
+// Apply sends the update to every worker in parallel and reduces their
+// partial score changes.
+func (c *Cluster) Apply(upd graph.Update) error {
+	if !upd.Remove {
+		if m := max(upd.U, upd.V); m >= c.g.N() {
+			if err := c.growTo(m + 1); err != nil {
+				return err
+			}
+		}
+	}
+	if err := c.g.Apply(upd); err != nil {
+		return err
+	}
+	replies := make([]PartialScores, len(c.clients))
+	errs := make([]error, len(c.clients))
+	var wg sync.WaitGroup
+	for i, client := range c.clients {
+		wg.Add(1)
+		go func(i int, client *rpc.Client) {
+			defer wg.Done()
+			errs[i] = client.Call("Worker.ApplyUpdate", &ApplyArgs{Update: upd}, &replies[i])
+		}(i, client)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("engine: worker %d apply: %w", i, err)
+		}
+	}
+	for len(c.res.VBC) < c.g.N() {
+		c.res.VBC = append(c.res.VBC, 0)
+	}
+	for i := range replies {
+		c.mergePartial(&replies[i])
+	}
+	if upd.Remove {
+		delete(c.res.EBC, bc.EdgeKey(c.g, upd.U, upd.V))
+	}
+	c.applied++
+	return nil
+}
+
+// growTo grows the coordinator replica and assigns the new sources to workers
+// round-robin.
+func (c *Cluster) growTo(n int) error {
+	old := c.g.N()
+	for c.g.N() < n {
+		c.g.AddVertex()
+	}
+	for s := old; s < n; s++ {
+		i := c.nextRR % len(c.clients)
+		c.nextRR++
+		var ok bool
+		if err := c.clients[i].Call("Worker.AddSources", []int{s}, &ok); err != nil {
+			return fmt.Errorf("engine: assigning source %d to worker %d: %w", s, i, err)
+		}
+	}
+	return nil
+}
+
+// Close shuts the workers down and closes the connections.
+func (c *Cluster) Close() error {
+	var firstErr error
+	for _, client := range c.clients {
+		if client == nil {
+			continue
+		}
+		var ok bool
+		if err := client.Call("Worker.Shutdown", &struct{}{}, &ok); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := client.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

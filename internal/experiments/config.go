@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"streambc/internal/gen"
+	"streambc/internal/graph"
+)
+
+// Config controls the scale of an experiment run.
+type Config struct {
+	// Quick shrinks every experiment (tiny graphs, few updates) so that the
+	// whole suite runs in seconds. Used by unit tests and the default `go
+	// test -bench` run; `cmd/bcbench` uses the full scale by default.
+	Quick bool
+	// Seed makes the generated graphs and streams deterministic.
+	Seed int64
+	// UpdateCount is the number of stream updates per experiment; 0 means the
+	// paper's value (100) at full scale and 12 in quick mode.
+	UpdateCount int
+	// BrandesRuns is how many times the baseline is measured (median taken).
+	BrandesRuns int
+	// ScratchDir hosts temporary on-disk stores (defaults to the system temp
+	// directory).
+	ScratchDir string
+}
+
+func (c Config) normalized() Config {
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.UpdateCount == 0 {
+		if c.Quick {
+			c.UpdateCount = 12
+		} else {
+			c.UpdateCount = 100
+		}
+	}
+	if c.BrandesRuns == 0 {
+		if c.Quick {
+			c.BrandesRuns = 1
+		} else {
+			c.BrandesRuns = 3
+		}
+	}
+	return c
+}
+
+// dataset builds the graph for a named preset, shrunk drastically in quick
+// mode (quick graphs only exercise the code paths; they are not meant to
+// reproduce the paper's numbers).
+func dataset(name string, cfg Config) (*graph.Graph, gen.Preset, error) {
+	preset, err := gen.GetPreset(name)
+	if err != nil {
+		return nil, gen.Preset{}, err
+	}
+	if cfg.Quick {
+		var g *graph.Graph
+		if preset.Paper.CC < 0.05 {
+			g = gen.Connected(gen.ErdosRenyi(220, 700, cfg.Seed))
+		} else {
+			g = gen.Connected(gen.HolmeKim(220, 5, 0.6, cfg.Seed))
+		}
+		return g, preset, nil
+	}
+	return preset.Build(cfg.Seed), preset, nil
+}
+
+// additions builds the paper's addition workload for a dataset: updates
+// connecting random unconnected pairs.
+func additions(g *graph.Graph, cfg Config) ([]graph.Update, error) {
+	return gen.RandomAdditions(g, cfg.UpdateCount, cfg.Seed+1)
+}
+
+// removals builds the paper's removal workload: updates deleting random
+// existing edges.
+func removals(g *graph.Graph, cfg Config) ([]graph.Update, error) {
+	count := cfg.UpdateCount
+	if count > g.M() {
+		count = g.M()
+	}
+	return gen.RandomRemovals(g, count, cfg.Seed+2)
+}

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"streambc/internal/gen"
+)
+
+func quickConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{Quick: true, Seed: 7, ScratchDir: t.TempDir()}
+}
+
+func TestSummarizeAndPercentile(t *testing.T) {
+	s := Summarize([]float64{5, 1, 3, 2, 4})
+	if s.Min != 1 || s.Max != 5 || s.Median != 3 || math.Abs(s.Mean-3) > 1e-12 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if Summarize(nil) != (Summary{}) {
+		t.Fatal("empty summary must be zero")
+	}
+	sorted := []float64{1, 2, 3, 4}
+	if p := Percentile(sorted, 0); p != 1 {
+		t.Fatalf("p0 = %g", p)
+	}
+	if p := Percentile(sorted, 1); p != 4 {
+		t.Fatalf("p100 = %g", p)
+	}
+	if p := Percentile(sorted, 0.5); math.Abs(p-2.5) > 1e-12 {
+		t.Fatalf("p50 = %g", p)
+	}
+	if p := Percentile(nil, 0.5); p != 0 {
+		t.Fatalf("empty percentile = %g", p)
+	}
+}
+
+func TestCDFAndSpeedups(t *testing.T) {
+	cdf := CDF([]float64{3, 1, 2, 4}, 0)
+	if len(cdf) != 4 || cdf[0].Value != 1 || cdf[3].P != 1 {
+		t.Fatalf("cdf = %+v", cdf)
+	}
+	small := CDF([]float64{3, 1, 2, 4, 5, 6, 7, 8}, 4)
+	if len(small) != 4 {
+		t.Fatalf("downsampled cdf = %+v", small)
+	}
+	if CDF(nil, 5) != nil {
+		t.Fatal("empty cdf must be nil")
+	}
+	sp := Speedups(time.Second, []time.Duration{100 * time.Millisecond, time.Second})
+	if math.Abs(sp[0]-10) > 1e-9 || math.Abs(sp[1]-1) > 1e-9 {
+		t.Fatalf("speedups = %v", sp)
+	}
+	sp0 := Speedups(time.Second, []time.Duration{0})
+	if sp0[0] <= 0 {
+		t.Fatal("zero duration must not produce a non-positive speedup")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	table := Table{Title: "demo", Columns: []string{"a", "bb"}}
+	table.AddRow("1", "2")
+	var buf bytes.Buffer
+	table.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "bb") || !strings.Contains(out, "--") {
+		t.Fatalf("render output:\n%s", out)
+	}
+	if F(0) != "0" || F(123.4) != "123" || F(12.34) != "12.3" || F(0.1234) != "0.123" {
+		t.Fatalf("F formatting wrong: %s %s %s %s", F(0), F(123.4), F(12.34), F(0.1234))
+	}
+	if D(1500*time.Millisecond) != "1.500s" {
+		t.Fatalf("D formatting wrong: %s", D(1500*time.Millisecond))
+	}
+}
+
+func TestVariantUpdaters(t *testing.T) {
+	g := gen.Connected(gen.HolmeKim(120, 4, 0.5, 3))
+	ups, err := gen.RandomAdditions(g, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []Variant{VariantMP, VariantMO, VariantDO} {
+		upd, cleanup, err := NewVariantUpdater(g.Clone(), v, t.TempDir())
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		times, err := MeasureUpdates(upd, ups)
+		cleanup()
+		if err != nil {
+			t.Fatalf("%v: MeasureUpdates: %v", v, err)
+		}
+		if len(times) != len(ups) {
+			t.Fatalf("%v: got %d times", v, len(times))
+		}
+	}
+	if VariantMP.String() != "MP" || VariantMO.String() != "MO" || VariantDO.String() != "DO" {
+		t.Fatal("variant names wrong")
+	}
+	if _, _, err := NewVariantUpdater(g.Clone(), Variant(99), ""); err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+}
+
+func TestMeasureBrandesPositive(t *testing.T) {
+	g := gen.Connected(gen.ErdosRenyi(80, 200, 5))
+	if d := MeasureBrandes(g, 2); d <= 0 {
+		t.Fatalf("MeasureBrandes = %v", d)
+	}
+}
+
+func TestProfileStreamAndSimulation(t *testing.T) {
+	g := gen.Connected(gen.HolmeKim(100, 4, 0.5, 9))
+	ups, err := gen.RandomAdditions(g, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles, err := ProfileStream(g, ups, false, t.TempDir())
+	if err != nil {
+		t.Fatalf("ProfileStream: %v", err)
+	}
+	if len(profiles) != len(ups) {
+		t.Fatalf("got %d profiles", len(profiles))
+	}
+	p := profiles[0]
+	if len(p.SourceTimes) != g.N() || p.Total() <= 0 {
+		t.Fatalf("profile malformed: %d sources, total %v", len(p.SourceTimes), p.Total())
+	}
+	// More workers can only reduce (or keep) the simulated wall time; the
+	// single-worker wall equals the total.
+	if p.SimulatedWall(1) < p.SimulatedWall(4) {
+		t.Fatalf("wall(1)=%v < wall(4)=%v", p.SimulatedWall(1), p.SimulatedWall(4))
+	}
+	if p.SimulatedWall(1) != p.Total() {
+		t.Fatalf("wall(1)=%v, total=%v", p.SimulatedWall(1), p.Total())
+	}
+	if p.SimulatedWall(0) != p.Total() {
+		t.Fatal("workers<1 must behave like a single worker")
+	}
+
+	// Disk-backed profiling also works.
+	diskProfiles, err := ProfileStream(g, ups[:2], true, t.TempDir())
+	if err != nil {
+		t.Fatalf("ProfileStream disk: %v", err)
+	}
+	if len(diskProfiles) != 2 {
+		t.Fatalf("disk profiles = %d", len(diskProfiles))
+	}
+}
+
+func TestRunAllQuickExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment drivers skipped in short mode")
+	}
+	cfg := quickConfig(t)
+	var buf bytes.Buffer
+	for _, name := range Names() {
+		buf.Reset()
+		if err := Run(name, cfg, &buf); err != nil {
+			t.Fatalf("Run(%s): %v", name, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("Run(%s) produced no output", name)
+		}
+	}
+	if err := Run("does-not-exist", cfg, &buf); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if len(Describe()) != len(Names()) {
+		t.Fatal("Describe and Names disagree")
+	}
+}
+
+func TestRunAllAggregate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment drivers skipped in short mode")
+	}
+	cfg := quickConfig(t)
+	var buf bytes.Buffer
+	if err := Run("all", cfg, &buf); err != nil {
+		t.Fatalf("Run(all): %v", err)
+	}
+	out := buf.String()
+	for _, name := range Names() {
+		if !strings.Contains(out, "== "+name) {
+			t.Fatalf("aggregate output missing section %s", name)
+		}
+	}
+}

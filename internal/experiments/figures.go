@@ -1,0 +1,474 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"streambc/internal/community"
+	"streambc/internal/gen"
+	"streambc/internal/graph"
+)
+
+// percentile grid used when summarising the CDF figures as text.
+var cdfPercentiles = []float64{0.10, 0.25, 0.50, 0.75, 0.90}
+
+// SpeedupCDF is one curve of a speedup CDF figure.
+type SpeedupCDF struct {
+	Label    string
+	Speedups []float64
+	CDF      []CDFPoint
+}
+
+func newSpeedupCDF(label string, speedups []float64) SpeedupCDF {
+	return SpeedupCDF{Label: label, Speedups: speedups, CDF: CDF(speedups, 20)}
+}
+
+func cdfRow(c SpeedupCDF) []string {
+	sorted := append([]float64(nil), c.Speedups...)
+	sum := Summarize(sorted)
+	cells := []string{c.Label}
+	sortedAsc := append([]float64(nil), c.Speedups...)
+	sortFloats(sortedAsc)
+	for _, p := range cdfPercentiles {
+		cells = append(cells, F(Percentile(sortedAsc, p)))
+	}
+	cells = append(cells, F(sum.Mean), F(sum.Max))
+	return cells
+}
+
+func sortFloats(x []float64) {
+	for i := 1; i < len(x); i++ {
+		for j := i; j > 0 && x[j] < x[j-1]; j-- {
+			x[j], x[j-1] = x[j-1], x[j]
+		}
+	}
+}
+
+func cdfTable(title string, curves []SpeedupCDF) Table {
+	t := Table{
+		Title:   title,
+		Columns: []string{"series", "p10", "p25", "p50", "p75", "p90", "mean", "max"},
+	}
+	for _, c := range curves {
+		t.AddRow(cdfRow(c)...)
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5: CDF of speedups of the three framework variants (MP, MO, DO) on a
+// single machine, edge additions.
+// ---------------------------------------------------------------------------
+
+// Figure5Result holds one CDF per dataset and variant.
+type Figure5Result struct {
+	Curves []SpeedupCDF
+}
+
+var figure5Datasets = []string{"1k", "10k", "ca-grqc", "wikielections"}
+
+// RunFigure5 measures the per-update speedup of the MP, MO and DO variants
+// over Brandes for edge additions on the Figure 5 datasets.
+func RunFigure5(cfg Config) (*Figure5Result, error) {
+	cfg = cfg.normalized()
+	names := figure5Datasets
+	if cfg.Quick {
+		names = []string{"1k"}
+	}
+	res := &Figure5Result{}
+	for _, name := range names {
+		g, _, err := dataset(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		ups, err := additions(g, cfg)
+		if err != nil {
+			return nil, err
+		}
+		baseline := MeasureBrandes(g, cfg.BrandesRuns)
+		for _, variant := range []Variant{VariantMP, VariantMO, VariantDO} {
+			times, err := measureVariant(g, variant, ups, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("figure5 %s %v: %w", name, variant, err)
+			}
+			res.Curves = append(res.Curves, newSpeedupCDF(fmt.Sprintf("%s-%v", name, variant), Speedups(baseline, times)))
+		}
+	}
+	return res, nil
+}
+
+// Render writes the CDFs as percentile rows.
+func (r *Figure5Result) Render(w io.Writer) {
+	t := cdfTable("Figure 5: speedup CDF of MP/MO/DO over Brandes (single machine, additions)", r.Curves)
+	t.Render(w)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6: CDF of speedups of the DO configuration on the parallel engine,
+// additions and removals, synthetic and real graphs.
+// ---------------------------------------------------------------------------
+
+// Figure6Result groups the four panels of Figure 6.
+type Figure6Result struct {
+	SyntheticAdd []SpeedupCDF
+	SyntheticRem []SpeedupCDF
+	RealAdd      []SpeedupCDF
+	RealRem      []SpeedupCDF
+}
+
+var (
+	figure6Synthetic = []string{"1k", "10k", "100k", "1000k"}
+	figure6Real      = []string{"wikielections", "facebook", "slashdot", "epinions", "dblp", "amazon"}
+)
+
+// RunFigure6 measures per-update speedups of the out-of-core configuration
+// over Brandes, comparing Brandes' single-machine time with the cumulative
+// per-update work of the framework (as the paper does for its MapReduce
+// deployment), for additions and removals on synthetic and real stand-ins.
+func RunFigure6(cfg Config) (*Figure6Result, error) {
+	cfg = cfg.normalized()
+	synthetic, real := figure6Synthetic, figure6Real
+	if cfg.Quick {
+		synthetic, real = []string{"1k"}, []string{"wikielections"}
+	}
+	res := &Figure6Result{}
+	run := func(names []string, remove bool) ([]SpeedupCDF, error) {
+		var curves []SpeedupCDF
+		for _, name := range names {
+			g, _, err := dataset(name, cfg)
+			if err != nil {
+				return nil, err
+			}
+			var ups []graph.Update
+			if remove {
+				ups, err = removals(g, cfg)
+			} else {
+				ups, err = additions(g, cfg)
+			}
+			if err != nil {
+				return nil, err
+			}
+			baseline := MeasureBrandes(g, cfg.BrandesRuns)
+			times, err := measureVariant(g, VariantDO, ups, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("figure6 %s: %w", name, err)
+			}
+			curves = append(curves, newSpeedupCDF(name, Speedups(baseline, times)))
+		}
+		return curves, nil
+	}
+	var err error
+	if res.SyntheticAdd, err = run(synthetic, false); err != nil {
+		return nil, err
+	}
+	if res.SyntheticRem, err = run(synthetic, true); err != nil {
+		return nil, err
+	}
+	if res.RealAdd, err = run(real, false); err != nil {
+		return nil, err
+	}
+	if res.RealRem, err = run(real, true); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Render writes the four panels.
+func (r *Figure6Result) Render(w io.Writer) {
+	panels := []struct {
+		title  string
+		curves []SpeedupCDF
+	}{
+		{"Figure 6(a): speedup CDF, additions, synthetic graphs (DO)", r.SyntheticAdd},
+		{"Figure 6(b): speedup CDF, removals, synthetic graphs (DO)", r.SyntheticRem},
+		{"Figure 6(c): speedup CDF, additions, real-graph stand-ins (DO)", r.RealAdd},
+		{"Figure 6(d): speedup CDF, removals, real-graph stand-ins (DO)", r.RealRem},
+	}
+	for _, panel := range panels {
+		tbl := cdfTable(panel.title, panel.curves)
+		tbl.Render(w)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7: strong and weak scaling on the (simulated) cluster.
+// ---------------------------------------------------------------------------
+
+// Figure7Point is one measurement of the scaling curves.
+type Figure7Point struct {
+	Dataset string
+	Workers int
+	// Edges is the number of stream edges in the workload.
+	Edges int
+	// WallPerEdge is the average simulated wall-clock time per edge (strong
+	// scaling panels a-b).
+	WallPerEdge time.Duration
+	// TotalWall is the simulated wall-clock time of the whole workload (weak
+	// scaling panels c-d, where Edges/Workers is kept constant).
+	TotalWall time.Duration
+	// Ratio is the workload-per-worker ratio of the weak-scaling panels
+	// (zero for strong-scaling points).
+	Ratio int
+}
+
+// Figure7Result holds the strong- and weak-scaling series.
+type Figure7Result struct {
+	Strong []Figure7Point
+	Weak   []Figure7Point
+}
+
+// RunFigure7 profiles the per-source work of every update once and then
+// replays it at different simulated cluster sizes: strong scaling keeps the
+// workload fixed and increases the workers, weak scaling keeps the ratio of
+// stream edges per worker fixed.
+func RunFigure7(cfg Config) (*Figure7Result, error) {
+	cfg = cfg.normalized()
+	datasets := []string{"10k", "100k"}
+	workerCounts := []int{1, 2, 4, 8, 16, 32, 64}
+	batchSizes := []int{100, 200, 300}
+	ratios := []int{1, 2, 3}
+	if cfg.Quick {
+		datasets = []string{"1k"}
+		workerCounts = []int{1, 2, 4}
+		batchSizes = []int{6, 12}
+		ratios = []int{1, 2}
+	}
+	res := &Figure7Result{}
+	for _, name := range datasets {
+		g, _, err := dataset(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		maxBatch := batchSizes[len(batchSizes)-1]
+		streamCfg := cfg
+		streamCfg.UpdateCount = maxBatch
+		ups, err := additions(g, streamCfg)
+		if err != nil {
+			return nil, err
+		}
+		profiles, err := ProfileStream(g, ups, false, cfg.ScratchDir)
+		if err != nil {
+			return nil, fmt.Errorf("figure7 %s: %w", name, err)
+		}
+
+		// Strong scaling: fixed batch, growing cluster.
+		for _, batch := range batchSizes {
+			if batch > len(profiles) {
+				batch = len(profiles)
+			}
+			for _, workers := range workerCounts {
+				var total time.Duration
+				for _, p := range profiles[:batch] {
+					total += p.SimulatedWall(workers)
+				}
+				res.Strong = append(res.Strong, Figure7Point{
+					Dataset: name, Workers: workers, Edges: batch,
+					WallPerEdge: total / time.Duration(batch), TotalWall: total,
+				})
+			}
+		}
+
+		// Weak scaling: edges per worker kept constant.
+		for _, ratio := range ratios {
+			for _, workers := range workerCounts {
+				batch := ratio * workers
+				if batch > len(profiles) {
+					batch = len(profiles)
+				}
+				var total time.Duration
+				for _, p := range profiles[:batch] {
+					total += p.SimulatedWall(workers)
+				}
+				res.Weak = append(res.Weak, Figure7Point{
+					Dataset: name, Workers: workers, Edges: batch, Ratio: ratio, TotalWall: total,
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render writes the scaling series.
+func (r *Figure7Result) Render(w io.Writer) {
+	strong := Table{
+		Title:   "Figure 7(a-b): strong scaling — simulated wall-clock time per new edge",
+		Columns: []string{"dataset", "edges", "workers", "wall/edge"},
+	}
+	for _, p := range r.Strong {
+		strong.AddRow(p.Dataset, fmt.Sprintf("%d", p.Edges), fmt.Sprintf("%d", p.Workers), D(p.WallPerEdge))
+	}
+	strong.Render(w)
+
+	weak := Table{
+		Title:   "Figure 7(c-d): weak scaling — simulated total time at constant edges/worker ratio",
+		Columns: []string{"dataset", "ratio", "workers", "edges", "total wall"},
+	}
+	for _, p := range r.Weak {
+		weak.AddRow(p.Dataset, fmt.Sprintf("%d", p.Ratio), fmt.Sprintf("%d", p.Workers), fmt.Sprintf("%d", p.Edges), D(p.TotalWall))
+	}
+	weak.Render(w)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8: inter-arrival times vs update times for arriving edges.
+// ---------------------------------------------------------------------------
+
+// Figure8Point is one arriving edge of the Figure 8 series.
+type Figure8Point struct {
+	Index        int
+	InterArrival float64         // seconds since the previous arrival
+	UpdateTime   map[int]float64 // workers -> simulated update wall time (seconds)
+}
+
+// Figure8Result holds one series per dataset.
+type Figure8Result struct {
+	Workers []int
+	Series  map[string][]Figure8Point
+}
+
+// RunFigure8 produces, for each arriving edge of a timestamped stream, its
+// inter-arrival gap and the simulated time needed to update betweenness at
+// several cluster sizes (cf. Figure 8).
+func RunFigure8(cfg Config) (*Figure8Result, error) {
+	cfg = cfg.normalized()
+	names := []string{"slashdot", "facebook"}
+	workerCounts := []int{1, 8, 32}
+	if cfg.Quick {
+		names = []string{"slashdot"}
+		workerCounts = []int{1, 4}
+	}
+	res := &Figure8Result{Workers: workerCounts, Series: make(map[string][]Figure8Point)}
+	for _, name := range names {
+		g, _, err := dataset(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		ups, err := additions(g, cfg)
+		if err != nil {
+			return nil, err
+		}
+		profiles, err := ProfileStream(g, ups, false, cfg.ScratchDir)
+		if err != nil {
+			return nil, fmt.Errorf("figure8 %s: %w", name, err)
+		}
+		var totals []float64
+		for _, p := range profiles {
+			totals = append(totals, p.Total().Seconds())
+		}
+		meanGap := Summarize(totals).Median
+		stream := gen.Timestamp(ups, gen.ArrivalModel{MeanGap: meanGap, Burstiness: 0.3}, cfg.Seed+9)
+
+		points := make([]Figure8Point, 0, len(stream))
+		prev := 0.0
+		for i := range stream {
+			pt := Figure8Point{Index: i, InterArrival: stream[i].Time - prev, UpdateTime: make(map[int]float64, len(workerCounts))}
+			prev = stream[i].Time
+			for _, wkr := range workerCounts {
+				pt.UpdateTime[wkr] = profiles[i].SimulatedWall(wkr).Seconds()
+			}
+			points = append(points, pt)
+		}
+		res.Series[name] = points
+	}
+	return res, nil
+}
+
+// Render writes a downsampled series per dataset.
+func (r *Figure8Result) Render(w io.Writer) {
+	for name, points := range r.Series {
+		t := Table{Title: fmt.Sprintf("Figure 8: inter-arrival vs update time (%s)", name)}
+		t.Columns = []string{"edge", "inter-arrival (s)"}
+		for _, wkr := range r.Workers {
+			t.Columns = append(t.Columns, fmt.Sprintf("update t, %d workers (s)", wkr))
+		}
+		step := len(points) / 20
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < len(points); i += step {
+			p := points[i]
+			row := []string{fmt.Sprintf("%d", p.Index), fmt.Sprintf("%.4f", p.InterArrival)}
+			for _, wkr := range r.Workers {
+				row = append(row, fmt.Sprintf("%.4f", p.UpdateTime[wkr]))
+			}
+			t.AddRow(row...)
+		}
+		t.Render(w)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9: Girvan-Newman with incremental edge betweenness.
+// ---------------------------------------------------------------------------
+
+// Figure9Point is the speedup of the incremental Girvan-Newman over the
+// recompute baseline after removing the top-k betweenness edges.
+type Figure9Point struct {
+	Dataset         string
+	EdgesRemoved    int
+	IncrementalTime time.Duration
+	RecomputeTime   time.Duration
+	Speedup         float64
+}
+
+// Figure9Result is the outcome of the Figure 9 experiment.
+type Figure9Result struct {
+	Points []Figure9Point
+}
+
+// RunFigure9 runs the Girvan-Newman decomposition with incrementally
+// maintained edge betweenness and with full recomputation, for increasing
+// numbers of removed top-betweenness edges, and reports the speedup
+// (cf. Figure 9).
+func RunFigure9(cfg Config) (*Figure9Result, error) {
+	cfg = cfg.normalized()
+	datasets := []string{"1k", "10k"}
+	removalCounts := []int{1, 10, 50, 100}
+	if cfg.Quick {
+		datasets = []string{"1k"}
+		removalCounts = []int{1, 5}
+	}
+	res := &Figure9Result{}
+	for _, name := range datasets {
+		g, _, err := dataset(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range removalCounts {
+			if k > g.M() {
+				k = g.M()
+			}
+			start := time.Now()
+			if _, err := community.Detect(g, community.Options{Method: community.Incremental, MaxRemovals: k}); err != nil {
+				return nil, fmt.Errorf("figure9 %s incremental: %w", name, err)
+			}
+			inc := time.Since(start)
+
+			start = time.Now()
+			if _, err := community.Detect(g, community.Options{Method: community.Recompute, MaxRemovals: k}); err != nil {
+				return nil, fmt.Errorf("figure9 %s recompute: %w", name, err)
+			}
+			rec := time.Since(start)
+
+			res.Points = append(res.Points, Figure9Point{
+				Dataset: name, EdgesRemoved: k,
+				IncrementalTime: inc, RecomputeTime: rec,
+				Speedup: float64(rec) / float64(inc),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Render writes the speedup curve.
+func (r *Figure9Result) Render(w io.Writer) {
+	t := Table{
+		Title:   "Figure 9: Girvan-Newman — incremental edge betweenness vs recomputation",
+		Columns: []string{"dataset", "edges removed", "incremental", "recompute", "speedup"},
+	}
+	for _, p := range r.Points {
+		t.AddRow(p.Dataset, fmt.Sprintf("%d", p.EdgesRemoved), D(p.IncrementalTime), D(p.RecomputeTime), F(p.Speedup))
+	}
+	t.Render(w)
+}

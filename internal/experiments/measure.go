@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"streambc/internal/bc"
+	"streambc/internal/bdstore"
+	"streambc/internal/graph"
+	"streambc/internal/incremental"
+)
+
+// Variant identifies the three framework configurations compared in
+// Section 6.1: in memory with predecessor lists (MP), in memory without (MO),
+// and on disk without (DO).
+type Variant int
+
+const (
+	VariantMP Variant = iota
+	VariantMO
+	VariantDO
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case VariantMP:
+		return "MP"
+	case VariantMO:
+		return "MO"
+	case VariantDO:
+		return "DO"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Applier is the common surface of all updater flavours.
+type Applier interface {
+	Apply(graph.Update) error
+}
+
+// NewVariantUpdater builds an updater of the requested variant over g (which
+// it takes ownership of). The returned cleanup function releases any disk
+// resources and must always be called.
+func NewVariantUpdater(g *graph.Graph, v Variant, scratchDir string) (Applier, func(), error) {
+	switch v {
+	case VariantMO:
+		u, err := incremental.NewUpdater(g, bdstore.NewMemStore(g.N()))
+		return u, func() {}, err
+	case VariantMP:
+		u, err := incremental.NewPredUpdater(g, bdstore.NewMemStore(g.N()))
+		return u, func() {}, err
+	case VariantDO:
+		if scratchDir == "" {
+			scratchDir = os.TempDir()
+		}
+		dir, err := os.MkdirTemp(scratchDir, "streambc-do-")
+		if err != nil {
+			return nil, func() {}, err
+		}
+		store, err := bdstore.NewDiskStore(filepath.Join(dir, "bd.bin"), g.N())
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, func() {}, err
+		}
+		u, err := incremental.NewUpdater(g, store)
+		cleanup := func() {
+			store.Close()
+			os.RemoveAll(dir)
+		}
+		if err != nil {
+			cleanup()
+			return nil, func() {}, err
+		}
+		return u, cleanup, nil
+	default:
+		return nil, func() {}, fmt.Errorf("experiments: unknown variant %v", v)
+	}
+}
+
+// MeasureBrandes returns the median wall-clock time of `runs` executions of
+// the from-scratch Brandes algorithm on g. This is the denominator of every
+// speedup reported by the paper.
+func MeasureBrandes(g *graph.Graph, runs int) time.Duration {
+	if runs < 1 {
+		runs = 1
+	}
+	times := make([]float64, 0, runs)
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		bc.Compute(g)
+		times = append(times, time.Since(start).Seconds())
+	}
+	return time.Duration(Summarize(times).Median * float64(time.Second))
+}
+
+// MeasureUpdates applies the stream one update at a time and returns the
+// wall-clock duration of each Apply call.
+func MeasureUpdates(a Applier, updates []graph.Update) ([]time.Duration, error) {
+	out := make([]time.Duration, 0, len(updates))
+	for i, upd := range updates {
+		start := time.Now()
+		if err := a.Apply(upd); err != nil {
+			return nil, fmt.Errorf("experiments: update %d (%v): %w", i, upd, err)
+		}
+		out = append(out, time.Since(start))
+	}
+	return out, nil
+}
+
+// UpdateProfile records how one update's work is distributed over the
+// sources: the processing time of every source (including the cheap skip
+// probe for unaffected ones) plus the time needed to merge the partial scores
+// into the global result. It is the raw material for simulating the
+// shared-nothing cluster of Section 5.2 at any number of workers.
+type UpdateProfile struct {
+	SourceTimes []time.Duration
+	Merge       time.Duration
+}
+
+// Total returns the single-worker processing time of the update.
+func (p UpdateProfile) Total() time.Duration {
+	sum := p.Merge
+	for _, d := range p.SourceTimes {
+		sum += d
+	}
+	return sum
+}
+
+// SimulatedWall returns the simulated wall-clock time of the update when the
+// sources are split into `workers` contiguous partitions processed in
+// parallel on shared-nothing machines: the slowest partition plus the merge.
+func (p UpdateProfile) SimulatedWall(workers int) time.Duration {
+	if workers < 1 {
+		workers = 1
+	}
+	n := len(p.SourceTimes)
+	if workers > n && n > 0 {
+		workers = n
+	}
+	var slowest time.Duration
+	for w := 0; w < workers; w++ {
+		lo, hi := bc.SourceRange(n, workers, w)
+		var sum time.Duration
+		for s := lo; s < hi; s++ {
+			sum += p.SourceTimes[s]
+		}
+		if sum > slowest {
+			slowest = sum
+		}
+	}
+	return slowest + p.Merge
+}
+
+// ProfileStream runs the update stream on a single machine, timing every
+// source of every update separately. useDisk selects the out-of-core store.
+// The profiles can then be replayed at any simulated cluster size with
+// SimulatedWall.
+func ProfileStream(g *graph.Graph, updates []graph.Update, useDisk bool, scratchDir string) ([]UpdateProfile, error) {
+	work := g.Clone()
+	var store incremental.Store
+	var cleanup func()
+	if useDisk {
+		if scratchDir == "" {
+			scratchDir = os.TempDir()
+		}
+		dir, err := os.MkdirTemp(scratchDir, "streambc-profile-")
+		if err != nil {
+			return nil, err
+		}
+		ds, err := bdstore.NewDiskStore(filepath.Join(dir, "bd.bin"), work.N())
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		store = ds
+		cleanup = func() { ds.Close(); os.RemoveAll(dir) }
+	} else {
+		store = bdstore.NewMemStore(work.N())
+		cleanup = func() {}
+	}
+	defer cleanup()
+
+	// Offline step: Brandes per source.
+	res := bc.NewResult(work.N())
+	state := bc.NewSourceState(work.N())
+	var queue []int
+	for s := 0; s < work.N(); s++ {
+		bc.SingleSource(work, s, state, &queue)
+		bc.AccumulateSource(work, s, state, res)
+		if err := store.Save(s, state); err != nil {
+			return nil, err
+		}
+	}
+
+	ws := incremental.NewWorkspace(work.N())
+	rec := bc.NewSourceState(work.N())
+	var distBuf []int32
+	profiles := make([]UpdateProfile, 0, len(updates))
+	directed := work.Directed()
+
+	for i, upd := range updates {
+		if !upd.Remove {
+			if m := max(upd.U, upd.V); m >= work.N() {
+				return nil, fmt.Errorf("experiments: profiling does not support vertex growth (update %d)", i)
+			}
+		}
+		if err := work.Apply(upd); err != nil {
+			return nil, fmt.Errorf("experiments: update %d (%v): %w", i, upd, err)
+		}
+		prof := UpdateProfile{SourceTimes: make([]time.Duration, work.N())}
+		delta := incremental.NewDelta()
+		for s := 0; s < work.N(); s++ {
+			start := time.Now()
+			if err := store.LoadDistances(s, &distBuf); err != nil {
+				return nil, err
+			}
+			if incremental.Affected(distBuf, upd, directed) {
+				if err := store.Load(s, rec); err != nil {
+					return nil, err
+				}
+				if incremental.UpdateSource(work, s, upd, rec, delta, ws) {
+					if err := store.Save(s, rec); err != nil {
+						return nil, err
+					}
+				}
+			}
+			prof.SourceTimes[s] = time.Since(start)
+		}
+		mergeStart := time.Now()
+		delta.ApplyTo(res)
+		if upd.Remove {
+			delete(res.EBC, bc.EdgeKey(work, upd.U, upd.V))
+		}
+		prof.Merge = time.Since(mergeStart)
+		profiles = append(profiles, prof)
+	}
+	return profiles, nil
+}

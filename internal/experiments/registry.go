@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Renderer is implemented by every experiment result.
+type Renderer interface {
+	Render(w io.Writer)
+}
+
+// runner couples a name with its driver.
+type runner struct {
+	name        string
+	description string
+	run         func(Config) (Renderer, error)
+}
+
+var registry = []runner{
+	{"table2", "dataset statistics (paper vs generated stand-ins)", func(c Config) (Renderer, error) { return RunTable2(c) }},
+	{"table3", "speedup on small graphs, MO vs related work", func(c Config) (Renderer, error) { return RunTable3(c) }},
+	{"table4", "min/median/max speedups, additions and removals (DO)", func(c Config) (Renderer, error) { return RunTable4(c) }},
+	{"table5", "online updates missed vs cluster size", func(c Config) (Renderer, error) { return RunTable5(c) }},
+	{"fig5", "speedup CDFs of MP/MO/DO on a single machine", func(c Config) (Renderer, error) { return RunFigure5(c) }},
+	{"fig6", "speedup CDFs of DO, additions/removals, synthetic/real", func(c Config) (Renderer, error) { return RunFigure6(c) }},
+	{"fig7", "strong and weak scaling on the simulated cluster", func(c Config) (Renderer, error) { return RunFigure7(c) }},
+	{"fig8", "inter-arrival vs update time for arriving edges", func(c Config) (Renderer, error) { return RunFigure8(c) }},
+	{"fig9", "Girvan-Newman with incremental edge betweenness", func(c Config) (Renderer, error) { return RunFigure9(c) }},
+}
+
+// Names returns the available experiment identifiers in run order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, r := range registry {
+		out[i] = r.name
+	}
+	return out
+}
+
+// Describe returns a map from experiment name to a one-line description.
+func Describe() map[string]string {
+	out := make(map[string]string, len(registry))
+	for _, r := range registry {
+		out[r.name] = r.description
+	}
+	return out
+}
+
+// Run executes the named experiment (or every experiment for "all") and
+// renders the results to w.
+func Run(name string, cfg Config, w io.Writer) error {
+	if name == "all" {
+		for _, r := range registry {
+			fmt.Fprintf(w, "== %s: %s ==\n\n", r.name, r.description)
+			res, err := r.run(cfg)
+			if err != nil {
+				return fmt.Errorf("experiments: %s: %w", r.name, err)
+			}
+			res.Render(w)
+		}
+		return nil
+	}
+	for _, r := range registry {
+		if r.name == name {
+			res, err := r.run(cfg)
+			if err != nil {
+				return fmt.Errorf("experiments: %s: %w", r.name, err)
+			}
+			res.Render(w)
+			return nil
+		}
+	}
+	valid := Names()
+	sort.Strings(valid)
+	return fmt.Errorf("experiments: unknown experiment %q (available: %v, or \"all\")", name, valid)
+}

@@ -1,0 +1,174 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (Section 6), the measurement machinery they share, and
+// plain-text renderers used by cmd/bcbench and the repository benchmarks.
+//
+// Absolute numbers differ from the paper (the graphs are scaled down and the
+// hardware is a small container rather than a Hadoop cluster — see DESIGN.md
+// for the substitutions), but each driver reproduces the *shape* of the
+// corresponding result: which configuration wins, by roughly what factor, and
+// how the metric moves along the swept parameter.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	Min, Median, Mean, Max float64
+}
+
+// Summarize computes order statistics of values (which it does not modify).
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	return Summary{
+		Min:    sorted[0],
+		Median: Percentile(sorted, 0.5),
+		Mean:   sum / float64(len(sorted)),
+		Max:    sorted[len(sorted)-1],
+	}
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) of an ascending-sorted
+// sample using nearest-rank interpolation.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CDFPoint is one point of an empirical cumulative distribution function.
+type CDFPoint struct {
+	Value float64 // x: the sample value
+	P     float64 // y: fraction of samples <= Value
+}
+
+// CDF computes the empirical CDF of values, downsampled to at most points
+// entries (all entries when points <= 0).
+func CDF(values []float64, points int) []CDFPoint {
+	if len(values) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if points <= 0 || points > n {
+		points = n
+	}
+	out := make([]CDFPoint, 0, points)
+	for i := 0; i < points; i++ {
+		idx := (i + 1) * n / points
+		if idx > n {
+			idx = n
+		}
+		out = append(out, CDFPoint{Value: sorted[idx-1], P: float64(idx) / float64(n)})
+	}
+	return out
+}
+
+// Speedups converts a per-update duration series into speedups over a
+// baseline duration.
+func Speedups(baseline time.Duration, updates []time.Duration) []float64 {
+	out := make([]float64, 0, len(updates))
+	for _, d := range updates {
+		if d <= 0 {
+			d = time.Nanosecond
+		}
+		out = append(out, float64(baseline)/float64(d))
+	}
+	return out
+}
+
+// Table is a minimal fixed-width text table used by every experiment
+// renderer.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of already formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table in aligned plain text.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+			} else {
+				parts[i] = cell
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// F formats a float with sensible precision for the experiment tables.
+func F(x float64) string {
+	switch {
+	case x == 0:
+		return "0"
+	case math.Abs(x) >= 100:
+		return fmt.Sprintf("%.0f", x)
+	case math.Abs(x) >= 1:
+		return fmt.Sprintf("%.1f", x)
+	default:
+		return fmt.Sprintf("%.3f", x)
+	}
+}
+
+// D formats a duration in seconds with millisecond precision.
+func D(d time.Duration) string { return fmt.Sprintf("%.3fs", d.Seconds()) }

@@ -1,0 +1,390 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"streambc/internal/gen"
+	"streambc/internal/graph"
+)
+
+// ---------------------------------------------------------------------------
+// Table 2: description of the graphs used.
+// ---------------------------------------------------------------------------
+
+// Table2Row compares a dataset as reported by the paper with the generated
+// stand-in actually used by this reproduction.
+type Table2Row struct {
+	Name      string
+	Kind      string
+	Paper     gen.PaperStats
+	Generated graph.Stats
+}
+
+// Table2Result is the outcome of the Table 2 experiment.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+var table2Datasets = []string{
+	"1k", "10k", "100k", "1000k",
+	"wikielections", "slashdot", "facebook", "epinions", "dblp", "amazon",
+}
+
+// RunTable2 builds every dataset of Table 2 and measures its structural
+// statistics.
+func RunTable2(cfg Config) (*Table2Result, error) {
+	cfg = cfg.normalized()
+	names := table2Datasets
+	if cfg.Quick {
+		names = []string{"1k", "wikielections", "amazon"}
+	}
+	res := &Table2Result{}
+	for i, name := range names {
+		g, preset, err := dataset(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		sample := 400
+		if cfg.Quick {
+			sample = 100
+		}
+		st := g.ComputeStats(sample, cfg.Seed+int64(i))
+		res.Rows = append(res.Rows, Table2Row{Name: name, Kind: preset.Kind, Paper: preset.Paper, Generated: st})
+	}
+	return res, nil
+}
+
+// Render writes the result as a plain-text table.
+func (r *Table2Result) Render(w io.Writer) {
+	t := Table{
+		Title:   "Table 2: datasets (paper scale vs generated stand-in)",
+		Columns: []string{"dataset", "kind", "paper |V|", "paper |E|", "paper AD", "paper CC", "paper ED", "gen |V|", "gen |E|", "gen AD", "gen CC", "gen ED"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Name, row.Kind,
+			fmt.Sprintf("%d", row.Paper.V), fmt.Sprintf("%d", row.Paper.E),
+			F(row.Paper.AvgDegree), F(row.Paper.CC), F(row.Paper.ED),
+			fmt.Sprintf("%d", row.Generated.N), fmt.Sprintf("%d", row.Generated.M),
+			F(row.Generated.AvgDegree), F(row.Generated.Clustering), F(row.Generated.EffectiveDiameter))
+	}
+	t.Render(w)
+}
+
+// ---------------------------------------------------------------------------
+// Table 3: speedup of the MO configuration on small graphs, next to the
+// speedups reported by related work.
+// ---------------------------------------------------------------------------
+
+// Table3Row is one dataset of Table 3.
+type Table3Row struct {
+	Name     string
+	Vertices int
+	Edges    int
+	Avg      float64
+	Max      float64
+	// Reported speedups of related work on the original datasets, straight
+	// from the paper (we cannot rerun those systems): Kas et al. [21],
+	// QUBE [24], Green et al. [17]. Zero means "not reported".
+	Kas, Qube, Green float64
+}
+
+// Table3Result is the outcome of the Table 3 experiment.
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+var table3Related = map[string][3]float64{ // [21], [24], [17]
+	"wikivote":    {3, 0, 0},
+	"contact":     {4, 0, 0},
+	"fb-like":     {18, 0, 0},
+	"ca-grqc":     {68, 2, 40},
+	"ca-hepth":    {358, 0, 40},
+	"adjnoun":     {20, 0, 0},
+	"ca-condmat":  {109, 0, 0},
+	"as-22july06": {61, 0, 0},
+	"slashdot":    {0, 0, 0},
+}
+
+var table3Datasets = []string{
+	"wikivote", "contact", "fb-like", "ca-grqc", "ca-hepth", "adjnoun", "ca-condmat", "as-22july06", "slashdot",
+}
+
+// RunTable3 measures the average and maximum speedup of the MO configuration
+// over Brandes for 100 edge additions on the small graphs of Table 3.
+func RunTable3(cfg Config) (*Table3Result, error) {
+	cfg = cfg.normalized()
+	names := table3Datasets
+	if cfg.Quick {
+		names = []string{"adjnoun", "ca-grqc"}
+	}
+	res := &Table3Result{}
+	for _, name := range names {
+		g, _, err := dataset(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		ups, err := additions(g, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("table3 %s: %w", name, err)
+		}
+		baseline := MeasureBrandes(g, cfg.BrandesRuns)
+		upd, cleanup, err := NewVariantUpdater(g.Clone(), VariantMO, cfg.ScratchDir)
+		if err != nil {
+			return nil, err
+		}
+		times, err := MeasureUpdates(upd, ups)
+		cleanup()
+		if err != nil {
+			return nil, fmt.Errorf("table3 %s: %w", name, err)
+		}
+		sp := Summarize(Speedups(baseline, times))
+		related := table3Related[name]
+		res.Rows = append(res.Rows, Table3Row{
+			Name: name, Vertices: g.N(), Edges: g.M(),
+			Avg: sp.Mean, Max: sp.Max,
+			Kas: related[0], Qube: related[1], Green: related[2],
+		})
+	}
+	return res, nil
+}
+
+// Render writes the result as a plain-text table.
+func (r *Table3Result) Render(w io.Writer) {
+	t := Table{
+		Title:   "Table 3: speedup over Brandes on small graphs (MO, edge additions)",
+		Columns: []string{"dataset", "|V|", "|E|", "MO avg", "MO max", "Kas'13 [21]", "QUBE [24]", "Green'12 [17]"},
+	}
+	fmtRelated := func(x float64) string {
+		if x == 0 {
+			return "-"
+		}
+		return F(x)
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Name, fmt.Sprintf("%d", row.Vertices), fmt.Sprintf("%d", row.Edges),
+			F(row.Avg), F(row.Max), fmtRelated(row.Kas), fmtRelated(row.Qube), fmtRelated(row.Green))
+	}
+	t.Render(w)
+}
+
+// ---------------------------------------------------------------------------
+// Table 4: summary of key speedup results (min/median/max for additions and
+// removals, DO configuration).
+// ---------------------------------------------------------------------------
+
+// Table4Row is one dataset of Table 4.
+type Table4Row struct {
+	Name     string
+	Addition Summary
+	Removal  Summary
+	// PaperAddMed / PaperRemMed are the median speedups reported by the paper
+	// for context (addition / removal).
+	PaperAddMed float64
+	PaperRemMed float64
+}
+
+// Table4Result is the outcome of the Table 4 experiment.
+type Table4Result struct {
+	Rows []Table4Row
+}
+
+var table4Paper = map[string][2]float64{
+	"1k": {12, 10}, "10k": {34, 35}, "100k": {49, 45}, "1000k": {10, 12},
+	"wikielections": {47, 45}, "slashdot": {25, 24}, "facebook": {66, 102},
+	"epinions": {56, 45}, "dblp": {8, 8}, "amazon": {4, 3},
+}
+
+// RunTable4 measures min/median/max speedups of the DO configuration over
+// Brandes for edge additions and removals on every dataset of Table 4.
+func RunTable4(cfg Config) (*Table4Result, error) {
+	cfg = cfg.normalized()
+	names := table2Datasets
+	if cfg.Quick {
+		names = []string{"1k", "wikielections"}
+	}
+	res := &Table4Result{}
+	for _, name := range names {
+		g, _, err := dataset(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		baseline := MeasureBrandes(g, cfg.BrandesRuns)
+
+		adds, err := additions(g, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("table4 %s: %w", name, err)
+		}
+		addTimes, err := measureVariant(g, VariantDO, adds, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("table4 %s additions: %w", name, err)
+		}
+
+		rems, err := removals(g, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("table4 %s: %w", name, err)
+		}
+		remTimes, err := measureVariant(g, VariantDO, rems, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("table4 %s removals: %w", name, err)
+		}
+
+		paper := table4Paper[name]
+		res.Rows = append(res.Rows, Table4Row{
+			Name:        name,
+			Addition:    Summarize(Speedups(baseline, addTimes)),
+			Removal:     Summarize(Speedups(baseline, remTimes)),
+			PaperAddMed: paper[0],
+			PaperRemMed: paper[1],
+		})
+	}
+	return res, nil
+}
+
+func measureVariant(g *graph.Graph, v Variant, ups []graph.Update, cfg Config) ([]time.Duration, error) {
+	upd, cleanup, err := NewVariantUpdater(g.Clone(), v, cfg.ScratchDir)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	return MeasureUpdates(upd, ups)
+}
+
+// Render writes the result as a plain-text table.
+func (r *Table4Result) Render(w io.Writer) {
+	t := Table{
+		Title: "Table 4: key speedups over Brandes (DO configuration)",
+		Columns: []string{"dataset",
+			"add min", "add med", "add max",
+			"rem min", "rem med", "rem max",
+			"paper add med", "paper rem med"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Name,
+			F(row.Addition.Min), F(row.Addition.Median), F(row.Addition.Max),
+			F(row.Removal.Min), F(row.Removal.Median), F(row.Removal.Max),
+			F(row.PaperAddMed), F(row.PaperRemMed))
+	}
+	t.Render(w)
+}
+
+// ---------------------------------------------------------------------------
+// Table 5: online updates missed and average delay vs number of workers.
+// ---------------------------------------------------------------------------
+
+// Table5Row reports the online behaviour of one dataset at one worker count.
+type Table5Row struct {
+	Name           string
+	Workers        int
+	MissedFraction float64
+	AvgDelay       float64 // seconds
+	// PaperMissedPct is the paper's reported % of missed edges at the nearest
+	// configuration, for context (0 when not reported).
+	PaperMissedPct float64
+}
+
+// Table5Result is the outcome of the Table 5 experiment.
+type Table5Result struct {
+	Rows []Table5Row
+}
+
+var table5Paper = map[string]map[int]float64{
+	"slashdot": {1: 44.565, 8: 1.087},
+	"facebook": {1: 69.697, 8: 19.192, 16: 3.030, 32: 1.010},
+}
+
+// RunTable5 replays a timestamped addition stream for the slashdot and
+// facebook stand-ins against a simulated shared-nothing cluster of increasing
+// size, reporting the fraction of updates whose new scores were not ready
+// before the next arrival and their average delay (cf. Table 5; the worker
+// counts are scaled down together with the graphs).
+func RunTable5(cfg Config) (*Table5Result, error) {
+	cfg = cfg.normalized()
+	names := []string{"slashdot", "facebook"}
+	workerCounts := []int{1, 2, 4, 8, 16, 32}
+	if cfg.Quick {
+		names = []string{"slashdot"}
+		workerCounts = []int{1, 4}
+	}
+	res := &Table5Result{}
+	for _, name := range names {
+		g, _, err := dataset(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		ups, err := additions(g, cfg)
+		if err != nil {
+			return nil, err
+		}
+		profiles, err := ProfileStream(g, ups, false, cfg.ScratchDir)
+		if err != nil {
+			return nil, fmt.Errorf("table5 %s: %w", name, err)
+		}
+		// Calibrate the synthetic arrival process so that the single-worker
+		// processing rate cannot keep up (as with the real traces in the
+		// paper) while a moderately sized cluster can.
+		var totals []float64
+		for _, p := range profiles {
+			totals = append(totals, p.Total().Seconds())
+		}
+		meanGap := Summarize(totals).Median / 3
+		stream := gen.Timestamp(ups, gen.ArrivalModel{MeanGap: meanGap, Burstiness: 0.2}, cfg.Seed+7)
+
+		for _, workers := range workerCounts {
+			missed, avgDelay := simulateOnline(profiles, stream, workers)
+			res.Rows = append(res.Rows, Table5Row{
+				Name:           name,
+				Workers:        workers,
+				MissedFraction: missed,
+				AvgDelay:       avgDelay,
+				PaperMissedPct: table5Paper[name][workers],
+			})
+		}
+	}
+	return res, nil
+}
+
+// simulateOnline replays the stream against simulated wall-clock times for
+// the given cluster size and returns the missed fraction and average delay.
+func simulateOnline(profiles []UpdateProfile, stream []graph.Update, workers int) (missedFraction, avgDelay float64) {
+	clock := 0.0
+	missed := 0
+	var delaySum float64
+	for i := range profiles {
+		arrival := stream[i].Time
+		begin := arrival
+		if clock > begin {
+			begin = clock
+		}
+		completed := begin + profiles[i].SimulatedWall(workers).Seconds()
+		clock = completed
+		if i+1 < len(stream) && completed > stream[i+1].Time {
+			missed++
+			delaySum += completed - stream[i+1].Time
+		}
+	}
+	if len(profiles) > 0 {
+		missedFraction = float64(missed) / float64(len(profiles))
+	}
+	if missed > 0 {
+		avgDelay = delaySum / float64(missed)
+	}
+	return missedFraction, avgDelay
+}
+
+// Render writes the result as a plain-text table.
+func (r *Table5Result) Render(w io.Writer) {
+	t := Table{
+		Title:   "Table 5: online updates missed and average delay vs cluster size (simulated shared-nothing cluster)",
+		Columns: []string{"dataset", "workers", "% missed", "avg delay (s)", "paper % missed"},
+	}
+	for _, row := range r.Rows {
+		paper := "-"
+		if row.PaperMissedPct > 0 {
+			paper = F(row.PaperMissedPct)
+		}
+		t.AddRow(row.Name, fmt.Sprintf("%d", row.Workers), F(row.MissedFraction*100), fmt.Sprintf("%.3f", row.AvgDelay), paper)
+	}
+	t.Render(w)
+}

@@ -1,0 +1,243 @@
+package gen
+
+import (
+	"testing"
+
+	"streambc/internal/graph"
+)
+
+func TestErdosRenyiEdgeCount(t *testing.T) {
+	g := ErdosRenyi(100, 300, 1)
+	if g.N() != 100 || g.M() != 300 {
+		t.Fatalf("n=%d m=%d, want 100 and 300", g.N(), g.M())
+	}
+	// Edge count capped at the complete graph.
+	g2 := ErdosRenyi(5, 100, 1)
+	if g2.M() != 10 {
+		t.Fatalf("capped m=%d, want 10", g2.M())
+	}
+}
+
+func TestBarabasiAlbertDegreeSkew(t *testing.T) {
+	g := BarabasiAlbert(500, 3, 2)
+	if g.N() != 500 {
+		t.Fatalf("n=%d", g.N())
+	}
+	if g.MaxDegree() < 15 {
+		t.Fatalf("preferential attachment should produce hubs, max degree = %d", g.MaxDegree())
+	}
+	st := g.ComputeStats(200, 1)
+	if st.AvgDegree < 4 || st.AvgDegree > 8 {
+		t.Fatalf("avg degree = %g, want around 6", st.AvgDegree)
+	}
+}
+
+func TestHolmeKimClustering(t *testing.T) {
+	low := HolmeKim(600, 4, 0.0, 3)
+	high := HolmeKim(600, 4, 0.9, 3)
+	ccLow := low.ClusteringCoefficient(300, 1)
+	ccHigh := high.ClusteringCoefficient(300, 1)
+	if ccHigh <= ccLow {
+		t.Fatalf("triad closure should increase clustering: %g <= %g", ccHigh, ccLow)
+	}
+	if ccHigh < 0.1 {
+		t.Fatalf("high-closure clustering too low: %g", ccHigh)
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	g := WattsStrogatz(200, 6, 0.1, 4)
+	if g.N() != 200 {
+		t.Fatalf("n=%d", g.N())
+	}
+	st := g.ComputeStats(100, 1)
+	if st.AvgDegree < 4 || st.AvgDegree > 7 {
+		t.Fatalf("avg degree = %g", st.AvgDegree)
+	}
+	if st.Clustering < 0.2 {
+		t.Fatalf("lattice clustering too low: %g", st.Clustering)
+	}
+}
+
+func TestPlantedPartition(t *testing.T) {
+	g, truth := PlantedPartition(3, 20, 0.5, 0.01, 5)
+	if g.N() != 60 || len(truth) != 60 {
+		t.Fatalf("n=%d len(truth)=%d", g.N(), len(truth))
+	}
+	if truth[0] != 0 || truth[59] != 2 {
+		t.Fatalf("truth assignment wrong: %v", truth)
+	}
+	// Intra-community edges must dominate.
+	intra, inter := 0, 0
+	for _, e := range g.Edges() {
+		if truth[e.U] == truth[e.V] {
+			intra++
+		} else {
+			inter++
+		}
+	}
+	if intra <= inter*3 {
+		t.Fatalf("expected strongly intra-connected communities, intra=%d inter=%d", intra, inter)
+	}
+}
+
+func TestConnectedExtractsLCC(t *testing.T) {
+	g := graph.New(10)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {3, 4}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lcc := Connected(g)
+	if lcc.N() != 3 || !lcc.IsConnected() {
+		t.Fatalf("LCC n=%d connected=%v", lcc.N(), lcc.IsConnected())
+	}
+}
+
+func TestPresets(t *testing.T) {
+	if len(Presets()) < 10 {
+		t.Fatalf("expected at least 10 presets, got %d", len(Presets()))
+	}
+	if _, err := GetPreset("nope"); err == nil {
+		t.Fatal("expected error for unknown preset")
+	}
+	p, err := GetPreset("1k")
+	if err != nil {
+		t.Fatalf("GetPreset: %v", err)
+	}
+	g := p.Build(1)
+	if !g.IsConnected() {
+		t.Fatal("preset graph must be connected")
+	}
+	if g.N() < 900 || g.N() > 1000 {
+		t.Fatalf("preset 1k size = %d", g.N())
+	}
+	st := g.ComputeStats(300, 1)
+	if st.AvgDegree < 8 || st.AvgDegree > 16 {
+		t.Fatalf("preset 1k avg degree = %g, want close to 11.8", st.AvgDegree)
+	}
+	if st.Clustering < 0.1 {
+		t.Fatalf("preset 1k clustering = %g, want social-like clustering", st.Clustering)
+	}
+	if _, err := BuildPreset("adjnoun", 2); err != nil {
+		t.Fatalf("BuildPreset: %v", err)
+	}
+	if len(PresetNames()) != len(Presets()) {
+		t.Fatal("PresetNames and Presets disagree")
+	}
+}
+
+func TestRandomAdditions(t *testing.T) {
+	g := ErdosRenyi(50, 100, 7)
+	ups, err := RandomAdditions(g, 30, 1)
+	if err != nil {
+		t.Fatalf("RandomAdditions: %v", err)
+	}
+	if len(ups) != 30 {
+		t.Fatalf("got %d updates", len(ups))
+	}
+	seen := map[graph.Edge]bool{}
+	for _, u := range ups {
+		if u.Remove {
+			t.Fatalf("unexpected removal %v", u)
+		}
+		if g.HasEdge(u.U, u.V) {
+			t.Fatalf("addition %v targets an existing edge", u)
+		}
+		key := u.Edge().Canonical()
+		if seen[key] {
+			t.Fatalf("duplicate addition %v", u)
+		}
+		seen[key] = true
+	}
+	// Too many requested additions on a tiny clique must fail.
+	clique := ErdosRenyi(4, 6, 1)
+	if _, err := RandomAdditions(clique, 10, 1); err == nil {
+		t.Fatal("expected error when not enough unconnected pairs exist")
+	}
+}
+
+func TestRandomRemovals(t *testing.T) {
+	g := ErdosRenyi(50, 100, 9)
+	ups, err := RandomRemovals(g, 20, 2)
+	if err != nil {
+		t.Fatalf("RandomRemovals: %v", err)
+	}
+	if len(ups) != 20 {
+		t.Fatalf("got %d", len(ups))
+	}
+	seen := map[graph.Edge]bool{}
+	for _, u := range ups {
+		if !u.Remove || !g.HasEdge(u.U, u.V) {
+			t.Fatalf("bad removal %v", u)
+		}
+		key := u.Edge().Canonical()
+		if seen[key] {
+			t.Fatalf("duplicate removal %v", u)
+		}
+		seen[key] = true
+	}
+	if _, err := RandomRemovals(g, g.M()+1, 2); err == nil {
+		t.Fatal("expected error when removing more edges than exist")
+	}
+}
+
+func TestMixedStreamIsReplayable(t *testing.T) {
+	g := ErdosRenyi(40, 80, 11)
+	ups, err := MixedStream(g, 60, 0.4, 3)
+	if err != nil {
+		t.Fatalf("MixedStream: %v", err)
+	}
+	replay := g.Clone()
+	for i, u := range ups {
+		if err := replay.Apply(u); err != nil {
+			t.Fatalf("update %d (%v) not replayable: %v", i, u, err)
+		}
+	}
+}
+
+func TestTimestampMonotonic(t *testing.T) {
+	g := ErdosRenyi(30, 60, 13)
+	ups, err := RandomAdditions(g, 25, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stamped := Timestamp(ups, ArrivalModel{MeanGap: 2, Burstiness: 0.2}, 7)
+	if len(stamped) != len(ups) {
+		t.Fatalf("length changed")
+	}
+	prev := 0.0
+	for i, u := range stamped {
+		if u.Time <= prev {
+			t.Fatalf("timestamps not strictly increasing at %d: %g <= %g", i, u.Time, prev)
+		}
+		prev = u.Time
+	}
+	// The original stream must be untouched.
+	if ups[0].Time != 0 {
+		t.Fatal("Timestamp mutated its input")
+	}
+}
+
+func TestGrowthStream(t *testing.T) {
+	g := ErdosRenyi(40, 120, 17)
+	start, ups, err := GrowthStream(g, 0.5, 3)
+	if err != nil {
+		t.Fatalf("GrowthStream: %v", err)
+	}
+	if start.M()+len(ups) != g.M() {
+		t.Fatalf("edges do not add up: %d + %d != %d", start.M(), len(ups), g.M())
+	}
+	replay := start.Clone()
+	for _, u := range ups {
+		if err := replay.Apply(u); err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+	}
+	if replay.M() != g.M() {
+		t.Fatalf("replayed graph has %d edges, want %d", replay.M(), g.M())
+	}
+	if _, _, err := GrowthStream(g, 1.5, 3); err == nil {
+		t.Fatal("expected error for invalid warmup fraction")
+	}
+}

@@ -1,0 +1,184 @@
+// Package gen builds the synthetic graphs and update streams used by the
+// experiments. It provides the classic random-graph models (Erdős–Rényi,
+// Barabási–Albert, Watts–Strogatz), the Holme–Kim model (preferential
+// attachment with triad closure, our stand-in for the measurement-calibrated
+// social-graph generator used in the paper), a planted-partition model for
+// the community-detection use case, and the dataset presets that mirror
+// Table 2 at laptop scale.
+package gen
+
+import (
+	"math/rand"
+
+	"streambc/internal/graph"
+)
+
+// ErdosRenyi generates a G(n, m)-style random graph with exactly m distinct
+// edges chosen uniformly at random (self loops excluded).
+func ErdosRenyi(n, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	maxEdges := n * (n - 1) / 2
+	if m > maxEdges {
+		m = maxEdges
+	}
+	for g.M() < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		mustAdd(g, u, v)
+	}
+	return g
+}
+
+// BarabasiAlbert generates a preferential-attachment graph: vertices join one
+// at a time and attach to k existing vertices chosen proportionally to their
+// degree. The result has roughly k*n edges and a heavy-tailed degree
+// distribution.
+func BarabasiAlbert(n, k int, seed int64) *graph.Graph {
+	return HolmeKim(n, k, 0, seed)
+}
+
+// HolmeKim generates a Holme–Kim graph: preferential attachment where, after
+// each preferential link, a triad-closure step connects the newcomer to a
+// random neighbour of the vertex it just attached to with probability p.
+// Larger p yields larger clustering coefficients at the same density, which
+// is what makes this model a good substitute for the measurement-calibrated
+// social-graph generator used by the paper (degree distribution and
+// clustering similar to real social graphs).
+func HolmeKim(n, k int, p float64, seed int64) *graph.Graph {
+	if k < 1 {
+		k = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+
+	// Repeated-vertex list for preferential sampling: every endpoint of every
+	// edge appears once, so sampling uniformly from it is degree-biased.
+	var targets []int
+
+	// Seed clique of k+1 vertices.
+	seedSize := k + 1
+	if seedSize > n {
+		seedSize = n
+	}
+	for i := 0; i < seedSize; i++ {
+		for j := i + 1; j < seedSize; j++ {
+			mustAdd(g, i, j)
+			targets = append(targets, i, j)
+		}
+	}
+
+	for v := seedSize; v < n; v++ {
+		attached := make(map[int]bool, k)
+		var last int = -1
+		for len(attached) < k && len(attached) < v {
+			var t int
+			if last >= 0 && p > 0 && rng.Float64() < p {
+				// Triad closure: pick a neighbour of the last attached vertex.
+				neigh := g.Neighbors(last)
+				if len(neigh) > 0 {
+					t = neigh[rng.Intn(len(neigh))]
+				} else {
+					t = targets[rng.Intn(len(targets))]
+				}
+			} else if len(targets) > 0 {
+				t = targets[rng.Intn(len(targets))]
+			} else {
+				t = rng.Intn(v)
+			}
+			if t == v || attached[t] {
+				continue
+			}
+			attached[t] = true
+			mustAdd(g, v, t)
+			targets = append(targets, v, t)
+			last = t
+		}
+	}
+	return g
+}
+
+// WattsStrogatz generates a small-world graph: a ring lattice where every
+// vertex is connected to its k nearest neighbours (k even), with each edge
+// rewired to a random endpoint with probability beta.
+func WattsStrogatz(n, k int, beta float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	if k >= n {
+		k = n - 1
+	}
+	half := k / 2
+	if half < 1 {
+		half = 1
+	}
+	for v := 0; v < n; v++ {
+		for j := 1; j <= half; j++ {
+			w := (v + j) % n
+			if v == w || g.HasEdge(v, w) {
+				continue
+			}
+			mustAdd(g, v, w)
+		}
+	}
+	// Rewire.
+	for _, e := range g.Edges() {
+		if rng.Float64() >= beta {
+			continue
+		}
+		// Replace e with an edge from e.U to a random vertex.
+		w := rng.Intn(n)
+		if w == e.U || g.HasEdge(e.U, w) {
+			continue
+		}
+		if err := g.RemoveEdge(e.U, e.V); err != nil {
+			continue
+		}
+		mustAdd(g, e.U, w)
+	}
+	return g
+}
+
+// PlantedPartition generates a graph with `communities` groups of `size`
+// vertices each; vertices in the same group are connected with probability
+// pIn and vertices in different groups with probability pOut. It returns the
+// graph and the ground-truth community of each vertex. It is used to exercise
+// the Girvan-Newman use case.
+func PlantedPartition(communities, size int, pIn, pOut float64, seed int64) (*graph.Graph, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	n := communities * size
+	g := graph.New(n)
+	truth := make([]int, n)
+	for v := 0; v < n; v++ {
+		truth[v] = v / size
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := pOut
+			if truth[u] == truth[v] {
+				p = pIn
+			}
+			if rng.Float64() < p {
+				mustAdd(g, u, v)
+			}
+		}
+	}
+	return g, truth
+}
+
+// Connected returns the largest connected component of g, relabelled to
+// contiguous identifiers. Generators can produce a handful of stray
+// components; experiments follow the paper and work on the LCC.
+func Connected(g *graph.Graph) *graph.Graph {
+	lcc, _ := g.LargestComponent()
+	return lcc
+}
+
+func mustAdd(g *graph.Graph, u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		// The generators only call mustAdd with valid, non-duplicate pairs;
+		// an error here is a programming bug.
+		panic(err)
+	}
+}

@@ -1,0 +1,159 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"streambc/internal/graph"
+)
+
+// RandomAdditions builds an update stream of count edge additions between
+// uniformly chosen pairs of vertices that are not connected in g (the
+// workload used for the synthetic graphs in Section 6: "connecting 100 random
+// unconnected pairs of vertices"). The graph itself is not modified; the
+// returned updates are meant to be replayed against it.
+func RandomAdditions(g *graph.Graph, count int, seed int64) ([]graph.Update, error) {
+	rng := rand.New(rand.NewSource(seed))
+	n := g.N()
+	if n < 2 {
+		return nil, fmt.Errorf("gen: graph too small for additions (n=%d)", n)
+	}
+	seen := make(map[graph.Edge]bool, count)
+	updates := make([]graph.Update, 0, count)
+	attempts := 0
+	maxAttempts := count * 1000
+	for len(updates) < count {
+		attempts++
+		if attempts > maxAttempts {
+			return nil, fmt.Errorf("gen: could not find %d unconnected pairs (found %d)", count, len(updates))
+		}
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		key := (graph.Edge{U: u, V: v}).Canonical()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		updates = append(updates, graph.Addition(u, v))
+	}
+	return updates, nil
+}
+
+// RandomRemovals builds an update stream of count removals of distinct
+// existing edges chosen uniformly at random.
+func RandomRemovals(g *graph.Graph, count int, seed int64) ([]graph.Update, error) {
+	edges := g.Edges()
+	if count > len(edges) {
+		return nil, fmt.Errorf("gen: cannot remove %d edges from a graph with %d", count, len(edges))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(edges))
+	updates := make([]graph.Update, count)
+	for i := 0; i < count; i++ {
+		e := edges[perm[i]]
+		updates[i] = graph.Removal(e.U, e.V)
+	}
+	return updates, nil
+}
+
+// MixedStream interleaves additions and removals: each update is a removal
+// with probability removeFraction (as long as previously added or original
+// edges are available), otherwise an addition of an unconnected pair. The
+// stream is valid when replayed in order starting from g.
+func MixedStream(g *graph.Graph, count int, removeFraction float64, seed int64) ([]graph.Update, error) {
+	rng := rand.New(rand.NewSource(seed))
+	sim := g.Clone()
+	updates := make([]graph.Update, 0, count)
+	attempts := 0
+	for len(updates) < count {
+		attempts++
+		if attempts > count*1000 {
+			return nil, fmt.Errorf("gen: unable to build mixed stream of %d updates", count)
+		}
+		if rng.Float64() < removeFraction && sim.M() > 0 {
+			edges := sim.Edges()
+			e := edges[rng.Intn(len(edges))]
+			if err := sim.RemoveEdge(e.U, e.V); err != nil {
+				return nil, err
+			}
+			updates = append(updates, graph.Removal(e.U, e.V))
+			continue
+		}
+		u, v := rng.Intn(sim.N()), rng.Intn(sim.N())
+		if u == v || sim.HasEdge(u, v) {
+			continue
+		}
+		if err := sim.AddEdge(u, v); err != nil {
+			return nil, err
+		}
+		updates = append(updates, graph.Addition(u, v))
+	}
+	return updates, nil
+}
+
+// ArrivalModel describes how inter-arrival times are drawn when stamping an
+// update stream with arrival times.
+type ArrivalModel struct {
+	// MeanGap is the average inter-arrival time in seconds.
+	MeanGap float64
+	// Burstiness in [0,1): 0 yields exponential (Poisson) arrivals; larger
+	// values mix in heavy-tailed gaps (long quiet periods followed by bursts),
+	// which is what real edge streams such as the paper's facebook and
+	// slashdot traces look like.
+	Burstiness float64
+}
+
+// Timestamp assigns arrival times to a copy of the updates according to the
+// arrival model. Times are seconds from the start of the stream and strictly
+// increasing.
+func Timestamp(updates []graph.Update, model ArrivalModel, seed int64) []graph.Update {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]graph.Update, len(updates))
+	copy(out, updates)
+	t := 0.0
+	for i := range out {
+		gap := rng.ExpFloat64() * model.MeanGap
+		if model.Burstiness > 0 && rng.Float64() < model.Burstiness {
+			// Heavy tail: Pareto-like long gap.
+			gap = model.MeanGap * math.Pow(1/(1-rng.Float64()), 1.5)
+		}
+		if gap < 1e-6 {
+			gap = 1e-6
+		}
+		t += gap
+		out[i].Time = t
+	}
+	return out
+}
+
+// GrowthStream builds a stream that replays the construction of g edge by
+// edge in a randomised order (the "real arrival time" workload of the paper,
+// where each edge carries its arrival timestamp). The stream starts from the
+// subgraph containing a warmup fraction of the edges; the returned graph is
+// that starting subgraph and the stream contains the remaining edges as
+// additions.
+func GrowthStream(g *graph.Graph, warmupFraction float64, seed int64) (*graph.Graph, []graph.Update, error) {
+	if warmupFraction < 0 || warmupFraction >= 1 {
+		return nil, nil, fmt.Errorf("gen: warmup fraction %g out of range [0,1)", warmupFraction)
+	}
+	edges := g.Edges()
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(edges))
+	warm := int(float64(len(edges)) * warmupFraction)
+	start := graph.New(g.N())
+	for i := 0; i < warm; i++ {
+		e := edges[perm[i]]
+		if err := start.AddEdge(e.U, e.V); err != nil {
+			return nil, nil, err
+		}
+	}
+	var updates []graph.Update
+	for i := warm; i < len(edges); i++ {
+		e := edges[perm[i]]
+		updates = append(updates, graph.Addition(e.U, e.V))
+	}
+	return start, updates, nil
+}

@@ -1,0 +1,75 @@
+package graph
+
+// Unreachable is the distance value used for vertices that cannot be reached
+// from the BFS source.
+const Unreachable = -1
+
+// BFS computes unweighted shortest-path distances from source s following
+// out-edges. Unreachable vertices get distance Unreachable.
+func (g *Graph) BFS(s int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	if s < 0 || s >= g.N() {
+		return dist
+	}
+	queue := make([]int, 0, g.N())
+	dist[s] = 0
+	queue = append(queue, s)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, w := range g.out[v] {
+			if dist[w] == Unreachable {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// ShortestPathCounts runs a BFS from s and returns, for every vertex, its
+// distance from s and the number of distinct shortest paths from s. It is the
+// forward phase of Brandes' algorithm and is exposed here for tests and
+// tooling.
+func (g *Graph) ShortestPathCounts(s int) (dist []int, sigma []float64) {
+	n := g.N()
+	dist = make([]int, n)
+	sigma = make([]float64, n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	if s < 0 || s >= n {
+		return dist, sigma
+	}
+	dist[s] = 0
+	sigma[s] = 1
+	queue := make([]int, 0, n)
+	queue = append(queue, s)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, w := range g.out[v] {
+			if dist[w] == Unreachable {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+			if dist[w] == dist[v]+1 {
+				sigma[w] += sigma[v]
+			}
+		}
+	}
+	return dist, sigma
+}
+
+// Eccentricity returns the maximum finite BFS distance from s, or 0 if s has
+// no reachable vertices.
+func (g *Graph) Eccentricity(s int) int {
+	max := 0
+	for _, d := range g.BFS(s) {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}

@@ -1,0 +1,101 @@
+package graph
+
+import "sort"
+
+// Components labels the (weakly) connected components of the graph and
+// returns one slice of vertex identifiers per component, ordered by
+// decreasing size (ties broken by smallest contained vertex).
+func (g *Graph) Components() [][]int {
+	n := g.N()
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var comps [][]int
+	queue := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		id := len(comps)
+		comp[s] = id
+		queue = queue[:0]
+		queue = append(queue, s)
+		members := []int{s}
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			for _, w := range g.undirectedNeighbors(v) {
+				if comp[w] == -1 {
+					comp[w] = id
+					queue = append(queue, w)
+					members = append(members, w)
+				}
+			}
+		}
+		sort.Ints(members)
+		comps = append(comps, members)
+	}
+	sort.SliceStable(comps, func(i, j int) bool {
+		if len(comps[i]) != len(comps[j]) {
+			return len(comps[i]) > len(comps[j])
+		}
+		return comps[i][0] < comps[j][0]
+	})
+	return comps
+}
+
+// undirectedNeighbors iterates edges in both directions so that directed
+// graphs are treated as their underlying undirected graph (weak
+// connectivity).
+func (g *Graph) undirectedNeighbors(v int) []int {
+	if !g.directed {
+		return g.out[v]
+	}
+	res := make([]int, 0, len(g.out[v])+len(g.in[v]))
+	res = append(res, g.out[v]...)
+	res = append(res, g.in[v]...)
+	return res
+}
+
+// ComponentCount returns the number of (weakly) connected components.
+func (g *Graph) ComponentCount() int { return len(g.Components()) }
+
+// LargestComponent extracts the largest (weakly) connected component as a new
+// graph with vertices relabelled to [0, k). The second return value maps new
+// identifiers back to the original ones.
+func (g *Graph) LargestComponent() (*Graph, []int) {
+	comps := g.Components()
+	if len(comps) == 0 {
+		return newGraph(0, g.directed), nil
+	}
+	members := comps[0]
+	oldToNew := make(map[int]int, len(members))
+	for newID, oldID := range members {
+		oldToNew[oldID] = newID
+	}
+	sub := newGraph(len(members), g.directed)
+	for newU, oldU := range members {
+		for _, oldV := range g.out[oldU] {
+			newV, ok := oldToNew[oldV]
+			if !ok {
+				continue
+			}
+			if !g.directed && newU > newV {
+				continue
+			}
+			// Errors cannot occur here: endpoints exist and duplicates are
+			// impossible because the source graph is simple.
+			_ = sub.AddEdge(newU, newV)
+		}
+	}
+	return sub, members
+}
+
+// IsConnected reports whether the graph consists of a single (weakly)
+// connected component. The empty graph is considered connected.
+func (g *Graph) IsConnected() bool {
+	if g.N() == 0 {
+		return true
+	}
+	return len(g.Components()) == 1
+}

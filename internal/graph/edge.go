@@ -1,0 +1,54 @@
+package graph
+
+import "fmt"
+
+// Edge identifies an edge by its endpoints. For undirected graphs the
+// canonical form has U < V; Canonical normalises an edge to that form.
+type Edge struct {
+	U, V int
+}
+
+// Canonical returns the edge with endpoints ordered so that U <= V. It is the
+// canonical key for undirected edges.
+func (e Edge) Canonical() Edge {
+	if e.U > e.V {
+		return Edge{U: e.V, V: e.U}
+	}
+	return e
+}
+
+// Reverse returns the edge with swapped endpoints.
+func (e Edge) Reverse() Edge { return Edge{U: e.V, V: e.U} }
+
+// String implements fmt.Stringer.
+func (e Edge) String() string { return fmt.Sprintf("(%d,%d)", e.U, e.V) }
+
+// Update is a single element of an evolving-graph edge stream: the addition
+// or removal of one edge, optionally annotated with an arrival time expressed
+// in seconds from the beginning of the stream.
+type Update struct {
+	U, V   int
+	Remove bool
+	// Time is the arrival time of the update, in seconds since the start of
+	// the stream. It is only meaningful for timestamped streams (online
+	// experiments); a zero value means "untimed".
+	Time float64
+}
+
+// Edge returns the edge referenced by the update.
+func (u Update) Edge() Edge { return Edge{U: u.U, V: u.V} }
+
+// Addition builds an untimed edge-addition update.
+func Addition(u, v int) Update { return Update{U: u, V: v} }
+
+// Removal builds an untimed edge-removal update.
+func Removal(u, v int) Update { return Update{U: u, V: v, Remove: true} }
+
+// String implements fmt.Stringer.
+func (u Update) String() string {
+	op := "+"
+	if u.Remove {
+		op = "-"
+	}
+	return fmt.Sprintf("%s(%d,%d)@%.3f", op, u.U, u.V, u.Time)
+}

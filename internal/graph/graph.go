@@ -1,0 +1,235 @@
+// Package graph provides the dynamic graph substrate used by the streaming
+// betweenness framework: an adjacency-list graph supporting online edge
+// additions and removals, for both undirected and directed graphs, together
+// with loaders, generators' building blocks, statistics and traversal
+// utilities.
+//
+// Vertices are dense integer identifiers in the range [0, N()). The graph is
+// simple: self loops and parallel edges are rejected.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Common errors returned by mutating operations.
+var (
+	ErrSelfLoop      = errors.New("graph: self loops are not allowed")
+	ErrDuplicateEdge = errors.New("graph: edge already exists")
+	ErrMissingEdge   = errors.New("graph: edge does not exist")
+	ErrVertexRange   = errors.New("graph: vertex out of range")
+)
+
+// Graph is a simple dynamic graph with dense integer vertices.
+//
+// For undirected graphs each edge {u,v} is stored in both adjacency lists and
+// counted once by M(). For directed graphs the out- and in-adjacency are kept
+// separately so that shortest-path searches can expand forward along
+// out-edges and backtrack along in-edges, as required by the betweenness
+// algorithms.
+type Graph struct {
+	directed bool
+	out      [][]int // out[u] = neighbours reachable from u (undirected: all neighbours)
+	in       [][]int // in[v] = vertices with an edge into v (directed only)
+	m        int     // number of edges
+}
+
+// New returns an empty undirected graph with n vertices.
+func New(n int) *Graph { return newGraph(n, false) }
+
+// NewDirected returns an empty directed graph with n vertices.
+func NewDirected(n int) *Graph { return newGraph(n, true) }
+
+func newGraph(n int, directed bool) *Graph {
+	g := &Graph{
+		directed: directed,
+		out:      make([][]int, n),
+	}
+	if directed {
+		g.in = make([][]int, n)
+	}
+	return g
+}
+
+// Directed reports whether the graph is directed.
+func (g *Graph) Directed() bool { return g.directed }
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.out) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// AddVertex appends a new isolated vertex and returns its identifier.
+func (g *Graph) AddVertex() int {
+	g.out = append(g.out, nil)
+	if g.directed {
+		g.in = append(g.in, nil)
+	}
+	return len(g.out) - 1
+}
+
+// EnsureVertex grows the graph so that vertex id v exists.
+func (g *Graph) EnsureVertex(v int) {
+	for g.N() <= v {
+		g.AddVertex()
+	}
+}
+
+func (g *Graph) checkVertex(v int) error {
+	if v < 0 || v >= g.N() {
+		return fmt.Errorf("%w: %d (n=%d)", ErrVertexRange, v, g.N())
+	}
+	return nil
+}
+
+// HasEdge reports whether the edge (u,v) exists. For undirected graphs the
+// order of the endpoints is irrelevant.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= g.N() || v >= g.N() {
+		return false
+	}
+	return contains(g.out[u], v)
+}
+
+// AddEdge inserts the edge (u,v). Both endpoints must already exist.
+func (g *Graph) AddEdge(u, v int) error {
+	if err := g.checkVertex(u); err != nil {
+		return err
+	}
+	if err := g.checkVertex(v); err != nil {
+		return err
+	}
+	if u == v {
+		return ErrSelfLoop
+	}
+	if contains(g.out[u], v) {
+		return fmt.Errorf("%w: (%d,%d)", ErrDuplicateEdge, u, v)
+	}
+	g.out[u] = append(g.out[u], v)
+	if g.directed {
+		g.in[v] = append(g.in[v], u)
+	} else {
+		g.out[v] = append(g.out[v], u)
+	}
+	g.m++
+	return nil
+}
+
+// RemoveEdge deletes the edge (u,v).
+func (g *Graph) RemoveEdge(u, v int) error {
+	if err := g.checkVertex(u); err != nil {
+		return err
+	}
+	if err := g.checkVertex(v); err != nil {
+		return err
+	}
+	if !contains(g.out[u], v) {
+		return fmt.Errorf("%w: (%d,%d)", ErrMissingEdge, u, v)
+	}
+	g.out[u] = remove(g.out[u], v)
+	if g.directed {
+		g.in[v] = remove(g.in[v], u)
+	} else {
+		g.out[v] = remove(g.out[v], u)
+	}
+	g.m--
+	return nil
+}
+
+// Neighbors returns the adjacency list of v. For directed graphs it is the
+// out-neighbourhood. The returned slice is owned by the graph and must not be
+// modified by the caller.
+func (g *Graph) Neighbors(v int) []int { return g.out[v] }
+
+// OutNeighbors returns the vertices reachable from v by a single edge.
+func (g *Graph) OutNeighbors(v int) []int { return g.out[v] }
+
+// InNeighbors returns the vertices with an edge into v. For undirected graphs
+// it coincides with Neighbors.
+func (g *Graph) InNeighbors(v int) []int {
+	if g.directed {
+		return g.in[v]
+	}
+	return g.out[v]
+}
+
+// Degree returns the degree of v (out-degree for directed graphs).
+func (g *Graph) Degree(v int) int { return len(g.out[v]) }
+
+// InDegree returns the in-degree of v (same as Degree for undirected graphs).
+func (g *Graph) InDegree(v int) int { return len(g.InNeighbors(v)) }
+
+// Edges returns all edges of the graph. For undirected graphs each edge is
+// reported once with U < V. The result is sorted for determinism.
+func (g *Graph) Edges() []Edge {
+	edges := make([]Edge, 0, g.m)
+	for u := range g.out {
+		for _, v := range g.out[u] {
+			if !g.directed && u > v {
+				continue
+			}
+			edges = append(edges, Edge{U: u, V: v})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	return edges
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{directed: g.directed, m: g.m}
+	c.out = cloneAdj(g.out)
+	if g.directed {
+		c.in = cloneAdj(g.in)
+	}
+	return c
+}
+
+// Apply applies a single update (addition or removal) to the graph, growing
+// the vertex set if the update references unseen vertices.
+func (g *Graph) Apply(u Update) error {
+	g.EnsureVertex(u.U)
+	g.EnsureVertex(u.V)
+	if u.Remove {
+		return g.RemoveEdge(u.U, u.V)
+	}
+	return g.AddEdge(u.U, u.V)
+}
+
+func cloneAdj(adj [][]int) [][]int {
+	c := make([][]int, len(adj))
+	for i, row := range adj {
+		if len(row) == 0 {
+			continue
+		}
+		c[i] = append([]int(nil), row...)
+	}
+	return c
+}
+
+func contains(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func remove(s []int, x int) []int {
+	for i, v := range s {
+		if v == x {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}

@@ -1,0 +1,322 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func path(t *testing.T, n int) *Graph {
+	t.Helper()
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		if err := g.AddEdge(i, i+1); err != nil {
+			t.Fatalf("AddEdge(%d,%d): %v", i, i+1, err)
+		}
+	}
+	return g
+}
+
+func TestAddRemoveEdge(t *testing.T) {
+	g := New(4)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if g.M() != 2 {
+		t.Fatalf("M = %d, want 2", g.M())
+	}
+	if !g.HasEdge(1, 0) {
+		t.Fatal("undirected edge should be visible from both endpoints")
+	}
+	if err := g.RemoveEdge(1, 0); err != nil {
+		t.Fatalf("RemoveEdge: %v", err)
+	}
+	if g.HasEdge(0, 1) || g.M() != 1 {
+		t.Fatalf("edge not removed: hasEdge=%v m=%d", g.HasEdge(0, 1), g.M())
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 0); !errors.Is(err, ErrSelfLoop) {
+		t.Fatalf("self loop error = %v, want ErrSelfLoop", err)
+	}
+	if err := g.AddEdge(0, 5); !errors.Is(err, ErrVertexRange) {
+		t.Fatalf("range error = %v, want ErrVertexRange", err)
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if err := g.AddEdge(1, 0); !errors.Is(err, ErrDuplicateEdge) {
+		t.Fatalf("duplicate error = %v, want ErrDuplicateEdge", err)
+	}
+	if err := g.RemoveEdge(1, 2); !errors.Is(err, ErrMissingEdge) {
+		t.Fatalf("missing error = %v, want ErrMissingEdge", err)
+	}
+}
+
+func TestDirectedEdges(t *testing.T) {
+	g := NewDirected(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if g.HasEdge(1, 0) {
+		t.Fatal("directed edge must not be visible in reverse")
+	}
+	if got := g.InNeighbors(1); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("InNeighbors(1) = %v, want [0]", got)
+	}
+	if got := g.OutNeighbors(0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("OutNeighbors(0) = %v, want [1]", got)
+	}
+	if err := g.RemoveEdge(0, 1); err != nil {
+		t.Fatalf("RemoveEdge: %v", err)
+	}
+	if len(g.InNeighbors(1)) != 0 {
+		t.Fatal("in-neighbour list not cleaned after removal")
+	}
+}
+
+func TestAddVertexAndEnsure(t *testing.T) {
+	g := New(0)
+	id := g.AddVertex()
+	if id != 0 || g.N() != 1 {
+		t.Fatalf("AddVertex: id=%d n=%d", id, g.N())
+	}
+	g.EnsureVertex(5)
+	if g.N() != 6 {
+		t.Fatalf("EnsureVertex(5): n=%d, want 6", g.N())
+	}
+	g.EnsureVertex(2) // no shrink
+	if g.N() != 6 {
+		t.Fatalf("EnsureVertex(2) shrank the graph: n=%d", g.N())
+	}
+}
+
+func TestApplyUpdate(t *testing.T) {
+	g := New(0)
+	if err := g.Apply(Addition(0, 3)); err != nil {
+		t.Fatalf("Apply addition: %v", err)
+	}
+	if g.N() != 4 || !g.HasEdge(0, 3) {
+		t.Fatalf("apply addition: n=%d hasEdge=%v", g.N(), g.HasEdge(0, 3))
+	}
+	if err := g.Apply(Removal(0, 3)); err != nil {
+		t.Fatalf("Apply removal: %v", err)
+	}
+	if g.HasEdge(0, 3) {
+		t.Fatal("edge still present after applying removal")
+	}
+}
+
+func TestEdgesCanonicalAndSorted(t *testing.T) {
+	g := New(4)
+	for _, e := range [][2]int{{2, 1}, {0, 3}, {0, 1}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatalf("AddEdge: %v", err)
+		}
+	}
+	edges := g.Edges()
+	want := []Edge{{0, 1}, {0, 3}, {1, 2}}
+	if len(edges) != len(want) {
+		t.Fatalf("Edges() = %v, want %v", edges, want)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Fatalf("Edges()[%d] = %v, want %v", i, edges[i], want[i])
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := path(t, 5)
+	c := g.Clone()
+	if err := c.RemoveEdge(0, 1); err != nil {
+		t.Fatalf("RemoveEdge on clone: %v", err)
+	}
+	if !g.HasEdge(0, 1) {
+		t.Fatal("mutating the clone affected the original")
+	}
+	if c.M() != g.M()-1 {
+		t.Fatalf("clone m=%d, original m=%d", c.M(), g.M())
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := path(t, 5)
+	d := g.BFS(0)
+	for i := 0; i < 5; i++ {
+		if d[i] != i {
+			t.Fatalf("BFS dist[%d] = %d, want %d", i, d[i], i)
+		}
+	}
+	g2 := New(3)
+	if err := g2.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	d2 := g2.BFS(0)
+	if d2[2] != Unreachable {
+		t.Fatalf("unreachable vertex distance = %d, want %d", d2[2], Unreachable)
+	}
+}
+
+func TestShortestPathCounts(t *testing.T) {
+	// 0-1, 0-2, 1-3, 2-3: two shortest paths from 0 to 3.
+	g := New(4)
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dist, sigma := g.ShortestPathCounts(0)
+	if dist[3] != 2 || sigma[3] != 2 {
+		t.Fatalf("dist[3]=%d sigma[3]=%g, want 2 and 2", dist[3], sigma[3])
+	}
+	if sigma[0] != 1 {
+		t.Fatalf("sigma[source]=%g, want 1", sigma[0])
+	}
+}
+
+func TestComponentsAndLCC(t *testing.T) {
+	g := New(7)
+	// Component A: 0-1-2 triangle. Component B: 3-4. Vertex 5, 6 isolated.
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}, {3, 4}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	comps := g.Components()
+	if len(comps) != 4 {
+		t.Fatalf("components = %d, want 4", len(comps))
+	}
+	if len(comps[0]) != 3 {
+		t.Fatalf("largest component size = %d, want 3", len(comps[0]))
+	}
+	lcc, mapping := g.LargestComponent()
+	if lcc.N() != 3 || lcc.M() != 3 {
+		t.Fatalf("LCC n=%d m=%d, want 3 and 3", lcc.N(), lcc.M())
+	}
+	if len(mapping) != 3 {
+		t.Fatalf("mapping size = %d, want 3", len(mapping))
+	}
+	if g.IsConnected() {
+		t.Fatal("disconnected graph reported as connected")
+	}
+	if !lcc.IsConnected() {
+		t.Fatal("LCC must be connected")
+	}
+}
+
+func TestStatsOnKnownGraphs(t *testing.T) {
+	// Triangle: clustering 1, avg degree 2, diameter 1.
+	tri := New(3)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}} {
+		if err := tri.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := tri.ComputeStats(0, 1)
+	if st.Clustering != 1 {
+		t.Fatalf("triangle clustering = %g, want 1", st.Clustering)
+	}
+	if st.AvgDegree != 2 {
+		t.Fatalf("triangle avg degree = %g, want 2", st.AvgDegree)
+	}
+	if st.EffectiveDiameter != 1 {
+		t.Fatalf("triangle effective diameter = %g, want 1", st.EffectiveDiameter)
+	}
+
+	// Star K1,4: leaves have clustering 0, centre 0.
+	star := New(5)
+	for i := 1; i < 5; i++ {
+		if err := star.AddEdge(0, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cc := star.ClusteringCoefficient(0, 1); cc != 0 {
+		t.Fatalf("star clustering = %g, want 0", cc)
+	}
+	if md := star.MaxDegree(); md != 4 {
+		t.Fatalf("star max degree = %d, want 4", md)
+	}
+	hist := star.DegreeHistogram()
+	if hist[1] != 4 || hist[4] != 1 {
+		t.Fatalf("star degree histogram = %v", hist)
+	}
+}
+
+func TestEdgeCanonical(t *testing.T) {
+	e := Edge{U: 5, V: 2}
+	if c := e.Canonical(); c.U != 2 || c.V != 5 {
+		t.Fatalf("Canonical = %v", c)
+	}
+	if r := e.Reverse(); r.U != 2 || r.V != 5 {
+		t.Fatalf("Reverse = %v", r)
+	}
+}
+
+// Property: after a random sequence of valid additions and removals, M()
+// equals the number of distinct present edges and adjacency is symmetric for
+// undirected graphs.
+func TestQuickRandomMutationInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		g := New(n)
+		present := make(map[Edge]bool)
+		for step := 0; step < 200; step++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			e := (Edge{U: u, V: v}).Canonical()
+			if present[e] {
+				if rng.Intn(2) == 0 {
+					if err := g.RemoveEdge(u, v); err != nil {
+						return false
+					}
+					delete(present, e)
+				}
+			} else {
+				if err := g.AddEdge(u, v); err != nil {
+					return false
+				}
+				present[e] = true
+			}
+		}
+		if g.M() != len(present) {
+			return false
+		}
+		for e := range present {
+			if !g.HasEdge(e.U, e.V) || !g.HasEdge(e.V, e.U) {
+				return false
+			}
+		}
+		// Symmetry: each neighbour relation holds both ways.
+		for v := 0; v < n; v++ {
+			for _, w := range g.Neighbors(v) {
+				if !g.HasEdge(w, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEccentricity(t *testing.T) {
+	g := path(t, 6)
+	if ecc := g.Eccentricity(0); ecc != 5 {
+		t.Fatalf("eccentricity = %d, want 5", ecc)
+	}
+	if ecc := g.Eccentricity(3); ecc != 3 {
+		t.Fatalf("eccentricity = %d, want 3", ecc)
+	}
+}

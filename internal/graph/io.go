@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// LoadEdgeList reads a whitespace-separated edge list ("u v" or "u v time"
+// per line, '#' and '%' prefixed lines ignored) and builds an undirected (or
+// directed) graph over the vertices mentioned. Duplicate edges and self loops
+// in the input are skipped. Vertex identifiers must be non-negative integers;
+// they are used as-is, so sparse identifier spaces produce isolated vertices.
+func LoadEdgeList(r io.Reader, directed bool) (*Graph, error) {
+	g := newGraph(0, directed)
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for scanner.Scan() {
+		line++
+		u, v, _, ok, err := parseEdgeLine(scanner.Text(), line)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		g.EnsureVertex(u)
+		g.EnsureVertex(v)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		if err := g.AddEdge(u, v); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", line, err)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	return g, nil
+}
+
+// LoadEdgeListFile is a convenience wrapper around LoadEdgeList.
+func LoadEdgeListFile(path string, directed bool) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	defer f.Close()
+	return LoadEdgeList(f, directed)
+}
+
+// LoadUpdateStream reads a timestamped update stream. Each non-comment line
+// is "op u v [time]" where op is "+" or "-", or simply "u v [time]" which is
+// interpreted as an addition. Times are float seconds.
+func LoadUpdateStream(r io.Reader) ([]Update, error) {
+	var updates []Update
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for scanner.Scan() {
+		line++
+		text := strings.TrimSpace(scanner.Text())
+		if text == "" || strings.HasPrefix(text, "#") || strings.HasPrefix(text, "%") {
+			continue
+		}
+		fields := strings.Fields(text)
+		remove := false
+		if fields[0] == "+" || fields[0] == "-" {
+			remove = fields[0] == "-"
+			fields = fields[1:]
+		}
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: malformed update %q", line, text)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", line, err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", line, err)
+		}
+		t := 0.0
+		if len(fields) >= 3 {
+			t, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", line, err)
+			}
+		}
+		updates = append(updates, Update{U: u, V: v, Remove: remove, Time: t})
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading update stream: %w", err)
+	}
+	return updates, nil
+}
+
+// WriteEdgeList writes the graph as a plain edge list, one "u v" pair per
+// line, suitable for LoadEdgeList.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return fmt.Errorf("graph: writing edge list: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteUpdateStream writes updates in the format read by LoadUpdateStream.
+func WriteUpdateStream(w io.Writer, updates []Update) error {
+	bw := bufio.NewWriter(w)
+	for _, u := range updates {
+		op := "+"
+		if u.Remove {
+			op = "-"
+		}
+		if _, err := fmt.Fprintf(bw, "%s %d %d %g\n", op, u.U, u.V, u.Time); err != nil {
+			return fmt.Errorf("graph: writing update stream: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+func parseEdgeLine(text string, line int) (u, v int, t float64, ok bool, err error) {
+	text = strings.TrimSpace(text)
+	if text == "" || strings.HasPrefix(text, "#") || strings.HasPrefix(text, "%") {
+		return 0, 0, 0, false, nil
+	}
+	fields := strings.Fields(text)
+	if len(fields) < 2 {
+		return 0, 0, 0, false, fmt.Errorf("graph: line %d: malformed edge %q", line, text)
+	}
+	u, err = strconv.Atoi(fields[0])
+	if err != nil {
+		return 0, 0, 0, false, fmt.Errorf("graph: line %d: %w", line, err)
+	}
+	v, err = strconv.Atoi(fields[1])
+	if err != nil {
+		return 0, 0, 0, false, fmt.Errorf("graph: line %d: %w", line, err)
+	}
+	if len(fields) >= 3 {
+		if t, err = strconv.ParseFloat(fields[2], 64); err != nil {
+			return 0, 0, 0, false, fmt.Errorf("graph: line %d: %w", line, err)
+		}
+	}
+	return u, v, t, true, nil
+}

@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLoadEdgeList(t *testing.T) {
+	input := `# comment
+% another comment
+0 1
+1 2 3.5
+2 0
+2 2
+0 1
+`
+	g, err := LoadEdgeList(strings.NewReader(input), false)
+	if err != nil {
+		t.Fatalf("LoadEdgeList: %v", err)
+	}
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("n=%d m=%d, want 3 and 3 (self loop and duplicate skipped)", g.N(), g.M())
+	}
+}
+
+func TestLoadEdgeListMalformed(t *testing.T) {
+	if _, err := LoadEdgeList(strings.NewReader("0\n"), false); err == nil {
+		t.Fatal("expected error for malformed line")
+	}
+	if _, err := LoadEdgeList(strings.NewReader("a b\n"), false); err == nil {
+		t.Fatal("expected error for non-integer vertex")
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := New(5)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatalf("WriteEdgeList: %v", err)
+	}
+	g2, err := LoadEdgeList(&buf, false)
+	if err != nil {
+		t.Fatalf("LoadEdgeList: %v", err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("round trip mismatch: n=%d m=%d", g2.N(), g2.M())
+	}
+	for _, e := range g.Edges() {
+		if !g2.HasEdge(e.U, e.V) {
+			t.Fatalf("edge %v lost in round trip", e)
+		}
+	}
+}
+
+func TestUpdateStreamRoundTrip(t *testing.T) {
+	updates := []Update{
+		{U: 0, V: 1, Time: 1.5},
+		{U: 2, V: 3, Remove: true, Time: 2},
+		{U: 4, V: 5, Time: 10},
+	}
+	var buf bytes.Buffer
+	if err := WriteUpdateStream(&buf, updates); err != nil {
+		t.Fatalf("WriteUpdateStream: %v", err)
+	}
+	got, err := LoadUpdateStream(&buf)
+	if err != nil {
+		t.Fatalf("LoadUpdateStream: %v", err)
+	}
+	if len(got) != len(updates) {
+		t.Fatalf("got %d updates, want %d", len(got), len(updates))
+	}
+	for i := range updates {
+		if got[i] != updates[i] {
+			t.Fatalf("update %d = %+v, want %+v", i, got[i], updates[i])
+		}
+	}
+}
+
+func TestLoadUpdateStreamImplicitAddition(t *testing.T) {
+	got, err := LoadUpdateStream(strings.NewReader("3 4\n# c\n- 1 2 7\n"))
+	if err != nil {
+		t.Fatalf("LoadUpdateStream: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d updates, want 2", len(got))
+	}
+	if got[0].Remove || got[0].U != 3 || got[0].V != 4 {
+		t.Fatalf("first update = %+v", got[0])
+	}
+	if !got[1].Remove || got[1].Time != 7 {
+		t.Fatalf("second update = %+v", got[1])
+	}
+}
+
+func TestUpdateString(t *testing.T) {
+	if s := Addition(1, 2).String(); !strings.HasPrefix(s, "+(1,2)") {
+		t.Fatalf("Addition string = %q", s)
+	}
+	if s := Removal(1, 2).String(); !strings.HasPrefix(s, "-(1,2)") {
+		t.Fatalf("Removal string = %q", s)
+	}
+}

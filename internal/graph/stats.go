@@ -1,0 +1,143 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Stats summarises the structural properties reported in Table 2 of the
+// paper: number of vertices and edges, average degree, clustering coefficient
+// and effective diameter.
+type Stats struct {
+	N, M              int
+	AvgDegree         float64
+	Clustering        float64
+	EffectiveDiameter float64
+}
+
+// ComputeStats measures the graph. The clustering coefficient and effective
+// diameter are estimated from at most sampleSize sampled vertices (pass
+// sampleSize <= 0 or >= N to use every vertex). The computation is
+// deterministic for a given seed.
+func (g *Graph) ComputeStats(sampleSize int, seed int64) Stats {
+	st := Stats{N: g.N(), M: g.M()}
+	if g.N() == 0 {
+		return st
+	}
+	if g.directed {
+		st.AvgDegree = float64(g.M()) / float64(g.N())
+	} else {
+		st.AvgDegree = 2 * float64(g.M()) / float64(g.N())
+	}
+	st.Clustering = g.ClusteringCoefficient(sampleSize, seed)
+	st.EffectiveDiameter = g.EffectiveDiameter(sampleSize, seed)
+	return st
+}
+
+// ClusteringCoefficient estimates the average local clustering coefficient
+// over at most sampleSize vertices (all vertices if sampleSize <= 0 or >= N).
+func (g *Graph) ClusteringCoefficient(sampleSize int, seed int64) float64 {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	vertices := sampleVertices(n, sampleSize, seed)
+	total := 0.0
+	for _, v := range vertices {
+		total += g.localClustering(v)
+	}
+	return total / float64(len(vertices))
+}
+
+func (g *Graph) localClustering(v int) float64 {
+	neigh := g.undirectedNeighbors(v)
+	// Deduplicate for directed graphs where u may appear in both lists.
+	set := make(map[int]struct{}, len(neigh))
+	for _, u := range neigh {
+		if u != v {
+			set[u] = struct{}{}
+		}
+	}
+	k := len(set)
+	if k < 2 {
+		return 0
+	}
+	links := 0
+	uniq := make([]int, 0, k)
+	for u := range set {
+		uniq = append(uniq, u)
+	}
+	for i := 0; i < len(uniq); i++ {
+		for j := i + 1; j < len(uniq); j++ {
+			if g.HasEdge(uniq[i], uniq[j]) || g.HasEdge(uniq[j], uniq[i]) {
+				links++
+			}
+		}
+	}
+	return 2 * float64(links) / float64(k*(k-1))
+}
+
+// EffectiveDiameter estimates the 90th-percentile shortest-path distance over
+// reachable pairs, using BFS from at most sampleSize sources.
+func (g *Graph) EffectiveDiameter(sampleSize int, seed int64) float64 {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	sources := sampleVertices(n, sampleSize, seed+1)
+	var dists []int
+	for _, s := range sources {
+		for _, d := range g.BFS(s) {
+			if d > 0 {
+				dists = append(dists, d)
+			}
+		}
+	}
+	if len(dists) == 0 {
+		return 0
+	}
+	sort.Ints(dists)
+	idx := int(math.Ceil(0.9*float64(len(dists)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(dists) {
+		idx = len(dists) - 1
+	}
+	return float64(dists[idx])
+}
+
+// DegreeHistogram returns a map from degree value to the number of vertices
+// with that degree.
+func (g *Graph) DegreeHistogram() map[int]int {
+	hist := make(map[int]int)
+	for v := 0; v < g.N(); v++ {
+		hist[g.Degree(v)]++
+	}
+	return hist
+}
+
+// MaxDegree returns the maximum out-degree in the graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+func sampleVertices(n, sampleSize int, seed int64) []int {
+	if sampleSize <= 0 || sampleSize >= n {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	return perm[:sampleSize]
+}

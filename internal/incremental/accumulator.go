@@ -1,0 +1,74 @@
+package incremental
+
+import (
+	"streambc/internal/bc"
+	"streambc/internal/graph"
+)
+
+// Accumulator receives the betweenness changes produced while processing the
+// sources affected by one update. The sequential Updater accumulates directly
+// into its live result; the parallel engine accumulates into per-worker
+// partial deltas that are merged by the reducer.
+type Accumulator interface {
+	// AddVBC adds delta to the vertex betweenness of v.
+	AddVBC(v int, delta float64)
+	// AddEBC adds delta to the edge betweenness of e (already canonicalised).
+	AddEBC(e graph.Edge, delta float64)
+}
+
+// ResultAccumulator applies changes directly to a bc.Result.
+type ResultAccumulator struct {
+	Res *bc.Result
+}
+
+// AddVBC implements Accumulator.
+func (a *ResultAccumulator) AddVBC(v int, delta float64) { a.Res.VBC[v] += delta }
+
+// AddEBC implements Accumulator.
+func (a *ResultAccumulator) AddEBC(e graph.Edge, delta float64) { a.Res.EBC[e] += delta }
+
+// Delta is a sparse set of betweenness changes, used as the unit of exchange
+// between mappers and the reducer in the parallel engine (the partial
+// betweenness values of Figure 4).
+type Delta struct {
+	VBC map[int]float64
+	EBC map[graph.Edge]float64
+}
+
+// NewDelta returns an empty delta.
+func NewDelta() *Delta {
+	return &Delta{VBC: make(map[int]float64), EBC: make(map[graph.Edge]float64)}
+}
+
+// AddVBC implements Accumulator.
+func (d *Delta) AddVBC(v int, delta float64) { d.VBC[v] += delta }
+
+// AddEBC implements Accumulator.
+func (d *Delta) AddEBC(e graph.Edge, delta float64) { d.EBC[e] += delta }
+
+// Merge folds other into d.
+func (d *Delta) Merge(other *Delta) {
+	for v, x := range other.VBC {
+		d.VBC[v] += x
+	}
+	for e, x := range other.EBC {
+		d.EBC[e] += x
+	}
+}
+
+// ApplyTo folds the delta into a full result. The result's VBC slice must
+// already cover every vertex mentioned by the delta.
+func (d *Delta) ApplyTo(res *bc.Result) {
+	for v, x := range d.VBC {
+		res.VBC[v] += x
+	}
+	for e, x := range d.EBC {
+		res.EBC[e] += x
+	}
+}
+
+// Reset clears the delta for reuse.
+func (d *Delta) Reset() {
+	clear(d.VBC)
+	clear(d.EBC)
+}

@@ -1,0 +1,86 @@
+package incremental
+
+import (
+	"streambc/internal/bc"
+	"streambc/internal/graph"
+)
+
+// updateKind describes how an update affects the shortest-path DAG of one
+// source, following the case analysis of Section 3.1.
+type updateKind int
+
+const (
+	// kindSkip: the update cannot change any shortest path from this source
+	// (dd = 0, Proposition 3.1, or the endpoints are unreachable).
+	kindSkip updateKind = iota
+	// kindAddition: a new edge creates or shortens paths below uL.
+	kindAddition
+	// kindRemoval: an existing shortest-path DAG edge disappears.
+	kindRemoval
+)
+
+// classify determines, from the old distances of the endpoints, whether the
+// update affects source s and which endpoint plays the role of uH (closer to
+// the source) and uL (farther). The update must already be applied to the
+// graph; dist holds the distances of the old graph.
+func classify(dist []int32, upd graph.Update, directed bool) (uH, uL int, kind updateKind) {
+	u1, u2 := upd.U, upd.V
+	d1, d2 := distOf(dist, u1), distOf(dist, u2)
+
+	if directed {
+		// A directed edge u1->u2 only carries paths entering at u1.
+		uH, uL = u1, u2
+	} else if closer(d2, d1) {
+		uH, uL = u2, u1
+		d1, d2 = d2, d1
+	} else {
+		uH, uL = u1, u2
+	}
+	dH, dL := d1, d2
+
+	if upd.Remove {
+		// The removed edge mattered only if it was a shortest-path DAG edge.
+		if dH == bc.Unreachable || dL != dH+1 {
+			return uH, uL, kindSkip
+		}
+		return uH, uL, kindRemoval
+	}
+	// Addition: paths can only improve through uH, and only if uL is farther
+	// than dH+1 (structural change), exactly dH+1 (new shortest paths), or
+	// unreachable (possibly an entire component becomes reachable).
+	if dH == bc.Unreachable {
+		return uH, uL, kindSkip
+	}
+	if dL != bc.Unreachable && dL <= dH {
+		return uH, uL, kindSkip
+	}
+	return uH, uL, kindAddition
+}
+
+// Affected reports whether the update can modify the betweenness data of a
+// source whose old distance column is dist. It mirrors classify and is used
+// as the cheap skip test before loading the full per-source record
+// (Section 5.1: "we check the distance for the endpoints uH and uL").
+func Affected(dist []int32, upd graph.Update, directed bool) bool {
+	_, _, kind := classify(dist, upd, directed)
+	return kind != kindSkip
+}
+
+func distOf(dist []int32, v int) int32 {
+	if v < 0 || v >= len(dist) {
+		return bc.Unreachable
+	}
+	return dist[v]
+}
+
+// closer reports whether distance a is strictly closer to the source than b,
+// treating Unreachable as infinitely far.
+func closer(a, b int32) bool {
+	if a == bc.Unreachable {
+		return false
+	}
+	if b == bc.Unreachable {
+		return true
+	}
+	return a < b
+}

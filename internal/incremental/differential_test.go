@@ -1,0 +1,496 @@
+package incremental
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"streambc/internal/bc"
+	"streambc/internal/bdstore"
+	"streambc/internal/graph"
+)
+
+// relTol is the relative tolerance used when comparing incrementally
+// maintained values against a fresh Brandes recomputation: the two follow
+// different summation orders, so exact equality cannot be expected.
+const relTol = 1e-7
+
+func approx(a, b float64) bool {
+	return math.Abs(a-b) <= relTol*(1+math.Abs(a)+math.Abs(b))
+}
+
+// checkAgainstBrandes verifies that the updater's running scores and every
+// stored per-source record coincide with a from-scratch recomputation on the
+// updater's current graph.
+func checkAgainstBrandes(t *testing.T, u *Updater, context string) {
+	t.Helper()
+	g := u.Graph()
+	want := bc.Compute(g)
+	got := u.Result()
+
+	for v := range want.VBC {
+		if !approx(got.VBC[v], want.VBC[v]) {
+			t.Fatalf("%s: VBC[%d] = %g, want %g", context, v, got.VBC[v], want.VBC[v])
+		}
+	}
+	for _, e := range g.Edges() {
+		key := bc.EdgeKey(g, e.U, e.V)
+		if !approx(got.EBC[key], want.EBC[key]) {
+			t.Fatalf("%s: EBC[%v] = %g, want %g", context, key, got.EBC[key], want.EBC[key])
+		}
+	}
+	for key, val := range got.EBC {
+		if !g.HasEdge(key.U, key.V) && !approx(val, 0) {
+			t.Fatalf("%s: EBC entry %v=%g for a non-existent edge", context, key, val)
+		}
+	}
+
+	// Per-source records must match a fresh single-source run.
+	state := bc.NewSourceState(g.N())
+	var queue []int
+	rec := bc.NewSourceState(0)
+	for s := 0; s < g.N(); s++ {
+		bc.SingleSource(g, s, state, &queue)
+		if err := u.Store().Load(s, rec); err != nil {
+			t.Fatalf("%s: loading source %d: %v", context, s, err)
+		}
+		for v := 0; v < g.N(); v++ {
+			if rec.Dist[v] != state.Dist[v] {
+				t.Fatalf("%s: BD[%d].d[%d] = %d, want %d", context, s, v, rec.Dist[v], state.Dist[v])
+			}
+			if !approx(rec.Sigma[v], state.Sigma[v]) {
+				t.Fatalf("%s: BD[%d].sigma[%d] = %g, want %g", context, s, v, rec.Sigma[v], state.Sigma[v])
+			}
+			if !approx(rec.Delta[v], state.Delta[v]) {
+				t.Fatalf("%s: BD[%d].delta[%d] = %g, want %g", context, s, v, rec.Delta[v], state.Delta[v])
+			}
+		}
+	}
+}
+
+func newMemUpdater(t *testing.T, g *graph.Graph) *Updater {
+	t.Helper()
+	u, err := NewUpdater(g, bdstore.NewMemStore(g.N()))
+	if err != nil {
+		t.Fatalf("NewUpdater: %v", err)
+	}
+	return u
+}
+
+// randomConnectedGraph builds an Erdős–Rényi style graph with an added
+// Hamiltonian-ish backbone to keep most of it connected.
+func randomConnectedGraph(t testing.TB, n int, extra int, seed int64, directed bool) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var g *graph.Graph
+	if directed {
+		g = graph.NewDirected(n)
+	} else {
+		g = graph.New(n)
+	}
+	for i := 1; i < n; i++ {
+		j := rng.Intn(i)
+		addIgnoreDup(t, g, j, i)
+	}
+	for k := 0; k < extra; k++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			addIgnoreDup(t, g, u, v)
+		}
+	}
+	return g
+}
+
+func addIgnoreDup(t testing.TB, g *graph.Graph, u, v int) {
+	t.Helper()
+	if g.HasEdge(u, v) {
+		return
+	}
+	if err := g.AddEdge(u, v); err != nil {
+		t.Fatalf("AddEdge(%d,%d): %v", u, v, err)
+	}
+}
+
+func TestAdditionSequenceMatchesBrandes(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed * 101))
+		n := 12 + rng.Intn(10)
+		g := randomConnectedGraph(t, n, n/2, seed, false)
+		u := newMemUpdater(t, g.Clone())
+
+		for step := 0; step < 15; step++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a == b || u.Graph().HasEdge(a, b) {
+				continue
+			}
+			if err := u.Apply(graph.Addition(a, b)); err != nil {
+				t.Fatalf("seed %d step %d: Apply: %v", seed, step, err)
+			}
+			checkAgainstBrandes(t, u, fmt.Sprintf("seed %d addition step %d (%d,%d)", seed, step, a, b))
+		}
+	}
+}
+
+func TestRemovalSequenceMatchesBrandes(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed * 313))
+		n := 12 + rng.Intn(8)
+		g := randomConnectedGraph(t, n, n, seed, false)
+		u := newMemUpdater(t, g.Clone())
+
+		for step := 0; step < 15; step++ {
+			edges := u.Graph().Edges()
+			if len(edges) == 0 {
+				break
+			}
+			e := edges[rng.Intn(len(edges))]
+			if err := u.Apply(graph.Removal(e.U, e.V)); err != nil {
+				t.Fatalf("seed %d step %d: Apply: %v", seed, step, err)
+			}
+			checkAgainstBrandes(t, u, fmt.Sprintf("seed %d removal step %d %v", seed, step, e))
+		}
+	}
+}
+
+func TestMixedSequenceMatchesBrandes(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed * 977))
+		n := 10 + rng.Intn(8)
+		g := randomConnectedGraph(t, n, n/3, seed, false)
+		u := newMemUpdater(t, g.Clone())
+
+		for step := 0; step < 25; step++ {
+			if rng.Intn(2) == 0 {
+				a, b := rng.Intn(n), rng.Intn(n)
+				if a == b || u.Graph().HasEdge(a, b) {
+					continue
+				}
+				if err := u.Apply(graph.Addition(a, b)); err != nil {
+					t.Fatalf("seed %d step %d add: %v", seed, step, err)
+				}
+			} else {
+				edges := u.Graph().Edges()
+				if len(edges) == 0 {
+					continue
+				}
+				e := edges[rng.Intn(len(edges))]
+				if err := u.Apply(graph.Removal(e.U, e.V)); err != nil {
+					t.Fatalf("seed %d step %d remove: %v", seed, step, err)
+				}
+			}
+			checkAgainstBrandes(t, u, fmt.Sprintf("seed %d mixed step %d", seed, step))
+		}
+	}
+}
+
+func TestDirectedSequencesMatchBrandes(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed * 555))
+		n := 10 + rng.Intn(6)
+		g := randomConnectedGraph(t, n, n, seed, true)
+		u := newMemUpdater(t, g.Clone())
+
+		for step := 0; step < 20; step++ {
+			if rng.Intn(3) != 0 {
+				a, b := rng.Intn(n), rng.Intn(n)
+				if a == b || u.Graph().HasEdge(a, b) {
+					continue
+				}
+				if err := u.Apply(graph.Addition(a, b)); err != nil {
+					t.Fatalf("seed %d step %d add: %v", seed, step, err)
+				}
+			} else {
+				edges := u.Graph().Edges()
+				if len(edges) == 0 {
+					continue
+				}
+				e := edges[rng.Intn(len(edges))]
+				if err := u.Apply(graph.Removal(e.U, e.V)); err != nil {
+					t.Fatalf("seed %d step %d remove: %v", seed, step, err)
+				}
+			}
+			checkAgainstBrandes(t, u, fmt.Sprintf("directed seed %d step %d", seed, step))
+		}
+	}
+}
+
+func TestDisconnectionAndReconnection(t *testing.T) {
+	// Two triangles joined by a single bridge; removing the bridge must
+	// disconnect them (Algorithm 10 path), re-adding it must restore the
+	// original scores.
+	g := graph.New(6)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	u := newMemUpdater(t, g)
+
+	if err := u.Apply(graph.Removal(2, 3)); err != nil {
+		t.Fatalf("remove bridge: %v", err)
+	}
+	checkAgainstBrandes(t, u, "bridge removed")
+	if !approx(u.VBC()[2], 0) {
+		t.Fatalf("VBC[2] after disconnection = %g, want 0", u.VBC()[2])
+	}
+
+	if err := u.Apply(graph.Addition(2, 3)); err != nil {
+		t.Fatalf("re-add bridge: %v", err)
+	}
+	checkAgainstBrandes(t, u, "bridge restored")
+	if !approx(u.EBC()[graph.Edge{U: 2, V: 3}], 18) {
+		t.Fatalf("bridge EBC = %g, want 18", u.EBC()[graph.Edge{U: 2, V: 3}])
+	}
+}
+
+func TestLeafDetachAndSingleton(t *testing.T) {
+	// Removing the only edge of a leaf turns it into a singleton.
+	g := graph.New(4)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	u := newMemUpdater(t, g)
+	if err := u.Apply(graph.Removal(2, 3)); err != nil {
+		t.Fatalf("remove leaf edge: %v", err)
+	}
+	checkAgainstBrandes(t, u, "leaf detached")
+	if !approx(u.VBC()[3], 0) {
+		t.Fatalf("singleton VBC = %g, want 0", u.VBC()[3])
+	}
+}
+
+func TestNewVertexArrival(t *testing.T) {
+	g := graph.New(4)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	u := newMemUpdater(t, g)
+
+	// Vertex 5 (and implicitly 4) arrive with the update stream.
+	if err := u.Apply(graph.Addition(3, 5)); err != nil {
+		t.Fatalf("add edge to new vertex: %v", err)
+	}
+	if u.Graph().N() != 6 {
+		t.Fatalf("graph did not grow: n=%d", u.Graph().N())
+	}
+	checkAgainstBrandes(t, u, "new vertex attached")
+
+	if err := u.Apply(graph.Addition(4, 5)); err != nil {
+		t.Fatalf("connect remaining isolated vertex: %v", err)
+	}
+	checkAgainstBrandes(t, u, "second new vertex attached")
+}
+
+func TestSameLevelAdditionIsSkipped(t *testing.T) {
+	// 0-1, 0-2: vertices 1 and 2 are both at distance 1 from 0 and distance
+	// 1 from each other via 0... adding (1,2) changes nothing for source 0
+	// (Proposition 3.1) but does change paths between 1 and 2.
+	g := graph.New(3)
+	for _, e := range [][2]int{{0, 1}, {0, 2}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	u := newMemUpdater(t, g)
+	if err := u.Apply(graph.Addition(1, 2)); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	checkAgainstBrandes(t, u, "triangle closure")
+	st := u.Stats()
+	if st.SourcesSkipped == 0 {
+		t.Fatalf("expected at least one skipped source, got stats %+v", st)
+	}
+}
+
+func TestUpdateSourceSkipReturnsFalse(t *testing.T) {
+	g := graph.New(3)
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 2}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// From source 0, removing the same-level edge (1,2) must be a no-op.
+	state := bc.NewSourceState(g.N())
+	var queue []int
+	bc.SingleSource(g, 0, state, &queue)
+	if err := g.RemoveEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWorkspace(g.N())
+	delta := NewDelta()
+	if UpdateSource(g, 0, graph.Removal(1, 2), state, delta, ws) {
+		t.Fatal("same-level removal must not modify the record")
+	}
+	if len(delta.VBC) != 0 || len(delta.EBC) != 0 {
+		t.Fatalf("same-level removal produced deltas: %+v", delta)
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	g := graph.New(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	u := newMemUpdater(t, g)
+	if err := u.Apply(graph.Addition(0, 0)); err == nil {
+		t.Fatal("self loop must be rejected")
+	}
+	if err := u.Apply(graph.Addition(0, 1)); err == nil {
+		t.Fatal("duplicate edge must be rejected")
+	}
+	if err := u.Apply(graph.Removal(1, 2)); err == nil {
+		t.Fatal("removing a missing edge must be rejected")
+	}
+	if err := u.Apply(graph.Update{U: -1, V: 2}); err == nil {
+		t.Fatal("negative vertex must be rejected")
+	}
+	// The updater must still be consistent after rejected updates.
+	checkAgainstBrandes(t, u, "after rejected updates")
+}
+
+func TestApplyAllAndStats(t *testing.T) {
+	g := randomConnectedGraph(t, 15, 10, 3, false)
+	u := newMemUpdater(t, g.Clone())
+	updates := []graph.Update{}
+	rng := rand.New(rand.NewSource(5))
+	tmp := g.Clone()
+	for len(updates) < 8 {
+		a, b := rng.Intn(15), rng.Intn(15)
+		if a == b || tmp.HasEdge(a, b) {
+			continue
+		}
+		if err := tmp.AddEdge(a, b); err != nil {
+			t.Fatal(err)
+		}
+		updates = append(updates, graph.Addition(a, b))
+	}
+	applied, err := u.ApplyAll(updates)
+	if err != nil {
+		t.Fatalf("ApplyAll: %v", err)
+	}
+	if applied != len(updates) {
+		t.Fatalf("applied %d, want %d", applied, len(updates))
+	}
+	st := u.Stats()
+	if st.UpdatesApplied != len(updates) {
+		t.Fatalf("stats UpdatesApplied = %d, want %d", st.UpdatesApplied, len(updates))
+	}
+	if st.SourcesUpdated == 0 {
+		t.Fatal("expected some sources to be updated")
+	}
+	checkAgainstBrandes(t, u, "after ApplyAll")
+
+	// ApplyAll stops at the first error.
+	bad := []graph.Update{graph.Addition(0, 0)}
+	if _, err := u.ApplyAll(bad); err == nil {
+		t.Fatal("expected error from invalid update")
+	}
+}
+
+func TestDiskBackedUpdaterMatchesMemory(t *testing.T) {
+	g := randomConnectedGraph(t, 14, 12, 11, false)
+	memU := newMemUpdater(t, g.Clone())
+
+	disk, err := bdstore.NewDiskStore(t.TempDir()+"/bd.bin", g.N())
+	if err != nil {
+		t.Fatalf("NewDiskStore: %v", err)
+	}
+	defer disk.Close()
+	diskU, err := NewUpdater(g.Clone(), disk)
+	if err != nil {
+		t.Fatalf("NewUpdater(disk): %v", err)
+	}
+
+	rng := rand.New(rand.NewSource(17))
+	for step := 0; step < 12; step++ {
+		var upd graph.Update
+		if rng.Intn(2) == 0 {
+			a, b := rng.Intn(g.N()), rng.Intn(g.N())
+			if a == b || memU.Graph().HasEdge(a, b) {
+				continue
+			}
+			upd = graph.Addition(a, b)
+		} else {
+			edges := memU.Graph().Edges()
+			if len(edges) == 0 {
+				continue
+			}
+			e := edges[rng.Intn(len(edges))]
+			upd = graph.Removal(e.U, e.V)
+		}
+		if err := memU.Apply(upd); err != nil {
+			t.Fatalf("mem apply %v: %v", upd, err)
+		}
+		if err := diskU.Apply(upd); err != nil {
+			t.Fatalf("disk apply %v: %v", upd, err)
+		}
+	}
+	checkAgainstBrandes(t, diskU, "disk-backed updater")
+	for v := range memU.VBC() {
+		if !approx(memU.VBC()[v], diskU.VBC()[v]) {
+			t.Fatalf("mem and disk VBC differ at %d: %g vs %g", v, memU.VBC()[v], diskU.VBC()[v])
+		}
+	}
+}
+
+func TestNewUpdaterStoreMismatch(t *testing.T) {
+	g := graph.New(5)
+	if _, err := NewUpdater(g, bdstore.NewMemStore(3)); err == nil {
+		t.Fatal("expected error for store/graph size mismatch")
+	}
+}
+
+func TestAffectedClassification(t *testing.T) {
+	// Path 0-1-2-3, distances from source 0 are 0,1,2,3.
+	dist := []int32{0, 1, 2, 3, bc.Unreachable}
+
+	cases := []struct {
+		name     string
+		upd      graph.Update
+		directed bool
+		want     bool
+	}{
+		{"same level addition", graph.Addition(1, 1), false, false},
+		{"dd=1 addition", graph.Addition(0, 2), false, true},
+		{"dd>1 addition", graph.Addition(0, 3), false, true},
+		{"addition to unreachable", graph.Addition(1, 4), false, true},
+		{"addition between unreachables", graph.Addition(4, 4), false, false},
+		{"removal of dag edge", graph.Removal(1, 2), false, true},
+		{"removal reversed order", graph.Removal(2, 1), false, true},
+		{"directed addition backwards", graph.Addition(3, 0), true, false},
+		{"directed addition forwards", graph.Addition(0, 3), true, true},
+		{"directed removal non-dag", graph.Removal(3, 0), true, false},
+	}
+	for _, tc := range cases {
+		if got := Affected(dist, tc.upd, tc.directed); got != tc.want {
+			t.Errorf("%s: Affected = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestDeltaAccumulatorMergeAndApply(t *testing.T) {
+	a, b := NewDelta(), NewDelta()
+	a.AddVBC(1, 2)
+	a.AddEBC(graph.Edge{U: 0, V: 1}, 1.5)
+	b.AddVBC(1, 3)
+	b.AddVBC(2, -1)
+	b.AddEBC(graph.Edge{U: 0, V: 1}, 0.5)
+	a.Merge(b)
+	if a.VBC[1] != 5 || a.VBC[2] != -1 || a.EBC[graph.Edge{U: 0, V: 1}] != 2 {
+		t.Fatalf("merge result wrong: %+v", a)
+	}
+	res := bc.NewResult(3)
+	a.ApplyTo(res)
+	if res.VBC[1] != 5 || res.EBC[graph.Edge{U: 0, V: 1}] != 2 {
+		t.Fatalf("ApplyTo result wrong: %+v", res)
+	}
+	a.Reset()
+	if len(a.VBC) != 0 || len(a.EBC) != 0 {
+		t.Fatal("Reset did not clear the delta")
+	}
+}

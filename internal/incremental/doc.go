@@ -1,0 +1,23 @@
+// Package incremental implements the paper's primary contribution: online
+// maintenance of vertex and edge betweenness centrality under a stream of
+// edge additions and removals.
+//
+// For every source vertex s the framework keeps a betweenness-data record
+// BD[s] holding, for every vertex t, its distance from s, the number of
+// shortest paths from s and the dependency accumulated on t (the
+// bc.SourceState type). When an edge is added or removed, each source is
+// examined independently: the difference in the endpoints' distances (dd)
+// classifies the update, sources that cannot be affected are skipped
+// (Proposition 3.1), and for the remaining sources a partial forward pass
+// recomputes distances and path counts only inside the affected region of the
+// shortest-path DAG, followed by a partial dependency-accumulation pass that
+// walks the region level by level, scanning neighbours instead of predecessor
+// lists. The per-source changes are folded into the running vertex and edge
+// betweenness scores.
+//
+// The per-source records are accessed through the Store interface so that
+// they can live in memory (bdstore.MemStore) or on disk in the columnar
+// binary layout of Section 5.1 (bdstore.DiskStore), and so that the source
+// set can be partitioned across workers (internal/engine) exactly as in the
+// paper's MapReduce embodiment.
+package incremental

@@ -1,0 +1,142 @@
+package incremental
+
+import (
+	"fmt"
+
+	"streambc/internal/bc"
+	"streambc/internal/graph"
+)
+
+// This file implements the "MP" configuration used as a baseline in Figure 5
+// of the paper: the same incremental algorithm, but with explicit predecessor
+// lists kept per source and per vertex, exactly like the original Brandes
+// formulation. The lists carry no information that the neighbour scan cannot
+// recover (which is why the paper removes them), so the variant's only effect
+// is the extra memory for the lists and the extra time spent rebuilding them
+// whenever the data of a vertex changes — the overhead the MO configuration
+// eliminates.
+
+// PredUpdater is an Updater that additionally maintains per-source
+// predecessor lists. It only supports in-memory operation (as in the paper,
+// where the predecessor-list variant exists only for the in-memory
+// configuration).
+type PredUpdater struct {
+	*Updater
+	// preds[s][v] lists the shortest-path predecessors of v w.r.t. source s.
+	preds [][][]int32
+}
+
+// NewPredUpdater builds the MP variant of the updater on top of the given
+// store (normally an in-memory store).
+func NewPredUpdater(g *graph.Graph, store Store) (*PredUpdater, error) {
+	u, err := NewUpdater(g, store)
+	if err != nil {
+		return nil, err
+	}
+	p := &PredUpdater{Updater: u}
+	p.preds = make([][][]int32, g.N())
+	rec := bc.NewSourceState(g.N())
+	for s := 0; s < g.N(); s++ {
+		if err := store.Load(s, rec); err != nil {
+			return nil, fmt.Errorf("incremental: loading source %d for predecessor lists: %w", s, err)
+		}
+		p.preds[s] = make([][]int32, g.N())
+		for v := 0; v < g.N(); v++ {
+			p.preds[s][v] = buildPredList(g, rec, v)
+		}
+	}
+	return p, nil
+}
+
+// Apply applies one update and keeps the predecessor lists in sync: for every
+// source whose record changed, the lists of all modified vertices are rebuilt
+// by scanning their in-neighbours.
+func (p *PredUpdater) Apply(upd graph.Update) error {
+	if err := p.validate(upd); err != nil {
+		return err
+	}
+	if !upd.Remove {
+		if m := max(upd.U, upd.V); m >= p.g.N() {
+			if err := p.growTo(m + 1); err != nil {
+				return err
+			}
+			p.growPreds(p.g.N())
+		}
+	}
+	if err := p.g.Apply(upd); err != nil {
+		return err
+	}
+
+	acc := &ResultAccumulator{Res: p.res}
+	directed := p.g.Directed()
+	for s := 0; s < p.g.N(); s++ {
+		if err := p.store.LoadDistances(s, &p.distBuf); err != nil {
+			return err
+		}
+		if !Affected(p.distBuf, upd, directed) {
+			p.stats.SourcesSkipped++
+			continue
+		}
+		if err := p.store.Load(s, p.rec); err != nil {
+			return err
+		}
+		if UpdateSource(p.g, s, upd, p.rec, acc, p.ws) {
+			if err := p.store.Save(s, p.rec); err != nil {
+				return err
+			}
+			// MP overhead: rebuild the predecessor list of every vertex whose
+			// record changed.
+			for _, v := range p.ws.dirty {
+				p.preds[s][v] = buildPredList(p.g, p.rec, v)
+			}
+		}
+		p.stats.SourcesUpdated++
+	}
+	if upd.Remove {
+		delete(p.res.EBC, bc.EdgeKey(p.g, upd.U, upd.V))
+	}
+	p.stats.UpdatesApplied++
+	return nil
+}
+
+// Predecessors returns the predecessor list of vertex v w.r.t. source s.
+func (p *PredUpdater) Predecessors(s, v int) []int32 { return p.preds[s][v] }
+
+// PredecessorListBytes returns the approximate extra memory consumed by the
+// predecessor lists (the space the MO configuration saves).
+func (p *PredUpdater) PredecessorListBytes() int64 {
+	var total int64
+	for _, bySource := range p.preds {
+		for _, list := range bySource {
+			total += int64(len(list)) * 4
+		}
+	}
+	return total
+}
+
+func (p *PredUpdater) growPreds(n int) {
+	for s := range p.preds {
+		for len(p.preds[s]) < n {
+			p.preds[s] = append(p.preds[s], nil)
+		}
+	}
+	for len(p.preds) < n {
+		lists := make([][]int32, n)
+		p.preds = append(p.preds, lists)
+	}
+}
+
+// buildPredList scans the in-neighbours of v and returns those one level
+// closer to the source.
+func buildPredList(g *graph.Graph, rec *bc.SourceState, v int) []int32 {
+	if rec.Dist[v] == bc.Unreachable {
+		return nil
+	}
+	var list []int32
+	for _, y := range g.InNeighbors(v) {
+		if rec.Dist[y] != bc.Unreachable && rec.Dist[y]+1 == rec.Dist[v] {
+			list = append(list, int32(y))
+		}
+	}
+	return list
+}

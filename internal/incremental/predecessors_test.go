@@ -1,0 +1,114 @@
+package incremental
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"streambc/internal/bc"
+	"streambc/internal/bdstore"
+	"streambc/internal/graph"
+)
+
+func newPredUpdater(t *testing.T, g *graph.Graph) *PredUpdater {
+	t.Helper()
+	u, err := NewPredUpdater(g, bdstore.NewMemStore(g.N()))
+	if err != nil {
+		t.Fatalf("NewPredUpdater: %v", err)
+	}
+	return u
+}
+
+// checkPredLists verifies that every stored predecessor list matches a fresh
+// neighbour scan on the current graph.
+func checkPredLists(t *testing.T, u *PredUpdater, context string) {
+	t.Helper()
+	g := u.Graph()
+	state := bc.NewSourceState(g.N())
+	var queue []int
+	for s := 0; s < g.N(); s++ {
+		bc.SingleSource(g, s, state, &queue)
+		for v := 0; v < g.N(); v++ {
+			want := map[int32]bool{}
+			for _, y := range g.InNeighbors(v) {
+				if state.Dist[y] != bc.Unreachable && state.Dist[y]+1 == state.Dist[v] {
+					want[int32(y)] = true
+				}
+			}
+			got := u.Predecessors(s, v)
+			if len(got) != len(want) {
+				t.Fatalf("%s: preds[%d][%d] = %v, want %d entries", context, s, v, got, len(want))
+			}
+			for _, y := range got {
+				if !want[y] {
+					t.Fatalf("%s: preds[%d][%d] contains %d which is not a predecessor", context, s, v, y)
+				}
+			}
+		}
+	}
+}
+
+func TestPredUpdaterMatchesBrandesAndKeepsLists(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed * 41))
+		n := 12
+		g := randomConnectedGraph(t, n, 8, seed, false)
+		u := newPredUpdater(t, g.Clone())
+		checkPredLists(t, u, "initial")
+
+		for step := 0; step < 12; step++ {
+			if rng.Intn(2) == 0 {
+				a, b := rng.Intn(n), rng.Intn(n)
+				if a == b || u.Graph().HasEdge(a, b) {
+					continue
+				}
+				if err := u.Apply(graph.Addition(a, b)); err != nil {
+					t.Fatalf("add: %v", err)
+				}
+			} else {
+				edges := u.Graph().Edges()
+				if len(edges) == 0 {
+					continue
+				}
+				e := edges[rng.Intn(len(edges))]
+				if err := u.Apply(graph.Removal(e.U, e.V)); err != nil {
+					t.Fatalf("remove: %v", err)
+				}
+			}
+			checkAgainstBrandes(t, u.Updater, fmt.Sprintf("pred updater seed %d step %d", seed, step))
+			checkPredLists(t, u, fmt.Sprintf("pred lists seed %d step %d", seed, step))
+		}
+	}
+}
+
+func TestPredUpdaterGrowth(t *testing.T) {
+	g := graph.New(4)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	u := newPredUpdater(t, g)
+	if err := u.Apply(graph.Addition(3, 5)); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	checkAgainstBrandes(t, u.Updater, "pred updater growth")
+	checkPredLists(t, u, "pred lists growth")
+	if u.PredecessorListBytes() == 0 {
+		t.Fatal("expected non-zero predecessor list memory")
+	}
+}
+
+func TestPredUpdaterErrors(t *testing.T) {
+	g := graph.New(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	u := newPredUpdater(t, g)
+	if err := u.Apply(graph.Addition(0, 0)); err == nil {
+		t.Fatal("self loop accepted")
+	}
+	if err := u.Apply(graph.Removal(1, 2)); err == nil {
+		t.Fatal("missing edge removal accepted")
+	}
+}

@@ -1,0 +1,466 @@
+package incremental
+
+import (
+	"streambc/internal/bc"
+	"streambc/internal/graph"
+)
+
+// UpdateSource applies the effect of a single edge update on the betweenness
+// data of one source and accumulates the induced changes to vertex and edge
+// betweenness.
+//
+// The update must already be applied to g, while rec still holds the data of
+// the graph before the update (distances, shortest-path counts and
+// dependencies from source s). On return, rec reflects the new graph and acc
+// has received, for every vertex and edge whose centrality changed with
+// respect to source s, the difference between the new and the old
+// contribution. The returned flag reports whether rec was modified at all; a
+// false return means the source was skipped (the dd = 0 case of
+// Proposition 3.1 and its relatives).
+//
+// The workspace provides the scratch buffers; it is reset internally, so the
+// same workspace can be reused across sources and updates, but must not be
+// shared between concurrent calls.
+func UpdateSource(g *graph.Graph, s int, upd graph.Update, rec *bc.SourceState, acc Accumulator, ws *Workspace) bool {
+	uH, uL, kind := classify(rec.Dist, upd, g.Directed())
+	if kind == kindSkip {
+		return false
+	}
+	ws.reset(g.N())
+	su := &sourceUpdate{
+		g: g, s: s, rec: rec, acc: acc, ws: ws,
+		kind: kind, uH: uH, uL: uL,
+		updKey: bc.EdgeKey(g, upd.U, upd.V),
+	}
+	switch kind {
+	case kindAddition:
+		su.forwardAddition(uH, uL)
+	case kindRemoval:
+		su.forwardRemoval(uH, uL)
+	}
+	ws.clearBuckets()
+	su.backward()
+	su.flushEdgeUpdates()
+	su.writeBack()
+	return len(ws.dirty) > 0
+}
+
+// forwardAddition recomputes distances and shortest-path counts in the region
+// affected by the addition of edge (uH, uL), where uH is the endpoint closer
+// to the source. Distances can only decrease, so the affected region is
+// explored with a monotone partial BFS seeded at uL: a vertex is settled when
+// its bucket is drained, at which point every predecessor one level up is
+// already final and its path count can be recomputed by a neighbour scan.
+// This unifies the paper's "0 level rise" (Algorithm 2) and "1 or more levels
+// rise" (Algorithm 4) cases.
+func (su *sourceUpdate) forwardAddition(uH, uL int) {
+	start := int(su.rec.Dist[uH]) + 1
+	su.setDist(uL, int32(start))
+	su.ws.push(start, uL)
+	su.propagateForward()
+}
+
+// propagateForward settles the level buckets in ascending order, recomputing
+// the shortest-path count of every popped vertex from its predecessors one
+// level up (plain neighbour scan, no predecessor lists) and propagating only
+// where something actually changed. For additions it also performs the
+// distance relaxations (distances can only decrease); for removals the
+// distances are already final when this runs, so the relaxation branch never
+// fires and the walk reduces to a pruned path-count correction.
+func (su *sourceUpdate) propagateForward() {
+	ws := su.ws
+	for level := 0; level <= ws.maxBucket && level < len(ws.buckets); level++ {
+		for i := 0; i < len(ws.buckets[level]); i++ {
+			v := ws.buckets[level][i]
+			if ws.forwardDone[v] == ws.version || su.dist(v) != int32(level) {
+				continue // already settled, or superseded by a shorter distance
+			}
+			ws.forwardDone[v] = ws.version
+
+			// Recompute the number of shortest paths from the predecessors
+			// one level closer to the source (no predecessor lists: plain
+			// neighbour scan, Section 3 "Memory optimisation").
+			var sig float64
+			for _, y := range su.g.InNeighbors(v) {
+				if su.dist(y) == int32(level-1) {
+					sig += su.sigma(y)
+				}
+			}
+			su.setSigma(v, sig)
+
+			if sig == su.rec.Sigma[v] && int32(level) == su.rec.Dist[v] {
+				continue // nothing changed for v: its sub-DAG is unaffected
+			}
+			su.markTouched(v)
+
+			for _, w := range su.g.OutNeighbors(v) {
+				dw := su.dist(w)
+				switch {
+				case dw == bc.Unreachable || dw > int32(level+1):
+					// w gets pulled closer to the source through v.
+					su.setDist(w, int32(level+1))
+					ws.push(level+1, w)
+				case dw == int32(level+1):
+					// w keeps its level but its predecessor set or the path
+					// counts of its predecessors changed.
+					ws.push(level+1, w)
+				}
+			}
+		}
+	}
+}
+
+// forwardRemoval recomputes distances and shortest-path counts in the region
+// affected by the removal of the shortest-path DAG edge (uH, uL).
+//
+// If uL keeps another predecessor, no distance changes ("0 level drop",
+// Algorithm 2): the path counts below uL are corrected by the same pruned
+// propagation used for additions.
+//
+// Otherwise ("1 or more levels drop", Algorithms 6-9, and the disconnected
+// component of Algorithm 10) the set of vertices whose distance increases is
+// identified exactly — a vertex drops if and only if all of its old
+// predecessors drop — new distances are fixed by a multi-source BFS seeded at
+// the pivots (neighbours outside the affected set keep their distance), and
+// the path-count correction is then propagated from the affected vertices and
+// their old successors.
+func (su *sourceUpdate) forwardRemoval(uH, uL int) {
+	ws := su.ws
+	_ = uH // uH is no longer adjacent to uL: the update is already applied to g.
+
+	dL := su.rec.Dist[uL]
+	if su.hasOldPred(uL) {
+		// 0 level drop: distances unchanged, only path counts below uL shrink.
+		su.setDist(uL, dL)
+		ws.push(int(dL), uL)
+		su.propagateForward()
+		return
+	}
+
+	// Affected set: vertices whose distance from the source increases. uL has
+	// lost its only predecessor, and a descendant drops exactly when every
+	// one of its old predecessors drops. The old sub-DAG is explored level by
+	// level, so all predecessors of a vertex are decided before it is tested.
+	affected := ws.scopeList[:0]
+	ws.inScope[uL] = ws.version
+	affected = append(affected, uL)
+	for i := 0; i < len(affected); i++ {
+		a := affected[i]
+		da := su.rec.Dist[a]
+		for _, w := range su.g.OutNeighbors(a) {
+			if ws.inScope[w] == ws.version || su.rec.Dist[w] != da+1 {
+				continue
+			}
+			if su.hasUnaffectedOldPred(w) {
+				continue
+			}
+			ws.inScope[w] = ws.version
+			affected = append(affected, w)
+		}
+	}
+	ws.scopeList = affected
+
+	// New distances for the affected set: multi-source BFS from the pivots
+	// (in-neighbours outside the set keep their old distance, Definition 3.2).
+	for _, v := range affected {
+		best := bc.Unreachable
+		for _, y := range su.g.InNeighbors(v) {
+			if ws.inScope[y] == ws.version {
+				continue
+			}
+			dy := su.rec.Dist[y]
+			if dy == bc.Unreachable {
+				continue
+			}
+			if best == bc.Unreachable || dy+1 < best {
+				best = dy + 1
+			}
+		}
+		su.setDist(v, best)
+		if best != bc.Unreachable {
+			ws.push(int(best), v)
+		}
+	}
+	for level := 0; level <= ws.maxBucket && level < len(ws.buckets); level++ {
+		for i := 0; i < len(ws.buckets[level]); i++ {
+			v := ws.buckets[level][i]
+			if ws.forwardDone[v] == ws.version || su.dist(v) != int32(level) {
+				continue
+			}
+			ws.forwardDone[v] = ws.version
+			for _, w := range su.g.OutNeighbors(v) {
+				if ws.inScope[w] != ws.version || ws.forwardDone[w] == ws.version {
+					continue
+				}
+				dw := su.dist(w)
+				if dw == bc.Unreachable || dw > int32(level+1) {
+					su.setDist(w, int32(level+1))
+					ws.push(level+1, w)
+				}
+			}
+		}
+	}
+	// Reset the forward-done marks consumed by the distance BFS so that the
+	// path-count propagation below can settle the same vertices again.
+	for _, v := range affected {
+		if ws.forwardDone[v] == ws.version {
+			ws.forwardDone[v] = 0
+		}
+	}
+	ws.clearBuckets()
+
+	// Vertices never reached are disconnected from the source.
+	for _, v := range affected {
+		if su.dist(v) == bc.Unreachable {
+			su.setSigma(v, 0)
+			su.setDelta(v, 0)
+			su.markTouched(v)
+			ws.lost = append(ws.lost, v)
+		}
+	}
+
+	// Path-count correction: seed the propagation at every affected vertex
+	// that is still reachable and at the old successors of affected vertices
+	// (they may lose paths that used to come through a dropped predecessor).
+	for _, v := range affected {
+		if d := su.dist(v); d != bc.Unreachable {
+			ws.push(int(d), v)
+		}
+		dOld := su.rec.Dist[v]
+		for _, w := range su.g.OutNeighbors(v) {
+			if ws.inScope[w] == ws.version || su.rec.Dist[w] != dOld+1 {
+				continue
+			}
+			ws.push(int(su.dist(w)), w)
+		}
+	}
+	su.propagateForward()
+}
+
+// hasOldPred reports whether v still has, in the updated graph, a neighbour
+// that was one level closer to the source before the update.
+func (su *sourceUpdate) hasOldPred(v int) bool {
+	dv := su.rec.Dist[v]
+	for _, y := range su.g.InNeighbors(v) {
+		if su.rec.Dist[y] != bc.Unreachable && su.rec.Dist[y]+1 == dv {
+			return true
+		}
+	}
+	return false
+}
+
+// hasUnaffectedOldPred reports whether v has an old predecessor that is not
+// in the affected set built so far.
+func (su *sourceUpdate) hasUnaffectedOldPred(v int) bool {
+	dv := su.rec.Dist[v]
+	for _, y := range su.g.InNeighbors(v) {
+		if su.rec.Dist[y]+1 == dv && su.rec.Dist[y] != bc.Unreachable && su.ws.inScope[y] != su.ws.version {
+			return true
+		}
+	}
+	return false
+}
+
+// backward recomputes the dependencies of every vertex whose contribution to
+// betweenness may have changed and folds the differences into the
+// accumulator. Vertices are processed in decreasing order of their new
+// distance, so that when a vertex is reached all of its successors already
+// carry their final dependency. The walk is seeded at the touched vertices
+// (and at the old predecessors of touched vertices, whose dependency can
+// change even if their own distance and path counts do not) and propagates to
+// predecessors whose dependency changes, exactly like the level-queue
+// accumulation of Algorithms 2, 4 and 7.
+func (su *sourceUpdate) backward() {
+	ws := su.ws
+	maxLevel := 0
+
+	seed := func(v int) {
+		if ws.queuedAt[v] == ws.version {
+			return
+		}
+		d := su.dist(v)
+		if d == bc.Unreachable {
+			return // unreachable vertices are handled by the pre-pass
+		}
+		ws.queuedAt[v] = ws.version
+		ws.push(int(d), v)
+		if int(d) > maxLevel {
+			maxLevel = int(d)
+		}
+	}
+
+	for _, v := range ws.touched {
+		seed(v)
+		// Old shortest-path predecessors of a vertex with changed data: their
+		// dependency loses (or changes) the term contributed through v, even
+		// when their own distance and path counts are intact.
+		dOld := su.rec.Dist[v]
+		if dOld == bc.Unreachable {
+			continue
+		}
+		for _, y := range su.g.InNeighbors(v) {
+			if su.rec.Dist[y] == dOld-1 {
+				seed(y)
+			}
+		}
+	}
+
+	// A removal severs the adjacency between uH and uL, so uH can no longer
+	// be discovered as a predecessor of uL: enqueue it explicitly so that its
+	// dependency (which loses the term contributed through uL) is corrected,
+	// as in Algorithm 2, lines 11-13.
+	if su.kind == kindRemoval {
+		seed(su.uH)
+	}
+
+	// Pre-pass: vertices that lost their connection to the source.
+	for _, v := range ws.lost {
+		su.processLost(v, seed)
+	}
+
+	for level := maxLevel; level >= 0 && level < len(ws.buckets); level-- {
+		for i := 0; i < len(ws.buckets[level]); i++ {
+			w := ws.buckets[level][i]
+			if ws.backwardDone[w] == ws.version || su.dist(w) != int32(level) {
+				continue
+			}
+			su.processVertex(w, level, seed)
+		}
+	}
+}
+
+// processLost handles a vertex that became unreachable from the source: its
+// dependency and path count drop to zero, its incident edges lose their old
+// contributions, and its old predecessors must be revisited.
+func (su *sourceUpdate) processLost(v int, seed func(int)) {
+	ws := su.ws
+	if ws.backwardDone[v] == ws.version {
+		return
+	}
+	ws.backwardDone[v] = ws.version
+	su.setDelta(v, 0)
+	if v != su.s {
+		su.acc.AddVBC(v, -su.rec.Delta[v])
+	}
+	dOld := su.rec.Dist[v]
+	if dOld == bc.Unreachable {
+		return
+	}
+	for _, y := range su.g.InNeighbors(v) {
+		if su.rec.Dist[y] == dOld-1 {
+			seed(y)
+		}
+	}
+}
+
+// processVertex recomputes the dependency of w (whose new distance is level),
+// folds the changes of w and of its incident edges into the accumulator, and
+// propagates to the predecessors whose dependency is affected.
+func (su *sourceUpdate) processVertex(w, level int, seed func(int)) {
+	ws := su.ws
+	ws.backwardDone[w] = ws.version
+
+	var dep float64
+	sw := su.sigma(w)
+	for _, x := range su.g.OutNeighbors(w) {
+		if su.dist(x) == int32(level+1) {
+			sx := su.sigma(x)
+			if sx > 0 {
+				dep += sw / sx * (1 + su.delta(x))
+			}
+		}
+	}
+	su.setDelta(w, dep)
+	if w != su.s {
+		su.acc.AddVBC(w, dep-su.rec.Delta[w])
+	}
+
+	if !su.isTouched(w) && dep == su.rec.Delta[w] {
+		return // nothing changed: predecessors keep their dependency
+	}
+	for _, y := range su.g.InNeighbors(w) {
+		if su.dist(y) == int32(level-1) {
+			seed(y) // predecessor in the new DAG
+			continue
+		}
+		if su.rec.Dist[w] != bc.Unreachable && su.rec.Dist[y] == su.rec.Dist[w]-1 {
+			seed(y) // predecessor only in the old DAG
+		}
+	}
+}
+
+// flushEdgeUpdates folds the contribution changes of every edge incident to a
+// modified vertex into the accumulator, exactly once per edge. It runs after
+// the backward phase, when all distances, path counts and dependencies are
+// final. For undirected graphs an edge between two modified vertices is
+// handled by its smaller endpoint; for directed graphs only out-edges are
+// examined (a changed in-edge contribution always has its tail modified as
+// well, because dependency changes propagate to predecessors).
+func (su *sourceUpdate) flushEdgeUpdates() {
+	directed := su.g.Directed()
+	for _, w := range su.ws.dirty {
+		for _, x := range su.g.OutNeighbors(w) {
+			if !directed && su.ws.isDirty[x] == su.ws.version && x < w {
+				continue // the other endpoint already handled this edge
+			}
+			su.updateEdge(w, x)
+		}
+	}
+}
+
+func (su *sourceUpdate) updateEdge(a, b int) {
+	key := bc.EdgeKey(su.g, a, b)
+	var cOld float64
+	if !(su.kind == kindAddition && key == su.updKey) {
+		// The edge being added did not exist before the update, so it cannot
+		// have carried any dependency: its old contribution is zero.
+		cOld = su.oldEdgeContribution(a, b)
+	}
+	cNew := su.newEdgeContribution(a, b)
+	if cNew != cOld {
+		su.acc.AddEBC(key, cNew-cOld)
+	}
+}
+
+// oldEdgeContribution returns the dependency the edge (a,b) carried for this
+// source before the update: sigma[pred]/sigma[succ]*(1+delta[succ]) if it was
+// a shortest-path DAG edge, zero otherwise. For undirected graphs both
+// orientations are considered.
+func (su *sourceUpdate) oldEdgeContribution(a, b int) float64 {
+	da, db := su.rec.Dist[a], su.rec.Dist[b]
+	if da != bc.Unreachable && db == da+1 && su.rec.Sigma[b] > 0 {
+		return su.rec.Sigma[a] / su.rec.Sigma[b] * (1 + su.rec.Delta[b])
+	}
+	if !su.g.Directed() && db != bc.Unreachable && da == db+1 && su.rec.Sigma[a] > 0 {
+		return su.rec.Sigma[b] / su.rec.Sigma[a] * (1 + su.rec.Delta[a])
+	}
+	return 0
+}
+
+// newEdgeContribution is the counterpart of oldEdgeContribution on the
+// updated graph. It relies on the successor (the deeper endpoint) having been
+// processed before the edge is examined, which the level order of the
+// backward phase guarantees.
+func (su *sourceUpdate) newEdgeContribution(a, b int) float64 {
+	da, db := su.dist(a), su.dist(b)
+	if da != bc.Unreachable && db == da+1 {
+		if sb := su.sigma(b); sb > 0 {
+			return su.sigma(a) / sb * (1 + su.delta(b))
+		}
+	}
+	if !su.g.Directed() && db != bc.Unreachable && da == db+1 {
+		if sa := su.sigma(a); sa > 0 {
+			return su.sigma(b) / sa * (1 + su.delta(a))
+		}
+	}
+	return 0
+}
+
+// writeBack copies every modified value into the per-source record.
+func (su *sourceUpdate) writeBack() {
+	for _, v := range su.ws.dirty {
+		su.rec.Dist[v] = su.dist(v)
+		su.rec.Sigma[v] = su.sigma(v)
+		su.rec.Delta[v] = su.delta(v)
+	}
+}

@@ -1,0 +1,102 @@
+package incremental
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"streambc/internal/graph"
+)
+
+// TestStressRandomEvolution runs long random evolution histories on a variety
+// of graph shapes and checks the updater against a full recomputation after
+// every single update. It is the heavyweight safety net behind the shorter
+// differential tests.
+func TestStressRandomEvolution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in short mode")
+	}
+	type config struct {
+		name     string
+		n        int
+		extra    int
+		directed bool
+		steps    int
+		removeP  float64
+	}
+	configs := []config{
+		{"sparse-undirected", 18, 4, false, 40, 0.4},
+		{"dense-undirected", 14, 40, false, 40, 0.5},
+		{"tree-heavy", 22, 0, false, 40, 0.35},
+		{"sparse-directed", 15, 10, true, 35, 0.4},
+		{"dense-directed", 12, 40, true, 35, 0.5},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 6; seed++ {
+				rng := rand.New(rand.NewSource(seed * 7919))
+				g := randomConnectedGraph(t, cfg.n, cfg.extra, seed, cfg.directed)
+				u := newMemUpdater(t, g.Clone())
+				for step := 0; step < cfg.steps; step++ {
+					if rng.Float64() < cfg.removeP && u.Graph().M() > 0 {
+						edges := u.Graph().Edges()
+						e := edges[rng.Intn(len(edges))]
+						if err := u.Apply(graph.Removal(e.U, e.V)); err != nil {
+							t.Fatalf("%s seed %d step %d remove %v: %v", cfg.name, seed, step, e, err)
+						}
+					} else {
+						a, b := rng.Intn(cfg.n), rng.Intn(cfg.n)
+						if a == b || u.Graph().HasEdge(a, b) {
+							continue
+						}
+						if err := u.Apply(graph.Addition(a, b)); err != nil {
+							t.Fatalf("%s seed %d step %d add (%d,%d): %v", cfg.name, seed, step, a, b, err)
+						}
+					}
+					checkAgainstBrandes(t, u, fmt.Sprintf("%s seed %d step %d", cfg.name, seed, step))
+				}
+			}
+		})
+	}
+}
+
+// TestStressGrowthFromEmpty starts from an edgeless graph and grows it edge by
+// edge, including brand-new vertices, then tears it back down.
+func TestStressGrowthFromEmpty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in short mode")
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed * 3331))
+		g := graph.New(3)
+		u := newMemUpdater(t, g)
+		var present []graph.Edge
+		for step := 0; step < 60; step++ {
+			n := u.Graph().N()
+			grow := rng.Intn(6) == 0
+			if grow || len(present) == 0 || rng.Intn(3) != 0 {
+				a := rng.Intn(n)
+				b := rng.Intn(n)
+				if grow {
+					b = n // brand new vertex
+				}
+				if a == b || (b < n && u.Graph().HasEdge(a, b)) {
+					continue
+				}
+				if err := u.Apply(graph.Addition(a, b)); err != nil {
+					t.Fatalf("seed %d step %d add (%d,%d): %v", seed, step, a, b, err)
+				}
+				present = append(present, graph.Edge{U: a, V: b})
+			} else {
+				i := rng.Intn(len(present))
+				e := present[i]
+				present = append(present[:i], present[i+1:]...)
+				if err := u.Apply(graph.Removal(e.U, e.V)); err != nil {
+					t.Fatalf("seed %d step %d remove %v: %v", seed, step, e, err)
+				}
+			}
+			checkAgainstBrandes(t, u, fmt.Sprintf("growth seed %d step %d", seed, step))
+		}
+	}
+}

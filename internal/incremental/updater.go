@@ -1,0 +1,186 @@
+package incremental
+
+import (
+	"fmt"
+
+	"streambc/internal/bc"
+	"streambc/internal/graph"
+)
+
+// Stats counts the work performed by an Updater, mirroring the quantities the
+// paper reports: how many sources could be skipped thanks to the distance
+// probe and how many needed an actual partial recomputation.
+type Stats struct {
+	UpdatesApplied int
+	SourcesSkipped int64
+	SourcesUpdated int64
+}
+
+// Updater maintains vertex and edge betweenness centrality of an evolving
+// graph. It owns the graph it is given, the per-source betweenness data kept
+// in a Store, and the running centrality scores; each call to Apply consumes
+// one element of the update stream and brings everything up to date.
+//
+// An Updater is not safe for concurrent use. The parallel engine
+// (internal/engine) builds on the per-source primitives instead.
+type Updater struct {
+	g     *graph.Graph
+	store Store
+	res   *bc.Result
+
+	ws      *Workspace
+	rec     *bc.SourceState
+	distBuf []int32
+
+	stats Stats
+}
+
+// NewUpdater runs the offline step of the framework (a full Brandes pass that
+// populates the store with BD[s] for every source and computes the initial
+// centrality scores) and returns an Updater ready to consume the update
+// stream. The store must be empty and sized for g.N() vertices. The Updater
+// takes ownership of g: the caller must not mutate it directly afterwards.
+func NewUpdater(g *graph.Graph, store Store) (*Updater, error) {
+	if store.NumVertices() != g.N() {
+		return nil, fmt.Errorf("incremental: store covers %d vertices, graph has %d", store.NumVertices(), g.N())
+	}
+	u := &Updater{
+		g:     g,
+		store: store,
+		res:   bc.NewResult(g.N()),
+		ws:    NewWorkspace(g.N()),
+		rec:   bc.NewSourceState(g.N()),
+	}
+	state := bc.NewSourceState(g.N())
+	var queue []int
+	for s := 0; s < g.N(); s++ {
+		bc.SingleSource(g, s, state, &queue)
+		bc.AccumulateSource(g, s, state, u.res)
+		if err := store.Save(s, state); err != nil {
+			return nil, fmt.Errorf("incremental: initialising source %d: %w", s, err)
+		}
+	}
+	return u, nil
+}
+
+// Graph returns the evolving graph. It must be treated as read-only; all
+// mutations must go through Apply.
+func (u *Updater) Graph() *graph.Graph { return u.g }
+
+// Result returns the live centrality scores. The returned value is owned by
+// the Updater and changes with every Apply.
+func (u *Updater) Result() *bc.Result { return u.res }
+
+// VBC returns the current vertex betweenness scores (live slice, do not
+// modify).
+func (u *Updater) VBC() []float64 { return u.res.VBC }
+
+// EBC returns the current edge betweenness scores (live map, do not modify).
+func (u *Updater) EBC() map[graph.Edge]float64 { return u.res.EBC }
+
+// Stats returns the work counters accumulated so far.
+func (u *Updater) Stats() Stats { return u.stats }
+
+// Store exposes the underlying per-source store (used by tests and tools).
+func (u *Updater) Store() Store { return u.store }
+
+// Apply consumes one update from the stream: it validates it, applies it to
+// the graph, updates the per-source betweenness data of every affected source
+// and folds the changes into the running centrality scores.
+func (u *Updater) Apply(upd graph.Update) error {
+	if err := u.validate(upd); err != nil {
+		return err
+	}
+	if !upd.Remove {
+		if m := max(upd.U, upd.V); m >= u.g.N() {
+			if err := u.growTo(m + 1); err != nil {
+				return err
+			}
+		}
+	}
+	if err := u.g.Apply(upd); err != nil {
+		return err
+	}
+
+	acc := &ResultAccumulator{Res: u.res}
+	directed := u.g.Directed()
+	for s := 0; s < u.g.N(); s++ {
+		if err := u.store.LoadDistances(s, &u.distBuf); err != nil {
+			return fmt.Errorf("incremental: loading distances of source %d: %w", s, err)
+		}
+		if !Affected(u.distBuf, upd, directed) {
+			u.stats.SourcesSkipped++
+			continue
+		}
+		if err := u.store.Load(s, u.rec); err != nil {
+			return fmt.Errorf("incremental: loading source %d: %w", s, err)
+		}
+		if UpdateSource(u.g, s, upd, u.rec, acc, u.ws) {
+			if err := u.store.Save(s, u.rec); err != nil {
+				return fmt.Errorf("incremental: saving source %d: %w", s, err)
+			}
+		}
+		u.stats.SourcesUpdated++
+	}
+
+	if upd.Remove {
+		// The edge no longer exists: its accumulated centrality has been
+		// driven to zero by the per-source corrections, drop the entry.
+		delete(u.res.EBC, bc.EdgeKey(u.g, upd.U, upd.V))
+	}
+	u.stats.UpdatesApplied++
+	return nil
+}
+
+// ApplyAll applies a whole stream of updates in order, stopping at the first
+// error. It returns the number of updates applied successfully.
+func (u *Updater) ApplyAll(updates []graph.Update) (int, error) {
+	for i, upd := range updates {
+		if err := u.Apply(upd); err != nil {
+			return i, fmt.Errorf("incremental: update %d (%v): %w", i, upd, err)
+		}
+	}
+	return len(updates), nil
+}
+
+func (u *Updater) validate(upd graph.Update) error {
+	if upd.U == upd.V {
+		return graph.ErrSelfLoop
+	}
+	if upd.U < 0 || upd.V < 0 {
+		return fmt.Errorf("%w: negative vertex in %v", graph.ErrVertexRange, upd)
+	}
+	if upd.Remove {
+		if !u.g.HasEdge(upd.U, upd.V) {
+			return fmt.Errorf("%w: %v", graph.ErrMissingEdge, upd.Edge())
+		}
+		return nil
+	}
+	if upd.U < u.g.N() && upd.V < u.g.N() && u.g.HasEdge(upd.U, upd.V) {
+		return fmt.Errorf("%w: %v", graph.ErrDuplicateEdge, upd.Edge())
+	}
+	return nil
+}
+
+// growTo extends the graph, the store and the result to cover n vertices.
+// New vertices join with zero centrality and, as sources, see only themselves
+// (Section 3.1, handling of new vertices).
+func (u *Updater) growTo(n int) error {
+	old := u.g.N()
+	for u.g.N() < n {
+		u.g.AddVertex()
+	}
+	if err := u.store.Grow(n); err != nil {
+		return fmt.Errorf("incremental: growing store to %d vertices: %w", n, err)
+	}
+	for s := old; s < n; s++ {
+		if err := u.store.AddSource(s); err != nil {
+			return fmt.Errorf("incremental: adding source %d: %w", s, err)
+		}
+	}
+	for len(u.res.VBC) < n {
+		u.res.VBC = append(u.res.VBC, 0)
+	}
+	u.ws.grow(n)
+	return nil
+}

@@ -1,0 +1,216 @@
+package incremental
+
+import (
+	"streambc/internal/bc"
+	"streambc/internal/graph"
+)
+
+// Workspace holds the reusable scratch buffers needed to process one source.
+// All per-vertex arrays are version-stamped so that resetting the workspace
+// between sources is O(1): a value is only meaningful when its stamp matches
+// the current version, otherwise the old value from BD[s] applies.
+//
+// A Workspace is not safe for concurrent use; each worker owns one.
+type Workspace struct {
+	version uint64
+
+	n int
+
+	// New (tentative, then final) values of the current source update.
+	dNew   []int32
+	dStamp []uint64
+
+	sigmaNew   []float64
+	sigmaStamp []uint64
+
+	deltaNew   []float64
+	deltaStamp []uint64
+
+	// Traversal state.
+	forwardDone  []uint64 // vertex settled by the forward phase
+	backwardDone []uint64 // vertex processed by the backward phase
+	inScope      []uint64 // vertex belongs to the removal scope (old sub-DAG under uL)
+	queuedAt     []uint64 // stamp-guard for backward seeding (value encodes version)
+
+	// Level buckets shared by the forward and backward phases.
+	buckets   [][]int
+	maxBucket int // highest bucket index holding entries for the current phase
+
+	// Vertices whose distance or sigma changed in the forward phase.
+	touched []int
+	// isTouched is version-stamped membership of touched.
+	isTouched []uint64
+
+	// Vertices whose record must be written back to the store.
+	dirty   []int
+	isDirty []uint64
+
+	// Unreachable vertices discovered by the forward phase of a removal.
+	lost []int
+
+	scopeList []int // removal scope as a list
+}
+
+// NewWorkspace returns a workspace for graphs of up to n vertices. It grows
+// automatically if the graph grows.
+func NewWorkspace(n int) *Workspace {
+	ws := &Workspace{}
+	ws.grow(n)
+	return ws
+}
+
+func (ws *Workspace) grow(n int) {
+	if n <= ws.n {
+		return
+	}
+	ws.n = n
+	ws.dNew = growInt32(ws.dNew, n)
+	ws.dStamp = growUint64(ws.dStamp, n)
+	ws.sigmaNew = growFloat64(ws.sigmaNew, n)
+	ws.sigmaStamp = growUint64(ws.sigmaStamp, n)
+	ws.deltaNew = growFloat64(ws.deltaNew, n)
+	ws.deltaStamp = growUint64(ws.deltaStamp, n)
+	ws.forwardDone = growUint64(ws.forwardDone, n)
+	ws.backwardDone = growUint64(ws.backwardDone, n)
+	ws.inScope = growUint64(ws.inScope, n)
+	ws.queuedAt = growUint64(ws.queuedAt, n)
+	ws.isTouched = growUint64(ws.isTouched, n)
+	ws.isDirty = growUint64(ws.isDirty, n)
+}
+
+// reset prepares the workspace for a new source of a graph with n vertices.
+func (ws *Workspace) reset(n int) {
+	ws.grow(n)
+	ws.version++
+	ws.touched = ws.touched[:0]
+	ws.dirty = ws.dirty[:0]
+	ws.lost = ws.lost[:0]
+	ws.scopeList = ws.scopeList[:0]
+	ws.clearBuckets()
+}
+
+// clearBuckets empties every level bucket used so far. It is called between
+// the forward and backward phases of one source and when the workspace is
+// reset.
+func (ws *Workspace) clearBuckets() {
+	for i := 0; i <= ws.maxBucket && i < len(ws.buckets); i++ {
+		ws.buckets[i] = ws.buckets[i][:0]
+	}
+	ws.maxBucket = 0
+}
+
+func (ws *Workspace) bucket(level int) *[]int {
+	for len(ws.buckets) <= level {
+		ws.buckets = append(ws.buckets, nil)
+	}
+	if level > ws.maxBucket {
+		ws.maxBucket = level
+	}
+	return &ws.buckets[level]
+}
+
+func (ws *Workspace) push(level int, v int) {
+	b := ws.bucket(level)
+	*b = append(*b, v)
+}
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	out := make([]int32, n)
+	copy(out, s)
+	return out
+}
+
+func growUint64(s []uint64, n int) []uint64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	out := make([]uint64, n)
+	copy(out, s)
+	return out
+}
+
+func growFloat64(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	out := make([]float64, n)
+	copy(out, s)
+	return out
+}
+
+// sourceUpdate bundles the state of one per-source update: the new graph, the
+// old record, the workspace and the accumulator receiving the betweenness
+// changes.
+type sourceUpdate struct {
+	g   *graph.Graph
+	s   int
+	rec *bc.SourceState
+	acc Accumulator
+	ws  *Workspace
+
+	// Classification of the update being processed.
+	kind   updateKind
+	uH, uL int        // closer / farther endpoint w.r.t. the source
+	updKey graph.Edge // canonical key of the updated edge
+}
+
+// Value accessors: the new value when stamped in this version, the old BD[s]
+// value otherwise.
+
+func (su *sourceUpdate) dist(v int) int32 {
+	if su.ws.dStamp[v] == su.ws.version {
+		return su.ws.dNew[v]
+	}
+	return su.rec.Dist[v]
+}
+
+func (su *sourceUpdate) setDist(v int, d int32) {
+	su.ws.dNew[v] = d
+	su.ws.dStamp[v] = su.ws.version
+	su.markDirty(v)
+}
+
+func (su *sourceUpdate) sigma(v int) float64 {
+	if su.ws.sigmaStamp[v] == su.ws.version {
+		return su.ws.sigmaNew[v]
+	}
+	return su.rec.Sigma[v]
+}
+
+func (su *sourceUpdate) setSigma(v int, x float64) {
+	su.ws.sigmaNew[v] = x
+	su.ws.sigmaStamp[v] = su.ws.version
+	su.markDirty(v)
+}
+
+func (su *sourceUpdate) delta(v int) float64 {
+	if su.ws.deltaStamp[v] == su.ws.version {
+		return su.ws.deltaNew[v]
+	}
+	return su.rec.Delta[v]
+}
+
+func (su *sourceUpdate) setDelta(v int, x float64) {
+	su.ws.deltaNew[v] = x
+	su.ws.deltaStamp[v] = su.ws.version
+	su.markDirty(v)
+}
+
+func (su *sourceUpdate) markTouched(v int) {
+	if su.ws.isTouched[v] != su.ws.version {
+		su.ws.isTouched[v] = su.ws.version
+		su.ws.touched = append(su.ws.touched, v)
+	}
+}
+
+func (su *sourceUpdate) isTouched(v int) bool { return su.ws.isTouched[v] == su.ws.version }
+
+func (su *sourceUpdate) markDirty(v int) {
+	if su.ws.isDirty[v] != su.ws.version {
+		su.ws.isDirty[v] = su.ws.version
+		su.ws.dirty = append(su.ws.dirty, v)
+	}
+}

@@ -1,0 +1,287 @@
+// Package streambc is a scalable online (incremental) betweenness centrality
+// library for evolving graphs, reproducing "Scalable Online Betweenness
+// Centrality in Evolving Graphs" (Kourtellis, De Francisci Morales, Bonchi —
+// ICDE 2016).
+//
+// The library maintains both vertex betweenness (VBC) and edge betweenness
+// (EBC) while edges are added to and removed from a graph, one update at a
+// time. A single offline Brandes pass builds the per-source betweenness data;
+// afterwards every update only touches the affected region of each source's
+// shortest-path DAG, the per-source data can live in memory or out of core on
+// disk, and the source set can be partitioned across parallel workers — the
+// three ingredients that make the approach scale to large, rapidly changing
+// graphs.
+//
+// Basic usage:
+//
+//	g := streambc.NewGraph(4)
+//	g.AddEdge(0, 1)
+//	g.AddEdge(1, 2)
+//	g.AddEdge(2, 3)
+//
+//	s, _ := streambc.New(g)             // offline initialisation (Brandes)
+//	s.Apply(streambc.Addition(0, 3))    // online updates
+//	s.Apply(streambc.Removal(1, 2))
+//	fmt.Println(s.VBC(), s.TopEdges(3)) // always up to date
+//	s.Close()
+package streambc
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"streambc/internal/bc"
+	"streambc/internal/engine"
+	"streambc/internal/graph"
+	"streambc/internal/incremental"
+)
+
+// Graph is a dynamic simple graph with dense integer vertex identifiers.
+type Graph = graph.Graph
+
+// Edge identifies an edge by its endpoints (canonical form has U <= V for
+// undirected graphs).
+type Edge = graph.Edge
+
+// Update is one element of an edge stream: an addition or removal, optionally
+// timestamped.
+type Update = graph.Update
+
+// Result bundles vertex and edge betweenness scores.
+type Result = bc.Result
+
+// Stats reports how much work the stream processor has done.
+type Stats = engine.Stats
+
+// NewGraph returns an empty undirected graph with n vertices.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// NewDirectedGraph returns an empty directed graph with n vertices.
+func NewDirectedGraph(n int) *Graph { return graph.NewDirected(n) }
+
+// LoadEdgeListFile reads a whitespace-separated edge list from a file.
+func LoadEdgeListFile(path string, directed bool) (*Graph, error) {
+	return graph.LoadEdgeListFile(path, directed)
+}
+
+// Addition builds an edge-addition update.
+func Addition(u, v int) Update { return graph.Addition(u, v) }
+
+// Removal builds an edge-removal update.
+func Removal(u, v int) Update { return graph.Removal(u, v) }
+
+// Betweenness computes vertex and edge betweenness centrality from scratch
+// with Brandes' algorithm (no incremental state). Use it for static graphs or
+// as a reference; for evolving graphs use New and Apply.
+func Betweenness(g *Graph) *Result { return bc.Compute(g) }
+
+// BetweennessParallel is Betweenness with the source set split across the
+// given number of workers.
+func BetweennessParallel(g *Graph, workers int) *Result { return bc.ComputeParallel(g, workers) }
+
+// options collects the configuration of a Stream.
+type options struct {
+	workers int
+	diskDir string
+}
+
+// Option configures New.
+type Option func(*options)
+
+// WithWorkers sets the number of parallel workers the stream processor uses
+// (default 1). Each worker owns one partition of the source set, exactly like
+// one mapper of the paper's parallel deployment.
+func WithWorkers(n int) Option {
+	return func(o *options) { o.workers = n }
+}
+
+// WithDiskStore keeps the per-source betweenness data out of core, in one
+// columnar binary file per worker inside dir (created if needed). Without
+// this option the data stays in memory. The on-disk layout follows
+// Section 5.1 of the paper; for a graph with n vertices it needs roughly
+// 20*n*n bytes across all workers.
+func WithDiskStore(dir string) Option {
+	return func(o *options) { o.diskDir = dir }
+}
+
+// Stream maintains betweenness centrality for an evolving graph.
+type Stream struct {
+	eng     *engine.Engine
+	diskDir string
+}
+
+// New runs the offline initialisation (one Brandes pass over every source)
+// and returns a Stream ready to consume updates. New takes ownership of g:
+// all further mutations must go through Apply.
+func New(g *Graph, opts ...Option) (*Stream, error) {
+	cfg := options{workers: 1}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	econf := engine.Config{Workers: cfg.workers}
+	if cfg.diskDir != "" {
+		if err := os.MkdirAll(cfg.diskDir, 0o755); err != nil {
+			return nil, fmt.Errorf("streambc: creating disk store directory: %w", err)
+		}
+		econf.Store = engine.DiskFactory(cfg.diskDir)
+	}
+	eng, err := engine.New(g, econf)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{eng: eng, diskDir: cfg.diskDir}, nil
+}
+
+// Apply consumes one update (edge addition or removal) and brings all
+// betweenness scores up to date. Updates referencing unseen vertex
+// identifiers grow the graph automatically.
+func (s *Stream) Apply(upd Update) error { return s.eng.Apply(upd) }
+
+// ApplyAll applies a whole stream of updates in order and returns how many
+// were applied before the first error (if any).
+func (s *Stream) ApplyAll(updates []Update) (int, error) { return s.eng.ApplyAll(updates) }
+
+// Graph returns the current graph. Treat it as read-only.
+func (s *Stream) Graph() *Graph { return s.eng.Graph() }
+
+// Result returns the live betweenness scores (owned by the Stream).
+func (s *Stream) Result() *Result { return s.eng.Result() }
+
+// VBC returns the current vertex betweenness scores, indexed by vertex.
+// The slice is owned by the Stream; do not modify it.
+func (s *Stream) VBC() []float64 { return s.eng.VBC() }
+
+// EBC returns the current edge betweenness scores keyed by canonical edge.
+// The map is owned by the Stream; do not modify it.
+func (s *Stream) EBC() map[Edge]float64 { return s.eng.EBC() }
+
+// VertexBetweenness returns the betweenness of a single vertex (0 for
+// unknown identifiers).
+func (s *Stream) VertexBetweenness(v int) float64 {
+	vbc := s.eng.VBC()
+	if v < 0 || v >= len(vbc) {
+		return 0
+	}
+	return vbc[v]
+}
+
+// EdgeBetweenness returns the betweenness of the edge (u,v), or 0 if the edge
+// does not exist.
+func (s *Stream) EdgeBetweenness(u, v int) float64 {
+	return s.eng.EBC()[bc.EdgeKey(s.eng.Graph(), u, v)]
+}
+
+// Stats returns cumulative work counters (updates applied, sources skipped
+// thanks to the distance probe, sources updated).
+func (s *Stream) Stats() Stats { return s.eng.Stats() }
+
+// Workers returns the number of parallel workers.
+func (s *Stream) Workers() int { return s.eng.Workers() }
+
+// Close releases the per-source stores (and their disk files' handles).
+func (s *Stream) Close() error { return s.eng.Close() }
+
+// VertexScore pairs a vertex with its betweenness.
+type VertexScore struct {
+	Vertex int
+	Score  float64
+}
+
+// EdgeScore pairs an edge with its betweenness.
+type EdgeScore struct {
+	Edge  Edge
+	Score float64
+}
+
+// TopVertices returns the k vertices with the highest betweenness, in
+// decreasing order (ties broken by vertex identifier).
+func (s *Stream) TopVertices(k int) []VertexScore {
+	return TopVertices(s.Result(), k)
+}
+
+// TopEdges returns the k edges with the highest betweenness, in decreasing
+// order (ties broken by edge order).
+func (s *Stream) TopEdges(k int) []EdgeScore {
+	return TopEdges(s.Result(), k)
+}
+
+// TopVertices returns the k highest-betweenness vertices of a result.
+func TopVertices(res *Result, k int) []VertexScore {
+	scores := make([]VertexScore, len(res.VBC))
+	for v, x := range res.VBC {
+		scores[v] = VertexScore{Vertex: v, Score: x}
+	}
+	sort.Slice(scores, func(i, j int) bool {
+		if scores[i].Score != scores[j].Score {
+			return scores[i].Score > scores[j].Score
+		}
+		return scores[i].Vertex < scores[j].Vertex
+	})
+	if k > len(scores) {
+		k = len(scores)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return scores[:k]
+}
+
+// TopEdges returns the k highest-betweenness edges of a result.
+func TopEdges(res *Result, k int) []EdgeScore {
+	scores := make([]EdgeScore, 0, len(res.EBC))
+	for e, x := range res.EBC {
+		scores = append(scores, EdgeScore{Edge: e, Score: x})
+	}
+	sort.Slice(scores, func(i, j int) bool {
+		if scores[i].Score != scores[j].Score {
+			return scores[i].Score > scores[j].Score
+		}
+		if scores[i].Edge.U != scores[j].Edge.U {
+			return scores[i].Edge.U < scores[j].Edge.U
+		}
+		return scores[i].Edge.V < scores[j].Edge.V
+	})
+	if k > len(scores) {
+		k = len(scores)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return scores[:k]
+}
+
+// Updater is the single-machine, sequential form of the stream processor: the
+// same per-source algorithm without the worker pool. It is mostly useful for
+// embedding in other tools (the parallel Stream is built on the same
+// primitives) and for benchmarks that isolate the algorithmic speedup from
+// the parallel speedup.
+type Updater = incremental.Updater
+
+// ReplayReport summarises an online replay of a timestamped stream: how many
+// updates were not processed before the next one arrived, and by how much
+// they were late.
+type ReplayReport = engine.ReplayReport
+
+// Replay feeds a timestamped update stream to the Stream, measuring the
+// processing time of every update and reporting which updates would have
+// missed their online deadline (the next arrival), as in Section 6.2 of the
+// paper.
+func (s *Stream) Replay(stream []Update) (*ReplayReport, error) {
+	return engine.Replay(s.eng, stream)
+}
+
+// DiskFiles returns the paths of the per-worker disk stores when the stream
+// was created with WithDiskStore, or nil otherwise.
+func (s *Stream) DiskFiles() []string {
+	if s.diskDir == "" {
+		return nil
+	}
+	matches, err := filepath.Glob(filepath.Join(s.diskDir, "bd-worker-*.bin"))
+	if err != nil {
+		return nil
+	}
+	sort.Strings(matches)
+	return matches
+}

@@ -1,0 +1,200 @@
+package streambc
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) <= 1e-7*(1+math.Abs(a)+math.Abs(b)) }
+
+func buildPath(t *testing.T, n int) *Graph {
+	t.Helper()
+	g := NewGraph(n)
+	for i := 0; i+1 < n; i++ {
+		if err := g.AddEdge(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestStreamMatchesStaticBetweenness(t *testing.T) {
+	g := GenerateSocialGraph(120, 3, 0.5, 1)
+	updates, err := MixedUpdates(g, 25, 0.4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := New(g.Clone(), WithWorkers(2))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	if s.Workers() != 2 {
+		t.Fatalf("Workers = %d", s.Workers())
+	}
+	if n, err := s.ApplyAll(updates); err != nil || n != len(updates) {
+		t.Fatalf("ApplyAll: n=%d err=%v", n, err)
+	}
+
+	want := Betweenness(s.Graph())
+	got := s.Result()
+	for v := range want.VBC {
+		if !approx(got.VBC[v], want.VBC[v]) {
+			t.Fatalf("VBC[%d] = %g, want %g", v, got.VBC[v], want.VBC[v])
+		}
+	}
+	st := s.Stats()
+	if st.UpdatesApplied != len(updates) {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestStreamWithDiskStore(t *testing.T) {
+	g := GenerateRandomGraph(60, 150, 3)
+	s, err := New(g.Clone(), WithWorkers(2), WithDiskStore(t.TempDir()))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	if files := s.DiskFiles(); len(files) != 2 {
+		t.Fatalf("DiskFiles = %v, want 2 files", files)
+	}
+	adds, err := RandomAdditions(s.Graph(), 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ApplyAll(adds); err != nil {
+		t.Fatalf("ApplyAll: %v", err)
+	}
+	want := Betweenness(s.Graph())
+	for v := range want.VBC {
+		if !approx(s.VBC()[v], want.VBC[v]) {
+			t.Fatalf("VBC[%d] mismatch", v)
+		}
+	}
+}
+
+func TestAccessorsOnPath(t *testing.T) {
+	s, err := New(buildPath(t, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Path 0-1-2-3-4: centre vertex 2 has VBC 2*2*2=8; edge (2,3) has EBC 2*3*2=12.
+	if !approx(s.VertexBetweenness(2), 8) {
+		t.Fatalf("VertexBetweenness(2) = %g, want 8", s.VertexBetweenness(2))
+	}
+	if !approx(s.EdgeBetweenness(2, 3), 12) {
+		t.Fatalf("EdgeBetweenness(2,3) = %g, want 12", s.EdgeBetweenness(2, 3))
+	}
+	if s.VertexBetweenness(99) != 0 || s.EdgeBetweenness(0, 4) != 0 {
+		t.Fatal("out-of-range accessors must return 0")
+	}
+	top := s.TopVertices(2)
+	if len(top) != 2 || top[0].Vertex != 2 {
+		t.Fatalf("TopVertices = %v", top)
+	}
+	edges := s.TopEdges(1)
+	if len(edges) != 1 || edges[0].Edge.Canonical() != (Edge{U: 1, V: 2}).Canonical() && edges[0].Edge.Canonical() != (Edge{U: 2, V: 3}).Canonical() {
+		t.Fatalf("TopEdges = %v", edges)
+	}
+	if len(s.TopVertices(100)) != 5 {
+		t.Fatal("TopVertices must clamp k")
+	}
+	if len(s.TopVertices(-1)) != 0 {
+		t.Fatal("negative k must yield empty result")
+	}
+	if s.DiskFiles() != nil {
+		t.Fatal("memory-backed stream must report no disk files")
+	}
+}
+
+func TestStreamGrowsWithNewVertices(t *testing.T) {
+	s, err := New(buildPath(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Apply(Addition(2, 5)); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if s.Graph().N() != 6 {
+		t.Fatalf("graph did not grow: %d", s.Graph().N())
+	}
+	want := Betweenness(s.Graph())
+	for v := range want.VBC {
+		if !approx(s.VBC()[v], want.VBC[v]) {
+			t.Fatalf("VBC[%d] = %g want %g", v, s.VBC()[v], want.VBC[v])
+		}
+	}
+}
+
+func TestReplayThroughPublicAPI(t *testing.T) {
+	g := GenerateSocialGraph(80, 3, 0.4, 5)
+	adds, err := RandomAdditions(g, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := TimestampUpdates(adds, 5, 0.1, 3)
+	s, err := New(g.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rep, err := s.Replay(stream)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if rep.Updates != len(stream) {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestBetweennessParallelAgrees(t *testing.T) {
+	g := GenerateRandomGraph(70, 180, 9)
+	a := Betweenness(g)
+	b := BetweennessParallel(g, 3)
+	for v := range a.VBC {
+		if !approx(a.VBC[v], b.VBC[v]) {
+			t.Fatalf("VBC[%d] differs", v)
+		}
+	}
+}
+
+func TestDetectCommunitiesPublicAPI(t *testing.T) {
+	g, truth := GenerateCommunityGraph(2, 10, 0.9, 0.02, 7)
+	res, err := DetectCommunities(g, CommunityOptions{TargetCommunities: 2})
+	if err != nil {
+		t.Fatalf("DetectCommunities: %v", err)
+	}
+	if res.BestModularity < 0.3 {
+		t.Fatalf("modularity = %g", res.BestModularity)
+	}
+	_ = truth
+	// The recompute baseline should find the same split on this easy case.
+	res2, err := DetectCommunities(g, CommunityOptions{TargetCommunities: 2, Recompute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.BestModularity < 0.3 {
+		t.Fatalf("recompute modularity = %g", res2.BestModularity)
+	}
+}
+
+func TestPublicErrorPropagation(t *testing.T) {
+	s, err := New(buildPath(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Apply(Addition(1, 1)); err == nil {
+		t.Fatal("self loop must be rejected")
+	}
+	if err := s.Apply(Removal(0, 3)); err == nil {
+		t.Fatal("removing a missing edge must be rejected")
+	}
+	if _, err := RandomRemovals(NewGraph(3), 5, 1); err == nil {
+		t.Fatal("expected error for too many removals")
+	}
+}
