@@ -9,10 +9,13 @@ package streambc
 // MO and DO configurations, and one update on the parallel engine).
 
 import (
+	"context"
 	"io"
 	"testing"
 
+	"streambc/internal/engine"
 	"streambc/internal/experiments"
+	"streambc/internal/server"
 )
 
 // benchGraph builds the social-like graph shared by the micro-benchmarks.
@@ -107,3 +110,57 @@ func BenchmarkGirvanNewmanIncremental(b *testing.B) {
 		}
 	}
 }
+
+// benchServingPipeline pushes updates through the serving subsystem's
+// coalescing ingest pipeline in batches of batchSize, waiting for every batch
+// to be applied. Comparing batchSize 1 against larger batches isolates the
+// per-request round-trip overhead of the serving layer from the engine's
+// update cost, which is the number that matters for serving throughput.
+func benchServingPipeline(b *testing.B, batchSize int) {
+	g := benchGraph(b, 300)
+	adds, err := RandomAdditions(g, 64, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	removals := make([]Update, len(adds))
+	for i, a := range adds {
+		removals[i] = Removal(a.U, a.V)
+	}
+	eng, err := engine.New(g, engine.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := server.New(eng, server.Config{})
+	srv.Start()
+	defer func() {
+		srv.Close()
+		eng.Close()
+	}()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for applied := 0; applied < b.N; {
+		// One full cycle (all additions, then all removals) leaves the graph
+		// unchanged, so the benchmark can loop indefinitely.
+		for _, stream := range [][]Update{adds, removals} {
+			for off := 0; off < len(stream); off += batchSize {
+				end := min(off+batchSize, len(stream))
+				batch, err := srv.Enqueue(stream[off:end])
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := batch.Wait(ctx); err != nil {
+					b.Fatal(err)
+				}
+				if errs := batch.Errs(); len(errs) > 0 {
+					b.Fatal(errs[0])
+				}
+				applied += end - off
+			}
+		}
+	}
+}
+
+func BenchmarkPipelineApplySingle(b *testing.B)    { benchServingPipeline(b, 1) }
+func BenchmarkPipelineApplyBatched16(b *testing.B) { benchServingPipeline(b, 16) }
+func BenchmarkPipelineApplyBatched64(b *testing.B) { benchServingPipeline(b, 64) }

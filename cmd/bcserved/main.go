@@ -1,0 +1,129 @@
+// Command bcserved is the online serving daemon of the streaming betweenness
+// framework: it loads (or restores) a graph, runs the offline initialisation
+// and then serves an HTTP/JSON API for continuous edge updates and
+// low-latency betweenness queries, with periodic and on-shutdown snapshots
+// for restart durability.
+//
+// Examples:
+//
+//	bcserved -addr :8080 -graph graph.txt -workers 4
+//	bcserved -addr :8080 -snapshot-dir /var/lib/bcserved -snapshot-interval 1m
+//
+// When -snapshot-dir contains a snapshot from a previous run it is restored
+// (and -graph is ignored); otherwise the daemon starts from -graph, or from
+// an empty graph that grows as updates referencing new vertices arrive.
+//
+// See README.md for the endpoint reference and an example curl session.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"streambc/internal/engine"
+	"streambc/internal/graph"
+	"streambc/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (host:port)")
+		graphPath    = flag.String("graph", "", "edge-list file of the initial graph (ignored when a snapshot is restored)")
+		directed     = flag.Bool("directed", false, "treat the graph as directed")
+		workers      = flag.Int("workers", 1, "number of parallel workers")
+		diskDir      = flag.String("disk", "", "keep the betweenness data out of core in this directory")
+		snapshotDir  = flag.String("snapshot-dir", "", "directory for snapshots (enables restore-on-start and snapshot-on-shutdown)")
+		snapInterval = flag.Duration("snapshot-interval", 5*time.Minute, "period of automatic snapshots (0 disables; needs -snapshot-dir)")
+		maxQueue     = flag.Int("max-queue", 65536, "ingest queue capacity before updates are rejected with 503")
+	)
+	flag.Parse()
+
+	cfg := engine.Config{Workers: *workers}
+	if *diskDir != "" {
+		if err := os.MkdirAll(*diskDir, 0o755); err != nil {
+			log.Fatalf("bcserved: creating disk store directory: %v", err)
+		}
+		cfg.Store = engine.DiskFactory(*diskDir)
+	}
+
+	eng, err := buildEngine(*snapshotDir, *graphPath, *directed, cfg)
+	if err != nil {
+		log.Fatalf("bcserved: %v", err)
+	}
+	defer eng.Close()
+
+	srv := server.New(eng, server.Config{
+		SnapshotDir:      *snapshotDir,
+		SnapshotInterval: *snapInterval,
+		MaxQueue:         *maxQueue,
+	})
+	srv.Start()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("bcserved: serving on http://%s (n=%d m=%d workers=%d)",
+			*addr, eng.Graph().N(), eng.Graph().M(), eng.Workers())
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("bcserved: received %v, shutting down", sig)
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("bcserved: %v", err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("bcserved: HTTP shutdown: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		log.Printf("bcserved: %v", err)
+	} else if *snapshotDir != "" {
+		log.Printf("bcserved: final snapshot written to %s", *snapshotDir)
+	}
+}
+
+// buildEngine restores the engine from the latest snapshot when one exists,
+// and falls back to the -graph file (or an empty graph) otherwise.
+func buildEngine(snapshotDir, graphPath string, directed bool, cfg engine.Config) (*engine.Engine, error) {
+	if snapshotDir != "" {
+		st, err := server.LoadSnapshotFile(snapshotDir)
+		switch {
+		case err == nil:
+			log.Printf("bcserved: restoring snapshot (n=%d m=%d, %d updates applied)",
+				st.Graph.N(), st.Graph.M(), st.Applied)
+			return engine.RestoreEngine(st, cfg)
+		case errors.Is(err, os.ErrNotExist):
+			// First start: fall through to -graph.
+		default:
+			return nil, fmt.Errorf("restoring snapshot: %w", err)
+		}
+	}
+	var g *graph.Graph
+	if graphPath != "" {
+		var err error
+		if g, err = graph.LoadEdgeListFile(graphPath, directed); err != nil {
+			return nil, err
+		}
+	} else if directed {
+		g = graph.NewDirected(0)
+	} else {
+		g = graph.New(0)
+	}
+	return engine.New(g, cfg)
+}

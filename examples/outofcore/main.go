@@ -44,7 +44,11 @@ func main() {
 		g.N(), workers, time.Since(start).Round(time.Millisecond))
 
 	fmt.Println("worker store files:")
-	for _, path := range s.DiskFiles() {
+	files, err := s.DiskFiles()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, path := range files {
 		info, err := os.Stat(path)
 		if err != nil {
 			log.Fatal(err)

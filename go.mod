@@ -1,0 +1,3 @@
+module streambc
+
+go 1.24

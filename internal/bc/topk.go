@@ -1,0 +1,66 @@
+package bc
+
+import (
+	"sort"
+
+	"streambc/internal/graph"
+)
+
+// VertexScore pairs a vertex with its betweenness.
+type VertexScore struct {
+	Vertex int
+	Score  float64
+}
+
+// EdgeScore pairs an edge with its betweenness.
+type EdgeScore struct {
+	Edge  graph.Edge
+	Score float64
+}
+
+// TopVertices returns the k vertices of res with the highest betweenness, in
+// decreasing order (ties broken by vertex identifier). Out-of-range values of
+// k are clamped to [0, n].
+func TopVertices(res *Result, k int) []VertexScore {
+	scores := make([]VertexScore, len(res.VBC))
+	for v, x := range res.VBC {
+		scores[v] = VertexScore{Vertex: v, Score: x}
+	}
+	sort.Slice(scores, func(i, j int) bool {
+		if scores[i].Score != scores[j].Score {
+			return scores[i].Score > scores[j].Score
+		}
+		return scores[i].Vertex < scores[j].Vertex
+	})
+	return scores[:clampK(k, len(scores))]
+}
+
+// TopEdges returns the k edges of res with the highest betweenness, in
+// decreasing order (ties broken by edge order). Out-of-range values of k are
+// clamped to [0, m].
+func TopEdges(res *Result, k int) []EdgeScore {
+	scores := make([]EdgeScore, 0, len(res.EBC))
+	for e, x := range res.EBC {
+		scores = append(scores, EdgeScore{Edge: e, Score: x})
+	}
+	sort.Slice(scores, func(i, j int) bool {
+		if scores[i].Score != scores[j].Score {
+			return scores[i].Score > scores[j].Score
+		}
+		if scores[i].Edge.U != scores[j].Edge.U {
+			return scores[i].Edge.U < scores[j].Edge.U
+		}
+		return scores[i].Edge.V < scores[j].Edge.V
+	})
+	return scores[:clampK(k, len(scores))]
+}
+
+func clampK(k, n int) int {
+	if k < 0 {
+		return 0
+	}
+	if k > n {
+		return n
+	}
+	return k
+}

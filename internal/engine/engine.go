@@ -194,6 +194,44 @@ func (e *Engine) Stats() Stats {
 	return st
 }
 
+// ResultSnapshot returns a deep copy of the current betweenness scores. The
+// caller must ensure no update is applied concurrently; the copy can then be
+// read freely while the engine keeps processing updates (the snapshot-on-read
+// pattern used by the serving layer).
+func (e *Engine) ResultSnapshot() *bc.Result { return e.res.Clone() }
+
+// SetUpdatesApplied overwrites the cumulative applied-update counter. It is
+// used when restoring an engine from a snapshot so that the applied-update
+// offset of the stream survives a restart.
+func (e *Engine) SetUpdatesApplied(n int) { e.stats.UpdatesApplied = n }
+
+// ReplaceScores overwrites the live betweenness scores with res (deep copy).
+// It is used when restoring from a snapshot: the offline initialisation
+// recomputes the scores from the graph, but overwriting them with the
+// snapshotted values guarantees a bit-exact round trip regardless of
+// floating-point accumulation order.
+func (e *Engine) ReplaceScores(res *bc.Result) error {
+	if len(res.VBC) != e.g.N() {
+		return fmt.Errorf("engine: replacing scores: got %d vertex scores for %d vertices", len(res.VBC), e.g.N())
+	}
+	e.res.VBC = append(e.res.VBC[:0], res.VBC...)
+	clear(e.res.EBC)
+	for k, v := range res.EBC {
+		e.res.EBC[k] = v
+	}
+	return nil
+}
+
+// EnsureVertices grows the graph, the worker stores and the result so that
+// at least n vertices exist, exactly as an addition referencing vertex n-1
+// would. Isolated vertices have zero betweenness, so no scores change.
+func (e *Engine) EnsureVertices(n int) error {
+	if n <= e.g.N() {
+		return nil
+	}
+	return e.growTo(n)
+}
+
 // Apply processes one update: the map phase runs the per-source incremental
 // algorithm on every worker in parallel, the reduce phase merges the partial
 // betweenness changes into the global result.

@@ -1,0 +1,331 @@
+package engine
+
+// Snapshot/restore for the serving layer: a snapshot captures everything
+// needed to bring a restarted engine back to the exact externally visible
+// state of the original — the evolving graph, the applied-update offset and
+// the current vertex/edge betweenness scores. The per-source betweenness data
+// BD[·] is deliberately not serialised (it is O(n²) and is regenerated
+// exactly by one offline initialisation pass over the restored graph).
+//
+// Format (version 1, all multi-byte integers as unsigned varints, floats as
+// little-endian IEEE-754 bits):
+//
+//	magic    [8]byte  "STBCSNAP"
+//	version  uvarint  (1)
+//	flags    uvarint  bit 0: directed
+//	n        uvarint  number of vertices
+//	m        uvarint  number of edges
+//	edges    m × (uvarint u, uvarint v)
+//	applied  uvarint  cumulative updates applied
+//	vbc      n × float64
+//	ebcLen   uvarint
+//	ebc      ebcLen × (uvarint u, uvarint v, float64)
+//	crc      uint32   CRC-32 (IEEE) of every byte before it
+//
+// The trailing checksum turns torn or corrupted snapshot files into load
+// errors instead of silently wrong scores.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"streambc/internal/bc"
+	"streambc/internal/graph"
+)
+
+var snapshotMagic = [8]byte{'S', 'T', 'B', 'C', 'S', 'N', 'A', 'P'}
+
+const snapshotVersion = 1
+
+// ErrBadSnapshot is wrapped by every snapshot decoding failure.
+var ErrBadSnapshot = errors.New("engine: bad snapshot")
+
+// SnapshotState is the decoded content of a snapshot: the restored graph,
+// the applied-update offset and the betweenness scores at snapshot time.
+type SnapshotState struct {
+	Graph   *graph.Graph
+	Applied int
+	Scores  *bc.Result
+}
+
+// WriteSnapshot serialises the engine's graph, applied-update offset and
+// scores to w. The caller must ensure no update is applied concurrently.
+func WriteSnapshot(w io.Writer, e *Engine) error {
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, crc))
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return fmt.Errorf("engine: writing snapshot: %w", err)
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	writeUvarint := func(x uint64) error {
+		n := binary.PutUvarint(scratch[:], x)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	writeFloat := func(f float64) error {
+		binary.LittleEndian.PutUint64(scratch[:8], math.Float64bits(f))
+		_, err := bw.Write(scratch[:8])
+		return err
+	}
+
+	g := e.g
+	flags := uint64(0)
+	if g.Directed() {
+		flags |= 1
+	}
+	edges := g.Edges()
+	fields := []uint64{snapshotVersion, flags, uint64(g.N()), uint64(len(edges))}
+	for _, x := range fields {
+		if err := writeUvarint(x); err != nil {
+			return fmt.Errorf("engine: writing snapshot: %w", err)
+		}
+	}
+	for _, edge := range edges {
+		if err := writeUvarint(uint64(edge.U)); err != nil {
+			return fmt.Errorf("engine: writing snapshot: %w", err)
+		}
+		if err := writeUvarint(uint64(edge.V)); err != nil {
+			return fmt.Errorf("engine: writing snapshot: %w", err)
+		}
+	}
+	if err := writeUvarint(uint64(e.stats.UpdatesApplied)); err != nil {
+		return fmt.Errorf("engine: writing snapshot: %w", err)
+	}
+	for _, x := range e.res.VBC {
+		if err := writeFloat(x); err != nil {
+			return fmt.Errorf("engine: writing snapshot: %w", err)
+		}
+	}
+	if err := writeUvarint(uint64(len(e.res.EBC))); err != nil {
+		return fmt.Errorf("engine: writing snapshot: %w", err)
+	}
+	// Iterate edge scores in the deterministic Edges() order so identical
+	// states produce byte-identical snapshots. Scores of edges no longer in
+	// the graph cannot exist (removals delete their EBC entry).
+	written := 0
+	for _, edge := range edges {
+		x, ok := e.res.EBC[edge]
+		if !ok {
+			continue
+		}
+		if err := writeUvarint(uint64(edge.U)); err != nil {
+			return fmt.Errorf("engine: writing snapshot: %w", err)
+		}
+		if err := writeUvarint(uint64(edge.V)); err != nil {
+			return fmt.Errorf("engine: writing snapshot: %w", err)
+		}
+		if err := writeFloat(x); err != nil {
+			return fmt.Errorf("engine: writing snapshot: %w", err)
+		}
+		written++
+	}
+	if written != len(e.res.EBC) {
+		return fmt.Errorf("engine: writing snapshot: %d edge scores do not correspond to live edges", len(e.res.EBC)-written)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("engine: writing snapshot: %w", err)
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := w.Write(sum[:]); err != nil {
+		return fmt.Errorf("engine: writing snapshot: %w", err)
+	}
+	return nil
+}
+
+// crcReader hashes every byte it delivers so the trailing checksum can be
+// verified after the payload has been decoded.
+type crcReader struct {
+	br  *bufio.Reader
+	crc hash.Hash32
+}
+
+func (r *crcReader) ReadByte() (byte, error) {
+	b, err := r.br.ReadByte()
+	if err == nil {
+		r.crc.Write([]byte{b})
+	}
+	return b, err
+}
+
+func (r *crcReader) Read(p []byte) (int, error) {
+	n, err := r.br.Read(p)
+	r.crc.Write(p[:n])
+	return n, err
+}
+
+// ReadSnapshot decodes a snapshot previously written by WriteSnapshot,
+// verifying the trailing checksum. Decoding happens in two phases: the
+// payload is first read into slices that grow with the bytes actually
+// present in the input, and the graph and result are only materialised after
+// the checksum has verified — so a corrupted header claiming billions of
+// vertices produces ErrBadSnapshot, not a gigantic allocation.
+func ReadSnapshot(r io.Reader) (*SnapshotState, error) {
+	cr := &crcReader{br: bufio.NewReader(r), crc: crc32.NewIEEE()}
+	var magic [8]byte
+	if _, err := io.ReadFull(cr, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading magic: %w", ErrBadSnapshot, err)
+	}
+	if magic != snapshotMagic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadSnapshot, magic[:])
+	}
+	readUvarint := func(what string) (uint64, error) {
+		x, err := binary.ReadUvarint(cr)
+		if err != nil {
+			return 0, fmt.Errorf("%w: reading %s: %w", ErrBadSnapshot, what, err)
+		}
+		return x, nil
+	}
+	readFloat := func(what string) (float64, error) {
+		var buf [8]byte
+		if _, err := io.ReadFull(cr, buf[:]); err != nil {
+			return 0, fmt.Errorf("%w: reading %s: %w", ErrBadSnapshot, what, err)
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+	}
+
+	version, err := readUvarint("version")
+	if err != nil {
+		return nil, err
+	}
+	if version != snapshotVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadSnapshot, version)
+	}
+	flags, err := readUvarint("flags")
+	if err != nil {
+		return nil, err
+	}
+	directed := flags&1 != 0
+	nu, err := readUvarint("vertex count")
+	if err != nil {
+		return nil, err
+	}
+	mu, err := readUvarint("edge count")
+	if err != nil {
+		return nil, err
+	}
+	const maxInt = int(^uint(0) >> 1)
+	if nu > uint64(maxInt) || mu > uint64(maxInt) {
+		return nil, fmt.Errorf("%w: implausible sizes n=%d m=%d", ErrBadSnapshot, nu, mu)
+	}
+	n, m := int(nu), int(mu)
+
+	// Phase 1: decode the payload. Slices are appended to, never
+	// preallocated from header counts, so memory stays proportional to the
+	// input actually read; a truncated or corrupted file errors out long
+	// before n-sized structures exist.
+	var edges []graph.Edge
+	for i := 0; i < m; i++ {
+		uu, err := readUvarint("edge endpoint")
+		if err != nil {
+			return nil, err
+		}
+		vv, err := readUvarint("edge endpoint")
+		if err != nil {
+			return nil, err
+		}
+		if uu >= nu || vv >= nu {
+			return nil, fmt.Errorf("%w: edge (%d,%d) out of range (n=%d)", ErrBadSnapshot, uu, vv, nu)
+		}
+		edges = append(edges, graph.Edge{U: int(uu), V: int(vv)})
+	}
+	applied, err := readUvarint("applied-update offset")
+	if err != nil {
+		return nil, err
+	}
+	if applied > uint64(maxInt) {
+		return nil, fmt.Errorf("%w: implausible applied-update offset %d", ErrBadSnapshot, applied)
+	}
+	var vbc []float64
+	for v := 0; v < n; v++ {
+		x, err := readFloat("vertex score")
+		if err != nil {
+			return nil, err
+		}
+		vbc = append(vbc, x)
+	}
+	el, err := readUvarint("edge score count")
+	if err != nil {
+		return nil, err
+	}
+	if el > mu {
+		return nil, fmt.Errorf("%w: %d edge scores for %d edges", ErrBadSnapshot, el, mu)
+	}
+	type edgeScore struct {
+		e graph.Edge
+		x float64
+	}
+	var ebc []edgeScore
+	for i := 0; i < int(el); i++ {
+		uu, err := readUvarint("edge score endpoint")
+		if err != nil {
+			return nil, err
+		}
+		vv, err := readUvarint("edge score endpoint")
+		if err != nil {
+			return nil, err
+		}
+		if uu >= nu || vv >= nu {
+			return nil, fmt.Errorf("%w: edge score (%d,%d) out of range (n=%d)", ErrBadSnapshot, uu, vv, nu)
+		}
+		x, err := readFloat("edge score")
+		if err != nil {
+			return nil, err
+		}
+		ebc = append(ebc, edgeScore{e: graph.Edge{U: int(uu), V: int(vv)}, x: x})
+	}
+	want := cr.crc.Sum32()
+	var sum [4]byte
+	if _, err := io.ReadFull(cr.br, sum[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading checksum: %w", ErrBadSnapshot, err)
+	}
+	if got := binary.LittleEndian.Uint32(sum[:]); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (file %08x, computed %08x)", ErrBadSnapshot, got, want)
+	}
+
+	// Phase 2: the payload is authentic; build the graph and scores.
+	var g *graph.Graph
+	if directed {
+		g = graph.NewDirected(n)
+	} else {
+		g = graph.New(n)
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(e.U, e.V); err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
+		}
+	}
+	scores := bc.NewResult(n)
+	copy(scores.VBC, vbc)
+	for _, es := range ebc {
+		if !g.HasEdge(es.e.U, es.e.V) {
+			return nil, fmt.Errorf("%w: score for missing edge %v", ErrBadSnapshot, es.e)
+		}
+		scores.EBC[bc.EdgeKey(g, es.e.U, es.e.V)] = es.x
+	}
+	return &SnapshotState{Graph: g, Applied: int(applied), Scores: scores}, nil
+}
+
+// RestoreEngine builds a running engine from a decoded snapshot: it reruns
+// the offline initialisation over the restored graph (regenerating the
+// per-source data BD[·]) and then overwrites the recomputed scores with the
+// snapshotted ones, so queries after a restart return exactly the values
+// served before it.
+func RestoreEngine(st *SnapshotState, cfg Config) (*Engine, error) {
+	e, err := New(st.Graph, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.ReplaceScores(st.Scores); err != nil {
+		e.Close()
+		return nil, err
+	}
+	e.SetUpdatesApplied(st.Applied)
+	return e, nil
+}

@@ -1,0 +1,237 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math/rand"
+	"testing"
+
+	"streambc/internal/bc"
+	"streambc/internal/graph"
+)
+
+// snapshotTestEngine builds an engine over a small random-ish graph and
+// applies a mixed update stream so the snapshot captures a non-trivial state
+// (including a removal, whose EBC entry must not reappear after restore).
+func snapshotTestEngine(t *testing.T, workers int) (*Engine, []graph.Update) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	g := graph.New(20)
+	for g.M() < 40 {
+		u, v := rng.Intn(20), rng.Intn(20)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		if err := g.AddEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, err := New(g, Config{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := e.Graph().Edges()
+	upds := []graph.Update{
+		graph.Removal(edges[0].U, edges[0].V),
+		graph.Addition(edges[0].U, edges[0].V),
+		graph.Removal(edges[3].U, edges[3].V),
+		graph.Addition(5, 21), // grows the graph
+	}
+	for _, u := range upds {
+		if err := e.Apply(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e, upds
+}
+
+func sameScores(t *testing.T, a, b *bc.Result) {
+	t.Helper()
+	if len(a.VBC) != len(b.VBC) {
+		t.Fatalf("VBC length %d != %d", len(a.VBC), len(b.VBC))
+	}
+	for v := range a.VBC {
+		if a.VBC[v] != b.VBC[v] {
+			t.Fatalf("VBC[%d]: %v != %v", v, a.VBC[v], b.VBC[v])
+		}
+	}
+	if len(a.EBC) != len(b.EBC) {
+		t.Fatalf("EBC size %d != %d", len(a.EBC), len(b.EBC))
+	}
+	for e, x := range a.EBC {
+		if y, ok := b.EBC[e]; !ok || x != y {
+			t.Fatalf("EBC[%v]: %v != %v (present=%v)", e, x, y, ok)
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	e, _ := snapshotTestEngine(t, 2)
+	defer e.Close()
+
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, e); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	st, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if st.Applied != e.Stats().UpdatesApplied {
+		t.Fatalf("applied offset = %d, want %d", st.Applied, e.Stats().UpdatesApplied)
+	}
+	if got, want := st.Graph.Edges(), e.Graph().Edges(); len(got) != len(want) {
+		t.Fatalf("edge count %d != %d", len(got), len(want))
+	} else {
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("edge %d: %v != %v", i, got[i], want[i])
+			}
+		}
+	}
+	sameScores(t, e.Result(), st.Scores)
+
+	restored, err := RestoreEngine(st, Config{Workers: 3})
+	if err != nil {
+		t.Fatalf("RestoreEngine: %v", err)
+	}
+	defer restored.Close()
+	if restored.Stats().UpdatesApplied != e.Stats().UpdatesApplied {
+		t.Fatal("restored engine lost the applied-update offset")
+	}
+	sameScores(t, e.Result(), restored.Result())
+
+	// The regenerated per-source data must keep the restored engine exact:
+	// applying the same new updates to both engines must agree with a
+	// from-scratch recomputation.
+	more := []graph.Update{graph.Addition(0, 21), graph.Removal(0, 21), graph.Addition(2, 19)}
+	for _, u := range more {
+		if err := e.Apply(u); err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.Apply(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := bc.Compute(restored.Graph())
+	for v := range want.VBC {
+		if diff := want.VBC[v] - restored.VBC()[v]; diff > 1e-7 || diff < -1e-7 {
+			t.Fatalf("restored VBC[%d] = %v, want %v", v, restored.VBC()[v], want.VBC[v])
+		}
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	e, _ := snapshotTestEngine(t, 1)
+	defer e.Close()
+	var a, b bytes.Buffer
+	if err := WriteSnapshot(&a, e); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSnapshot(&b, e); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical states must produce byte-identical snapshots")
+	}
+}
+
+func TestSnapshotDetectsCorruption(t *testing.T) {
+	e, _ := snapshotTestEngine(t, 1)
+	defer e.Close()
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one payload byte: the checksum (or a structural check) must fail.
+	corrupt := append([]byte(nil), buf.Bytes()...)
+	corrupt[len(corrupt)/2] ^= 0xff
+	if _, err := ReadSnapshot(bytes.NewReader(corrupt)); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("corrupted snapshot: err = %v, want ErrBadSnapshot", err)
+	}
+
+	// Truncation must fail too.
+	if _, err := ReadSnapshot(bytes.NewReader(buf.Bytes()[:buf.Len()-5])); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("truncated snapshot: err = %v, want ErrBadSnapshot", err)
+	}
+
+	// Bad magic.
+	if _, err := ReadSnapshot(bytes.NewReader([]byte("not a snapshot"))); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("bad magic: err = %v, want ErrBadSnapshot", err)
+	}
+}
+
+func TestSnapshotDirectedGraph(t *testing.T) {
+	g := graph.NewDirected(5)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {1, 3}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, err := New(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.Apply(graph.Removal(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Graph.Directed() {
+		t.Fatal("directedness must round-trip")
+	}
+	restored, err := RestoreEngine(st, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	sameScores(t, e.Result(), restored.Result())
+}
+
+func TestSnapshotCorruptHeaderDoesNotAllocate(t *testing.T) {
+	// A header claiming billions of vertices over a tiny payload must fail
+	// fast (EOF while decoding) instead of allocating n-sized structures
+	// before the checksum is checked.
+	var buf bytes.Buffer
+	buf.WriteString("STBCSNAP")
+	var tmp [10]byte
+	for _, x := range []uint64{1, 0, 1 << 39, 1 << 39} { // version, flags, n, m
+		n := binary.PutUvarint(tmp[:], x)
+		buf.Write(tmp[:n])
+	}
+	buf.WriteString("short")
+	if _, err := ReadSnapshot(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("err = %v, want ErrBadSnapshot", err)
+	}
+}
+
+func TestSnapshotRejectsImplausibleAppliedOffset(t *testing.T) {
+	// A structurally valid, correctly checksummed snapshot whose applied
+	// counter overflows int must be rejected, not decoded as negative.
+	var payload bytes.Buffer
+	payload.WriteString("STBCSNAP")
+	var tmp [10]byte
+	// version, flags, n=0, m=0, (no edges), applied=2^64-1.
+	for _, x := range []uint64{1, 0, 0, 0, ^uint64(0)} {
+		n := binary.PutUvarint(tmp[:], x)
+		payload.Write(tmp[:n])
+	}
+	full := payload.Bytes()
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.ChecksumIEEE(full))
+	full = append(full, sum[:]...)
+	if _, err := ReadSnapshot(bytes.NewReader(full)); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("err = %v, want ErrBadSnapshot", err)
+	}
+}

@@ -1,0 +1,290 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"streambc/internal/bc"
+	"streambc/internal/graph"
+)
+
+// defaultWaitTimeout bounds how long an ingest request with "wait":true may
+// block before the server answers with 202 anyway.
+const defaultWaitTimeout = 30 * time.Second
+
+// Handler returns the HTTP API of the server:
+//
+//	GET  /healthz             liveness probe
+//	GET  /metrics             plain-text serving metrics
+//	POST /v1/updates          ingest a batch of updates
+//	POST /v1/update           ingest a single update
+//	GET  /v1/vertices/{v}     betweenness of one vertex
+//	GET  /v1/edges?u=&v=      betweenness of one edge
+//	GET  /v1/top/vertices?k=  top-k vertices by betweenness
+//	GET  /v1/top/edges?k=     top-k edges by betweenness
+//	GET  /v1/graph            graph summary (n, m, directedness, degree)
+//	GET  /v1/stats            engine and serving counters
+//	POST /v1/snapshot         write a snapshot now
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/updates", s.handleUpdates)
+	mux.HandleFunc("POST /v1/update", s.handleUpdate)
+	mux.HandleFunc("GET /v1/vertices/{v}", s.handleVertex)
+	mux.HandleFunc("GET /v1/edges", s.handleEdge)
+	mux.HandleFunc("GET /v1/top/vertices", s.handleTopVertices)
+	mux.HandleFunc("GET /v1/top/edges", s.handleTopEdges)
+	mux.HandleFunc("GET /v1/graph", s.handleGraph)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
+	return mux
+}
+
+type updateJSON struct {
+	Op string `json:"op"` // "add" or "remove"
+	U  int    `json:"u"`
+	V  int    `json:"v"`
+}
+
+func (u updateJSON) toUpdate() (graph.Update, error) {
+	switch u.Op {
+	case "add", "":
+		return graph.Addition(u.U, u.V), nil
+	case "remove":
+		return graph.Removal(u.U, u.V), nil
+	default:
+		return graph.Update{}, fmt.Errorf("unknown op %q (want \"add\" or \"remove\")", u.Op)
+	}
+}
+
+type ingestRequest struct {
+	Updates []updateJSON `json:"updates"`
+	// Wait makes the request block until the batch has been applied, giving
+	// read-your-writes semantics to the caller.
+	Wait bool `json:"wait"`
+}
+
+type ingestResponse struct {
+	Enqueued  int      `json:"enqueued"`
+	Waited    bool     `json:"waited"`
+	Applied   int      `json:"applied"`
+	Coalesced int      `json:"coalesced"`
+	Rejected  int      `json:"rejected"`
+	Errors    []string `json:"errors,omitempty"`
+}
+
+func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	s.ingest(w, r, req)
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		updateJSON
+		Wait bool `json:"wait"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	s.ingest(w, r, ingestRequest{Updates: []updateJSON{req.updateJSON}, Wait: req.Wait})
+}
+
+func (s *Server) ingest(w http.ResponseWriter, r *http.Request, req ingestRequest) {
+	if len(req.Updates) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("empty update batch"))
+		return
+	}
+	upds := make([]graph.Update, len(req.Updates))
+	for i, u := range req.Updates {
+		upd, err := u.toUpdate()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("update %d: %w", i, err))
+			return
+		}
+		upds[i] = upd
+	}
+	batch, err := s.Enqueue(upds)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrQueueFull) {
+			status = http.StatusServiceUnavailable
+		} else if errors.Is(err, ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		httpError(w, status, err)
+		return
+	}
+	resp := ingestResponse{Enqueued: len(upds)}
+	status := http.StatusAccepted
+	if req.Wait {
+		ctx, cancel := context.WithTimeout(r.Context(), defaultWaitTimeout)
+		defer cancel()
+		if err := batch.Wait(ctx); err == nil {
+			resp.Waited = true
+			resp.Applied = batch.Applied()
+			resp.Coalesced = batch.Coalesced()
+			for _, e := range batch.Errs() {
+				resp.Errors = append(resp.Errors, e.Error())
+			}
+			resp.Rejected = len(resp.Errors)
+			status = http.StatusOK
+		}
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
+	vtx, err := strconv.Atoi(r.PathValue("v"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad vertex id: %w", err))
+		return
+	}
+	v := s.currentView()
+	score := 0.0
+	known := vtx >= 0 && vtx < len(v.res.VBC)
+	if known {
+		score = v.res.VBC[vtx]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"vertex": vtx, "known": known, "score": score})
+}
+
+func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
+	u, err1 := strconv.Atoi(r.URL.Query().Get("u"))
+	vtx, err2 := strconv.Atoi(r.URL.Query().Get("v"))
+	if err1 != nil || err2 != nil {
+		httpError(w, http.StatusBadRequest, errors.New("query parameters u and v must be integers"))
+		return
+	}
+	key := graph.Edge{U: u, V: vtx}
+	if !s.directed {
+		key = key.Canonical()
+	}
+	v := s.currentView()
+	score, known := v.res.EBC[key]
+	writeJSON(w, http.StatusOK, map[string]any{"u": u, "v": vtx, "known": known, "score": score})
+}
+
+type vertexScoreJSON struct {
+	Vertex int     `json:"vertex"`
+	Score  float64 `json:"score"`
+}
+
+type edgeScoreJSON struct {
+	U     int     `json:"u"`
+	V     int     `json:"v"`
+	Score float64 `json:"score"`
+}
+
+func (s *Server) handleTopVertices(w http.ResponseWriter, r *http.Request) {
+	k, err := parseK(r, 10)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	v := s.currentView()
+	top := bc.TopVertices(v.res, k)
+	out := make([]vertexScoreJSON, len(top))
+	for i, t := range top {
+		out[i] = vertexScoreJSON{Vertex: t.Vertex, Score: t.Score}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"k": len(out), "vertices": out})
+}
+
+func (s *Server) handleTopEdges(w http.ResponseWriter, r *http.Request) {
+	k, err := parseK(r, 10)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	v := s.currentView()
+	top := bc.TopEdges(v.res, k)
+	out := make([]edgeScoreJSON, len(top))
+	for i, t := range top {
+		out[i] = edgeScoreJSON{U: t.Edge.U, V: t.Edge.V, Score: t.Score}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"k": len(out), "edges": out})
+}
+
+func (s *Server) handleGraph(w http.ResponseWriter, _ *http.Request) {
+	v := s.currentView()
+	avg := 0.0
+	if v.n > 0 {
+		avg = float64(v.m) / float64(v.n)
+		if !v.directed {
+			avg *= 2
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"n":          v.n,
+		"m":          v.m,
+		"directed":   v.directed,
+		"avg_degree": avg,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	v := s.currentView()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"updates_applied":   v.stats.UpdatesApplied,
+		"sources_skipped":   v.stats.SourcesSkipped,
+		"sources_updated":   v.stats.SourcesUpdated,
+		"updates_enqueued":  s.met.enqueued.Load(),
+		"updates_rejected":  s.met.rejected.Load(),
+		"updates_coalesced": s.met.coalesced.Load(),
+		"queue_depth":       s.QueueDepth(),
+		"snapshots":         s.met.snapshots.Load(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	writeMetrics(w, s.met, s.QueueDepth(), s.currentView().stats)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	path, err := s.Snapshot()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrNoSnapshotDir) {
+			status = http.StatusConflict
+		}
+		httpError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"path": path})
+}
+
+func parseK(r *http.Request, def int) (int, error) {
+	raw := r.URL.Query().Get("k")
+	if raw == "" {
+		return def, nil
+	}
+	k, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad k: %w", err)
+	}
+	return k, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]any{"error": err.Error()})
+}

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streambc/internal/engine"
+)
+
+// metrics holds the serving counters exposed on /metrics. Counters are
+// atomics so the hot path never contends; update latencies go into a small
+// mutex-protected ring from which quantiles are computed on demand.
+type metrics struct {
+	enqueued     atomic.Int64 // updates admitted to the queue
+	applied      atomic.Int64 // updates applied to the engine
+	rejected     atomic.Int64 // updates rejected by the engine (bad ops)
+	coalesced    atomic.Int64 // updates folded away before application
+	batches      atomic.Int64 // drain cycles executed
+	snapshots    atomic.Int64 // snapshots written
+	snapshotErrs atomic.Int64 // snapshot attempts that failed
+
+	latMu   sync.Mutex
+	lats    []float64 // seconds, ring buffer
+	latNext int
+	latN    int
+}
+
+func newMetrics(window int) *metrics {
+	if window <= 0 {
+		window = 1024
+	}
+	return &metrics{lats: make([]float64, window)}
+}
+
+// observeLatency records the engine-apply latency of one update.
+func (m *metrics) observeLatency(d time.Duration) {
+	s := d.Seconds()
+	m.latMu.Lock()
+	m.lats[m.latNext] = s
+	m.latNext = (m.latNext + 1) % len(m.lats)
+	if m.latN < len(m.lats) {
+		m.latN++
+	}
+	m.latMu.Unlock()
+}
+
+// latencyQuantiles returns the given quantiles (in [0,1]) over the sliding
+// window of recent update latencies, or nil when nothing has been recorded.
+func (m *metrics) latencyQuantiles(qs []float64) []float64 {
+	m.latMu.Lock()
+	sample := make([]float64, 0, m.latN)
+	if m.latN < len(m.lats) {
+		sample = append(sample, m.lats[:m.latN]...)
+	} else {
+		sample = append(sample, m.lats...)
+	}
+	m.latMu.Unlock()
+	if len(sample) == 0 {
+		return nil
+	}
+	sort.Float64s(sample)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		idx := int(q*float64(len(sample))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sample) {
+			idx = len(sample) - 1
+		}
+		out[i] = sample[idx]
+	}
+	return out
+}
+
+var metricQuantiles = []float64{0.5, 0.9, 0.99, 1}
+
+// writeMetrics renders the Prometheus-style plain-text exposition.
+func writeMetrics(w io.Writer, m *metrics, queueDepth int, st engine.Stats) {
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	p("# HELP streambc_updates_enqueued_total Updates admitted to the ingest queue.\n")
+	p("# TYPE streambc_updates_enqueued_total counter\n")
+	p("streambc_updates_enqueued_total %d\n", m.enqueued.Load())
+	p("# HELP streambc_updates_applied_total Updates applied to the engine.\n")
+	p("# TYPE streambc_updates_applied_total counter\n")
+	p("streambc_updates_applied_total %d\n", m.applied.Load())
+	p("# HELP streambc_updates_rejected_total Updates rejected by the engine.\n")
+	p("# TYPE streambc_updates_rejected_total counter\n")
+	p("streambc_updates_rejected_total %d\n", m.rejected.Load())
+	p("# HELP streambc_updates_coalesced_total Updates folded away before reaching the engine.\n")
+	p("# TYPE streambc_updates_coalesced_total counter\n")
+	p("streambc_updates_coalesced_total %d\n", m.coalesced.Load())
+	p("# HELP streambc_update_batches_total Drain cycles executed by the ingest pipeline.\n")
+	p("# TYPE streambc_update_batches_total counter\n")
+	p("streambc_update_batches_total %d\n", m.batches.Load())
+	p("# HELP streambc_update_queue_depth Updates queued and not yet drained.\n")
+	p("# TYPE streambc_update_queue_depth gauge\n")
+	p("streambc_update_queue_depth %d\n", queueDepth)
+	p("# HELP streambc_snapshots_total Snapshots written.\n")
+	p("# TYPE streambc_snapshots_total counter\n")
+	p("streambc_snapshots_total %d\n", m.snapshots.Load())
+	p("# HELP streambc_snapshot_errors_total Snapshot attempts that failed.\n")
+	p("# TYPE streambc_snapshot_errors_total counter\n")
+	p("streambc_snapshot_errors_total %d\n", m.snapshotErrs.Load())
+	p("# HELP streambc_sources_skipped_total Sources skipped by the distance probe.\n")
+	p("# TYPE streambc_sources_skipped_total counter\n")
+	p("streambc_sources_skipped_total %d\n", st.SourcesSkipped)
+	p("# HELP streambc_sources_updated_total Sources whose betweenness data was recomputed.\n")
+	p("# TYPE streambc_sources_updated_total counter\n")
+	p("streambc_sources_updated_total %d\n", st.SourcesUpdated)
+	p("# HELP streambc_update_latency_seconds Engine-apply latency of recent updates.\n")
+	p("# TYPE streambc_update_latency_seconds summary\n")
+	if vals := m.latencyQuantiles(metricQuantiles); vals != nil {
+		for i, q := range metricQuantiles {
+			p("streambc_update_latency_seconds{quantile=\"%g\"} %g\n", q, vals[i])
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"streambc/internal/graph"
+)
+
+// Errors returned by Enqueue.
+var (
+	// ErrQueueFull signals that admitting the batch would push the ingest
+	// queue past its configured capacity. Callers should retry later (the
+	// HTTP layer maps it to 503).
+	ErrQueueFull = errors.New("server: ingest queue full")
+	// ErrClosed signals that the pipeline has been shut down.
+	ErrClosed = errors.New("server: pipeline closed")
+)
+
+// Batch tracks one Enqueue call through the ingest pipeline. It completes
+// when every update of the batch has been applied, coalesced away or
+// rejected.
+type Batch struct {
+	done chan struct{}
+
+	mu        sync.Mutex
+	applied   int
+	coalesced int
+	errs      []error
+}
+
+func newBatch() *Batch { return &Batch{done: make(chan struct{})} }
+
+// Done returns a channel closed when the batch has been fully processed.
+func (b *Batch) Done() <-chan struct{} { return b.done }
+
+// Wait blocks until the batch has been processed or ctx is cancelled.
+func (b *Batch) Wait(ctx context.Context) error {
+	select {
+	case <-b.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Applied returns how many updates of the batch were applied to the engine.
+func (b *Batch) Applied() int { b.mu.Lock(); defer b.mu.Unlock(); return b.applied }
+
+// Coalesced returns how many updates of the batch were folded away by the
+// coalescer (duplicates collapsed or add/remove pairs cancelled).
+func (b *Batch) Coalesced() int { b.mu.Lock(); defer b.mu.Unlock(); return b.coalesced }
+
+// Errs returns the rejection errors of the batch's updates, in order.
+func (b *Batch) Errs() []error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]error(nil), b.errs...)
+}
+
+func (b *Batch) noteApplied()   { b.mu.Lock(); b.applied++; b.mu.Unlock() }
+func (b *Batch) noteCoalesced() { b.mu.Lock(); b.coalesced++; b.mu.Unlock() }
+func (b *Batch) noteError(err error) {
+	b.mu.Lock()
+	b.errs = append(b.errs, err)
+	b.mu.Unlock()
+}
+
+// item is one queued element: a single update tagged with the batch that
+// submitted it, or a barrier (an empty batch used by Flush).
+type item struct {
+	upd     graph.Update
+	batch   *Batch
+	barrier bool
+}
+
+// pipeline is the background ingest path: Enqueue appends updates to a
+// queue, the run loop drains the queue, coalesces the drained updates and
+// applies what survives off the request path, so a burst of writes never
+// holds an HTTP handler hostage and redundant updates never reach the
+// (comparatively expensive) incremental engine.
+type pipeline struct {
+	directed bool
+	maxQueue int
+	// apply applies the surviving items of one drain (it must handle
+	// barriers); needVertices is the vertex count the graph must reach so
+	// that additions folded away by the coalescer still grow the graph
+	// exactly as sequential application would have. A returned error is an
+	// infrastructure failure affecting the whole drain (for example a store
+	// growth failure) and is reported on every drained batch; per-update
+	// rejections are the callback's own responsibility.
+	apply       func(items []item, needVertices int) error
+	onCoalesced func(int) // reports updates dropped by each drain's fold
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []item
+	closed  bool
+	stopped chan struct{}
+}
+
+func newPipeline(directed bool, maxQueue int, apply func([]item, int) error, onCoalesced func(int)) *pipeline {
+	p := &pipeline{
+		directed:    directed,
+		maxQueue:    maxQueue,
+		apply:       apply,
+		onCoalesced: onCoalesced,
+		stopped:     make(chan struct{}),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// enqueue admits a batch of updates (or a barrier, when upds is empty) to the
+// queue and returns the Batch tracking it.
+func (p *pipeline) enqueue(upds []graph.Update) (*Batch, error) {
+	b := newBatch()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrClosed
+	}
+	// Admit any batch while the queue has room (the queue may overshoot by
+	// one batch): rejecting batches larger than the remaining room would
+	// make an oversized batch unservable forever, not throttled.
+	if p.maxQueue > 0 && len(p.queue) >= p.maxQueue {
+		return nil, ErrQueueFull
+	}
+	if len(upds) == 0 {
+		p.queue = append(p.queue, item{batch: b, barrier: true})
+	} else {
+		for _, u := range upds {
+			p.queue = append(p.queue, item{upd: u, batch: b})
+		}
+	}
+	p.cond.Signal()
+	return b, nil
+}
+
+// depth returns the number of queued, not yet drained updates.
+func (p *pipeline) depth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// run drains the queue until close. Each drain takes everything currently
+// queued, coalesces it and applies the survivors as one engine batch.
+func (p *pipeline) run() {
+	defer close(p.stopped)
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 {
+			p.mu.Unlock()
+			return
+		}
+		drained := p.queue
+		p.queue = nil
+		p.mu.Unlock()
+
+		kept, dropped, needVertices := coalesce(drained, p.directed)
+		if dropped > 0 && p.onCoalesced != nil {
+			p.onCoalesced(dropped)
+		}
+		finishBatches(drained, p.apply(kept, needVertices))
+	}
+}
+
+// close marks the pipeline closed and waits until the run loop has drained
+// everything still queued. It must only be called when run is (or has been)
+// running; use markClosed when run was never started.
+func (p *pipeline) close() {
+	p.markClosed()
+	<-p.stopped
+}
+
+// markClosed rejects further enqueues without waiting for the run loop.
+func (p *pipeline) markClosed() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
+// coalesce folds a drained slice of items to its net effect while preserving
+// the relative order of the survivors:
+//
+//   - a duplicate of a still-pending update on the same edge collapses into
+//     it (add,add -> add; remove,remove -> remove);
+//   - a pending add followed by a remove of the same edge cancels both
+//     (add,remove -> nothing), after which a later update on that edge
+//     starts fresh (add,remove,add -> add).
+//
+// A remove followed by an add does NOT cancel: a remove of an edge that does
+// not exist is rejected by the engine, and cancelling it against a later
+// (valid) add from another client sharing the queue would silently swallow
+// that client's write; keeping both reproduces sequential behaviour exactly
+// (remove rejected with an error, add applied).
+//
+// For undirected graphs (u,v) and (v,u) are the same edge. Every update
+// dropped here is counted on its batch; barriers pass through untouched.
+// Folding assumes the stream is well-formed with respect to the graph state
+// at drain time (the same assumption sequential application makes): the net
+// effect of a well-formed sequence on the scores is exactly the net effect of
+// the folded sequence, because betweenness is a pure function of the graph.
+//
+// needVertices is the vertex count the additions of the drain (surviving or
+// not) would have grown the graph to: an add(5,6)/remove(5,6) pair cancels,
+// but sequential application would still have left vertices 5 and 6 behind,
+// and the served vertex count must not depend on drain timing. Self loops
+// and negative endpoints are excluded, mirroring the engine's validation
+// (which rejects them before growing the graph).
+func coalesce(in []item, directed bool) (out []item, dropped, needVertices int) {
+	kept := make([]item, 0, len(in))
+	dead := make([]bool, 0, len(in))
+	pending := make(map[graph.Edge]int) // edge -> index in kept of the live op
+	for _, it := range in {
+		if it.barrier {
+			kept = append(kept, it)
+			dead = append(dead, false)
+			continue
+		}
+		if u := it.upd; !u.Remove && u.U != u.V && u.U >= 0 && u.V >= 0 {
+			if n := max(u.U, u.V) + 1; n > needVertices {
+				needVertices = n
+			}
+		}
+		key := it.upd.Edge()
+		if !directed {
+			key = key.Canonical()
+		}
+		if j, ok := pending[key]; ok {
+			if kept[j].upd.Remove == it.upd.Remove {
+				// Duplicate: collapse into the pending update.
+				it.batch.noteCoalesced()
+				dropped++
+				continue
+			}
+			if !kept[j].upd.Remove && it.upd.Remove {
+				// Pending add cancelled by this remove.
+				dead[j] = true
+				kept[j].batch.noteCoalesced()
+				it.batch.noteCoalesced()
+				dropped += 2
+				delete(pending, key)
+				continue
+			}
+			// Pending remove followed by an add: keep both, in order.
+		}
+		pending[key] = len(kept)
+		kept = append(kept, it)
+		dead = append(dead, false)
+	}
+	if dropped == 0 {
+		return kept, 0, needVertices
+	}
+	out = kept[:0]
+	for i, it := range kept {
+		if !dead[i] {
+			out = append(out, it)
+		}
+	}
+	return out, dropped, needVertices
+}
+
+// finishBatches records the drain-wide error (if any) on every batch that had
+// items in the drained slice and closes each batch's done channel (each batch
+// exactly once).
+func finishBatches(drained []item, err error) {
+	seen := make(map[*Batch]struct{}, len(drained))
+	for _, it := range drained {
+		if _, ok := seen[it.batch]; ok {
+			continue
+		}
+		seen[it.batch] = struct{}{}
+		if err != nil {
+			it.batch.noteError(err)
+		}
+		close(it.batch.done)
+	}
+}

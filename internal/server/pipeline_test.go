@@ -1,0 +1,264 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"streambc/internal/graph"
+)
+
+// mkItems wraps updates as queue items sharing one batch, returning both.
+func mkItems(upds ...graph.Update) ([]item, *Batch) {
+	b := newBatch()
+	items := make([]item, len(upds))
+	for i, u := range upds {
+		items[i] = item{upd: u, batch: b}
+	}
+	return items, b
+}
+
+func updatesOf(items []item) []graph.Update {
+	out := make([]graph.Update, 0, len(items))
+	for _, it := range items {
+		out = append(out, it.upd)
+	}
+	return out
+}
+
+func assertUpdates(t *testing.T, got []item, want ...graph.Update) {
+	t.Helper()
+	g := updatesOf(got)
+	if len(g) != len(want) {
+		t.Fatalf("coalesce kept %v, want %v", g, want)
+	}
+	for i := range g {
+		if g[i] != want[i] {
+			t.Fatalf("coalesce kept %v, want %v", g, want)
+		}
+	}
+}
+
+func TestCoalesceAddRemoveCancels(t *testing.T) {
+	items, b := mkItems(
+		graph.Addition(0, 1),
+		graph.Addition(2, 3),
+		graph.Removal(0, 1),
+	)
+	kept, dropped, _ := coalesce(items, false)
+	assertUpdates(t, kept, graph.Addition(2, 3))
+	if dropped != 2 || b.Coalesced() != 2 {
+		t.Fatalf("dropped = %d, batch coalesced = %d, want 2 and 2", dropped, b.Coalesced())
+	}
+}
+
+func TestCoalesceRemoveThenAddBothSurvive(t *testing.T) {
+	// A remove followed by an add must NOT cancel: if the edge does not
+	// exist the remove must be rejected like sequential application would,
+	// not silently swallow the (valid) add of another client in the queue.
+	items, _ := mkItems(graph.Removal(4, 5), graph.Addition(4, 5))
+	kept, dropped, _ := coalesce(items, false)
+	assertUpdates(t, kept, graph.Removal(4, 5), graph.Addition(4, 5))
+	if dropped != 0 {
+		t.Fatalf("dropped = %d, want 0", dropped)
+	}
+}
+
+func TestCoalesceDuplicatesCollapse(t *testing.T) {
+	items, b := mkItems(
+		graph.Addition(0, 1),
+		graph.Addition(0, 1),
+		graph.Removal(2, 3),
+		graph.Removal(2, 3),
+		graph.Removal(2, 3),
+	)
+	kept, dropped, _ := coalesce(items, false)
+	assertUpdates(t, kept, graph.Addition(0, 1), graph.Removal(2, 3))
+	if dropped != 3 || b.Coalesced() != 3 {
+		t.Fatalf("dropped = %d, batch coalesced = %d, want 3 and 3", dropped, b.Coalesced())
+	}
+}
+
+func TestCoalesceCancelThenFreshUpdateSurvives(t *testing.T) {
+	// add, remove, add on the same edge: the pair cancels, the final add is
+	// a fresh pending update and must survive.
+	items, _ := mkItems(graph.Addition(0, 1), graph.Removal(0, 1), graph.Addition(0, 1))
+	kept, dropped, _ := coalesce(items, false)
+	assertUpdates(t, kept, graph.Addition(0, 1))
+	if dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", dropped)
+	}
+}
+
+func TestCoalescePreservesOrderOfSurvivors(t *testing.T) {
+	items, _ := mkItems(
+		graph.Addition(0, 1),
+		graph.Addition(2, 3),
+		graph.Removal(2, 3), // cancels with the previous
+		graph.Addition(4, 5),
+		graph.Addition(0, 1), // duplicate, collapses
+		graph.Removal(6, 7),
+		graph.Addition(8, 9),
+	)
+	kept, _, _ := coalesce(items, false)
+	assertUpdates(t, kept,
+		graph.Addition(0, 1),
+		graph.Addition(4, 5),
+		graph.Removal(6, 7),
+		graph.Addition(8, 9),
+	)
+}
+
+func TestCoalesceUndirectedTreatsOrientationsAsOneEdge(t *testing.T) {
+	// add(0,1) then remove(1,0): one undirected edge, so the pair cancels.
+	items, _ := mkItems(graph.Addition(0, 1), graph.Removal(1, 0))
+	kept, dropped, _ := coalesce(items, false)
+	assertUpdates(t, kept)
+	if dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", dropped)
+	}
+}
+
+func TestCoalesceDirectedKeepsOrientationsDistinct(t *testing.T) {
+	items, _ := mkItems(graph.Addition(0, 1), graph.Removal(1, 0))
+	kept, dropped, _ := coalesce(items, true)
+	assertUpdates(t, kept, graph.Addition(0, 1), graph.Removal(1, 0))
+	if dropped != 0 {
+		t.Fatalf("dropped = %d, want 0", dropped)
+	}
+}
+
+func TestCoalescePassesBarriersThrough(t *testing.T) {
+	b := newBatch()
+	items := []item{
+		{upd: graph.Addition(0, 1), batch: b},
+		{barrier: true, batch: newBatch()},
+		{upd: graph.Removal(0, 1), batch: b},
+	}
+	kept, dropped, _ := coalesce(items, false)
+	if dropped != 2 || len(kept) != 1 || !kept[0].barrier {
+		t.Fatalf("kept = %v (dropped %d), want only the barrier", kept, dropped)
+	}
+}
+
+// applyRecorder collects the updates a pipeline hands to its apply callback.
+type applyRecorder struct {
+	applied [][]graph.Update
+}
+
+func (a *applyRecorder) apply(items []item, _ int) error {
+	batch := make([]graph.Update, 0, len(items))
+	for _, it := range items {
+		if !it.barrier {
+			batch = append(batch, it.upd)
+		}
+	}
+	a.applied = append(a.applied, batch)
+	return nil
+}
+
+func TestPipelineDrainsAndCompletesBatches(t *testing.T) {
+	rec := &applyRecorder{}
+	p := newPipeline(false, 0, rec.apply, nil)
+	go p.run()
+
+	b1, err := p.enqueue([]graph.Update{graph.Addition(0, 1), graph.Addition(2, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := b1.Wait(ctx); err != nil {
+		t.Fatalf("batch did not complete: %v", err)
+	}
+	p.close()
+
+	total := 0
+	for _, batch := range rec.applied {
+		total += len(batch)
+	}
+	if total != 2 {
+		t.Fatalf("applied %d updates, want 2 (%v)", total, rec.applied)
+	}
+}
+
+func TestPipelineQueueFull(t *testing.T) {
+	p := newPipeline(false, 2, func([]item, int) error { return nil }, nil)
+	// Not started: the queue cannot drain, so once it is at capacity any
+	// further batch must overflow.
+	if _, err := p.enqueue([]graph.Update{graph.Addition(0, 1), graph.Addition(1, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.enqueue([]graph.Update{graph.Addition(2, 3)}); err != ErrQueueFull {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	go p.run()
+	p.close()
+}
+
+func TestPipelineAdmitsOversizedBatchWhenQueueHasRoom(t *testing.T) {
+	// A batch larger than maxQueue must be admitted while the queue is below
+	// capacity — rejecting it would make it unservable forever, since no
+	// amount of draining could ever make it fit.
+	p := newPipeline(false, 2, func([]item, int) error { return nil }, nil)
+	if _, err := p.enqueue([]graph.Update{
+		graph.Addition(0, 1), graph.Addition(1, 2), graph.Addition(2, 3), graph.Addition(3, 4),
+	}); err != nil {
+		t.Fatalf("oversized batch on empty queue: %v", err)
+	}
+	if _, err := p.enqueue([]graph.Update{graph.Addition(4, 5)}); err != ErrQueueFull {
+		t.Fatalf("err = %v, want ErrQueueFull once at capacity", err)
+	}
+	go p.run()
+	p.close()
+}
+
+func TestCoalesceReportsNeededVertices(t *testing.T) {
+	// The cancelled pair references vertices 8 and 9: sequential application
+	// would have grown the graph to 10 vertices, so the fold must report
+	// that. Self loops and removals must not contribute.
+	items, _ := mkItems(
+		graph.Addition(8, 9),
+		graph.Removal(8, 9),
+		graph.Addition(3, 3),  // self loop: engine rejects before growing
+		graph.Removal(40, 41), // removals never grow the graph
+	)
+	kept, _, needVertices := coalesce(items, false)
+	assertUpdates(t, kept, graph.Addition(3, 3), graph.Removal(40, 41))
+	if needVertices != 10 {
+		t.Fatalf("needVertices = %d, want 10", needVertices)
+	}
+}
+
+func TestPipelineReportsDrainWideError(t *testing.T) {
+	// An infrastructure error returned by the apply callback must reach
+	// every batch of the drain — including one whose updates were all
+	// coalesced away and therefore never passed to the callback.
+	wantErr := errors.New("store grow failed")
+	p := newPipeline(false, 0, func([]item, int) error { return wantErr }, nil)
+	go p.run()
+	defer p.close()
+
+	b, err := p.enqueue([]graph.Update{graph.Addition(8, 9), graph.Removal(8, 9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := b.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if errs := b.Errs(); len(errs) != 1 || !errors.Is(errs[0], wantErr) {
+		t.Fatalf("batch errors = %v, want exactly [%v]", errs, wantErr)
+	}
+}
+
+func TestPipelineEnqueueAfterClose(t *testing.T) {
+	p := newPipeline(false, 0, func([]item, int) error { return nil }, nil)
+	go p.run()
+	p.close()
+	if _, err := p.enqueue([]graph.Update{graph.Addition(0, 1)}); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}

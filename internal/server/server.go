@@ -1,0 +1,274 @@
+// Package server is the online serving layer of the streaming betweenness
+// framework: it wraps an engine behind an HTTP/JSON API with an asynchronous,
+// coalescing ingest pipeline, lock-free snapshot-on-read queries and periodic
+// snapshot/restore durability — the long-lived daemon shape the paper's
+// framework is designed for (command bcserved is a thin wrapper around it).
+//
+// Concurrency model: a single background goroutine (the pipeline) is the only
+// writer; it takes the server's write lock for the duration of one drained,
+// coalesced batch of updates. Queries never touch the engine — after every
+// batch the pipeline publishes an immutable view (a deep copy of the scores
+// plus graph summary) through an atomic pointer, so reads are wait-free and
+// never block behind a long update. Snapshots take the read lock, which only
+// excludes the writer, not queries.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streambc/internal/bc"
+	"streambc/internal/engine"
+	"streambc/internal/graph"
+)
+
+// SnapshotFileName is the name of the current snapshot inside the snapshot
+// directory. Snapshots are written to a temporary file and renamed over it,
+// so the file is always a complete, checksummed snapshot.
+const SnapshotFileName = "streambc.snap"
+
+// ErrNoSnapshotDir is returned by Snapshot when no directory is configured.
+var ErrNoSnapshotDir = errors.New("server: no snapshot directory configured")
+
+// Config configures a Server.
+type Config struct {
+	// SnapshotDir, when non-empty, enables durability: Snapshot writes
+	// there, Close writes a final snapshot, and SnapshotInterval > 0 adds
+	// periodic ones.
+	SnapshotDir string
+	// SnapshotInterval is the period of automatic snapshots (0 disables).
+	SnapshotInterval time.Duration
+	// MaxQueue bounds the ingest queue; Enqueue fails with ErrQueueFull
+	// beyond it. Values < 1 mean the default of 65536.
+	MaxQueue int
+	// LatencyWindow is the number of recent update latencies kept for the
+	// /metrics quantiles. Values < 1 mean the default of 1024.
+	LatencyWindow int
+}
+
+// Server serves an engine over HTTP. Create one with New, start the
+// background pipeline with Start, and shut down with Close.
+type Server struct {
+	cfg      Config
+	directed bool
+
+	mu   sync.RWMutex // write: pipeline applying a batch; read: snapshotting
+	eng  *engine.Engine
+	pipe *pipeline
+	met  *metrics
+	view atomic.Pointer[view]
+
+	started   bool
+	snapStop  chan struct{}
+	snapDone  chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// view is the immutable state queries read: a deep copy of the scores plus a
+// summary of the graph and engine counters, all captured atomically at the
+// end of a pipeline batch.
+type view struct {
+	res      *bc.Result
+	n, m     int
+	directed bool
+	stats    engine.Stats
+}
+
+// New wraps eng in a server. The server takes ownership of applying updates:
+// all writes must go through Enqueue (or the HTTP ingest endpoints).
+func New(eng *engine.Engine, cfg Config) *Server {
+	if cfg.MaxQueue < 1 {
+		cfg.MaxQueue = 65536
+	}
+	s := &Server{
+		cfg:      cfg,
+		directed: eng.Graph().Directed(),
+		eng:      eng,
+		met:      newMetrics(cfg.LatencyWindow),
+		snapStop: make(chan struct{}),
+		snapDone: make(chan struct{}),
+	}
+	s.pipe = newPipeline(s.directed, cfg.MaxQueue, s.applyItems, func(n int) {
+		s.met.coalesced.Add(int64(n))
+	})
+	s.publishView()
+	return s
+}
+
+// Start launches the background pipeline and, when configured, the periodic
+// snapshot loop. Start and Close must be called from the same goroutine (or
+// be otherwise ordered).
+func (s *Server) Start() {
+	s.started = true
+	go s.pipe.run()
+	if s.cfg.SnapshotDir != "" && s.cfg.SnapshotInterval > 0 {
+		go s.snapshotLoop()
+	} else {
+		close(s.snapDone)
+	}
+}
+
+// Close drains and stops the pipeline and, when a snapshot directory is
+// configured, writes a final snapshot. It does not close the engine (the
+// caller owns it).
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		if s.started {
+			close(s.snapStop)
+			<-s.snapDone
+			s.pipe.close()
+		} else {
+			// Never started: there is no run loop or snapshot loop to wait
+			// for, only further enqueues to reject.
+			s.pipe.markClosed()
+		}
+		if s.cfg.SnapshotDir != "" {
+			if _, err := s.Snapshot(); err != nil {
+				s.closeErr = fmt.Errorf("server: final snapshot: %w", err)
+			}
+		}
+	})
+	return s.closeErr
+}
+
+// Enqueue admits updates to the ingest pipeline. The returned Batch reports
+// completion; callers that need read-your-writes semantics wait on it.
+func (s *Server) Enqueue(upds []graph.Update) (*Batch, error) {
+	b, err := s.pipe.enqueue(upds)
+	if err != nil {
+		return nil, err
+	}
+	s.met.enqueued.Add(int64(len(upds)))
+	return b, nil
+}
+
+// applyItems is the pipeline's apply callback: it applies one coalesced batch
+// under the write lock and publishes a fresh read view. The returned error
+// (a store growth failure) is reported by the pipeline on every batch of the
+// drain, since it can affect updates that were coalesced away.
+func (s *Server) applyItems(items []item, needVertices int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Grow the graph to cover additions the coalescer folded away, so the
+	// served vertex count matches sequential application regardless of how
+	// updates were batched.
+	growErr := s.eng.EnsureVertices(needVertices)
+	for _, it := range items {
+		if it.barrier {
+			continue
+		}
+		start := time.Now()
+		err := s.eng.Apply(it.upd)
+		s.met.observeLatency(time.Since(start))
+		if err != nil {
+			s.met.rejected.Add(1)
+			it.batch.noteError(fmt.Errorf("%v: %w", it.upd, err))
+			continue
+		}
+		s.met.applied.Add(1)
+		it.batch.noteApplied()
+	}
+	s.met.batches.Add(1)
+	s.publishView()
+	return growErr
+}
+
+// publishView captures the current engine state into an immutable view. The
+// caller must hold the write lock (or have exclusive access during setup).
+func (s *Server) publishView() {
+	g := s.eng.Graph()
+	s.view.Store(&view{
+		res:      s.eng.ResultSnapshot(),
+		n:        g.N(),
+		m:        g.M(),
+		directed: g.Directed(),
+		stats:    s.eng.Stats(),
+	})
+}
+
+// currentView returns the latest published read view.
+func (s *Server) currentView() *view { return s.view.Load() }
+
+// QueueDepth returns the number of updates queued and not yet drained.
+func (s *Server) QueueDepth() int { return s.pipe.depth() }
+
+// Snapshot writes a checksummed snapshot atomically (temp file + rename)
+// into the configured directory and returns its path. It runs under the read
+// lock: it excludes the pipeline writer but not queries.
+func (s *Server) Snapshot() (string, error) {
+	if s.cfg.SnapshotDir == "" {
+		return "", ErrNoSnapshotDir
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	path, err := WriteSnapshotFile(s.cfg.SnapshotDir, s.eng)
+	if err != nil {
+		s.met.snapshotErrs.Add(1)
+		return "", err
+	}
+	s.met.snapshots.Add(1)
+	return path, nil
+}
+
+func (s *Server) snapshotLoop() {
+	defer close(s.snapDone)
+	ticker := time.NewTicker(s.cfg.SnapshotInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			// Errors are recorded in the metrics; the loop keeps going so a
+			// transiently full disk does not permanently stop durability.
+			s.Snapshot() //nolint:errcheck
+		case <-s.snapStop:
+			return
+		}
+	}
+}
+
+// WriteSnapshotFile serialises the engine into dir/SnapshotFileName via a
+// temporary file and an atomic rename, creating dir if needed. The caller
+// must ensure no update is applied concurrently.
+func WriteSnapshotFile(dir string, e *engine.Engine) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("server: creating snapshot directory: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".streambc-*.snap.tmp")
+	if err != nil {
+		return "", fmt.Errorf("server: creating snapshot file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := engine.WriteSnapshot(tmp, e); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("server: syncing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return "", fmt.Errorf("server: closing snapshot: %w", err)
+	}
+	path := filepath.Join(dir, SnapshotFileName)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return "", fmt.Errorf("server: publishing snapshot: %w", err)
+	}
+	return path, nil
+}
+
+// LoadSnapshotFile decodes dir/SnapshotFileName. It returns an error wrapping
+// os.ErrNotExist when no snapshot has been written yet.
+func LoadSnapshotFile(dir string) (*engine.SnapshotState, error) {
+	f, err := os.Open(filepath.Join(dir, SnapshotFileName))
+	if err != nil {
+		return nil, fmt.Errorf("server: opening snapshot: %w", err)
+	}
+	defer f.Close()
+	return engine.ReadSnapshot(f)
+}

@@ -1,0 +1,439 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"streambc/internal/bc"
+	"streambc/internal/engine"
+	"streambc/internal/graph"
+)
+
+func testGraph(t *testing.T, n, m int, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for g.M() < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		if err := g.AddEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func startServer(t *testing.T, g *graph.Graph, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	eng, err := engine.New(g, engine.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng, cfg)
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		eng.Close()
+	})
+	return srv, ts
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d %s", url, resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		t.Fatalf("GET %s: decoding %q: %v", url, body, err)
+	}
+}
+
+func postJSON(t *testing.T, url string, req, out any) int {
+	t.Helper()
+	payload, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("POST %s: decoding %q: %v", url, body, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) <= 1e-7*(1+math.Abs(a)+math.Abs(b)) }
+
+// TestServedScoresMatchStatic is the end-to-end acceptance test: start the
+// server on a random port, POST a batch of updates, and check every query
+// endpoint against a from-scratch Brandes recomputation; then snapshot,
+// restart from the snapshot, and check the restarted server returns the
+// identical scores.
+func TestServedScoresMatchStatic(t *testing.T) {
+	snapDir := t.TempDir()
+	g := testGraph(t, 16, 30, 11)
+	want := g.Clone() // tracks the expected graph state
+	_, ts := startServer(t, g, Config{SnapshotDir: snapDir})
+
+	// One batch mixing additions, removals, coalescing fodder and a vertex
+	// that grows the graph.
+	edges := want.Edges()
+	batch := []updateJSON{
+		{Op: "remove", U: edges[0].U, V: edges[0].V},
+		{Op: "add", U: 3, V: 16}, // new vertex 16
+		{Op: "add", U: 9, V: 9},  // self loop: rejected by the engine
+		{Op: "add", U: 14, V: 15},
+		{Op: "remove", U: 14, V: 15}, // cancels with the previous add
+	}
+	if err := want.RemoveEdge(edges[0].U, edges[0].V); err != nil {
+		t.Fatal(err)
+	}
+	want.EnsureVertex(16)
+	if want.HasEdge(3, 16) {
+		t.Fatal("test graph already has (3,16)")
+	}
+	if err := want.AddEdge(3, 16); err != nil {
+		t.Fatal(err)
+	}
+
+	var ingest ingestResponse
+	if code := postJSON(t, ts.URL+"/v1/updates", map[string]any{"updates": batch, "wait": true}, &ingest); code != http.StatusOK {
+		t.Fatalf("ingest status = %d (%+v)", code, ingest)
+	}
+	if !ingest.Waited || ingest.Applied != 2 || ingest.Coalesced != 2 || ingest.Rejected != 1 {
+		t.Fatalf("ingest = %+v, want applied 2, coalesced 2, rejected 1", ingest)
+	}
+
+	ref := bc.Compute(want)
+
+	// Per-vertex scores.
+	for v := 0; v < want.N(); v++ {
+		var got struct {
+			Known bool    `json:"known"`
+			Score float64 `json:"score"`
+		}
+		getJSON(t, fmt.Sprintf("%s/v1/vertices/%d", ts.URL, v), &got)
+		if !got.Known || !approx(got.Score, ref.VBC[v]) {
+			t.Fatalf("vertex %d: got %+v, want %v", v, got, ref.VBC[v])
+		}
+	}
+
+	// Per-edge score (canonical and reversed orientation must agree).
+	e := want.Edges()[2]
+	for _, pair := range [][2]int{{e.U, e.V}, {e.V, e.U}} {
+		var got struct {
+			Known bool    `json:"known"`
+			Score float64 `json:"score"`
+		}
+		getJSON(t, fmt.Sprintf("%s/v1/edges?u=%d&v=%d", ts.URL, pair[0], pair[1]), &got)
+		if !got.Known || !approx(got.Score, ref.EBC[e]) {
+			t.Fatalf("edge %v as (%d,%d): got %+v, want %v", e, pair[0], pair[1], got, ref.EBC[e])
+		}
+	}
+
+	// Top-k against the reference ordering.
+	var top struct {
+		Vertices []vertexScoreJSON `json:"vertices"`
+	}
+	getJSON(t, ts.URL+"/v1/top/vertices?k=5", &top)
+	wantTop := bc.TopVertices(ref, 5)
+	if len(top.Vertices) != 5 {
+		t.Fatalf("top-5 returned %d vertices", len(top.Vertices))
+	}
+	for i, ws := range wantTop {
+		if top.Vertices[i].Vertex != ws.Vertex || !approx(top.Vertices[i].Score, ws.Score) {
+			t.Fatalf("top[%d] = %+v, want %+v", i, top.Vertices[i], ws)
+		}
+	}
+	var topE struct {
+		Edges []edgeScoreJSON `json:"edges"`
+	}
+	getJSON(t, ts.URL+"/v1/top/edges?k=3", &topE)
+	wantTopE := bc.TopEdges(ref, 3)
+	for i, ws := range wantTopE {
+		got := topE.Edges[i]
+		if got.U != ws.Edge.U || got.V != ws.Edge.V || !approx(got.Score, ws.Score) {
+			t.Fatalf("topEdge[%d] = %+v, want %+v", i, got, ws)
+		}
+	}
+
+	// Graph and engine stats.
+	var gs struct {
+		N, M     int
+		Directed bool
+	}
+	getJSON(t, ts.URL+"/v1/graph", &gs)
+	if gs.N != want.N() || gs.M != want.M() || gs.Directed {
+		t.Fatalf("graph = %+v, want n=%d m=%d undirected", gs, want.N(), want.M())
+	}
+	var st struct {
+		UpdatesApplied int `json:"updates_applied"`
+	}
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.UpdatesApplied != 2 {
+		t.Fatalf("updates_applied = %d, want 2", st.UpdatesApplied)
+	}
+
+	// Metrics exposition.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"streambc_updates_applied_total 2",
+		"streambc_updates_coalesced_total 2",
+		"streambc_updates_rejected_total 1",
+		"streambc_update_latency_seconds{quantile=\"0.5\"}",
+	} {
+		if !strings.Contains(string(met), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, met)
+		}
+	}
+
+	// Snapshot over HTTP, then restart from it and compare every score for
+	// exact (bit-identical) equality with the running server.
+	var snap struct {
+		Path string `json:"path"`
+	}
+	if code := postJSON(t, ts.URL+"/v1/snapshot", map[string]any{}, &snap); code != http.StatusOK {
+		t.Fatalf("snapshot status = %d", code)
+	}
+	liveScores := topKAll(t, ts.URL)
+
+	state, err := LoadSnapshotFile(snapDir)
+	if err != nil {
+		t.Fatalf("LoadSnapshotFile: %v", err)
+	}
+	if state.Applied != 2 {
+		t.Fatalf("snapshot applied offset = %d, want 2", state.Applied)
+	}
+	restoredEng, err := engine.RestoreEngine(state, engine.Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := New(restoredEng, Config{})
+	restored.Start()
+	ts2 := httptest.NewServer(restored.Handler())
+	defer func() {
+		ts2.Close()
+		restored.Close()
+		restoredEng.Close()
+	}()
+
+	restoredScores := topKAll(t, ts2.URL)
+	if len(liveScores) != len(restoredScores) {
+		t.Fatalf("restored server returned %d scores, want %d", len(restoredScores), len(liveScores))
+	}
+	for i := range liveScores {
+		if liveScores[i] != restoredScores[i] {
+			t.Fatalf("restored score %d: %+v != %+v", i, restoredScores[i], liveScores[i])
+		}
+	}
+	var st2 struct {
+		UpdatesApplied int `json:"updates_applied"`
+	}
+	getJSON(t, ts2.URL+"/v1/stats", &st2)
+	if st2.UpdatesApplied != 2 {
+		t.Fatalf("restored updates_applied = %d, want 2", st2.UpdatesApplied)
+	}
+}
+
+// topKAll fetches every vertex and edge score, as served, in a stable order.
+func topKAll(t *testing.T, base string) []vertexScoreJSON {
+	t.Helper()
+	var top struct {
+		Vertices []vertexScoreJSON `json:"vertices"`
+	}
+	getJSON(t, base+"/v1/top/vertices?k=1000000", &top)
+	var topE struct {
+		Edges []edgeScoreJSON `json:"edges"`
+	}
+	getJSON(t, base+"/v1/top/edges?k=1000000", &topE)
+	out := top.Vertices
+	for _, e := range topE.Edges {
+		out = append(out, vertexScoreJSON{Vertex: e.U*1000000 + e.V, Score: e.Score})
+	}
+	return out
+}
+
+// TestConcurrentQueriesDuringUpdates exercises the snapshot-on-read path
+// under -race: parallel readers hammer the query endpoints while the
+// pipeline applies a stream of updates.
+func TestConcurrentQueriesDuringUpdates(t *testing.T) {
+	g := testGraph(t, 24, 50, 7)
+	srv, ts := startServer(t, g, Config{})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 5 * time.Second}
+			urls := []string{
+				ts.URL + "/v1/top/vertices?k=10",
+				ts.URL + "/v1/top/edges?k=10",
+				fmt.Sprintf("%s/v1/vertices/%d", ts.URL, r),
+				ts.URL + "/v1/graph",
+				ts.URL + "/v1/stats",
+				ts.URL + "/metrics",
+			}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Get(urls[i%len(urls)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("GET %s: %d", urls[i%len(urls)], resp.StatusCode)
+					return
+				}
+			}
+		}(r)
+	}
+
+	// Writer: stream batches through the pipeline while the readers run. A
+	// mirror graph (never shared with the engine) decides whether each edge
+	// is currently present, so the writer never reads engine state while the
+	// pipeline owns it; waiting on each batch keeps the stream well-formed.
+	mirror := srv.eng.Graph().Clone()
+	rng := rand.New(rand.NewSource(99))
+	ctxWait, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i := 0; i < 60; i++ {
+		u, v := rng.Intn(24), rng.Intn(24)
+		if u == v {
+			continue
+		}
+		var upds []graph.Update
+		if mirror.HasEdge(u, v) {
+			upds = []graph.Update{graph.Removal(u, v)}
+			if err := mirror.RemoveEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			// The first two coalesce away; the net effect is one addition.
+			upds = []graph.Update{graph.Addition(u, v), graph.Removal(u, v), graph.Addition(u, v)}
+			if err := mirror.AddEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		b, err := srv.Enqueue(upds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Wait(ctxWait); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// After the dust settles the served scores must equal a from-scratch
+	// recomputation of the final graph.
+	ref := bc.Compute(srv.eng.Graph())
+	view := srv.currentView()
+	for v := range ref.VBC {
+		if !approx(view.res.VBC[v], ref.VBC[v]) {
+			t.Fatalf("final VBC[%d] = %v, want %v", v, view.res.VBC[v], ref.VBC[v])
+		}
+	}
+}
+
+// TestCancelledAdditionsStillGrowGraph: an add/remove pair that cancels in
+// the coalescer must still grow the vertex set, exactly as applying the two
+// updates sequentially would have — the served vertex count must not depend
+// on how updates happened to be batched.
+func TestCancelledAdditionsStillGrowGraph(t *testing.T) {
+	g := testGraph(t, 5, 6, 3)
+	srv, ts := startServer(t, g, Config{})
+
+	var ingest ingestResponse
+	code := postJSON(t, ts.URL+"/v1/updates", map[string]any{
+		"updates": []updateJSON{{Op: "add", U: 8, V: 9}, {Op: "remove", U: 8, V: 9}},
+		"wait":    true,
+	}, &ingest)
+	if code != http.StatusOK || ingest.Coalesced != 2 || ingest.Applied != 0 {
+		t.Fatalf("ingest = %d %+v, want both updates coalesced", code, ingest)
+	}
+
+	var gs struct{ N, M int }
+	getJSON(t, ts.URL+"/v1/graph", &gs)
+	if gs.N != 10 || gs.M != 6 {
+		t.Fatalf("graph after cancelled pair = n=%d m=%d, want n=10 m=6", gs.N, gs.M)
+	}
+	var vtx struct {
+		Known bool    `json:"known"`
+		Score float64 `json:"score"`
+	}
+	getJSON(t, ts.URL+"/v1/vertices/9", &vtx)
+	if !vtx.Known || vtx.Score != 0 {
+		t.Fatalf("vertex 9 after growth = %+v, want known with score 0", vtx)
+	}
+	// The engine itself must agree (stores grown, scores padded).
+	if n := srv.eng.Graph().N(); n != 10 {
+		t.Fatalf("engine graph n = %d, want 10", n)
+	}
+}
+
+// TestCloseWithoutStart: Close on a never-started server must not deadlock
+// and must leave the pipeline rejecting enqueues.
+func TestCloseWithoutStart(t *testing.T) {
+	g := testGraph(t, 6, 8, 2)
+	eng, err := engine.New(g, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	srv := New(eng, Config{SnapshotDir: t.TempDir()})
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close deadlocked on a never-started server")
+	}
+	if _, err := srv.Enqueue([]graph.Update{graph.Addition(0, 1)}); err != ErrClosed {
+		t.Fatalf("Enqueue after Close = %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,37 @@
+package streambc
+
+import (
+	"io"
+
+	"streambc/internal/engine"
+)
+
+// Snapshot serialises the stream's externally visible state to w: the
+// evolving graph, the applied-update offset and the current vertex/edge
+// betweenness scores, followed by a CRC-32 checksum. The per-source
+// betweenness data is not serialised; Restore regenerates it with one offline
+// initialisation pass. The caller must ensure no Apply runs concurrently.
+func (s *Stream) Snapshot(w io.Writer) error { return engine.WriteSnapshot(w, s.eng) }
+
+// Restore rebuilds a Stream from a snapshot written by Snapshot. The graph
+// and the applied-update offset round-trip exactly, and the betweenness
+// scores returned by queries are bit-identical to the ones served when the
+// snapshot was taken. The options have the same meaning as in New, and need
+// not match the ones the snapshotted stream was created with (a snapshot
+// taken from an in-memory single-worker stream can be restored into an
+// out-of-core multi-worker one).
+func Restore(r io.Reader, opts ...Option) (*Stream, error) {
+	st, err := engine.ReadSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	cfg, econf, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.RestoreEngine(st, econf)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{eng: eng, diskDir: cfg.diskDir}, nil
+}

@@ -1,0 +1,125 @@
+package streambc
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestStreamSnapshotRestore(t *testing.T) {
+	g := GenerateRandomGraph(40, 90, 4)
+	s, err := New(g.Clone(), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	adds, err := RandomAdditions(s.Graph(), 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ApplyAll(adds); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Apply(Removal(adds[0].U, adds[0].V)); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+
+	// Restore into a different configuration: out of core, more workers.
+	dir := t.TempDir()
+	r, err := Restore(bytes.NewReader(buf.Bytes()), WithWorkers(3), WithDiskStore(dir))
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	defer r.Close()
+
+	if got, want := r.Stats().UpdatesApplied, s.Stats().UpdatesApplied; got != want {
+		t.Fatalf("restored applied offset = %d, want %d", got, want)
+	}
+	if r.Graph().N() != s.Graph().N() || r.Graph().M() != s.Graph().M() {
+		t.Fatalf("restored graph %d/%d, want %d/%d", r.Graph().N(), r.Graph().M(), s.Graph().N(), s.Graph().M())
+	}
+	for v, x := range s.VBC() {
+		if r.VBC()[v] != x {
+			t.Fatalf("restored VBC[%d] = %v, want exact %v", v, r.VBC()[v], x)
+		}
+	}
+	for e, x := range s.EBC() {
+		if r.EBC()[e] != x {
+			t.Fatalf("restored EBC[%v] = %v, want exact %v", e, r.EBC()[e], x)
+		}
+	}
+	files, err := r.DiskFiles()
+	if err != nil || len(files) != 3 {
+		t.Fatalf("restored DiskFiles = %v, %v, want 3 files", files, err)
+	}
+
+	// The restored stream must stay exact under further updates.
+	upd := Addition(0, 41)
+	if err := s.Apply(upd); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Apply(upd); err != nil {
+		t.Fatal(err)
+	}
+	want := Betweenness(r.Graph())
+	for v := range want.VBC {
+		if d := want.VBC[v] - r.VBC()[v]; d > 1e-7 || d < -1e-7 {
+			t.Fatalf("post-restore VBC[%d] = %v, want %v", v, r.VBC()[v], want.VBC[v])
+		}
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	if _, err := Restore(strings.NewReader("definitely not a snapshot")); err == nil {
+		t.Fatal("Restore must reject malformed input")
+	}
+}
+
+func TestTopKClamping(t *testing.T) {
+	s, err := New(buildPath(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if got := s.TopVertices(-3); len(got) != 0 {
+		t.Fatalf("TopVertices(-3) = %v, want empty", got)
+	}
+	if got := s.TopVertices(100); len(got) != 4 {
+		t.Fatalf("TopVertices(100) returned %d scores, want all 4", len(got))
+	}
+	if got := s.TopEdges(-1); len(got) != 0 {
+		t.Fatalf("TopEdges(-1) = %v, want empty", got)
+	}
+	if got := s.TopEdges(100); len(got) != 3 {
+		t.Fatalf("TopEdges(100) returned %d scores, want all 3", len(got))
+	}
+	// Decreasing order with deterministic tie-breaks.
+	top := s.TopVertices(4)
+	for i := 1; i < len(top); i++ {
+		if top[i].Score > top[i-1].Score {
+			t.Fatalf("TopVertices not sorted: %v", top)
+		}
+	}
+}
+
+func TestDiskFilesSurfacesGlobErrors(t *testing.T) {
+	// A store directory whose name is a malformed glob pattern used to make
+	// DiskFiles silently return nil; it must now return the error.
+	dir := filepath.Join(t.TempDir(), "bad[dir")
+	s, err := New(buildPath(t, 4), WithDiskStore(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	files, err := s.DiskFiles()
+	if err == nil {
+		t.Fatalf("DiskFiles = %v, want glob error", files)
+	}
+}

@@ -116,6 +116,21 @@ type Stream struct {
 // and returns a Stream ready to consume updates. New takes ownership of g:
 // all further mutations must go through Apply.
 func New(g *Graph, opts ...Option) (*Stream, error) {
+	cfg, econf, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.New(g, econf)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{eng: eng, diskDir: cfg.diskDir}, nil
+}
+
+// buildConfig folds the functional options into the engine configuration,
+// creating the disk store directory when one is requested. It is shared by
+// New and Restore.
+func buildConfig(opts []Option) (options, engine.Config, error) {
 	cfg := options{workers: 1}
 	for _, opt := range opts {
 		opt(&cfg)
@@ -123,15 +138,11 @@ func New(g *Graph, opts ...Option) (*Stream, error) {
 	econf := engine.Config{Workers: cfg.workers}
 	if cfg.diskDir != "" {
 		if err := os.MkdirAll(cfg.diskDir, 0o755); err != nil {
-			return nil, fmt.Errorf("streambc: creating disk store directory: %w", err)
+			return cfg, econf, fmt.Errorf("streambc: creating disk store directory: %w", err)
 		}
 		econf.Store = engine.DiskFactory(cfg.diskDir)
 	}
-	eng, err := engine.New(g, econf)
-	if err != nil {
-		return nil, err
-	}
-	return &Stream{eng: eng, diskDir: cfg.diskDir}, nil
+	return cfg, econf, nil
 }
 
 // Apply consumes one update (edge addition or removal) and brings all
@@ -184,16 +195,10 @@ func (s *Stream) Workers() int { return s.eng.Workers() }
 func (s *Stream) Close() error { return s.eng.Close() }
 
 // VertexScore pairs a vertex with its betweenness.
-type VertexScore struct {
-	Vertex int
-	Score  float64
-}
+type VertexScore = bc.VertexScore
 
 // EdgeScore pairs an edge with its betweenness.
-type EdgeScore struct {
-	Edge  Edge
-	Score float64
-}
+type EdgeScore = bc.EdgeScore
 
 // TopVertices returns the k vertices with the highest betweenness, in
 // decreasing order (ties broken by vertex identifier).
@@ -208,49 +213,12 @@ func (s *Stream) TopEdges(k int) []EdgeScore {
 }
 
 // TopVertices returns the k highest-betweenness vertices of a result.
-func TopVertices(res *Result, k int) []VertexScore {
-	scores := make([]VertexScore, len(res.VBC))
-	for v, x := range res.VBC {
-		scores[v] = VertexScore{Vertex: v, Score: x}
-	}
-	sort.Slice(scores, func(i, j int) bool {
-		if scores[i].Score != scores[j].Score {
-			return scores[i].Score > scores[j].Score
-		}
-		return scores[i].Vertex < scores[j].Vertex
-	})
-	if k > len(scores) {
-		k = len(scores)
-	}
-	if k < 0 {
-		k = 0
-	}
-	return scores[:k]
-}
+// Out-of-range values of k are clamped to [0, n].
+func TopVertices(res *Result, k int) []VertexScore { return bc.TopVertices(res, k) }
 
 // TopEdges returns the k highest-betweenness edges of a result.
-func TopEdges(res *Result, k int) []EdgeScore {
-	scores := make([]EdgeScore, 0, len(res.EBC))
-	for e, x := range res.EBC {
-		scores = append(scores, EdgeScore{Edge: e, Score: x})
-	}
-	sort.Slice(scores, func(i, j int) bool {
-		if scores[i].Score != scores[j].Score {
-			return scores[i].Score > scores[j].Score
-		}
-		if scores[i].Edge.U != scores[j].Edge.U {
-			return scores[i].Edge.U < scores[j].Edge.U
-		}
-		return scores[i].Edge.V < scores[j].Edge.V
-	})
-	if k > len(scores) {
-		k = len(scores)
-	}
-	if k < 0 {
-		k = 0
-	}
-	return scores[:k]
-}
+// Out-of-range values of k are clamped to [0, m].
+func TopEdges(res *Result, k int) []EdgeScore { return bc.TopEdges(res, k) }
 
 // Updater is the single-machine, sequential form of the stream processor: the
 // same per-source algorithm without the worker pool. It is mostly useful for
@@ -273,15 +241,17 @@ func (s *Stream) Replay(stream []Update) (*ReplayReport, error) {
 }
 
 // DiskFiles returns the paths of the per-worker disk stores when the stream
-// was created with WithDiskStore, or nil otherwise.
-func (s *Stream) DiskFiles() []string {
+// was created with WithDiskStore, or (nil, nil) otherwise. A failure to list
+// the directory (for example a store directory whose name forms a malformed
+// glob pattern) is reported instead of being silently swallowed.
+func (s *Stream) DiskFiles() ([]string, error) {
 	if s.diskDir == "" {
-		return nil
+		return nil, nil
 	}
 	matches, err := filepath.Glob(filepath.Join(s.diskDir, "bd-worker-*.bin"))
 	if err != nil {
-		return nil
+		return nil, fmt.Errorf("streambc: listing disk store files: %w", err)
 	}
 	sort.Strings(matches)
-	return matches
+	return matches, nil
 }

@@ -57,8 +57,8 @@ func TestStreamWithDiskStore(t *testing.T) {
 		t.Fatalf("New: %v", err)
 	}
 	defer s.Close()
-	if files := s.DiskFiles(); len(files) != 2 {
-		t.Fatalf("DiskFiles = %v, want 2 files", files)
+	if files, err := s.DiskFiles(); err != nil || len(files) != 2 {
+		t.Fatalf("DiskFiles = %v, %v, want 2 files", files, err)
 	}
 	adds, err := RandomAdditions(s.Graph(), 10, 1)
 	if err != nil {
@@ -105,7 +105,7 @@ func TestAccessorsOnPath(t *testing.T) {
 	if len(s.TopVertices(-1)) != 0 {
 		t.Fatal("negative k must yield empty result")
 	}
-	if s.DiskFiles() != nil {
+	if files, err := s.DiskFiles(); err != nil || files != nil {
 		t.Fatal("memory-backed stream must report no disk files")
 	}
 }
