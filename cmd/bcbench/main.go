@@ -26,6 +26,7 @@ func main() {
 		quick   = flag.Bool("quick", false, "run a drastically scaled-down version (smoke test)")
 		seed    = flag.Int64("seed", 42, "random seed")
 		updates = flag.Int("updates", 0, "updates per stream (0 = paper default of 100)")
+		batch   = flag.Int("batch", 0, "batch size for the batched-replay experiment (0 = 16)")
 		outPath = flag.String("out", "", "write the report to this file instead of stdout")
 		scratch = flag.String("scratch", "", "scratch directory for out-of-core stores")
 	)
@@ -54,6 +55,7 @@ func main() {
 		Seed:        *seed,
 		UpdateCount: *updates,
 		ScratchDir:  *scratch,
+		BatchSize:   *batch,
 	}
 	fmt.Fprintf(w, "streambc experiment report (%s, quick=%v, seed=%d)\n\n", time.Now().Format(time.RFC3339), *quick, *seed)
 	start := time.Now()

@@ -35,6 +35,7 @@ func main() {
 		top         = flag.Int("top", 10, "print the top-k vertices and edges")
 		outPath     = flag.String("out", "", "write all vertex and edge scores to this file")
 		online      = flag.Bool("online", false, "replay the stream using its timestamps and report missed updates")
+		batch       = flag.Int("batch", 1, "apply updates in batches of this size (one store load/save per affected source per batch)")
 		serve       = flag.String("serve", "", "run as an RPC worker listening on this address (host:port)")
 		cluster     = flag.String("cluster", "", "comma-separated worker addresses to use as a distributed cluster")
 	)
@@ -65,7 +66,7 @@ func main() {
 	}
 
 	if *cluster != "" {
-		runCluster(g, updates, strings.Split(*cluster, ","), *top)
+		runCluster(g, updates, strings.Split(*cluster, ","), *batch, *top)
 		return
 	}
 
@@ -87,7 +88,14 @@ func main() {
 		fmt.Printf("updates=%d missed=%d (%.2f%%) avg-delay=%.3fs max-delay=%.3fs total-processing=%.3fs\n",
 			rep.Updates, rep.Missed, rep.MissedFraction*100, rep.AvgDelay, rep.MaxDelay, rep.TotalProcessing)
 	} else if len(updates) > 0 {
-		if _, err := s.ApplyAll(updates); err != nil {
+		if *batch > 1 {
+			for off := 0; off < len(updates); off += *batch {
+				end := min(off+*batch, len(updates))
+				if _, err := s.ApplyBatch(updates[off:end]); err != nil {
+					fatal(err)
+				}
+			}
+		} else if _, err := s.ApplyAll(updates); err != nil {
 			fatal(err)
 		}
 	}
@@ -113,15 +121,19 @@ func runWorker(addr string) {
 	select {} // serve until killed
 }
 
-func runCluster(g *streambc.Graph, updates []streambc.Update, addrs []string, top int) {
+func runCluster(g *streambc.Graph, updates []streambc.Update, addrs []string, batch, top int) {
 	cluster, err := engine.NewCluster(g, addrs, nil)
 	if err != nil {
 		fatal(err)
 	}
 	defer cluster.Close()
-	for i, upd := range updates {
-		if err := cluster.Apply(upd); err != nil {
-			fatal(fmt.Errorf("update %d (%v): %w", i, upd, err))
+	if batch < 1 {
+		batch = 1
+	}
+	for off := 0; off < len(updates); off += batch {
+		end := min(off+batch, len(updates))
+		if _, err := cluster.ApplyBatch(updates[off:end]); err != nil {
+			fatal(fmt.Errorf("updates %d-%d: %w", off, end-1, err))
 		}
 	}
 	fmt.Printf("cluster of %d workers: %d vertices, %d edges, %d updates applied\n",

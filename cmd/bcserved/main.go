@@ -43,6 +43,7 @@ func main() {
 		snapshotDir  = flag.String("snapshot-dir", "", "directory for snapshots (enables restore-on-start and snapshot-on-shutdown)")
 		snapInterval = flag.Duration("snapshot-interval", 5*time.Minute, "period of automatic snapshots (0 disables; needs -snapshot-dir)")
 		maxQueue     = flag.Int("max-queue", 65536, "ingest queue capacity before updates are rejected with 503")
+		maxBatch     = flag.Int("max-batch", 256, "largest update batch shipped to the engine in one call")
 	)
 	flag.Parse()
 
@@ -64,6 +65,7 @@ func main() {
 		SnapshotDir:      *snapshotDir,
 		SnapshotInterval: *snapInterval,
 		MaxQueue:         *maxQueue,
+		MaxBatch:         *maxBatch,
 	})
 	srv.Start()
 

@@ -53,6 +53,22 @@ func main() {
 		printTop(stream)
 	}
 
+	// Batched step: a whole burst of updates applied as one unit. The
+	// updates are still applied in order (the scores are bit-identical to
+	// calling Apply once per update), but each affected source's betweenness
+	// data is loaded and saved only once for the whole batch — the win that
+	// matters when the data lives on disk (WithDiskStore).
+	burst := []streambc.Update{
+		streambc.Addition(3, 4), // the bridge returns
+		streambc.Addition(2, 6), // a shortcut across the groups...
+		streambc.Removal(2, 6),  // ...that is immediately retracted
+	}
+	if _, err := stream.ApplyBatch(burst); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== after a batch of %d updates ==\n", len(burst))
+	printTop(stream)
+
 	stats := stream.Stats()
 	fmt.Printf("\nprocessed %d updates; skipped %d source iterations, updated %d\n",
 		stats.UpdatesApplied, stats.SourcesSkipped, stats.SourcesUpdated)

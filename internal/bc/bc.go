@@ -79,6 +79,34 @@ func NewSourceState(n int) *SourceState {
 	return s
 }
 
+// Resize adjusts the state's columns to n vertices, preserving existing
+// prefixes and padding new entries as unreachable with zero path count and
+// dependency (exactly how a store pads grown records).
+func (s *SourceState) Resize(n int) {
+	old := len(s.Dist)
+	if old == n {
+		return
+	}
+	if cap(s.Dist) >= n {
+		s.Dist = s.Dist[:n]
+		s.Sigma = s.Sigma[:n]
+		s.Delta = s.Delta[:n]
+	} else {
+		dist := make([]int32, n)
+		sigma := make([]float64, n)
+		delta := make([]float64, n)
+		copy(dist, s.Dist)
+		copy(sigma, s.Sigma)
+		copy(delta, s.Delta)
+		s.Dist, s.Sigma, s.Delta = dist, sigma, delta
+	}
+	for i := old; i < n; i++ {
+		s.Dist[i] = Unreachable
+		s.Sigma[i] = 0
+		s.Delta[i] = 0
+	}
+}
+
 // Unreachable marks a vertex with no path from the source.
 const Unreachable int32 = -1
 

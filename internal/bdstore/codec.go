@@ -66,7 +66,7 @@ func decodeRecord(buf []byte, n int, rec *bc.SourceState) error {
 	if len(buf) != recordSize(n) {
 		return fmt.Errorf("bdstore: decode buffer is %d bytes, want %d", len(buf), recordSize(n))
 	}
-	resizeRecord(rec, n)
+	rec.Resize(n)
 	off := 0
 	for i := 0; i < n; i++ {
 		rec.Dist[i] = int32(binary.LittleEndian.Uint32(buf[off:]))
@@ -100,34 +100,10 @@ func decodeDistances(buf []byte, n int, dist *[]int32) error {
 	return nil
 }
 
-// resizeRecord adjusts the record's columns to n vertices, preserving
-// existing prefixes and padding new entries with "unreachable".
-func resizeRecord(rec *bc.SourceState, n int) {
-	oldN := len(rec.Dist)
-	if cap(rec.Dist) >= n {
-		rec.Dist = rec.Dist[:n]
-		rec.Sigma = rec.Sigma[:n]
-		rec.Delta = rec.Delta[:n]
-	} else {
-		dist := make([]int32, n)
-		sigma := make([]float64, n)
-		delta := make([]float64, n)
-		copy(dist, rec.Dist)
-		copy(sigma, rec.Sigma)
-		copy(delta, rec.Delta)
-		rec.Dist, rec.Sigma, rec.Delta = dist, sigma, delta
-	}
-	for i := oldN; i < n; i++ {
-		rec.Dist[i] = bc.Unreachable
-		rec.Sigma[i] = 0
-		rec.Delta[i] = 0
-	}
-}
-
 // initIsolated fills rec (resized to n vertices) with the record of a source
 // that can only reach itself.
 func initIsolated(rec *bc.SourceState, s, n int) {
-	resizeRecord(rec, n)
+	rec.Resize(n)
 	for i := 0; i < n; i++ {
 		rec.Dist[i] = bc.Unreachable
 		rec.Sigma[i] = 0

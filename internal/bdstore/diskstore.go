@@ -196,7 +196,7 @@ func (d *DiskStore) Grow(n int) error {
 			os.Remove(tmpPath)
 			return err
 		}
-		resizeRecord(rec, n)
+		rec.Resize(n)
 		if err := encodeRecord(rec, newBuf); err != nil {
 			tmp.Close()
 			os.Remove(tmpPath)
@@ -208,7 +208,7 @@ func (d *DiskStore) Grow(n int) error {
 			os.Remove(tmpPath)
 			return fmt.Errorf("bdstore: writing grown record of source %d: %w", s, err)
 		}
-		resizeRecord(rec, oldN)
+		rec.Resize(oldN)
 	}
 	if err := d.f.Close(); err != nil {
 		tmp.Close()

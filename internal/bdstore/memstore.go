@@ -78,7 +78,7 @@ func (m *MemStore) Load(s int, rec *bc.SourceState) error {
 	if !ok {
 		return fmt.Errorf("bdstore: source %d not managed by this store", s)
 	}
-	resizeRecord(rec, m.n)
+	rec.Resize(m.n)
 	copy(rec.Dist, m.recs[slot].dist)
 	copy(rec.Sigma, m.recs[slot].sigma)
 	copy(rec.Delta, m.recs[slot].delta)

@@ -1,0 +1,266 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"streambc/internal/graph"
+)
+
+// growthStream appends updates that reference unseen vertices (growing the
+// graph mid-stream) to a mixed addition/removal stream, so the batched path
+// is exercised across growth boundaries.
+func growthStream(t *testing.T, g *graph.Graph, count int, seed int64) []graph.Update {
+	t.Helper()
+	stream := mixedUpdates(t, g, count, seed)
+	n := g.N()
+	stream = append(stream,
+		graph.Addition(0, n),   // new vertex n
+		graph.Addition(1, n+1), // new vertex n+1
+		graph.Addition(n, n+1), // edge between two new vertices
+		graph.Removal(0, n),
+	)
+	return stream
+}
+
+// applyChunks replays the stream through ApplyBatch in chunks of batch.
+func applyChunks(t *testing.T, e *Engine, stream []graph.Update, batch int) {
+	t.Helper()
+	for off := 0; off < len(stream); off += batch {
+		end := min(off+batch, len(stream))
+		if n, err := e.ApplyBatch(stream[off:end]); err != nil || n != end-off {
+			t.Fatalf("ApplyBatch(%d:%d) = (%d, %v)", off, end, n, err)
+		}
+	}
+}
+
+// requireBitIdentical asserts that two result sets are equal to the last bit
+// (not merely within tolerance): the batched path must replay the exact
+// floating-point accumulation order of sequential application.
+func requireBitIdentical(t *testing.T, context string, gotVBC, wantVBC []float64, gotEBC, wantEBC map[graph.Edge]float64) {
+	t.Helper()
+	if len(gotVBC) != len(wantVBC) {
+		t.Fatalf("%s: VBC length %d, want %d", context, len(gotVBC), len(wantVBC))
+	}
+	for v := range wantVBC {
+		if gotVBC[v] != wantVBC[v] {
+			t.Fatalf("%s: VBC[%d] = %v, want exactly %v", context, v, gotVBC[v], wantVBC[v])
+		}
+	}
+	if len(gotEBC) != len(wantEBC) {
+		t.Fatalf("%s: EBC has %d entries, want %d", context, len(gotEBC), len(wantEBC))
+	}
+	for k, want := range wantEBC {
+		got, ok := gotEBC[k]
+		if !ok || got != want {
+			t.Fatalf("%s: EBC[%v] = %v (present=%v), want exactly %v", context, k, got, ok, want)
+		}
+	}
+}
+
+// TestApplyBatchDifferential is the batched-path stress test: random mixed
+// add/remove streams (including mid-stream vertex growth) applied through
+// ApplyBatch — on memory and disk stores, with 1 and 4 workers, at several
+// batch sizes — must equal a from-scratch Brandes recomputation, and must be
+// bit-identical to sequential Apply on an identically configured engine.
+func TestApplyBatchDifferential(t *testing.T) {
+	base := testGraph(t, 32, 90, 21)
+	stream := growthStream(t, base, 24, 22)
+
+	stores := map[string]func(t *testing.T) StoreFactory{
+		"mem":  func(t *testing.T) StoreFactory { return MemFactory() },
+		"disk": func(t *testing.T) StoreFactory { return DiskFactory(t.TempDir()) },
+	}
+	for storeName, factory := range stores {
+		for _, workers := range []int{1, 4} {
+			// Sequential reference: per-update Apply on the same configuration.
+			ref, err := New(base.Clone(), Config{Workers: workers, Store: factory(t)})
+			if err != nil {
+				t.Fatalf("%s/%d: New(ref): %v", storeName, workers, err)
+			}
+			for i, upd := range stream {
+				if err := ref.Apply(upd); err != nil {
+					t.Fatalf("%s/%d: ref apply %d (%v): %v", storeName, workers, i, upd, err)
+				}
+			}
+			checkEngineAgainstBrandes(t, ref.Graph(), ref.VBC(), ref.EBC(),
+				fmt.Sprintf("%s/%d workers sequential", storeName, workers))
+
+			for _, batch := range []int{1, 3, 16, len(stream)} {
+				name := fmt.Sprintf("%s/%d workers/batch %d", storeName, workers, batch)
+				e, err := New(base.Clone(), Config{Workers: workers, Store: factory(t)})
+				if err != nil {
+					t.Fatalf("%s: New: %v", name, err)
+				}
+				applyChunks(t, e, stream, batch)
+				checkEngineAgainstBrandes(t, e.Graph(), e.VBC(), e.EBC(), name)
+				requireBitIdentical(t, name, e.VBC(), ref.VBC(), e.EBC(), ref.EBC())
+				if st := e.Stats(); st.UpdatesApplied != len(stream) {
+					t.Fatalf("%s: UpdatesApplied = %d, want %d", name, st.UpdatesApplied, len(stream))
+				}
+				if err := e.Close(); err != nil {
+					t.Fatalf("%s: Close: %v", name, err)
+				}
+			}
+			if err := ref.Close(); err != nil {
+				t.Fatalf("%s/%d: Close(ref): %v", storeName, workers, err)
+			}
+		}
+	}
+}
+
+// TestApplyBatchErrorPrefix checks the mid-batch error contract: the valid
+// prefix is applied (and the scores reflect exactly that prefix), the
+// offending update is reported, and the rest of the batch is untouched.
+func TestApplyBatchErrorPrefix(t *testing.T) {
+	base := testGraph(t, 20, 50, 31)
+	bad := graph.Removal(0, 0) // self loop: always rejected
+	stream := mixedUpdates(t, base, 6, 32)
+	batch := append(append([]graph.Update{}, stream[:4]...), bad)
+	batch = append(batch, stream[4:]...)
+
+	e, err := New(base.Clone(), Config{Workers: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer e.Close()
+	n, err := e.ApplyBatch(batch)
+	if err == nil || n != 4 {
+		t.Fatalf("ApplyBatch = (%d, %v), want (4, error)", n, err)
+	}
+
+	ref, err := New(base.Clone(), Config{Workers: 2})
+	if err != nil {
+		t.Fatalf("New(ref): %v", err)
+	}
+	defer ref.Close()
+	for _, upd := range stream[:4] {
+		if err := ref.Apply(upd); err != nil {
+			t.Fatalf("ref apply: %v", err)
+		}
+	}
+	requireBitIdentical(t, "error prefix", e.VBC(), ref.VBC(), e.EBC(), ref.EBC())
+	if st := e.Stats(); st.UpdatesApplied != 4 {
+		t.Fatalf("UpdatesApplied = %d, want 4", st.UpdatesApplied)
+	}
+}
+
+// TestSingleWorkerApplyInline asserts the degenerate-pool contract: a
+// 1-worker engine applies updates inline, without spawning (or crossing a
+// channel to) any goroutine, so per-update allocations stay at a small
+// constant regardless of how many updates have been applied.
+func TestSingleWorkerApplyInline(t *testing.T) {
+	base := testGraph(t, 30, 80, 41)
+	e, err := New(base.Clone(), Config{Workers: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer e.Close()
+	if e.pooled {
+		t.Fatal("single-worker engine started a persistent pool")
+	}
+
+	// An add/remove pair of the same (previously absent) edge returns the
+	// graph to its initial state, so the pair can repeat forever.
+	u, v := -1, -1
+	for a := 0; a < e.Graph().N() && u < 0; a++ {
+		for b := a + 1; b < e.Graph().N(); b++ {
+			if !e.Graph().HasEdge(a, b) {
+				u, v = a, b
+				break
+			}
+		}
+	}
+	if u < 0 {
+		t.Fatal("no absent edge found")
+	}
+	pair := func() {
+		if err := e.Apply(graph.Addition(u, v)); err != nil {
+			t.Fatalf("Apply add: %v", err)
+		}
+		if err := e.Apply(graph.Removal(u, v)); err != nil {
+			t.Fatalf("Apply remove: %v", err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		pair() // warm the workspace, record pool and delta maps
+	}
+	avg := testing.AllocsPerRun(100, pair)
+	// Two engine Apply calls per run. The steady state reuses the workspace,
+	// the cached source records and the delta maps; a small constant covers
+	// map-bucket churn. A regression to goroutine-per-update or
+	// allocation-per-source immediately blows past this.
+	if avg > 32 {
+		t.Errorf("allocations per add/remove pair = %.1f, want <= 32 (inline single-worker path must not allocate per update)", avg)
+	}
+}
+
+// TestClusterInvalidUpdateDoesNotGrow guards the validate-before-apply order
+// of Cluster.ApplyBatch: an invalid update naming an out-of-range vertex
+// must not grow the coordinator replica as a side effect (graph.Apply grows
+// eagerly), or later growth skips registering those sources with the
+// workers and every subsequent score is silently wrong.
+func TestClusterInvalidUpdateDoesNotGrow(t *testing.T) {
+	base := testGraph(t, 10, 24, 91)
+	n := base.N()
+	cluster, err := NewCluster(base.Clone(), startWorkers(t, 2), nil)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer cluster.Close()
+
+	if applied, err := cluster.ApplyBatch([]graph.Update{graph.Removal(0, n + 40)}); err == nil || applied != 0 {
+		t.Fatalf("ApplyBatch(bad removal) = (%d, %v), want (0, error)", applied, err)
+	}
+	if applied, err := cluster.ApplyBatch([]graph.Update{graph.Addition(n+40, n+40)}); err == nil || applied != 0 {
+		t.Fatalf("ApplyBatch(big self loop) = (%d, %v), want (0, error)", applied, err)
+	}
+	if cluster.Graph().N() != n {
+		t.Fatalf("invalid updates grew the replica: N = %d, want %d", cluster.Graph().N(), n)
+	}
+
+	// Real growth must still work and produce correct scores.
+	if applied, err := cluster.ApplyBatch([]graph.Update{graph.Addition(0, n + 2)}); err != nil || applied != 1 {
+		t.Fatalf("ApplyBatch(growth) = (%d, %v)", applied, err)
+	}
+	checkEngineAgainstBrandes(t, cluster.Graph(), cluster.VBC(), cluster.EBC(), "cluster after rejected growth")
+}
+
+// TestClusterApplyBatchMatchesSequential drives two RPC clusters over the
+// same stream — one per-update, one batched — and requires bit-identical
+// scores plus agreement with Brandes, including across vertex growth.
+func TestClusterApplyBatchMatchesSequential(t *testing.T) {
+	base := testGraph(t, 24, 60, 51)
+	stream := growthStream(t, base, 12, 52)
+
+	seq, err := NewCluster(base.Clone(), startWorkers(t, 2), nil)
+	if err != nil {
+		t.Fatalf("NewCluster(seq): %v", err)
+	}
+	defer seq.Close()
+	for i, upd := range stream {
+		if err := seq.Apply(upd); err != nil {
+			t.Fatalf("seq apply %d (%v): %v", i, upd, err)
+		}
+	}
+	checkEngineAgainstBrandes(t, seq.Graph(), seq.VBC(), seq.EBC(), "cluster sequential")
+
+	for _, batch := range []int{4, len(stream)} {
+		bat, err := NewCluster(base.Clone(), startWorkers(t, 2), nil)
+		if err != nil {
+			t.Fatalf("NewCluster(batch %d): %v", batch, err)
+		}
+		for off := 0; off < len(stream); off += batch {
+			end := min(off+batch, len(stream))
+			if n, err := bat.ApplyBatch(stream[off:end]); err != nil || n != end-off {
+				t.Fatalf("cluster ApplyBatch(%d:%d) = (%d, %v)", off, end, n, err)
+			}
+		}
+		name := fmt.Sprintf("cluster batch %d", batch)
+		checkEngineAgainstBrandes(t, bat.Graph(), bat.VBC(), bat.EBC(), name)
+		requireBitIdentical(t, name, bat.VBC(), seq.VBC(), bat.EBC(), seq.EBC())
+		if err := bat.Close(); err != nil {
+			t.Fatalf("%s: Close: %v", name, err)
+		}
+	}
+}

@@ -6,12 +6,17 @@
 // partial vertex/edge betweenness changes that a reducer folds into the
 // global scores (Figure 4).
 //
-// Within a process the workers are goroutines; the rpc sub-files additionally
-// provide a net/rpc embodiment where each worker is a separate server
-// reachable over TCP, which is the shape a cluster deployment would take.
+// Within a process the workers are persistent goroutines fed tasks over
+// channels; the rpc sub-files additionally provide a net/rpc embodiment where
+// each worker is a separate server reachable over TCP, which is the shape a
+// cluster deployment would take. Both embodiments expose the same batched
+// execution path: ApplyBatch ships a whole batch of updates through the
+// workers with one store load/save per affected source and one reduce of the
+// partial deltas at the end of the batch.
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"path/filepath"
 	"sync"
@@ -51,12 +56,9 @@ type Config struct {
 	Store StoreFactory
 }
 
-// Stats aggregates the work counters of all workers.
-type Stats struct {
-	UpdatesApplied int
-	SourcesSkipped int64
-	SourcesUpdated int64
-}
+// Stats aggregates the work counters of all workers. It is the same type as
+// the sequential updater's counters.
+type Stats = incremental.Stats
 
 // Engine maintains betweenness centrality of an evolving graph using a pool
 // of workers, each owning one partition of the source set.
@@ -64,21 +66,49 @@ type Engine struct {
 	g       *graph.Graph
 	workers []*worker
 	res     *bc.Result
-	stats   Stats
+	applied int
 	nextRR  int // round-robin cursor for assigning newly arrived sources
+
+	// pooled reports whether persistent worker goroutines are running. A
+	// single-worker engine stays inline: updates are processed on the
+	// caller's goroutine, with no goroutine spawned or channel crossed.
+	pooled bool
+
+	one [1]graph.Update // scratch slice backing Apply's batch of one
+}
+
+// taskKind selects what a dispatched worker task does.
+type taskKind uint8
+
+const (
+	// taskUpdate processes one update of the current batch for the worker's
+	// sources (the engine has already applied it to the shared graph).
+	taskUpdate taskKind = iota
+	// taskFlush writes the worker's write-back cache to its store, ending
+	// the batch.
+	taskFlush
+)
+
+type workerTask struct {
+	kind taskKind
+	upd  graph.Update
 }
 
 type worker struct {
 	id      int
 	store   incremental.Store
 	sources []int
-	ws      *incremental.Workspace
-	rec     *bc.SourceState
-	distBuf []int32
-	delta   *incremental.Delta
+	proc    *incremental.SourceProcessor
 
-	skipped int64
-	updated int64
+	// deltas holds one partial-score delta per update of the current batch,
+	// in stream order; the reduce phase folds them into the global result
+	// (update-major, worker order) so the outcome is bit-identical to
+	// per-update reduction.
+	deltas    []*incremental.Delta
+	deltaPool []*incremental.Delta
+
+	tasks chan workerTask
+	acks  chan error
 }
 
 // New partitions the sources of g across cfg.Workers workers, runs the
@@ -112,14 +142,20 @@ func New(g *graph.Graph, cfg Config) (*Engine, error) {
 			id:      id,
 			store:   store,
 			sources: sources,
-			ws:      incremental.NewWorkspace(n),
-			rec:     bc.NewSourceState(n),
-			delta:   incremental.NewDelta(),
+			proc:    incremental.NewSourceProcessor(store, n),
 		})
 	}
 	if err := e.initialize(); err != nil {
 		e.Close()
 		return nil, err
+	}
+	if len(e.workers) > 1 {
+		e.pooled = true
+		for _, w := range e.workers {
+			w.tasks = make(chan workerTask, 1)
+			w.acks = make(chan error, 1)
+			go w.run(e.g)
+		}
 	}
 	return e, nil
 }
@@ -169,6 +205,74 @@ func (e *Engine) initialize() error {
 	return nil
 }
 
+// run is the persistent loop of one pooled worker: it executes tasks in
+// order and acknowledges each one. The channel handshake makes the
+// coordinator's graph mutations between tasks visible to the worker.
+func (w *worker) run(g *graph.Graph) {
+	for t := range w.tasks {
+		w.acks <- w.exec(g, t)
+	}
+}
+
+// exec performs one task on the caller's goroutine.
+func (w *worker) exec(g *graph.Graph, t workerTask) error {
+	switch t.kind {
+	case taskUpdate:
+		return w.proc.ProcessUpdate(g, w.sources, t.upd, w.nextDelta())
+	case taskFlush:
+		return w.proc.Flush()
+	}
+	return nil
+}
+
+// nextDelta appends (and returns) the delta receiving the changes of the
+// next update of the current batch, reusing pooled deltas across batches.
+func (w *worker) nextDelta() *incremental.Delta {
+	var d *incremental.Delta
+	if k := len(w.deltaPool); k > 0 {
+		d = w.deltaPool[k-1]
+		w.deltaPool = w.deltaPool[:k-1]
+	} else {
+		d = incremental.NewDelta()
+	}
+	w.deltas = append(w.deltas, d)
+	return d
+}
+
+// recycleDeltas returns the batch's deltas to the pool.
+func (w *worker) recycleDeltas() {
+	for _, d := range w.deltas {
+		d.Reset()
+		w.deltaPool = append(w.deltaPool, d)
+	}
+	w.deltas = w.deltas[:0]
+}
+
+// dispatch runs one task on every worker: inline on the caller's goroutine
+// for a single-worker engine, through the persistent pool otherwise. It
+// returns the first worker error.
+func (e *Engine) dispatch(t workerTask) error {
+	if !e.pooled {
+		var firstErr error
+		for _, w := range e.workers {
+			if err := w.exec(e.g, t); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	for _, w := range e.workers {
+		w.tasks <- t
+	}
+	var firstErr error
+	for _, w := range e.workers {
+		if err := <-w.acks; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
 // Graph returns the evolving graph (read-only for callers).
 func (e *Engine) Graph() *graph.Graph { return e.g }
 
@@ -186,10 +290,10 @@ func (e *Engine) Workers() int { return len(e.workers) }
 
 // Stats returns aggregated work counters.
 func (e *Engine) Stats() Stats {
-	st := e.stats
+	st := Stats{UpdatesApplied: e.applied}
 	for _, w := range e.workers {
-		st.SourcesSkipped += w.skipped
-		st.SourcesUpdated += w.updated
+		st.SourcesSkipped += w.proc.Skipped()
+		st.SourcesUpdated += w.proc.Updated()
 	}
 	return st
 }
@@ -203,7 +307,7 @@ func (e *Engine) ResultSnapshot() *bc.Result { return e.res.Clone() }
 // SetUpdatesApplied overwrites the cumulative applied-update counter. It is
 // used when restoring an engine from a snapshot so that the applied-update
 // offset of the stream survives a restart.
-func (e *Engine) SetUpdatesApplied(n int) { e.stats.UpdatesApplied = n }
+func (e *Engine) SetUpdatesApplied(n int) { e.applied = n }
 
 // ReplaceScores overwrites the live betweenness scores with res (deep copy).
 // It is used when restoring from a snapshot: the offline initialisation
@@ -232,11 +336,71 @@ func (e *Engine) EnsureVertices(n int) error {
 	return e.growTo(n)
 }
 
-// Apply processes one update: the map phase runs the per-source incremental
-// algorithm on every worker in parallel, the reduce phase merges the partial
-// betweenness changes into the global result.
+// Apply processes one update — a batch of one: the map phase runs the
+// per-source incremental algorithm on every worker, the reduce phase merges
+// the partial betweenness changes into the global result.
 func (e *Engine) Apply(upd graph.Update) error {
-	if err := e.validate(upd); err != nil {
+	e.one[0] = upd
+	_, err := e.ApplyBatch(e.one[:])
+	return err
+}
+
+// ApplyBatch processes a batch of updates as one unit. Updates are applied
+// strictly in stream order — after every update the workers run their map
+// phase against the graph state of exactly that update, so the resulting
+// scores are bit-identical to sequential Apply calls on the same stream —
+// but the store I/O and the reduce are amortised: each worker loads and
+// saves every affected source at most once per batch (write-back cache), and
+// the partial deltas of the whole batch are reduced in a single pass at the
+// end. It returns the number of updates applied before the first error.
+//
+// Error contract: a validation rejection (incremental.IsValidationError) is
+// raised before the offending update mutates anything, so the stores and
+// scores reflect exactly the applied prefix and the engine remains usable.
+// Any other error — a store load, save or flush failure — leaves the engine
+// in an undefined state (graph, scores and stores may disagree) and the
+// engine should be discarded.
+func (e *Engine) ApplyBatch(updates []graph.Update) (int, error) {
+	if len(updates) == 0 {
+		return 0, nil
+	}
+	for _, w := range e.workers {
+		// Workers are idle between batches; the next task's channel
+		// handshake publishes the mode change.
+		w.proc.SetBatching(len(updates) > 1)
+	}
+	applied := 0
+	var firstErr error
+	for _, upd := range updates {
+		if err := e.stepUpdate(upd); err != nil {
+			firstErr = err
+			break
+		}
+		applied++
+	}
+	// A flush failure means the stores may not reflect the applied prefix:
+	// surface it even when an update error came first.
+	if err := e.finishBatch(updates[:applied]); err != nil {
+		firstErr = errors.Join(firstErr, err)
+	}
+	return applied, firstErr
+}
+
+// ApplyAll applies a stream of updates in order, one at a time. Use
+// ApplyBatch to amortise store I/O across the stream.
+func (e *Engine) ApplyAll(updates []graph.Update) (int, error) {
+	for i, upd := range updates {
+		if err := e.Apply(upd); err != nil {
+			return i, err
+		}
+	}
+	return len(updates), nil
+}
+
+// stepUpdate validates one update, applies it to the shared graph and runs
+// the map phase on every worker, without flushing caches or reducing.
+func (e *Engine) stepUpdate(upd graph.Update) error {
+	if err := incremental.ValidateUpdate(e.g, upd); err != nil {
 		return err
 	}
 	if !upd.Remove {
@@ -249,92 +413,42 @@ func (e *Engine) Apply(upd graph.Update) error {
 	if err := e.g.Apply(upd); err != nil {
 		return err
 	}
-
-	errs := make([]error, len(e.workers))
-	var wg sync.WaitGroup
-	for i, w := range e.workers {
-		wg.Add(1)
-		go func(i int, w *worker) {
-			defer wg.Done()
-			errs[i] = w.apply(e.g, upd)
-		}(i, w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	for _, w := range e.workers {
-		w.delta.ApplyTo(e.res)
-		w.delta.Reset()
-	}
-	if upd.Remove {
-		delete(e.res.EBC, bc.EdgeKey(e.g, upd.U, upd.V))
-	}
-	e.stats.UpdatesApplied++
-	return nil
+	return e.dispatch(workerTask{kind: taskUpdate, upd: upd})
 }
 
-// ApplyAll applies a stream of updates in order.
-func (e *Engine) ApplyAll(updates []graph.Update) (int, error) {
-	for i, upd := range updates {
-		if err := e.Apply(upd); err != nil {
-			return i, err
-		}
-	}
-	return len(updates), nil
-}
-
-func (w *worker) apply(g *graph.Graph, upd graph.Update) error {
-	directed := g.Directed()
-	for _, s := range w.sources {
-		if err := w.store.LoadDistances(s, &w.distBuf); err != nil {
-			return fmt.Errorf("engine: worker %d loading distances of source %d: %w", w.id, s, err)
-		}
-		if !incremental.Affected(w.distBuf, upd, directed) {
-			w.skipped++
-			continue
-		}
-		if err := w.store.Load(s, w.rec); err != nil {
-			return fmt.Errorf("engine: worker %d loading source %d: %w", w.id, s, err)
-		}
-		if incremental.UpdateSource(g, s, upd, w.rec, w.delta, w.ws) {
-			if err := w.store.Save(s, w.rec); err != nil {
-				return fmt.Errorf("engine: worker %d saving source %d: %w", w.id, s, err)
+// finishBatch ends the batch: the workers flush their write-back caches (one
+// Save per dirty source), and the reduce folds the per-update deltas into
+// the global scores in update-major, worker order — the exact order
+// per-update reduction would have used.
+func (e *Engine) finishBatch(applied []graph.Update) error {
+	flushErr := e.dispatch(workerTask{kind: taskFlush})
+	for i, upd := range applied {
+		for _, w := range e.workers {
+			if i < len(w.deltas) {
+				w.deltas[i].ApplyTo(e.res)
 			}
 		}
-		w.updated++
-	}
-	return nil
-}
-
-func (e *Engine) validate(upd graph.Update) error {
-	if upd.U == upd.V {
-		return graph.ErrSelfLoop
-	}
-	if upd.U < 0 || upd.V < 0 {
-		return fmt.Errorf("%w: negative vertex in %v", graph.ErrVertexRange, upd)
-	}
-	if upd.Remove {
-		if !e.g.HasEdge(upd.U, upd.V) {
-			return fmt.Errorf("%w: %v", graph.ErrMissingEdge, upd.Edge())
+		if upd.Remove {
+			// The edge no longer exists at this point of the stream: its
+			// accumulated centrality has been driven to zero by the
+			// per-source corrections, drop the entry (a later addition in
+			// the same batch re-creates it).
+			delete(e.res.EBC, bc.EdgeKey(e.g, upd.U, upd.V))
 		}
-		return nil
+		e.applied++
 	}
-	if upd.U < e.g.N() && upd.V < e.g.N() && e.g.HasEdge(upd.U, upd.V) {
-		return fmt.Errorf("%w: %v", graph.ErrDuplicateEdge, upd.Edge())
+	for _, w := range e.workers {
+		w.recycleDeltas()
 	}
-	return nil
+	return flushErr
 }
 
 // growTo extends the graph, every worker store and the result to n vertices;
-// the new sources are spread over the workers round-robin.
+// the new sources are spread over the workers round-robin. It runs between
+// worker tasks, so the workers observe the growth through the next task's
+// channel handshake.
 func (e *Engine) growTo(n int) error {
-	old := e.g.N()
-	for e.g.N() < n {
-		e.g.AddVertex()
-	}
+	old := incremental.GrowGraphAndResult(e.g, e.res, n)
 	for _, w := range e.workers {
 		if err := w.store.Grow(n); err != nil {
 			return fmt.Errorf("engine: growing store of worker %d: %w", w.id, err)
@@ -348,14 +462,17 @@ func (e *Engine) growTo(n int) error {
 		}
 		w.sources = append(w.sources, s)
 	}
-	for len(e.res.VBC) < n {
-		e.res.VBC = append(e.res.VBC, 0)
-	}
 	return nil
 }
 
-// Close releases every worker store.
+// Close stops the worker pool and releases every worker store.
 func (e *Engine) Close() error {
+	if e.pooled {
+		for _, w := range e.workers {
+			close(w.tasks)
+		}
+		e.pooled = false
+	}
 	var firstErr error
 	for _, w := range e.workers {
 		if w == nil || w.store == nil {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"net/rpc"
@@ -18,6 +19,12 @@ import (
 // betweenness deltas, exactly like the mapper/reducer roles of Figure 4. Only
 // the standard library net/rpc stack is used, so a deployment is a matter of
 // starting `bcrun -serve` processes on each machine.
+//
+// The unit of exchange between workers and the coordinator is
+// incremental.Delta — the same sparse partial-score type the in-process
+// engine reduces — and the preferred call is Worker.ApplyBatch, which ships
+// a whole batch of updates in one round-trip and returns one delta per
+// update so the coordinator can reduce them in exact stream order.
 
 // InitArgs ships the graph replica and the source partition to a worker.
 type InitArgs struct {
@@ -30,16 +37,20 @@ type InitArgs struct {
 	DiskPath string
 }
 
-// PartialScores is the unit of exchange between workers and the coordinator:
-// sparse partial vertex and edge betweenness values.
-type PartialScores struct {
-	VBC map[int]float64
-	EBC map[graph.Edge]float64
-}
-
 // ApplyArgs carries one edge update to a worker.
 type ApplyArgs struct {
 	Update graph.Update
+}
+
+// BatchArgs carries a batch of edge updates to a worker, in stream order.
+type BatchArgs struct {
+	Updates []graph.Update
+}
+
+// BatchReply returns one partial-score delta per update of the batch, in the
+// same order.
+type BatchReply struct {
+	Deltas []*incremental.Delta
 }
 
 // WorkerServer is the RPC-exposed worker. It is safe for the sequential use
@@ -50,9 +61,7 @@ type WorkerServer struct {
 	g       *graph.Graph
 	store   incremental.Store
 	sources []int
-	ws      *incremental.Workspace
-	rec     *bc.SourceState
-	distBuf []int32
+	proc    *incremental.SourceProcessor
 }
 
 // NewWorkerServer returns an uninitialised worker server; the coordinator
@@ -62,7 +71,7 @@ func NewWorkerServer() *WorkerServer { return &WorkerServer{} }
 // Init builds the worker's graph replica, creates its store and runs the
 // offline Brandes pass for its source partition, returning the partial
 // initial scores.
-func (w *WorkerServer) Init(args *InitArgs, reply *PartialScores) error {
+func (w *WorkerServer) Init(args *InitArgs, reply *incremental.Delta) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 
@@ -91,8 +100,7 @@ func (w *WorkerServer) Init(args *InitArgs, reply *PartialScores) error {
 	w.g = g
 	w.store = store
 	w.sources = append([]int(nil), args.Sources...)
-	w.ws = incremental.NewWorkspace(args.N)
-	w.rec = bc.NewSourceState(args.N)
+	w.proc = incremental.NewSourceProcessor(store, args.N)
 
 	partial := bc.NewResult(args.N)
 	state := bc.NewSourceState(args.N)
@@ -115,45 +123,63 @@ func (w *WorkerServer) Init(args *InitArgs, reply *PartialScores) error {
 }
 
 // ApplyUpdate applies one update to the worker's replica and source partition
-// and returns the partial betweenness changes.
-func (w *WorkerServer) ApplyUpdate(args *ApplyArgs, reply *PartialScores) error {
+// and returns the partial betweenness changes (a batch of one).
+func (w *WorkerServer) ApplyUpdate(args *ApplyArgs, reply *incremental.Delta) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if w.g == nil {
-		return fmt.Errorf("engine: worker not initialised")
-	}
-	upd := args.Update
-	if !upd.Remove {
-		if m := max(upd.U, upd.V); m >= w.g.N() {
-			if err := w.grow(m + 1); err != nil {
-				return err
-			}
-		}
-	}
-	if err := w.g.Apply(upd); err != nil {
+	deltas, err := w.applyBatch([]graph.Update{args.Update})
+	if err != nil {
 		return err
 	}
-	delta := incremental.NewDelta()
-	directed := w.g.Directed()
-	for _, s := range w.sources {
-		if err := w.store.LoadDistances(s, &w.distBuf); err != nil {
-			return err
-		}
-		if !incremental.Affected(w.distBuf, upd, directed) {
-			continue
-		}
-		if err := w.store.Load(s, w.rec); err != nil {
-			return err
-		}
-		if incremental.UpdateSource(w.g, s, upd, w.rec, delta, w.ws) {
-			if err := w.store.Save(s, w.rec); err != nil {
-				return err
+	*reply = *deltas[0]
+	return nil
+}
+
+// ApplyBatch applies a batch of updates, in order, to the worker's replica
+// and source partition, loading and saving each affected source at most once
+// for the whole batch, and returns one partial delta per update.
+func (w *WorkerServer) ApplyBatch(args *BatchArgs, reply *BatchReply) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	deltas, err := w.applyBatch(args.Updates)
+	if err != nil {
+		return err
+	}
+	reply.Deltas = deltas
+	return nil
+}
+
+// applyBatch is the shared map phase: it mutates the replica and the BD
+// partition and returns the per-update deltas. The caller holds the mutex.
+func (w *WorkerServer) applyBatch(updates []graph.Update) ([]*incremental.Delta, error) {
+	if w.g == nil {
+		return nil, fmt.Errorf("engine: worker not initialised")
+	}
+	w.proc.SetBatching(len(updates) > 1)
+	deltas := make([]*incremental.Delta, 0, len(updates))
+	fail := func(err error) ([]*incremental.Delta, error) {
+		// Flush what reached the store; a flush failure compounds the
+		// original error and must not be swallowed.
+		return nil, errors.Join(err, w.proc.Flush())
+	}
+	for _, upd := range updates {
+		if !upd.Remove {
+			if m := max(upd.U, upd.V); m >= w.g.N() {
+				if err := w.grow(m + 1); err != nil {
+					return fail(err)
+				}
 			}
 		}
+		if err := w.g.Apply(upd); err != nil {
+			return fail(err)
+		}
+		d := incremental.NewDelta()
+		if err := w.proc.ProcessUpdate(w.g, w.sources, upd, d); err != nil {
+			return fail(err)
+		}
+		deltas = append(deltas, d)
 	}
-	reply.VBC = delta.VBC
-	reply.EBC = delta.EBC
-	return nil
+	return deltas, w.proc.Flush()
 }
 
 // AddSources registers extra sources (new vertices) with this worker.
@@ -259,7 +285,7 @@ func NewCluster(g *graph.Graph, addrs []string, diskPaths []string) (*Cluster, e
 		if diskPaths != nil && i < len(diskPaths) {
 			args.DiskPath = diskPaths[i]
 		}
-		var reply PartialScores
+		var reply incremental.Delta
 		if err := client.Call("Worker.Init", args, &reply); err != nil {
 			c.Close()
 			return nil, fmt.Errorf("engine: initialising worker %s: %w", addr, err)
@@ -269,11 +295,11 @@ func NewCluster(g *graph.Graph, addrs []string, diskPaths []string) (*Cluster, e
 	return c, nil
 }
 
-func (c *Cluster) mergePartial(p *PartialScores) {
-	for v, x := range p.VBC {
+func (c *Cluster) mergePartial(d *incremental.Delta) {
+	for v, x := range d.VBC {
 		c.res.VBC[v] += x
 	}
-	for e, x := range p.EBC {
+	for e, x := range d.EBC {
 		c.res.EBC[e] += x
 	}
 }
@@ -290,46 +316,104 @@ func (c *Cluster) VBC() []float64 { return c.res.VBC }
 // EBC returns the current edge betweenness scores.
 func (c *Cluster) EBC() map[graph.Edge]float64 { return c.res.EBC }
 
-// Apply sends the update to every worker in parallel and reduces their
-// partial score changes.
+// Stats returns the coordinator's applied-update counter (per-source skip
+// counters live on the remote workers).
+func (c *Cluster) Stats() Stats { return Stats{UpdatesApplied: c.applied} }
+
+// Apply sends one update to every worker and reduces their partial score
+// changes — a batch of one.
 func (c *Cluster) Apply(upd graph.Update) error {
-	if !upd.Remove {
-		if m := max(upd.U, upd.V); m >= c.g.N() {
-			if err := c.growTo(m + 1); err != nil {
-				return err
+	_, err := c.ApplyBatch([]graph.Update{upd})
+	return err
+}
+
+// ApplyBatch ships a whole batch of updates to every worker in a single
+// round-trip per worker and reduces the per-update deltas in stream order,
+// so a cluster pays one RPC (and one store load/save per affected source)
+// per batch instead of per update. It returns how many updates were applied
+// to the coordinator replica. A replica validation error only truncates the
+// batch (the valid prefix is applied and reduced, like sequential Apply); a
+// worker RPC error leaves the cluster diverged — replica advanced, scores
+// not reduced — and the returned error says so.
+//
+// New vertices referenced by an addition are registered with the workers
+// before the batch is shipped; this is equivalent to growing mid-stream
+// because a vertex is isolated — and therefore skipped by every source —
+// until the update that first references it.
+func (c *Cluster) ApplyBatch(updates []graph.Update) (int, error) {
+	if len(updates) == 0 {
+		return 0, nil
+	}
+	// Validate against the coordinator replica by applying, growing the
+	// cluster exactly when the update being applied needs it (as sequential
+	// Apply would): a batch that fails early leaves no growth from its
+	// unapplied tail behind. Workers only ever see the valid prefix.
+	shipped := 0
+	var applyErr error
+	for _, upd := range updates {
+		// Validate before touching the replica: graph.Apply grows the
+		// vertex range as a side effect even when it rejects the update,
+		// which would silently desynchronise the replica from the workers'
+		// source assignment.
+		if err := incremental.ValidateUpdate(c.g, upd); err != nil {
+			applyErr = err
+			break
+		}
+		if !upd.Remove {
+			if n := max(upd.U, upd.V) + 1; n > c.g.N() {
+				if err := c.growTo(n); err != nil {
+					return shipped, err
+				}
 			}
 		}
+		if err := c.g.Apply(upd); err != nil {
+			applyErr = err
+			break
+		}
+		shipped++
 	}
-	if err := c.g.Apply(upd); err != nil {
-		return err
+	if shipped == 0 {
+		return 0, applyErr
 	}
-	replies := make([]PartialScores, len(c.clients))
+	batch := updates[:shipped]
+
+	replies := make([]BatchReply, len(c.clients))
 	errs := make([]error, len(c.clients))
 	var wg sync.WaitGroup
 	for i, client := range c.clients {
 		wg.Add(1)
 		go func(i int, client *rpc.Client) {
 			defer wg.Done()
-			errs[i] = client.Call("Worker.ApplyUpdate", &ApplyArgs{Update: upd}, &replies[i])
+			errs[i] = client.Call("Worker.ApplyBatch", &BatchArgs{Updates: batch}, &replies[i])
 		}(i, client)
 	}
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			return fmt.Errorf("engine: worker %d apply: %w", i, err)
+			// The coordinator replica (and possibly some workers) already
+			// advanced by the shipped prefix while the scores were never
+			// reduced: report the shipped count truthfully and leave the
+			// cluster to be rebuilt — there is no safe automatic retry.
+			return shipped, fmt.Errorf("engine: worker %d apply batch (cluster state diverged, rebuild required): %w", i, err)
 		}
 	}
 	for len(c.res.VBC) < c.g.N() {
 		c.res.VBC = append(c.res.VBC, 0)
 	}
-	for i := range replies {
-		c.mergePartial(&replies[i])
+	// Reduce in update-major, worker order — the order sequential per-update
+	// application would have used, so the scores are bit-identical.
+	for i, upd := range batch {
+		for j := range replies {
+			if i < len(replies[j].Deltas) && replies[j].Deltas[i] != nil {
+				c.mergePartial(replies[j].Deltas[i])
+			}
+		}
+		if upd.Remove {
+			delete(c.res.EBC, bc.EdgeKey(c.g, upd.U, upd.V))
+		}
+		c.applied++
 	}
-	if upd.Remove {
-		delete(c.res.EBC, bc.EdgeKey(c.g, upd.U, upd.V))
-	}
-	c.applied++
-	return nil
+	return shipped, applyErr
 }
 
 // growTo grows the coordinator replica and assigns the new sources to workers

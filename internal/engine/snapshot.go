@@ -94,7 +94,7 @@ func WriteSnapshot(w io.Writer, e *Engine) error {
 			return fmt.Errorf("engine: writing snapshot: %w", err)
 		}
 	}
-	if err := writeUvarint(uint64(e.stats.UpdatesApplied)); err != nil {
+	if err := writeUvarint(uint64(e.applied)); err != nil {
 		return fmt.Errorf("engine: writing snapshot: %w", err)
 	}
 	for _, x := range e.res.VBC {

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"streambc/internal/gen"
+	"streambc/internal/graph"
+)
+
+// This file measures the batched update execution path: the same mixed
+// addition/removal stream is replayed once with per-update Apply calls and
+// once with ApplyBatch in chunks, on both the in-memory (MO) and out-of-core
+// (DO) configurations. Batching loads and saves each affected source once
+// per batch instead of once per update, so the DO configuration — whose
+// per-update cost is dominated by store I/O — is where the speedup lands.
+
+// BatchApplier is an updater that supports the batched execution path.
+type BatchApplier interface {
+	Applier
+	ApplyBatch(updates []graph.Update) (int, error)
+}
+
+// BatchRow is one measured replay.
+type BatchRow struct {
+	Variant   Variant
+	BatchSize int // 1 = sequential Apply
+	Updates   int
+	Elapsed   time.Duration
+}
+
+// Throughput returns updates per second.
+func (r BatchRow) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Updates) / r.Elapsed.Seconds()
+}
+
+// BatchResult holds the sequential and batched replays of every variant.
+type BatchResult struct {
+	BatchSize int
+	Rows      []BatchRow
+}
+
+// RunBatch replays the same stream sequentially and in batches of
+// cfg.BatchSize on the MO and DO configurations.
+func RunBatch(cfg Config) (*BatchResult, error) {
+	cfg = cfg.normalized()
+	n := 400
+	if cfg.Quick {
+		n = 120
+	}
+	res := &BatchResult{BatchSize: cfg.BatchSize}
+	for _, variant := range []Variant{VariantMO, VariantDO} {
+		for _, batch := range []int{1, cfg.BatchSize} {
+			g := gen.Connected(gen.HolmeKim(n, 5, 0.6, cfg.Seed))
+			stream, err := mixedStream(g, cfg)
+			if err != nil {
+				return nil, err
+			}
+			a, cleanup, err := NewVariantUpdater(g, variant, cfg.ScratchDir)
+			if err != nil {
+				cleanup()
+				return nil, err
+			}
+			elapsed, err := replay(a, stream, batch)
+			cleanup()
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, BatchRow{Variant: variant, BatchSize: batch, Updates: len(stream), Elapsed: elapsed})
+		}
+	}
+	return res, nil
+}
+
+// mixedStream interleaves additions with their removals so the stream leaves
+// the graph unchanged and both update kinds are exercised.
+func mixedStream(g *graph.Graph, cfg Config) ([]graph.Update, error) {
+	adds, err := gen.RandomAdditions(g, cfg.UpdateCount, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	stream := make([]graph.Update, 0, 2*len(adds))
+	for _, a := range adds {
+		stream = append(stream, a, graph.Removal(a.U, a.V))
+	}
+	return stream, nil
+}
+
+// replay applies the stream in chunks of batch (1 = per-update Apply) and
+// returns the wall-clock time.
+func replay(a Applier, stream []graph.Update, batch int) (time.Duration, error) {
+	start := time.Now()
+	if batch <= 1 {
+		for i, upd := range stream {
+			if err := a.Apply(upd); err != nil {
+				return 0, fmt.Errorf("experiments: update %d (%v): %w", i, upd, err)
+			}
+		}
+		return time.Since(start), nil
+	}
+	ba, ok := a.(BatchApplier)
+	if !ok {
+		return 0, fmt.Errorf("experiments: %T does not support ApplyBatch", a)
+	}
+	for off := 0; off < len(stream); off += batch {
+		end := min(off+batch, len(stream))
+		if _, err := ba.ApplyBatch(stream[off:end]); err != nil {
+			return 0, fmt.Errorf("experiments: batch at offset %d: %w", off, err)
+		}
+	}
+	return time.Since(start), nil
+}
+
+// Render implements Renderer.
+func (r *BatchResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "batched replay (batch size %d vs per-update Apply)\n\n", r.BatchSize)
+	fmt.Fprintf(w, "%-8s %-8s %-10s %-12s %-14s %s\n", "variant", "batch", "updates", "elapsed", "updates/s", "speedup")
+	base := make(map[Variant]float64)
+	for _, row := range r.Rows {
+		if row.BatchSize == 1 {
+			base[row.Variant] = row.Throughput()
+		}
+	}
+	for _, row := range r.Rows {
+		speedup := "-"
+		if b := base[row.Variant]; b > 0 && row.BatchSize != 1 {
+			speedup = fmt.Sprintf("%.2fx", row.Throughput()/b)
+		}
+		fmt.Fprintf(w, "%-8s %-8d %-10d %-12s %-14.1f %s\n",
+			row.Variant, row.BatchSize, row.Updates, row.Elapsed.Round(time.Microsecond), row.Throughput(), speedup)
+	}
+	fmt.Fprintln(w)
+}

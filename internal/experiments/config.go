@@ -21,6 +21,9 @@ type Config struct {
 	// ScratchDir hosts temporary on-disk stores (defaults to the system temp
 	// directory).
 	ScratchDir string
+	// BatchSize is the chunk size used by the batched-replay experiment;
+	// 0 means 16.
+	BatchSize int
 }
 
 func (c Config) normalized() Config {
@@ -40,6 +43,9 @@ func (c Config) normalized() Config {
 		} else {
 			c.BrandesRuns = 3
 		}
+	}
+	if c.BatchSize < 1 {
+		c.BatchSize = 16
 	}
 	return c
 }

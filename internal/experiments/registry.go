@@ -28,6 +28,7 @@ var registry = []runner{
 	{"fig7", "strong and weak scaling on the simulated cluster", func(c Config) (Renderer, error) { return RunFigure7(c) }},
 	{"fig8", "inter-arrival vs update time for arriving edges", func(c Config) (Renderer, error) { return RunFigure8(c) }},
 	{"fig9", "Girvan-Newman with incremental edge betweenness", func(c Config) (Renderer, error) { return RunFigure9(c) }},
+	{"batch", "replay throughput, per-update Apply vs ApplyBatch (MO and DO)", func(c Config) (Renderer, error) { return RunBatch(c) }},
 }
 
 // Names returns the available experiment identifiers in run order.

@@ -1,0 +1,237 @@
+package incremental
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"streambc/internal/bc"
+	"streambc/internal/bdstore"
+	"streambc/internal/graph"
+)
+
+// countingStore wraps a Store and counts, per source, the full-record Load
+// and Save calls and the LoadDistances probes — the store traffic a batch
+// must amortise.
+type countingStore struct {
+	Store
+	loads  map[int]int
+	saves  map[int]int
+	probes map[int]int
+}
+
+func newCountingStore(s Store) *countingStore {
+	return &countingStore{Store: s, loads: map[int]int{}, saves: map[int]int{}, probes: map[int]int{}}
+}
+
+func (c *countingStore) Load(s int, rec *bc.SourceState) error {
+	c.loads[s]++
+	return c.Store.Load(s, rec)
+}
+
+func (c *countingStore) Save(s int, rec *bc.SourceState) error {
+	c.saves[s]++
+	return c.Store.Save(s, rec)
+}
+
+func (c *countingStore) LoadDistances(s int, dist *[]int32) error {
+	c.probes[s]++
+	return c.Store.LoadDistances(s, dist)
+}
+
+func (c *countingStore) reset() {
+	clear(c.loads)
+	clear(c.saves)
+	clear(c.probes)
+}
+
+// mixedBatchStream builds a well-formed stream of adds and removals against
+// g without mutating it, including repeated churn on the same edges so that
+// batches genuinely hit the same sources multiple times.
+func mixedBatchStream(t *testing.T, g *graph.Graph, pairs int, seed int64) []graph.Update {
+	t.Helper()
+	sim := g.Clone()
+	rng := rand.New(rand.NewSource(seed))
+	stream := make([]graph.Update, 0, 2*pairs)
+	attempts := 0
+	for len(stream) < 2*pairs {
+		if attempts++; attempts > pairs*1000 {
+			t.Fatal("unable to build stream")
+		}
+		u, v := rng.Intn(sim.N()), rng.Intn(sim.N())
+		if u == v || sim.HasEdge(u, v) {
+			continue
+		}
+		if err := sim.AddEdge(u, v); err != nil {
+			t.Fatalf("AddEdge: %v", err)
+		}
+		// Add, then remove the same edge later in the stream: a source
+		// affected by both must still be loaded and saved only once per
+		// batch containing both.
+		stream = append(stream, graph.Addition(u, v), graph.Removal(u, v))
+		if err := sim.RemoveEdge(u, v); err != nil {
+			t.Fatalf("RemoveEdge: %v", err)
+		}
+	}
+	return stream
+}
+
+// TestApplyBatchStoreIO is the instrumented-store test: within one batch,
+// every affected source is loaded at most once and saved at most once, on
+// both the in-memory and the on-disk store.
+func TestApplyBatchStoreIO(t *testing.T) {
+	base := randomConnectedGraph(t, 24, 30, 61, false)
+	stream := mixedBatchStream(t, base, 12, 62)
+
+	stores := map[string]func(t *testing.T, n int) Store{
+		"mem": func(t *testing.T, n int) Store { return bdstore.NewMemStore(n) },
+		"disk": func(t *testing.T, n int) Store {
+			s, err := bdstore.NewDiskStore(t.TempDir()+"/bd.bin", n)
+			if err != nil {
+				t.Fatalf("NewDiskStore: %v", err)
+			}
+			return s
+		},
+	}
+	for name, mk := range stores {
+		g := base.Clone()
+		cs := newCountingStore(mk(t, g.N()))
+		u, err := NewUpdater(g, cs)
+		if err != nil {
+			t.Fatalf("%s: NewUpdater: %v", name, err)
+		}
+		cs.reset() // drop the offline-initialisation saves
+
+		const batch = 8
+		for off := 0; off < len(stream); off += batch {
+			end := min(off+batch, len(stream))
+			if n, err := u.ApplyBatch(stream[off:end]); err != nil || n != end-off {
+				t.Fatalf("%s: ApplyBatch(%d:%d) = (%d, %v)", name, off, end, n, err)
+			}
+			for s, c := range cs.loads {
+				if c > 1 {
+					t.Errorf("%s: batch %d: source %d loaded %d times, want <= 1", name, off/batch, s, c)
+				}
+			}
+			for s, c := range cs.saves {
+				if c > 1 {
+					t.Errorf("%s: batch %d: source %d saved %d times, want <= 1", name, off/batch, s, c)
+				}
+			}
+			for s, c := range cs.probes {
+				if c > 1 {
+					t.Errorf("%s: batch %d: source %d probed %d times, want <= 1", name, off/batch, s, c)
+				}
+			}
+			cs.reset()
+		}
+		checkAgainstBrandes(t, u, fmt.Sprintf("%s instrumented batch replay", name))
+		if err := cs.Close(); err != nil {
+			t.Fatalf("%s: Close: %v", name, err)
+		}
+	}
+}
+
+// TestUpdaterApplyBatchBitIdentical replays the same stream per-update and
+// batched on the sequential Updater and requires exactly equal scores and
+// stored records.
+func TestUpdaterApplyBatchBitIdentical(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		base := randomConnectedGraph(t, 22, 28, 71, directed)
+		stream := mixedBatchStream(t, base, 10, 72)
+		// Growth across a batch boundary and inside a batch.
+		n := base.N()
+		stream = append(stream, graph.Addition(2, n), graph.Addition(n, n+1), graph.Removal(2, n))
+
+		ref := newMemUpdater(t, base.Clone())
+		for i, upd := range stream {
+			if err := ref.Apply(upd); err != nil {
+				t.Fatalf("directed=%v: ref apply %d (%v): %v", directed, i, upd, err)
+			}
+		}
+
+		for _, batch := range []int{2, 7, len(stream)} {
+			u := newMemUpdater(t, base.Clone())
+			for off := 0; off < len(stream); off += batch {
+				end := min(off+batch, len(stream))
+				if n, err := u.ApplyBatch(stream[off:end]); err != nil || n != end-off {
+					t.Fatalf("directed=%v batch=%d: ApplyBatch(%d:%d) = (%d, %v)", directed, batch, off, end, n, err)
+				}
+			}
+			ctx := fmt.Sprintf("directed=%v batch=%d", directed, batch)
+			for v := range ref.VBC() {
+				if u.VBC()[v] != ref.VBC()[v] {
+					t.Fatalf("%s: VBC[%d] = %v, want exactly %v", ctx, v, u.VBC()[v], ref.VBC()[v])
+				}
+			}
+			if len(u.EBC()) != len(ref.EBC()) {
+				t.Fatalf("%s: EBC size %d, want %d", ctx, len(u.EBC()), len(ref.EBC()))
+			}
+			for k, want := range ref.EBC() {
+				if got := u.EBC()[k]; got != want {
+					t.Fatalf("%s: EBC[%v] = %v, want exactly %v", ctx, k, got, want)
+				}
+			}
+			// Stored per-source records must round-trip identically too.
+			want := bc.NewSourceState(0)
+			got := bc.NewSourceState(0)
+			for s := 0; s < ref.Graph().N(); s++ {
+				if err := ref.Store().Load(s, want); err != nil {
+					t.Fatalf("%s: ref load %d: %v", ctx, s, err)
+				}
+				if err := u.Store().Load(s, got); err != nil {
+					t.Fatalf("%s: load %d: %v", ctx, s, err)
+				}
+				for v := range want.Dist {
+					if got.Dist[v] != want.Dist[v] || got.Sigma[v] != want.Sigma[v] || got.Delta[v] != want.Delta[v] {
+						t.Fatalf("%s: BD[%d] differs at vertex %d", ctx, s, v)
+					}
+				}
+			}
+			st := u.Stats()
+			if st.UpdatesApplied != len(stream) {
+				t.Fatalf("%s: UpdatesApplied = %d, want %d", ctx, st.UpdatesApplied, len(stream))
+			}
+			if ref.Stats() != st {
+				t.Fatalf("%s: stats %+v, want %+v", ctx, st, ref.Stats())
+			}
+		}
+	}
+}
+
+// TestPredUpdaterBatch keeps the MP variant honest on the batched path: its
+// predecessor lists must stay in sync when updates arrive via ApplyBatch.
+func TestPredUpdaterBatch(t *testing.T) {
+	base := randomConnectedGraph(t, 16, 20, 81, false)
+	stream := mixedBatchStream(t, base, 8, 82)
+
+	p, err := NewPredUpdater(base.Clone(), bdstore.NewMemStore(base.N()))
+	if err != nil {
+		t.Fatalf("NewPredUpdater: %v", err)
+	}
+	if n, err := p.ApplyBatch(stream); err != nil || n != len(stream) {
+		t.Fatalf("ApplyBatch = (%d, %v)", n, err)
+	}
+	checkAgainstBrandes(t, p.Updater, "pred updater batch")
+
+	// Every predecessor list must match a fresh scan of the final graph.
+	g := p.Graph()
+	rec := bc.NewSourceState(0)
+	for s := 0; s < g.N(); s++ {
+		if err := p.Store().Load(s, rec); err != nil {
+			t.Fatalf("load %d: %v", s, err)
+		}
+		for v := 0; v < g.N(); v++ {
+			want := buildPredList(g, rec, v)
+			got := p.Predecessors(s, v)
+			if len(want) != len(got) {
+				t.Fatalf("preds[%d][%d] = %v, want %v", s, v, got, want)
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("preds[%d][%d] = %v, want %v", s, v, got, want)
+				}
+			}
+		}
+	}
+}

@@ -27,7 +27,10 @@ type PredUpdater struct {
 }
 
 // NewPredUpdater builds the MP variant of the updater on top of the given
-// store (normally an in-memory store).
+// store (normally an in-memory store). The per-source update loop itself is
+// inherited from the Updater (and its SourceProcessor); the MP overhead is
+// attached as the processor's OnSourceUpdated hook, which rebuilds the
+// predecessor list of every vertex whose record changed.
 func NewPredUpdater(g *graph.Graph, store Store) (*PredUpdater, error) {
 	u, err := NewUpdater(g, store)
 	if err != nil {
@@ -45,58 +48,17 @@ func NewPredUpdater(g *graph.Graph, store Store) (*PredUpdater, error) {
 			p.preds[s][v] = buildPredList(g, rec, v)
 		}
 	}
+	u.proc.OnSourceUpdated = func(s int, rec *bc.SourceState, dirty []int) {
+		// New vertices join as isolated sources with empty lists; growing
+		// lazily here keeps Apply, ApplyBatch and ApplyAll all in sync.
+		if n := len(rec.Dist); len(p.preds) < n {
+			p.growPreds(n)
+		}
+		for _, v := range dirty {
+			p.preds[s][v] = buildPredList(p.g, rec, v)
+		}
+	}
 	return p, nil
-}
-
-// Apply applies one update and keeps the predecessor lists in sync: for every
-// source whose record changed, the lists of all modified vertices are rebuilt
-// by scanning their in-neighbours.
-func (p *PredUpdater) Apply(upd graph.Update) error {
-	if err := p.validate(upd); err != nil {
-		return err
-	}
-	if !upd.Remove {
-		if m := max(upd.U, upd.V); m >= p.g.N() {
-			if err := p.growTo(m + 1); err != nil {
-				return err
-			}
-			p.growPreds(p.g.N())
-		}
-	}
-	if err := p.g.Apply(upd); err != nil {
-		return err
-	}
-
-	acc := &ResultAccumulator{Res: p.res}
-	directed := p.g.Directed()
-	for s := 0; s < p.g.N(); s++ {
-		if err := p.store.LoadDistances(s, &p.distBuf); err != nil {
-			return err
-		}
-		if !Affected(p.distBuf, upd, directed) {
-			p.stats.SourcesSkipped++
-			continue
-		}
-		if err := p.store.Load(s, p.rec); err != nil {
-			return err
-		}
-		if UpdateSource(p.g, s, upd, p.rec, acc, p.ws) {
-			if err := p.store.Save(s, p.rec); err != nil {
-				return err
-			}
-			// MP overhead: rebuild the predecessor list of every vertex whose
-			// record changed.
-			for _, v := range p.ws.dirty {
-				p.preds[s][v] = buildPredList(p.g, p.rec, v)
-			}
-		}
-		p.stats.SourcesUpdated++
-	}
-	if upd.Remove {
-		delete(p.res.EBC, bc.EdgeKey(p.g, upd.U, upd.V))
-	}
-	p.stats.UpdatesApplied++
-	return nil
 }
 
 // Predecessors returns the predecessor list of vertex v w.r.t. source s.

@@ -1,0 +1,308 @@
+package incremental
+
+import (
+	"errors"
+	"fmt"
+
+	"streambc/internal/bc"
+	"streambc/internal/graph"
+)
+
+// SourceProcessor runs the per-source incremental algorithm over the sources
+// managed by one Store. It encapsulates the probe/load/update/save loop that
+// every embodiment of the framework shares (the sequential Updater, one
+// worker of the parallel Engine, one RPC WorkerServer), together with a
+// write-back cache over the store that makes batched execution cheap: a
+// source affected by several updates of a batch is loaded from the store
+// once, mutated in memory across the batch, and saved once when the batch is
+// flushed. This amortisation is what makes the out-of-core ("DO")
+// configuration viable under a heavy update stream.
+//
+// Usage: call ProcessUpdate once per update, in stream order, after the
+// update has been applied to the graph, then Flush at the end of the batch.
+// Applying a single update is simply a batch of one. A SourceProcessor is
+// not safe for concurrent use; each worker owns one.
+type SourceProcessor struct {
+	store Store
+	ws    *Workspace
+
+	distBuf []int32
+
+	// Write-back cache: sources touched during the current batch. entries is
+	// kept in insertion order so that Flush is deterministic. An entry
+	// starts as a cached probe column (the source's distances, valid until
+	// the first update that affects it) and is promoted to a full record
+	// when the source is affected, so a batch performs at most one
+	// LoadDistances, one Load and one Save per source.
+	idx      map[int]int // source -> index into entries
+	entries  []procEntry
+	recPool  []*bc.SourceState
+	distPool [][]int32
+
+	// cacheProbes enables the probe-column half of the cache. It only pays
+	// off when more than one update shares the batch; SetBatching turns it
+	// on and off between batches.
+	cacheProbes bool
+
+	skipped int64
+	updated int64
+
+	// OnSourceUpdated, when non-nil, is invoked after UpdateSource modified
+	// the record of a source, with the source, its new record and the list
+	// of modified vertices. The slice is only valid for the duration of the
+	// call. It is used by the predecessor-list (MP) variant to keep its
+	// lists in sync.
+	OnSourceUpdated func(s int, rec *bc.SourceState, dirty []int)
+}
+
+type procEntry struct {
+	src   int
+	rec   *bc.SourceState // full record; nil while only the probe is cached
+	dist  []int32         // cached probe column, valid while rec == nil
+	dirty bool
+}
+
+// NewSourceProcessor returns a processor over store for graphs of (at least)
+// n vertices; the workspace grows automatically with the graph.
+func NewSourceProcessor(store Store, n int) *SourceProcessor {
+	return &SourceProcessor{
+		store: store,
+		ws:    NewWorkspace(n),
+		idx:   make(map[int]int),
+	}
+}
+
+// Store returns the underlying per-source store.
+func (p *SourceProcessor) Store() Store { return p.store }
+
+// Skipped returns how many source iterations were skipped by the distance
+// probe so far.
+func (p *SourceProcessor) Skipped() int64 { return p.skipped }
+
+// Updated returns how many source iterations ran the partial recomputation.
+func (p *SourceProcessor) Updated() int64 { return p.updated }
+
+// ProcessUpdate runs the per-source algorithm for one update on every source
+// in sources (nil means every vertex of g), folding the betweenness changes
+// into acc. The update must already be applied to g; within a batch, updates
+// must be processed in stream order. Affected sources are served from the
+// write-back cache when a previous update of the batch already loaded them.
+func (p *SourceProcessor) ProcessUpdate(g *graph.Graph, sources []int, upd graph.Update, acc Accumulator) error {
+	directed := g.Directed()
+	n := g.N()
+	if sources == nil {
+		for s := 0; s < n; s++ {
+			if err := p.processOne(g, n, s, upd, directed, acc); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, s := range sources {
+		if err := p.processOne(g, n, s, upd, directed, acc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetBatching declares whether the updates that follow share a batch. With
+// batching on, the probe columns of skipped sources are cached too, so a
+// source is probed against the store once per batch instead of once per
+// update (the cached column stays valid until the first update that affects
+// the source, which promotes it to a full record). With batching off — a
+// batch of one — caching the probe would be pure overhead, so only affected
+// sources are cached. Call between batches only.
+func (p *SourceProcessor) SetBatching(on bool) { p.cacheProbes = on }
+
+func (p *SourceProcessor) processOne(g *graph.Graph, n, s int, upd graph.Update, directed bool, acc Accumulator) error {
+	j, ok := p.idx[s]
+	if !ok {
+		if !p.cacheProbes {
+			// Unbatched fast path: probe through the shared buffer and cache
+			// the source only when it is affected.
+			if err := p.store.LoadDistances(s, &p.distBuf); err != nil {
+				return fmt.Errorf("incremental: loading distances of source %d: %w", s, err)
+			}
+			if !Affected(p.distBuf, upd, directed) {
+				p.skipped++
+				return nil
+			}
+			return p.loadAndProcess(g, n, s, upd, acc)
+		}
+		// First time the batch touches this source: cache its probe column.
+		dist := p.getDist()
+		if err := p.store.LoadDistances(s, &dist); err != nil {
+			p.distPool = append(p.distPool, dist)
+			return fmt.Errorf("incremental: loading distances of source %d: %w", s, err)
+		}
+		j = len(p.entries)
+		p.idx[s] = j
+		p.entries = append(p.entries, procEntry{src: s, dist: dist})
+	}
+	ent := &p.entries[j]
+	if ent.rec == nil {
+		// Only the probe column is cached. It is still current: no earlier
+		// update of the batch affected this source. Vertices beyond its
+		// length (mid-batch growth) read as unreachable, exactly how the
+		// store pads grown records.
+		if !Affected(ent.dist, upd, directed) {
+			p.skipped++
+			return nil
+		}
+		p.distPool = append(p.distPool, ent.dist)
+		ent.dist = nil
+		return p.loadAndProcess(g, n, s, upd, acc)
+	}
+	// Fully cached: the record already reflects every earlier update of the
+	// batch, so its distance column doubles as the probe.
+	ent.rec.Resize(n)
+	if !Affected(ent.rec.Dist, upd, directed) {
+		p.skipped++
+		return nil
+	}
+	if UpdateSource(g, s, upd, ent.rec, acc, p.ws) {
+		ent.dirty = true
+		if p.OnSourceUpdated != nil {
+			p.OnSourceUpdated(s, ent.rec, p.ws.dirty)
+		}
+	}
+	p.updated++
+	return nil
+}
+
+// loadAndProcess loads the full record of an affected source into the cache
+// and runs the per-source algorithm for upd.
+func (p *SourceProcessor) loadAndProcess(g *graph.Graph, n, s int, upd graph.Update, acc Accumulator) error {
+	rec := p.getRec()
+	if err := p.store.Load(s, rec); err != nil {
+		p.recPool = append(p.recPool, rec)
+		return fmt.Errorf("incremental: loading source %d: %w", s, err)
+	}
+	rec.Resize(n)
+	dirty := UpdateSource(g, s, upd, rec, acc, p.ws)
+	if dirty && p.OnSourceUpdated != nil {
+		p.OnSourceUpdated(s, rec, p.ws.dirty)
+	}
+	if j, ok := p.idx[s]; ok {
+		ent := &p.entries[j]
+		ent.rec = rec
+		ent.dirty = dirty
+	} else {
+		p.idx[s] = len(p.entries)
+		p.entries = append(p.entries, procEntry{src: s, rec: rec, dirty: dirty})
+	}
+	p.updated++
+	return nil
+}
+
+// ErrFlushFailed marks errors returned by Flush: the write-back cache could
+// not be fully persisted, so the store may no longer match the in-memory
+// state. Callers distinguish it (via errors.Is) from per-update validation
+// rejections, which never corrupt anything.
+var ErrFlushFailed = errors.New("incremental: batch flush failed")
+
+// Flush writes every record modified since the last flush back to the store
+// (at most one Save per source, regardless of how many updates of the batch
+// touched it) and empties the cache. Every cached record is released even
+// when a save fails; the first error is returned, wrapped in ErrFlushFailed.
+func (p *SourceProcessor) Flush() error {
+	var firstErr error
+	for i := range p.entries {
+		ent := &p.entries[i]
+		if ent.dirty {
+			if err := p.store.Save(ent.src, ent.rec); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("incremental: saving source %d: %w", ent.src, err)
+			}
+		}
+		if ent.rec != nil {
+			p.recPool = append(p.recPool, ent.rec)
+			ent.rec = nil
+		}
+		if ent.dist != nil {
+			p.distPool = append(p.distPool, ent.dist)
+			ent.dist = nil
+		}
+	}
+	p.entries = p.entries[:0]
+	clear(p.idx)
+	if firstErr != nil {
+		return fmt.Errorf("%w: %w", ErrFlushFailed, firstErr)
+	}
+	return nil
+}
+
+// CachedSources returns how many sources the current (unflushed) batch has
+// loaded into the write-back cache.
+func (p *SourceProcessor) CachedSources() int { return len(p.entries) }
+
+func (p *SourceProcessor) getRec() *bc.SourceState {
+	if k := len(p.recPool); k > 0 {
+		rec := p.recPool[k-1]
+		p.recPool = p.recPool[:k-1]
+		return rec
+	}
+	return bc.NewSourceState(0)
+}
+
+func (p *SourceProcessor) getDist() []int32 {
+	if k := len(p.distPool); k > 0 {
+		d := p.distPool[k-1]
+		p.distPool = p.distPool[:k-1]
+		return d
+	}
+	return nil
+}
+
+// ValidateUpdate checks that upd is applicable to g: self loops and negative
+// endpoints are rejected, removals must name an existing edge, and additions
+// must not duplicate one (endpoints beyond the current vertex range are
+// allowed for additions — they grow the graph). It is shared by the
+// sequential Updater and the parallel Engine.
+func ValidateUpdate(g *graph.Graph, upd graph.Update) error {
+	if upd.U == upd.V {
+		return graph.ErrSelfLoop
+	}
+	if upd.U < 0 || upd.V < 0 {
+		return fmt.Errorf("%w: negative vertex in %v", graph.ErrVertexRange, upd)
+	}
+	if upd.Remove {
+		if !g.HasEdge(upd.U, upd.V) {
+			return fmt.Errorf("%w: %v", graph.ErrMissingEdge, upd.Edge())
+		}
+		return nil
+	}
+	if upd.U < g.N() && upd.V < g.N() && g.HasEdge(upd.U, upd.V) {
+		return fmt.Errorf("%w: %v", graph.ErrDuplicateEdge, upd.Edge())
+	}
+	return nil
+}
+
+// IsValidationError reports whether err is an update-validation rejection
+// (self loop, vertex out of range, removing a missing edge, duplicating an
+// existing one) as opposed to an infrastructure failure such as a store I/O
+// error. Validation errors are raised before any state is mutated, so the
+// offending update can simply be skipped; anything else means the engine's
+// state can no longer be trusted.
+func IsValidationError(err error) bool {
+	return errors.Is(err, graph.ErrSelfLoop) ||
+		errors.Is(err, graph.ErrVertexRange) ||
+		errors.Is(err, graph.ErrMissingEdge) ||
+		errors.Is(err, graph.ErrDuplicateEdge)
+}
+
+// GrowGraphAndResult extends the graph and the vertex betweenness slice to
+// cover n vertices (new vertices join isolated, with zero centrality) and
+// returns the previous vertex count. Callers register the new sources
+// [old, n) with their store(s) afterwards. It is the store-independent half
+// of the growth path shared by the Updater and the Engine.
+func GrowGraphAndResult(g *graph.Graph, res *bc.Result, n int) (old int) {
+	old = g.N()
+	for g.N() < n {
+		g.AddVertex()
+	}
+	for len(res.VBC) < n {
+		res.VBC = append(res.VBC, 0)
+	}
+	return old
+}

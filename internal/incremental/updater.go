@@ -1,6 +1,7 @@
 package incremental
 
 import (
+	"errors"
 	"fmt"
 
 	"streambc/internal/bc"
@@ -9,7 +10,8 @@ import (
 
 // Stats counts the work performed by an Updater, mirroring the quantities the
 // paper reports: how many sources could be skipped thanks to the distance
-// probe and how many needed an actual partial recomputation.
+// probe and how many needed an actual partial recomputation. The parallel
+// engine aggregates the same counters across its workers.
 type Stats struct {
 	UpdatesApplied int
 	SourcesSkipped int64
@@ -19,20 +21,19 @@ type Stats struct {
 // Updater maintains vertex and edge betweenness centrality of an evolving
 // graph. It owns the graph it is given, the per-source betweenness data kept
 // in a Store, and the running centrality scores; each call to Apply consumes
-// one element of the update stream and brings everything up to date.
+// one element of the update stream and brings everything up to date, and
+// ApplyBatch consumes a batch in one unit of store I/O per affected source.
 //
 // An Updater is not safe for concurrent use. The parallel engine
-// (internal/engine) builds on the per-source primitives instead.
+// (internal/engine) builds on the same SourceProcessor primitive.
 type Updater struct {
 	g     *graph.Graph
 	store Store
 	res   *bc.Result
+	proc  *SourceProcessor
+	acc   ResultAccumulator
 
-	ws      *Workspace
-	rec     *bc.SourceState
-	distBuf []int32
-
-	stats Stats
+	applied int
 }
 
 // NewUpdater runs the offline step of the framework (a full Brandes pass that
@@ -48,9 +49,9 @@ func NewUpdater(g *graph.Graph, store Store) (*Updater, error) {
 		g:     g,
 		store: store,
 		res:   bc.NewResult(g.N()),
-		ws:    NewWorkspace(g.N()),
-		rec:   bc.NewSourceState(g.N()),
+		proc:  NewSourceProcessor(store, g.N()),
 	}
+	u.acc = ResultAccumulator{Res: u.res}
 	state := bc.NewSourceState(g.N())
 	var queue []int
 	for s := 0; s < g.N(); s++ {
@@ -79,16 +80,59 @@ func (u *Updater) VBC() []float64 { return u.res.VBC }
 func (u *Updater) EBC() map[graph.Edge]float64 { return u.res.EBC }
 
 // Stats returns the work counters accumulated so far.
-func (u *Updater) Stats() Stats { return u.stats }
+func (u *Updater) Stats() Stats {
+	return Stats{
+		UpdatesApplied: u.applied,
+		SourcesSkipped: u.proc.Skipped(),
+		SourcesUpdated: u.proc.Updated(),
+	}
+}
 
 // Store exposes the underlying per-source store (used by tests and tools).
 func (u *Updater) Store() Store { return u.store }
 
 // Apply consumes one update from the stream: it validates it, applies it to
 // the graph, updates the per-source betweenness data of every affected source
-// and folds the changes into the running centrality scores.
+// and folds the changes into the running centrality scores. It is exactly a
+// batch of one.
 func (u *Updater) Apply(upd graph.Update) error {
-	if err := u.validate(upd); err != nil {
+	u.proc.SetBatching(false)
+	err := u.applyOne(upd)
+	if ferr := u.proc.Flush(); err == nil {
+		err = ferr
+	}
+	return err
+}
+
+// ApplyBatch consumes a batch of updates as one unit: updates are applied in
+// stream order (the scores after the batch are bit-identical to sequential
+// Apply calls), but each affected source is loaded from the store at most
+// once and saved at most once for the whole batch. It returns the number of
+// updates applied before the first error, if any; the store is always left
+// consistent with the graph for the applied prefix.
+func (u *Updater) ApplyBatch(updates []graph.Update) (int, error) {
+	u.proc.SetBatching(len(updates) > 1)
+	applied := 0
+	var firstErr error
+	for _, upd := range updates {
+		if err := u.applyOne(upd); err != nil {
+			firstErr = err
+			break
+		}
+		applied++
+	}
+	// A flush failure means the store may not reflect the applied prefix:
+	// surface it even when an update error came first.
+	if ferr := u.proc.Flush(); ferr != nil {
+		firstErr = errors.Join(firstErr, ferr)
+	}
+	return applied, firstErr
+}
+
+// applyOne validates and applies one update without flushing the write-back
+// cache; the caller flushes at the end of the batch.
+func (u *Updater) applyOne(upd graph.Update) error {
+	if err := ValidateUpdate(u.g, upd); err != nil {
 		return err
 	}
 	if !upd.Remove {
@@ -101,39 +145,21 @@ func (u *Updater) Apply(upd graph.Update) error {
 	if err := u.g.Apply(upd); err != nil {
 		return err
 	}
-
-	acc := &ResultAccumulator{Res: u.res}
-	directed := u.g.Directed()
-	for s := 0; s < u.g.N(); s++ {
-		if err := u.store.LoadDistances(s, &u.distBuf); err != nil {
-			return fmt.Errorf("incremental: loading distances of source %d: %w", s, err)
-		}
-		if !Affected(u.distBuf, upd, directed) {
-			u.stats.SourcesSkipped++
-			continue
-		}
-		if err := u.store.Load(s, u.rec); err != nil {
-			return fmt.Errorf("incremental: loading source %d: %w", s, err)
-		}
-		if UpdateSource(u.g, s, upd, u.rec, acc, u.ws) {
-			if err := u.store.Save(s, u.rec); err != nil {
-				return fmt.Errorf("incremental: saving source %d: %w", s, err)
-			}
-		}
-		u.stats.SourcesUpdated++
+	if err := u.proc.ProcessUpdate(u.g, nil, upd, &u.acc); err != nil {
+		return err
 	}
-
 	if upd.Remove {
 		// The edge no longer exists: its accumulated centrality has been
 		// driven to zero by the per-source corrections, drop the entry.
 		delete(u.res.EBC, bc.EdgeKey(u.g, upd.U, upd.V))
 	}
-	u.stats.UpdatesApplied++
+	u.applied++
 	return nil
 }
 
-// ApplyAll applies a whole stream of updates in order, stopping at the first
-// error. It returns the number of updates applied successfully.
+// ApplyAll applies a whole stream of updates in order, one at a time,
+// stopping at the first error. It returns the number of updates applied
+// successfully. Use ApplyBatch to amortise store I/O across the stream.
 func (u *Updater) ApplyAll(updates []graph.Update) (int, error) {
 	for i, upd := range updates {
 		if err := u.Apply(upd); err != nil {
@@ -143,33 +169,11 @@ func (u *Updater) ApplyAll(updates []graph.Update) (int, error) {
 	return len(updates), nil
 }
 
-func (u *Updater) validate(upd graph.Update) error {
-	if upd.U == upd.V {
-		return graph.ErrSelfLoop
-	}
-	if upd.U < 0 || upd.V < 0 {
-		return fmt.Errorf("%w: negative vertex in %v", graph.ErrVertexRange, upd)
-	}
-	if upd.Remove {
-		if !u.g.HasEdge(upd.U, upd.V) {
-			return fmt.Errorf("%w: %v", graph.ErrMissingEdge, upd.Edge())
-		}
-		return nil
-	}
-	if upd.U < u.g.N() && upd.V < u.g.N() && u.g.HasEdge(upd.U, upd.V) {
-		return fmt.Errorf("%w: %v", graph.ErrDuplicateEdge, upd.Edge())
-	}
-	return nil
-}
-
 // growTo extends the graph, the store and the result to cover n vertices.
 // New vertices join with zero centrality and, as sources, see only themselves
 // (Section 3.1, handling of new vertices).
 func (u *Updater) growTo(n int) error {
-	old := u.g.N()
-	for u.g.N() < n {
-		u.g.AddVertex()
-	}
+	old := GrowGraphAndResult(u.g, u.res, n)
 	if err := u.store.Grow(n); err != nil {
 		return fmt.Errorf("incremental: growing store to %d vertices: %w", n, err)
 	}
@@ -178,9 +182,5 @@ func (u *Updater) growTo(n int) error {
 			return fmt.Errorf("incremental: adding source %d: %w", s, err)
 		}
 	}
-	for len(u.res.VBC) < n {
-		u.res.VBC = append(u.res.VBC, 0)
-	}
-	u.ws.grow(n)
 	return nil
 }

@@ -12,53 +12,82 @@ import (
 )
 
 // metrics holds the serving counters exposed on /metrics. Counters are
-// atomics so the hot path never contends; update latencies go into a small
-// mutex-protected ring from which quantiles are computed on demand.
+// atomics so the hot path never contends; apply latencies and batch sizes go
+// into small mutex-protected rings from which quantiles are computed on
+// demand.
 type metrics struct {
 	enqueued     atomic.Int64 // updates admitted to the queue
 	applied      atomic.Int64 // updates applied to the engine
 	rejected     atomic.Int64 // updates rejected by the engine (bad ops)
 	coalesced    atomic.Int64 // updates folded away before application
 	batches      atomic.Int64 // drain cycles executed
+	engineBatch  atomic.Int64 // engine ApplyBatch calls issued
 	snapshots    atomic.Int64 // snapshots written
 	snapshotErrs atomic.Int64 // snapshot attempts that failed
 
-	latMu   sync.Mutex
-	lats    []float64 // seconds, ring buffer
-	latNext int
-	latN    int
+	lats       *quantileRing // amortised per-update apply latency (seconds)
+	batchLats  *quantileRing // per-batch apply latency (seconds)
+	batchSizes *quantileRing // engine batch sizes (updates per ApplyBatch)
 }
 
 func newMetrics(window int) *metrics {
 	if window <= 0 {
 		window = 1024
 	}
-	return &metrics{lats: make([]float64, window)}
+	return &metrics{
+		lats:       newQuantileRing(window),
+		batchLats:  newQuantileRing(window),
+		batchSizes: newQuantileRing(window),
+	}
 }
 
-// observeLatency records the engine-apply latency of one update.
-func (m *metrics) observeLatency(d time.Duration) {
+// observeBatch records one engine ApplyBatch call of the given size: its
+// latency, its size and the amortised per-update latency.
+func (m *metrics) observeBatch(d time.Duration, size int) {
+	if size < 1 {
+		return
+	}
+	m.engineBatch.Add(1)
 	s := d.Seconds()
-	m.latMu.Lock()
-	m.lats[m.latNext] = s
-	m.latNext = (m.latNext + 1) % len(m.lats)
-	if m.latN < len(m.lats) {
-		m.latN++
-	}
-	m.latMu.Unlock()
+	m.batchLats.observe(s)
+	m.batchSizes.observe(float64(size))
+	m.lats.observe(s / float64(size))
 }
 
-// latencyQuantiles returns the given quantiles (in [0,1]) over the sliding
-// window of recent update latencies, or nil when nothing has been recorded.
-func (m *metrics) latencyQuantiles(qs []float64) []float64 {
-	m.latMu.Lock()
-	sample := make([]float64, 0, m.latN)
-	if m.latN < len(m.lats) {
-		sample = append(sample, m.lats[:m.latN]...)
-	} else {
-		sample = append(sample, m.lats...)
+// quantileRing is a fixed-size sliding window of observations supporting
+// quantile queries.
+type quantileRing struct {
+	mu   sync.Mutex
+	vals []float64
+	next int
+	n    int
+}
+
+func newQuantileRing(window int) *quantileRing {
+	return &quantileRing{vals: make([]float64, window)}
+}
+
+func (r *quantileRing) observe(v float64) {
+	r.mu.Lock()
+	r.vals[r.next] = v
+	r.next = (r.next + 1) % len(r.vals)
+	if r.n < len(r.vals) {
+		r.n++
 	}
-	m.latMu.Unlock()
+	r.mu.Unlock()
+}
+
+// quantiles returns the given quantiles (in [0,1]) over the window, or nil
+// when nothing has been recorded.
+func (r *quantileRing) quantiles(qs []float64) []float64 {
+	r.mu.Lock()
+	sample := make([]float64, 0, r.n)
+	if r.n < len(r.vals) {
+		sample = append(sample, r.vals[:r.n]...)
+	} else {
+		sample = append(sample, r.vals...)
+	}
+	r.mu.Unlock()
 	if len(sample) == 0 {
 		return nil
 	}
@@ -82,6 +111,13 @@ var metricQuantiles = []float64{0.5, 0.9, 0.99, 1}
 // writeMetrics renders the Prometheus-style plain-text exposition.
 func writeMetrics(w io.Writer, m *metrics, queueDepth int, st engine.Stats) {
 	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	summary := func(name string, r *quantileRing) {
+		if vals := r.quantiles(metricQuantiles); vals != nil {
+			for i, q := range metricQuantiles {
+				p("%s{quantile=\"%g\"} %g\n", name, q, vals[i])
+			}
+		}
+	}
 	p("# HELP streambc_updates_enqueued_total Updates admitted to the ingest queue.\n")
 	p("# TYPE streambc_updates_enqueued_total counter\n")
 	p("streambc_updates_enqueued_total %d\n", m.enqueued.Load())
@@ -97,6 +133,9 @@ func writeMetrics(w io.Writer, m *metrics, queueDepth int, st engine.Stats) {
 	p("# HELP streambc_update_batches_total Drain cycles executed by the ingest pipeline.\n")
 	p("# TYPE streambc_update_batches_total counter\n")
 	p("streambc_update_batches_total %d\n", m.batches.Load())
+	p("# HELP streambc_apply_batches_total Engine batch calls issued by the pipeline.\n")
+	p("# TYPE streambc_apply_batches_total counter\n")
+	p("streambc_apply_batches_total %d\n", m.engineBatch.Load())
 	p("# HELP streambc_update_queue_depth Updates queued and not yet drained.\n")
 	p("# TYPE streambc_update_queue_depth gauge\n")
 	p("streambc_update_queue_depth %d\n", queueDepth)
@@ -112,11 +151,13 @@ func writeMetrics(w io.Writer, m *metrics, queueDepth int, st engine.Stats) {
 	p("# HELP streambc_sources_updated_total Sources whose betweenness data was recomputed.\n")
 	p("# TYPE streambc_sources_updated_total counter\n")
 	p("streambc_sources_updated_total %d\n", st.SourcesUpdated)
-	p("# HELP streambc_update_latency_seconds Engine-apply latency of recent updates.\n")
+	p("# HELP streambc_update_latency_seconds Amortised per-update engine apply latency (batch latency / batch size) of recent batches.\n")
 	p("# TYPE streambc_update_latency_seconds summary\n")
-	if vals := m.latencyQuantiles(metricQuantiles); vals != nil {
-		for i, q := range metricQuantiles {
-			p("streambc_update_latency_seconds{quantile=\"%g\"} %g\n", q, vals[i])
-		}
-	}
+	summary("streambc_update_latency_seconds", m.lats)
+	p("# HELP streambc_apply_batch_latency_seconds Engine apply latency of recent batches.\n")
+	p("# TYPE streambc_apply_batch_latency_seconds summary\n")
+	summary("streambc_apply_batch_latency_seconds", m.batchLats)
+	p("# HELP streambc_apply_batch_size Updates per engine batch, over recent batches.\n")
+	p("# TYPE streambc_apply_batch_size summary\n")
+	summary("streambc_apply_batch_size", m.batchSizes)
 }

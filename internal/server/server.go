@@ -25,6 +25,7 @@ import (
 	"streambc/internal/bc"
 	"streambc/internal/engine"
 	"streambc/internal/graph"
+	"streambc/internal/incremental"
 )
 
 // SnapshotFileName is the name of the current snapshot inside the snapshot
@@ -46,8 +47,14 @@ type Config struct {
 	// MaxQueue bounds the ingest queue; Enqueue fails with ErrQueueFull
 	// beyond it. Values < 1 mean the default of 65536.
 	MaxQueue int
-	// LatencyWindow is the number of recent update latencies kept for the
-	// /metrics quantiles. Values < 1 mean the default of 1024.
+	// MaxBatch bounds how many coalesced updates one engine ApplyBatch call
+	// may carry: a large drained backlog is fed to the engine in chunks of
+	// at most MaxBatch, keeping the per-batch memory of the engine's
+	// write-back source cache (and the reduce granularity) bounded. Values
+	// < 1 mean the default of 256.
+	MaxBatch int
+	// LatencyWindow is the number of recent batch latencies and sizes kept
+	// for the /metrics quantiles. Values < 1 mean the default of 1024.
 	LatencyWindow int
 }
 
@@ -85,6 +92,9 @@ type view struct {
 func New(eng *engine.Engine, cfg Config) *Server {
 	if cfg.MaxQueue < 1 {
 		cfg.MaxQueue = 65536
+	}
+	if cfg.MaxBatch < 1 {
+		cfg.MaxBatch = 256
 	}
 	s := &Server{
 		cfg:      cfg,
@@ -148,35 +158,75 @@ func (s *Server) Enqueue(upds []graph.Update) (*Batch, error) {
 	return b, nil
 }
 
-// applyItems is the pipeline's apply callback: it applies one coalesced batch
-// under the write lock and publishes a fresh read view. The returned error
-// (a store growth failure) is reported by the pipeline on every batch of the
-// drain, since it can affect updates that were coalesced away.
+// applyItems is the pipeline's apply callback: it applies one coalesced
+// drain under the write lock — feeding the surviving updates to the engine
+// as batches of at most MaxBatch — and publishes a fresh read view. The
+// returned error (a store growth or batch flush failure) is reported by the
+// pipeline on every batch of the drain, since it can affect updates that
+// were coalesced away.
 func (s *Server) applyItems(items []item, needVertices int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	// Grow the graph to cover additions the coalescer folded away, so the
 	// served vertex count matches sequential application regardless of how
 	// updates were batched.
-	growErr := s.eng.EnsureVertices(needVertices)
-	for _, it := range items {
-		if it.barrier {
+	firstErr := s.eng.EnsureVertices(needVertices)
+	for i := 0; firstErr == nil && i < len(items); {
+		if items[i].barrier {
+			i++
 			continue
 		}
-		start := time.Now()
-		err := s.eng.Apply(it.upd)
-		s.met.observeLatency(time.Since(start))
-		if err != nil {
-			s.met.rejected.Add(1)
-			it.batch.noteError(fmt.Errorf("%v: %w", it.upd, err))
-			continue
+		j := i
+		for j < len(items) && !items[j].barrier && j-i < s.cfg.MaxBatch {
+			j++
 		}
-		s.met.applied.Add(1)
-		it.batch.noteApplied()
+		// An infrastructure error stops the whole drain: the engine's state
+		// can no longer be trusted, so shipping further chunks would only
+		// compound the damage.
+		firstErr = s.applyChunk(items[i:j])
+		i = j
 	}
 	s.met.batches.Add(1)
 	s.publishView()
-	return growErr
+	return firstErr
+}
+
+// applyChunk ships one bounded run of updates to the engine. A rejected
+// update (validation failure, raised before any state is mutated) is
+// recorded on its ingest batch and the remainder of the chunk is re-shipped,
+// so one bad update never drags its neighbours down — exactly the behaviour
+// of sequential application. Any other engine error (a store load, save or
+// flush failure, after which the engine's state can no longer be trusted) is
+// returned as an infrastructure failure affecting the whole drain.
+func (s *Server) applyChunk(chunk []item) error {
+	for len(chunk) > 0 {
+		upds := make([]graph.Update, len(chunk))
+		for k, it := range chunk {
+			upds[k] = it.upd
+		}
+		start := time.Now()
+		applied, err := s.eng.ApplyBatch(upds)
+		s.met.observeBatch(time.Since(start), len(upds))
+		for k := 0; k < applied; k++ {
+			s.met.applied.Add(1)
+			chunk[k].batch.noteApplied()
+		}
+		if err == nil {
+			return nil
+		}
+		if applied >= len(chunk) || !incremental.IsValidationError(err) ||
+			errors.Is(err, incremental.ErrFlushFailed) {
+			// Not (only) a per-update rejection: a store flush or mid-batch
+			// infrastructure failure — possibly joined with a validation
+			// error by the engine. Stop the chunk and report it on the
+			// whole drain.
+			return err
+		}
+		s.met.rejected.Add(1)
+		chunk[applied].batch.noteError(fmt.Errorf("%v: %w", chunk[applied].upd, err))
+		chunk = chunk[applied+1:]
+	}
+	return nil
 }
 
 // publishView captures the current engine state into an immutable view. The

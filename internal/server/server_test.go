@@ -213,6 +213,9 @@ func TestServedScoresMatchStatic(t *testing.T) {
 		"streambc_updates_coalesced_total 2",
 		"streambc_updates_rejected_total 1",
 		"streambc_update_latency_seconds{quantile=\"0.5\"}",
+		"streambc_apply_batch_latency_seconds{quantile=\"0.5\"}",
+		"streambc_apply_batch_size{quantile=\"0.5\"}",
+		"streambc_apply_batches_total",
 	} {
 		if !strings.Contains(string(met), want) {
 			t.Fatalf("metrics missing %q:\n%s", want, met)

@@ -150,9 +150,19 @@ func buildConfig(opts []Option) (options, engine.Config, error) {
 // identifiers grow the graph automatically.
 func (s *Stream) Apply(upd Update) error { return s.eng.Apply(upd) }
 
-// ApplyAll applies a whole stream of updates in order and returns how many
-// were applied before the first error (if any).
+// ApplyAll applies a whole stream of updates in order, one at a time, and
+// returns how many were applied before the first error (if any). Use
+// ApplyBatch to amortise per-source store I/O across the stream.
 func (s *Stream) ApplyAll(updates []Update) (int, error) { return s.eng.ApplyAll(updates) }
+
+// ApplyBatch applies a batch of updates as one unit. The updates are applied
+// in order and the resulting scores are bit-identical to sequential Apply
+// calls on the same stream, but each affected source's betweenness data is
+// loaded at most once and saved at most once for the whole batch — the
+// difference between one disk read/write per (source, update) and one per
+// (source, batch) in the out-of-core configuration. It returns the number of
+// updates applied before the first error, if any.
+func (s *Stream) ApplyBatch(updates []Update) (int, error) { return s.eng.ApplyBatch(updates) }
 
 // Graph returns the current graph. Treat it as read-only.
 func (s *Stream) Graph() *Graph { return s.eng.Graph() }
