@@ -27,10 +27,21 @@ func main() {
 		seed    = flag.Int64("seed", 42, "random seed")
 		updates = flag.Int("updates", 0, "updates per stream (0 = paper default of 100)")
 		batch   = flag.Int("batch", 0, "batch size for the batched-replay experiment (0 = 16)")
+		sample  = flag.Int("sample", 0, "headline sample size k for the approx experiment (0 = n/4)")
 		outPath = flag.String("out", "", "write the report to this file instead of stdout")
 		scratch = flag.String("scratch", "", "scratch directory for out-of-core stores")
 	)
 	flag.Parse()
+
+	if *updates < 0 {
+		usageError("-updates must not be negative")
+	}
+	if *batch < 0 {
+		usageError("-batch must be 0 (default of 16) or at least 1")
+	}
+	if *sample < 0 {
+		usageError("-sample must be 0 (default of n/4) or a positive sample size")
+	}
 
 	if *list {
 		desc := experiments.Describe()
@@ -56,6 +67,7 @@ func main() {
 		UpdateCount: *updates,
 		ScratchDir:  *scratch,
 		BatchSize:   *batch,
+		SampleK:     *sample,
 	}
 	fmt.Fprintf(w, "streambc experiment report (%s, quick=%v, seed=%d)\n\n", time.Now().Format(time.RFC3339), *quick, *seed)
 	start := time.Now()
@@ -68,4 +80,12 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "bcbench:", err)
 	os.Exit(1)
+}
+
+// usageError reports a flag-validation failure with the usage text and exits
+// with the conventional status 2.
+func usageError(msg string) {
+	fmt.Fprintln(os.Stderr, "bcbench:", msg)
+	flag.Usage()
+	os.Exit(2)
 }

@@ -8,6 +8,7 @@
 //
 //	bcrun -graph graph.txt -updates updates.txt -top 10
 //	bcrun -graph graph.txt -updates updates.txt -workers 4 -disk /tmp/bd -out scores.txt
+//	bcrun -graph graph.txt -updates updates.txt -sample 100   # approximate mode
 //	bcrun -serve 127.0.0.1:7001                    # on each worker machine
 //	bcrun -graph g.txt -updates u.txt -cluster 127.0.0.1:7001,127.0.0.1:7002
 package main
@@ -21,6 +22,7 @@ import (
 	"strings"
 
 	"streambc"
+	"streambc/internal/bc"
 	"streambc/internal/engine"
 	"streambc/internal/graph"
 )
@@ -36,10 +38,25 @@ func main() {
 		outPath     = flag.String("out", "", "write all vertex and edge scores to this file")
 		online      = flag.Bool("online", false, "replay the stream using its timestamps and report missed updates")
 		batch       = flag.Int("batch", 1, "apply updates in batches of this size (one store load/save per affected source per batch)")
+		sample      = flag.Int("sample", 0, "approximate mode: maintain only k uniformly sampled sources, scaling scores by n/k (0 = exact)")
+		sampleSeed  = flag.Int64("sample-seed", 1, "random seed of the source sample")
 		serve       = flag.String("serve", "", "run as an RPC worker listening on this address (host:port)")
 		cluster     = flag.String("cluster", "", "comma-separated worker addresses to use as a distributed cluster")
 	)
 	flag.Parse()
+
+	if *workers < 1 {
+		usageError("-workers must be at least 1")
+	}
+	if *batch < 1 {
+		usageError("-batch must be at least 1")
+	}
+	if *sample < 0 {
+		usageError("-sample must be 0 (exact) or a positive sample size")
+	}
+	if *top < 0 {
+		usageError("-top must not be negative")
+	}
 
 	if *serve != "" {
 		runWorker(*serve)
@@ -66,13 +83,16 @@ func main() {
 	}
 
 	if *cluster != "" {
-		runCluster(g, updates, strings.Split(*cluster, ","), *batch, *top)
+		runCluster(g, updates, strings.Split(*cluster, ","), *batch, *top, *sample, *sampleSeed)
 		return
 	}
 
 	opts := []streambc.Option{streambc.WithWorkers(*workers)}
 	if *diskDir != "" {
 		opts = append(opts, streambc.WithDiskStore(*diskDir))
+	}
+	if *sample > 0 {
+		opts = append(opts, streambc.WithSampledSources(*sample, *sampleSeed))
 	}
 	s, err := streambc.New(g, opts...)
 	if err != nil {
@@ -103,6 +123,10 @@ func main() {
 	st := s.Stats()
 	fmt.Printf("graph: %d vertices, %d edges; updates applied: %d; sources skipped: %d, updated: %d\n",
 		s.Graph().N(), s.Graph().M(), st.UpdatesApplied, st.SourcesSkipped, st.SourcesUpdated)
+	if s.Sampled() {
+		fmt.Printf("approximate mode: %d of %d sources sampled (scale %.3f) — scores are unbiased estimates\n",
+			len(s.SampledSources()), s.Graph().N(), s.SampleScale())
+	}
 	printTop(s.Result(), *top)
 	if *outPath != "" {
 		if err := writeScores(s.Result(), *outPath); err != nil {
@@ -121,15 +145,16 @@ func runWorker(addr string) {
 	select {} // serve until killed
 }
 
-func runCluster(g *streambc.Graph, updates []streambc.Update, addrs []string, batch, top int) {
-	cluster, err := engine.NewCluster(g, addrs, nil)
+func runCluster(g *streambc.Graph, updates []streambc.Update, addrs []string, batch, top, sample int, sampleSeed int64) {
+	var sources []int
+	if sample > 0 {
+		sources = bc.SampleSources(g.N(), sample, sampleSeed)
+	}
+	cluster, err := engine.NewSampledCluster(g, addrs, nil, sources, 0)
 	if err != nil {
 		fatal(err)
 	}
 	defer cluster.Close()
-	if batch < 1 {
-		batch = 1
-	}
 	for off := 0; off < len(updates); off += batch {
 		end := min(off+batch, len(updates))
 		if _, err := cluster.ApplyBatch(updates[off:end]); err != nil {
@@ -138,6 +163,10 @@ func runCluster(g *streambc.Graph, updates []streambc.Update, addrs []string, ba
 	}
 	fmt.Printf("cluster of %d workers: %d vertices, %d edges, %d updates applied\n",
 		len(addrs), cluster.Graph().N(), cluster.Graph().M(), len(updates))
+	if cluster.Sampled() {
+		fmt.Printf("approximate mode: %d of %d sources sampled (scale %.3f) — scores are unbiased estimates\n",
+			len(cluster.SampledSources()), cluster.Graph().N(), cluster.Scale())
+	}
 	printTop(cluster.Result(), top)
 }
 
@@ -184,4 +213,12 @@ func writeScores(res *streambc.Result, path string) error {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "bcrun:", err)
 	os.Exit(1)
+}
+
+// usageError reports a flag-validation failure with the usage text and exits
+// with the conventional status 2.
+func usageError(msg string) {
+	fmt.Fprintln(os.Stderr, "bcrun:", msg)
+	flag.Usage()
+	os.Exit(2)
 }

@@ -28,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"streambc/internal/bc"
 	"streambc/internal/engine"
 	"streambc/internal/graph"
 	"streambc/internal/server"
@@ -44,8 +45,23 @@ func main() {
 		snapInterval = flag.Duration("snapshot-interval", 5*time.Minute, "period of automatic snapshots (0 disables; needs -snapshot-dir)")
 		maxQueue     = flag.Int("max-queue", 65536, "ingest queue capacity before updates are rejected with 503")
 		maxBatch     = flag.Int("max-batch", 256, "largest update batch shipped to the engine in one call")
+		sample       = flag.Int("sample", 0, "approximate mode: maintain only k uniformly sampled sources, scaling scores by n/k (0 = exact; ignored when a sampled snapshot is restored)")
+		sampleSeed   = flag.Int64("sample-seed", 1, "random seed of the source sample")
 	)
 	flag.Parse()
+
+	if *workers < 1 {
+		usageError("-workers must be at least 1")
+	}
+	if *maxBatch < 1 {
+		usageError("-max-batch must be at least 1")
+	}
+	if *maxQueue < 1 {
+		usageError("-max-queue must be at least 1")
+	}
+	if *sample < 0 {
+		usageError("-sample must be 0 (exact) or a positive sample size")
+	}
 
 	cfg := engine.Config{Workers: *workers}
 	if *diskDir != "" {
@@ -55,11 +71,15 @@ func main() {
 		cfg.Store = engine.DiskFactory(*diskDir)
 	}
 
-	eng, err := buildEngine(*snapshotDir, *graphPath, *directed, cfg)
+	eng, err := buildEngine(*snapshotDir, *graphPath, *directed, cfg, *sample, *sampleSeed)
 	if err != nil {
 		log.Fatalf("bcserved: %v", err)
 	}
 	defer eng.Close()
+	if eng.Sampled() {
+		log.Printf("bcserved: approximate mode, %d of %d sources sampled (scale %.3f)",
+			eng.SampleSize(), eng.Graph().N(), eng.Scale())
+	}
 
 	srv := server.New(eng, server.Config{
 		SnapshotDir:      *snapshotDir,
@@ -101,14 +121,22 @@ func main() {
 }
 
 // buildEngine restores the engine from the latest snapshot when one exists,
-// and falls back to the -graph file (or an empty graph) otherwise.
-func buildEngine(snapshotDir, graphPath string, directed bool, cfg engine.Config) (*engine.Engine, error) {
+// and falls back to the -graph file (or an empty graph) otherwise. A sample
+// size > 0 selects the approximate mode: the sample is drawn from the initial
+// graph, unless a restored snapshot already carries one (which wins — its
+// scores are only coherent with the sample they were accumulated over).
+func buildEngine(snapshotDir, graphPath string, directed bool, cfg engine.Config, sample int, sampleSeed int64) (*engine.Engine, error) {
 	if snapshotDir != "" {
 		st, err := server.LoadSnapshotFile(snapshotDir)
 		switch {
 		case err == nil:
 			log.Printf("bcserved: restoring snapshot (n=%d m=%d, %d updates applied)",
 				st.Graph.N(), st.Graph.M(), st.Applied)
+			if st.Sources == nil && sample > 0 {
+				if err := configureSampling(&cfg, st.Graph.N(), sample, sampleSeed); err != nil {
+					return nil, err
+				}
+			}
 			return engine.RestoreEngine(st, cfg)
 		case errors.Is(err, os.ErrNotExist):
 			// First start: fall through to -graph.
@@ -127,5 +155,31 @@ func buildEngine(snapshotDir, graphPath string, directed bool, cfg engine.Config
 	} else {
 		g = graph.New(0)
 	}
+	if sample > 0 {
+		if err := configureSampling(&cfg, g.N(), sample, sampleSeed); err != nil {
+			return nil, err
+		}
+	}
 	return engine.New(g, cfg)
+}
+
+// configureSampling draws the source sample for an n-vertex graph into cfg.
+func configureSampling(cfg *engine.Config, n, sample int, sampleSeed int64) error {
+	if n == 0 {
+		return fmt.Errorf("-sample needs an initial graph (or a snapshot) to sample sources from")
+	}
+	if sample > n {
+		sample = n
+	}
+	cfg.Sources = bc.SampleSources(n, sample, sampleSeed)
+	cfg.Scale = float64(n) / float64(sample)
+	return nil
+}
+
+// usageError reports a flag-validation failure with the usage text and exits
+// with the conventional status 2.
+func usageError(msg string) {
+	fmt.Fprintln(os.Stderr, "bcserved:", msg)
+	flag.Usage()
+	os.Exit(2)
 }

@@ -209,7 +209,7 @@ func TestClusterInvalidUpdateDoesNotGrow(t *testing.T) {
 	}
 	defer cluster.Close()
 
-	if applied, err := cluster.ApplyBatch([]graph.Update{graph.Removal(0, n + 40)}); err == nil || applied != 0 {
+	if applied, err := cluster.ApplyBatch([]graph.Update{graph.Removal(0, n+40)}); err == nil || applied != 0 {
 		t.Fatalf("ApplyBatch(bad removal) = (%d, %v), want (0, error)", applied, err)
 	}
 	if applied, err := cluster.ApplyBatch([]graph.Update{graph.Addition(n+40, n+40)}); err == nil || applied != 0 {
@@ -220,7 +220,7 @@ func TestClusterInvalidUpdateDoesNotGrow(t *testing.T) {
 	}
 
 	// Real growth must still work and produce correct scores.
-	if applied, err := cluster.ApplyBatch([]graph.Update{graph.Addition(0, n + 2)}); err != nil || applied != 1 {
+	if applied, err := cluster.ApplyBatch([]graph.Update{graph.Addition(0, n+2)}); err != nil || applied != 1 {
 		t.Fatalf("ApplyBatch(growth) = (%d, %v)", applied, err)
 	}
 	checkEngineAgainstBrandes(t, cluster.Graph(), cluster.VBC(), cluster.EBC(), "cluster after rejected growth")

@@ -13,12 +13,19 @@
 // execution path: ApplyBatch ships a whole batch of updates through the
 // workers with one store load/save per affected source and one reduce of the
 // partial deltas at the end of the batch.
+//
+// Both embodiments also run on an explicit source list instead of the full
+// vertex set (Config.Sources / NewSampledCluster): the sampled-source
+// approximate mode, where only k uniformly sampled sources are maintained
+// and every contribution is scaled by n/k, trading bounded estimation error
+// for k/n of the memory and update cost.
 package engine
 
 import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"sort"
 	"sync"
 
 	"streambc/internal/bc"
@@ -54,6 +61,18 @@ type Config struct {
 	Workers int
 	// Store builds the per-worker stores; defaults to MemFactory().
 	Store StoreFactory
+	// Sources, when non-nil, selects the sampled-source approximate mode: the
+	// per-source betweenness data is maintained only for these sources
+	// (partitioned across the workers) and every contribution is scaled by
+	// Scale, so the accumulated scores are unbiased estimates of the exact
+	// ones when Sources is a uniform sample. The sample is fixed for the life
+	// of the engine: vertices arriving later in the stream are never added as
+	// sources. nil means exact mode (every vertex is a source).
+	Sources []int
+	// Scale is the estimator factor of the sampled mode (normally n/k for a
+	// sample of k out of n sources). Values <= 0 mean n/len(Sources),
+	// computed at construction. Ignored in exact mode.
+	Scale float64
 }
 
 // Stats aggregates the work counters of all workers. It is the same type as
@@ -68,6 +87,11 @@ type Engine struct {
 	res     *bc.Result
 	applied int
 	nextRR  int // round-robin cursor for assigning newly arrived sources
+
+	// sample is the explicit source set of the approximate mode (nil in
+	// exact mode) and scale the matching estimator factor (1 in exact mode).
+	sample []int
+	scale  float64
 
 	// pooled reports whether persistent worker goroutines are running. A
 	// single-worker engine stays inline: updates are processed on the
@@ -119,30 +143,36 @@ func New(g *graph.Graph, cfg Config) (*Engine, error) {
 	if cfg.Workers < 1 {
 		cfg.Workers = 1
 	}
-	if cfg.Workers > g.N() && g.N() > 0 {
-		cfg.Workers = g.N()
-	}
 	if cfg.Store == nil {
 		cfg.Store = MemFactory()
 	}
-	e := &Engine{g: g, res: bc.NewResult(g.N())}
 	n := g.N()
+	pool, scale, err := sourcePool(n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Workers > len(pool) && len(pool) > 0 {
+		cfg.Workers = len(pool)
+	}
+	e := &Engine{g: g, res: bc.NewResult(n), scale: scale}
+	if cfg.Sources != nil {
+		e.sample = pool
+	}
 	for id := 0; id < cfg.Workers; id++ {
-		lo, hi := bc.SourceRange(n, cfg.Workers, id)
-		sources := make([]int, 0, hi-lo)
-		for s := lo; s < hi; s++ {
-			sources = append(sources, s)
-		}
+		lo, hi := bc.SourceRange(len(pool), cfg.Workers, id)
+		sources := append([]int(nil), pool[lo:hi]...)
 		store, err := cfg.Store(id, n, sources)
 		if err != nil {
 			e.Close()
 			return nil, fmt.Errorf("engine: creating store for worker %d: %w", id, err)
 		}
+		proc := incremental.NewSourceProcessor(store, n)
+		proc.SetScale(scale)
 		e.workers = append(e.workers, &worker{
 			id:      id,
 			store:   store,
 			sources: sources,
-			proc:    incremental.NewSourceProcessor(store, n),
+			proc:    proc,
 		})
 	}
 	if err := e.initialize(); err != nil {
@@ -158,6 +188,40 @@ func New(g *graph.Graph, cfg Config) (*Engine, error) {
 		}
 	}
 	return e, nil
+}
+
+// sourcePool resolves the configured source set: every vertex in exact mode,
+// or a validated, sorted, deduplicated copy of cfg.Sources (with its n/k
+// estimator scale) in sampled mode.
+func sourcePool(n int, cfg Config) ([]int, float64, error) {
+	if cfg.Sources == nil {
+		pool := make([]int, n)
+		for i := range pool {
+			pool[i] = i
+		}
+		return pool, 1, nil
+	}
+	pool := append([]int(nil), cfg.Sources...)
+	sort.Ints(pool)
+	uniq := pool[:0]
+	for i, s := range pool {
+		if s < 0 || s >= n {
+			return nil, 0, fmt.Errorf("engine: sampled source %d out of range (n=%d)", s, n)
+		}
+		if i > 0 && s == pool[i-1] {
+			continue
+		}
+		uniq = append(uniq, s)
+	}
+	pool = uniq
+	if len(pool) == 0 {
+		return nil, 0, fmt.Errorf("engine: sampled mode needs at least one source")
+	}
+	scale := cfg.Scale
+	if scale <= 0 {
+		scale = float64(n) / float64(len(pool))
+	}
+	return pool, scale, nil
 }
 
 // initialize runs step 1 of the framework: one Brandes iteration per source,
@@ -176,7 +240,11 @@ func (e *Engine) initialize() error {
 			var queue []int
 			for _, s := range w.sources {
 				bc.SingleSource(e.g, s, state, &queue)
-				bc.AccumulateSource(e.g, s, state, partial)
+				if e.scale == 1 {
+					bc.AccumulateSource(e.g, s, state, partial)
+				} else {
+					bc.AccumulateSourceScaled(e.g, s, state, partial, e.scale)
+				}
 				if err := w.store.Save(s, state); err != nil {
 					errs[i] = fmt.Errorf("engine: worker %d saving source %d: %w", w.id, s, err)
 					return
@@ -287,6 +355,33 @@ func (e *Engine) EBC() map[graph.Edge]float64 { return e.res.EBC }
 
 // Workers returns the number of workers.
 func (e *Engine) Workers() int { return len(e.workers) }
+
+// Sampled reports whether the engine runs in the sampled-source approximate
+// mode.
+func (e *Engine) Sampled() bool { return e.sample != nil }
+
+// SampledSources returns a copy of the sampled source set, in ascending
+// order, or nil in exact mode.
+func (e *Engine) SampledSources() []int {
+	if e.sample == nil {
+		return nil
+	}
+	return append([]int(nil), e.sample...)
+}
+
+// SampleSize returns the number of sources whose betweenness data the engine
+// maintains: the sample size k in sampled mode, the vertex count n in exact
+// mode.
+func (e *Engine) SampleSize() int {
+	if e.sample != nil {
+		return len(e.sample)
+	}
+	return e.g.N()
+}
+
+// Scale returns the estimator factor applied to every betweenness
+// contribution (n/k in sampled mode, 1 in exact mode).
+func (e *Engine) Scale() float64 { return e.scale }
 
 // Stats returns aggregated work counters.
 func (e *Engine) Stats() Stats {
@@ -446,13 +541,17 @@ func (e *Engine) finishBatch(applied []graph.Update) error {
 // growTo extends the graph, every worker store and the result to n vertices;
 // the new sources are spread over the workers round-robin. It runs between
 // worker tasks, so the workers observe the growth through the next task's
-// channel handshake.
+// channel handshake. In sampled mode the source set is fixed, so the records
+// grow but no new sources are registered.
 func (e *Engine) growTo(n int) error {
 	old := incremental.GrowGraphAndResult(e.g, e.res, n)
 	for _, w := range e.workers {
 		if err := w.store.Grow(n); err != nil {
 			return fmt.Errorf("engine: growing store of worker %d: %w", w.id, err)
 		}
+	}
+	if e.sample != nil {
+		return nil
 	}
 	for s := old; s < n; s++ {
 		w := e.workers[e.nextRR%len(e.workers)]

@@ -35,6 +35,10 @@ type InitArgs struct {
 	// DiskPath, when non-empty, makes the worker keep its BD partition in an
 	// out-of-core store at that path instead of in memory.
 	DiskPath string
+	// Scale is the estimator factor applied to every betweenness
+	// contribution of this worker's sources (n/k in the sampled-source
+	// approximate mode). Values <= 0 mean 1 (exact mode).
+	Scale float64
 }
 
 // ApplyArgs carries one edge update to a worker.
@@ -97,17 +101,26 @@ func (w *WorkerServer) Init(args *InitArgs, reply *incremental.Delta) error {
 		store = bdstore.NewMemStoreForSources(args.N, args.Sources)
 	}
 
+	scale := args.Scale
+	if scale <= 0 {
+		scale = 1
+	}
 	w.g = g
 	w.store = store
 	w.sources = append([]int(nil), args.Sources...)
 	w.proc = incremental.NewSourceProcessor(store, args.N)
+	w.proc.SetScale(scale)
 
 	partial := bc.NewResult(args.N)
 	state := bc.NewSourceState(args.N)
 	var queue []int
 	for _, s := range w.sources {
 		bc.SingleSource(g, s, state, &queue)
-		bc.AccumulateSource(g, s, state, partial)
+		if scale == 1 {
+			bc.AccumulateSource(g, s, state, partial)
+		} else {
+			bc.AccumulateSourceScaled(g, s, state, partial, scale)
+		}
 		if err := store.Save(s, state); err != nil {
 			return err
 		}
@@ -256,6 +269,11 @@ type Cluster struct {
 	res     *bc.Result
 	nextRR  int
 	applied int
+
+	// sample is the explicit source set of the approximate mode (nil in
+	// exact mode) and scale the matching estimator factor.
+	sample []int
+	scale  float64
 }
 
 // NewCluster connects to the worker addresses, partitions the sources of g
@@ -263,10 +281,26 @@ type Cluster struct {
 // scores. Pass diskDirs non-nil (one path per worker, may be empty strings)
 // to ask workers to keep their BD partition on disk.
 func NewCluster(g *graph.Graph, addrs []string, diskPaths []string) (*Cluster, error) {
+	return NewSampledCluster(g, addrs, diskPaths, nil, 0)
+}
+
+// NewSampledCluster is NewCluster with the sampled-source approximate mode:
+// only the given sources (nil = every vertex, exact mode) are partitioned
+// across the workers, and every betweenness contribution is scaled by scale
+// (<= 0 means n/len(sources)). As in the in-process engine the sample is
+// fixed: vertices arriving later in the stream are never added as sources.
+func NewSampledCluster(g *graph.Graph, addrs []string, diskPaths []string, sources []int, scale float64) (*Cluster, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("engine: cluster needs at least one worker address")
 	}
-	c := &Cluster{g: g, res: bc.NewResult(g.N())}
+	pool, poolScale, err := sourcePool(g.N(), Config{Sources: sources, Scale: scale})
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{g: g, res: bc.NewResult(g.N()), scale: poolScale}
+	if sources != nil {
+		c.sample = pool
+	}
 	edges := g.Edges()
 	for i, addr := range addrs {
 		client, err := rpc.Dial("tcp", addr)
@@ -276,12 +310,14 @@ func NewCluster(g *graph.Graph, addrs []string, diskPaths []string) (*Cluster, e
 		}
 		c.clients = append(c.clients, client)
 
-		lo, hi := bc.SourceRange(g.N(), len(addrs), i)
-		sources := make([]int, 0, hi-lo)
-		for s := lo; s < hi; s++ {
-			sources = append(sources, s)
+		lo, hi := bc.SourceRange(len(pool), len(addrs), i)
+		args := &InitArgs{
+			N:        g.N(),
+			Directed: g.Directed(),
+			Edges:    edges,
+			Sources:  append([]int(nil), pool[lo:hi]...),
+			Scale:    poolScale,
 		}
-		args := &InitArgs{N: g.N(), Directed: g.Directed(), Edges: edges, Sources: sources}
 		if diskPaths != nil && i < len(diskPaths) {
 			args.DiskPath = diskPaths[i]
 		}
@@ -416,12 +452,30 @@ func (c *Cluster) ApplyBatch(updates []graph.Update) (int, error) {
 	return shipped, applyErr
 }
 
+// Sampled reports whether the cluster runs in the sampled-source mode.
+func (c *Cluster) Sampled() bool { return c.sample != nil }
+
+// SampledSources returns a copy of the sampled source set (nil in exact mode).
+func (c *Cluster) SampledSources() []int {
+	if c.sample == nil {
+		return nil
+	}
+	return append([]int(nil), c.sample...)
+}
+
+// Scale returns the estimator factor (1 in exact mode).
+func (c *Cluster) Scale() float64 { return c.scale }
+
 // growTo grows the coordinator replica and assigns the new sources to workers
-// round-robin.
+// round-robin (sampled mode keeps its fixed source set: workers only grow
+// their records through the batch itself).
 func (c *Cluster) growTo(n int) error {
 	old := c.g.N()
 	for c.g.N() < n {
 		c.g.AddVertex()
+	}
+	if c.sample != nil {
+		return nil
 	}
 	for s := old; s < n; s++ {
 		i := c.nextRR % len(c.clients)

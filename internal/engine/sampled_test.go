@@ -1,0 +1,253 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+
+	"streambc/internal/bc"
+	"streambc/internal/bdstore"
+	"streambc/internal/graph"
+	"streambc/internal/incremental"
+)
+
+// checkSampledAgainstStatic compares the engine estimate with a from-scratch
+// sampled Brandes pass over the same sample and scale.
+func checkSampledAgainstStatic(t *testing.T, g *graph.Graph, sources []int, scale float64, vbc []float64, ebc map[graph.Edge]float64, context string) {
+	t.Helper()
+	want := bc.ComputeSampled(g, sources, scale)
+	for v := range want.VBC {
+		if !approx(vbc[v], want.VBC[v]) {
+			t.Fatalf("%s: VBC[%d] = %g, want %g", context, v, vbc[v], want.VBC[v])
+		}
+	}
+	for e, x := range want.EBC {
+		if !approx(ebc[e], x) {
+			t.Fatalf("%s: EBC[%v] = %g, want %g", context, e, ebc[e], x)
+		}
+	}
+}
+
+// TestSampledEngineAcrossWorkersAndStores runs the sampled engine at 1 and 4
+// workers, in memory and on disk, against the static sampled reference.
+func TestSampledEngineAcrossWorkersAndStores(t *testing.T) {
+	base := testGraph(t, 40, 100, 17)
+	updates := mixedUpdates(t, base, 14, 9)
+	n := base.N()
+	sources := bc.SampleSources(n, n/4, 5)
+
+	for _, workers := range []int{1, 4} {
+		for _, disk := range []bool{false, true} {
+			cfg := Config{Workers: workers, Sources: sources}
+			name := "mem"
+			if disk {
+				cfg.Store = DiskFactory(t.TempDir())
+				name = "disk"
+			}
+			e, err := New(base.Clone(), cfg)
+			if err != nil {
+				t.Fatalf("New(%s, %d workers): %v", name, workers, err)
+			}
+			if !e.Sampled() || e.SampleSize() != len(sources) {
+				t.Fatalf("Sampled=%v SampleSize=%d, want true/%d", e.Sampled(), e.SampleSize(), len(sources))
+			}
+			if want := float64(n) / float64(len(sources)); e.Scale() != want {
+				t.Fatalf("Scale = %g, want %g", e.Scale(), want)
+			}
+			if _, err := e.ApplyBatch(updates); err != nil {
+				t.Fatalf("ApplyBatch(%s, %d workers): %v", name, workers, err)
+			}
+			checkSampledAgainstStatic(t, e.Graph(), sources, e.Scale(), e.VBC(), e.EBC(),
+				name)
+			e.Close()
+		}
+	}
+}
+
+// TestSampledEngineGrowthKeepsSampleFixed checks that new vertices arriving
+// in the stream are not registered as sources in sampled mode.
+func TestSampledEngineGrowthKeepsSampleFixed(t *testing.T) {
+	base := testGraph(t, 20, 50, 3)
+	n := base.N()
+	sources := bc.SampleSources(n, 6, 2)
+	e, err := New(base.Clone(), Config{Workers: 2, Sources: sources})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer e.Close()
+	if err := e.Apply(graph.Addition(1, n+1)); err != nil {
+		t.Fatalf("growth update: %v", err)
+	}
+	if got := e.Graph().N(); got != n+2 {
+		t.Fatalf("graph grew to %d, want %d", got, n+2)
+	}
+	got := e.SampledSources()
+	if len(got) != len(sources) {
+		t.Fatalf("sample changed on growth: %v -> %v", sources, got)
+	}
+	total := 0
+	for _, w := range e.workers {
+		total += len(w.sources)
+	}
+	if total != len(sources) {
+		t.Fatalf("workers own %d sources after growth, want %d", total, len(sources))
+	}
+	checkSampledAgainstStatic(t, e.Graph(), sources, e.Scale(), e.VBC(), e.EBC(), "after growth")
+}
+
+// TestSampledSnapshotRoundTrip checks that a sampled engine's snapshot
+// records the sample and scale, that Restore rebuilds the same sampled
+// engine, and that both continue identically on further updates.
+func TestSampledSnapshotRoundTrip(t *testing.T) {
+	base := testGraph(t, 30, 80, 23)
+	updates := mixedUpdates(t, base, 10, 4)
+	n := base.N()
+	sources := bc.SampleSources(n, n/3, 9)
+
+	e, err := New(base.Clone(), Config{Workers: 2, Sources: sources})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer e.Close()
+	if _, err := e.ApplyBatch(updates[:6]); err != nil {
+		t.Fatalf("ApplyBatch: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, e); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	st, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if len(st.Sources) != len(sources) || st.Scale != e.Scale() {
+		t.Fatalf("snapshot sample = %d sources scale %g, want %d scale %g",
+			len(st.Sources), st.Scale, len(sources), e.Scale())
+	}
+	for i := range sources {
+		if st.Sources[i] != sources[i] {
+			t.Fatalf("snapshot sources = %v, want %v", st.Sources, sources)
+		}
+	}
+
+	// Restoring with a different worker count and store backend must keep the
+	// snapshot's sample; a conflicting cfg sample is overridden.
+	r, err := RestoreEngine(st, Config{Workers: 3, Store: DiskFactory(t.TempDir()),
+		Sources: []int{0, 1}, Scale: 15})
+	if err != nil {
+		t.Fatalf("RestoreEngine: %v", err)
+	}
+	defer r.Close()
+	if got := r.SampledSources(); len(got) != len(sources) {
+		t.Fatalf("restored sample = %v, want %v", got, sources)
+	}
+	if r.Scale() != e.Scale() {
+		t.Fatalf("restored scale = %g, want %g", r.Scale(), e.Scale())
+	}
+	for v := range e.VBC() {
+		if r.VBC()[v] != e.VBC()[v] {
+			t.Fatalf("restored VBC[%d] = %v, want %v", v, r.VBC()[v], e.VBC()[v])
+		}
+	}
+
+	// Both engines keep producing the same sampled estimates.
+	rest := updates[6:]
+	if _, err := e.ApplyBatch(rest); err != nil {
+		t.Fatalf("original ApplyBatch: %v", err)
+	}
+	if _, err := r.ApplyBatch(rest); err != nil {
+		t.Fatalf("restored ApplyBatch: %v", err)
+	}
+	for v := range e.VBC() {
+		if !approx(r.VBC()[v], e.VBC()[v]) {
+			t.Fatalf("post-restore VBC[%d] = %g, want %g", v, r.VBC()[v], e.VBC()[v])
+		}
+	}
+	checkSampledAgainstStatic(t, r.Graph(), sources, r.Scale(), r.VBC(), r.EBC(), "restored")
+}
+
+// TestExactSnapshotStaysVersion1 pins the exact-mode snapshot encoding: no
+// sampled block, version byte 1 — byte-compatible with pre-sampling readers.
+func TestExactSnapshotStaysVersion1(t *testing.T) {
+	base := testGraph(t, 12, 24, 2)
+	e, err := New(base, Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer e.Close()
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, e); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	raw := buf.Bytes()
+	if len(raw) < 10 || raw[8] != snapshotVersion1 {
+		t.Fatalf("exact snapshot version byte = %d, want %d", raw[8], snapshotVersion1)
+	}
+	st, err := ReadSnapshot(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if st.Sources != nil || st.Scale != 0 {
+		t.Fatalf("exact snapshot decoded sample %v scale %g, want none", st.Sources, st.Scale)
+	}
+}
+
+// TestSampledClusterMatchesEngine drives the RPC embodiment with an explicit
+// source sample and checks it against the in-process sampled engine and the
+// static sampled reference.
+func TestSampledClusterMatchesEngine(t *testing.T) {
+	base := testGraph(t, 24, 60, 31)
+	updates := mixedUpdates(t, base, 10, 7)
+	n := base.N()
+	sources := bc.SampleSources(n, n/3, 13)
+	addrs := startWorkers(t, 2)
+
+	cluster, err := NewSampledCluster(base.Clone(), addrs, nil, sources, 0)
+	if err != nil {
+		t.Fatalf("NewSampledCluster: %v", err)
+	}
+	defer cluster.Close()
+	if !cluster.Sampled() || len(cluster.SampledSources()) != len(sources) {
+		t.Fatalf("cluster sample = %v, want %v", cluster.SampledSources(), sources)
+	}
+	if want := float64(n) / float64(len(sources)); cluster.Scale() != want {
+		t.Fatalf("cluster scale = %g, want %g", cluster.Scale(), want)
+	}
+	if _, err := cluster.ApplyBatch(updates); err != nil {
+		t.Fatalf("cluster ApplyBatch: %v", err)
+	}
+	checkSampledAgainstStatic(t, cluster.Graph(), sources, cluster.Scale(),
+		cluster.VBC(), cluster.EBC(), "cluster")
+}
+
+// TestSampledUpdaterViaEngineSingleWorkerIsDeterministic double-checks the
+// engine's single-worker sampled path against the sequential sampled updater.
+func TestSampledEngineMatchesSampledUpdater(t *testing.T) {
+	base := testGraph(t, 30, 70, 41)
+	updates := mixedUpdates(t, base, 12, 3)
+	n := base.N()
+	sources := bc.SampleSources(n, n/2, 21)
+
+	e, err := New(base.Clone(), Config{Workers: 1, Sources: sources})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer e.Close()
+	u, err := incremental.NewSampledUpdater(base.Clone(), bdstore.NewMemStoreForSources(n, sources), 0)
+	if err != nil {
+		t.Fatalf("NewSampledUpdater: %v", err)
+	}
+	for i, upd := range updates {
+		if err := e.Apply(upd); err != nil {
+			t.Fatalf("engine update %d: %v", i, err)
+		}
+		if err := u.Apply(upd); err != nil {
+			t.Fatalf("updater update %d: %v", i, err)
+		}
+	}
+	for v := range u.VBC() {
+		if !approx(e.VBC()[v], u.VBC()[v]) {
+			t.Fatalf("VBC[%d]: engine %g, updater %g", v, e.VBC()[v], u.VBC()[v])
+		}
+	}
+}

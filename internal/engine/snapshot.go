@@ -7,23 +7,31 @@ package engine
 // BD[·] is deliberately not serialised (it is O(n²) and is regenerated
 // exactly by one offline initialisation pass over the restored graph).
 //
-// Format (version 1, all multi-byte integers as unsigned varints, floats as
+// Format (all multi-byte integers as unsigned varints, floats as
 // little-endian IEEE-754 bits):
 //
 //	magic    [8]byte  "STBCSNAP"
-//	version  uvarint  (1)
-//	flags    uvarint  bit 0: directed
+//	version  uvarint  (1 = exact, 2 = adds the sampled-source block)
+//	flags    uvarint  bit 0: directed; bit 1: sampled (version 2 only)
 //	n        uvarint  number of vertices
 //	m        uvarint  number of edges
 //	edges    m × (uvarint u, uvarint v)
 //	applied  uvarint  cumulative updates applied
+//	-- version 2, when flags bit 1 is set --
+//	scale    float64  estimator factor (n/k at construction time)
+//	k        uvarint  sample size
+//	sources  k × uvarint, strictly ascending
+//	-- end of sampled block --
 //	vbc      n × float64
 //	ebcLen   uvarint
 //	ebc      ebcLen × (uvarint u, uvarint v, float64)
 //	crc      uint32   CRC-32 (IEEE) of every byte before it
 //
-// The trailing checksum turns torn or corrupted snapshot files into load
-// errors instead of silently wrong scores.
+// An exact-mode engine always writes version 1, so exact snapshots are
+// byte-identical to the pre-sampling format; a sampled engine writes
+// version 2 so that Restore round-trips its source sample and scale. The
+// trailing checksum turns torn or corrupted snapshot files into load errors
+// instead of silently wrong scores.
 
 import (
 	"bufio"
@@ -41,17 +49,27 @@ import (
 
 var snapshotMagic = [8]byte{'S', 'T', 'B', 'C', 'S', 'N', 'A', 'P'}
 
-const snapshotVersion = 1
+const (
+	snapshotVersion1 = 1 // exact mode
+	snapshotVersion2 = 2 // sampled-source approximate mode
+)
+
+// flagSampled marks a version-2 snapshot carrying a sampled-source block.
+const flagSampled = 1 << 1
 
 // ErrBadSnapshot is wrapped by every snapshot decoding failure.
 var ErrBadSnapshot = errors.New("engine: bad snapshot")
 
 // SnapshotState is the decoded content of a snapshot: the restored graph,
-// the applied-update offset and the betweenness scores at snapshot time.
+// the applied-update offset and the betweenness scores at snapshot time,
+// plus — for a snapshot taken in sampled mode — the source sample and its
+// estimator scale (Sources nil and Scale 0 for exact snapshots).
 type SnapshotState struct {
 	Graph   *graph.Graph
 	Applied int
 	Scores  *bc.Result
+	Sources []int
+	Scale   float64
 }
 
 // WriteSnapshot serialises the engine's graph, applied-update offset and
@@ -75,12 +93,17 @@ func WriteSnapshot(w io.Writer, e *Engine) error {
 	}
 
 	g := e.g
+	version := uint64(snapshotVersion1)
 	flags := uint64(0)
 	if g.Directed() {
 		flags |= 1
 	}
+	if e.sample != nil {
+		version = snapshotVersion2
+		flags |= flagSampled
+	}
 	edges := g.Edges()
-	fields := []uint64{snapshotVersion, flags, uint64(g.N()), uint64(len(edges))}
+	fields := []uint64{version, flags, uint64(g.N()), uint64(len(edges))}
 	for _, x := range fields {
 		if err := writeUvarint(x); err != nil {
 			return fmt.Errorf("engine: writing snapshot: %w", err)
@@ -96,6 +119,19 @@ func WriteSnapshot(w io.Writer, e *Engine) error {
 	}
 	if err := writeUvarint(uint64(e.applied)); err != nil {
 		return fmt.Errorf("engine: writing snapshot: %w", err)
+	}
+	if e.sample != nil {
+		if err := writeFloat(e.scale); err != nil {
+			return fmt.Errorf("engine: writing snapshot: %w", err)
+		}
+		if err := writeUvarint(uint64(len(e.sample))); err != nil {
+			return fmt.Errorf("engine: writing snapshot: %w", err)
+		}
+		for _, s := range e.sample {
+			if err := writeUvarint(uint64(s)); err != nil {
+				return fmt.Errorf("engine: writing snapshot: %w", err)
+			}
+		}
 	}
 	for _, x := range e.res.VBC {
 		if err := writeFloat(x); err != nil {
@@ -194,7 +230,7 @@ func ReadSnapshot(r io.Reader) (*SnapshotState, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != snapshotVersion {
+	if version != snapshotVersion1 && version != snapshotVersion2 {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadSnapshot, version)
 	}
 	flags, err := readUvarint("flags")
@@ -241,6 +277,37 @@ func ReadSnapshot(r io.Reader) (*SnapshotState, error) {
 	}
 	if applied > uint64(maxInt) {
 		return nil, fmt.Errorf("%w: implausible applied-update offset %d", ErrBadSnapshot, applied)
+	}
+	var sample []int
+	var scale float64
+	if version >= snapshotVersion2 && flags&flagSampled != 0 {
+		scale, err = readFloat("sample scale")
+		if err != nil {
+			return nil, err
+		}
+		if !(scale > 0) {
+			return nil, fmt.Errorf("%w: implausible sample scale %g", ErrBadSnapshot, scale)
+		}
+		ku, err := readUvarint("sample size")
+		if err != nil {
+			return nil, err
+		}
+		if ku == 0 || ku > nu {
+			return nil, fmt.Errorf("%w: implausible sample size %d (n=%d)", ErrBadSnapshot, ku, nu)
+		}
+		for i := 0; i < int(ku); i++ {
+			su, err := readUvarint("sampled source")
+			if err != nil {
+				return nil, err
+			}
+			if su >= nu {
+				return nil, fmt.Errorf("%w: sampled source %d out of range (n=%d)", ErrBadSnapshot, su, nu)
+			}
+			if len(sample) > 0 && int(su) <= sample[len(sample)-1] {
+				return nil, fmt.Errorf("%w: sampled sources not strictly ascending", ErrBadSnapshot)
+			}
+			sample = append(sample, int(su))
+		}
 	}
 	var vbc []float64
 	for v := 0; v < n; v++ {
@@ -309,7 +376,7 @@ func ReadSnapshot(r io.Reader) (*SnapshotState, error) {
 		}
 		scores.EBC[bc.EdgeKey(g, es.e.U, es.e.V)] = es.x
 	}
-	return &SnapshotState{Graph: g, Applied: int(applied), Scores: scores}, nil
+	return &SnapshotState{Graph: g, Applied: int(applied), Scores: scores, Sources: sample, Scale: scale}, nil
 }
 
 // RestoreEngine builds a running engine from a decoded snapshot: it reruns
@@ -317,7 +384,17 @@ func ReadSnapshot(r io.Reader) (*SnapshotState, error) {
 // per-source data BD[·]) and then overwrites the recomputed scores with the
 // snapshotted ones, so queries after a restart return exactly the values
 // served before it.
+//
+// A snapshot taken in sampled mode records its source sample and estimator
+// scale; those take precedence over cfg.Sources/cfg.Scale, because the
+// snapshotted scores are only coherent with the sample they were accumulated
+// over. Other configuration (workers, store backend) is free to differ from
+// the snapshotted engine's.
 func RestoreEngine(st *SnapshotState, cfg Config) (*Engine, error) {
+	if st.Sources != nil {
+		cfg.Sources = st.Sources
+		cfg.Scale = st.Scale
+	}
 	e, err := New(st.Graph, cfg)
 	if err != nil {
 		return nil, err

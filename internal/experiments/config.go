@@ -24,6 +24,9 @@ type Config struct {
 	// BatchSize is the chunk size used by the batched-replay experiment;
 	// 0 means 16.
 	BatchSize int
+	// SampleK is the headline sample size of the approx experiment (the
+	// sampled-source ladder always includes it); 0 means n/4.
+	SampleK int
 }
 
 func (c Config) normalized() Config {

@@ -190,3 +190,75 @@ func TestRunAllAggregate(t *testing.T) {
 		}
 	}
 }
+
+func TestRunApproxQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment drivers skipped in short mode")
+	}
+	res, err := RunApprox(quickConfig(t))
+	if err != nil {
+		t.Fatalf("RunApprox: %v", err)
+	}
+	if len(res.Rows) < 3 {
+		t.Fatalf("approx ladder has %d rows, want exact + at least 2 sampled", len(res.Rows))
+	}
+	exact := res.Rows[0]
+	if !exact.Exact || exact.K != res.N || exact.Probes != int64(res.N) {
+		t.Fatalf("exact row = %+v, want k = n = %d probing every source", exact, res.N)
+	}
+	fullSample := false
+	for _, row := range res.Rows[1:] {
+		// The mechanism behind the speedup is deterministic even when the
+		// timing is noisy: every update probes exactly k sources.
+		if row.Probes != int64(row.K) {
+			t.Fatalf("k=%d probes %d sources per update, want %d", row.K, row.Probes, row.K)
+		}
+		if row.Exact || row.K > res.N {
+			t.Fatalf("sampled row with exact=%v k=%d n=%d", row.Exact, row.K, res.N)
+		}
+		if row.K == res.N {
+			// The full-sample ladder entry must reproduce the baseline.
+			fullSample = true
+			if row.MaxRel != 0 {
+				t.Fatalf("full-sample row has max relative error %g, want 0", row.MaxRel)
+			}
+		}
+		if math.IsNaN(row.MaxRel) || math.IsNaN(row.AvgRel) || row.MaxRel < row.AvgRel {
+			t.Fatalf("k=%d error stats max=%g avg=%g", row.K, row.MaxRel, row.AvgRel)
+		}
+		if row.Top10 < 0 || row.Top10 > 1 {
+			t.Fatalf("k=%d top10 overlap = %g", row.K, row.Top10)
+		}
+	}
+	if !fullSample {
+		t.Fatal("ladder is missing the full-sample (k = n) row")
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	for _, want := range []string{"exact", "sampled", "max-rel", "speedup"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("approx render missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestRunApproxHeadlineSampleSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment drivers skipped in short mode")
+	}
+	cfg := quickConfig(t)
+	cfg.SampleK = 37
+	res, err := RunApprox(cfg)
+	if err != nil {
+		t.Fatalf("RunApprox: %v", err)
+	}
+	found := false
+	for _, row := range res.Rows {
+		if row.K == 37 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ladder %v missing the headline k=37", res.Rows)
+	}
+}

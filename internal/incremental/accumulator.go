@@ -27,6 +27,21 @@ func (a *ResultAccumulator) AddVBC(v int, delta float64) { a.Res.VBC[v] += delta
 // AddEBC implements Accumulator.
 func (a *ResultAccumulator) AddEBC(e graph.Edge, delta float64) { a.Res.EBC[e] += delta }
 
+// ScaledAccumulator multiplies every change by Scale before forwarding it to
+// the wrapped accumulator. It is how the sampled-source approximate mode
+// applies the n/k estimator scaling: the per-source records stay exact, only
+// the contributions folded into the global scores are scaled.
+type ScaledAccumulator struct {
+	Acc   Accumulator
+	Scale float64
+}
+
+// AddVBC implements Accumulator.
+func (a *ScaledAccumulator) AddVBC(v int, delta float64) { a.Acc.AddVBC(v, a.Scale*delta) }
+
+// AddEBC implements Accumulator.
+func (a *ScaledAccumulator) AddEBC(e graph.Edge, delta float64) { a.Acc.AddEBC(e, a.Scale*delta) }
+
 // Delta is a sparse set of betweenness changes, used as the unit of exchange
 // between mappers and the reducer in the parallel engine (the partial
 // betweenness values of Figure 4).

@@ -1,0 +1,184 @@
+package incremental
+
+import (
+	"testing"
+
+	"streambc/internal/bc"
+	"streambc/internal/bdstore"
+	"streambc/internal/gen"
+	"streambc/internal/graph"
+)
+
+// sampledTestGraph builds a connected graph and a mixed update stream for the
+// sampled-mode tests.
+func sampledTestGraph(t *testing.T, n int, seed int64) (*graph.Graph, []graph.Update) {
+	t.Helper()
+	g := gen.Connected(gen.HolmeKim(n, 3, 0.5, seed))
+	adds, err := gen.RandomAdditions(g, 10, seed+1)
+	if err != nil {
+		t.Fatalf("RandomAdditions: %v", err)
+	}
+	rems, err := gen.RandomRemovals(g, 6, seed+2)
+	if err != nil {
+		t.Fatalf("RandomRemovals: %v", err)
+	}
+	var stream []graph.Update
+	for i := range adds {
+		stream = append(stream, adds[i])
+		if i < len(rems) {
+			stream = append(stream, rems[i])
+		}
+	}
+	return g, stream
+}
+
+// TestSampledUpdaterMatchesSampledBrandes replays a mixed stream on a sampled
+// updater and checks the scores against a from-scratch sampled Brandes pass
+// over the final graph: the incremental sampled estimates must equal the
+// static sampled estimates (they share sample and scale, so they agree up to
+// float accumulation order).
+func TestSampledUpdaterMatchesSampledBrandes(t *testing.T) {
+	g, stream := sampledTestGraph(t, 60, 3)
+	n := g.N()
+	sources := bc.SampleSources(n, n/3, 7)
+	scale := float64(n) / float64(len(sources))
+
+	u, err := NewSampledUpdater(g.Clone(), bdstore.NewMemStoreForSources(n, sources), scale)
+	if err != nil {
+		t.Fatalf("NewSampledUpdater: %v", err)
+	}
+	if got := u.Scale(); got != scale {
+		t.Fatalf("Scale = %g, want %g", got, scale)
+	}
+	for i, upd := range stream {
+		if err := u.Apply(upd); err != nil {
+			t.Fatalf("update %d (%v): %v", i, upd, err)
+		}
+	}
+
+	want := bc.ComputeSampled(u.Graph(), sources, scale)
+	for v := range want.VBC {
+		if !approx(u.VBC()[v], want.VBC[v]) {
+			t.Fatalf("VBC[%d] = %g, want %g", v, u.VBC()[v], want.VBC[v])
+		}
+	}
+	for e, x := range want.EBC {
+		if !approx(u.EBC()[e], x) {
+			t.Fatalf("EBC[%v] = %g, want %g", e, u.EBC()[e], x)
+		}
+	}
+	// Every update probes exactly the sampled sources, nothing more.
+	st := u.Stats()
+	if got := st.SourcesSkipped + st.SourcesUpdated; got != int64(len(sources)*len(stream)) {
+		t.Fatalf("probed %d source iterations, want %d", got, len(sources)*len(stream))
+	}
+}
+
+// TestSampledUpdaterBatchMatchesSequential checks that the batched execution
+// path of a sampled updater is bit-identical to sequential Apply.
+func TestSampledUpdaterBatchMatchesSequential(t *testing.T) {
+	g, stream := sampledTestGraph(t, 50, 11)
+	n := g.N()
+	sources := bc.SampleSources(n, n/4, 3)
+
+	seq, err := NewSampledUpdater(g.Clone(), bdstore.NewMemStoreForSources(n, sources), 0)
+	if err != nil {
+		t.Fatalf("NewSampledUpdater: %v", err)
+	}
+	for i, upd := range stream {
+		if err := seq.Apply(upd); err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+	}
+
+	bat, err := NewSampledUpdater(g.Clone(), bdstore.NewMemStoreForSources(n, sources), 0)
+	if err != nil {
+		t.Fatalf("NewSampledUpdater: %v", err)
+	}
+	if _, err := bat.ApplyBatch(stream); err != nil {
+		t.Fatalf("ApplyBatch: %v", err)
+	}
+
+	for v := range seq.VBC() {
+		if seq.VBC()[v] != bat.VBC()[v] {
+			t.Fatalf("VBC[%d]: sequential %v != batched %v", v, seq.VBC()[v], bat.VBC()[v])
+		}
+	}
+	for e, x := range seq.EBC() {
+		if bat.EBC()[e] != x {
+			t.Fatalf("EBC[%v]: sequential %v != batched %v", e, x, bat.EBC()[e])
+		}
+	}
+}
+
+// TestSampledUpdaterFullSampleIsExact checks that a "sample" of every vertex
+// with scale 1 reproduces the exact updater bit for bit.
+func TestSampledUpdaterFullSampleIsExact(t *testing.T) {
+	g, stream := sampledTestGraph(t, 40, 5)
+	n := g.N()
+
+	exact, err := NewUpdater(g.Clone(), bdstore.NewMemStore(n))
+	if err != nil {
+		t.Fatalf("NewUpdater: %v", err)
+	}
+	full, err := NewSampledUpdater(g.Clone(), bdstore.NewMemStoreForSources(n, bc.SampleSources(n, n, 1)), 0)
+	if err != nil {
+		t.Fatalf("NewSampledUpdater: %v", err)
+	}
+	if full.Scale() != 1 {
+		t.Fatalf("full-sample scale = %g, want 1", full.Scale())
+	}
+	for i, upd := range stream {
+		if err := exact.Apply(upd); err != nil {
+			t.Fatalf("exact update %d: %v", i, err)
+		}
+		if err := full.Apply(upd); err != nil {
+			t.Fatalf("sampled update %d: %v", i, err)
+		}
+	}
+	for v := range exact.VBC() {
+		if exact.VBC()[v] != full.VBC()[v] {
+			t.Fatalf("VBC[%d]: exact %v != full-sample %v", v, exact.VBC()[v], full.VBC()[v])
+		}
+	}
+	for e, x := range exact.EBC() {
+		if full.EBC()[e] != x {
+			t.Fatalf("EBC[%v]: exact %v != full-sample %v", e, x, full.EBC()[e])
+		}
+	}
+}
+
+// TestSampledUpdaterGrowthKeepsSampleFixed checks that vertices arriving in
+// the stream grow the records but are not promoted to sources.
+func TestSampledUpdaterGrowthKeepsSampleFixed(t *testing.T) {
+	g := gen.Connected(gen.ErdosRenyi(20, 40, 1))
+	n := g.N()
+	sources := bc.SampleSources(n, 5, 2)
+	scale := float64(n) / 5
+	u, err := NewSampledUpdater(g.Clone(), bdstore.NewMemStoreForSources(n, sources), scale)
+	if err != nil {
+		t.Fatalf("NewSampledUpdater: %v", err)
+	}
+	if err := u.Apply(graph.Addition(0, n+2)); err != nil {
+		t.Fatalf("growth update: %v", err)
+	}
+	if got := u.Graph().N(); got != n+3 {
+		t.Fatalf("graph grew to %d vertices, want %d", got, n+3)
+	}
+	got := u.Store().Sources()
+	if len(got) != len(sources) {
+		t.Fatalf("sample changed on growth: %v -> %v", sources, got)
+	}
+	for i := range got {
+		if got[i] != sources[i] {
+			t.Fatalf("sample changed on growth: %v -> %v", sources, got)
+		}
+	}
+	// The incremental estimate still matches the static sampled estimate.
+	want := bc.ComputeSampled(u.Graph(), sources, scale)
+	for v := range want.VBC {
+		if !approx(u.VBC()[v], want.VBC[v]) {
+			t.Fatalf("VBC[%d] = %g, want %g", v, u.VBC()[v], want.VBC[v])
+		}
+	}
+}

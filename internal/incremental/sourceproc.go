@@ -44,6 +44,13 @@ type SourceProcessor struct {
 	// on and off between batches.
 	cacheProbes bool
 
+	// scale multiplies every betweenness change before it reaches the
+	// caller's accumulator (the n/k estimator factor of the sampled-source
+	// approximate mode). A scale of 1 — the default, and the exact mode —
+	// bypasses the wrapping entirely, leaving that path untouched.
+	scale  float64
+	scaled ScaledAccumulator
+
 	skipped int64
 	updated int64
 
@@ -69,8 +76,22 @@ func NewSourceProcessor(store Store, n int) *SourceProcessor {
 		store: store,
 		ws:    NewWorkspace(n),
 		idx:   make(map[int]int),
+		scale: 1,
 	}
 }
+
+// SetScale sets the factor applied to every betweenness change produced by
+// subsequent updates (1 = exact mode, n/k = sampled mode). Call it once,
+// before any update is processed.
+func (p *SourceProcessor) SetScale(scale float64) {
+	if scale <= 0 {
+		scale = 1
+	}
+	p.scale = scale
+}
+
+// Scale returns the configured estimator scaling factor (1 in exact mode).
+func (p *SourceProcessor) Scale() float64 { return p.scale }
 
 // Store returns the underlying per-source store.
 func (p *SourceProcessor) Store() Store { return p.store }
@@ -90,6 +111,10 @@ func (p *SourceProcessor) Updated() int64 { return p.updated }
 func (p *SourceProcessor) ProcessUpdate(g *graph.Graph, sources []int, upd graph.Update, acc Accumulator) error {
 	directed := g.Directed()
 	n := g.N()
+	if p.scale != 1 {
+		p.scaled = ScaledAccumulator{Acc: acc, Scale: p.scale}
+		acc = &p.scaled
+	}
 	if sources == nil {
 		for s := 0; s < n; s++ {
 			if err := p.processOne(g, n, s, upd, directed, acc); err != nil {

@@ -33,6 +33,14 @@ type Updater struct {
 	proc  *SourceProcessor
 	acc   ResultAccumulator
 
+	// sources is the explicit source set in sampled mode (nil in exact mode,
+	// where every vertex is a source) and scale the matching n/k estimator
+	// factor. The sample is fixed at construction: vertices arriving later in
+	// the stream are never added as sources, so the scaling stays coherent
+	// with the scores accumulated so far.
+	sources []int
+	scale   float64
+
 	applied int
 }
 
@@ -50,6 +58,7 @@ func NewUpdater(g *graph.Graph, store Store) (*Updater, error) {
 		store: store,
 		res:   bc.NewResult(g.N()),
 		proc:  NewSourceProcessor(store, g.N()),
+		scale: 1,
 	}
 	u.acc = ResultAccumulator{Res: u.res}
 	state := bc.NewSourceState(g.N())
@@ -63,6 +72,56 @@ func NewUpdater(g *graph.Graph, store Store) (*Updater, error) {
 	}
 	return u, nil
 }
+
+// NewSampledUpdater is the approximate-mode counterpart of NewUpdater: the
+// per-source data is maintained only for the sources managed by store (a
+// uniform sample of the vertex set, typically built with bc.SampleSources and
+// a store from bdstore.NewMemStoreForSources or NewDiskStoreForSources), and
+// every betweenness contribution is multiplied by scale (n/k for a uniform
+// sample of k out of n sources, which makes the estimates unbiased; values
+// <= 0 mean n/k computed from the store). The sample is fixed for the life of
+// the updater: vertices added by the stream later are never promoted to
+// sources, so the scaling factor stays coherent with the accumulated scores.
+func NewSampledUpdater(g *graph.Graph, store Store, scale float64) (*Updater, error) {
+	if store.NumVertices() != g.N() {
+		return nil, fmt.Errorf("incremental: store covers %d vertices, graph has %d", store.NumVertices(), g.N())
+	}
+	sources := store.Sources()
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("incremental: sampled updater needs at least one source")
+	}
+	if scale <= 0 {
+		scale = float64(g.N()) / float64(len(sources))
+	}
+	u := &Updater{
+		g:       g,
+		store:   store,
+		res:     bc.NewResult(g.N()),
+		proc:    NewSourceProcessor(store, g.N()),
+		sources: sources,
+		scale:   scale,
+	}
+	u.acc = ResultAccumulator{Res: u.res}
+	u.proc.SetScale(scale)
+	state := bc.NewSourceState(g.N())
+	var queue []int
+	for _, s := range sources {
+		bc.SingleSource(g, s, state, &queue)
+		bc.AccumulateSourceScaled(g, s, state, u.res, scale)
+		if err := store.Save(s, state); err != nil {
+			return nil, fmt.Errorf("incremental: initialising source %d: %w", s, err)
+		}
+	}
+	return u, nil
+}
+
+// Sources returns the explicit sampled source set, in ascending order, or nil
+// in exact mode (where every vertex is a source).
+func (u *Updater) Sources() []int { return u.sources }
+
+// Scale returns the estimator scaling factor applied to every betweenness
+// contribution (1 in exact mode, n/k in sampled mode).
+func (u *Updater) Scale() float64 { return u.scale }
 
 // Graph returns the evolving graph. It must be treated as read-only; all
 // mutations must go through Apply.
@@ -145,7 +204,7 @@ func (u *Updater) applyOne(upd graph.Update) error {
 	if err := u.g.Apply(upd); err != nil {
 		return err
 	}
-	if err := u.proc.ProcessUpdate(u.g, nil, upd, &u.acc); err != nil {
+	if err := u.proc.ProcessUpdate(u.g, u.sources, upd, &u.acc); err != nil {
 		return err
 	}
 	if upd.Remove {
@@ -171,11 +230,17 @@ func (u *Updater) ApplyAll(updates []graph.Update) (int, error) {
 
 // growTo extends the graph, the store and the result to cover n vertices.
 // New vertices join with zero centrality and, as sources, see only themselves
-// (Section 3.1, handling of new vertices).
+// (Section 3.1, handling of new vertices). In sampled mode the source set is
+// fixed at construction, so new vertices grow every record but are not added
+// as sources — they are still estimated, as targets and intermediates of the
+// sampled sources' shortest paths.
 func (u *Updater) growTo(n int) error {
 	old := GrowGraphAndResult(u.g, u.res, n)
 	if err := u.store.Grow(n); err != nil {
 		return fmt.Errorf("incremental: growing store to %d vertices: %w", n, err)
+	}
+	if u.sources != nil {
+		return nil
 	}
 	for s := old; s < n; s++ {
 		if err := u.store.AddSource(s); err != nil {

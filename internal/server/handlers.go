@@ -246,12 +246,15 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"updates_coalesced": s.met.coalesced.Load(),
 		"queue_depth":       s.QueueDepth(),
 		"snapshots":         s.met.snapshots.Load(),
+		"sampled":           v.sampled,
+		"sampled_sources":   v.sampleSize,
+		"sample_scale":      v.scale,
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	writeMetrics(w, s.met, s.QueueDepth(), s.currentView().stats)
+	writeMetrics(w, s.met, s.QueueDepth(), s.currentView())
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {

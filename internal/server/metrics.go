@@ -3,12 +3,11 @@ package server
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
-
-	"streambc/internal/engine"
 )
 
 // metrics holds the serving counters exposed on /metrics. Counters are
@@ -109,7 +108,8 @@ func (r *quantileRing) quantiles(qs []float64) []float64 {
 var metricQuantiles = []float64{0.5, 0.9, 0.99, 1}
 
 // writeMetrics renders the Prometheus-style plain-text exposition.
-func writeMetrics(w io.Writer, m *metrics, queueDepth int, st engine.Stats) {
+func writeMetrics(w io.Writer, m *metrics, queueDepth int, v *view) {
+	st := v.stats
 	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
 	summary := func(name string, r *quantileRing) {
 		if vals := r.quantiles(metricQuantiles); vals != nil {
@@ -145,6 +145,26 @@ func writeMetrics(w io.Writer, m *metrics, queueDepth int, st engine.Stats) {
 	p("# HELP streambc_snapshot_errors_total Snapshot attempts that failed.\n")
 	p("# TYPE streambc_snapshot_errors_total counter\n")
 	p("streambc_snapshot_errors_total %d\n", m.snapshotErrs.Load())
+	p("# HELP streambc_sampled_sources Sources whose betweenness data is maintained (sample size k in approximate mode, vertex count n in exact mode).\n")
+	p("# TYPE streambc_sampled_sources gauge\n")
+	p("streambc_sampled_sources %d\n", v.sampleSize)
+	fraction := 1.0
+	if v.sampled && v.n > 0 {
+		fraction = float64(v.sampleSize) / float64(v.n)
+	}
+	p("# HELP streambc_sample_fraction Fraction of vertices maintained as sources (1 in exact mode).\n")
+	p("# TYPE streambc_sample_fraction gauge\n")
+	p("streambc_sample_fraction %g\n", fraction)
+	proxy := 0.0
+	if v.sampled && v.sampleSize > 0 {
+		// Hoeffding-style proxy for the relative error of uniform source
+		// sampling: sqrt(ln(n)/k). It is dimensionless and shrinks as the
+		// sample grows; 0 means exact scores.
+		proxy = math.Sqrt(math.Log(math.Max(float64(v.n), 2)) / float64(v.sampleSize))
+	}
+	p("# HELP streambc_sample_error_proxy Error proxy sqrt(ln(n)/k) for sampled betweenness estimates (0 in exact mode).\n")
+	p("# TYPE streambc_sample_error_proxy gauge\n")
+	p("streambc_sample_error_proxy %g\n", proxy)
 	p("# HELP streambc_sources_skipped_total Sources skipped by the distance probe.\n")
 	p("# TYPE streambc_sources_skipped_total counter\n")
 	p("streambc_sources_skipped_total %d\n", st.SourcesSkipped)

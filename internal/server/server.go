@@ -85,6 +85,12 @@ type view struct {
 	n, m     int
 	directed bool
 	stats    engine.Stats
+
+	// sampleSize is the number of sources maintained (k in sampled mode, n
+	// in exact mode); sampled and scale describe the approximate mode.
+	sampleSize int
+	sampled    bool
+	scale      float64
 }
 
 // New wraps eng in a server. The server takes ownership of applying updates:
@@ -234,11 +240,14 @@ func (s *Server) applyChunk(chunk []item) error {
 func (s *Server) publishView() {
 	g := s.eng.Graph()
 	s.view.Store(&view{
-		res:      s.eng.ResultSnapshot(),
-		n:        g.N(),
-		m:        g.M(),
-		directed: g.Directed(),
-		stats:    s.eng.Stats(),
+		res:        s.eng.ResultSnapshot(),
+		n:          g.N(),
+		m:          g.M(),
+		directed:   g.Directed(),
+		stats:      s.eng.Stats(),
+		sampleSize: s.eng.SampleSize(),
+		sampled:    s.eng.Sampled(),
+		scale:      s.eng.Scale(),
 	})
 }
 

@@ -216,6 +216,9 @@ func TestServedScoresMatchStatic(t *testing.T) {
 		"streambc_apply_batch_latency_seconds{quantile=\"0.5\"}",
 		"streambc_apply_batch_size{quantile=\"0.5\"}",
 		"streambc_apply_batches_total",
+		"streambc_sample_fraction 1",
+		"streambc_sample_error_proxy 0",
+		"streambc_sampled_sources",
 	} {
 		if !strings.Contains(string(met), want) {
 			t.Fatalf("metrics missing %q:\n%s", want, met)
@@ -438,5 +441,85 @@ func TestCloseWithoutStart(t *testing.T) {
 	}
 	if _, err := srv.Enqueue([]graph.Update{graph.Addition(0, 1)}); err != ErrClosed {
 		t.Fatalf("Enqueue after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestSampledServing drives a server over a sampled engine: the sample
+// gauges appear on /metrics, /v1/stats reports the approximate mode, and a
+// snapshot-restart cycle preserves the sample.
+func TestSampledServing(t *testing.T) {
+	g := testGraph(t, 40, 90, 7)
+	sources := bc.SampleSources(g.N(), 10, 3)
+	eng, err := engine.New(g, engine.Config{Workers: 2, Sources: sources})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapDir := t.TempDir()
+	srv := New(eng, Config{SnapshotDir: snapDir})
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+		eng.Close()
+	}()
+
+	var resp ingestResponse
+	if code := postJSON(t, ts.URL+"/v1/updates", map[string]any{
+		"updates": []map[string]any{{"op": "add", "u": 0, "v": 39}},
+		"wait":    true,
+	}, &resp); code != http.StatusOK || resp.Applied != 1 {
+		t.Fatalf("sampled ingest = code %d resp %+v", code, resp)
+	}
+
+	var st struct {
+		Sampled        bool    `json:"sampled"`
+		SampledSources int     `json:"sampled_sources"`
+		SampleScale    float64 `json:"sample_scale"`
+	}
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if !st.Sampled || st.SampledSources != 10 || st.SampleScale != 4 {
+		t.Fatalf("stats = %+v, want sampled with 10 sources at scale 4", st)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		"streambc_sampled_sources 10",
+		"streambc_sample_fraction 0.25",
+		"streambc_sample_error_proxy 0.6",
+	} {
+		if !strings.Contains(string(met), want) {
+			t.Fatalf("sampled metrics missing %q:\n%s", want, met)
+		}
+	}
+
+	// Snapshot, then restore: the sample must survive the restart.
+	var snap struct {
+		Path string `json:"path"`
+	}
+	if code := postJSON(t, ts.URL+"/v1/snapshot", map[string]any{}, &snap); code != http.StatusOK {
+		t.Fatalf("snapshot status %d", code)
+	}
+	state, err := LoadSnapshotFile(snapDir)
+	if err != nil {
+		t.Fatalf("LoadSnapshotFile: %v", err)
+	}
+	eng2, err := engine.RestoreEngine(state, engine.Config{})
+	if err != nil {
+		t.Fatalf("RestoreEngine: %v", err)
+	}
+	defer eng2.Close()
+	if !eng2.Sampled() || eng2.SampleSize() != 10 || eng2.Scale() != 4 {
+		t.Fatalf("restored engine sample = %d scale %g, want 10 at 4", eng2.SampleSize(), eng2.Scale())
+	}
+	for v := range eng.VBC() {
+		if eng2.VBC()[v] != eng.VBC()[v] {
+			t.Fatalf("restored VBC[%d] = %v, want %v", v, eng2.VBC()[v], eng.VBC()[v])
+		}
 	}
 }

@@ -1,0 +1,237 @@
+package streambc
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// sampledConfigs enumerates the store/worker matrix the differential test
+// covers.
+var sampledConfigs = []struct {
+	name    string
+	workers int
+	disk    bool
+}{
+	{"mem-1w", 1, false},
+	{"mem-4w", 4, false},
+	{"disk-1w", 1, true},
+	{"disk-4w", 4, true},
+}
+
+// TestFullSampleBitIdenticalToExact checks, for every store/worker
+// configuration, that WithSampledSources(n, seed) — a sample of every vertex,
+// scale 1 — produces scores bit-identical to the default exact mode on a
+// stream that adds no new vertices (on growing streams the modes are
+// documented to diverge: exact maintenance promotes arrivals to sources, a
+// sample never grows). The exact mode itself is untouched by the sampling
+// code (scale 1 bypasses the scaled accumulator), so this pins the k = n
+// sampled path to today's exact scores.
+func TestFullSampleBitIdenticalToExact(t *testing.T) {
+	base := GenerateSocialGraph(80, 3, 0.5, 11)
+	n := base.N()
+	updates, err := MixedUpdates(base, 20, 0.4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, cfgCase := range sampledConfigs {
+		t.Run(cfgCase.name, func(t *testing.T) {
+			exactOpts := []Option{WithWorkers(cfgCase.workers)}
+			sampledOpts := []Option{WithWorkers(cfgCase.workers), WithSampledSources(n, 1)}
+			if cfgCase.disk {
+				exactOpts = append(exactOpts, WithDiskStore(t.TempDir()))
+				sampledOpts = append(sampledOpts, WithDiskStore(t.TempDir()))
+			}
+
+			exact, err := New(base.Clone(), exactOpts...)
+			if err != nil {
+				t.Fatalf("New exact: %v", err)
+			}
+			defer exact.Close()
+			sampled, err := New(base.Clone(), sampledOpts...)
+			if err != nil {
+				t.Fatalf("New sampled: %v", err)
+			}
+			defer sampled.Close()
+			if !sampled.Sampled() || sampled.SampleScale() != 1 {
+				t.Fatalf("full sample: Sampled=%v scale=%g", sampled.Sampled(), sampled.SampleScale())
+			}
+
+			if _, err := exact.ApplyBatch(updates); err != nil {
+				t.Fatalf("exact ApplyBatch: %v", err)
+			}
+			if _, err := sampled.ApplyBatch(updates); err != nil {
+				t.Fatalf("sampled ApplyBatch: %v", err)
+			}
+
+			ev, sv := exact.VBC(), sampled.VBC()
+			if len(ev) != len(sv) {
+				t.Fatalf("VBC lengths differ: %d vs %d", len(ev), len(sv))
+			}
+			for v := range ev {
+				if ev[v] != sv[v] {
+					t.Fatalf("VBC[%d]: exact %v != full-sample %v", v, ev[v], sv[v])
+				}
+			}
+			ee, se := exact.EBC(), sampled.EBC()
+			if len(ee) != len(se) {
+				t.Fatalf("EBC sizes differ: %d vs %d", len(ee), len(se))
+			}
+			for e, x := range ee {
+				if se[e] != x {
+					t.Fatalf("EBC[%v]: exact %v != full-sample %v", e, x, se[e])
+				}
+			}
+		})
+	}
+}
+
+// avgSampledError replays the updates at sample size k for several sample
+// seeds and returns the mean floored relative VBC error against the exact
+// scores.
+func avgSampledError(t *testing.T, base *Graph, updates []Update, exactVBC []float64, k int) float64 {
+	t.Helper()
+	maxExact := 0.0
+	for _, x := range exactVBC {
+		maxExact = math.Max(maxExact, x)
+	}
+	floor := 0.01 * maxExact
+	total := 0.0
+	seeds := []int64{3, 17, 101}
+	for _, seed := range seeds {
+		s, err := New(base.Clone(), WithSampledSources(k, seed))
+		if err != nil {
+			t.Fatalf("New sampled k=%d: %v", k, err)
+		}
+		if _, err := s.ApplyBatch(updates); err != nil {
+			s.Close()
+			t.Fatalf("sampled ApplyBatch k=%d: %v", k, err)
+		}
+		sum := 0.0
+		for v, x := range s.VBC() {
+			sum += math.Abs(x-exactVBC[v]) / math.Max(exactVBC[v], floor)
+		}
+		total += sum / float64(len(exactVBC))
+		s.Close()
+	}
+	return total / float64(len(seeds))
+}
+
+// TestSampledEstimatesConvergeWithK checks the statistical behaviour of the
+// estimator: the mean relative VBC error shrinks as the sample grows, and is
+// small in absolute terms at k = n/2. All seeds are fixed, so the measured
+// errors are deterministic; the thresholds below leave generous headroom over
+// the observed values.
+func TestSampledEstimatesConvergeWithK(t *testing.T) {
+	base := GenerateSocialGraph(160, 3, 0.5, 19)
+	n := base.N()
+	updates, err := MixedUpdates(base, 16, 0.4, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := New(base.Clone())
+	if err != nil {
+		t.Fatalf("New exact: %v", err)
+	}
+	defer exact.Close()
+	if _, err := exact.ApplyBatch(updates); err != nil {
+		t.Fatalf("exact ApplyBatch: %v", err)
+	}
+	exactVBC := append([]float64(nil), exact.VBC()...)
+
+	small := avgSampledError(t, base, updates, exactVBC, n/8)
+	large := avgSampledError(t, base, updates, exactVBC, n/2)
+	t.Logf("mean relative VBC error: k=n/8 %.4f, k=n/2 %.4f", small, large)
+	if large >= small {
+		t.Fatalf("error did not shrink with k: k=n/8 %.4f <= k=n/2 %.4f", small, large)
+	}
+	if large > 0.5 {
+		t.Fatalf("mean relative error at k=n/2 too large: %.4f", large)
+	}
+}
+
+// TestSampledSnapshotRoundTripsViaAPI checks that Snapshot/Restore preserves
+// the sampled mode end to end through the public API: sample, scale and
+// scores round-trip, and the restored stream continues identically.
+func TestSampledSnapshotRoundTripsViaAPI(t *testing.T) {
+	base := GenerateSocialGraph(60, 3, 0.5, 5)
+	n := base.N()
+	updates, err := MixedUpdates(base, 16, 0.4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := New(base.Clone(), WithWorkers(2), WithSampledSources(n/3, 77))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	if _, err := s.ApplyBatch(updates[:8]); err != nil {
+		t.Fatalf("ApplyBatch: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	// Restore with a conflicting sampling option: the snapshot's sample wins.
+	r, err := Restore(bytes.NewReader(buf.Bytes()), WithWorkers(2), WithSampledSources(2, 1))
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	defer r.Close()
+
+	want, got := s.SampledSources(), r.SampledSources()
+	if len(want) != len(got) {
+		t.Fatalf("restored sample %v, want %v", got, want)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("restored sample %v, want %v", got, want)
+		}
+	}
+	if r.SampleScale() != s.SampleScale() {
+		t.Fatalf("restored scale %g, want %g", r.SampleScale(), s.SampleScale())
+	}
+	for v := range s.VBC() {
+		if r.VBC()[v] != s.VBC()[v] {
+			t.Fatalf("restored VBC[%d] = %v, want %v", v, r.VBC()[v], s.VBC()[v])
+		}
+	}
+
+	rest := updates[8:]
+	if _, err := s.ApplyBatch(rest); err != nil {
+		t.Fatalf("original continue: %v", err)
+	}
+	if _, err := r.ApplyBatch(rest); err != nil {
+		t.Fatalf("restored continue: %v", err)
+	}
+	for v := range s.VBC() {
+		if !approx(r.VBC()[v], s.VBC()[v]) {
+			t.Fatalf("post-restore VBC[%d] = %g, want %g", v, r.VBC()[v], s.VBC()[v])
+		}
+	}
+}
+
+// TestSampledOptionValidation pins the error behaviour of WithSampledSources.
+func TestSampledOptionValidation(t *testing.T) {
+	if _, err := New(buildPath(t, 4), WithSampledSources(0, 1)); err == nil {
+		t.Fatal("New accepted a sample size of 0")
+	}
+	if _, err := New(NewGraph(0), WithSampledSources(3, 1)); err == nil {
+		t.Fatal("New accepted sampling an empty graph")
+	}
+	// k > n clamps to n (exact-equivalent), it does not fail.
+	s, err := New(buildPath(t, 4), WithSampledSources(99, 1))
+	if err != nil {
+		t.Fatalf("New with k > n: %v", err)
+	}
+	defer s.Close()
+	if got := len(s.SampledSources()); got != 4 {
+		t.Fatalf("clamped sample size = %d, want 4", got)
+	}
+	if s.SampleScale() != 1 {
+		t.Fatalf("clamped scale = %g, want 1", s.SampleScale())
+	}
+}

@@ -20,6 +20,14 @@ func (s *Stream) Snapshot(w io.Writer) error { return engine.WriteSnapshot(w, s.
 // not match the ones the snapshotted stream was created with (a snapshot
 // taken from an in-memory single-worker stream can be restored into an
 // out-of-core multi-worker one).
+//
+// A snapshot taken in sampled mode (WithSampledSources) records its source
+// sample and estimator scale, and they take precedence over any
+// WithSampledSources option passed here: the snapshotted scores are only
+// coherent with the sample they were accumulated over. Conversely, restoring
+// an exact snapshot with WithSampledSources switches the stream to
+// approximate maintenance from this point on (the restored scores start
+// exact and future updates are applied as sampled estimates).
 func Restore(r io.Reader, opts ...Option) (*Stream, error) {
 	st, err := engine.ReadSnapshot(r)
 	if err != nil {
@@ -28,6 +36,13 @@ func Restore(r io.Reader, opts ...Option) (*Stream, error) {
 	cfg, econf, err := buildConfig(opts)
 	if err != nil {
 		return nil, err
+	}
+	if st.Sources == nil {
+		// RestoreEngine overrides the sample with the snapshot's when the
+		// snapshot carries one, so drawing a fresh sample only matters here.
+		if err := applySampling(&econf, cfg, st.Graph.N()); err != nil {
+			return nil, err
+		}
 	}
 	eng, err := engine.RestoreEngine(st, econf)
 	if err != nil {

@@ -10,7 +10,10 @@
 // shortest-path DAG, the per-source data can live in memory or out of core on
 // disk, and the source set can be partitioned across parallel workers — the
 // three ingredients that make the approach scale to large, rapidly changing
-// graphs.
+// graphs. An approximate mode (WithSampledSources) maintains only a uniform
+// sample of k sources with n/k scaling, cutting memory and update cost to
+// k/n of exact maintenance in exchange for bounded, unbiased estimation
+// error.
 //
 // Basic usage:
 //
@@ -83,8 +86,11 @@ func BetweennessParallel(g *Graph, workers int) *Result { return bc.ComputeParal
 
 // options collects the configuration of a Stream.
 type options struct {
-	workers int
-	diskDir string
+	workers    int
+	diskDir    string
+	sampleK    int
+	sampleSeed int64
+	sampled    bool
 }
 
 // Option configures New.
@@ -106,6 +112,31 @@ func WithDiskStore(dir string) Option {
 	return func(o *options) { o.diskDir = dir }
 }
 
+// WithSampledSources turns on the approximate execution mode: instead of
+// maintaining per-source betweenness data for every one of the n vertices,
+// the stream maintains it only for a uniform random sample of k sources
+// (drawn deterministically from seed) and scales every contribution by n/k,
+// which keeps the vertex and edge betweenness estimates unbiased. Memory (or
+// disk) footprint, initialisation time and per-update work all drop from
+// O(n·n) to O(k·n); accuracy degrades gracefully as k shrinks (the `approx`
+// experiment of cmd/bcbench measures the trade-off).
+//
+// k is clamped to n; k < 1 makes New fail. The sample is fixed for the life
+// of the stream — vertices added by later updates are never promoted to
+// sources (their betweenness is still estimated, as targets and
+// intermediates of the sampled sources' shortest paths) — and is recorded in
+// snapshots, so Restore round-trips it. k == n selects every source and is
+// bit-identical to the exact mode while no new vertices arrive; on streams
+// that grow the graph the two modes diverge, because exact maintenance
+// promotes every arrival to a source and a sample never grows.
+func WithSampledSources(k int, seed int64) Option {
+	return func(o *options) {
+		o.sampleK = k
+		o.sampleSeed = seed
+		o.sampled = true
+	}
+}
+
 // Stream maintains betweenness centrality for an evolving graph.
 type Stream struct {
 	eng     *engine.Engine
@@ -120,11 +151,33 @@ func New(g *Graph, opts ...Option) (*Stream, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := applySampling(&econf, cfg, g.N()); err != nil {
+		return nil, err
+	}
 	eng, err := engine.New(g, econf)
 	if err != nil {
 		return nil, err
 	}
 	return &Stream{eng: eng, diskDir: cfg.diskDir}, nil
+}
+
+// applySampling resolves WithSampledSources against the actual vertex count:
+// it draws the source sample and sets the n/k estimator scale on the engine
+// configuration.
+func applySampling(econf *engine.Config, cfg options, n int) error {
+	if !cfg.sampled {
+		return nil
+	}
+	if cfg.sampleK < 1 {
+		return fmt.Errorf("streambc: sampled source count must be at least 1, got %d", cfg.sampleK)
+	}
+	if n == 0 {
+		return fmt.Errorf("streambc: cannot sample sources of an empty graph")
+	}
+	k := min(cfg.sampleK, n)
+	econf.Sources = bc.SampleSources(n, k, cfg.sampleSeed)
+	econf.Scale = float64(n) / float64(k)
+	return nil
 }
 
 // buildConfig folds the functional options into the engine configuration,
@@ -200,6 +253,18 @@ func (s *Stream) Stats() Stats { return s.eng.Stats() }
 
 // Workers returns the number of parallel workers.
 func (s *Stream) Workers() int { return s.eng.Workers() }
+
+// Sampled reports whether the stream runs in the sampled-source approximate
+// mode (WithSampledSources).
+func (s *Stream) Sampled() bool { return s.eng.Sampled() }
+
+// SampledSources returns a copy of the sampled source set, in ascending
+// order, or nil in exact mode.
+func (s *Stream) SampledSources() []int { return s.eng.SampledSources() }
+
+// SampleScale returns the estimator factor applied to every betweenness
+// contribution: n/k in sampled mode, 1 in exact mode.
+func (s *Stream) SampleScale() float64 { return s.eng.Scale() }
 
 // Close releases the per-source stores (and their disk files' handles).
 func (s *Stream) Close() error { return s.eng.Close() }
