@@ -1,0 +1,283 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestCrashRecoverySIGKILL is the end-to-end durability test (and the CI
+// crash-recovery step): it builds the real bcserved binary, streams updates
+// into it over HTTP with a write-ahead log enabled, SIGKILLs the process
+// mid-ingest (no graceful shutdown, no final snapshot), restarts it from the
+// same directories and asserts that every acknowledged update survived: the
+// reported scores are byte-for-byte identical to a clean, uninterrupted
+// replay of the same stream — in exact and in sampled mode.
+func TestCrashRecoverySIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the bcserved binary")
+	}
+	bin := filepath.Join(t.TempDir(), "bcserved")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building bcserved: %v", err)
+	}
+	for _, tc := range []struct {
+		name  string
+		extra []string
+	}{
+		{"exact", nil},
+		{"sampled", []string{"-sample", "7", "-sample-seed", "3"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) { runCrashRecovery(t, bin, tc.extra) })
+	}
+}
+
+func runCrashRecovery(t *testing.T, bin string, extra []string) {
+	graphFile := writeTestGraph(t, 30, 60, 17)
+	batches := makeBatches(30, 12, 6, 23)
+	walDir := t.TempDir()
+	snapDir := t.TempDir()
+
+	// Phase 1: serve with a WAL, snapshot mid-stream, SIGKILL mid-ingest.
+	crash := startDaemon(t, bin, append([]string{
+		"-graph", graphFile, "-wal-dir", walDir, "-snapshot-dir", snapDir,
+		"-snapshot-interval", "0", "-fsync", "batch", "-max-batch", "8",
+	}, extra...)...)
+	for i, b := range batches {
+		if i == len(batches)/2 {
+			crash.post(t, "/v1/snapshot", map[string]any{})
+		}
+		crash.ingest(t, b, true)
+	}
+	// One more batch in flight without waiting for the ack, then the kill:
+	// being unacknowledged it may or may not survive, but — records being
+	// atomic — only as a whole. Brand-new vertices make it impossible to
+	// reject, so updates_applied tells us whether it was made durable.
+	inflight := []map[string]any{{"op": "add", "u": 500, "v": 501}}
+	crash.ingest(t, inflight, false)
+	if err := crash.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	crash.cmd.Wait() //nolint:errcheck // killed on purpose
+
+	// Phase 2: restart from the same snapshot + WAL directories.
+	recovered := startDaemon(t, bin, append([]string{
+		"-graph", graphFile, "-wal-dir", walDir, "-snapshot-dir", snapDir,
+		"-snapshot-interval", "0", "-fsync", "batch", "-max-batch", "8",
+	}, extra...)...)
+	recStats := recovered.stats(t)
+
+	// Phase 3: a clean, uninterrupted replay of the acknowledged stream (plus
+	// the in-flight batch iff recovery shows it was made durable).
+	clean := startDaemon(t, bin, append([]string{
+		"-graph", graphFile, "-max-batch", "8",
+	}, extra...)...)
+	for _, b := range batches {
+		clean.ingest(t, b, true)
+	}
+	ackedApplied := int(clean.stats(t)["updates_applied"].(float64))
+	switch int(recStats["updates_applied"].(float64)) {
+	case ackedApplied:
+		// The in-flight batch was lost whole: allowed, it was never acked.
+	case ackedApplied + len(inflight):
+		// The in-flight batch was logged before the kill: the clean replay
+		// must include it too.
+		clean.ingest(t, inflight, true)
+	default:
+		t.Fatalf("recovered updates_applied = %v, want %d or %d",
+			recStats["updates_applied"], ackedApplied, ackedApplied+len(inflight))
+	}
+
+	cleanStats := clean.stats(t)
+	for _, key := range []string{"updates_applied", "sampled", "sampled_sources", "sample_scale"} {
+		if fmt.Sprint(recStats[key]) != fmt.Sprint(cleanStats[key]) {
+			t.Errorf("stats[%q]: recovered %v, clean %v", key, recStats[key], cleanStats[key])
+		}
+	}
+	var recG, cleanG map[string]any
+	recovered.get(t, "/v1/graph", &recG)
+	clean.get(t, "/v1/graph", &cleanG)
+	if fmt.Sprint(recG["n"], recG["m"]) != fmt.Sprint(cleanG["n"], cleanG["m"]) {
+		t.Fatalf("recovered graph %v, clean graph %v", recG, cleanG)
+	}
+	// Vertex scores must be byte-for-byte identical (Go's float64 JSON
+	// encoding round-trips exactly, so equal strings mean equal bits).
+	n := int(recG["n"].(float64))
+	for v := 0; v < n; v++ {
+		var rv, cv struct {
+			Score float64 `json:"score"`
+		}
+		recovered.get(t, fmt.Sprintf("/v1/vertices/%d", v), &rv)
+		clean.get(t, fmt.Sprintf("/v1/vertices/%d", v), &cv)
+		if rv.Score != cv.Score {
+			t.Fatalf("VBC[%d]: recovered %v, clean %v (must be bit-identical)", v, rv.Score, cv.Score)
+		}
+	}
+}
+
+// daemon is one running bcserved process under test.
+type daemon struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+func startDaemon(t *testing.T, bin string, args ...string) *daemon {
+	t.Helper()
+	addr := freeAddr(t)
+	cmd := exec.Command(bin, append([]string{"-addr", addr}, args...)...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd, base: "http://" + addr}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill() //nolint:errcheck
+			cmd.Wait()         //nolint:errcheck
+		}
+	})
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(d.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return d
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("bcserved on %s did not become healthy", addr)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func (d *daemon) ingest(t *testing.T, updates []map[string]any, wait bool) {
+	t.Helper()
+	d.post(t, "/v1/updates", map[string]any{"updates": updates, "wait": wait})
+}
+
+func (d *daemon) post(t *testing.T, path string, body map[string]any) {
+	t.Helper()
+	payload, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(d.base+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		t.Fatalf("POST %s: %d", path, resp.StatusCode)
+	}
+}
+
+func (d *daemon) get(t *testing.T, path string, out any) {
+	t.Helper()
+	resp, err := http.Get(d.base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (d *daemon) stats(t *testing.T) map[string]any {
+	t.Helper()
+	var out map[string]any
+	d.get(t, "/v1/stats", &out)
+	return out
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	return l.Addr().String()
+}
+
+// writeTestGraph writes a deterministic random edge list with n vertices and
+// m edges (a path through all vertices keeps it connected).
+func writeTestGraph(t *testing.T, n, m int, seed int64) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	type edge struct{ u, v int }
+	seen := map[edge]bool{}
+	add := func(u, v int) {
+		if u > v {
+			u, v = v, u
+		}
+		if u == v || seen[edge{u, v}] {
+			return
+		}
+		seen[edge{u, v}] = true
+		fmt.Fprintf(&sb, "%d %d\n", u, v)
+	}
+	for i := 0; i+1 < n; i++ {
+		add(i, i+1)
+	}
+	for len(seen) < m {
+		add(rng.Intn(n), rng.Intn(n))
+	}
+	path := filepath.Join(t.TempDir(), "graph.txt")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// makeBatches builds a deterministic stream of update batches: additions
+// (some referencing brand-new vertices), removals of previously added
+// edges, and an add+remove pair that the server's coalescer cancels.
+func makeBatches(n, batches, perBatch int, seed int64) [][]map[string]any {
+	rng := rand.New(rand.NewSource(seed))
+	next := n
+	var live [][2]int
+	out := make([][]map[string]any, 0, batches)
+	for b := 0; b < batches; b++ {
+		var batch []map[string]any
+		for len(batch) < perBatch {
+			switch r := rng.Intn(8); {
+			case r == 0 && len(live) > 0:
+				i := rng.Intn(len(live))
+				e := live[i]
+				live = append(live[:i], live[i+1:]...)
+				batch = append(batch, map[string]any{"op": "remove", "u": e[0], "v": e[1]})
+			case r == 1:
+				u := rng.Intn(n)
+				batch = append(batch,
+					map[string]any{"op": "add", "u": u, "v": next},
+					map[string]any{"op": "remove", "u": u, "v": next})
+				next++
+			default:
+				u, v := rng.Intn(next), rng.Intn(next)
+				if u == v {
+					continue
+				}
+				live = append(live, [2]int{u, v})
+				batch = append(batch, map[string]any{"op": "add", "u": u, "v": v})
+			}
+		}
+		out = append(out, batch)
+	}
+	return out
+}

@@ -8,10 +8,17 @@
 //
 //	bcserved -addr :8080 -graph graph.txt -workers 4
 //	bcserved -addr :8080 -snapshot-dir /var/lib/bcserved -snapshot-interval 1m
+//	bcserved -addr :8080 -snapshot-dir /var/lib/bcserved -wal-dir /var/lib/bcserved/wal
 //
 // When -snapshot-dir contains a snapshot from a previous run it is restored
 // (and -graph is ignored); otherwise the daemon starts from -graph, or from
 // an empty graph that grows as updates referencing new vertices arrive.
+// With -wal-dir, every accepted batch is also appended to a write-ahead log
+// before it is applied (fsync policy set by -fsync), and on startup the log
+// tail not covered by the restored snapshot is replayed — so even a kill -9
+// loses no acknowledged update. Without a snapshot directory, a restart
+// must be given the same -graph/-sample flags so the replay starts from the
+// same base state.
 //
 // See README.md for the endpoint reference and an example curl session.
 package main
@@ -43,6 +50,9 @@ func main() {
 		diskDir      = flag.String("disk", "", "keep the betweenness data out of core in this directory")
 		snapshotDir  = flag.String("snapshot-dir", "", "directory for snapshots (enables restore-on-start and snapshot-on-shutdown)")
 		snapInterval = flag.Duration("snapshot-interval", 5*time.Minute, "period of automatic snapshots (0 disables; needs -snapshot-dir)")
+		walDir       = flag.String("wal-dir", "", "directory for the write-ahead log (makes accepted updates durable and replays the uncovered tail on start)")
+		fsyncPolicy  = flag.String("fsync", "batch", "WAL fsync policy: \"batch\" (per accepted batch), \"off\", or an interval like \"200ms\"")
+		walSegBytes  = flag.Int64("wal-segment-bytes", 64<<20, "WAL segment rotation threshold in bytes")
 		maxQueue     = flag.Int("max-queue", 65536, "ingest queue capacity before updates are rejected with 503")
 		maxBatch     = flag.Int("max-batch", 256, "largest update batch shipped to the engine in one call")
 		sample       = flag.Int("sample", 0, "approximate mode: maintain only k uniformly sampled sources, scaling scores by n/k (0 = exact; ignored when a sampled snapshot is restored)")
@@ -61,6 +71,16 @@ func main() {
 	}
 	if *sample < 0 {
 		usageError("-sample must be 0 (exact) or a positive sample size")
+	}
+	fsyncMode, fsyncInterval, err := server.ParseFsyncPolicy(*fsyncPolicy)
+	if err != nil {
+		usageError(err.Error())
+	}
+	if *walDir == "" && *fsyncPolicy != "batch" {
+		usageError("-fsync needs -wal-dir")
+	}
+	if *walSegBytes < 4096 {
+		usageError("-wal-segment-bytes must be at least 4096")
 	}
 
 	cfg := engine.Config{Workers: *workers}
@@ -81,11 +101,33 @@ func main() {
 			eng.SampleSize(), eng.Graph().N(), eng.Scale())
 	}
 
+	var wal *server.WAL
+	if *walDir != "" {
+		wal, err = server.OpenWAL(server.WALConfig{
+			Dir:          *walDir,
+			SegmentBytes: *walSegBytes,
+			Mode:         fsyncMode,
+			Interval:     fsyncInterval,
+		}, eng.WALOffset())
+		if err != nil {
+			log.Fatalf("bcserved: opening write-ahead log: %v", err)
+		}
+		replayed, err := server.ReplayWAL(wal, eng, *maxBatch)
+		if err != nil {
+			log.Fatalf("bcserved: replaying write-ahead log: %v", err)
+		}
+		if replayed > 0 {
+			log.Printf("bcserved: replayed %d updates from the write-ahead log (now at sequence %d)",
+				replayed, wal.Seq())
+		}
+	}
+
 	srv := server.New(eng, server.Config{
 		SnapshotDir:      *snapshotDir,
 		SnapshotInterval: *snapInterval,
 		MaxQueue:         *maxQueue,
 		MaxBatch:         *maxBatch,
+		WAL:              wal,
 	})
 	srv.Start()
 

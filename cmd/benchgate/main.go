@@ -1,0 +1,200 @@
+// Command benchgate is the CI benchmark regression gate: it parses the
+// output of `go test -bench` from stdin, aggregates repeated runs (-count)
+// by taking the fastest ns/op and lowest allocs/op per benchmark (the
+// standard noise-robust reduction), writes the result as a JSON report and —
+// when a baseline file is given — fails with exit status 1 if any baseline
+// benchmark regressed by more than the allowed fraction or disappeared.
+//
+// Usage:
+//
+//	go test -run NONE -bench 'DiskReplay|PipelineApply' -benchtime=3x -count=3 -benchmem ./... \
+//	    | go run ./cmd/benchgate -baseline BENCH_baseline.json -out BENCH_PR4.json -max-regress 0.25
+//
+// Refreshing the committed baseline after an intentional performance change:
+//
+//	go test -run NONE -bench 'DiskReplay|PipelineApply' -benchtime=3x -count=3 -benchmem ./... \
+//	    | go run ./cmd/benchgate -out BENCH_baseline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Result is the aggregated measurement of one benchmark.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Runs        int     `json:"runs"`
+}
+
+// Report is the JSON document exchanged between runs.
+type Report struct {
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkDiskReplayApplyBatch16-8   3   1234567 ns/op   4096 B/op   12 allocs/op
+//
+// The -8 GOMAXPROCS suffix is stripped so reports compare across machines.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+([0-9]+) allocs/op)?`)
+
+func main() {
+	var (
+		out        = flag.String("out", "", "write the aggregated JSON report to this file")
+		baseline   = flag.String("baseline", "", "baseline JSON report to gate against (no gating when empty)")
+		maxRegress = flag.Float64("max-regress", 0.25, "maximum tolerated ns/op regression as a fraction of the baseline")
+	)
+	flag.Parse()
+
+	report, err := parse(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(report.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark results on stdin"))
+	}
+	if *out != "" {
+		if err := writeReport(*out, report); err != nil {
+			fatal(err)
+		}
+	}
+	printReport(report)
+	if *baseline == "" {
+		return
+	}
+	base, err := readReport(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	if failures := gate(base, report, *maxRegress); len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchgate: FAIL:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmarks within %.0f%% of baseline %s\n",
+		len(base.Benchmarks), *maxRegress*100, *baseline)
+}
+
+// parse reads `go test -bench` output and aggregates repeated runs.
+func parse(f *os.File) (*Report, error) {
+	report := &Report{Benchmarks: map[string]Result{}}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
+		}
+		var bytes, allocs int64
+		if m[3] != "" {
+			b, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
+			}
+			bytes = int64(b)
+		}
+		if m[4] != "" {
+			if allocs, err = strconv.ParseInt(m[4], 10, 64); err != nil {
+				return nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
+			}
+		}
+		cur, seen := report.Benchmarks[name]
+		if !seen {
+			report.Benchmarks[name] = Result{NsPerOp: ns, AllocsPerOp: allocs, BytesPerOp: bytes, Runs: 1}
+			continue
+		}
+		cur.Runs++
+		if ns < cur.NsPerOp {
+			cur.NsPerOp = ns
+		}
+		if allocs < cur.AllocsPerOp {
+			cur.AllocsPerOp = allocs
+		}
+		if bytes < cur.BytesPerOp {
+			cur.BytesPerOp = bytes
+		}
+		report.Benchmarks[name] = cur
+	}
+	return report, sc.Err()
+}
+
+// gate compares cur against base: every baseline benchmark must be present
+// and within (1+maxRegress) of its baseline ns/op. Benchmarks only in cur
+// are reported but never gate (they have no baseline yet).
+func gate(base, cur *Report, maxRegress float64) []string {
+	var failures []string
+	for _, name := range sortedNames(base.Benchmarks) {
+		b := base.Benchmarks[name]
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from this run (baseline %.0f ns/op)", name, b.NsPerOp))
+			continue
+		}
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		ratio := c.NsPerOp/b.NsPerOp - 1
+		if ratio > maxRegress {
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (+%.1f%%, limit +%.0f%%)",
+				name, c.NsPerOp, b.NsPerOp, ratio*100, maxRegress*100))
+		}
+	}
+	return failures
+}
+
+func printReport(r *Report) {
+	for _, name := range sortedNames(r.Benchmarks) {
+		b := r.Benchmarks[name]
+		fmt.Printf("benchgate: %-45s %14.0f ns/op %10d B/op %8d allocs/op (%d runs)\n",
+			name, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp, b.Runs)
+	}
+}
+
+func sortedNames(m map[string]Result) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func readReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func writeReport(path string, r *Report) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(2)
+}

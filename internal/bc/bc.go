@@ -184,18 +184,24 @@ func SingleSource(g *graph.Graph, s int, state *SourceState, queue *[]int) {
 		}
 	}
 
-	// Dependency accumulation in reverse BFS order, scanning in-neighbours one
-	// level up instead of predecessor lists.
+	// Dependency accumulation in reverse BFS order, scanning neighbours one
+	// level down instead of predecessor lists. The sum is gathered per vertex
+	// over its out-neighbourhood — in (sorted) adjacency order — rather than
+	// scattered from successors in stack order: this is the exact summation
+	// the incremental repair (incremental.UpdateSource) performs when it
+	// recomputes a dependency, so a freshly initialised per-source record is
+	// bit-identical to an incrementally maintained one. Snapshot recovery
+	// relies on that: the per-source data is regenerated by this pass, and
+	// replayed updates must produce bit-identical deltas.
 	for i := len(q) - 1; i >= 0; i-- {
 		w := q[i]
-		if w == s {
-			continue
-		}
-		for _, v := range g.InNeighbors(w) {
-			if state.Dist[v]+1 == state.Dist[w] && state.Dist[v] != Unreachable {
-				state.Delta[v] += state.Sigma[v] / state.Sigma[w] * (1 + state.Delta[w])
+		var dep float64
+		for _, x := range g.OutNeighbors(w) {
+			if state.Dist[x] == state.Dist[w]+1 {
+				dep += state.Sigma[w] / state.Sigma[x] * (1 + state.Delta[x])
 			}
 		}
+		state.Delta[w] = dep
 	}
 	*queue = q
 }

@@ -73,6 +73,27 @@ func SourceRange(n, parts, id int) (lo, hi int) {
 	return lo, lo + size
 }
 
+// StridedSources returns a copy of the sources of pool assigned to
+// partition id out of parts under the strided scheme: the source of rank r
+// goes to partition r mod parts. Unlike a contiguous split, the assignment
+// of an existing source never changes when the pool grows at the end — new
+// sources simply continue the stride — so the partition is a pure function
+// of the (sorted) pool and the partition count, independent of the growth
+// history. The incremental engine partitions its sources this way, which is
+// what lets a snapshot-restored engine reproduce the exact per-worker
+// delta grouping (and hence bit-identical floating-point accumulation) of
+// the engine it replaces.
+func StridedSources(pool []int, parts, id int) []int {
+	if parts <= 0 {
+		parts = 1
+	}
+	out := make([]int, 0, (len(pool)+parts-1)/parts)
+	for j := id; j < len(pool); j += parts {
+		out = append(out, pool[j])
+	}
+	return out
+}
+
 func computeRange(g *graph.Graph, lo, hi int) *Result {
 	res := NewResult(g.N())
 	state := NewSourceState(g.N())

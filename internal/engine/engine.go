@@ -88,6 +88,12 @@ type Engine struct {
 	applied int
 	nextRR  int // round-robin cursor for assigning newly arrived sources
 
+	// walOffset is the write-ahead-log position the engine state covers: the
+	// number of updates durably logged before the serving layer handed them to
+	// the engine. It is carried through snapshots so that, after a restart,
+	// recovery knows exactly which WAL tail to replay. Zero means "no WAL".
+	walOffset uint64
+
 	// sample is the explicit source set of the approximate mode (nil in
 	// exact mode) and scale the matching estimator factor (1 in exact mode).
 	sample []int
@@ -158,9 +164,16 @@ func New(g *graph.Graph, cfg Config) (*Engine, error) {
 	if cfg.Sources != nil {
 		e.sample = pool
 	}
+	// Sources are partitioned by stride (rank mod workers), not by
+	// contiguous ranges: growth appends to the pool and continues the
+	// stride (nextRR), so the source-to-worker assignment — and with it the
+	// per-worker grouping of floating-point delta accumulation — depends
+	// only on the current pool, never on the order it grew in. A restored
+	// engine therefore reduces deltas in exactly the order the original
+	// did, which bit-identical crash recovery requires.
+	e.nextRR = len(pool)
 	for id := 0; id < cfg.Workers; id++ {
-		lo, hi := bc.SourceRange(len(pool), cfg.Workers, id)
-		sources := append([]int(nil), pool[lo:hi]...)
+		sources := bc.StridedSources(pool, cfg.Workers, id)
 		store, err := cfg.Store(id, n, sources)
 		if err != nil {
 			e.Close()
@@ -403,6 +416,37 @@ func (e *Engine) ResultSnapshot() *bc.Result { return e.res.Clone() }
 // used when restoring an engine from a snapshot so that the applied-update
 // offset of the stream survives a restart.
 func (e *Engine) SetUpdatesApplied(n int) { e.applied = n }
+
+// WALOffset returns the write-ahead-log position the engine state covers (0
+// when no WAL is in use).
+func (e *Engine) WALOffset() uint64 { return e.walOffset }
+
+// SetWALOffset records the write-ahead-log position the engine state covers.
+// The serving layer calls it after every logged-and-applied batch (and
+// recovery after every replayed record), so a snapshot taken between batches
+// knows which WAL prefix it makes redundant.
+func (e *Engine) SetWALOffset(off uint64) { e.walOffset = off }
+
+// ReplayBatch is the recovery entry point: it re-applies one logged batch of
+// updates through the ApplyBatch path, skipping updates the engine rejects as
+// invalid — exactly what the serving pipeline did when the batch was first
+// accepted, so replayed scores are bit-identical to the uninterrupted run.
+// Any non-validation error (a store load, save or flush failure) is returned
+// and leaves the engine in an undefined state, like ApplyBatch.
+func (e *Engine) ReplayBatch(updates []graph.Update) error {
+	for len(updates) > 0 {
+		applied, err := e.ApplyBatch(updates)
+		if err == nil {
+			return nil
+		}
+		if applied >= len(updates) || !incremental.IsValidationError(err) ||
+			errors.Is(err, incremental.ErrFlushFailed) {
+			return err
+		}
+		updates = updates[applied+1:]
+	}
+	return nil
+}
 
 // ReplaceScores overwrites the live betweenness scores with res (deep copy).
 // It is used when restoring from a snapshot: the offline initialisation

@@ -297,7 +297,10 @@ func NewSampledCluster(g *graph.Graph, addrs []string, diskPaths []string, sourc
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{g: g, res: bc.NewResult(g.N()), scale: poolScale}
+	// nextRR continues the strided partition: the source of rank r lives on
+	// worker r mod len(addrs), whether it was present at construction or
+	// arrived later in the stream.
+	c := &Cluster{g: g, res: bc.NewResult(g.N()), scale: poolScale, nextRR: len(pool)}
 	if sources != nil {
 		c.sample = pool
 	}
@@ -310,12 +313,11 @@ func NewSampledCluster(g *graph.Graph, addrs []string, diskPaths []string, sourc
 		}
 		c.clients = append(c.clients, client)
 
-		lo, hi := bc.SourceRange(len(pool), len(addrs), i)
 		args := &InitArgs{
 			N:        g.N(),
 			Directed: g.Directed(),
 			Edges:    edges,
-			Sources:  append([]int(nil), pool[lo:hi]...),
+			Sources:  bc.StridedSources(pool, len(addrs), i),
 			Scale:    poolScale,
 		}
 		if diskPaths != nil && i < len(diskPaths) {

@@ -11,13 +11,18 @@ package engine
 // little-endian IEEE-754 bits):
 //
 //	magic    [8]byte  "STBCSNAP"
-//	version  uvarint  (1 = exact, 2 = adds the sampled-source block)
-//	flags    uvarint  bit 0: directed; bit 1: sampled (version 2 only)
+//	version  uvarint  (1 = exact, 2 = adds the sampled-source block,
+//	                   3 = adds the WAL-offset field)
+//	flags    uvarint  bit 0: directed; bit 1: sampled (version >= 2);
+//	                  bit 2: WAL offset present (version 3)
 //	n        uvarint  number of vertices
 //	m        uvarint  number of edges
 //	edges    m × (uvarint u, uvarint v)
 //	applied  uvarint  cumulative updates applied
-//	-- version 2, when flags bit 1 is set --
+//	-- version 3, when flags bit 2 is set --
+//	walOff   uvarint  write-ahead-log offset the snapshot covers
+//	-- end of WAL block --
+//	-- version >= 2, when flags bit 1 is set --
 //	scale    float64  estimator factor (n/k at construction time)
 //	k        uvarint  sample size
 //	sources  k × uvarint, strictly ascending
@@ -27,11 +32,14 @@ package engine
 //	ebc      ebcLen × (uvarint u, uvarint v, float64)
 //	crc      uint32   CRC-32 (IEEE) of every byte before it
 //
-// An exact-mode engine always writes version 1, so exact snapshots are
-// byte-identical to the pre-sampling format; a sampled engine writes
-// version 2 so that Restore round-trips its source sample and scale. The
-// trailing checksum turns torn or corrupted snapshot files into load errors
-// instead of silently wrong scores.
+// The version written is the lowest one that can carry the engine's state:
+// an exact-mode engine with no WAL always writes version 1, so those
+// snapshots stay byte-identical to the pre-sampling format; a sampled engine
+// writes version 2; an engine fed through a write-ahead log (WALOffset > 0)
+// writes version 3, recording the log position its scores cover so recovery
+// replays exactly the uncovered tail. The trailing checksum turns torn or
+// corrupted snapshot files into load errors instead of silently wrong
+// scores.
 
 import (
 	"bufio"
@@ -52,10 +60,16 @@ var snapshotMagic = [8]byte{'S', 'T', 'B', 'C', 'S', 'N', 'A', 'P'}
 const (
 	snapshotVersion1 = 1 // exact mode
 	snapshotVersion2 = 2 // sampled-source approximate mode
+	snapshotVersion3 = 3 // adds the WAL-offset field
 )
 
-// flagSampled marks a version-2 snapshot carrying a sampled-source block.
-const flagSampled = 1 << 1
+// flagSampled marks a snapshot (version >= 2) carrying a sampled-source
+// block; flagWAL marks a version-3 snapshot carrying the WAL offset it
+// covers.
+const (
+	flagSampled = 1 << 1
+	flagWAL     = 1 << 2
+)
 
 // ErrBadSnapshot is wrapped by every snapshot decoding failure.
 var ErrBadSnapshot = errors.New("engine: bad snapshot")
@@ -63,13 +77,16 @@ var ErrBadSnapshot = errors.New("engine: bad snapshot")
 // SnapshotState is the decoded content of a snapshot: the restored graph,
 // the applied-update offset and the betweenness scores at snapshot time,
 // plus — for a snapshot taken in sampled mode — the source sample and its
-// estimator scale (Sources nil and Scale 0 for exact snapshots).
+// estimator scale (Sources nil and Scale 0 for exact snapshots), and — for a
+// snapshot taken behind a write-ahead log — the WAL offset the scores cover
+// (0 when no WAL was in use).
 type SnapshotState struct {
-	Graph   *graph.Graph
-	Applied int
-	Scores  *bc.Result
-	Sources []int
-	Scale   float64
+	Graph     *graph.Graph
+	Applied   int
+	Scores    *bc.Result
+	Sources   []int
+	Scale     float64
+	WALOffset uint64
 }
 
 // WriteSnapshot serialises the engine's graph, applied-update offset and
@@ -102,6 +119,10 @@ func WriteSnapshot(w io.Writer, e *Engine) error {
 		version = snapshotVersion2
 		flags |= flagSampled
 	}
+	if e.walOffset > 0 {
+		version = snapshotVersion3
+		flags |= flagWAL
+	}
 	edges := g.Edges()
 	fields := []uint64{version, flags, uint64(g.N()), uint64(len(edges))}
 	for _, x := range fields {
@@ -119,6 +140,11 @@ func WriteSnapshot(w io.Writer, e *Engine) error {
 	}
 	if err := writeUvarint(uint64(e.applied)); err != nil {
 		return fmt.Errorf("engine: writing snapshot: %w", err)
+	}
+	if e.walOffset > 0 {
+		if err := writeUvarint(e.walOffset); err != nil {
+			return fmt.Errorf("engine: writing snapshot: %w", err)
+		}
 	}
 	if e.sample != nil {
 		if err := writeFloat(e.scale); err != nil {
@@ -230,7 +256,7 @@ func ReadSnapshot(r io.Reader) (*SnapshotState, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != snapshotVersion1 && version != snapshotVersion2 {
+	if version < snapshotVersion1 || version > snapshotVersion3 {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadSnapshot, version)
 	}
 	flags, err := readUvarint("flags")
@@ -277,6 +303,13 @@ func ReadSnapshot(r io.Reader) (*SnapshotState, error) {
 	}
 	if applied > uint64(maxInt) {
 		return nil, fmt.Errorf("%w: implausible applied-update offset %d", ErrBadSnapshot, applied)
+	}
+	var walOffset uint64
+	if version >= snapshotVersion3 && flags&flagWAL != 0 {
+		walOffset, err = readUvarint("WAL offset")
+		if err != nil {
+			return nil, err
+		}
 	}
 	var sample []int
 	var scale float64
@@ -376,7 +409,7 @@ func ReadSnapshot(r io.Reader) (*SnapshotState, error) {
 		}
 		scores.EBC[bc.EdgeKey(g, es.e.U, es.e.V)] = es.x
 	}
-	return &SnapshotState{Graph: g, Applied: int(applied), Scores: scores, Sources: sample, Scale: scale}, nil
+	return &SnapshotState{Graph: g, Applied: int(applied), Scores: scores, Sources: sample, Scale: scale, WALOffset: walOffset}, nil
 }
 
 // RestoreEngine builds a running engine from a decoded snapshot: it reruns
@@ -404,5 +437,6 @@ func RestoreEngine(st *SnapshotState, cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e.SetUpdatesApplied(st.Applied)
+	e.SetWALOffset(st.WALOffset)
 	return e, nil
 }

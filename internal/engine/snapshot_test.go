@@ -235,3 +235,78 @@ func TestSnapshotRejectsImplausibleAppliedOffset(t *testing.T) {
 		t.Fatalf("err = %v, want ErrBadSnapshot", err)
 	}
 }
+
+// TestSnapshotWALOffsetRoundTrip covers the version-3 snapshot: the
+// write-ahead-log offset must survive the round trip, in exact and in
+// sampled mode, and restoring must hand it back through Engine.WALOffset.
+func TestSnapshotWALOffsetRoundTrip(t *testing.T) {
+	for _, sampled := range []bool{false, true} {
+		name := "exact"
+		if sampled {
+			name = "sampled"
+		}
+		t.Run(name, func(t *testing.T) {
+			e, _ := snapshotTestEngine(t, 2)
+			defer e.Close()
+			if sampled {
+				// Rebuild in sampled mode over the same graph.
+				se, err := New(e.Graph().Clone(), Config{Workers: 2, Sources: bc.SampleSources(e.Graph().N(), 7, 3)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer se.Close()
+				e = se
+			}
+			e.SetWALOffset(42)
+			var buf bytes.Buffer
+			if err := WriteSnapshot(&buf, e); err != nil {
+				t.Fatal(err)
+			}
+			st, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.WALOffset != 42 {
+				t.Fatalf("WALOffset = %d, want 42", st.WALOffset)
+			}
+			if sampled && len(st.Sources) != 7 {
+				t.Fatalf("sample lost: %v", st.Sources)
+			}
+			r, err := RestoreEngine(st, Config{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			if r.WALOffset() != 42 {
+				t.Fatalf("restored WALOffset = %d, want 42", r.WALOffset())
+			}
+			sameScores(t, e.Result(), r.Result())
+		})
+	}
+}
+
+// TestSnapshotWithoutWALStaysVersion1 pins the compatibility guarantee: an
+// engine that never saw a write-ahead log keeps writing the exact pre-WAL
+// snapshot bytes (version 1), so old snapshots and new ones are
+// interchangeable when the feature is off.
+func TestSnapshotWithoutWALStaysVersion1(t *testing.T) {
+	e, _ := snapshotTestEngine(t, 1)
+	defer e.Close()
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Byte 8 (after the magic) is the version uvarint.
+	if b[8] != snapshotVersion1 {
+		t.Fatalf("version byte = %d, want %d", b[8], snapshotVersion1)
+	}
+	e.SetWALOffset(7)
+	buf.Reset()
+	if err := WriteSnapshot(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	if b := buf.Bytes(); b[8] != snapshotVersion3 {
+		t.Fatalf("version byte with WAL offset = %d, want %d", b[8], snapshotVersion3)
+	}
+}

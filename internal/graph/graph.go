@@ -108,11 +108,11 @@ func (g *Graph) AddEdge(u, v int) error {
 	if contains(g.out[u], v) {
 		return fmt.Errorf("%w: (%d,%d)", ErrDuplicateEdge, u, v)
 	}
-	g.out[u] = append(g.out[u], v)
+	g.out[u] = insert(g.out[u], v)
 	if g.directed {
-		g.in[v] = append(g.in[v], u)
+		g.in[v] = insert(g.in[v], u)
 	} else {
-		g.out[v] = append(g.out[v], u)
+		g.out[v] = insert(g.out[v], u)
 	}
 	g.m++
 	return nil
@@ -215,21 +215,31 @@ func cloneAdj(adj [][]int) [][]int {
 	return c
 }
 
+// Adjacency lists are kept sorted at all times, so the neighbourhood order —
+// and with it the floating-point accumulation order of every betweenness
+// traversal — is a pure function of the edge set, independent of the
+// addition/removal history that produced it. That is what makes scores
+// bit-identical across an uninterrupted run, a snapshot restore (which
+// rebuilds the graph from the sorted edge list) and a write-ahead-log
+// replay. Sorted order also buys O(log deg) membership tests.
+
 func contains(s []int, x int) bool {
-	for _, v := range s {
-		if v == x {
-			return true
-		}
-	}
-	return false
+	i := sort.SearchInts(s, x)
+	return i < len(s) && s[i] == x
+}
+
+func insert(s []int, x int) []int {
+	i := sort.SearchInts(s, x)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = x
+	return s
 }
 
 func remove(s []int, x int) []int {
-	for i, v := range s {
-		if v == x {
-			s[i] = s[len(s)-1]
-			return s[:len(s)-1]
-		}
+	i := sort.SearchInts(s, x)
+	if i < len(s) && s[i] == x {
+		return append(s[:i], s[i+1:]...)
 	}
 	return s
 }

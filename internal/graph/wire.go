@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Compact binary wire encoding of updates, shared by everything that
+// persists or ships an edge stream (the serving layer's write-ahead log, and
+// the public streambc.EncodeUpdate/DecodeUpdate API).
+//
+// Format of one update:
+//
+//	flags  byte    bit 0: removal; bit 1: a timestamp follows
+//	u      varint  (zig-zag — updates with negative endpoints are encodable,
+//	v      varint   they are rejected later, by engine validation)
+//	time   float64 little-endian IEEE-754 bits, only when flags bit 1 is set
+//
+// The encoding is self-delimiting: DecodeUpdate reports how many bytes the
+// update occupied, so updates can be packed back to back without separators.
+
+const (
+	wireRemove = 1 << 0
+	wireTimed  = 1 << 1
+)
+
+// ErrBadUpdateWire is wrapped by every update decoding failure.
+var ErrBadUpdateWire = errors.New("graph: bad update encoding")
+
+// AppendUpdate appends the wire encoding of u to dst and returns the extended
+// slice.
+func AppendUpdate(dst []byte, u Update) []byte {
+	flags := byte(0)
+	if u.Remove {
+		flags |= wireRemove
+	}
+	if u.Time != 0 {
+		flags |= wireTimed
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendVarint(dst, int64(u.U))
+	dst = binary.AppendVarint(dst, int64(u.V))
+	if u.Time != 0 {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(u.Time))
+	}
+	return dst
+}
+
+// DecodeUpdate decodes one update from the front of b, returning the update
+// and the number of bytes it occupied.
+func DecodeUpdate(b []byte) (Update, int, error) {
+	if len(b) == 0 {
+		return Update{}, 0, fmt.Errorf("%w: empty input", ErrBadUpdateWire)
+	}
+	flags := b[0]
+	if flags&^(wireRemove|wireTimed) != 0 {
+		return Update{}, 0, fmt.Errorf("%w: unknown flags %#02x", ErrBadUpdateWire, flags)
+	}
+	n := 1
+	u, k := binary.Varint(b[n:])
+	if k <= 0 {
+		return Update{}, 0, fmt.Errorf("%w: truncated endpoint", ErrBadUpdateWire)
+	}
+	n += k
+	v, k := binary.Varint(b[n:])
+	if k <= 0 {
+		return Update{}, 0, fmt.Errorf("%w: truncated endpoint", ErrBadUpdateWire)
+	}
+	n += k
+	const maxInt = int64(int(^uint(0) >> 1))
+	if u > maxInt || u < -maxInt-1 || v > maxInt || v < -maxInt-1 {
+		return Update{}, 0, fmt.Errorf("%w: endpoint out of range", ErrBadUpdateWire)
+	}
+	upd := Update{U: int(u), V: int(v), Remove: flags&wireRemove != 0}
+	if flags&wireTimed != 0 {
+		if len(b) < n+8 {
+			return Update{}, 0, fmt.Errorf("%w: truncated timestamp", ErrBadUpdateWire)
+		}
+		upd.Time = math.Float64frombits(binary.LittleEndian.Uint64(b[n:]))
+		n += 8
+	}
+	return upd, n, nil
+}

@@ -1,0 +1,52 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestUpdateWireRoundTrip(t *testing.T) {
+	cases := []Update{
+		{},
+		Addition(0, 1),
+		Addition(3, 12345678),
+		Removal(7, 7),
+		Removal(1<<40, 2),
+		{U: -1, V: 5}, // invalid for the engine, but encodable
+		{U: 2, V: -3, Remove: true},
+		{U: 4, V: 9, Time: 1.5},
+		{U: 4, V: 9, Remove: true, Time: 1e-9},
+	}
+	var buf []byte
+	for _, u := range cases {
+		buf = AppendUpdate(buf, u)
+	}
+	for i, want := range cases {
+		got, n, err := DecodeUpdate(buf)
+		if err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("update %d: got %v, want %v", i, got, want)
+		}
+		buf = buf[n:]
+	}
+	if len(buf) != 0 {
+		t.Fatalf("%d trailing bytes after decoding all updates", len(buf))
+	}
+}
+
+func TestUpdateWireErrors(t *testing.T) {
+	full := AppendUpdate(nil, Update{U: 300, V: 4, Time: 2.5})
+	cases := map[string][]byte{
+		"empty":               nil,
+		"unknown flags":       {0xff},
+		"truncated endpoint":  full[:2],
+		"truncated timestamp": full[:len(full)-1],
+	}
+	for name, b := range cases {
+		if _, _, err := DecodeUpdate(b); !errors.Is(err, ErrBadUpdateWire) {
+			t.Errorf("%s: got %v, want ErrBadUpdateWire", name, err)
+		}
+	}
+}

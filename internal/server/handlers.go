@@ -33,6 +33,15 @@ const defaultWaitTimeout = 30 * time.Second
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.wal != nil {
+			if werr := s.wal.Err(); werr != nil {
+				// Writes are permanently halted until a restart; report it
+				// so orchestrators replace the instance instead of routing
+				// traffic at a server that discards ingest.
+				http.Error(w, "unhealthy: "+werr.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
 		w.Write([]byte("ok\n"))
 	})
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -119,9 +128,7 @@ func (s *Server) ingest(w http.ResponseWriter, r *http.Request, req ingestReques
 	batch, err := s.Enqueue(upds)
 	if err != nil {
 		status := http.StatusInternalServerError
-		if errors.Is(err, ErrQueueFull) {
-			status = http.StatusServiceUnavailable
-		} else if errors.Is(err, ErrClosed) {
+		if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed) || errors.Is(err, ErrIngestHalted) {
 			status = http.StatusServiceUnavailable
 		}
 		httpError(w, status, err)
@@ -237,7 +244,7 @@ func (s *Server) handleGraph(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	v := s.currentView()
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"updates_applied":   v.stats.UpdatesApplied,
 		"sources_skipped":   v.stats.SourcesSkipped,
 		"sources_updated":   v.stats.SourcesUpdated,
@@ -249,12 +256,32 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"sampled":           v.sampled,
 		"sampled_sources":   v.sampleSize,
 		"sample_scale":      v.scale,
-	})
+	}
+	if wal := s.walStats(); wal != nil {
+		out["wal_segments"] = wal.segments
+		out["wal_bytes"] = wal.bytes
+		out["wal_sequence"] = wal.seq
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	writeMetrics(w, s.met, s.QueueDepth(), s.currentView())
+	writeMetrics(w, s.met, s.QueueDepth(), s.currentView(), s.walStats())
+}
+
+// walStats captures the write-ahead log state for serving, or nil when
+// ingest durability is off.
+func (s *Server) walStats() *walStats {
+	if s.wal == nil {
+		return nil
+	}
+	return &walStats{
+		segments:    s.wal.Segments(),
+		bytes:       s.wal.Bytes(),
+		seq:         s.wal.Seq(),
+		lastSyncAge: s.wal.LastSyncAge(),
+	}
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {

@@ -23,6 +23,8 @@ type metrics struct {
 	engineBatch  atomic.Int64 // engine ApplyBatch calls issued
 	snapshots    atomic.Int64 // snapshots written
 	snapshotErrs atomic.Int64 // snapshot attempts that failed
+	walAppends   atomic.Int64 // records appended to the write-ahead log
+	walErrs      atomic.Int64 // WAL append/truncate failures
 
 	lats       *quantileRing // amortised per-update apply latency (seconds)
 	batchLats  *quantileRing // per-batch apply latency (seconds)
@@ -107,8 +109,17 @@ func (r *quantileRing) quantiles(qs []float64) []float64 {
 
 var metricQuantiles = []float64{0.5, 0.9, 0.99, 1}
 
+// walStats is the point-in-time state of the write-ahead log exposed on
+// /metrics (nil when no WAL is configured).
+type walStats struct {
+	segments    int
+	bytes       int64
+	seq         uint64
+	lastSyncAge time.Duration
+}
+
 // writeMetrics renders the Prometheus-style plain-text exposition.
-func writeMetrics(w io.Writer, m *metrics, queueDepth int, v *view) {
+func writeMetrics(w io.Writer, m *metrics, queueDepth int, v *view, wal *walStats) {
 	st := v.stats
 	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
 	summary := func(name string, r *quantileRing) {
@@ -145,6 +156,26 @@ func writeMetrics(w io.Writer, m *metrics, queueDepth int, v *view) {
 	p("# HELP streambc_snapshot_errors_total Snapshot attempts that failed.\n")
 	p("# TYPE streambc_snapshot_errors_total counter\n")
 	p("streambc_snapshot_errors_total %d\n", m.snapshotErrs.Load())
+	if wal != nil {
+		p("# HELP streambc_wal_appends_total Records appended to the write-ahead log.\n")
+		p("# TYPE streambc_wal_appends_total counter\n")
+		p("streambc_wal_appends_total %d\n", m.walAppends.Load())
+		p("# HELP streambc_wal_errors_total Write-ahead log append or truncate failures.\n")
+		p("# TYPE streambc_wal_errors_total counter\n")
+		p("streambc_wal_errors_total %d\n", m.walErrs.Load())
+		p("# HELP streambc_wal_segments Live write-ahead log segment files.\n")
+		p("# TYPE streambc_wal_segments gauge\n")
+		p("streambc_wal_segments %d\n", wal.segments)
+		p("# HELP streambc_wal_bytes Total size of the live write-ahead log segments.\n")
+		p("# TYPE streambc_wal_bytes gauge\n")
+		p("streambc_wal_bytes %d\n", wal.bytes)
+		p("# HELP streambc_wal_sequence Sequence number of the next write-ahead log record.\n")
+		p("# TYPE streambc_wal_sequence gauge\n")
+		p("streambc_wal_sequence %d\n", wal.seq)
+		p("# HELP streambc_wal_last_fsync_age_seconds Seconds since the write-ahead log was last flushed to stable storage.\n")
+		p("# TYPE streambc_wal_last_fsync_age_seconds gauge\n")
+		p("streambc_wal_last_fsync_age_seconds %g\n", wal.lastSyncAge.Seconds())
+	}
 	p("# HELP streambc_sampled_sources Sources whose betweenness data is maintained (sample size k in approximate mode, vertex count n in exact mode).\n")
 	p("# TYPE streambc_sampled_sources gauge\n")
 	p("streambc_sampled_sources %d\n", v.sampleSize)

@@ -16,8 +16,6 @@ package server
 import (
 	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,13 +26,10 @@ import (
 	"streambc/internal/incremental"
 )
 
-// SnapshotFileName is the name of the current snapshot inside the snapshot
-// directory. Snapshots are written to a temporary file and renamed over it,
-// so the file is always a complete, checksummed snapshot.
-const SnapshotFileName = "streambc.snap"
-
-// ErrNoSnapshotDir is returned by Snapshot when no directory is configured.
-var ErrNoSnapshotDir = errors.New("server: no snapshot directory configured")
+// ErrIngestHalted is wrapped by Enqueue failures after the write-ahead log
+// has been poisoned: the server can no longer make writes durable (or the
+// engine failed after a durable append) and a restart is required.
+var ErrIngestHalted = errors.New("server: ingest halted")
 
 // Config configures a Server.
 type Config struct {
@@ -42,6 +37,12 @@ type Config struct {
 	// there, Close writes a final snapshot, and SnapshotInterval > 0 adds
 	// periodic ones.
 	SnapshotDir string
+	// WAL, when non-nil, makes ingest durable: the pipeline appends every
+	// accepted drain to it before handing the updates to the engine, and a
+	// successful snapshot deletes the log segments it makes redundant. Open
+	// it with OpenWAL and replay its tail with ReplayWAL before creating the
+	// server; the server takes ownership and closes it on Close.
+	WAL *WAL
 	// SnapshotInterval is the period of automatic snapshots (0 disables).
 	SnapshotInterval time.Duration
 	// MaxQueue bounds the ingest queue; Enqueue fails with ErrQueueFull
@@ -67,6 +68,7 @@ type Server struct {
 	mu   sync.RWMutex // write: pipeline applying a batch; read: snapshotting
 	eng  *engine.Engine
 	pipe *pipeline
+	wal  *WAL // nil when ingest durability is off
 	met  *metrics
 	view atomic.Pointer[view]
 
@@ -106,6 +108,7 @@ func New(eng *engine.Engine, cfg Config) *Server {
 		cfg:      cfg,
 		directed: eng.Graph().Directed(),
 		eng:      eng,
+		wal:      cfg.WAL,
 		met:      newMetrics(cfg.LatencyWindow),
 		snapStop: make(chan struct{}),
 		snapDone: make(chan struct{}),
@@ -149,13 +152,30 @@ func (s *Server) Close() error {
 				s.closeErr = fmt.Errorf("server: final snapshot: %w", err)
 			}
 		}
+		if s.wal != nil {
+			// The pipeline has drained: every accepted update is in the log
+			// (and, when a snapshot directory is configured, covered by the
+			// final snapshot). Flush and release it.
+			if err := s.wal.Close(); err != nil && s.closeErr == nil {
+				s.closeErr = err
+			}
+		}
 	})
 	return s.closeErr
 }
 
 // Enqueue admits updates to the ingest pipeline. The returned Batch reports
 // completion; callers that need read-your-writes semantics wait on it.
+// Once the write-ahead log is poisoned (a failed log write, or an engine
+// failure after a durable append), every Enqueue fails: accepting updates
+// that can no longer be made durable — or applied — would silently drop
+// them, and fire-and-forget callers would never learn.
 func (s *Server) Enqueue(upds []graph.Update) (*Batch, error) {
+	if s.wal != nil {
+		if werr := s.wal.Err(); werr != nil {
+			return nil, fmt.Errorf("%w: %w", ErrIngestHalted, werr)
+		}
+	}
 	b, err := s.pipe.enqueue(upds)
 	if err != nil {
 		return nil, err
@@ -165,14 +185,23 @@ func (s *Server) Enqueue(upds []graph.Update) (*Batch, error) {
 }
 
 // applyItems is the pipeline's apply callback: it applies one coalesced
-// drain under the write lock — feeding the surviving updates to the engine
-// as batches of at most MaxBatch — and publishes a fresh read view. The
-// returned error (a store growth or batch flush failure) is reported by the
-// pipeline on every batch of the drain, since it can affect updates that
-// were coalesced away.
+// drain under the write lock — logging it to the write-ahead log first, then
+// feeding the surviving updates to the engine as batches of at most MaxBatch
+// — and publishes a fresh read view. The returned error (a WAL append, store
+// growth or batch flush failure) is reported by the pipeline on every batch
+// of the drain, since it can affect updates that were coalesced away.
 func (s *Server) applyItems(items []item, needVertices int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	logged := false
+	if s.wal != nil {
+		var err error
+		if logged, err = s.logItems(items, needVertices); err != nil {
+			// Nothing of this drain reaches the engine: updates the server
+			// cannot make durable must not become externally visible.
+			return err
+		}
+	}
 	// Grow the graph to cover additions the coalescer folded away, so the
 	// served vertex count matches sequential application regardless of how
 	// updates were batched.
@@ -193,8 +222,46 @@ func (s *Server) applyItems(items []item, needVertices int) error {
 		i = j
 	}
 	s.met.batches.Add(1)
+	if s.wal != nil {
+		if firstErr == nil {
+			// The engine state now covers everything logged: a snapshot
+			// taken between drains records this sequence and recovery
+			// replays only the records after it.
+			s.eng.SetWALOffset(s.wal.Seq())
+		} else if logged {
+			// The record is durable but the engine failed mid-apply: its
+			// state no longer matches any log position, so the covered
+			// offset must not advance (a snapshot would otherwise truncate
+			// a record the engine never fully absorbed) and no further
+			// writes may be accepted. A restart recovers cleanly: the
+			// snapshot plus this record replay onto a fresh engine.
+			s.wal.poison(fmt.Errorf("server: engine failed after a WAL append, restart to recover: %w", firstErr))
+		}
+	}
 	s.publishView()
 	return firstErr
+}
+
+// logItems appends the drain's surviving updates (and its vertex-growth
+// requirement) to the write-ahead log as one record, reporting whether a
+// record was written. Drains with nothing to make durable — barriers only —
+// are not logged.
+func (s *Server) logItems(items []item, needVertices int) (bool, error) {
+	upds := make([]graph.Update, 0, len(items))
+	for _, it := range items {
+		if !it.barrier {
+			upds = append(upds, it.upd)
+		}
+	}
+	if len(upds) == 0 && needVertices <= s.eng.Graph().N() {
+		return false, nil
+	}
+	if _, err := s.wal.Append(needVertices, upds); err != nil {
+		s.met.walErrs.Add(1)
+		return false, fmt.Errorf("server: write-ahead log append: %w", err)
+	}
+	s.met.walAppends.Add(1)
+	return true, nil
 }
 
 // applyChunk ships one bounded run of updates to the engine. A rejected
@@ -257,21 +324,43 @@ func (s *Server) currentView() *view { return s.view.Load() }
 // QueueDepth returns the number of updates queued and not yet drained.
 func (s *Server) QueueDepth() int { return s.pipe.depth() }
 
-// Snapshot writes a checksummed snapshot atomically (temp file + rename)
-// into the configured directory and returns its path. It runs under the read
-// lock: it excludes the pipeline writer but not queries.
+// Snapshot writes a checksummed snapshot atomically (temp file + fsync +
+// rename + directory fsync) into the configured directory and returns its
+// path. It runs under the read lock: it excludes the pipeline writer but not
+// queries. After a successful write, write-ahead-log segments the snapshot
+// makes redundant are deleted.
 func (s *Server) Snapshot() (string, error) {
 	if s.cfg.SnapshotDir == "" {
 		return "", ErrNoSnapshotDir
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.wal != nil {
+		if werr := s.wal.Err(); werr != nil {
+			// The engine failed after a durable append (or the log itself
+			// failed): its state no longer matches any log position, and a
+			// snapshot of it would overwrite the last good one — the very
+			// state a restart recovers from. Refuse.
+			s.met.snapshotErrs.Add(1)
+			return "", fmt.Errorf("server: refusing snapshot of an unrecoverable state: %w", werr)
+		}
+	}
 	path, err := WriteSnapshotFile(s.cfg.SnapshotDir, s.eng)
 	if err != nil {
 		s.met.snapshotErrs.Add(1)
 		return "", err
 	}
 	s.met.snapshots.Add(1)
+	if s.wal != nil {
+		// The snapshot durably covers the engine's WAL offset (nothing can
+		// have been applied since: we hold the read lock), so every segment
+		// fully below it is dead weight. A failed deletion does not fail
+		// the snapshot — the durability point was reached; the failure is
+		// counted and the next snapshot's truncation retries it.
+		if err := s.wal.TruncateThrough(s.eng.WALOffset()); err != nil {
+			s.met.walErrs.Add(1)
+		}
+	}
 	return path, nil
 }
 
@@ -289,45 +378,4 @@ func (s *Server) snapshotLoop() {
 			return
 		}
 	}
-}
-
-// WriteSnapshotFile serialises the engine into dir/SnapshotFileName via a
-// temporary file and an atomic rename, creating dir if needed. The caller
-// must ensure no update is applied concurrently.
-func WriteSnapshotFile(dir string, e *engine.Engine) (string, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return "", fmt.Errorf("server: creating snapshot directory: %w", err)
-	}
-	tmp, err := os.CreateTemp(dir, ".streambc-*.snap.tmp")
-	if err != nil {
-		return "", fmt.Errorf("server: creating snapshot file: %w", err)
-	}
-	defer os.Remove(tmp.Name())
-	if err := engine.WriteSnapshot(tmp, e); err != nil {
-		tmp.Close()
-		return "", err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return "", fmt.Errorf("server: syncing snapshot: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return "", fmt.Errorf("server: closing snapshot: %w", err)
-	}
-	path := filepath.Join(dir, SnapshotFileName)
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return "", fmt.Errorf("server: publishing snapshot: %w", err)
-	}
-	return path, nil
-}
-
-// LoadSnapshotFile decodes dir/SnapshotFileName. It returns an error wrapping
-// os.ErrNotExist when no snapshot has been written yet.
-func LoadSnapshotFile(dir string) (*engine.SnapshotState, error) {
-	f, err := os.Open(filepath.Join(dir, SnapshotFileName))
-	if err != nil {
-		return nil, fmt.Errorf("server: opening snapshot: %w", err)
-	}
-	defer f.Close()
-	return engine.ReadSnapshot(f)
 }

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"streambc/internal/engine"
+)
+
+// Error-path coverage of the snapshot manager: unwritable directories, torn
+// (truncated) snapshot files and checksum corruption must all surface as
+// errors, never as a silently wrong restore.
+
+func testEngine(t *testing.T) *engine.Engine {
+	t.Helper()
+	eng, err := engine.New(testGraph(t, 12, 18, 11), engine.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return eng
+}
+
+func TestWriteSnapshotFileUnwritableDir(t *testing.T) {
+	// A regular file where the directory should be: MkdirAll (and everything
+	// after it) must fail, even when running as root.
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteSnapshotFile(filepath.Join(file, "snaps"), testEngine(t)); err == nil {
+		t.Fatal("want an error writing a snapshot under a regular file")
+	}
+}
+
+func TestLoadSnapshotFileMissing(t *testing.T) {
+	if _, err := LoadSnapshotFile(t.TempDir()); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("got %v, want os.ErrNotExist", err)
+	}
+}
+
+func TestLoadSnapshotFileTorn(t *testing.T) {
+	dir := t.TempDir()
+	path, err := WriteSnapshotFile(dir, testEngine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every proper prefix must be rejected (torn write at any point).
+	for _, keep := range []int64{0, 1, info.Size() / 2, info.Size() - 1} {
+		if err := os.Truncate(path, keep); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadSnapshotFile(dir); !errors.Is(err, engine.ErrBadSnapshot) {
+			t.Fatalf("truncated to %d bytes: got %v, want ErrBadSnapshot", keep, err)
+		}
+		// Restore the full file for the next iteration.
+		full, werr := WriteSnapshotFile(dir, testEngine(t))
+		if werr != nil {
+			t.Fatal(werr)
+		}
+		path = full
+	}
+}
+
+func TestLoadSnapshotFileCRCMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path, err := WriteSnapshotFile(dir, testEngine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte (past the magic, before the checksum): the CRC
+	// must catch it.
+	b[len(b)/2] ^= 0x01
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshotFile(dir); !errors.Is(err, engine.ErrBadSnapshot) {
+		t.Fatalf("got %v, want ErrBadSnapshot", err)
+	}
+}
+
+func TestServerSnapshotErrorCounted(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eng := testEngine(t)
+	srv := New(eng, Config{SnapshotDir: filepath.Join(file, "snaps")})
+	if _, err := srv.Snapshot(); err == nil {
+		t.Fatal("want a snapshot error")
+	}
+	if got := srv.met.snapshotErrs.Load(); got != 1 {
+		t.Fatalf("snapshot error counter = %d, want 1", got)
+	}
+}

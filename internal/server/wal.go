@@ -1,0 +1,778 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"streambc/internal/engine"
+	"streambc/internal/graph"
+)
+
+// The write-ahead log makes accepted updates durable before they reach the
+// engine: the ingest pipeline appends each coalesced drain as one record,
+// fsyncs it according to the configured policy, and only then applies it. On
+// startup the log tail not covered by the latest snapshot is replayed through
+// the engine's batch path, so a kill -9 at any point loses at most the
+// batches the fsync policy had not yet flushed — and loses them atomically
+// (a torn tail record is discarded as a whole, never half-applied).
+//
+// The log is a directory of segment files named wal-<seq>.seg, where <seq>
+// is the sequence number of the first record in the segment. Sequence
+// numbers count records (one per accepted drain) from the creation of the
+// log; a snapshot records the sequence it covers, and after a successful
+// snapshot every segment whose records are all covered is deleted.
+//
+// Segment format:
+//
+//	magic    [8]byte  "STBCWAL1"
+//	start    uvarint  sequence number of the first record (= filename)
+//	records  until EOF
+//
+// Record format:
+//
+//	length   uint32 LE  payload length in bytes
+//	crc      uint32 LE  CRC-32 (IEEE) of the payload
+//	payload:
+//	  seq          uvarint  sequence number (consecutive within the log)
+//	  needVertices uvarint  vertex count the drain must grow the graph to
+//	  count        uvarint  number of updates
+//	  updates      count × update wire encoding (graph.AppendUpdate)
+//
+// A record is torn when the file ends before its frame or payload completes,
+// or when the checksum does not match: in the final segment that is the
+// expected signature of a crash mid-append and the tail is truncated away;
+// anywhere else it is corruption and opening the log fails.
+
+// walMagic begins every segment file.
+var walMagic = [8]byte{'S', 'T', 'B', 'C', 'W', 'A', 'L', '1'}
+
+const (
+	walSegPrefix = "wal-"
+	walSegSuffix = ".seg"
+	// defaultSegmentBytes is the rotation threshold of WALConfig.SegmentBytes.
+	defaultSegmentBytes = 64 << 20
+	// maxWALRecordBytes bounds one record payload, so a corrupted length
+	// field produces ErrBadWAL instead of a giant allocation.
+	maxWALRecordBytes = 1 << 28
+)
+
+// ErrBadWAL is wrapped by every WAL decoding or consistency failure.
+var ErrBadWAL = errors.New("server: bad write-ahead log")
+
+// FsyncMode selects when appended WAL records are flushed to stable storage.
+type FsyncMode int
+
+const (
+	// FsyncPerBatch fsyncs after every appended record: an acknowledged
+	// batch survives any crash. The default.
+	FsyncPerBatch FsyncMode = iota
+	// FsyncInterval fsyncs on a timer: a crash loses at most the records of
+	// the last interval.
+	FsyncInterval
+	// FsyncOff never fsyncs the log explicitly: durability is whatever the
+	// operating system's page cache provides.
+	FsyncOff
+)
+
+// String implements fmt.Stringer.
+func (m FsyncMode) String() string {
+	switch m {
+	case FsyncPerBatch:
+		return "batch"
+	case FsyncInterval:
+		return "interval"
+	case FsyncOff:
+		return "off"
+	}
+	return fmt.Sprintf("FsyncMode(%d)", int(m))
+}
+
+// ParseFsyncPolicy parses the -fsync flag of bcserved: "batch" (or empty)
+// fsyncs per record, "off" never fsyncs, and a positive duration such as
+// "200ms" fsyncs on that interval.
+func ParseFsyncPolicy(s string) (FsyncMode, time.Duration, error) {
+	switch s {
+	case "", "batch":
+		return FsyncPerBatch, 0, nil
+	case "off":
+		return FsyncOff, 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return 0, 0, fmt.Errorf("bad fsync policy %q (want \"batch\", \"off\" or a positive interval like \"200ms\")", s)
+	}
+	return FsyncInterval, d, nil
+}
+
+// WALConfig configures a write-ahead log.
+type WALConfig struct {
+	// Dir is the log directory, created if missing.
+	Dir string
+	// SegmentBytes is the rotation threshold: a segment reaching it is
+	// closed and a new one started. Values < 1 mean 64 MiB.
+	SegmentBytes int64
+	// Mode is the fsync policy.
+	Mode FsyncMode
+	// Interval is the fsync period of FsyncInterval. Values < 1 mean 100ms.
+	Interval time.Duration
+}
+
+// WALRecord is one logged drain: the batch of updates handed to the engine,
+// plus the vertex count the coalescer requires the graph to grow to (folded
+// -away additions still grow the graph).
+type WALRecord struct {
+	Seq          uint64
+	NeedVertices int
+	Updates      []graph.Update
+}
+
+// walSegment is one on-disk segment of the log.
+type walSegment struct {
+	start uint64 // sequence number of its first record
+	path  string
+	bytes int64
+}
+
+// WAL is an append-only segmented log of accepted update batches. All
+// methods are safe for concurrent use; appends are serialised by an internal
+// mutex (in the server there is a single appender, the pipeline goroutine).
+type WAL struct {
+	cfg WALConfig
+
+	mu       sync.Mutex
+	segs     []walSegment // ascending by start; the last one is active
+	f        *os.File     // active segment, positioned at its end
+	seq      uint64       // sequence number of the next record
+	dirty    bool         // bytes written since the last fsync
+	lastSync time.Time
+	err      error // sticky: after a failed write or fsync the log is dead
+
+	stopSync chan struct{} // closes the FsyncInterval loop
+	doneSync chan struct{}
+}
+
+// OpenWAL opens (or creates) the write-ahead log in cfg.Dir and prepares it
+// for appending: every segment is validated, a torn record at the tail of
+// the final segment is truncated away, and the next append continues the
+// sequence. base is the sequence number the log must start at when the
+// directory is empty (the WAL offset of the snapshot being restored, or 0);
+// a non-empty log must already extend to base or beyond.
+func OpenWAL(cfg WALConfig, base uint64) (*WAL, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("server: write-ahead log needs a directory")
+	}
+	if cfg.SegmentBytes < 1 {
+		cfg.SegmentBytes = defaultSegmentBytes
+	}
+	if cfg.Mode == FsyncInterval && cfg.Interval < 1 {
+		cfg.Interval = 100 * time.Millisecond
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: creating WAL directory: %w", err)
+	}
+	w := &WAL{cfg: cfg, lastSync: time.Now()}
+	segs, err := listSegments(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	// A crash between segment creation and a durable header leaves a final
+	// segment too short to hold its own header. It cannot contain any
+	// record, so — like a torn record — it is discarded whole; the segment
+	// before it (which rotation leaves on disk) carries the log's tail.
+	if n := len(segs); n > 0 {
+		if last := segs[n-1]; last.bytes < int64(len(walMagic)+uvarintLen(last.start)) {
+			if err := os.Remove(last.path); err != nil {
+				return nil, fmt.Errorf("server: removing torn WAL segment: %w", err)
+			}
+			if err := syncDir(cfg.Dir); err != nil {
+				return nil, err
+			}
+			segs = segs[:n-1]
+		}
+	}
+	if len(segs) == 0 {
+		if base > 0 {
+			// A snapshot covering sequence base implies the log once held
+			// records 0..base-1 and its active segment is never deleted by
+			// truncation: an empty directory means the log was wiped, and
+			// any acknowledged record after the snapshot is gone with it.
+			return nil, fmt.Errorf("%w: directory %s is empty but the snapshot covers sequence %d (log deleted?)",
+				ErrBadWAL, cfg.Dir, base)
+		}
+		w.seq = base
+		if err := w.openSegmentLocked(); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := w.recoverSegments(segs); err != nil {
+			return nil, err
+		}
+		if base > w.seq {
+			w.f.Close()
+			return nil, fmt.Errorf("%w: log in %s ends at sequence %d but the snapshot covers %d (stale or partially deleted log)",
+				ErrBadWAL, cfg.Dir, w.seq, base)
+		}
+	}
+	if cfg.Mode == FsyncInterval {
+		w.stopSync = make(chan struct{})
+		w.doneSync = make(chan struct{})
+		go w.syncLoop()
+	}
+	return w, nil
+}
+
+// listSegments returns the segment files of dir in ascending start order.
+func listSegments(dir string) ([]walSegment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("server: reading WAL directory: %w", err)
+	}
+	var segs []walSegment
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasPrefix(name, walSegPrefix) || !strings.HasSuffix(name, walSegSuffix) {
+			continue
+		}
+		start, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, walSegPrefix), walSegSuffix), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: segment name %q", ErrBadWAL, name)
+		}
+		info, err := ent.Info()
+		if err != nil {
+			return nil, fmt.Errorf("server: reading WAL directory: %w", err)
+		}
+		segs = append(segs, walSegment{start: start, path: filepath.Join(dir, name), bytes: info.Size()})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].start < segs[j].start })
+	for i := 1; i < len(segs); i++ {
+		if segs[i].start == segs[i-1].start {
+			return nil, fmt.Errorf("%w: duplicate segment start %d", ErrBadWAL, segs[i].start)
+		}
+	}
+	return segs, nil
+}
+
+// recoverSegments validates the record chain across segs, truncates a torn
+// tail in the final segment and opens it for appending.
+func (w *WAL) recoverSegments(segs []walSegment) error {
+	seq := segs[0].start
+	for i := range segs {
+		last := i == len(segs)-1
+		end, next, err := scanSegment(&segs[i], seq, last, nil)
+		if err != nil {
+			return err
+		}
+		if !last && next != segs[i+1].start {
+			return fmt.Errorf("%w: segment %s ends at sequence %d but the next segment starts at %d",
+				ErrBadWAL, segs[i].path, next, segs[i+1].start)
+		}
+		if last && end < segs[i].bytes {
+			// Torn tail from a crash mid-append: the record was never
+			// acknowledged, drop it.
+			if err := os.Truncate(segs[i].path, end); err != nil {
+				return fmt.Errorf("server: truncating torn WAL tail: %w", err)
+			}
+			segs[i].bytes = end
+		}
+		seq = next
+	}
+	f, err := os.OpenFile(segs[len(segs)-1].path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("server: opening WAL segment: %w", err)
+	}
+	w.segs = segs
+	w.f = f
+	w.seq = seq
+	return nil
+}
+
+// scanSegment reads one segment, verifying its header (the start sequence
+// must match both the filename and the running sequence) and every record
+// frame, calling fn (when non-nil) with each decoded record. It returns the
+// byte offset after the last intact record and the sequence after it. In the
+// final segment (tail true) a torn trailing record ends the scan cleanly;
+// elsewhere it is an error.
+func scanSegment(seg *walSegment, seq uint64, tail bool, fn func(WALRecord) error) (end int64, next uint64, err error) {
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("server: opening WAL segment: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return 0, 0, fmt.Errorf("%w: %s: reading magic: %v", ErrBadWAL, seg.path, err)
+	}
+	if magic != walMagic {
+		return 0, 0, fmt.Errorf("%w: %s: magic %q", ErrBadWAL, seg.path, magic[:])
+	}
+	headerLen := int64(len(magic))
+	start, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: %s: reading start sequence: %v", ErrBadWAL, seg.path, err)
+	}
+	headerLen += int64(uvarintLen(start))
+	if start != seg.start {
+		return 0, 0, fmt.Errorf("%w: %s: header start %d does not match filename", ErrBadWAL, seg.path, start)
+	}
+	if start != seq {
+		return 0, 0, fmt.Errorf("%w: %s: starts at sequence %d, expected %d", ErrBadWAL, seg.path, start, seq)
+	}
+	end = headerLen
+	// torn resolves a failed record at the tail of the final segment: a torn
+	// append is by definition the last thing that hit the file, so if any
+	// intact record can still be parsed after the failure point the damage
+	// is corruption of acknowledged history — refuse to open rather than
+	// silently dropping the records that follow.
+	torn := func(what string) (int64, uint64, error) {
+		if err := intactRecordAfter(f, seg, end); err != nil {
+			return 0, 0, fmt.Errorf("%w: %s: %s at offset %d: %v", ErrBadWAL, seg.path, what, end, err)
+		}
+		return end, seq, nil
+	}
+	for {
+		var frame [8]byte
+		if _, err := io.ReadFull(br, frame[:]); err != nil {
+			if err == io.EOF {
+				return end, seq, nil // clean end at a record boundary
+			}
+			if tail {
+				return end, seq, nil // file ends inside the frame header: torn
+			}
+			return 0, 0, fmt.Errorf("%w: %s: torn record frame in a non-final segment", ErrBadWAL, seg.path)
+		}
+		length := binary.LittleEndian.Uint32(frame[:4])
+		sum := binary.LittleEndian.Uint32(frame[4:])
+		if length > maxWALRecordBytes {
+			if tail {
+				return torn("implausible record length")
+			}
+			return 0, 0, fmt.Errorf("%w: %s: implausible record length %d", ErrBadWAL, seg.path, length)
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if tail {
+				return torn("short record")
+			}
+			return 0, 0, fmt.Errorf("%w: %s: torn record in a non-final segment", ErrBadWAL, seg.path)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			if tail {
+				return torn("record checksum mismatch")
+			}
+			return 0, 0, fmt.Errorf("%w: %s: record checksum mismatch", ErrBadWAL, seg.path)
+		}
+		rec, err := decodeWALRecord(payload)
+		if err != nil {
+			// The checksum verified, so this is not a torn write but a
+			// corrupted or incompatible log: refuse it even at the tail.
+			return 0, 0, fmt.Errorf("%w: %s: %v", ErrBadWAL, seg.path, err)
+		}
+		if rec.Seq != seq {
+			return 0, 0, fmt.Errorf("%w: %s: record sequence %d, expected %d", ErrBadWAL, seg.path, rec.Seq, seq)
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return 0, 0, err
+			}
+		}
+		seq++
+		end += int64(len(frame)) + int64(length)
+	}
+}
+
+// intactRecordAfter probes every byte offset after a failed record (starting
+// at off, the failed frame's start) for a frame whose checksum verifies and
+// whose payload decodes as a record. Finding one proves the failure was not
+// a torn append — something after it survived — so the caller must treat it
+// as corruption instead of truncating. A CRC-32 match over a structured
+// payload makes false positives vanishingly unlikely.
+func intactRecordAfter(f *os.File, seg *walSegment, off int64) error {
+	if seg.bytes <= off {
+		return nil
+	}
+	rest := make([]byte, seg.bytes-off)
+	if _, err := f.ReadAt(rest, off); err != nil && err != io.EOF {
+		return nil // unreadable remainder: nothing provably intact follows
+	}
+	for i := 1; i+8 <= len(rest); i++ {
+		length := binary.LittleEndian.Uint32(rest[i : i+4])
+		if length > maxWALRecordBytes || i+8+int(length) > len(rest) {
+			continue
+		}
+		payload := rest[i+8 : i+8+int(length)]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(rest[i+4:i+8]) {
+			continue
+		}
+		if _, err := decodeWALRecord(payload); err == nil {
+			return errors.New("intact records follow the damaged one")
+		}
+	}
+	return nil
+}
+
+// decodeWALRecord decodes one record payload (already checksum-verified).
+func decodeWALRecord(payload []byte) (WALRecord, error) {
+	var rec WALRecord
+	var n int
+	if rec.Seq, n = binary.Uvarint(payload); n <= 0 {
+		return rec, errors.New("truncated record sequence")
+	}
+	payload = payload[n:]
+	need, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return rec, errors.New("truncated vertex requirement")
+	}
+	payload = payload[n:]
+	const maxInt = uint64(int(^uint(0) >> 1))
+	if need > maxInt {
+		return rec, errors.New("implausible vertex requirement")
+	}
+	rec.NeedVertices = int(need)
+	count, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return rec, errors.New("truncated update count")
+	}
+	payload = payload[n:]
+	for i := uint64(0); i < count; i++ {
+		upd, n, err := graph.DecodeUpdate(payload)
+		if err != nil {
+			return rec, err
+		}
+		rec.Updates = append(rec.Updates, upd)
+		payload = payload[n:]
+	}
+	if len(payload) != 0 {
+		return rec, fmt.Errorf("%d trailing bytes after the last update", len(payload))
+	}
+	return rec, nil
+}
+
+// uvarintLen returns the encoded size of x.
+func uvarintLen(x uint64) int {
+	var buf [binary.MaxVarintLen64]byte
+	return binary.PutUvarint(buf[:], x)
+}
+
+// openSegmentLocked creates and syncs a fresh active segment starting at the
+// current sequence. The caller holds w.mu (or has exclusive access).
+func (w *WAL) openSegmentLocked() error {
+	path := filepath.Join(w.cfg.Dir, fmt.Sprintf("%s%020d%s", walSegPrefix, w.seq, walSegSuffix))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("server: creating WAL segment: %w", err)
+	}
+	header := append([]byte{}, walMagic[:]...)
+	header = binary.AppendUvarint(header, w.seq)
+	if _, err := f.Write(header); err != nil {
+		f.Close()
+		return fmt.Errorf("server: writing WAL segment header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("server: syncing WAL segment: %w", err)
+	}
+	// The new name must itself survive a crash before any record does.
+	if err := syncDir(w.cfg.Dir); err != nil {
+		f.Close()
+		return err
+	}
+	w.segs = append(w.segs, walSegment{start: w.seq, path: path, bytes: int64(len(header))})
+	w.f = f
+	return nil
+}
+
+// Append logs one accepted drain — the coalesced updates about to be handed
+// to the engine plus the vertex count the graph must reach — and, under the
+// per-batch fsync policy, flushes it to stable storage. The record's
+// sequence number is returned. After any write or sync failure the log is
+// poisoned: every later Append fails with the same error, so the server
+// stops accepting updates it could not make durable.
+func (w *WAL) Append(needVertices int, upds []graph.Update) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return 0, w.err
+	}
+	if w.f == nil {
+		return 0, ErrWALClosed
+	}
+	active := &w.segs[len(w.segs)-1]
+	if active.bytes >= w.cfg.SegmentBytes {
+		if err := w.rotateLocked(); err != nil {
+			w.err = err
+			return 0, err
+		}
+		active = &w.segs[len(w.segs)-1]
+	}
+	seq := w.seq
+	payload := binary.AppendUvarint(nil, seq)
+	payload = binary.AppendUvarint(payload, uint64(needVertices))
+	payload = binary.AppendUvarint(payload, uint64(len(upds)))
+	for _, u := range upds {
+		payload = graph.AppendUpdate(payload, u)
+	}
+	frame := make([]byte, 8, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	frame = append(frame, payload...)
+	if _, err := w.f.Write(frame); err != nil {
+		// The segment may now hold a torn record; it would be truncated on
+		// the next open, but this process must not append after it.
+		w.err = fmt.Errorf("server: appending WAL record: %w", err)
+		return 0, w.err
+	}
+	active.bytes += int64(len(frame))
+	w.seq++
+	w.dirty = true
+	if w.cfg.Mode == FsyncPerBatch {
+		if err := w.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return seq, nil
+}
+
+// rotateLocked closes the active segment (flushing it) and starts a new one.
+func (w *WAL) rotateLocked() error {
+	if err := w.syncLocked(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("server: closing WAL segment: %w", err)
+	}
+	return w.openSegmentLocked()
+}
+
+// Sync flushes appended records to stable storage.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.f == nil {
+		return ErrWALClosed
+	}
+	return w.syncLocked()
+}
+
+// poison marks the log dead: every later Append and Sync fails with err.
+// The server uses it when the engine fails after a record was durably
+// appended — the engine state can no longer be trusted, so accepting more
+// writes would only let the live state and the logged history drift apart.
+func (w *WAL) poison(err error) {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.mu.Unlock()
+}
+
+// Err returns the sticky error that poisoned the log (a failed write or
+// fsync, or an engine failure after an append), or nil while the log is
+// healthy.
+func (w *WAL) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+func (w *WAL) syncLocked() error {
+	if w.dirty {
+		if err := w.f.Sync(); err != nil {
+			// An fsync failure means the kernel may have dropped the dirty
+			// pages: the log's durable state is unknowable, poison it.
+			w.err = fmt.Errorf("server: syncing WAL: %w", err)
+			return w.err
+		}
+		w.dirty = false
+	}
+	w.lastSync = time.Now()
+	return nil
+}
+
+// syncLoop is the FsyncInterval background flusher.
+func (w *WAL) syncLoop() {
+	defer close(w.doneSync)
+	ticker := time.NewTicker(w.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			w.Sync() //nolint:errcheck // sticky w.err surfaces on the next Append
+		case <-w.stopSync:
+			return
+		}
+	}
+}
+
+// TruncateThrough deletes every segment all of whose records are covered
+// (sequence < covered, typically the WAL offset of a just-written snapshot).
+// The active segment is never deleted. Each segment is dropped from the
+// in-memory list as it is removed (and an already-missing file counts as
+// removed), so a transient deletion failure is retried — not compounded —
+// by the next call.
+func (w *WAL) TruncateThrough(covered uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	removed := false
+	for len(w.segs) > 1 && w.segs[1].start <= covered {
+		if err := os.Remove(w.segs[0].path); err != nil && !os.IsNotExist(err) {
+			if removed {
+				syncDir(w.cfg.Dir) //nolint:errcheck // best effort before reporting the removal failure
+			}
+			return fmt.Errorf("server: deleting covered WAL segment: %w", err)
+		}
+		w.segs = w.segs[1:]
+		removed = true
+	}
+	if !removed {
+		return nil
+	}
+	return syncDir(w.cfg.Dir)
+}
+
+// ReplayFrom re-reads the log and calls fn with every record whose sequence
+// is >= from, in order. It must be called after OpenWAL and before the first
+// Append (recovery time): it reads the segment files directly.
+func (w *WAL) ReplayFrom(from uint64, fn func(WALRecord) error) error {
+	w.mu.Lock()
+	segs := append([]walSegment(nil), w.segs...)
+	seq := w.seq
+	w.mu.Unlock()
+	if from > seq {
+		return fmt.Errorf("%w: replay from sequence %d but the log ends at %d", ErrBadWAL, from, seq)
+	}
+	if from < segs[0].start {
+		return fmt.Errorf("%w: replay from sequence %d but the log begins at %d (covered segments already deleted)",
+			ErrBadWAL, from, segs[0].start)
+	}
+	for i := range segs {
+		if i < len(segs)-1 && segs[i+1].start <= from {
+			continue // every record of this segment is covered
+		}
+		_, _, err := scanSegment(&segs[i], segs[i].start, i == len(segs)-1, func(rec WALRecord) error {
+			if rec.Seq < from {
+				return nil
+			}
+			return fn(rec)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ErrWALClosed is returned by operations on a closed log.
+var ErrWALClosed = errors.New("server: write-ahead log closed")
+
+// ReplayWAL replays the log tail not covered by eng's state — every record
+// from the engine's WAL offset (the one its snapshot recorded, or 0 for a
+// fresh engine) to the end of the log — through the engine's batch path,
+// reproducing exactly what the ingest pipeline did when the records were
+// first accepted: grow the graph to the drain's vertex requirement, then
+// apply the logged updates in chunks of at most maxBatch, skipping the ones
+// the engine rejects as invalid. It returns the number of updates replayed.
+// Call it after OpenWAL and before handing the WAL to a server.
+func ReplayWAL(w *WAL, eng *engine.Engine, maxBatch int) (int, error) {
+	if maxBatch < 1 {
+		maxBatch = 256
+	}
+	replayed := 0
+	err := w.ReplayFrom(eng.WALOffset(), func(rec WALRecord) error {
+		if err := eng.EnsureVertices(rec.NeedVertices); err != nil {
+			return err
+		}
+		for i := 0; i < len(rec.Updates); i += maxBatch {
+			j := min(i+maxBatch, len(rec.Updates))
+			if err := eng.ReplayBatch(rec.Updates[i:j]); err != nil {
+				return err
+			}
+			replayed += j - i
+		}
+		eng.SetWALOffset(rec.Seq + 1)
+		return nil
+	})
+	if err != nil {
+		return replayed, err
+	}
+	eng.SetWALOffset(w.Seq())
+	return replayed, nil
+}
+
+// Seq returns the sequence number the next appended record will get (equal
+// to the number of records ever appended plus the base the log started at).
+func (w *WAL) Seq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// Segments returns the number of live segment files.
+func (w *WAL) Segments() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.segs)
+}
+
+// Bytes returns the total size of the live segment files.
+func (w *WAL) Bytes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var total int64
+	for _, seg := range w.segs {
+		total += seg.bytes
+	}
+	return total
+}
+
+// LastSyncAge returns the time since the log was last flushed to stable
+// storage (since open when nothing has been flushed yet).
+func (w *WAL) LastSyncAge() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return time.Since(w.lastSync)
+}
+
+// Dir returns the log directory.
+func (w *WAL) Dir() string { return w.cfg.Dir }
+
+// Close flushes and closes the log. Further appends fail with ErrWALClosed.
+func (w *WAL) Close() error {
+	if w.stopSync != nil {
+		close(w.stopSync)
+		<-w.doneSync
+		w.stopSync = nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	syncErr := error(nil)
+	if w.err == nil {
+		syncErr = w.syncLocked()
+	}
+	closeErr := w.f.Close()
+	w.f = nil
+	if syncErr != nil {
+		return syncErr
+	}
+	if closeErr != nil {
+		return fmt.Errorf("server: closing WAL: %w", closeErr)
+	}
+	return nil
+}

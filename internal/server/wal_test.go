@@ -1,0 +1,760 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"streambc/internal/bc"
+	"streambc/internal/engine"
+	"streambc/internal/graph"
+)
+
+func testWAL(t *testing.T, cfg WALConfig, base uint64) *WAL {
+	t.Helper()
+	w, err := OpenWAL(cfg, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w
+}
+
+func collectRecords(t *testing.T, w *WAL, from uint64) []WALRecord {
+	t.Helper()
+	var recs []WALRecord
+	if err := w.ReplayFrom(from, func(rec WALRecord) error {
+		recs = append(recs, rec)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestWALAppendReopenReplay(t *testing.T) {
+	dir := t.TempDir()
+	records := []WALRecord{
+		{Seq: 0, NeedVertices: 5, Updates: []graph.Update{graph.Addition(0, 4), graph.Addition(1, 2)}},
+		{Seq: 1, NeedVertices: 0, Updates: []graph.Update{graph.Removal(0, 4)}},
+		{Seq: 2, NeedVertices: 9, Updates: nil}, // a fully coalesced drain that still grows the graph
+		{Seq: 3, NeedVertices: 0, Updates: []graph.Update{{U: 3, V: 7, Time: 1.25}}},
+	}
+	w := testWAL(t, WALConfig{Dir: dir}, 0)
+	for _, rec := range records {
+		seq, err := w.Append(rec.NeedVertices, rec.Updates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != rec.Seq {
+			t.Fatalf("appended at sequence %d, want %d", seq, rec.Seq)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2 := testWAL(t, WALConfig{Dir: dir}, 0)
+	if got := w2.Seq(); got != 4 {
+		t.Fatalf("reopened at sequence %d, want 4", got)
+	}
+	got := collectRecords(t, w2, 0)
+	if !reflect.DeepEqual(got, records) {
+		t.Fatalf("replayed records:\n  got  %v\n  want %v", got, records)
+	}
+	if tail := collectRecords(t, w2, 2); !reflect.DeepEqual(tail, records[2:]) {
+		t.Fatalf("tail replay: got %v, want %v", tail, records[2:])
+	}
+	if end := collectRecords(t, w2, 4); len(end) != 0 {
+		t.Fatalf("replay from the end returned %d records", len(end))
+	}
+	if err := w2.ReplayFrom(5, func(WALRecord) error { return nil }); !errors.Is(err, ErrBadWAL) {
+		t.Fatalf("replay past the end: got %v, want ErrBadWAL", err)
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		mutilate func(t *testing.T, path string)
+	}{
+		{"truncated mid-record", func(t *testing.T, path string) {
+			info, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(path, info.Size()-3); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"corrupted checksum", func(t *testing.T, path string) {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b[len(b)-1] ^= 0xff
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			w := testWAL(t, WALConfig{Dir: dir}, 0)
+			for i := 0; i < 3; i++ {
+				if _, err := w.Append(0, []graph.Update{graph.Addition(i, i+1)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			segs, err := listSegments(dir)
+			if err != nil || len(segs) != 1 {
+				t.Fatalf("segments: %v, %v", segs, err)
+			}
+			tc.mutilate(t, segs[0].path)
+
+			w2 := testWAL(t, WALConfig{Dir: dir}, 0)
+			if got := w2.Seq(); got != 2 {
+				t.Fatalf("reopened at sequence %d, want 2 (torn record dropped)", got)
+			}
+			// The log keeps working after truncation: the dropped sequence
+			// number is reused by the next append.
+			if seq, err := w2.Append(0, []graph.Update{graph.Addition(9, 10)}); err != nil || seq != 2 {
+				t.Fatalf("append after truncation: seq %d, err %v", seq, err)
+			}
+			recs := collectRecords(t, w2, 0)
+			if len(recs) != 3 || recs[2].Updates[0] != graph.Addition(9, 10) {
+				t.Fatalf("replay after truncation: %v", recs)
+			}
+		})
+	}
+}
+
+// TestWALCorruptionBeforeTailRejected distinguishes corruption from a torn
+// tail: a bad record with intact records after it — even inside the final
+// segment — is damage to acknowledged history, and the log must refuse to
+// open instead of silently truncating the records that follow.
+func TestWALCorruptionBeforeTailRejected(t *testing.T) {
+	dir := t.TempDir()
+	w := testWAL(t, WALConfig{Dir: dir}, 0)
+	for i := 0; i < 3; i++ {
+		if _, err := w.Append(0, []graph.Update{graph.Addition(i, i+1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v, %v", segs, err)
+	}
+	b, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the first record's payload: the final record stays
+	// intact, so this cannot be a torn append.
+	b[12] ^= 0xff
+	if err := os.WriteFile(segs[0].path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenWAL(WALConfig{Dir: dir}, 0); !errors.Is(err, ErrBadWAL) {
+		t.Fatalf("open with corrupted non-final record: got %v, want ErrBadWAL", err)
+	}
+}
+
+func TestWALCorruptionInNonFinalSegmentRejected(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny rotation threshold: every record starts a new segment.
+	w := testWAL(t, WALConfig{Dir: dir, SegmentBytes: 16}, 0)
+	for i := 0; i < 3; i++ {
+		if _, err := w.Append(0, []graph.Update{graph.Addition(i, i+1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("want >= 2 segments, got %v (%v)", segs, err)
+	}
+	b, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xff
+	if err := os.WriteFile(segs[0].path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenWAL(WALConfig{Dir: dir, SegmentBytes: 16}, 0); !errors.Is(err, ErrBadWAL) {
+		t.Fatalf("open with corrupted middle segment: got %v, want ErrBadWAL", err)
+	}
+}
+
+func TestWALStaleLogRejected(t *testing.T) {
+	dir := t.TempDir()
+	w := testWAL(t, WALConfig{Dir: dir}, 0)
+	if _, err := w.Append(0, []graph.Update{graph.Addition(0, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A snapshot claiming to cover sequence 5 cannot be recovered with a log
+	// that ends at 1.
+	if _, err := OpenWAL(WALConfig{Dir: dir}, 5); !errors.Is(err, ErrBadWAL) {
+		t.Fatalf("open stale log: got %v, want ErrBadWAL", err)
+	}
+}
+
+func TestWALRotationAndTruncation(t *testing.T) {
+	dir := t.TempDir()
+	w := testWAL(t, WALConfig{Dir: dir, SegmentBytes: 64}, 0)
+	for i := 0; i < 20; i++ {
+		if _, err := w.Append(0, []graph.Update{graph.Addition(i, i+1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Segments() < 3 {
+		t.Fatalf("want >= 3 segments after 20 appends at 64-byte rotation, got %d", w.Segments())
+	}
+	before := w.Bytes()
+	if err := w.TruncateThrough(10); err != nil {
+		t.Fatal(err)
+	}
+	if w.Bytes() >= before {
+		t.Fatalf("truncation did not shrink the log (%d -> %d bytes)", before, w.Bytes())
+	}
+	// Everything from sequence 10 on must still replay.
+	recs := collectRecords(t, w, 10)
+	if len(recs) != 10 || recs[0].Seq != 10 {
+		t.Fatalf("replay after truncation: %d records, first %v", len(recs), recs[0])
+	}
+	// Replaying a deleted prefix is an explicit error, not silence.
+	if err := w.ReplayFrom(0, func(WALRecord) error { return nil }); !errors.Is(err, ErrBadWAL) {
+		t.Fatalf("replay of deleted prefix: got %v, want ErrBadWAL", err)
+	}
+	// A reopen continues seamlessly after truncation.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2 := testWAL(t, WALConfig{Dir: dir, SegmentBytes: 64}, 0)
+	if got := w2.Seq(); got != 20 {
+		t.Fatalf("reopened at sequence %d, want 20", got)
+	}
+}
+
+func TestWALFsyncPolicies(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  WALConfig
+	}{
+		{"per-batch", WALConfig{Mode: FsyncPerBatch}},
+		{"interval", WALConfig{Mode: FsyncInterval, Interval: time.Millisecond}},
+		{"off", WALConfig{Mode: FsyncOff}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			cfg.Dir = t.TempDir()
+			w := testWAL(t, cfg, 0)
+			for i := 0; i < 5; i++ {
+				if _, err := w.Append(0, []graph.Update{graph.Addition(i, i+1)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			w2 := testWAL(t, cfg, 0)
+			if got := w2.Seq(); got != 5 {
+				t.Fatalf("sequence %d, want 5", got)
+			}
+		})
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	cases := []struct {
+		in       string
+		mode     FsyncMode
+		interval time.Duration
+		wantErr  bool
+	}{
+		{in: "batch", mode: FsyncPerBatch},
+		{in: "", mode: FsyncPerBatch},
+		{in: "off", mode: FsyncOff},
+		{in: "200ms", mode: FsyncInterval, interval: 200 * time.Millisecond},
+		{in: "2s", mode: FsyncInterval, interval: 2 * time.Second},
+		{in: "0s", wantErr: true},
+		{in: "-1s", wantErr: true},
+		{in: "always", wantErr: true},
+	}
+	for _, tc := range cases {
+		mode, interval, err := ParseFsyncPolicy(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseFsyncPolicy(%q): want error", tc.in)
+			}
+			continue
+		}
+		if err != nil || mode != tc.mode || interval != tc.interval {
+			t.Errorf("ParseFsyncPolicy(%q) = %v, %v, %v; want %v, %v", tc.in, mode, interval, err, tc.mode, tc.interval)
+		}
+	}
+}
+
+// walStream builds a deterministic, well-formed update stream in batches:
+// mostly additions (sometimes referencing brand-new vertices), some removals
+// of live edges, and occasionally an add+remove pair of the same new edge in
+// one batch so the coalescer cancels it (exercising the vertex-growth-only
+// WAL record).
+func walStream(seed int64, n, batches, perBatch int) [][]graph.Update {
+	rng := rand.New(rand.NewSource(seed))
+	mirror := graph.New(n)
+	var live []graph.Edge
+	out := make([][]graph.Update, 0, batches)
+	next := n
+	for b := 0; b < batches; b++ {
+		var batch []graph.Update
+		for len(batch) < perBatch {
+			switch r := rng.Intn(10); {
+			case r == 0 && len(live) > 0:
+				i := rng.Intn(len(live))
+				e := live[i]
+				live = append(live[:i], live[i+1:]...)
+				mirror.Apply(graph.Removal(e.U, e.V)) //nolint:errcheck
+				batch = append(batch, graph.Removal(e.U, e.V))
+			case r == 1:
+				// Cancelled pair on a brand-new vertex: survives only as a
+				// vertex-growth requirement.
+				u, v := rng.Intn(mirror.N()), next
+				next++
+				batch = append(batch, graph.Addition(u, v), graph.Removal(u, v))
+			default:
+				u, v := rng.Intn(mirror.N()), rng.Intn(mirror.N())
+				if r == 2 {
+					v = next
+					next++
+				}
+				if u == v || (v < mirror.N() && mirror.HasEdge(u, v)) {
+					continue
+				}
+				if v >= mirror.N() {
+					for grow := mirror.N(); grow <= v; grow++ {
+						mirror.AddVertex()
+					}
+				}
+				mirror.Apply(graph.Addition(u, v)) //nolint:errcheck
+				live = append(live, graph.Edge{U: u, V: v})
+				batch = append(batch, graph.Addition(u, v))
+			}
+		}
+		out = append(out, batch)
+	}
+	return out
+}
+
+// enqueueWait pushes one batch and waits for it to be fully processed, so
+// every batch becomes exactly one pipeline drain (and one WAL record) in
+// both the reference and the crashed run.
+func enqueueWait(t *testing.T, srv *Server, batch []graph.Update) {
+	t.Helper()
+	b, err := srv.Enqueue(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := b.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sameScores(t *testing.T, what string, got, want *bc.Result) {
+	t.Helper()
+	if len(got.VBC) != len(want.VBC) {
+		t.Fatalf("%s: %d vertices, want %d", what, len(got.VBC), len(want.VBC))
+	}
+	for v := range want.VBC {
+		if got.VBC[v] != want.VBC[v] {
+			t.Fatalf("%s: VBC[%d] = %v, want %v (must be bit-identical)", what, v, got.VBC[v], want.VBC[v])
+		}
+	}
+	if len(got.EBC) != len(want.EBC) {
+		t.Fatalf("%s: %d edge scores, want %d", what, len(got.EBC), len(want.EBC))
+	}
+	for k, x := range want.EBC {
+		if gx, ok := got.EBC[k]; !ok || gx != x {
+			t.Fatalf("%s: EBC[%v] = %v, want %v (must be bit-identical)", what, k, got.EBC[k], x)
+		}
+	}
+}
+
+// TestWALCrashRecoveryBitIdentical simulates a crash (the server is
+// abandoned without Close, so no final snapshot is written) after a
+// mid-stream snapshot, recovers from snapshot + WAL tail, and requires the
+// scores to be bit-identical to an uninterrupted run of the same stream —
+// in exact and in sampled mode, with and without a mid-stream snapshot.
+func TestWALCrashRecoveryBitIdentical(t *testing.T) {
+	const (
+		nVertices = 24
+		nEdges    = 40
+		seed      = 7
+		k         = 9 // sampled-source count
+		maxBatch  = 8
+	)
+	for _, tc := range []struct {
+		name     string
+		sampled  bool
+		snapshot bool // take a mid-stream snapshot before the crash
+	}{
+		{"exact-with-snapshot", false, true},
+		{"exact-no-snapshot", false, false},
+		{"sampled-with-snapshot", true, true},
+		{"sampled-no-snapshot", true, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			batches := walStream(seed+100, nVertices, 12, 6)
+			engCfg := func() engine.Config {
+				cfg := engine.Config{Workers: 2}
+				if tc.sampled {
+					cfg.Sources = bc.SampleSources(nVertices, k, seed)
+				}
+				return cfg
+			}
+
+			// Reference: the same stream, batch by batch, never interrupted.
+			refEng, err := engine.New(testGraph(t, nVertices, nEdges, seed), engCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer refEng.Close()
+			refSrv := New(refEng, Config{MaxBatch: maxBatch})
+			refSrv.Start()
+			for _, b := range batches {
+				enqueueWait(t, refSrv, b)
+			}
+			want := refEng.ResultSnapshot()
+			wantStats := refEng.Stats()
+			refSrv.Close()
+
+			// The run that will "crash": WAL on, abandoned without Close.
+			walDir := t.TempDir()
+			snapDir := t.TempDir()
+			wal, err := OpenWAL(WALConfig{Dir: walDir, SegmentBytes: 512}, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			crashEng, err := engine.New(testGraph(t, nVertices, nEdges, seed), engCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer crashEng.Close()
+			crashSrv := New(crashEng, Config{MaxBatch: maxBatch, SnapshotDir: snapDir, WAL: wal})
+			crashSrv.Start()
+			for i, b := range batches {
+				if tc.snapshot && i == len(batches)/2 {
+					if _, err := crashSrv.Snapshot(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				enqueueWait(t, crashSrv, b)
+			}
+			// Crash: no Close, no final snapshot. Only flush the page cache
+			// handle we share with the "next process".
+			if err := wal.Sync(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Recovery, exactly as bcserved does it: restore the snapshot if
+			// one exists (else rebuild the same base state), then replay the
+			// WAL tail.
+			var recEng *engine.Engine
+			st, err := LoadSnapshotFile(snapDir)
+			switch {
+			case err == nil:
+				if !tc.snapshot {
+					t.Fatal("found a snapshot in a run that never wrote one")
+				}
+				recEng, err = engine.RestoreEngine(st, engine.Config{Workers: 2})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if recEng.WALOffset() == 0 {
+					t.Fatal("restored snapshot does not carry a WAL offset")
+				}
+			case errors.Is(err, os.ErrNotExist):
+				if tc.snapshot {
+					t.Fatalf("snapshot missing: %v", err)
+				}
+				recEng, err = engine.New(testGraph(t, nVertices, nEdges, seed), engCfg())
+				if err != nil {
+					t.Fatal(err)
+				}
+			default:
+				t.Fatal(err)
+			}
+			defer recEng.Close()
+			wal2, err := OpenWAL(WALConfig{Dir: walDir, SegmentBytes: 512}, recEng.WALOffset())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer wal2.Close()
+			if _, err := ReplayWAL(wal2, recEng, maxBatch); err != nil {
+				t.Fatal(err)
+			}
+
+			sameScores(t, "recovered scores", recEng.ResultSnapshot(), want)
+			if got := recEng.Stats().UpdatesApplied; got != wantStats.UpdatesApplied {
+				t.Fatalf("recovered %d applied updates, want %d", got, wantStats.UpdatesApplied)
+			}
+			if recEng.Graph().N() != refEng.Graph().N() || recEng.Graph().M() != refEng.Graph().M() {
+				t.Fatalf("recovered graph n=%d m=%d, want n=%d m=%d",
+					recEng.Graph().N(), recEng.Graph().M(), refEng.Graph().N(), refEng.Graph().M())
+			}
+			if tc.sampled {
+				if !recEng.Sampled() || recEng.SampleSize() != k {
+					t.Fatalf("recovered engine lost the source sample (sampled=%v k=%d)", recEng.Sampled(), recEng.SampleSize())
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotTruncatesWAL verifies the rotation/truncation protocol end to
+// end through the server: segments fully covered by a snapshot are deleted,
+// and recovery from snapshot + remaining tail still works.
+func TestSnapshotTruncatesWAL(t *testing.T) {
+	walDir := t.TempDir()
+	snapDir := t.TempDir()
+	wal, err := OpenWAL(WALConfig{Dir: walDir, SegmentBytes: 128}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(testGraph(t, 16, 24, 3), engine.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	srv := New(eng, Config{SnapshotDir: snapDir, WAL: wal})
+	srv.Start()
+	for i := 0; i < 30; i++ {
+		enqueueWait(t, srv, []graph.Update{graph.Addition(16+i, i%16)})
+	}
+	segsBefore := wal.Segments()
+	if segsBefore < 3 {
+		t.Fatalf("want >= 3 segments before the snapshot, got %d", segsBefore)
+	}
+	if _, err := srv.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if got := wal.Segments(); got != 1 {
+		t.Fatalf("want 1 segment after the snapshot, got %d (was %d)", got, segsBefore)
+	}
+	want := eng.ResultSnapshot()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := LoadSnapshotFile(snapDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recEng, err := engine.RestoreEngine(st, engine.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recEng.Close()
+	wal2, err := OpenWAL(WALConfig{Dir: walDir, SegmentBytes: 128}, recEng.WALOffset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal2.Close()
+	if _, err := ReplayWAL(wal2, recEng, 0); err != nil {
+		t.Fatal(err)
+	}
+	sameScores(t, "recovered after truncation", recEng.ResultSnapshot(), want)
+}
+
+// TestWALRejectedUpdatesReplayIdentically covers streams containing updates
+// the engine rejects (removal of a missing edge): the WAL logs them, the
+// pipeline skips them, and replay must skip them the same way.
+func TestWALRejectedUpdatesReplayIdentically(t *testing.T) {
+	walDir := t.TempDir()
+	wal, err := OpenWAL(WALConfig{Dir: walDir}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(testGraph(t, 10, 15, 5), engine.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	srv := New(eng, Config{WAL: wal, MaxBatch: 4})
+	srv.Start()
+	batch := []graph.Update{
+		graph.Addition(10, 0),
+		graph.Removal(7, 8), // likely absent; rejected if so
+		graph.Removal(97, 98),
+		graph.Addition(11, 1),
+	}
+	b, err := srv.Enqueue(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := b.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Errs()) == 0 {
+		t.Fatal("expected at least one rejected update in the batch")
+	}
+	want := eng.ResultSnapshot()
+	wantApplied := eng.Stats().UpdatesApplied
+	if err := wal.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash (no Close) and recover onto a fresh engine.
+	recEng, err := engine.New(testGraph(t, 10, 15, 5), engine.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recEng.Close()
+	wal2, err := OpenWAL(WALConfig{Dir: walDir}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal2.Close()
+	if _, err := ReplayWAL(wal2, recEng, 4); err != nil {
+		t.Fatal(err)
+	}
+	sameScores(t, "recovered with rejections", recEng.ResultSnapshot(), want)
+	if got := recEng.Stats().UpdatesApplied; got != wantApplied {
+		t.Fatalf("recovered %d applied updates, want %d", got, wantApplied)
+	}
+}
+
+// TestWALTornHeaderSegmentDiscarded covers a crash between segment creation
+// and a durable header during rotation: the header-less final segment holds
+// no records, so reopening must discard it and continue from the previous
+// segment's tail.
+func TestWALTornHeaderSegmentDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	w := testWAL(t, WALConfig{Dir: dir}, 0)
+	for i := 0; i < 3; i++ {
+		if _, err := w.Append(0, []graph.Update{graph.Addition(i, i+1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash: a next segment created with only part of its
+	// header written.
+	torn := filepath.Join(dir, "wal-00000000000000000003.seg")
+	if err := os.WriteFile(torn, []byte("STB"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2 := testWAL(t, WALConfig{Dir: dir}, 0)
+	if got := w2.Seq(); got != 3 {
+		t.Fatalf("reopened at sequence %d, want 3", got)
+	}
+	if _, err := os.Stat(torn); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("torn segment still present: %v", err)
+	}
+	if _, err := w2.Append(0, []graph.Update{graph.Addition(7, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	if recs := collectRecords(t, w2, 0); len(recs) != 4 {
+		t.Fatalf("replayed %d records, want 4", len(recs))
+	}
+}
+
+// TestOpenWALEmptyDirWithCoveredOffset: a snapshot covering a nonzero
+// sequence with an empty log directory means the log was wiped — that must
+// fail, exactly like a log that ends before the covered sequence.
+func TestOpenWALEmptyDirWithCoveredOffset(t *testing.T) {
+	if _, err := OpenWAL(WALConfig{Dir: t.TempDir()}, 5); !errors.Is(err, ErrBadWAL) {
+		t.Fatalf("open empty log with covered sequence 5: got %v, want ErrBadWAL", err)
+	}
+}
+
+// TestPoisonedWALBlocksSnapshot: once the log is poisoned (engine failure
+// after a durable append), a snapshot would capture an unrecoverable state
+// and overwrite the last good one — the server must refuse it.
+func TestPoisonedWALBlocksSnapshot(t *testing.T) {
+	walDir := t.TempDir()
+	wal, err := OpenWAL(WALConfig{Dir: walDir}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(testGraph(t, 8, 10, 2), engine.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	srv := New(eng, Config{SnapshotDir: t.TempDir(), WAL: wal})
+	srv.Start()
+	defer srv.Close()
+	enqueueWait(t, srv, []graph.Update{graph.Addition(0, 7)})
+	if _, err := srv.Snapshot(); err != nil {
+		t.Fatalf("healthy snapshot: %v", err)
+	}
+	wal.poison(errors.New("injected engine failure"))
+	if _, err := srv.Snapshot(); err == nil {
+		t.Fatal("want a refused snapshot after the WAL was poisoned")
+	}
+	if got := srv.met.snapshotErrs.Load(); got != 1 {
+		t.Fatalf("snapshot error counter = %d, want 1", got)
+	}
+	// Ingest halts loudly: fire-and-forget callers must not get silent
+	// drops, and the liveness probe must flip.
+	if _, err := srv.Enqueue([]graph.Update{graph.Addition(1, 6)}); !errors.Is(err, ErrIngestHalted) {
+		t.Fatalf("enqueue on a poisoned WAL: got %v, want ErrIngestHalted", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz on a poisoned WAL: %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestWALClosedAppend(t *testing.T) {
+	w := testWAL(t, WALConfig{Dir: t.TempDir()}, 0)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(0, []graph.Update{graph.Addition(0, 1)}); !errors.Is(err, ErrWALClosed) {
+		t.Fatalf("append after close: got %v, want ErrWALClosed", err)
+	}
+}
+
+func TestOpenWALBadDir(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenWAL(WALConfig{Dir: filepath.Join(file, "wal")}, 0); err == nil {
+		t.Fatal("want an error opening a WAL under a regular file")
+	}
+	if _, err := OpenWAL(WALConfig{}, 0); err == nil {
+		t.Fatal("want an error opening a WAL without a directory")
+	}
+}

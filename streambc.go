@@ -75,6 +75,19 @@ func Addition(u, v int) Update { return graph.Addition(u, v) }
 // Removal builds an edge-removal update.
 func Removal(u, v int) Update { return graph.Removal(u, v) }
 
+// ErrBadUpdateWire is wrapped by every DecodeUpdate failure.
+var ErrBadUpdateWire = graph.ErrBadUpdateWire
+
+// EncodeUpdate appends the compact binary wire encoding of u to dst and
+// returns the extended slice. The encoding is self-delimiting, so updates can
+// be packed back to back; it is the on-disk format of the serving layer's
+// write-ahead log and a stable way to persist or ship edge streams.
+func EncodeUpdate(dst []byte, u Update) []byte { return graph.AppendUpdate(dst, u) }
+
+// DecodeUpdate decodes one update from the front of b, returning the update
+// and the number of bytes it occupied. Failures wrap ErrBadUpdateWire.
+func DecodeUpdate(b []byte) (Update, int, error) { return graph.DecodeUpdate(b) }
+
 // Betweenness computes vertex and edge betweenness centrality from scratch
 // with Brandes' algorithm (no incremental state). Use it for static graphs or
 // as a reference; for evolving graphs use New and Apply.

@@ -1,6 +1,7 @@
 package streambc
 
 import (
+	"errors"
 	"math"
 	"testing"
 )
@@ -196,5 +197,26 @@ func TestPublicErrorPropagation(t *testing.T) {
 	}
 	if _, err := RandomRemovals(NewGraph(3), 5, 1); err == nil {
 		t.Fatal("expected error for too many removals")
+	}
+}
+
+func TestEncodeDecodeUpdateAPI(t *testing.T) {
+	upds := []Update{Addition(1, 2), Removal(3, 4), {U: 5, V: 6, Time: 2.5}}
+	var buf []byte
+	for _, u := range upds {
+		buf = EncodeUpdate(buf, u)
+	}
+	for _, want := range upds {
+		got, n, err := DecodeUpdate(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+		buf = buf[n:]
+	}
+	if _, _, err := DecodeUpdate([]byte{0xff}); !errors.Is(err, ErrBadUpdateWire) {
+		t.Fatalf("got %v, want ErrBadUpdateWire", err)
 	}
 }
