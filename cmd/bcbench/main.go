@@ -17,22 +17,28 @@ import (
 	"time"
 
 	"streambc/internal/experiments"
+	"streambc/internal/version"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (see -list) or \"all\"")
-		list    = flag.Bool("list", false, "list available experiments and exit")
-		quick   = flag.Bool("quick", false, "run a drastically scaled-down version (smoke test)")
-		seed    = flag.Int64("seed", 42, "random seed")
-		updates = flag.Int("updates", 0, "updates per stream (0 = paper default of 100)")
-		batch   = flag.Int("batch", 0, "batch size for the batched-replay experiment (0 = 16)")
-		sample  = flag.Int("sample", 0, "headline sample size k for the approx experiment (0 = n/4)")
-		outPath = flag.String("out", "", "write the report to this file instead of stdout")
-		scratch = flag.String("scratch", "", "scratch directory for out-of-core stores")
+		exp         = flag.String("exp", "all", "experiment to run (see -list) or \"all\"")
+		list        = flag.Bool("list", false, "list available experiments and exit")
+		quick       = flag.Bool("quick", false, "run a drastically scaled-down version (smoke test)")
+		seed        = flag.Int64("seed", 42, "random seed")
+		updates     = flag.Int("updates", 0, "updates per stream (0 = paper default of 100)")
+		batch       = flag.Int("batch", 0, "batch size for the batched-replay experiment (0 = 16)")
+		sample      = flag.Int("sample", 0, "headline sample size k for the approx experiment (0 = n/4)")
+		outPath     = flag.String("out", "", "write the report to this file instead of stdout")
+		scratch     = flag.String("scratch", "", "scratch directory for out-of-core stores")
+		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println("bcbench", version.Version)
+		return
+	}
 	if *updates < 0 {
 		usageError("-updates must not be negative")
 	}

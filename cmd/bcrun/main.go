@@ -25,6 +25,7 @@ import (
 	"streambc/internal/bc"
 	"streambc/internal/engine"
 	"streambc/internal/graph"
+	"streambc/internal/version"
 )
 
 func main() {
@@ -42,9 +43,14 @@ func main() {
 		sampleSeed  = flag.Int64("sample-seed", 1, "random seed of the source sample")
 		serve       = flag.String("serve", "", "run as an RPC worker listening on this address (host:port)")
 		cluster     = flag.String("cluster", "", "comma-separated worker addresses to use as a distributed cluster")
+		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println("bcrun", version.Version)
+		return
+	}
 	if *workers < 1 {
 		usageError("-workers must be at least 1")
 	}

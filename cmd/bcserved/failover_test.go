@@ -1,0 +1,235 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestFailoverSIGKILL is the end-to-end replication test (and the CI
+// failover step): it builds the real bcserved binary, runs a leader with a
+// write-ahead log and a follower replicating from it, streams updates into
+// the leader while continuously reading from the follower, SIGKILLs the
+// leader, and asserts that
+//
+//   - the follower served every read throughout (before, during and after
+//     the leader's death),
+//   - the follower's scores are byte-for-byte identical to a clean,
+//     uninterrupted single-process replay of the acknowledged stream,
+//   - promoting the follower turns it into a writable primary.
+//
+// Exact and sampled modes are both covered (the follower inherits the
+// leader's source sample through the bootstrap snapshot).
+func TestFailoverSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the bcserved binary")
+	}
+	bin := filepath.Join(t.TempDir(), "bcserved")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building bcserved: %v", err)
+	}
+	for _, tc := range []struct {
+		name  string
+		extra []string
+	}{
+		{"exact", nil},
+		{"sampled", []string{"-sample", "7", "-sample-seed", "3"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) { runFailover(t, bin, tc.extra) })
+	}
+}
+
+func runFailover(t *testing.T, bin string, extra []string) {
+	graphFile := writeTestGraph(t, 30, 60, 19)
+	batches := makeBatches(30, 10, 6, 31)
+
+	leader := startDaemon(t, bin, append([]string{
+		"-graph", graphFile, "-wal-dir", t.TempDir(), "-snapshot-dir", t.TempDir(),
+		"-snapshot-interval", "0", "-fsync", "batch", "-max-batch", "8",
+	}, extra...)...)
+	// The follower gets its own snapshot dir (it snapshots independently)
+	// and a WAL dir that stays empty until a promotion claims it. No
+	// -sample flags: the sample rides in the bootstrap snapshot.
+	folSnapDir, folWALDir := t.TempDir(), t.TempDir()
+	follower := startDaemon(t, bin,
+		"-follow", leader.base, "-snapshot-dir", folSnapDir, "-wal-dir", folWALDir,
+		"-snapshot-interval", "0", "-max-batch", "8")
+
+	// Continuous read pressure on the follower for the whole test: every
+	// probe must answer 200, leader alive or dead.
+	var readFailures atomic.Int64
+	var reads atomic.Int64
+	stopReads := make(chan struct{})
+	readsDone := make(chan struct{})
+	go func() {
+		defer close(readsDone)
+		for {
+			select {
+			case <-stopReads:
+				return
+			default:
+			}
+			resp, err := http.Get(follower.base + "/v1/graph")
+			if err != nil || resp.StatusCode != http.StatusOK {
+				readFailures.Add(1)
+			}
+			if err == nil {
+				resp.Body.Close()
+			}
+			reads.Add(1)
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	var readsStopped bool
+	stopReadPressure := func() {
+		if readsStopped {
+			return
+		}
+		readsStopped = true
+		close(stopReads)
+		<-readsDone
+		if n := readFailures.Load(); n > 0 {
+			t.Errorf("%d of %d follower reads failed during the failover", n, reads.Load())
+		}
+	}
+	defer stopReadPressure()
+
+	// Ingest under load (every batch acknowledged), then wait for the
+	// follower to reach the leader's log end.
+	for _, b := range batches {
+		leader.ingest(t, b, true)
+	}
+	leaderSeq := uint64(leader.stats(t)["wal_sequence"].(float64))
+	waitFollowerAt(t, follower, leaderSeq)
+
+	// Readiness: a caught-up follower must be ready.
+	if status := probe(t, follower.base+"/readyz"); status != http.StatusOK {
+		t.Fatalf("caught-up follower /readyz: %d, want 200", status)
+	}
+
+	// The leader dies hard. The follower must keep serving.
+	if err := leader.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	leader.cmd.Wait() //nolint:errcheck // killed on purpose
+	if status := probe(t, follower.base+"/v1/graph"); status != http.StatusOK {
+		t.Fatalf("follower read after leader SIGKILL: %d, want 200", status)
+	}
+	// With the leader gone the follower must flip unready (disconnected)
+	// within a few failed polls.
+	deadline := time.Now().Add(30 * time.Second)
+	for probe(t, follower.base+"/readyz") == http.StatusOK {
+		if time.Now().After(deadline) {
+			t.Fatal("follower still ready long after the leader died")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Clean single-process replay of the acknowledged stream: the follower's
+	// scores must match it byte for byte.
+	clean := startDaemon(t, bin, append([]string{
+		"-graph", graphFile, "-max-batch", "8",
+	}, extra...)...)
+	for _, b := range batches {
+		clean.ingest(t, b, true)
+	}
+	folStats, cleanStats := follower.stats(t), clean.stats(t)
+	for _, key := range []string{"updates_applied", "sampled", "sampled_sources", "sample_scale"} {
+		if fmt.Sprint(folStats[key]) != fmt.Sprint(cleanStats[key]) {
+			t.Errorf("stats[%q]: follower %v, clean %v", key, folStats[key], cleanStats[key])
+		}
+	}
+	var folG, cleanG map[string]any
+	follower.get(t, "/v1/graph", &folG)
+	clean.get(t, "/v1/graph", &cleanG)
+	if fmt.Sprint(folG["n"], folG["m"]) != fmt.Sprint(cleanG["n"], cleanG["m"]) {
+		t.Fatalf("follower graph %v, clean graph %v", folG, cleanG)
+	}
+	n := int(folG["n"].(float64))
+	for v := 0; v < n; v++ {
+		var fv, cv struct {
+			Score float64 `json:"score"`
+		}
+		follower.get(t, fmt.Sprintf("/v1/vertices/%d", v), &fv)
+		clean.get(t, fmt.Sprintf("/v1/vertices/%d", v), &cv)
+		if fv.Score != cv.Score {
+			t.Fatalf("VBC[%d]: follower %v, clean %v (must be bit-identical)", v, fv.Score, cv.Score)
+		}
+	}
+
+	// Failover completes with a promotion: the follower becomes a writable
+	// primary (with a fresh WAL at its applied sequence) and accepts the
+	// write the dead leader no longer can.
+	follower.post(t, "/v1/replication/promote", map[string]any{})
+	appliedBefore := int(follower.stats(t)["updates_applied"].(float64))
+	follower.ingest(t, []map[string]any{{"op": "add", "u": 0, "v": 500}}, true)
+	if got := int(follower.stats(t)["updates_applied"].(float64)); got != appliedBefore+1 {
+		t.Fatalf("promoted follower applied %d updates, want %d", got, appliedBefore+1)
+	}
+	if status := probe(t, follower.base+"/readyz"); status != http.StatusOK {
+		t.Fatalf("promoted follower /readyz: %d, want 200", status)
+	}
+
+	// The promoted primary must itself be crash-durable from the moment of
+	// promotion: kill -9 (no graceful shutdown, no final snapshot) and
+	// restart from its snapshot dir + the fresh WAL — the promotion wrote a
+	// snapshot covering the new log's base, and the post-promotion write
+	// was fsynced, so nothing may be lost. The read-availability contract
+	// covers the leader's death, not the follower's own kill: settle it
+	// before the probes start failing for the right reason.
+	stopReadPressure()
+	if err := follower.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	follower.cmd.Wait() //nolint:errcheck // killed on purpose
+	restarted := startDaemon(t, bin,
+		"-snapshot-dir", folSnapDir, "-wal-dir", folWALDir,
+		"-snapshot-interval", "0", "-max-batch", "8")
+	if got := int(restarted.stats(t)["updates_applied"].(float64)); got != appliedBefore+1 {
+		t.Fatalf("restarted promoted primary applied %d updates, want %d", got, appliedBefore+1)
+	}
+	var rv struct {
+		Known bool `json:"known"`
+	}
+	// Vertex 500 only exists through the post-promotion write.
+	restarted.get(t, "/v1/vertices/500", &rv)
+	if !rv.Known {
+		t.Fatal("restarted promoted primary lost the post-promotion write")
+	}
+}
+
+// waitFollowerAt polls the follower's stats until its applied replication
+// sequence reaches seq.
+func waitFollowerAt(t *testing.T, d *daemon, seq uint64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := d.stats(t)
+		if applied, ok := st["replication_applied_sequence"].(float64); ok && uint64(applied) >= seq {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never reached sequence %d: %v", seq, st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// probe returns the status code of one GET (0 on transport error).
+func probe(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}

@@ -9,6 +9,7 @@
 //	bcserved -addr :8080 -graph graph.txt -workers 4
 //	bcserved -addr :8080 -snapshot-dir /var/lib/bcserved -snapshot-interval 1m
 //	bcserved -addr :8080 -snapshot-dir /var/lib/bcserved -wal-dir /var/lib/bcserved/wal
+//	bcserved -addr :8081 -follow http://leader:8080 -snapshot-dir /var/lib/bcserved-replica
 //
 // When -snapshot-dir contains a snapshot from a previous run it is restored
 // (and -graph is ignored); otherwise the daemon starts from -graph, or from
@@ -20,11 +21,20 @@
 // must be given the same -graph/-sample flags so the replay starts from the
 // same base state.
 //
+// With -follow the daemon runs as a read-only replica of the given leader
+// (any bcserved with a -wal-dir): it bootstraps from the leader's snapshot
+// (or its own local one), tails and applies the leader's write-ahead log,
+// serves every read endpoint locally — with scores bit-identical to the
+// leader's at the same log sequence — and answers writes with 307 to the
+// leader. POST /v1/replication/promote turns it into a writable primary
+// (durably, when a -wal-dir was given).
+//
 // See README.md for the endpoint reference and an example curl session.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -32,13 +42,16 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
 	"streambc/internal/bc"
 	"streambc/internal/engine"
 	"streambc/internal/graph"
+	"streambc/internal/replication"
 	"streambc/internal/server"
+	"streambc/internal/version"
 )
 
 func main() {
@@ -50,16 +63,23 @@ func main() {
 		diskDir      = flag.String("disk", "", "keep the betweenness data out of core in this directory")
 		snapshotDir  = flag.String("snapshot-dir", "", "directory for snapshots (enables restore-on-start and snapshot-on-shutdown)")
 		snapInterval = flag.Duration("snapshot-interval", 5*time.Minute, "period of automatic snapshots (0 disables; needs -snapshot-dir)")
-		walDir       = flag.String("wal-dir", "", "directory for the write-ahead log (makes accepted updates durable and replays the uncovered tail on start)")
+		walDir       = flag.String("wal-dir", "", "directory for the write-ahead log (makes accepted updates durable and replays the uncovered tail on start; on a -follow replica, used only after a promotion)")
 		fsyncPolicy  = flag.String("fsync", "batch", "WAL fsync policy: \"batch\" (per accepted batch), \"off\", or an interval like \"200ms\"")
 		walSegBytes  = flag.Int64("wal-segment-bytes", 64<<20, "WAL segment rotation threshold in bytes")
 		maxQueue     = flag.Int("max-queue", 65536, "ingest queue capacity before updates are rejected with 503")
 		maxBatch     = flag.Int("max-batch", 256, "largest update batch shipped to the engine in one call")
 		sample       = flag.Int("sample", 0, "approximate mode: maintain only k uniformly sampled sources, scaling scores by n/k (0 = exact; ignored when a sampled snapshot is restored)")
 		sampleSeed   = flag.Int64("sample-seed", 1, "random seed of the source sample")
+		follow       = flag.String("follow", "", "run as a read-only replica of the leader at this base URL (e.g. http://leader:8080)")
+		readyMaxLag  = flag.Uint64("ready-max-lag", 1024, "replica readiness: /readyz reports ready only within this many WAL records of the leader")
+		showVersion  = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println("bcserved", version.Version)
+		return
+	}
 	if *workers < 1 {
 		usageError("-workers must be at least 1")
 	}
@@ -82,6 +102,14 @@ func main() {
 	if *walSegBytes < 4096 {
 		usageError("-wal-segment-bytes must be at least 4096")
 	}
+	if *follow != "" {
+		if *graphPath != "" {
+			usageError("-graph cannot be combined with -follow (a replica bootstraps from the leader's snapshot)")
+		}
+		if *sample > 0 {
+			usageError("-sample cannot be combined with -follow (the source sample comes from the leader's snapshot)")
+		}
+	}
 
 	cfg := engine.Config{Workers: *workers}
 	if *diskDir != "" {
@@ -89,6 +117,24 @@ func main() {
 			log.Fatalf("bcserved: creating disk store directory: %v", err)
 		}
 		cfg.Store = engine.DiskFactory(*diskDir)
+	}
+	walCfg := server.WALConfig{
+		Dir:          *walDir,
+		SegmentBytes: *walSegBytes,
+		Mode:         fsyncMode,
+		Interval:     fsyncInterval,
+	}
+	srvCfg := server.Config{
+		SnapshotDir:      *snapshotDir,
+		SnapshotInterval: *snapInterval,
+		MaxQueue:         *maxQueue,
+		MaxBatch:         *maxBatch,
+		ReadyMaxLag:      *readyMaxLag,
+	}
+
+	if *follow != "" {
+		runFollower(*addr, *follow, cfg, srvCfg, walCfg)
+		return
 	}
 
 	eng, err := buildEngine(*snapshotDir, *graphPath, *directed, cfg, *sample, *sampleSeed)
@@ -103,12 +149,7 @@ func main() {
 
 	var wal *server.WAL
 	if *walDir != "" {
-		wal, err = server.OpenWAL(server.WALConfig{
-			Dir:          *walDir,
-			SegmentBytes: *walSegBytes,
-			Mode:         fsyncMode,
-			Interval:     fsyncInterval,
-		}, eng.WALOffset())
+		wal, err = server.OpenWAL(walCfg, eng.WALOffset())
 		if err != nil {
 			log.Fatalf("bcserved: opening write-ahead log: %v", err)
 		}
@@ -122,20 +163,196 @@ func main() {
 		}
 	}
 
-	srv := server.New(eng, server.Config{
-		SnapshotDir:      *snapshotDir,
-		SnapshotInterval: *snapInterval,
-		MaxQueue:         *maxQueue,
-		MaxBatch:         *maxBatch,
-		WAL:              wal,
-	})
+	srvCfg.WAL = wal
+	srv := server.New(eng, srvCfg)
 	srv.Start()
+	serve(newHTTPServer(*addr, srv.Handler()), func() {
+		log.Printf("bcserved: %s serving on http://%s (n=%d m=%d workers=%d)",
+			version.Version, *addr, eng.Graph().N(), eng.Graph().M(), eng.Workers())
+	}, func() {
+		if err := srv.Close(); err != nil {
+			log.Printf("bcserved: %v", err)
+		} else if *snapshotDir != "" {
+			log.Printf("bcserved: final snapshot written to %s", *snapshotDir)
+		}
+	})
+}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+// runFollower is the -follow mode: bootstrap a replica from the leader (or a
+// local snapshot), serve reads while tailing the leader's write-ahead log,
+// and expose POST /v1/replication/promote for failover.
+func runFollower(addr, leaderURL string, cfg engine.Config, srvCfg server.Config, walCfg server.WALConfig) {
+	client := replication.NewClient(leaderURL)
+	eng, err := replication.Bootstrap(context.Background(), client, srvCfg.SnapshotDir, cfg)
+	if err != nil {
+		log.Fatalf("bcserved: bootstrapping replica from %s: %v", leaderURL, err)
+	}
+	defer eng.Close()
+	log.Printf("bcserved: replica bootstrapped at leader sequence %d (n=%d m=%d)",
+		eng.WALOffset(), eng.Graph().N(), eng.Graph().M())
+
+	srvCfg.Replica = true
+	srvCfg.LeaderURL = leaderURL
+	srv := server.New(eng, srvCfg)
+	tailCtx, cancelTail := context.WithCancel(context.Background())
+	defer cancelTail()
+	tailer := replication.NewTailer(client, srv, replication.TailerConfig{
+		Rebootstrap: func(st *engine.SnapshotState) error {
+			return srv.SwapEngine(func() (*engine.Engine, error) {
+				return engine.RestoreEngine(st, cfg)
+			})
+		},
+		Logf: log.Printf,
+	})
+	srv.SetReplicationStats(tailer.Stats)
+	srv.Start()
+	tailStopped := make(chan struct{})
+	go func() {
+		defer close(tailStopped)
+		if err := tailer.Run(tailCtx); err != nil {
+			// Terminal replication failure — divergence, a failed
+			// re-bootstrap, or an engine failure mid-apply: the replica can
+			// never advance again, and in the failure cases its state may no
+			// longer be trusted. Exit loudly so the orchestrator restarts
+			// (and re-bootstraps) it, rather than serving ever-staler or
+			// untrusted data behind a green liveness probe. A leader that is
+			// merely down is NOT terminal: the tailer retries that forever.
+			log.Fatalf("bcserved: replication failed: %v", err)
+		}
+	}()
+	stopTailing := func() bool {
+		cancelTail()
+		select {
+		case <-tailStopped:
+			return true
+		case <-time.After(30 * time.Second):
+			return false
+		}
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	pm := &promoter{srv: srv, stopTailing: stopTailing, walCfg: walCfg}
+	mux.HandleFunc("POST /v1/replication/promote", pm.handle)
+	serve(newHTTPServer(addr, mux), func() {
+		log.Printf("bcserved: %s replica of %s serving on http://%s (n=%d m=%d)",
+			version.Version, leaderURL, addr, eng.Graph().N(), eng.Graph().M())
+	}, func() {
+		// Stop replicating before the final snapshot so the snapshot
+		// captures the last applied sequence, then close the serving layer.
+		stopTailing()
+		if err := srv.Close(); err != nil {
+			log.Printf("bcserved: %v", err)
+		}
+	})
+}
+
+// promoter serialises the one-way replica-to-primary transition.
+type promoter struct {
+	mu          sync.Mutex
+	promoted    bool
+	srv         *server.Server
+	stopTailing func() bool // cancel the tailer, wait for it; false on timeout
+	walCfg      server.WALConfig
+}
+
+// handle is POST /v1/replication/promote: stop tailing, optionally open a
+// fresh write-ahead log at the applied sequence, and start accepting writes.
+func (p *promoter) handle(w http.ResponseWriter, _ *http.Request) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	httpErr := func(status int, err error) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(map[string]any{"error": err.Error()}) //nolint:errcheck
+	}
+	if p.promoted {
+		httpErr(http.StatusConflict, errors.New("already promoted"))
+		return
+	}
+	if !p.stopTailing() {
+		httpErr(http.StatusInternalServerError, errors.New("replication tailer did not stop"))
+		return
+	}
+	seq := p.srv.AppliedWALSeq()
+	if p.walCfg.Dir != "" {
+		cfg := p.walCfg
+		// The replica's state at seq came over replication, not from a local
+		// log: a brand-new log legitimately begins there.
+		cfg.AllowFresh = true
+		wal, err := server.OpenWAL(cfg, seq)
+		if err != nil {
+			httpErr(http.StatusInternalServerError, fmt.Errorf("opening write-ahead log: %w", err))
+			return
+		}
+		if got := wal.Seq(); got != seq {
+			// The directory held a pre-existing log extending past the
+			// applied sequence — some earlier incarnation's history, not
+			// this replica's. Appending after it would interleave foreign
+			// records into recovery. Refuse: the operator must point the
+			// promotion at an empty WAL directory.
+			wal.Close() //nolint:errcheck
+			httpErr(http.StatusConflict, fmt.Errorf(
+				"WAL directory %s already holds records through sequence %d but the replica is at %d; promote needs an empty WAL directory",
+				cfg.Dir, got, seq))
+			return
+		}
+		if err := p.srv.AttachWAL(wal); err != nil {
+			wal.Close() //nolint:errcheck
+			httpErr(http.StatusInternalServerError, err)
+			return
+		}
+	}
+	if err := p.srv.Promote(); err != nil {
+		httpErr(http.StatusInternalServerError, err)
+		return
+	}
+	p.promoted = true
+	// Make the promotion point durable immediately: the fresh WAL begins at
+	// seq, so a snapshot covering seq must exist before the next crash — an
+	// older snapshot would ask recovery to replay records this log never
+	// held. A failed snapshot does not undo the promotion (the WAL is
+	// already making writes durable); it is reported so the operator
+	// retries via POST /v1/snapshot.
+	snapErr := ""
+	if _, err := p.srv.Snapshot(); err != nil && !errors.Is(err, server.ErrNoSnapshotDir) {
+		snapErr = err.Error()
+		log.Printf("bcserved: promotion snapshot failed (retry with POST /v1/snapshot): %v", err)
+	}
+	log.Printf("bcserved: promoted to primary at sequence %d (durable=%v)", seq, p.walCfg.Dir != "")
+	resp := map[string]any{
+		"promoted":     true,
+		"wal_sequence": seq,
+		"durable":      p.walCfg.Dir != "",
+	}
+	if snapErr != "" {
+		resp["snapshot_error"] = snapErr
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp) //nolint:errcheck
+}
+
+// newHTTPServer wraps a handler in an http.Server with slowloris-resistant
+// timeouts. WriteTimeout is generous rather than absent because the
+// streaming replication routes clear their own write deadline
+// (http.ResponseController), so only stuck plain-JSON responses are cut.
+func newHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// serve runs httpSrv until SIGINT/SIGTERM, then shuts down the HTTP
+// listener and calls closeDown (which owns stopping the serving layer).
+func serve(httpSrv *http.Server, onUp, closeDown func()) {
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("bcserved: serving on http://%s (n=%d m=%d workers=%d)",
-			*addr, eng.Graph().N(), eng.Graph().M(), eng.Workers())
+		onUp()
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -155,11 +372,7 @@ func main() {
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("bcserved: HTTP shutdown: %v", err)
 	}
-	if err := srv.Close(); err != nil {
-		log.Printf("bcserved: %v", err)
-	} else if *snapshotDir != "" {
-		log.Printf("bcserved: final snapshot written to %s", *snapshotDir)
-	}
+	closeDown()
 }
 
 // buildEngine restores the engine from the latest snapshot when one exists,

@@ -103,6 +103,7 @@ type Engine struct {
 	// single-worker engine stays inline: updates are processed on the
 	// caller's goroutine, with no goroutine spawned or channel crossed.
 	pooled bool
+	closed bool // makes Close idempotent (a swapped-out replica engine is closed twice)
 
 	one [1]graph.Update // scratch slice backing Apply's batch of one
 }
@@ -448,6 +449,30 @@ func (e *Engine) ReplayBatch(updates []graph.Update) error {
 	return nil
 }
 
+// ReplayRecord applies one logged drain — the vertex-growth requirement plus
+// the updates of a single write-ahead-log record carrying sequence seq — in
+// chunks of at most maxBatch (values < 1 mean 256), and advances the engine's
+// WAL offset past it. It is the shared application step of crash recovery
+// (ReplayWAL) and of a replication follower consuming the leader's log:
+// both reproduce exactly what the ingest pipeline did when the record was
+// first accepted, so the resulting scores are bit-identical to the leader's.
+func (e *Engine) ReplayRecord(seq uint64, needVertices int, updates []graph.Update, maxBatch int) error {
+	if maxBatch < 1 {
+		maxBatch = 256
+	}
+	if err := e.EnsureVertices(needVertices); err != nil {
+		return err
+	}
+	for i := 0; i < len(updates); i += maxBatch {
+		j := min(i+maxBatch, len(updates))
+		if err := e.ReplayBatch(updates[i:j]); err != nil {
+			return err
+		}
+	}
+	e.SetWALOffset(seq + 1)
+	return nil
+}
+
 // ReplaceScores overwrites the live betweenness scores with res (deep copy).
 // It is used when restoring from a snapshot: the offline initialisation
 // recomputes the scores from the graph, but overwriting them with the
@@ -608,8 +633,13 @@ func (e *Engine) growTo(n int) error {
 	return nil
 }
 
-// Close stops the worker pool and releases every worker store.
+// Close stops the worker pool and releases every worker store. It is
+// idempotent: closing an already-closed engine is a no-op.
 func (e *Engine) Close() error {
+	if e.closed {
+		return nil
+	}
+	e.closed = true
 	if e.pooled {
 		for _, w := range e.workers {
 			close(w.tasks)

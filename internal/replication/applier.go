@@ -1,0 +1,77 @@
+package replication
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+
+	"streambc/internal/engine"
+	"streambc/internal/server"
+)
+
+// Applier is the follower-local state the tailer feeds: it applies leader
+// WAL records in sequence and reports the sequence its state covers.
+// *server.Server in replica mode implements it (ApplyReplicated replays the
+// record through the engine and publishes a fresh read view).
+type Applier interface {
+	ApplyReplicated(rec server.WALRecord) error
+	AppliedWALSeq() uint64
+}
+
+// Bootstrap produces the engine a follower starts from. A usable local
+// snapshot wins — it avoids re-transferring state the follower already has,
+// and the WAL offset it carries tells the tailer where to resume; otherwise
+// the leader's snapshot stream seeds the replica (and, when snapshotDir is
+// set, is persisted locally so the next restart can skip the transfer).
+// cfg carries only local execution choices (workers, store backend); the
+// sampled-mode source set always comes from the snapshot, because follower
+// scores can only be bit-identical to the leader's under the exact same
+// sample.
+func Bootstrap(ctx context.Context, c *Client, snapshotDir string, cfg engine.Config) (*engine.Engine, error) {
+	// Bit-identity requires the leader's worker count: the per-worker
+	// grouping of floating-point delta reduction is part of the contract,
+	// and a silent mismatch would drift the scores with no error anywhere.
+	// Best-effort: an unreachable leader must not stop a restart that can
+	// resume from a local snapshot (the mismatch then surfaces here on the
+	// next clean start).
+	if st, err := c.Status(ctx); err == nil && st.Workers > 0 {
+		if local := max(cfg.Workers, 1); local != st.Workers {
+			return nil, fmt.Errorf("replication: leader runs %d workers but this replica is configured for %d — scores would not be bit-identical; start the replica with -workers %d",
+				st.Workers, local, st.Workers)
+		}
+	}
+	if snapshotDir != "" {
+		st, err := server.LoadSnapshotFile(snapshotDir)
+		switch {
+		case err == nil:
+			return engine.RestoreEngine(st, cfg)
+		case errors.Is(err, os.ErrNotExist):
+			// First start: fall through to the leader.
+		default:
+			return nil, fmt.Errorf("replication: restoring local snapshot: %w", err)
+		}
+	}
+	return BootstrapFromLeader(ctx, c, snapshotDir, cfg)
+}
+
+// BootstrapFromLeader fetches the leader's snapshot and builds a replica
+// engine from it, persisting the snapshot into snapshotDir (when set) so a
+// restart resumes locally.
+func BootstrapFromLeader(ctx context.Context, c *Client, snapshotDir string, cfg engine.Config) (*engine.Engine, error) {
+	st, err := c.Snapshot(ctx)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.RestoreEngine(st, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("replication: restoring leader snapshot: %w", err)
+	}
+	if snapshotDir != "" {
+		if _, err := server.WriteSnapshotFile(snapshotDir, eng); err != nil {
+			eng.Close()
+			return nil, fmt.Errorf("replication: persisting bootstrap snapshot: %w", err)
+		}
+	}
+	return eng, nil
+}

@@ -1,0 +1,163 @@
+// Package replication turns bcserved into a leader/follower cluster by
+// physical write-ahead-log shipping over HTTP. The leader (any bcserved with
+// a WAL) exposes its latest state and log on /v1/replication/*; a follower
+// bootstraps from the snapshot stream, then tails the log and applies every
+// record through the same replay path crash recovery uses. Because score
+// accumulation is history-independent (PR 4), a follower that has applied
+// the log through sequence S holds state bit-identical to the leader's at S
+// — replication correctness is a byte-comparison away.
+//
+// The package splits along the follower's three concerns: the Client speaks
+// the wire protocol, the Tailer drives the catch-up/live-edge loop and
+// measures lag, and the Applier (implemented by *server.Server in replica
+// mode) owns applying records to the engine and publishing read views.
+package replication
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"streambc/internal/engine"
+	"streambc/internal/server"
+)
+
+// Errors distinguishing protocol outcomes the tailer reacts to.
+var (
+	// ErrTruncated: the requested WAL range was truncated by a leader
+	// snapshot (HTTP 410). The follower must re-bootstrap from a snapshot.
+	ErrTruncated = errors.New("replication: requested records truncated on the leader")
+	// ErrDiverged: the follower's applied sequence is ahead of the leader's
+	// log (HTTP 409). The pair no longer shares a history; continuing would
+	// silently fork the scores, so this is terminal.
+	ErrDiverged = errors.New("replication: follower is ahead of the leader's log")
+	// ErrNotALeader: the remote end has no write-ahead log (HTTP 412), so it
+	// cannot be replicated from.
+	ErrNotALeader = errors.New("replication: remote has no write-ahead log")
+)
+
+// Client speaks the leader's replication API.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the leader at baseURL (scheme://host:port).
+// The underlying http.Client carries no global timeout — WAL polls long-poll
+// by design — so cancel through contexts.
+func NewClient(baseURL string) *Client {
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: &http.Client{}}
+}
+
+// BaseURL returns the leader base URL the client was built with.
+func (c *Client) BaseURL() string { return c.base }
+
+// do issues one GET and maps the protocol's error statuses to sentinels.
+func (c *Client) do(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode == http.StatusOK {
+		return resp, nil
+	}
+	defer resp.Body.Close()
+	var payload struct {
+		Error string `json:"error"`
+	}
+	json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&payload) //nolint:errcheck
+	var sentinel error
+	switch resp.StatusCode {
+	case http.StatusGone:
+		sentinel = ErrTruncated
+	case http.StatusConflict:
+		sentinel = ErrDiverged
+	case http.StatusPreconditionFailed:
+		sentinel = ErrNotALeader
+	default:
+		return nil, fmt.Errorf("replication: GET %s: status %d: %s", path, resp.StatusCode, payload.Error)
+	}
+	return nil, fmt.Errorf("%w: %s", sentinel, payload.Error)
+}
+
+// Snapshot fetches and decodes one consistent snapshot of the leader's
+// state. The returned state's WALOffset is the sequence to start tailing
+// from; the stream's trailing checksum guarantees a half-transferred
+// snapshot fails loudly instead of bootstrapping a corrupt replica.
+func (c *Client) Snapshot(ctx context.Context) (*engine.SnapshotState, error) {
+	resp, err := c.do(ctx, "/v1/replication/snapshot")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	st, err := engine.ReadSnapshot(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("replication: decoding leader snapshot: %w", err)
+	}
+	return st, nil
+}
+
+// WALRecords fetches up to max log records starting at sequence from,
+// long-polling up to wait at the live edge, and returns them together with
+// the leader's log end sequence. An empty batch with a fresh leader sequence
+// is the normal caught-up answer.
+func (c *Client) WALRecords(ctx context.Context, from uint64, max int, wait time.Duration) ([]server.WALRecord, uint64, error) {
+	path := fmt.Sprintf("/v1/replication/wal?from=%d&max=%d&wait=%s", from, max, wait)
+	resp, err := c.do(ctx, path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	leaderSeq, err := strconv.ParseUint(resp.Header.Get(server.WalSeqHeader), 10, 64)
+	if err != nil {
+		return nil, 0, fmt.Errorf("replication: bad %s header: %w", server.WalSeqHeader, err)
+	}
+	var recs []server.WALRecord
+	for {
+		rec, err := server.ReadWALRecord(resp.Body)
+		if err == io.EOF {
+			return recs, leaderSeq, nil
+		}
+		if err != nil {
+			// A record that frames but fails its CRC (or a cut stream) is a
+			// transport problem: drop the batch and let the tailer re-poll
+			// from its applied sequence.
+			return nil, leaderSeq, fmt.Errorf("replication: reading WAL stream: %w", err)
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// LeaderStatus is the decoded /v1/replication/status answer.
+type LeaderStatus struct {
+	WalSequence     uint64 `json:"wal_sequence"`
+	SyncedSequence  uint64 `json:"synced_sequence"`
+	OldestRetained  uint64 `json:"oldest_retained"`
+	AppliedSequence uint64 `json:"applied_sequence"`
+	Workers         int    `json:"workers"`
+	Healthy         bool   `json:"healthy"`
+}
+
+// Status fetches the leader's replication status.
+func (c *Client) Status(ctx context.Context) (*LeaderStatus, error) {
+	resp, err := c.do(ctx, "/v1/replication/status")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var st LeaderStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("replication: decoding leader status: %w", err)
+	}
+	return &st, nil
+}

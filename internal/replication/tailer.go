@@ -1,0 +1,180 @@
+package replication
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"streambc/internal/engine"
+	"streambc/internal/server"
+)
+
+// TailerConfig configures a Tailer.
+type TailerConfig struct {
+	// MaxRecords bounds one poll's batch. Values < 1 mean 1024.
+	MaxRecords int
+	// Wait is the live-edge long-poll duration requested from the leader.
+	// Values < 1 mean 25s.
+	Wait time.Duration
+	// MaxBackoff caps the exponential reconnect backoff (base 100ms).
+	// Values < 1 mean 5s.
+	MaxBackoff time.Duration
+	// Rebootstrap, when non-nil, handles a 410 from the leader (the
+	// follower's position was truncated by a leader snapshot): the tailer
+	// fetches a fresh leader snapshot and hands it here; the callback must
+	// install it as the replica's new state (server.SwapEngine) so tailing
+	// can resume from the snapshot's sequence. nil makes 410 terminal.
+	Rebootstrap func(st *engine.SnapshotState) error
+	// Logf, when non-nil, receives connection lifecycle messages.
+	Logf func(format string, args ...any)
+}
+
+// Tailer drives a replica: an endless fetch/apply loop against the leader's
+// WAL with reconnect-and-resume on failures, publishing the lag picture the
+// serving layer exposes as streambc_replication_* gauges.
+type Tailer struct {
+	c   *Client
+	app Applier
+	cfg TailerConfig
+
+	mu         sync.Mutex
+	connected  bool
+	leaderSeq  uint64
+	caughtUpAt time.Time // last instant applied == leader end
+}
+
+// NewTailer wires a tailer to a leader client and the replica's applier.
+func NewTailer(c *Client, app Applier, cfg TailerConfig) *Tailer {
+	if cfg.MaxRecords < 1 {
+		cfg.MaxRecords = 1024
+	}
+	if cfg.Wait < 1 {
+		cfg.Wait = 25 * time.Second
+	}
+	if cfg.MaxBackoff < 1 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	return &Tailer{c: c, app: app, cfg: cfg, caughtUpAt: time.Now()}
+}
+
+// logf emits through the configured logger, if any.
+func (t *Tailer) logf(format string, args ...any) {
+	if t.cfg.Logf != nil {
+		t.cfg.Logf(format, args...)
+	}
+}
+
+// Run tails the leader until ctx is cancelled (returns nil) or a terminal
+// condition is hit (returns the error): divergence, a failed re-bootstrap,
+// or an engine failure mid-apply — states where continuing could only fork
+// or corrupt the replica. Transient failures (leader down, network cuts,
+// leader restarts) are retried forever with capped exponential backoff,
+// resuming from the replica's applied sequence.
+func (t *Tailer) Run(ctx context.Context) error {
+	// A stopped tailer is a disconnected replica, whatever the reason: the
+	// lag gauges must never freeze at "connected" on a loop that is no
+	// longer applying records (that would keep /readyz green on a replica
+	// serving ever-staler data).
+	defer t.setDisconnected()
+	backoff := 100 * time.Millisecond
+	for ctx.Err() == nil {
+		from := t.app.AppliedWALSeq()
+		recs, leaderSeq, err := t.c.WALRecords(ctx, from, t.cfg.MaxRecords, t.cfg.Wait)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			t.setDisconnected()
+			switch {
+			case errors.Is(err, ErrDiverged):
+				return err
+			case errors.Is(err, ErrTruncated):
+				if t.cfg.Rebootstrap == nil {
+					return err
+				}
+				t.logf("replication: position %d truncated on the leader, re-bootstrapping from its snapshot", from)
+				if err := t.rebootstrap(ctx); err != nil {
+					if ctx.Err() != nil {
+						return nil
+					}
+					return err
+				}
+				backoff = 100 * time.Millisecond
+				continue
+			}
+			t.logf("replication: leader poll failed (retrying in %s): %v", backoff, err)
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return nil
+			}
+			backoff = min(backoff*2, t.cfg.MaxBackoff)
+			continue
+		}
+		backoff = 100 * time.Millisecond
+		for _, rec := range recs {
+			if err := t.app.ApplyReplicated(rec); err != nil {
+				if errors.Is(err, server.ErrSequenceGap) {
+					// A duplicate or out-of-order batch (e.g. a retried poll
+					// overlapping an applied prefix): drop the rest and
+					// re-poll from the applied sequence.
+					t.logf("replication: %v, re-polling", err)
+					break
+				}
+				// The engine failed mid-record: the replica's state is
+				// untrusted and must not keep advancing.
+				t.setDisconnected()
+				return err
+			}
+		}
+		t.observe(leaderSeq)
+	}
+	return nil
+}
+
+// rebootstrap replaces the replica's state with a fresh leader snapshot.
+func (t *Tailer) rebootstrap(ctx context.Context) error {
+	st, err := t.c.Snapshot(ctx)
+	if err != nil {
+		return err
+	}
+	return t.cfg.Rebootstrap(st)
+}
+
+// setDisconnected marks the leader unreachable (or the replica stopped).
+func (t *Tailer) setDisconnected() {
+	t.mu.Lock()
+	t.connected = false
+	t.mu.Unlock()
+}
+
+// observe publishes the lag picture after one successful poll-and-apply.
+func (t *Tailer) observe(leaderSeq uint64) {
+	applied := t.app.AppliedWALSeq()
+	t.mu.Lock()
+	t.connected = true
+	t.leaderSeq = leaderSeq
+	if applied >= leaderSeq {
+		t.caughtUpAt = time.Now()
+	}
+	t.mu.Unlock()
+}
+
+// Stats implements the server's replication-stats provider: wire it with
+// srv.SetReplicationStats(tailer.Stats).
+func (t *Tailer) Stats() server.ReplicationStats {
+	applied := t.app.AppliedWALSeq()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := server.ReplicationStats{
+		Connected:  t.connected,
+		AppliedSeq: applied,
+		LeaderSeq:  t.leaderSeq,
+	}
+	if t.leaderSeq > applied {
+		st.LagRecords = t.leaderSeq - applied
+		st.LagSeconds = time.Since(t.caughtUpAt).Seconds()
+	}
+	return st
+}

@@ -19,22 +19,29 @@ const defaultWaitTimeout = 30 * time.Second
 
 // Handler returns the HTTP API of the server:
 //
-//	GET  /healthz             liveness probe
-//	GET  /metrics             plain-text serving metrics
-//	POST /v1/updates          ingest a batch of updates
-//	POST /v1/update           ingest a single update
-//	GET  /v1/vertices/{v}     betweenness of one vertex
-//	GET  /v1/edges?u=&v=      betweenness of one edge
-//	GET  /v1/top/vertices?k=  top-k vertices by betweenness
-//	GET  /v1/top/edges?k=     top-k edges by betweenness
-//	GET  /v1/graph            graph summary (n, m, directedness, degree)
-//	GET  /v1/stats            engine and serving counters
-//	POST /v1/snapshot         write a snapshot now
+//	GET  /healthz                  liveness probe
+//	GET  /readyz                   readiness probe (see handleReady)
+//	GET  /metrics                  plain-text serving metrics
+//	POST /v1/updates               ingest a batch of updates
+//	POST /v1/update                ingest a single update
+//	GET  /v1/vertices/{v}          betweenness of one vertex
+//	GET  /v1/edges?u=&v=           betweenness of one edge
+//	GET  /v1/top/vertices?k=       top-k vertices by betweenness
+//	GET  /v1/top/edges?k=          top-k edges by betweenness
+//	GET  /v1/graph                 graph summary (n, m, directedness, degree)
+//	GET  /v1/stats                 engine and serving counters
+//	POST /v1/snapshot              write a snapshot now
+//	GET  /v1/replication/snapshot  stream a consistent snapshot (leader)
+//	GET  /v1/replication/wal       stream WAL records from a sequence (leader)
+//	GET  /v1/replication/status    replication sequences and health (leader)
+//
+// On a replica the write endpoints answer 307 to the configured leader URL
+// (503 when none is known); every read endpoint serves locally.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		if s.wal != nil {
-			if werr := s.wal.Err(); werr != nil {
+		if wal := s.getWAL(); wal != nil {
+			if werr := wal.Err(); werr != nil {
 				// Writes are permanently halted until a restart; report it
 				// so orchestrators replace the instance instead of routing
 				// traffic at a server that discards ingest.
@@ -44,6 +51,7 @@ func (s *Server) Handler() http.Handler {
 		}
 		w.Write([]byte("ok\n"))
 	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /v1/updates", s.handleUpdates)
 	mux.HandleFunc("POST /v1/update", s.handleUpdate)
@@ -54,7 +62,50 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/graph", s.handleGraph)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /v1/replication/snapshot", s.handleReplSnapshot)
+	mux.HandleFunc("GET /v1/replication/wal", s.handleReplWAL)
+	mux.HandleFunc("GET /v1/replication/status", s.handleReplStatus)
 	return mux
+}
+
+// handleReady is the readiness probe, distinct from /healthz liveness: a
+// live instance may still be one traffic should not yet be routed to.
+//
+//   - A replica is ready once its tailer is connected and within
+//     Config.ReadyMaxLag records of the leader; a freshly started follower
+//     stays unready while it catches up.
+//   - A primary with a WAL is ready while the log is healthy AND a snapshot
+//     manager is attached (a WAL without snapshots grows without bound and
+//     can never be truncated — a misconfiguration worth surfacing).
+//   - A plain in-memory server is always ready.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.Replica() {
+		rs := s.replicationStats()
+		switch {
+		case rs == nil:
+			http.Error(w, "not ready: replica has no replication tailer", http.StatusServiceUnavailable)
+		case !rs.Connected:
+			http.Error(w, "not ready: replica disconnected from leader", http.StatusServiceUnavailable)
+		case rs.LagRecords > s.cfg.ReadyMaxLag:
+			http.Error(w, fmt.Sprintf("not ready: replication lag %d records (max %d)",
+				rs.LagRecords, s.cfg.ReadyMaxLag), http.StatusServiceUnavailable)
+		default:
+			w.Write([]byte("ready\n"))
+		}
+		return
+	}
+	if wal := s.getWAL(); wal != nil {
+		if werr := wal.Err(); werr != nil {
+			http.Error(w, "not ready: "+werr.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		if s.cfg.SnapshotDir == "" {
+			http.Error(w, "not ready: write-ahead log without a snapshot manager (log can never be truncated)",
+				http.StatusServiceUnavailable)
+			return
+		}
+	}
+	w.Write([]byte("ready\n"))
 }
 
 type updateJSON struct {
@@ -91,6 +142,9 @@ type ingestResponse struct {
 }
 
 func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
+	if s.redirectReplicaWrite(w, r) {
+		return
+	}
 	var req ingestRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
@@ -100,6 +154,9 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if s.redirectReplicaWrite(w, r) {
+		return
+	}
 	var req struct {
 		updateJSON
 		Wait bool `json:"wait"`
@@ -109,6 +166,22 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.ingest(w, r, ingestRequest{Updates: []updateJSON{req.updateJSON}, Wait: req.Wait})
+}
+
+// redirectReplicaWrite answers a write request on a replica: 307 to the
+// leader (the status preserves method and body, so the client's POST lands
+// on the leader unchanged) or 503 when no leader is known. It reports
+// whether the request was handled.
+func (s *Server) redirectReplicaWrite(w http.ResponseWriter, r *http.Request) bool {
+	if !s.Replica() {
+		return false
+	}
+	if s.cfg.LeaderURL != "" {
+		http.Redirect(w, r, s.cfg.LeaderURL+r.URL.Path, http.StatusTemporaryRedirect)
+	} else {
+		httpError(w, http.StatusServiceUnavailable, ErrReadOnlyReplica)
+	}
+	return true
 }
 
 func (s *Server) ingest(w http.ResponseWriter, r *http.Request, req ingestRequest) {
@@ -262,25 +335,33 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		out["wal_bytes"] = wal.bytes
 		out["wal_sequence"] = wal.seq
 	}
+	if rs := s.replicationStats(); rs != nil {
+		out["replication_connected"] = rs.Connected
+		out["replication_applied_sequence"] = rs.AppliedSeq
+		out["replication_leader_sequence"] = rs.LeaderSeq
+		out["replication_lag_records"] = rs.LagRecords
+		out["replication_lag_seconds"] = rs.LagSeconds
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	writeMetrics(w, s.met, s.QueueDepth(), s.currentView(), s.walStats())
+	writeMetrics(w, s.met, s.QueueDepth(), s.currentView(), s.walStats(), s.replicationStats())
 }
 
 // walStats captures the write-ahead log state for serving, or nil when
 // ingest durability is off.
 func (s *Server) walStats() *walStats {
-	if s.wal == nil {
+	wal := s.getWAL()
+	if wal == nil {
 		return nil
 	}
 	return &walStats{
-		segments:    s.wal.Segments(),
-		bytes:       s.wal.Bytes(),
-		seq:         s.wal.Seq(),
-		lastSyncAge: s.wal.LastSyncAge(),
+		segments:    wal.Segments(),
+		bytes:       wal.Bytes(),
+		seq:         wal.Seq(),
+		lastSyncAge: wal.LastSyncAge(),
 	}
 }
 

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"streambc/internal/version"
 )
 
 // metrics holds the serving counters exposed on /metrics. Counters are
@@ -119,9 +121,12 @@ type walStats struct {
 }
 
 // writeMetrics renders the Prometheus-style plain-text exposition.
-func writeMetrics(w io.Writer, m *metrics, queueDepth int, v *view, wal *walStats) {
+func writeMetrics(w io.Writer, m *metrics, queueDepth int, v *view, wal *walStats, repl *ReplicationStats) {
 	st := v.stats
 	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	p("# HELP streambc_build_info Build version of the running binary (constant 1).\n")
+	p("# TYPE streambc_build_info gauge\n")
+	p("streambc_build_info{version=%q} 1\n", version.Version)
 	summary := func(name string, r *quantileRing) {
 		if vals := r.quantiles(metricQuantiles); vals != nil {
 			for i, q := range metricQuantiles {
@@ -175,6 +180,24 @@ func writeMetrics(w io.Writer, m *metrics, queueDepth int, v *view, wal *walStat
 		p("# HELP streambc_wal_last_fsync_age_seconds Seconds since the write-ahead log was last flushed to stable storage.\n")
 		p("# TYPE streambc_wal_last_fsync_age_seconds gauge\n")
 		p("streambc_wal_last_fsync_age_seconds %g\n", wal.lastSyncAge.Seconds())
+	}
+	if repl != nil {
+		connected := 0
+		if repl.Connected {
+			connected = 1
+		}
+		p("# HELP streambc_replication_connected Whether the replica's last leader poll succeeded (1) or not (0).\n")
+		p("# TYPE streambc_replication_connected gauge\n")
+		p("streambc_replication_connected %d\n", connected)
+		p("# HELP streambc_replication_lag_records Leader WAL records not yet applied by this replica.\n")
+		p("# TYPE streambc_replication_lag_records gauge\n")
+		p("streambc_replication_lag_records %d\n", repl.LagRecords)
+		p("# HELP streambc_replication_lag_seconds Seconds since this replica was last at the leader's live edge (0 while caught up).\n")
+		p("# TYPE streambc_replication_lag_seconds gauge\n")
+		p("streambc_replication_lag_seconds %g\n", repl.LagSeconds)
+		p("# HELP streambc_replication_applied_sequence Leader WAL sequence this replica's state covers.\n")
+		p("# TYPE streambc_replication_applied_sequence gauge\n")
+		p("streambc_replication_applied_sequence %d\n", repl.AppliedSeq)
 	}
 	p("# HELP streambc_sampled_sources Sources whose betweenness data is maintained (sample size k in approximate mode, vertex count n in exact mode).\n")
 	p("# TYPE streambc_sampled_sources gauge\n")

@@ -1,0 +1,332 @@
+package server
+
+// Leader/follower replication, leader side and replica plumbing. The
+// protocol is physical WAL shipping over HTTP:
+//
+//	GET /v1/replication/snapshot      one consistent engine snapshot (the
+//	                                  exact WriteSnapshot byte stream); the
+//	                                  X-Streambc-Wal-Seq header carries the
+//	                                  WAL sequence the snapshot covers
+//	GET /v1/replication/wal?from=N    framed WAL records from sequence N
+//	                                  (EncodeWALRecord wire format); long-
+//	                                  polls at the live edge; X-Streambc-
+//	                                  Wal-Seq carries the log end sequence
+//	GET /v1/replication/status        JSON: sequences, retention, health
+//
+// A follower bootstraps from the snapshot stream, then tails the log from
+// the covered sequence, applying each record through the same ReplayRecord
+// path crash recovery uses — so follower state at sequence S is bit-identical
+// to leader state at sequence S (PR 4's invariant, now a network contract).
+// Replying 410 Gone to a tail request below the retention floor tells the
+// follower its position was truncated by a snapshot and it must re-bootstrap.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"streambc/internal/engine"
+)
+
+// WalSeqHeader is the response header carrying a WAL sequence number: the
+// sequence a streamed snapshot covers, or the log's end sequence on a WAL
+// read.
+const WalSeqHeader = "X-Streambc-Wal-Seq"
+
+// Errors of the replication paths.
+var (
+	// ErrReadOnlyReplica is returned by Enqueue on a replica: writes must go
+	// to the leader (the HTTP layer answers 307 when a leader URL is known).
+	ErrReadOnlyReplica = errors.New("server: read-only replica")
+	// ErrNotReplica is returned by replica-only operations on a primary.
+	ErrNotReplica = errors.New("server: not a replica")
+	// ErrSequenceGap is returned by ApplyReplicated when the record does not
+	// continue exactly at the replica's applied sequence.
+	ErrSequenceGap = errors.New("server: replication sequence gap")
+)
+
+// replDefaultWait bounds the live-edge long-poll of the WAL endpoint when
+// the client does not pass an explicit wait.
+const replDefaultWait = 25 * time.Second
+
+// replMaxWait caps client-requested long-poll durations.
+const replMaxWait = 55 * time.Second
+
+// ReplicationStats is the follower-side lag picture, provided to the server
+// by the replication tailer (SetReplicationStats) and surfaced on /metrics,
+// /v1/stats and /readyz.
+type ReplicationStats struct {
+	// Connected reports whether the last leader poll succeeded.
+	Connected bool
+	// AppliedSeq is the WAL sequence the replica's state covers.
+	AppliedSeq uint64
+	// LeaderSeq is the leader's log end sequence at the last successful poll.
+	LeaderSeq uint64
+	// LagRecords is max(LeaderSeq-AppliedSeq, 0) at the last poll.
+	LagRecords uint64
+	// LagSeconds is 0 while caught up, else the time since the replica was
+	// last at the leader's live edge.
+	LagSeconds float64
+}
+
+// getWAL returns the attached write-ahead log, or nil. The WAL is attached
+// at construction (Config.WAL) or by a promotion (AttachWAL), hence the
+// atomic load.
+func (s *Server) getWAL() *WAL { return s.wal.Load() }
+
+// Replica reports whether the server is in read-only follower mode.
+func (s *Server) Replica() bool { return s.replica.Load() }
+
+// SetReplicationStats installs the lag-stats provider (the replication
+// tailer). Install it before Start so /readyz never sees a stats-less
+// replica as ready.
+func (s *Server) SetReplicationStats(fn func() ReplicationStats) {
+	s.replStats.Store(&fn)
+}
+
+// replicationStats returns the current follower lag stats, or nil when no
+// provider is installed (primary mode, or a replica before its tailer is
+// wired).
+func (s *Server) replicationStats() *ReplicationStats {
+	fn := s.replStats.Load()
+	if fn == nil {
+		return nil
+	}
+	st := (*fn)()
+	return &st
+}
+
+// AppliedWALSeq returns the WAL sequence the engine state covers, consistent
+// with the applied batches (it takes the read lock).
+func (s *Server) AppliedWALSeq() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.eng.WALOffset()
+}
+
+// ApplyReplicated applies one leader WAL record to a replica, exactly as
+// crash recovery would replay it: grow the graph to the record's vertex
+// requirement, apply the updates through the engine's replay path in chunks
+// of at most MaxBatch, advance the applied sequence and publish a fresh read
+// view. Records must arrive in sequence; a gap fails with ErrSequenceGap
+// (the tailer then re-reads from the applied sequence). Any engine error
+// leaves the replica's state untrusted — the caller must stop applying and
+// re-bootstrap.
+func (s *Server) ApplyReplicated(rec WALRecord) error {
+	if !s.Replica() {
+		return ErrNotReplica
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if at := s.eng.WALOffset(); rec.Seq != at {
+		return fmt.Errorf("%w: record %d, replica at %d", ErrSequenceGap, rec.Seq, at)
+	}
+	err := s.eng.ReplayRecord(rec.Seq, rec.NeedVertices, rec.Updates, s.cfg.MaxBatch)
+	if err != nil {
+		// The record half-applied: the engine state is no longer
+		// bit-identical to any leader sequence. Do NOT publish it — readers
+		// keep the last consistent view while the caller tears down.
+		return err
+	}
+	s.met.applied.Add(int64(len(rec.Updates)))
+	s.met.batches.Add(1)
+	s.publishView()
+	return nil
+}
+
+// SwapEngine replaces the replica's engine with one built by build — the
+// re-bootstrap path after the leader truncated past the replica's position.
+// It runs under the write lock; queries keep serving the last published
+// view throughout (views are immutable copies). The new engine is built
+// first and the old one closed only after a successful swap, so a failed
+// build leaves the replica on its previous consistent state. Caveat for
+// disk-backed store factories rooted in a fixed directory: the new engine's
+// stores overwrite the old engine's files during build, so after a FAILED
+// build the old engine's on-disk data can no longer be trusted either —
+// treat the returned error as terminal and restart the process.
+func (s *Server) SwapEngine(build func() (*engine.Engine, error)) error {
+	if !s.Replica() {
+		return ErrNotReplica
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	eng, err := build()
+	if err != nil {
+		return fmt.Errorf("server: engine swap failed: %w", err)
+	}
+	old := s.eng
+	s.eng = eng
+	s.publishView()
+	old.Close() //nolint:errcheck // the state has been replaced wholesale
+	return nil
+}
+
+// AttachWAL installs a write-ahead log on a server constructed without one.
+// It is the promotion step of a follower that was started with a -wal-dir:
+// call it after replication has stopped and before Promote. Attaching over
+// an existing log is refused.
+func (s *Server) AttachWAL(w *WAL) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.wal.CompareAndSwap(nil, w) {
+		return errors.New("server: a write-ahead log is already attached")
+	}
+	return nil
+}
+
+// Promote flips a replica into a writable primary. The caller must have
+// stopped the replication tailer first (no ApplyReplicated may be in flight
+// or follow) and, for durable ingest, attached a WAL opened at the replica's
+// applied sequence (OpenWAL with AllowFresh). Reads are uninterrupted;
+// writes start being accepted the moment Promote returns. The replication
+// stats provider is uninstalled: a primary exporting frozen follower lag
+// gauges would fire "replica disconnected" alerts against a healthy node.
+func (s *Server) Promote() error {
+	if !s.replica.CompareAndSwap(true, false) {
+		return ErrNotReplica
+	}
+	s.replStats.Store(nil)
+	return nil
+}
+
+// handleReplSnapshot serves one consistent snapshot of the engine — the
+// exact bytes WriteSnapshot produces. The snapshot is serialised into a
+// buffer under the read lock (so it covers the single WAL sequence sent in
+// the X-Streambc-Wal-Seq header) and streamed after the lock is released: a
+// slow follower must never hold up the ingest pipeline's write lock.
+// Requires a WAL: a leader without one has no log for the follower to tail
+// afterwards.
+func (s *Server) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
+	wal := s.getWAL()
+	if wal == nil {
+		httpError(w, http.StatusPreconditionFailed, errors.New("replication needs a write-ahead log (-wal-dir)"))
+		return
+	}
+	if werr := wal.Err(); werr != nil {
+		httpError(w, http.StatusServiceUnavailable, werr)
+		return
+	}
+	s.mu.RLock()
+	covered := s.eng.WALOffset()
+	var buf bytes.Buffer
+	err := engine.WriteSnapshot(&buf, s.eng)
+	s.mu.RUnlock()
+	if err != nil {
+		s.met.snapshotErrs.Add(1)
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	// The transfer may outlive any server-wide write timeout; streaming
+	// routes manage their own deadline (none).
+	http.NewResponseController(w).SetWriteDeadline(time.Time{}) //nolint:errcheck
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.Header().Set(WalSeqHeader, strconv.FormatUint(covered, 10))
+	io.Copy(w, &buf) //nolint:errcheck // client went away mid-stream
+}
+
+// handleReplWAL streams framed WAL records from ?from=N (up to ?max, default
+// 1024). At the live edge it long-polls for ?wait (default 25s, capped):
+// the reply is then empty but fresh, and the follower immediately re-polls.
+// 410 Gone means the range was truncated by a snapshot — re-bootstrap; 409
+// means the follower is ahead of this leader's log — a diverged pair that
+// must not be papered over.
+func (s *Server) handleReplWAL(w http.ResponseWriter, r *http.Request) {
+	wal := s.getWAL()
+	if wal == nil {
+		httpError(w, http.StatusPreconditionFailed, errors.New("replication needs a write-ahead log (-wal-dir)"))
+		return
+	}
+	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad from: %w", err))
+		return
+	}
+	maxRecords := 1024
+	if raw := r.URL.Query().Get("max"); raw != "" {
+		if maxRecords, err = strconv.Atoi(raw); err != nil || maxRecords < 1 {
+			httpError(w, http.StatusBadRequest, errors.New("bad max: want a positive integer"))
+			return
+		}
+	}
+	wait := replDefaultWait
+	if raw := r.URL.Query().Get("wait"); raw != "" {
+		if wait, err = time.ParseDuration(raw); err != nil || wait < 0 {
+			httpError(w, http.StatusBadRequest, errors.New("bad wait: want a non-negative duration"))
+			return
+		}
+		wait = min(wait, replMaxWait)
+	}
+	if werr := wal.Err(); werr != nil {
+		httpError(w, http.StatusServiceUnavailable, werr)
+		return
+	}
+	// The long-poll plus the stream may outlive a server-wide write
+	// timeout; streaming routes manage their own deadline (none).
+	http.NewResponseController(w).SetWriteDeadline(time.Time{}) //nolint:errcheck
+	if end := wal.Seq(); from > end {
+		httpError(w, http.StatusConflict,
+			fmt.Errorf("follower at sequence %d is ahead of this log (ends at %d): diverged replica or wiped leader", from, end))
+		return
+	}
+	if wait > 0 {
+		// Live edge: grab the notify channel first, then re-check — an
+		// advance between the check and the wait closes the grabbed
+		// channel. The edge is the replication horizon (records durable on
+		// the leader), not the raw append end.
+		notify := wal.AppendNotify()
+		if wal.SyncedSeq() <= from {
+			select {
+			case <-notify:
+			case <-time.After(wait):
+			case <-r.Context().Done():
+				return
+			}
+		}
+	}
+	recs, end, err := wal.ReadRecords(from, maxRecords)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrWALTruncated) {
+			status = http.StatusGone
+		}
+		httpError(w, status, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(WalSeqHeader, strconv.FormatUint(end, 10))
+	var buf []byte
+	for _, rec := range recs {
+		buf = EncodeWALRecord(buf[:0], rec)
+		if _, err := w.Write(buf); err != nil {
+			return // client went away mid-stream
+		}
+	}
+}
+
+// handleReplStatus reports the leader's replication state as JSON. The
+// worker count is included because bit-identical replication requires the
+// follower to partition sources (and hence group floating-point delta
+// reduction) exactly like the leader: followers verify it at bootstrap.
+func (s *Server) handleReplStatus(w http.ResponseWriter, _ *http.Request) {
+	wal := s.getWAL()
+	if wal == nil {
+		httpError(w, http.StatusPreconditionFailed, errors.New("replication needs a write-ahead log (-wal-dir)"))
+		return
+	}
+	s.mu.RLock()
+	workers := s.eng.Workers()
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"wal_sequence":     wal.Seq(),
+		"synced_sequence":  wal.SyncedSeq(),
+		"oldest_retained":  wal.OldestSeq(),
+		"applied_sequence": s.AppliedWALSeq(),
+		"workers":          workers,
+		"healthy":          wal.Err() == nil,
+	})
+}

@@ -57,6 +57,19 @@ type Config struct {
 	// LatencyWindow is the number of recent batch latencies and sizes kept
 	// for the /metrics quantiles. Values < 1 mean the default of 1024.
 	LatencyWindow int
+	// Replica puts the server in read-only follower mode: Enqueue fails with
+	// ErrReadOnlyReplica, the write endpoints answer 307 to LeaderURL, and
+	// state advances only through ApplyReplicated (the replication tailer).
+	// Promote flips a replica back to a writable primary.
+	Replica bool
+	// LeaderURL is the base URL write requests are redirected to in replica
+	// mode (empty: writes answer 503 instead of a redirect).
+	LeaderURL string
+	// ReadyMaxLag is the replication lag, in records, up to which a replica
+	// still reports ready on /readyz. Zero is meaningful — ready only when
+	// fully caught up — so there is no default coercion here (the bcserved
+	// flag supplies the operational default of 1024).
+	ReadyMaxLag uint64
 }
 
 // Server serves an engine over HTTP. Create one with New, start the
@@ -68,9 +81,14 @@ type Server struct {
 	mu   sync.RWMutex // write: pipeline applying a batch; read: snapshotting
 	eng  *engine.Engine
 	pipe *pipeline
-	wal  *WAL // nil when ingest durability is off
+	wal  atomic.Pointer[WAL] // nil when ingest durability is off; set by AttachWAL at promotion
 	met  *metrics
 	view atomic.Pointer[view]
+
+	// replica marks follower mode (cleared by Promote); replStats is the
+	// lag-stats provider installed by the replication tailer.
+	replica   atomic.Bool
+	replStats atomic.Pointer[func() ReplicationStats]
 
 	started   bool
 	snapStop  chan struct{}
@@ -108,11 +126,14 @@ func New(eng *engine.Engine, cfg Config) *Server {
 		cfg:      cfg,
 		directed: eng.Graph().Directed(),
 		eng:      eng,
-		wal:      cfg.WAL,
 		met:      newMetrics(cfg.LatencyWindow),
 		snapStop: make(chan struct{}),
 		snapDone: make(chan struct{}),
 	}
+	if cfg.WAL != nil {
+		s.wal.Store(cfg.WAL)
+	}
+	s.replica.Store(cfg.Replica)
 	s.pipe = newPipeline(s.directed, cfg.MaxQueue, s.applyItems, func(n int) {
 		s.met.coalesced.Add(int64(n))
 	})
@@ -152,11 +173,11 @@ func (s *Server) Close() error {
 				s.closeErr = fmt.Errorf("server: final snapshot: %w", err)
 			}
 		}
-		if s.wal != nil {
+		if wal := s.getWAL(); wal != nil {
 			// The pipeline has drained: every accepted update is in the log
 			// (and, when a snapshot directory is configured, covered by the
 			// final snapshot). Flush and release it.
-			if err := s.wal.Close(); err != nil && s.closeErr == nil {
+			if err := wal.Close(); err != nil && s.closeErr == nil {
 				s.closeErr = err
 			}
 		}
@@ -171,8 +192,11 @@ func (s *Server) Close() error {
 // that can no longer be made durable — or applied — would silently drop
 // them, and fire-and-forget callers would never learn.
 func (s *Server) Enqueue(upds []graph.Update) (*Batch, error) {
-	if s.wal != nil {
-		if werr := s.wal.Err(); werr != nil {
+	if s.Replica() {
+		return nil, ErrReadOnlyReplica
+	}
+	if wal := s.getWAL(); wal != nil {
+		if werr := wal.Err(); werr != nil {
 			return nil, fmt.Errorf("%w: %w", ErrIngestHalted, werr)
 		}
 	}
@@ -194,9 +218,10 @@ func (s *Server) applyItems(items []item, needVertices int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	logged := false
-	if s.wal != nil {
+	wal := s.getWAL()
+	if wal != nil {
 		var err error
-		if logged, err = s.logItems(items, needVertices); err != nil {
+		if logged, err = s.logItems(wal, items, needVertices); err != nil {
 			// Nothing of this drain reaches the engine: updates the server
 			// cannot make durable must not become externally visible.
 			return err
@@ -222,12 +247,12 @@ func (s *Server) applyItems(items []item, needVertices int) error {
 		i = j
 	}
 	s.met.batches.Add(1)
-	if s.wal != nil {
+	if wal != nil {
 		if firstErr == nil {
 			// The engine state now covers everything logged: a snapshot
 			// taken between drains records this sequence and recovery
 			// replays only the records after it.
-			s.eng.SetWALOffset(s.wal.Seq())
+			s.eng.SetWALOffset(wal.Seq())
 		} else if logged {
 			// The record is durable but the engine failed mid-apply: its
 			// state no longer matches any log position, so the covered
@@ -235,7 +260,7 @@ func (s *Server) applyItems(items []item, needVertices int) error {
 			// a record the engine never fully absorbed) and no further
 			// writes may be accepted. A restart recovers cleanly: the
 			// snapshot plus this record replay onto a fresh engine.
-			s.wal.poison(fmt.Errorf("server: engine failed after a WAL append, restart to recover: %w", firstErr))
+			wal.poison(fmt.Errorf("server: engine failed after a WAL append, restart to recover: %w", firstErr))
 		}
 	}
 	s.publishView()
@@ -246,7 +271,7 @@ func (s *Server) applyItems(items []item, needVertices int) error {
 // requirement) to the write-ahead log as one record, reporting whether a
 // record was written. Drains with nothing to make durable — barriers only —
 // are not logged.
-func (s *Server) logItems(items []item, needVertices int) (bool, error) {
+func (s *Server) logItems(wal *WAL, items []item, needVertices int) (bool, error) {
 	upds := make([]graph.Update, 0, len(items))
 	for _, it := range items {
 		if !it.barrier {
@@ -256,7 +281,7 @@ func (s *Server) logItems(items []item, needVertices int) (bool, error) {
 	if len(upds) == 0 && needVertices <= s.eng.Graph().N() {
 		return false, nil
 	}
-	if _, err := s.wal.Append(needVertices, upds); err != nil {
+	if _, err := wal.Append(needVertices, upds); err != nil {
 		s.met.walErrs.Add(1)
 		return false, fmt.Errorf("server: write-ahead log append: %w", err)
 	}
@@ -335,8 +360,9 @@ func (s *Server) Snapshot() (string, error) {
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if s.wal != nil {
-		if werr := s.wal.Err(); werr != nil {
+	wal := s.getWAL()
+	if wal != nil {
+		if werr := wal.Err(); werr != nil {
 			// The engine failed after a durable append (or the log itself
 			// failed): its state no longer matches any log position, and a
 			// snapshot of it would overwrite the last good one — the very
@@ -351,13 +377,13 @@ func (s *Server) Snapshot() (string, error) {
 		return "", err
 	}
 	s.met.snapshots.Add(1)
-	if s.wal != nil {
+	if wal != nil {
 		// The snapshot durably covers the engine's WAL offset (nothing can
 		// have been applied since: we hold the read lock), so every segment
 		// fully below it is dead weight. A failed deletion does not fail
 		// the snapshot — the durability point was reached; the failure is
 		// counted and the next snapshot's truncation retries it.
-		if err := s.wal.TruncateThrough(s.eng.WALOffset()); err != nil {
+		if err := wal.TruncateThrough(s.eng.WALOffset()); err != nil {
 			s.met.walErrs.Add(1)
 		}
 	}

@@ -126,6 +126,13 @@ type WALConfig struct {
 	Mode FsyncMode
 	// Interval is the fsync period of FsyncInterval. Values < 1 mean 100ms.
 	Interval time.Duration
+	// AllowFresh permits an empty directory to start a brand-new log at a
+	// nonzero base sequence. Normal recovery must NOT set it: an empty
+	// directory under a snapshot covering sequence S means acknowledged
+	// records were wiped. A promoted follower sets it — its state at
+	// sequence S came from replication, not from a local log, so a fresh
+	// log legitimately begins there.
+	AllowFresh bool
 }
 
 // WALRecord is one logged drain: the batch of updates handed to the engine,
@@ -154,12 +161,28 @@ type WAL struct {
 	segs     []walSegment // ascending by start; the last one is active
 	f        *os.File     // active segment, positioned at its end
 	seq      uint64       // sequence number of the next record
+	synced   uint64       // sequence up to which records are fsynced (== seq after every sync)
 	dirty    bool         // bytes written since the last fsync
 	lastSync time.Time
-	err      error // sticky: after a failed write or fsync the log is dead
+	err      error         // sticky: after a failed write or fsync the log is dead
+	notify   chan struct{} // closed (and replaced) on every append: the live-edge wakeup
+
+	// readPos caches, per live segment (keyed by start sequence), the
+	// furthest record boundary any ReadRecords call has decoded, so a
+	// sequentially tailing follower resumes each poll exactly where the
+	// previous one stopped instead of re-decoding the segment prefix
+	// (without it, catching up through one segment is O(bytes²)).
+	readPos map[uint64]walReadPos
 
 	stopSync chan struct{} // closes the FsyncInterval loop
 	doneSync chan struct{}
+}
+
+// walReadPos is a resumable position inside a segment: the byte offset of a
+// record boundary and the sequence of the record starting there.
+type walReadPos struct {
+	seq uint64
+	off int64
 }
 
 // OpenWAL opens (or creates) the write-ahead log in cfg.Dir and prepares it
@@ -181,7 +204,7 @@ func OpenWAL(cfg WALConfig, base uint64) (*WAL, error) {
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("server: creating WAL directory: %w", err)
 	}
-	w := &WAL{cfg: cfg, lastSync: time.Now()}
+	w := &WAL{cfg: cfg, lastSync: time.Now(), notify: make(chan struct{}), readPos: make(map[uint64]walReadPos)}
 	segs, err := listSegments(cfg.Dir)
 	if err != nil {
 		return nil, err
@@ -202,7 +225,7 @@ func OpenWAL(cfg WALConfig, base uint64) (*WAL, error) {
 		}
 	}
 	if len(segs) == 0 {
-		if base > 0 {
+		if base > 0 && !cfg.AllowFresh {
 			// A snapshot covering sequence base implies the log once held
 			// records 0..base-1 and its active segment is never deleted by
 			// truncation: an empty directory means the log was wiped, and
@@ -224,6 +247,10 @@ func OpenWAL(cfg WALConfig, base uint64) (*WAL, error) {
 				ErrBadWAL, cfg.Dir, w.seq, base)
 		}
 	}
+	// Records read back from disk survived whatever ended the last process:
+	// that is the strongest durability statement available, so the durable
+	// horizon starts at the recovered end.
+	w.synced = w.seq
 	if cfg.Mode == FsyncInterval {
 		w.stopSync = make(chan struct{})
 		w.doneSync = make(chan struct{})
@@ -517,16 +544,7 @@ func (w *WAL) Append(needVertices int, upds []graph.Update) (uint64, error) {
 		active = &w.segs[len(w.segs)-1]
 	}
 	seq := w.seq
-	payload := binary.AppendUvarint(nil, seq)
-	payload = binary.AppendUvarint(payload, uint64(needVertices))
-	payload = binary.AppendUvarint(payload, uint64(len(upds)))
-	for _, u := range upds {
-		payload = graph.AppendUpdate(payload, u)
-	}
-	frame := make([]byte, 8, 8+len(payload))
-	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
-	frame = append(frame, payload...)
+	frame := EncodeWALRecord(nil, WALRecord{Seq: seq, NeedVertices: needVertices, Updates: upds})
 	if _, err := w.f.Write(frame); err != nil {
 		// The segment may now hold a torn record; it would be truncated on
 		// the next open, but this process must not append after it.
@@ -536,12 +554,86 @@ func (w *WAL) Append(needVertices int, upds []graph.Update) (uint64, error) {
 	active.bytes += int64(len(frame))
 	w.seq++
 	w.dirty = true
-	if w.cfg.Mode == FsyncPerBatch {
+	switch w.cfg.Mode {
+	case FsyncPerBatch:
+		// syncLocked advances the durable horizon and wakes the live-edge
+		// waiters (replication long-polls).
 		if err := w.syncLocked(); err != nil {
 			return 0, err
 		}
+	case FsyncOff:
+		// No durability is promised at all, so replication ships records as
+		// written: wake the waiters now.
+		w.notifyLocked()
+	case FsyncInterval:
+		// Waiters are woken by the interval flusher: a record must not
+		// reach a follower before it is durable on the leader, or a leader
+		// crash-restart could leave the follower ahead of the recovered
+		// log (permanent divergence). The extra replication latency is
+		// bounded by one fsync interval.
 	}
 	return seq, nil
+}
+
+// notifyLocked wakes every live-edge waiter. The caller holds w.mu.
+func (w *WAL) notifyLocked() {
+	close(w.notify)
+	w.notify = make(chan struct{})
+}
+
+// EncodeWALRecord appends rec to buf in the log's record wire format — the
+// uint32 length/CRC frame followed by the payload — and returns the extended
+// buffer. It is the exact on-disk framing, and doubles as the replication
+// wire format: the leader streams framed records to followers, which decode
+// them with ReadWALRecord.
+func EncodeWALRecord(buf []byte, rec WALRecord) []byte {
+	payload := binary.AppendUvarint(nil, rec.Seq)
+	payload = binary.AppendUvarint(payload, uint64(rec.NeedVertices))
+	payload = binary.AppendUvarint(payload, uint64(len(rec.Updates)))
+	for _, u := range rec.Updates {
+		payload = graph.AppendUpdate(payload, u)
+	}
+	var frame [8]byte
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	buf = append(buf, frame[:]...)
+	return append(buf, payload...)
+}
+
+// ReadWALRecord decodes one framed record from r (the inverse of
+// EncodeWALRecord). It returns io.EOF when r is cleanly exhausted at a frame
+// boundary, and wraps ErrBadWAL for a short or corrupted frame.
+func ReadWALRecord(r io.Reader) (WALRecord, error) {
+	rec, _, err := readWALRecordN(r)
+	return rec, err
+}
+
+// readWALRecordN is ReadWALRecord plus the number of bytes consumed (frame
+// and payload) — the segment scanner uses it to track record boundaries.
+func readWALRecordN(r io.Reader) (WALRecord, int64, error) {
+	var frame [8]byte
+	if _, err := io.ReadFull(r, frame[:]); err != nil {
+		if err == io.EOF {
+			return WALRecord{}, 0, io.EOF
+		}
+		return WALRecord{}, 0, fmt.Errorf("%w: torn record frame: %v", ErrBadWAL, err)
+	}
+	length := binary.LittleEndian.Uint32(frame[:4])
+	if length > maxWALRecordBytes {
+		return WALRecord{}, 0, fmt.Errorf("%w: implausible record length %d", ErrBadWAL, length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return WALRecord{}, 0, fmt.Errorf("%w: torn record payload: %v", ErrBadWAL, err)
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(frame[4:]) {
+		return WALRecord{}, 0, fmt.Errorf("%w: record checksum mismatch", ErrBadWAL)
+	}
+	rec, err := decodeWALRecord(payload)
+	if err != nil {
+		return WALRecord{}, 0, fmt.Errorf("%w: %v", ErrBadWAL, err)
+	}
+	return rec, int64(len(frame)) + int64(length), nil
 }
 
 // rotateLocked closes the active segment (flushing it) and starts a new one.
@@ -599,6 +691,12 @@ func (w *WAL) syncLocked() error {
 		}
 		w.dirty = false
 	}
+	if w.synced != w.seq {
+		// The durable horizon advanced: replication long-polls parked at
+		// the previous horizon may now ship the new records.
+		w.synced = w.seq
+		w.notifyLocked()
+	}
 	w.lastSync = time.Now()
 	return nil
 }
@@ -635,6 +733,7 @@ func (w *WAL) TruncateThrough(covered uint64) error {
 			}
 			return fmt.Errorf("server: deleting covered WAL segment: %w", err)
 		}
+		delete(w.readPos, w.segs[0].start)
 		w.segs = w.segs[1:]
 		removed = true
 	}
@@ -642,6 +741,208 @@ func (w *WAL) TruncateThrough(covered uint64) error {
 		return nil
 	}
 	return syncDir(w.cfg.Dir)
+}
+
+// ErrWALTruncated is wrapped by reads of a sequence range whose segments a
+// snapshot has already deleted. It wraps ErrBadWAL for recovery-time callers;
+// the replication handler maps it to 410 Gone, telling the follower to
+// re-bootstrap from a snapshot instead of tailing.
+var ErrWALTruncated = fmt.Errorf("%w: records already truncated by a snapshot", ErrBadWAL)
+
+// errStopRead ends a bounded segment scan early once enough records are out.
+var errStopRead = errors.New("stop read")
+
+// AppendNotify returns a channel closed the next time the replication
+// horizon advances (an append under FsyncPerBatch/FsyncOff, a completed
+// flush under FsyncInterval). Live-edge readers (the replication long-poll)
+// grab the channel, re-check SyncedSeq(), and block on the channel if still
+// caught up.
+func (w *WAL) AppendNotify() <-chan struct{} {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.notify
+}
+
+// SyncedSeq returns the replication horizon: the sequence after the last
+// record that is safe to ship to a follower. Under FsyncPerBatch and
+// FsyncInterval that is the durable (fsynced) end — a record a follower has
+// applied must survive any leader crash, or a crash-restart would leave the
+// follower permanently ahead of the recovered log. Under FsyncOff no
+// durability is promised at all, so the horizon is simply the log end.
+func (w *WAL) SyncedSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.cfg.Mode == FsyncOff {
+		return w.seq
+	}
+	return w.synced
+}
+
+// OldestSeq returns the sequence number of the oldest record still retained
+// (the start of the first live segment; equal to Seq when the log is empty).
+func (w *WAL) OldestSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.segs) == 0 {
+		return w.seq
+	}
+	return w.segs[0].start
+}
+
+// ReadRecords returns up to max records with sequence >= from and below the
+// replication horizon (SyncedSeq — a follower must never receive a record
+// the leader could still lose), plus that horizon at capture time. Unlike
+// ReplayFrom it is safe while appends are in flight: it captures each
+// segment's byte length under the lock and never reads past it — Append
+// writes whole frames under the same lock, so the captured bound always
+// falls on a record boundary. This is the leader-side read path of
+// replication.
+func (w *WAL) ReadRecords(from uint64, max int) ([]WALRecord, uint64, error) {
+	if max < 1 {
+		max = 1024
+	}
+	w.mu.Lock()
+	werr := w.err
+	segs := append([]walSegment(nil), w.segs...)
+	seq := w.seq
+	end := w.synced
+	if w.cfg.Mode == FsyncOff {
+		end = seq
+	}
+	w.mu.Unlock()
+	if werr != nil {
+		return nil, end, werr
+	}
+	if from > seq {
+		return nil, end, fmt.Errorf("%w: read from sequence %d but the log ends at %d", ErrBadWAL, from, seq)
+	}
+	if from >= end {
+		// At (or transiently past) the durable edge: nothing shippable yet.
+		return nil, end, nil
+	}
+	if len(segs) == 0 || from < segs[0].start {
+		return nil, end, fmt.Errorf("%w: sequence %d (log begins at %d)", ErrWALTruncated, from, w.OldestSeq())
+	}
+	var out []WALRecord
+	for i := range segs {
+		if i < len(segs)-1 && segs[i+1].start <= from {
+			continue // every record of this segment is below from
+		}
+		w.mu.Lock()
+		hint := w.readPos[segs[i].start]
+		w.mu.Unlock()
+		pos, err := scanSegmentBounded(segs[i], hint, from, func(rec WALRecord) error {
+			if rec.Seq < from {
+				return nil
+			}
+			if rec.Seq >= end {
+				return errStopRead // not yet durable: past the horizon
+			}
+			out = append(out, rec)
+			if len(out) >= max {
+				return errStopRead
+			}
+			return nil
+		})
+		stopped := errors.Is(err, errStopRead)
+		if err == nil || stopped {
+			// Remember the furthest boundary decoded so the next poll of a
+			// sequential tailer resumes there instead of re-reading the
+			// segment prefix. Never move the cache backwards (a concurrent
+			// reader may have got further) and never cache for a segment
+			// truncation has dropped meanwhile.
+			w.mu.Lock()
+			if cur, ok := w.readPos[segs[i].start]; (ok || w.liveSegmentLocked(segs[i].start)) && pos.off > cur.off {
+				w.readPos[segs[i].start] = pos
+			}
+			w.mu.Unlock()
+		}
+		if stopped {
+			break
+		}
+		if err != nil {
+			if os.IsNotExist(err) {
+				// A concurrent snapshot deleted the segment under us: the
+				// range is gone, not corrupt.
+				return nil, end, fmt.Errorf("%w: sequence %d", ErrWALTruncated, from)
+			}
+			return nil, end, err
+		}
+	}
+	return out, end, nil
+}
+
+// liveSegmentLocked reports whether a segment with the given start is still
+// part of the log. The caller holds w.mu.
+func (w *WAL) liveSegmentLocked(start uint64) bool {
+	for _, seg := range w.segs {
+		if seg.start == start {
+			return true
+		}
+	}
+	return false
+}
+
+// scanSegmentBounded reads the records of one segment up to the byte length
+// captured in seg (never chasing a concurrently growing file), calling fn
+// with each, and returns the record boundary it stopped at. A valid hint —
+// a previously returned boundary at or below the wanted sequence and inside
+// the captured bound — lets the scan seek straight to it instead of
+// decoding the segment from its header. Every frame inside the bound must
+// be intact: the bound was taken under the append lock, so a short or
+// corrupt record here is real corruption, not a torn tail.
+func scanSegmentBounded(seg walSegment, hint walReadPos, want uint64, fn func(WALRecord) error) (walReadPos, error) {
+	f, err := os.Open(seg.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return hint, err
+		}
+		return hint, fmt.Errorf("server: opening WAL segment: %w", err)
+	}
+	defer f.Close()
+	var (
+		seq uint64
+		off int64
+	)
+	if hint.off > 0 && hint.seq >= seg.start && hint.seq <= want && hint.off <= seg.bytes {
+		if _, err := f.Seek(hint.off, io.SeekStart); err != nil {
+			return hint, fmt.Errorf("server: seeking WAL segment: %w", err)
+		}
+		seq, off = hint.seq, hint.off
+	} else {
+		br := bufio.NewReader(io.LimitReader(f, seg.bytes))
+		var magic [8]byte
+		if _, err := io.ReadFull(br, magic[:]); err != nil || magic != walMagic {
+			return hint, fmt.Errorf("%w: %s: bad segment header", ErrBadWAL, seg.path)
+		}
+		start, err := binary.ReadUvarint(br)
+		if err != nil || start != seg.start {
+			return hint, fmt.Errorf("%w: %s: bad segment start", ErrBadWAL, seg.path)
+		}
+		seq = start
+		off = int64(len(magic) + uvarintLen(start))
+		if _, err := f.Seek(off, io.SeekStart); err != nil {
+			return hint, fmt.Errorf("server: seeking WAL segment: %w", err)
+		}
+	}
+	br := bufio.NewReader(io.LimitReader(f, seg.bytes-off))
+	for {
+		rec, n, err := readWALRecordN(br)
+		if err == io.EOF {
+			return walReadPos{seq: seq, off: off}, nil
+		}
+		if err != nil {
+			return walReadPos{seq: seq, off: off}, fmt.Errorf("%w: %s: %v", ErrBadWAL, seg.path, err)
+		}
+		if rec.Seq != seq {
+			return walReadPos{seq: seq, off: off}, fmt.Errorf("%w: %s: record sequence %d, expected %d", ErrBadWAL, seg.path, rec.Seq, seq)
+		}
+		seq++
+		off += n
+		if err := fn(rec); err != nil {
+			return walReadPos{seq: seq, off: off}, err
+		}
+	}
 }
 
 // ReplayFrom re-reads the log and calls fn with every record whose sequence
@@ -657,7 +958,7 @@ func (w *WAL) ReplayFrom(from uint64, fn func(WALRecord) error) error {
 	}
 	if from < segs[0].start {
 		return fmt.Errorf("%w: replay from sequence %d but the log begins at %d (covered segments already deleted)",
-			ErrBadWAL, from, segs[0].start)
+			ErrWALTruncated, from, segs[0].start)
 	}
 	for i := range segs {
 		if i < len(segs)-1 && segs[i+1].start <= from {
@@ -693,17 +994,10 @@ func ReplayWAL(w *WAL, eng *engine.Engine, maxBatch int) (int, error) {
 	}
 	replayed := 0
 	err := w.ReplayFrom(eng.WALOffset(), func(rec WALRecord) error {
-		if err := eng.EnsureVertices(rec.NeedVertices); err != nil {
+		if err := eng.ReplayRecord(rec.Seq, rec.NeedVertices, rec.Updates, maxBatch); err != nil {
 			return err
 		}
-		for i := 0; i < len(rec.Updates); i += maxBatch {
-			j := min(i+maxBatch, len(rec.Updates))
-			if err := eng.ReplayBatch(rec.Updates[i:j]); err != nil {
-				return err
-			}
-			replayed += j - i
-		}
-		eng.SetWALOffset(rec.Seq + 1)
+		replayed += len(rec.Updates)
 		return nil
 	})
 	if err != nil {

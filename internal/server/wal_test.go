@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -252,6 +253,233 @@ func TestWALRotationAndTruncation(t *testing.T) {
 	w2 := testWAL(t, WALConfig{Dir: dir, SegmentBytes: 64}, 0)
 	if got := w2.Seq(); got != 20 {
 		t.Fatalf("reopened at sequence %d, want 20", got)
+	}
+}
+
+// TestWALReplayFromSegmentBoundaries pins the follower catch-up path:
+// ReplayFrom starting exactly at a segment-rotation boundary, mid-segment,
+// and after the leader has truncated covered segments.
+func TestWALReplayFromSegmentBoundaries(t *testing.T) {
+	dir := t.TempDir()
+	const n = 24
+	w := testWAL(t, WALConfig{Dir: dir, SegmentBytes: 64}, 0)
+	for i := 0; i < n; i++ {
+		if _, err := w.Append(i+2, []graph.Update{graph.Addition(i, i+1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) < 3 {
+		t.Fatalf("want >= 3 segments, got %d (%v)", len(segs), err)
+	}
+
+	check := func(what string, from uint64) {
+		t.Helper()
+		recs := collectRecords(t, w, from)
+		if len(recs) != n-int(from) {
+			t.Fatalf("%s: replay from %d returned %d records, want %d", what, from, len(recs), n-int(from))
+		}
+		for i, rec := range recs {
+			if want := from + uint64(i); rec.Seq != want {
+				t.Fatalf("%s: record %d has sequence %d, want %d", what, i, rec.Seq, want)
+			}
+			if rec.NeedVertices != int(rec.Seq)+2 {
+				t.Fatalf("%s: record %d vertex requirement %d, want %d", what, i, rec.NeedVertices, rec.Seq+2)
+			}
+		}
+	}
+	// Exactly at each rotation boundary (the first record of every segment).
+	for _, seg := range segs {
+		check("rotation boundary", seg.start)
+	}
+	// Mid-segment: one past each boundary (and one before the next).
+	for i, seg := range segs {
+		if i < len(segs)-1 && seg.start+1 < segs[i+1].start {
+			check("mid-segment", seg.start+1)
+		}
+	}
+
+	// Truncate as a snapshot covering a mid-log sequence would, then resume:
+	// replay from the truncation point, from the new oldest boundary, and —
+	// the error path followers hit — from below the retained range.
+	covered := segs[2].start
+	if err := w.TruncateThrough(covered); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.OldestSeq(); got != covered {
+		t.Fatalf("oldest retained %d after truncation, want %d", got, covered)
+	}
+	check("after truncation, at boundary", covered)
+	check("after truncation, mid-segment", covered+1)
+	err = w.ReplayFrom(covered-1, func(WALRecord) error { return nil })
+	if !errors.Is(err, ErrWALTruncated) || !errors.Is(err, ErrBadWAL) {
+		t.Fatalf("replay below retention: %v, want ErrWALTruncated (wrapping ErrBadWAL)", err)
+	}
+
+	// A reopen after truncation resumes the same picture.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2 := testWAL(t, WALConfig{Dir: dir, SegmentBytes: 64}, covered)
+	check2 := collectRecords(t, w2, covered)
+	if len(check2) != n-int(covered) {
+		t.Fatalf("replay after reopen: %d records, want %d", len(check2), n-int(covered))
+	}
+}
+
+// TestWALReadRecordsLive covers the replication read path: bounded reads at
+// arbitrary positions while appends are in flight, the max cap, and the
+// truncation/past-end error contract.
+func TestWALReadRecordsLive(t *testing.T) {
+	dir := t.TempDir()
+	w := testWAL(t, WALConfig{Dir: dir, SegmentBytes: 64}, 0)
+	for i := 0; i < 10; i++ {
+		if _, err := w.Append(0, []graph.Update{graph.Addition(i, i+1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, end, err := w.ReadRecords(4, 3)
+	if err != nil || end != 10 || len(recs) != 3 || recs[0].Seq != 4 || recs[2].Seq != 6 {
+		t.Fatalf("ReadRecords(4,3) = %v, %d, %v", recs, end, err)
+	}
+	if recs, end, err = w.ReadRecords(10, 5); err != nil || end != 10 || len(recs) != 0 {
+		t.Fatalf("ReadRecords at the live edge = %v, %d, %v", recs, end, err)
+	}
+	if _, _, err = w.ReadRecords(11, 1); !errors.Is(err, ErrBadWAL) {
+		t.Fatalf("ReadRecords past the end: %v, want ErrBadWAL", err)
+	}
+	if err := w.TruncateThrough(6); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err = w.ReadRecords(0, 1); !errors.Is(err, ErrWALTruncated) {
+		t.Fatalf("ReadRecords below retention: %v, want ErrWALTruncated", err)
+	}
+
+	// Reads interleaved with appends: every batch read must be a gapless
+	// prefix-consistent slice (bounded by the capture-time end).
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		defer close(done)
+		for from := uint64(6); ; {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			recs, _, err := w.ReadRecords(from, 4)
+			if err != nil {
+				done <- err
+				return
+			}
+			for i, rec := range recs {
+				if rec.Seq != from+uint64(i) {
+					done <- fmt.Errorf("gap: record %d at position %d (from %d)", rec.Seq, i, from)
+					return
+				}
+			}
+			from += uint64(len(recs))
+		}
+	}()
+	for i := 10; i < 60; i++ {
+		if _, err := w.Append(0, []graph.Update{graph.Addition(i, i+1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALReadRecordsDurableHorizon: a record must never reach a follower
+// before it is durable on the leader — a crash-restart would otherwise
+// leave the follower ahead of the recovered log, permanently diverged.
+// Under an interval fsync policy ReadRecords therefore stops at the synced
+// horizon, and serves the tail only once a flush has covered it.
+func TestWALReadRecordsDurableHorizon(t *testing.T) {
+	// An interval so long it never fires during the test: flushes happen
+	// only when the test calls Sync() itself.
+	w := testWAL(t, WALConfig{Dir: t.TempDir(), Mode: FsyncInterval, Interval: time.Hour}, 0)
+	for i := 0; i < 3; i++ {
+		if _, err := w.Append(0, []graph.Update{graph.Addition(i, i+1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 3; i < 5; i++ {
+		if _, err := w.Append(0, []graph.Update{graph.Addition(i, i+1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := w.SyncedSeq(); got != 3 {
+		t.Fatalf("synced horizon %d, want 3", got)
+	}
+	recs, end, err := w.ReadRecords(0, 100)
+	if err != nil || end != 3 || len(recs) != 3 {
+		t.Fatalf("ReadRecords below horizon: %d records, end %d, err %v (want 3, 3, nil)", len(recs), end, err)
+	}
+	// At the durable edge with unsynced records beyond: empty, not an error.
+	if recs, end, err = w.ReadRecords(3, 100); err != nil || end != 3 || len(recs) != 0 {
+		t.Fatalf("ReadRecords at horizon: %d records, end %d, err %v (want 0, 3, nil)", len(recs), end, err)
+	}
+	notify := w.AppendNotify()
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-notify:
+	case <-time.After(time.Second):
+		t.Fatal("sync advancing the horizon did not wake live-edge waiters")
+	}
+	if recs, end, err = w.ReadRecords(3, 100); err != nil || end != 5 || len(recs) != 2 {
+		t.Fatalf("ReadRecords after flush: %d records, end %d, err %v (want 2, 5, nil)", len(recs), end, err)
+	}
+}
+
+// TestWALAppendNotify: live-edge waiters wake on the next append.
+func TestWALAppendNotify(t *testing.T) {
+	w := testWAL(t, WALConfig{Dir: t.TempDir()}, 0)
+	ch := w.AppendNotify()
+	select {
+	case <-ch:
+		t.Fatal("notify channel closed before any append")
+	default:
+	}
+	if _, err := w.Append(0, []graph.Update{graph.Addition(0, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("notify channel not closed by the append")
+	}
+}
+
+// TestWALOpenFreshAtBase: AllowFresh legitimises a brand-new log at a
+// nonzero base (the promoted-follower case); without it the same open is the
+// wiped-log error.
+func TestWALOpenFreshAtBase(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := OpenWAL(WALConfig{Dir: dir}, 7); !errors.Is(err, ErrBadWAL) {
+		t.Fatalf("open empty dir at base 7: %v, want ErrBadWAL", err)
+	}
+	w := testWAL(t, WALConfig{Dir: dir, AllowFresh: true}, 7)
+	if got := w.Seq(); got != 7 {
+		t.Fatalf("fresh log at base: sequence %d, want 7", got)
+	}
+	if seq, err := w.Append(0, []graph.Update{graph.Addition(0, 1)}); err != nil || seq != 7 {
+		t.Fatalf("first append: seq %d, err %v", seq, err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopening no longer needs AllowFresh: the log exists and extends to 8.
+	w2 := testWAL(t, WALConfig{Dir: dir}, 8)
+	if got := w2.Seq(); got != 8 {
+		t.Fatalf("reopened at %d, want 8", got)
 	}
 }
 

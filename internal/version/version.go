@@ -1,0 +1,8 @@
+// Package version carries the build version stamped into the binaries.
+package version
+
+// Version identifies the build. It is "dev" for plain `go build` and is
+// overwritten by release/CI builds via
+//
+//	go build -ldflags "-X streambc/internal/version.Version=<v>"
+var Version = "dev"
