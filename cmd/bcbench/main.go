@@ -13,12 +13,18 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"time"
 
 	"streambc/internal/experiments"
+	"streambc/internal/obs"
 	"streambc/internal/version"
 )
+
+// logger carries diagnostics to stderr (structured, per -log-level and
+// -log-format); the experiment report itself stays on stdout (or -out).
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 func main() {
 	var (
@@ -31,6 +37,8 @@ func main() {
 		sample      = flag.Int("sample", 0, "headline sample size k for the approx experiment (0 = n/4)")
 		outPath     = flag.String("out", "", "write the report to this file instead of stdout")
 		scratch     = flag.String("scratch", "", "scratch directory for out-of-core stores")
+		logLevel    = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		logFormat   = flag.String("log-format", "text", "log encoding: text or json")
 		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -39,6 +47,11 @@ func main() {
 		fmt.Println("bcbench", version.Version)
 		return
 	}
+	l, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		usageError(err.Error())
+	}
+	logger = l.With(obs.KeyComponent, "bcbench")
 	if *updates < 0 {
 		usageError("-updates must not be negative")
 	}
@@ -84,7 +97,7 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "bcbench:", err)
+	logger.Error("fatal", "error", err)
 	os.Exit(1)
 }
 

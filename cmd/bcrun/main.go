@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"os"
 	"sort"
@@ -25,8 +26,13 @@ import (
 	"streambc/internal/bc"
 	"streambc/internal/engine"
 	"streambc/internal/graph"
+	"streambc/internal/obs"
 	"streambc/internal/version"
 )
+
+// logger carries diagnostics to stderr (structured, per -log-level and
+// -log-format); computed results stay on stdout as plain text.
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 func main() {
 	var (
@@ -43,6 +49,8 @@ func main() {
 		sampleSeed  = flag.Int64("sample-seed", 1, "random seed of the source sample")
 		serve       = flag.String("serve", "", "run as an RPC worker listening on this address (host:port)")
 		cluster     = flag.String("cluster", "", "comma-separated worker addresses to use as a distributed cluster")
+		logLevel    = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		logFormat   = flag.String("log-format", "text", "log encoding: text or json")
 		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -51,6 +59,11 @@ func main() {
 		fmt.Println("bcrun", version.Version)
 		return
 	}
+	l, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		usageError(err.Error())
+	}
+	logger = l.With(obs.KeyComponent, "bcrun")
 	if *workers < 1 {
 		usageError("-workers must be at least 1")
 	}
@@ -146,7 +159,7 @@ func runWorker(addr string) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("bcrun: worker listening on %s\n", l.Addr())
+	logger.Info("worker listening", "addr", l.Addr().String())
 	engine.ServeWorker(l, engine.NewWorkerServer())
 	select {} // serve until killed
 }
@@ -217,7 +230,7 @@ func writeScores(res *streambc.Result, path string) error {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "bcrun:", err)
+	logger.Error("fatal", "error", err)
 	os.Exit(1)
 }
 

@@ -10,6 +10,7 @@
 //	bcserved -addr :8080 -snapshot-dir /var/lib/bcserved -snapshot-interval 1m
 //	bcserved -addr :8080 -snapshot-dir /var/lib/bcserved -wal-dir /var/lib/bcserved/wal
 //	bcserved -addr :8081 -follow http://leader:8080 -snapshot-dir /var/lib/bcserved-replica
+//	bcserved -addr :8080 -graph graph.txt -log-format json -ops-addr 127.0.0.1:6060
 //
 // When -snapshot-dir contains a snapshot from a previous run it is restored
 // (and -graph is ignored); otherwise the daemon starts from -graph, or from
@@ -29,6 +30,11 @@
 // leader. POST /v1/replication/promote turns it into a writable primary
 // (durably, when a -wal-dir was given).
 //
+// Diagnostics go to stderr as structured logs (-log-level, -log-format).
+// Profiling and introspection endpoints (net/http/pprof under /debug/pprof/,
+// expvar under /debug/vars) are mounted on the serving mux, or on a separate
+// listener when -ops-addr is given (keeping them off the public port).
+//
 // See README.md for the endpoint reference and an example curl session.
 package main
 
@@ -36,10 +42,12 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -49,6 +57,7 @@ import (
 	"streambc/internal/bc"
 	"streambc/internal/engine"
 	"streambc/internal/graph"
+	"streambc/internal/obs"
 	"streambc/internal/replication"
 	"streambc/internal/server"
 	"streambc/internal/version"
@@ -72,6 +81,11 @@ func main() {
 		sampleSeed   = flag.Int64("sample-seed", 1, "random seed of the source sample")
 		follow       = flag.String("follow", "", "run as a read-only replica of the leader at this base URL (e.g. http://leader:8080)")
 		readyMaxLag  = flag.Uint64("ready-max-lag", 1024, "replica readiness: /readyz reports ready only within this many WAL records of the leader")
+		logLevel     = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		logFormat    = flag.String("log-format", "text", "log encoding: text or json")
+		slowReq      = flag.Duration("slow-request", time.Second, "log a warning for HTTP requests slower than this (0 disables)")
+		opsAddr      = flag.String("ops-addr", "", "serve /debug/pprof/ and /debug/vars on this separate address instead of the main listener")
+		traceRing    = flag.Int("trace-ring", 256, "ingest trace ring capacity served by /v1/debug/trace")
 		showVersion  = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -110,11 +124,17 @@ func main() {
 			usageError("-sample cannot be combined with -follow (the source sample comes from the leader's snapshot)")
 		}
 	}
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		usageError(err.Error())
+	}
+	logger = logger.With(obs.KeyComponent, "bcserved")
 
+	reg := obs.NewRegistry()
 	cfg := engine.Config{Workers: *workers}
 	if *diskDir != "" {
 		if err := os.MkdirAll(*diskDir, 0o755); err != nil {
-			log.Fatalf("bcserved: creating disk store directory: %v", err)
+			fatal(logger, "creating disk store directory failed", "error", err)
 		}
 		cfg.Store = engine.DiskFactory(*diskDir)
 	}
@@ -130,50 +150,62 @@ func main() {
 		MaxQueue:         *maxQueue,
 		MaxBatch:         *maxBatch,
 		ReadyMaxLag:      *readyMaxLag,
+		Obs:              reg,
+		Logger:           logger,
+		SlowRequest:      *slowReq,
+		TraceCapacity:    *traceRing,
 	}
 
 	if *follow != "" {
-		runFollower(*addr, *follow, cfg, srvCfg, walCfg)
+		runFollower(*addr, *opsAddr, *follow, cfg, srvCfg, walCfg, reg, logger)
 		return
 	}
 
-	eng, err := buildEngine(*snapshotDir, *graphPath, *directed, cfg, *sample, *sampleSeed)
+	// The primary's engine lives for the whole process, so it can own the
+	// per-worker metric registrations. (A replica's engine is replaced on
+	// re-bootstrap and must leave Config.Obs nil — see runFollower.)
+	cfg.Obs = reg
+	eng, err := buildEngine(*snapshotDir, *graphPath, *directed, cfg, *sample, *sampleSeed, logger)
 	if err != nil {
-		log.Fatalf("bcserved: %v", err)
+		fatal(logger, "engine start failed", "error", err)
 	}
 	defer eng.Close()
 	if eng.Sampled() {
-		log.Printf("bcserved: approximate mode, %d of %d sources sampled (scale %.3f)",
-			eng.SampleSize(), eng.Graph().N(), eng.Scale())
+		logger.Info("approximate mode",
+			"sampled", eng.SampleSize(), "vertices", eng.Graph().N(), "scale", eng.Scale())
 	}
 
 	var wal *server.WAL
 	if *walDir != "" {
 		wal, err = server.OpenWAL(walCfg, eng.WALOffset())
 		if err != nil {
-			log.Fatalf("bcserved: opening write-ahead log: %v", err)
+			fatal(logger, "opening write-ahead log failed", "error", err)
 		}
 		replayed, err := server.ReplayWAL(wal, eng, *maxBatch)
 		if err != nil {
-			log.Fatalf("bcserved: replaying write-ahead log: %v", err)
+			fatal(logger, "replaying write-ahead log failed", "error", err)
 		}
 		if replayed > 0 {
-			log.Printf("bcserved: replayed %d updates from the write-ahead log (now at sequence %d)",
-				replayed, wal.Seq())
+			logger.Info("write-ahead log replayed",
+				"updates", replayed, obs.KeySeq, wal.Seq())
 		}
 	}
 
 	srvCfg.WAL = wal
 	srv := server.New(eng, srvCfg)
 	srv.Start()
-	serve(newHTTPServer(*addr, srv.Handler()), func() {
-		log.Printf("bcserved: %s serving on http://%s (n=%d m=%d workers=%d)",
-			version.Version, *addr, eng.Graph().N(), eng.Graph().M(), eng.Workers())
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	startOps(mux, *opsAddr, logger)
+	serve(newHTTPServer(*addr, mux), logger, func() {
+		logger.Info("serving",
+			"version", version.Version, "addr", *addr,
+			"n", eng.Graph().N(), "m", eng.Graph().M(), "workers", eng.Workers())
 	}, func() {
 		if err := srv.Close(); err != nil {
-			log.Printf("bcserved: %v", err)
+			logger.Error("close failed", "error", err)
 		} else if *snapshotDir != "" {
-			log.Printf("bcserved: final snapshot written to %s", *snapshotDir)
+			logger.Info("final snapshot written", "dir", *snapshotDir)
 		}
 	})
 }
@@ -181,15 +213,15 @@ func main() {
 // runFollower is the -follow mode: bootstrap a replica from the leader (or a
 // local snapshot), serve reads while tailing the leader's write-ahead log,
 // and expose POST /v1/replication/promote for failover.
-func runFollower(addr, leaderURL string, cfg engine.Config, srvCfg server.Config, walCfg server.WALConfig) {
+func runFollower(addr, opsAddr, leaderURL string, cfg engine.Config, srvCfg server.Config, walCfg server.WALConfig, reg *obs.Registry, logger *slog.Logger) {
 	client := replication.NewClient(leaderURL)
 	eng, err := replication.Bootstrap(context.Background(), client, srvCfg.SnapshotDir, cfg)
 	if err != nil {
-		log.Fatalf("bcserved: bootstrapping replica from %s: %v", leaderURL, err)
+		fatal(logger, "bootstrapping replica failed", "leader", leaderURL, "error", err)
 	}
 	defer eng.Close()
-	log.Printf("bcserved: replica bootstrapped at leader sequence %d (n=%d m=%d)",
-		eng.WALOffset(), eng.Graph().N(), eng.Graph().M())
+	logger.Info("replica bootstrapped",
+		obs.KeySeq, eng.WALOffset(), "n", eng.Graph().N(), "m", eng.Graph().M())
 
 	srvCfg.Replica = true
 	srvCfg.LeaderURL = leaderURL
@@ -199,10 +231,14 @@ func runFollower(addr, leaderURL string, cfg engine.Config, srvCfg server.Config
 	tailer := replication.NewTailer(client, srv, replication.TailerConfig{
 		Rebootstrap: func(st *engine.SnapshotState) error {
 			return srv.SwapEngine(func() (*engine.Engine, error) {
+				// cfg.Obs stays nil here: this engine is disposable (every
+				// re-bootstrap builds a fresh one) and a second registration
+				// of the engine families would panic.
 				return engine.RestoreEngine(st, cfg)
 			})
 		},
-		Logf: log.Printf,
+		Log: logger,
+		Obs: reg,
 	})
 	srv.SetReplicationStats(tailer.Stats)
 	srv.Start()
@@ -217,7 +253,7 @@ func runFollower(addr, leaderURL string, cfg engine.Config, srvCfg server.Config
 			// (and re-bootstraps) it, rather than serving ever-staler or
 			// untrusted data behind a green liveness probe. A leader that is
 			// merely down is NOT terminal: the tailer retries that forever.
-			log.Fatalf("bcserved: replication failed: %v", err)
+			fatal(logger, "replication failed", "error", err)
 		}
 	}()
 	stopTailing := func() bool {
@@ -232,17 +268,19 @@ func runFollower(addr, leaderURL string, cfg engine.Config, srvCfg server.Config
 
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
-	pm := &promoter{srv: srv, stopTailing: stopTailing, walCfg: walCfg}
+	pm := &promoter{srv: srv, stopTailing: stopTailing, walCfg: walCfg, log: logger}
 	mux.HandleFunc("POST /v1/replication/promote", pm.handle)
-	serve(newHTTPServer(addr, mux), func() {
-		log.Printf("bcserved: %s replica of %s serving on http://%s (n=%d m=%d)",
-			version.Version, leaderURL, addr, eng.Graph().N(), eng.Graph().M())
+	startOps(mux, opsAddr, logger)
+	serve(newHTTPServer(addr, mux), logger, func() {
+		logger.Info("replica serving",
+			"version", version.Version, "leader", leaderURL, "addr", addr,
+			"n", eng.Graph().N(), "m", eng.Graph().M())
 	}, func() {
 		// Stop replicating before the final snapshot so the snapshot
 		// captures the last applied sequence, then close the serving layer.
 		stopTailing()
 		if err := srv.Close(); err != nil {
-			log.Printf("bcserved: %v", err)
+			logger.Error("close failed", "error", err)
 		}
 	})
 }
@@ -254,6 +292,7 @@ type promoter struct {
 	srv         *server.Server
 	stopTailing func() bool // cancel the tailer, wait for it; false on timeout
 	walCfg      server.WALConfig
+	log         *slog.Logger
 }
 
 // handle is POST /v1/replication/promote: stop tailing, optionally open a
@@ -317,9 +356,9 @@ func (p *promoter) handle(w http.ResponseWriter, _ *http.Request) {
 	snapErr := ""
 	if _, err := p.srv.Snapshot(); err != nil && !errors.Is(err, server.ErrNoSnapshotDir) {
 		snapErr = err.Error()
-		log.Printf("bcserved: promotion snapshot failed (retry with POST /v1/snapshot): %v", err)
+		p.log.Error("promotion snapshot failed (retry with POST /v1/snapshot)", "error", err)
 	}
-	log.Printf("bcserved: promoted to primary at sequence %d (durable=%v)", seq, p.walCfg.Dir != "")
+	p.log.Info("promoted to primary", obs.KeySeq, seq, "durable", p.walCfg.Dir != "")
 	resp := map[string]any{
 		"promoted":     true,
 		"wal_sequence": seq,
@@ -330,6 +369,42 @@ func (p *promoter) handle(w http.ResponseWriter, _ *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp) //nolint:errcheck
+}
+
+// opsMux builds the introspection surface: the pprof handlers mounted
+// explicitly (never via DefaultServeMux, which package pprof also populates)
+// and the expvar JSON dump (cmdline + memstats).
+func opsMux(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+}
+
+// startOps mounts the introspection endpoints: on the main mux when opsAddr
+// is empty, or on their own listener (so the public port never exposes
+// profiling) otherwise. The separate listener deliberately has no write
+// timeout — CPU profiles stream for their whole -seconds duration.
+func startOps(main *http.ServeMux, opsAddr string, logger *slog.Logger) {
+	if opsAddr == "" {
+		opsMux(main)
+		return
+	}
+	mux := http.NewServeMux()
+	opsMux(mux)
+	srv := &http.Server{
+		Addr:              opsAddr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		logger.Info("ops listener up", "addr", opsAddr)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("ops listener failed", "addr", opsAddr, "error", err)
+		}
+	}()
 }
 
 // newHTTPServer wraps a handler in an http.Server with slowloris-resistant
@@ -349,7 +424,7 @@ func newHTTPServer(addr string, h http.Handler) *http.Server {
 
 // serve runs httpSrv until SIGINT/SIGTERM, then shuts down the HTTP
 // listener and calls closeDown (which owns stopping the serving layer).
-func serve(httpSrv *http.Server, onUp, closeDown func()) {
+func serve(httpSrv *http.Server, logger *slog.Logger, onUp, closeDown func()) {
 	errc := make(chan error, 1)
 	go func() {
 		onUp()
@@ -360,17 +435,17 @@ func serve(httpSrv *http.Server, onUp, closeDown func()) {
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		log.Printf("bcserved: received %v, shutting down", sig)
+		logger.Info("shutting down", "signal", sig.String())
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("bcserved: %v", err)
+			fatal(logger, "listener failed", "error", err)
 		}
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		log.Printf("bcserved: HTTP shutdown: %v", err)
+		logger.Error("HTTP shutdown failed", "error", err)
 	}
 	closeDown()
 }
@@ -380,13 +455,13 @@ func serve(httpSrv *http.Server, onUp, closeDown func()) {
 // size > 0 selects the approximate mode: the sample is drawn from the initial
 // graph, unless a restored snapshot already carries one (which wins — its
 // scores are only coherent with the sample they were accumulated over).
-func buildEngine(snapshotDir, graphPath string, directed bool, cfg engine.Config, sample int, sampleSeed int64) (*engine.Engine, error) {
+func buildEngine(snapshotDir, graphPath string, directed bool, cfg engine.Config, sample int, sampleSeed int64, logger *slog.Logger) (*engine.Engine, error) {
 	if snapshotDir != "" {
 		st, err := server.LoadSnapshotFile(snapshotDir)
 		switch {
 		case err == nil:
-			log.Printf("bcserved: restoring snapshot (n=%d m=%d, %d updates applied)",
-				st.Graph.N(), st.Graph.M(), st.Applied)
+			logger.Info("restoring snapshot",
+				"n", st.Graph.N(), "m", st.Graph.M(), "applied", st.Applied)
 			if st.Sources == nil && sample > 0 {
 				if err := configureSampling(&cfg, st.Graph.N(), sample, sampleSeed); err != nil {
 					return nil, err
@@ -429,6 +504,13 @@ func configureSampling(cfg *engine.Config, n, sample int, sampleSeed int64) erro
 	cfg.Sources = bc.SampleSources(n, sample, sampleSeed)
 	cfg.Scale = float64(n) / float64(sample)
 	return nil
+}
+
+// fatal logs at error level and exits non-zero (the structured replacement
+// for log.Fatalf).
+func fatal(logger *slog.Logger, msg string, args ...any) {
+	logger.Error(msg, args...)
+	os.Exit(1)
 }
 
 // usageError reports a flag-validation failure with the usage text and exits

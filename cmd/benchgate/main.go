@@ -35,9 +35,12 @@ type Result struct {
 	Runs        int     `json:"runs"`
 }
 
-// Report is the JSON document exchanged between runs.
+// Report is the JSON document exchanged between runs. MemWarnings carries
+// the warn-only allocation deltas of a gated run into the artifact; it is
+// absent from baseline reports (which are produced without -baseline).
 type Report struct {
-	Benchmarks map[string]Result `json:"benchmarks"`
+	Benchmarks  map[string]Result `json:"benchmarks"`
+	MemWarnings []string          `json:"mem_warnings,omitempty"`
 }
 
 // benchLine matches one `go test -bench` result line, e.g.
@@ -52,6 +55,7 @@ func main() {
 		out        = flag.String("out", "", "write the aggregated JSON report to this file")
 		baseline   = flag.String("baseline", "", "baseline JSON report to gate against (no gating when empty)")
 		maxRegress = flag.Float64("max-regress", 0.25, "maximum tolerated ns/op regression as a fraction of the baseline")
+		memWarn    = flag.Float64("mem-warn", 0.25, "allocs/op or B/op growth fraction above which a warning (never a failure) is emitted")
 	)
 	flag.Parse()
 
@@ -62,18 +66,27 @@ func main() {
 	if len(report.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmark results on stdin"))
 	}
+	var base *Report
+	if *baseline != "" {
+		if base, err = readReport(*baseline); err != nil {
+			fatal(err)
+		}
+		// Allocation counts gate nothing (they are advisory: an intentional
+		// buffering change can trade bytes for speed), but the deltas ride
+		// along in the artifact so reviewers see them without rerunning.
+		report.MemWarnings = memDeltas(base, report, *memWarn)
+	}
 	if *out != "" {
 		if err := writeReport(*out, report); err != nil {
 			fatal(err)
 		}
 	}
 	printReport(report)
-	if *baseline == "" {
+	if base == nil {
 		return
 	}
-	base, err := readReport(*baseline)
-	if err != nil {
-		fatal(err)
+	for _, w := range report.MemWarnings {
+		fmt.Fprintln(os.Stderr, "benchgate: WARN:", w)
 	}
 	if failures := gate(base, report, *maxRegress); len(failures) > 0 {
 		for _, f := range failures {
@@ -155,6 +168,33 @@ func gate(base, cur *Report, maxRegress float64) []string {
 		}
 	}
 	return failures
+}
+
+// memDeltas reports baseline benchmarks whose allocs/op or B/op grew by more
+// than warnFrac. Purely informational: memory numbers from -benchmem are
+// stable enough to surface but too workload-sensitive to gate on.
+func memDeltas(base, cur *Report, warnFrac float64) []string {
+	var warnings []string
+	for _, name := range sortedNames(base.Benchmarks) {
+		b := base.Benchmarks[name]
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			continue // gate() already fails the run for the missing benchmark
+		}
+		if b.AllocsPerOp > 0 {
+			if ratio := float64(c.AllocsPerOp)/float64(b.AllocsPerOp) - 1; ratio > warnFrac {
+				warnings = append(warnings, fmt.Sprintf("%s: %d allocs/op vs baseline %d (+%.1f%%)",
+					name, c.AllocsPerOp, b.AllocsPerOp, ratio*100))
+			}
+		}
+		if b.BytesPerOp > 0 {
+			if ratio := float64(c.BytesPerOp)/float64(b.BytesPerOp) - 1; ratio > warnFrac {
+				warnings = append(warnings, fmt.Sprintf("%s: %d B/op vs baseline %d (+%.1f%%)",
+					name, c.BytesPerOp, b.BytesPerOp, ratio*100))
+			}
+		}
+	}
+	return warnings
 }
 
 func printReport(r *Report) {

@@ -26,12 +26,15 @@ import (
 	"fmt"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
+	"time"
 
 	"streambc/internal/bc"
 	"streambc/internal/bdstore"
 	"streambc/internal/graph"
 	"streambc/internal/incremental"
+	"streambc/internal/obs"
 )
 
 // StoreFactory builds the per-worker store holding the betweenness data of
@@ -73,6 +76,13 @@ type Config struct {
 	// sample of k out of n sources). Values <= 0 mean n/len(Sources),
 	// computed at construction. Ignored in exact mode.
 	Scale float64
+	// Obs, when non-nil, registers the engine's metrics (apply-batch latency,
+	// per-worker source counters, store probe/load/save and classification
+	// counters) with the given registry. Metric names are process-wide, so set
+	// it on at most one engine per registry and leave it nil for engines that
+	// may be replaced at runtime (a replica's engine is rebuilt on
+	// rebootstrap; re-registering would panic).
+	Obs *obs.Registry
 }
 
 // Stats aggregates the work counters of all workers. It is the same type as
@@ -98,6 +108,10 @@ type Engine struct {
 	// exact mode) and scale the matching estimator factor (1 in exact mode).
 	sample []int
 	scale  float64
+
+	// applyHist, when non-nil, records the wall-clock latency of every
+	// ApplyBatch call (set when Config.Obs registered the engine's metrics).
+	applyHist *obs.Histogram
 
 	// pooled reports whether persistent worker goroutines are running. A
 	// single-worker engine stays inline: updates are processed on the
@@ -201,7 +215,53 @@ func New(g *graph.Graph, cfg Config) (*Engine, error) {
 			go w.run(e.g)
 		}
 	}
+	if cfg.Obs != nil {
+		e.registerMetrics(cfg.Obs)
+	}
 	return e, nil
+}
+
+// registerMetrics exposes the engine's work counters on the registry. The
+// worker set is fixed for the engine's lifetime and every counter read is an
+// atomic load, so scrape-time reads race with nothing.
+func (e *Engine) registerMetrics(reg *obs.Registry) {
+	e.applyHist = reg.Histogram("streambc_engine_apply_batch_seconds",
+		"Wall-clock latency of engine ApplyBatch calls (map, flush and reduce phases).",
+		obs.LatencyBuckets())
+	for _, w := range e.workers {
+		id := strconv.Itoa(w.id)
+		reg.CounterFunc("streambc_engine_worker_sources_updated_total",
+			"Source iterations that ran the partial recomputation, per worker.",
+			w.proc.Updated, "worker", id)
+		reg.CounterFunc("streambc_engine_worker_sources_skipped_total",
+			"Source iterations skipped by the distance probe, per worker.",
+			w.proc.Skipped, "worker", id)
+	}
+	sum := func(read func(*incremental.SourceProcessor) int64) func() int64 {
+		return func() int64 {
+			var t int64
+			for _, w := range e.workers {
+				t += read(w.proc)
+			}
+			return t
+		}
+	}
+	reg.CounterFunc("streambc_store_probes_total",
+		"Probe columns read from the per-source stores (LoadDistances calls).",
+		sum((*incremental.SourceProcessor).Probes))
+	reg.CounterFunc("streambc_store_loads_total",
+		"Full per-source records read from the stores.",
+		sum((*incremental.SourceProcessor).Loads))
+	reg.CounterFunc("streambc_store_saves_total",
+		"Dirty per-source records written back to the stores.",
+		sum((*incremental.SourceProcessor).Saves))
+	classified := "Per-source update classifications by the distance probe (classify.go kinds)."
+	reg.CounterFunc("streambc_updates_classified_total", classified,
+		sum((*incremental.SourceProcessor).Additions), "kind", "addition")
+	reg.CounterFunc("streambc_updates_classified_total", classified,
+		sum((*incremental.SourceProcessor).Removals), "kind", "removal")
+	reg.CounterFunc("streambc_updates_classified_total", classified,
+		sum((*incremental.SourceProcessor).Skipped), "kind", "skip")
 }
 
 // sourcePool resolves the configured source set: every vertex in exact mode,
@@ -527,6 +587,10 @@ func (e *Engine) Apply(upd graph.Update) error {
 func (e *Engine) ApplyBatch(updates []graph.Update) (int, error) {
 	if len(updates) == 0 {
 		return 0, nil
+	}
+	if e.applyHist != nil {
+		start := time.Now()
+		defer func() { e.applyHist.Observe(time.Since(start).Seconds()) }()
 	}
 	for _, w := range e.workers {
 		// Workers are idle between batches; the next task's channel

@@ -5,25 +5,25 @@ import (
 	"streambc/internal/graph"
 )
 
-// updateKind describes how an update affects the shortest-path DAG of one
+// UpdateKind describes how an update affects the shortest-path DAG of one
 // source, following the case analysis of Section 3.1.
-type updateKind int
+type UpdateKind int
 
 const (
-	// kindSkip: the update cannot change any shortest path from this source
+	// KindSkip: the update cannot change any shortest path from this source
 	// (dd = 0, Proposition 3.1, or the endpoints are unreachable).
-	kindSkip updateKind = iota
-	// kindAddition: a new edge creates or shortens paths below uL.
-	kindAddition
-	// kindRemoval: an existing shortest-path DAG edge disappears.
-	kindRemoval
+	KindSkip UpdateKind = iota
+	// KindAddition: a new edge creates or shortens paths below uL.
+	KindAddition
+	// KindRemoval: an existing shortest-path DAG edge disappears.
+	KindRemoval
 )
 
-// classify determines, from the old distances of the endpoints, whether the
+// Classify determines, from the old distances of the endpoints, whether the
 // update affects source s and which endpoint plays the role of uH (closer to
 // the source) and uL (farther). The update must already be applied to the
 // graph; dist holds the distances of the old graph.
-func classify(dist []int32, upd graph.Update, directed bool) (uH, uL int, kind updateKind) {
+func Classify(dist []int32, upd graph.Update, directed bool) (uH, uL int, kind UpdateKind) {
 	u1, u2 := upd.U, upd.V
 	d1, d2 := distOf(dist, u1), distOf(dist, u2)
 
@@ -41,29 +41,29 @@ func classify(dist []int32, upd graph.Update, directed bool) (uH, uL int, kind u
 	if upd.Remove {
 		// The removed edge mattered only if it was a shortest-path DAG edge.
 		if dH == bc.Unreachable || dL != dH+1 {
-			return uH, uL, kindSkip
+			return uH, uL, KindSkip
 		}
-		return uH, uL, kindRemoval
+		return uH, uL, KindRemoval
 	}
 	// Addition: paths can only improve through uH, and only if uL is farther
 	// than dH+1 (structural change), exactly dH+1 (new shortest paths), or
 	// unreachable (possibly an entire component becomes reachable).
 	if dH == bc.Unreachable {
-		return uH, uL, kindSkip
+		return uH, uL, KindSkip
 	}
 	if dL != bc.Unreachable && dL <= dH {
-		return uH, uL, kindSkip
+		return uH, uL, KindSkip
 	}
-	return uH, uL, kindAddition
+	return uH, uL, KindAddition
 }
 
 // Affected reports whether the update can modify the betweenness data of a
-// source whose old distance column is dist. It mirrors classify and is used
+// source whose old distance column is dist. It mirrors Classify and is used
 // as the cheap skip test before loading the full per-source record
 // (Section 5.1: "we check the distance for the endpoints uH and uL").
 func Affected(dist []int32, upd graph.Update, directed bool) bool {
-	_, _, kind := classify(dist, upd, directed)
-	return kind != kindSkip
+	_, _, kind := Classify(dist, upd, directed)
+	return kind != KindSkip
 }
 
 func distOf(dist []int32, v int) int32 {

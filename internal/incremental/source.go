@@ -22,8 +22,8 @@ import (
 // same workspace can be reused across sources and updates, but must not be
 // shared between concurrent calls.
 func UpdateSource(g *graph.Graph, s int, upd graph.Update, rec *bc.SourceState, acc Accumulator, ws *Workspace) bool {
-	uH, uL, kind := classify(rec.Dist, upd, g.Directed())
-	if kind == kindSkip {
+	uH, uL, kind := Classify(rec.Dist, upd, g.Directed())
+	if kind == KindSkip {
 		return false
 	}
 	ws.reset(g.N())
@@ -33,9 +33,9 @@ func UpdateSource(g *graph.Graph, s int, upd graph.Update, rec *bc.SourceState, 
 		updKey: bc.EdgeKey(g, upd.U, upd.V),
 	}
 	switch kind {
-	case kindAddition:
+	case KindAddition:
 		su.forwardAddition(uH, uL)
-	case kindRemoval:
+	case KindRemoval:
 		su.forwardRemoval(uH, uL)
 	}
 	ws.clearBuckets()
@@ -309,7 +309,7 @@ func (su *sourceUpdate) backward() {
 	// be discovered as a predecessor of uL: enqueue it explicitly so that its
 	// dependency (which loses the term contributed through uL) is corrected,
 	// as in Algorithm 2, lines 11-13.
-	if su.kind == kindRemoval {
+	if su.kind == KindRemoval {
 		seed(su.uH)
 	}
 
@@ -411,7 +411,7 @@ func (su *sourceUpdate) flushEdgeUpdates() {
 func (su *sourceUpdate) updateEdge(a, b int) {
 	key := bc.EdgeKey(su.g, a, b)
 	var cOld float64
-	if !(su.kind == kindAddition && key == su.updKey) {
+	if !(su.kind == KindAddition && key == su.updKey) {
 		// The edge being added did not exist before the update, so it cannot
 		// have carried any dependency: its old contribution is zero.
 		cOld = su.oldEdgeContribution(a, b)

@@ -3,6 +3,7 @@ package incremental
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"streambc/internal/bc"
 	"streambc/internal/graph"
@@ -51,8 +52,16 @@ type SourceProcessor struct {
 	scale  float64
 	scaled ScaledAccumulator
 
-	skipped int64
-	updated int64
+	// Work counters. The processor itself is single-owner, but these are
+	// atomics because the metrics registry reads them at scrape time from
+	// other goroutines while a batch is in flight.
+	skipped   atomic.Int64 // source iterations skipped by the distance probe
+	updated   atomic.Int64 // source iterations that ran the recomputation
+	additions atomic.Int64 // iterations classified as structural additions
+	removals  atomic.Int64 // iterations classified as DAG-edge removals
+	probes    atomic.Int64 // store LoadDistances calls (probe columns read)
+	loads     atomic.Int64 // store Load calls (full records read)
+	saves     atomic.Int64 // store Save calls (dirty records written back)
 
 	// OnSourceUpdated, when non-nil, is invoked after UpdateSource modified
 	// the record of a source, with the source, its new record and the list
@@ -98,10 +107,44 @@ func (p *SourceProcessor) Store() Store { return p.store }
 
 // Skipped returns how many source iterations were skipped by the distance
 // probe so far.
-func (p *SourceProcessor) Skipped() int64 { return p.skipped }
+func (p *SourceProcessor) Skipped() int64 { return p.skipped.Load() }
 
 // Updated returns how many source iterations ran the partial recomputation.
-func (p *SourceProcessor) Updated() int64 { return p.updated }
+func (p *SourceProcessor) Updated() int64 { return p.updated.Load() }
+
+// Additions returns how many source iterations were classified as structural
+// edge additions (KindAddition).
+func (p *SourceProcessor) Additions() int64 { return p.additions.Load() }
+
+// Removals returns how many source iterations were classified as
+// shortest-path-DAG edge removals (KindRemoval).
+func (p *SourceProcessor) Removals() int64 { return p.removals.Load() }
+
+// Probes returns how many probe columns were read from the store.
+func (p *SourceProcessor) Probes() int64 { return p.probes.Load() }
+
+// Loads returns how many full per-source records were read from the store.
+func (p *SourceProcessor) Loads() int64 { return p.loads.Load() }
+
+// Saves returns how many dirty records were written back to the store.
+func (p *SourceProcessor) Saves() int64 { return p.saves.Load() }
+
+// affected is the counted twin of Affected: it classifies the update for one
+// source and maintains the skip/addition/removal counters the metrics
+// registry exposes.
+func (p *SourceProcessor) affected(dist []int32, upd graph.Update, directed bool) bool {
+	switch _, _, kind := Classify(dist, upd, directed); kind {
+	case KindAddition:
+		p.additions.Add(1)
+		return true
+	case KindRemoval:
+		p.removals.Add(1)
+		return true
+	default:
+		p.skipped.Add(1)
+		return false
+	}
+}
 
 // ProcessUpdate runs the per-source algorithm for one update on every source
 // in sources (nil means every vertex of g), folding the betweenness changes
@@ -146,17 +189,18 @@ func (p *SourceProcessor) processOne(g *graph.Graph, n, s int, upd graph.Update,
 		if !p.cacheProbes {
 			// Unbatched fast path: probe through the shared buffer and cache
 			// the source only when it is affected.
+			p.probes.Add(1)
 			if err := p.store.LoadDistances(s, &p.distBuf); err != nil {
 				return fmt.Errorf("incremental: loading distances of source %d: %w", s, err)
 			}
-			if !Affected(p.distBuf, upd, directed) {
-				p.skipped++
+			if !p.affected(p.distBuf, upd, directed) {
 				return nil
 			}
 			return p.loadAndProcess(g, n, s, upd, acc)
 		}
 		// First time the batch touches this source: cache its probe column.
 		dist := p.getDist()
+		p.probes.Add(1)
 		if err := p.store.LoadDistances(s, &dist); err != nil {
 			p.distPool = append(p.distPool, dist)
 			return fmt.Errorf("incremental: loading distances of source %d: %w", s, err)
@@ -171,8 +215,7 @@ func (p *SourceProcessor) processOne(g *graph.Graph, n, s int, upd graph.Update,
 		// update of the batch affected this source. Vertices beyond its
 		// length (mid-batch growth) read as unreachable, exactly how the
 		// store pads grown records.
-		if !Affected(ent.dist, upd, directed) {
-			p.skipped++
+		if !p.affected(ent.dist, upd, directed) {
 			return nil
 		}
 		p.distPool = append(p.distPool, ent.dist)
@@ -182,8 +225,7 @@ func (p *SourceProcessor) processOne(g *graph.Graph, n, s int, upd graph.Update,
 	// Fully cached: the record already reflects every earlier update of the
 	// batch, so its distance column doubles as the probe.
 	ent.rec.Resize(n)
-	if !Affected(ent.rec.Dist, upd, directed) {
-		p.skipped++
+	if !p.affected(ent.rec.Dist, upd, directed) {
 		return nil
 	}
 	if UpdateSource(g, s, upd, ent.rec, acc, p.ws) {
@@ -192,7 +234,7 @@ func (p *SourceProcessor) processOne(g *graph.Graph, n, s int, upd graph.Update,
 			p.OnSourceUpdated(s, ent.rec, p.ws.dirty)
 		}
 	}
-	p.updated++
+	p.updated.Add(1)
 	return nil
 }
 
@@ -200,6 +242,7 @@ func (p *SourceProcessor) processOne(g *graph.Graph, n, s int, upd graph.Update,
 // and runs the per-source algorithm for upd.
 func (p *SourceProcessor) loadAndProcess(g *graph.Graph, n, s int, upd graph.Update, acc Accumulator) error {
 	rec := p.getRec()
+	p.loads.Add(1)
 	if err := p.store.Load(s, rec); err != nil {
 		p.recPool = append(p.recPool, rec)
 		return fmt.Errorf("incremental: loading source %d: %w", s, err)
@@ -217,7 +260,7 @@ func (p *SourceProcessor) loadAndProcess(g *graph.Graph, n, s int, upd graph.Upd
 		p.idx[s] = len(p.entries)
 		p.entries = append(p.entries, procEntry{src: s, rec: rec, dirty: dirty})
 	}
-	p.updated++
+	p.updated.Add(1)
 	return nil
 }
 
@@ -236,6 +279,7 @@ func (p *SourceProcessor) Flush() error {
 	for i := range p.entries {
 		ent := &p.entries[i]
 		if ent.dirty {
+			p.saves.Add(1)
 			if err := p.store.Save(ent.src, ent.rec); err != nil && firstErr == nil {
 				firstErr = fmt.Errorf("incremental: saving source %d: %w", ent.src, err)
 			}

@@ -152,7 +152,7 @@ type sourceUpdate struct {
 	ws  *Workspace
 
 	// Classification of the update being processed.
-	kind   updateKind
+	kind   UpdateKind
 	uH, uL int        // closer / farther endpoint w.r.t. the source
 	updKey graph.Edge // canonical key of the updated edge
 }

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Histogram is a fixed-bucket histogram of non-negative observations. It is
+// rendered either as a Prometheus histogram (cumulative _bucket/_sum/_count
+// series) or, when registered via Summary, as a summary whose quantile lines
+// are interpolated from the buckets — the shape the pre-registry /metrics
+// exposition used, kept for byte compatibility of the asserted metric names.
+type Histogram struct {
+	mu        sync.Mutex
+	bounds    []float64 // ascending finite upper bounds
+	counts    []uint64  // per-bucket counts; last entry is the +Inf overflow
+	sum       float64
+	count     uint64
+	quantiles []float64 // non-empty: render as a summary with these quantiles
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v; len(bounds) = overflow
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// inside the bucket holding the target rank, assuming a lower bound of 0 for
+// the first bucket. Observations in the overflow bucket report the largest
+// finite bound. Returns 0 when nothing has been observed.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := q * float64(h.count)
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum)+float64(c) >= rank {
+			if i == len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			upper := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lower + frac*(upper-lower)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// snapshot returns a consistent copy for rendering.
+func (h *Histogram) snapshot() (counts []uint64, sum float64, count uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	counts = make([]uint64, len(h.counts))
+	copy(counts, h.counts)
+	return counts, h.sum, h.count
+}
+
+func histogramRender(h *Histogram) func(w *bufio.Writer, name, labels string) {
+	return func(w *bufio.Writer, name, labels string) {
+		counts, sum, count := h.snapshot()
+		var cum uint64
+		for i, b := range h.bounds {
+			cum += counts[i]
+			fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabel(labels, "le", formatFloat(b)), cum)
+		}
+		cum += counts[len(h.bounds)]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabel(labels, "le", "+Inf"), cum)
+		fmt.Fprintf(w, "%s_sum%s %g\n", name, labels, sum)
+		fmt.Fprintf(w, "%s_count%s %d\n", name, labels, count)
+	}
+}
+
+func summaryRender(h *Histogram) func(w *bufio.Writer, name, labels string) {
+	return func(w *bufio.Writer, name, labels string) {
+		h.mu.Lock()
+		count := h.count
+		sum := h.sum
+		vals := make([]float64, len(h.quantiles))
+		for i, q := range h.quantiles {
+			vals[i] = h.quantileLocked(q)
+		}
+		h.mu.Unlock()
+		if count > 0 {
+			for i, q := range h.quantiles {
+				fmt.Fprintf(w, "%s%s %g\n", name, mergeLabel(labels, "quantile", formatFloat(q)), vals[i])
+			}
+		}
+		fmt.Fprintf(w, "%s_sum%s %g\n", name, labels, sum)
+		fmt.Fprintf(w, "%s_count%s %d\n", name, labels, count)
+	}
+}
+
+func formatFloat(v float64) string {
+	return strings.TrimSpace(fmt.Sprintf("%g", v))
+}
+
+func newHistogram(name string, buckets, quantiles []float64) *Histogram {
+	b := checkBuckets(name, buckets)
+	return &Histogram{
+		bounds:    b,
+		counts:    make([]uint64, len(b)+1),
+		quantiles: append([]float64(nil), quantiles...),
+	}
+}
+
+// Histogram registers an unlabeled histogram with the given bucket upper
+// bounds (ascending; an implicit +Inf overflow bucket is added).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	h := newHistogram(name, buckets, nil)
+	f := r.familyFor(name, help, "histogram")
+	f.addSeries("", histogramRender(h))
+	return h
+}
+
+// Summary registers a bucketed histogram rendered as a Prometheus summary:
+// one line per requested quantile (interpolated from the buckets; omitted
+// while empty) plus _sum and _count. This keeps the pre-registry exposition
+// shape for the latency/size summaries asserted in existing tests.
+func (r *Registry) Summary(name, help string, buckets, quantiles []float64) *Histogram {
+	if len(quantiles) == 0 {
+		panic(fmt.Sprintf("obs: summary %q needs at least one quantile", name))
+	}
+	h := newHistogram(name, buckets, quantiles)
+	f := r.familyFor(name, help, "summary")
+	f.addSeries("", summaryRender(h))
+	return h
+}
+
+// HistogramVec is a histogram family with a fixed label-key schema; series
+// are created on first use via With.
+type HistogramVec struct {
+	fam     *family
+	keys    []string
+	buckets []float64
+
+	mu sync.Mutex
+	by map[string]*Histogram
+}
+
+// HistogramVec registers a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, keys ...string) *HistogramVec {
+	if len(keys) == 0 {
+		panic("obs: HistogramVec needs at least one label key")
+	}
+	return &HistogramVec{
+		fam:     r.familyFor(name, help, "histogram"),
+		keys:    keys,
+		buckets: checkBuckets(name, buckets),
+		by:      make(map[string]*Histogram),
+	}
+}
+
+// With returns the histogram for the given label values, creating the series
+// on first use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if len(values) != len(v.keys) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", v.fam.name, len(v.keys), len(values)))
+	}
+	k := strings.Join(values, "\xff")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok := v.by[k]; ok {
+		return h
+	}
+	h := newHistogram(v.fam.name, v.buckets, nil)
+	pairs := make([]string, 0, 2*len(v.keys))
+	for i, key := range v.keys {
+		pairs = append(pairs, key, values[i])
+	}
+	v.fam.addSeries(renderLabels(pairs), histogramRender(h))
+	v.by[k] = h
+	return h
+}

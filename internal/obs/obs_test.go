@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return buf.String()
+}
+
+func TestCounterAndGaugeRendering(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "Operations.")
+	c.Add(3)
+	c.Inc()
+	r.GaugeFunc("test_temp", "Temperature.", func() float64 { return 1.5 })
+	r.IntGaugeFunc("test_depth", "Depth.", func() int64 { return 7 })
+	r.GaugeFunc("test_build_info", "Build.", func() float64 { return 1 }, "version", "dev")
+
+	out := render(t, r)
+	for _, want := range []string{
+		"# HELP test_ops_total Operations.\n# TYPE test_ops_total counter\ntest_ops_total 4\n",
+		"# TYPE test_temp gauge\ntest_temp 1.5\n",
+		"test_depth 7\n",
+		`test_build_info{version="dev"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_requests_total", "Requests.", "route", "code")
+	v.With("/v1/stats", "200").Add(2)
+	v.With("/v1/stats", "200").Inc()
+	v.With("/v1/stats", "404").Inc()
+
+	out := render(t, r)
+	if !strings.Contains(out, `test_requests_total{route="/v1/stats",code="200"} 3`) {
+		t.Errorf("missing 200 series:\n%s", out)
+	}
+	if !strings.Contains(out, `test_requests_total{route="/v1/stats",code="404"} 1`) {
+		t.Errorf("missing 404 series:\n%s", out)
+	}
+	if got := strings.Count(out, "# TYPE test_requests_total counter"); got != 1 {
+		t.Errorf("TYPE emitted %d times, want 1", got)
+	}
+}
+
+func TestHistogramRenderingAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	out := render(t, r)
+	for _, want := range []string{
+		`test_latency_seconds_bucket{le="0.1"} 1`,
+		`test_latency_seconds_bucket{le="1"} 3`,
+		`test_latency_seconds_bucket{le="10"} 4`,
+		`test_latency_seconds_bucket{le="+Inf"} 5`,
+		`test_latency_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if q := h.Quantile(1); q != 10 {
+		t.Errorf("q=1: got %g, want 10 (overflow reports largest finite bound)", q)
+	}
+	if q := h.Quantile(0.5); q < 0.1 || q > 1 {
+		t.Errorf("q=0.5: got %g, want within (0.1, 1]", q)
+	}
+	if q := (&Histogram{bounds: []float64{1}, counts: make([]uint64, 2)}).Quantile(0.5); q != 0 {
+		t.Errorf("empty histogram quantile: got %g, want 0", q)
+	}
+}
+
+func TestSummaryRendering(t *testing.T) {
+	r := NewRegistry()
+	h := r.Summary("test_apply_seconds", "Apply latency.", LatencyBuckets(), []float64{0.5, 0.9, 0.99, 1})
+
+	// Empty: no quantile lines, but _sum/_count present.
+	out := render(t, r)
+	if strings.Contains(out, "quantile=") {
+		t.Errorf("empty summary rendered quantile lines:\n%s", out)
+	}
+	if !strings.Contains(out, "test_apply_seconds_count 0") {
+		t.Errorf("missing _count:\n%s", out)
+	}
+
+	h.Observe(0.001)
+	out = render(t, r)
+	for _, want := range []string{
+		`test_apply_seconds{quantile="0.5"}`,
+		`test_apply_seconds{quantile="0.9"}`,
+		`test_apply_seconds{quantile="0.99"}`,
+		`test_apply_seconds{quantile="1"}`,
+		"test_apply_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("test_stage_seconds", "Stage latency.", []float64{1, 10}, "stage")
+	v.With("applied").Observe(0.5)
+	v.With("visible").Observe(20)
+	out := render(t, r)
+	for _, want := range []string{
+		`test_stage_seconds_bucket{stage="applied",le="1"} 1`,
+		`test_stage_seconds_bucket{stage="visible",le="+Inf"} 1`,
+		`test_stage_seconds_count{stage="applied"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWhenPredicateHidesFamily(t *testing.T) {
+	r := NewRegistry()
+	on := false
+	r.When(func() bool { return on }).CounterFunc("test_cond_total", "Conditional.", func() int64 { return 1 })
+	if out := render(t, r); strings.Contains(out, "test_cond_total") {
+		t.Errorf("predicate-off family rendered:\n%s", out)
+	}
+	on = true
+	if out := render(t, r); !strings.Contains(out, "test_cond_total 1") {
+		t.Errorf("predicate-on family missing")
+	}
+}
+
+func TestFuncSeriesShareFamily(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("test_worker_total", "Per worker.", func() int64 { return 1 }, "worker", "0")
+	r.CounterFunc("test_worker_total", "Per worker.", func() int64 { return 2 }, "worker", "1")
+	out := render(t, r)
+	if got := strings.Count(out, "# HELP test_worker_total"); got != 1 {
+		t.Errorf("HELP emitted %d times, want 1", got)
+	}
+	if !strings.Contains(out, `test_worker_total{worker="1"} 2`) {
+		t.Errorf("missing worker 1 series:\n%s", out)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_dup_total", "Dup.")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("test_dup_total", "Dup.")
+}
+
+func TestConcurrentObserveAndRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_conc_total", "Concurrent.")
+	h := r.Histogram("test_conc_seconds", "Concurrent.", LatencyBuckets())
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j) * 1e-6)
+			}
+		}()
+	}
+	for i := 0; i < 10; i++ {
+		render(t, r)
+	}
+	wg.Wait()
+	if c.Value() != 4000 {
+		t.Errorf("counter: got %d, want 4000", c.Value())
+	}
+	if h.Count() != 4000 {
+		t.Errorf("histogram: got %d, want 4000", h.Count())
+	}
+}
+
+func TestSizeBuckets(t *testing.T) {
+	b := SizeBuckets(256)
+	if b[0] != 1 || b[len(b)-1] != 256 {
+		t.Errorf("SizeBuckets(256) = %v", b)
+	}
+	if math.IsNaN(b[0]) {
+		t.Error("NaN bucket")
+	}
+}
+
+func TestTraceRing(t *testing.T) {
+	ring := NewTraceRing(3)
+	base := time.Unix(1000, 0)
+	for i := 0; i < 5; i++ {
+		tr := ring.Add(IngestTrace{Updates: i, EnqueuedAt: base})
+		if tr.ID != uint64(i+1) {
+			t.Fatalf("trace %d assigned ID %d", i, tr.ID)
+		}
+	}
+	last := ring.Last(2)
+	if len(last) != 2 || last[0].ID != 5 || last[1].ID != 4 {
+		t.Fatalf("Last(2) = %+v", last)
+	}
+	if got := ring.Last(100); len(got) != 3 {
+		t.Fatalf("Last(100) returned %d, want 3 (capacity)", len(got))
+	}
+	if ring.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", ring.Len())
+	}
+}
+
+func TestTraceStages(t *testing.T) {
+	base := time.Unix(1000, 0)
+	tr := IngestTrace{
+		EnqueuedAt:   base,
+		WALDurableAt: base.Add(10 * time.Millisecond),
+		AppliedAt:    base.Add(30 * time.Millisecond),
+		VisibleAt:    base.Add(35 * time.Millisecond),
+	}
+	st := tr.Stages()
+	approx := func(got, want float64) bool { return math.Abs(got-want) < 1e-9 }
+	if !approx(st[StageWALDurable], 0.010) || !approx(st[StageApplied], 0.020) ||
+		!approx(st[StageVisible], 0.005) || !approx(st[StageTotal], 0.035) {
+		t.Fatalf("Stages = %v", st)
+	}
+	// Without a WAL the wal_durable stage is absent and applied measures from
+	// the enqueue.
+	tr.WALDurableAt = time.Time{}
+	st = tr.Stages()
+	if _, ok := st[StageWALDurable]; ok {
+		t.Fatal("wal_durable present without a WAL")
+	}
+	if !approx(st[StageApplied], 0.030) {
+		t.Fatalf("applied = %g, want 0.030", st[StageApplied])
+	}
+}
+
+func TestParseLevelAndNewLogger(t *testing.T) {
+	for _, bad := range []string{"verbose", "TRACE"} {
+		if _, err := ParseLevel(bad); err == nil {
+			t.Errorf("ParseLevel(%q) accepted", bad)
+		}
+	}
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "debug", "json")
+	if err != nil {
+		t.Fatalf("NewLogger: %v", err)
+	}
+	lg.Debug("hello", KeyComponent, "test")
+	if !strings.Contains(buf.String(), `"component":"test"`) {
+		t.Errorf("json log missing component: %s", buf.String())
+	}
+	if _, err := NewLogger(&buf, "info", "xml"); err == nil {
+		t.Error("NewLogger accepted format xml")
+	}
+	Nop().Info("dropped") // must not panic
+}

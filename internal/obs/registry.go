@@ -1,0 +1,323 @@
+// Package obs is the shared observability layer of the streaming betweenness
+// framework: a small metrics registry with one Prometheus-text renderer, an
+// ingest trace ring buffer, and structured-logging helpers on log/slog.
+//
+// The registry holds typed metric families — counters, gauges, fixed-bucket
+// histograms — registered once at startup and rendered on every scrape in
+// registration order. Hot-path instruments are lock-free (atomic counters) or
+// take one short mutex (histograms); scrape-time "func" metrics read a value
+// the owning subsystem already maintains, so exposing a gauge never adds work
+// to the write path.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	nameRE  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// Registry is an ordered set of metric families. The zero value is not
+// usable; create one with NewRegistry. All registration methods panic on an
+// invalid or conflicting registration — metric names are programmer-chosen
+// constants, so a bad one is a bug, not a runtime condition.
+type Registry struct {
+	state *registryState
+	pred  func() bool // attached to families registered through this view
+}
+
+type registryState struct {
+	mu     sync.Mutex
+	fams   []*family
+	byName map[string]*family
+}
+
+// family is one metric family: a HELP/TYPE header plus its series.
+type family struct {
+	name, help, typ string
+	pred            func() bool // nil: always rendered
+
+	mu       sync.Mutex
+	series   []*seriesEntry
+	byLabels map[string]int
+}
+
+type seriesEntry struct {
+	labels string // pre-rendered `{k="v",...}` or ""
+	render func(w *bufio.Writer, name, labels string)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{state: &registryState{byName: make(map[string]*family)}}
+}
+
+// When returns a view of the registry through which newly registered families
+// carry a presence predicate: the renderer skips the whole family while the
+// predicate reports false. This models sections that exist only in some
+// configurations (a WAL that may be attached later, a replication tailer that
+// detaches at promotion) without unregistering anything.
+func (r *Registry) When(pred func() bool) *Registry {
+	return &Registry{state: r.state, pred: pred}
+}
+
+// familyFor returns the named family, creating it when absent, and panics on
+// a help/type conflict with an existing registration.
+func (r *Registry) familyFor(name, help, typ string) *family {
+	if !nameRE.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	st := r.state
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if f, ok := st.byName[name]; ok {
+		if f.help != help || f.typ != typ {
+			panic(fmt.Sprintf("obs: metric %q re-registered with different help or type", name))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, typ: typ, pred: r.pred, byLabels: make(map[string]int)}
+	st.fams = append(st.fams, f)
+	st.byName[name] = f
+	return f
+}
+
+// addSeries appends a series to the family, panicking on duplicate labels.
+func (f *family) addSeries(labels string, render func(w *bufio.Writer, name, labels string)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.byLabels[labels]; dup {
+		panic(fmt.Sprintf("obs: metric %q%s registered twice", f.name, labels))
+	}
+	f.byLabels[labels] = len(f.series)
+	f.series = append(f.series, &seriesEntry{labels: labels, render: render})
+}
+
+// renderLabels renders `{k="v",...}` from alternating key/value pairs.
+func renderLabels(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	if len(pairs)%2 != 0 {
+		panic("obs: label pairs must alternate key, value")
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(pairs); i += 2 {
+		if !labelRE.MatchString(pairs[i]) {
+			panic(fmt.Sprintf("obs: invalid label name %q", pairs[i]))
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", pairs[i], escapeLabel(pairs[i+1]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the text exposition format. %q below
+// already escapes `"` and `\`; newlines are the remaining hazard.
+func escapeLabel(v string) string {
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// mergeLabel appends one more pair inside an already-rendered label set (used
+// for the `le` and `quantile` labels of histogram and summary series).
+func mergeLabel(labels, key, value string) string {
+	pair := fmt.Sprintf("%s=%q", key, value)
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+// Counter is a monotonically increasing integer, rendered as an integer.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 to keep the counter monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func counterRender(c *Counter) func(w *bufio.Writer, name, labels string) {
+	return func(w *bufio.Writer, name, labels string) {
+		fmt.Fprintf(w, "%s%s %d\n", name, labels, c.v.Load())
+	}
+}
+
+// Counter registers an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.familyFor(name, help, "counter")
+	c := &Counter{}
+	f.addSeries("", counterRender(c))
+	return c
+}
+
+// CounterVec is a counter family with a fixed label-key schema; series are
+// created on first use via With.
+type CounterVec struct {
+	fam  *family
+	keys []string
+
+	mu sync.Mutex
+	by map[string]*Counter
+}
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, keys ...string) *CounterVec {
+	if len(keys) == 0 {
+		panic("obs: CounterVec needs at least one label key")
+	}
+	return &CounterVec{fam: r.familyFor(name, help, "counter"), keys: keys, by: make(map[string]*Counter)}
+}
+
+// With returns the counter for the given label values (one per key, in key
+// order), creating the series on first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(v.keys) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", v.fam.name, len(v.keys), len(values)))
+	}
+	k := strings.Join(values, "\xff")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.by[k]; ok {
+		return c
+	}
+	c := &Counter{}
+	pairs := make([]string, 0, 2*len(v.keys))
+	for i, key := range v.keys {
+		pairs = append(pairs, key, values[i])
+	}
+	v.fam.addSeries(renderLabels(pairs), counterRender(c))
+	v.by[k] = c
+	return c
+}
+
+// CounterFunc registers a counter whose value is read at scrape time from fn
+// (which must be monotonic, e.g. backed by an atomic the subsystem already
+// maintains). Optional alternating label pairs distinguish multiple func
+// series within one family; repeated calls with the same name append series.
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labelPairs ...string) {
+	f := r.familyFor(name, help, "counter")
+	f.addSeries(renderLabels(labelPairs), func(w *bufio.Writer, name, labels string) {
+		fmt.Fprintf(w, "%s%s %d\n", name, labels, fn())
+	})
+}
+
+// GaugeFunc registers a float gauge read at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labelPairs ...string) {
+	f := r.familyFor(name, help, "gauge")
+	f.addSeries(renderLabels(labelPairs), func(w *bufio.Writer, name, labels string) {
+		fmt.Fprintf(w, "%s%s %g\n", name, labels, fn())
+	})
+}
+
+// IntGaugeFunc registers an integer gauge read at scrape time, rendered
+// without a decimal point (byte-compatible with %d expositions).
+func (r *Registry) IntGaugeFunc(name, help string, fn func() int64, labelPairs ...string) {
+	f := r.familyFor(name, help, "gauge")
+	f.addSeries(renderLabels(labelPairs), func(w *bufio.Writer, name, labels string) {
+		fmt.Fprintf(w, "%s%s %d\n", name, labels, fn())
+	})
+}
+
+// WriteTo renders the whole registry in the Prometheus text exposition
+// format, families in registration order.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	st := r.state
+	st.mu.Lock()
+	fams := make([]*family, len(st.fams))
+	copy(fams, st.fams)
+	st.mu.Unlock()
+
+	cnt := &countingWriter{w: w}
+	bw := bufio.NewWriter(cnt)
+	for _, f := range fams {
+		if f.pred != nil && !f.pred() {
+			continue
+		}
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		f.mu.Lock()
+		series := make([]*seriesEntry, len(f.series))
+		copy(series, f.series)
+		f.mu.Unlock()
+		for _, s := range series {
+			s.render(bw, f.name, s.labels)
+		}
+	}
+	err := bw.Flush()
+	return cnt.n, err
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// ExponentialBuckets returns n bucket upper bounds starting at start and
+// multiplying by factor.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExponentialBuckets wants start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LatencyBuckets is the default bucket layout for latencies in seconds:
+// 1µs to ~16s in factor-2 steps (25 buckets), fine enough that interpolated
+// quantiles track the old sliding-window quantiles closely.
+func LatencyBuckets() []float64 {
+	return ExponentialBuckets(1e-6, 2, 25)
+}
+
+// SizeBuckets is the default bucket layout for batch sizes: powers of two
+// from 1 through max (inclusive of the first power >= max).
+func SizeBuckets(max int) []float64 {
+	var out []float64
+	for v := 1; ; v *= 2 {
+		out = append(out, float64(v))
+		if v >= max {
+			return out
+		}
+	}
+}
+
+// checkBuckets validates and defensively copies bucket bounds.
+func checkBuckets(name string, buckets []float64) []float64 {
+	if len(buckets) == 0 {
+		panic(fmt.Sprintf("obs: histogram %q needs at least one bucket", name))
+	}
+	out := make([]float64, len(buckets))
+	copy(out, buckets)
+	if !sort.Float64sAreSorted(out) {
+		panic(fmt.Sprintf("obs: histogram %q buckets must be sorted ascending", name))
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Stage names of the ingest trace, in pipeline order. Every accepted drain
+// moves enqueue → (WAL durable) → engine applied → snapshot-visible; the
+// same names label the streambc_ingest_stage_seconds histograms.
+const (
+	StageWALDurable = "wal_durable" // enqueue → record durable in the WAL
+	StageApplied    = "applied"     // durable (or enqueue) → engine applied
+	StageVisible    = "visible"     // applied → published in the read view
+	StageTotal      = "total"       // enqueue → visible
+)
+
+// IngestTrace records the lifecycle of one applied drain: when its oldest
+// update was enqueued and when it passed each pipeline stage. A zero
+// WALDurableAt means the server runs without a write-ahead log. ID is a
+// monotonic sequence assigned by the ring on Add.
+type IngestTrace struct {
+	ID           uint64    `json:"id"`
+	Updates      int       `json:"updates"`
+	EnqueuedAt   time.Time `json:"enqueued_at"`
+	WALDurableAt time.Time `json:"-"`
+	AppliedAt    time.Time `json:"-"`
+	VisibleAt    time.Time `json:"-"`
+	Error        string    `json:"error,omitempty"`
+}
+
+// Stages returns the per-stage durations in seconds, keyed by the Stage*
+// names. Stages the drain never reached (an error mid-pipeline, or no WAL)
+// are absent.
+func (t IngestTrace) Stages() map[string]float64 {
+	out := make(map[string]float64, 4)
+	last := t.EnqueuedAt
+	if !t.WALDurableAt.IsZero() {
+		out[StageWALDurable] = t.WALDurableAt.Sub(last).Seconds()
+		last = t.WALDurableAt
+	}
+	if !t.AppliedAt.IsZero() {
+		out[StageApplied] = t.AppliedAt.Sub(last).Seconds()
+		last = t.AppliedAt
+	}
+	if !t.VisibleAt.IsZero() {
+		out[StageVisible] = t.VisibleAt.Sub(last).Seconds()
+		out[StageTotal] = t.VisibleAt.Sub(t.EnqueuedAt).Seconds()
+	}
+	return out
+}
+
+// TraceRing is a fixed-capacity ring buffer of the most recent ingest
+// traces, safe for concurrent use. The pipeline adds one trace per applied
+// drain; the debug endpoint reads the newest N.
+type TraceRing struct {
+	mu     sync.Mutex
+	buf    []IngestTrace
+	next   int
+	n      int
+	nextID uint64
+}
+
+// NewTraceRing returns a ring holding up to capacity traces (values < 1 mean
+// the default of 256).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity < 1 {
+		capacity = 256
+	}
+	return &TraceRing{buf: make([]IngestTrace, capacity)}
+}
+
+// Add assigns the next trace ID, stores the trace (evicting the oldest when
+// full) and returns the stored record.
+func (r *TraceRing) Add(t IngestTrace) IngestTrace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	t.ID = r.nextID
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	return t
+}
+
+// Last returns up to n traces, newest first.
+func (r *TraceRing) Last(n int) []IngestTrace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n > r.n || n < 0 {
+		n = r.n
+	}
+	out := make([]IngestTrace, 0, n)
+	for i := 1; i <= n; i++ {
+		idx := (r.next - i + len(r.buf)) % len(r.buf)
+		out = append(out, r.buf[idx])
+	}
+	return out
+}
+
+// Len returns how many traces the ring currently holds.
+func (r *TraceRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}

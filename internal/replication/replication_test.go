@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"streambc/internal/bc"
 	"streambc/internal/engine"
 	"streambc/internal/graph"
+	"streambc/internal/obs"
 	"streambc/internal/server"
 )
 
@@ -111,6 +113,7 @@ type followerHarness struct {
 	eng    *engine.Engine
 	srv    *server.Server
 	tailer *Tailer
+	reg    *obs.Registry
 	cancel context.CancelFunc
 	done   chan error
 }
@@ -124,8 +127,10 @@ func startFollower(t *testing.T, leaderURL, snapDir string, engCfg engine.Config
 		cancel()
 		t.Fatal(err)
 	}
+	reg := obs.NewRegistry()
 	srv := server.New(eng, server.Config{
 		Replica: true, LeaderURL: leaderURL, SnapshotDir: snapDir, MaxBatch: 8,
+		Obs: reg,
 	})
 	tailer := NewTailer(client, srv, TailerConfig{
 		Wait:       100 * time.Millisecond,
@@ -135,12 +140,13 @@ func startFollower(t *testing.T, leaderURL, snapDir string, engCfg engine.Config
 				return engine.RestoreEngine(st, engCfg)
 			})
 		},
+		Obs: reg,
 	})
 	srv.SetReplicationStats(tailer.Stats)
 	srv.Start()
 	done := make(chan error, 1)
 	go func() { done <- tailer.Run(ctx) }()
-	f := &followerHarness{eng: eng, srv: srv, tailer: tailer, cancel: cancel, done: done}
+	f := &followerHarness{eng: eng, srv: srv, tailer: tailer, reg: reg, cancel: cancel, done: done}
 	t.Cleanup(func() {
 		cancel()
 		<-done
@@ -403,6 +409,27 @@ func TestFollowerResumesAcrossLeaderRestart(t *testing.T) {
 	if !bytes.Equal(lb, fb) {
 		t.Fatal("follower diverged from the restarted leader")
 	}
+
+	// The outage must be visible: at least one poll failed and entered
+	// backoff, and recovery went through resume, not re-bootstrap.
+	if got := follower.tailer.Reconnects(); got < 1 {
+		t.Fatalf("reconnects counter = %d, want >= 1 after a leader outage", got)
+	}
+	if got := follower.tailer.Rebootstraps(); got != 0 {
+		t.Fatalf("rebootstraps counter = %d, want 0 (resume, not re-bootstrap)", got)
+	}
+	var buf bytes.Buffer
+	if _, err := follower.reg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"streambc_replication_reconnects_total ",
+		"streambc_replication_rebootstraps_total 0",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("follower metrics missing %q", want)
+		}
+	}
 }
 
 // TestFollowerRebootstrapAfterTruncation: a follower that fell behind a
@@ -444,6 +471,9 @@ func TestFollowerRebootstrapAfterTruncation(t *testing.T) {
 	cancel()
 	if err := <-done; err != nil {
 		t.Fatalf("tailer after rebootstrap: %v", err)
+	}
+	if got := follower.tailer.Rebootstraps(); got != 1 {
+		t.Fatalf("rebootstraps counter = %d, want 1", got)
 	}
 
 	fb, err := follower.srv.Snapshot()

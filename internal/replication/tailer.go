@@ -3,10 +3,13 @@ package replication
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"streambc/internal/engine"
+	"streambc/internal/obs"
 	"streambc/internal/server"
 )
 
@@ -26,8 +29,12 @@ type TailerConfig struct {
 	// install it as the replica's new state (server.SwapEngine) so tailing
 	// can resume from the snapshot's sequence. nil makes 410 terminal.
 	Rebootstrap func(st *engine.SnapshotState) error
-	// Logf, when non-nil, receives connection lifecycle messages.
-	Logf func(format string, args ...any)
+	// Log, when non-nil, receives connection state transitions and
+	// lifecycle messages. nil discards them.
+	Log *slog.Logger
+	// Obs, when non-nil, registers the tailer's reconnect/rebootstrap
+	// counters and poll/apply latency histograms on this registry.
+	Obs *obs.Registry
 }
 
 // Tailer drives a replica: an endless fetch/apply loop against the leader's
@@ -37,6 +44,17 @@ type Tailer struct {
 	c   *Client
 	app Applier
 	cfg TailerConfig
+	log *slog.Logger
+
+	// reconnects counts polls that failed transiently (leader down, network
+	// cut) and entered backoff; rebootstraps counts 410-triggered snapshot
+	// reinstalls. Atomics because the metrics registry reads them at scrape
+	// time while Run is looping.
+	reconnects   atomic.Int64
+	rebootstraps atomic.Int64
+
+	pollLat  *obs.Histogram // leader poll round-trip (successful polls)
+	applyLat *obs.Histogram // local apply time of one poll's records
 
 	mu         sync.Mutex
 	connected  bool
@@ -55,15 +73,33 @@ func NewTailer(c *Client, app Applier, cfg TailerConfig) *Tailer {
 	if cfg.MaxBackoff < 1 {
 		cfg.MaxBackoff = 5 * time.Second
 	}
-	return &Tailer{c: c, app: app, cfg: cfg, caughtUpAt: time.Now()}
+	t := &Tailer{c: c, app: app, cfg: cfg, log: cfg.Log, caughtUpAt: time.Now()}
+	if t.log == nil {
+		t.log = obs.Nop()
+	}
+	if reg := cfg.Obs; reg != nil {
+		reg.CounterFunc("streambc_replication_reconnects_total",
+			"Leader polls that failed transiently and entered reconnect backoff.",
+			t.reconnects.Load)
+		reg.CounterFunc("streambc_replication_rebootstraps_total",
+			"Times the replica re-bootstrapped from a leader snapshot after its position was truncated.",
+			t.rebootstraps.Load)
+		t.pollLat = reg.Histogram("streambc_replication_poll_seconds",
+			"Round-trip latency of successful leader WAL polls (includes long-poll wait at the live edge).",
+			obs.LatencyBuckets())
+		t.applyLat = reg.Histogram("streambc_replication_apply_seconds",
+			"Local apply time of one poll's worth of replicated records.",
+			obs.LatencyBuckets())
+	}
+	return t
 }
 
-// logf emits through the configured logger, if any.
-func (t *Tailer) logf(format string, args ...any) {
-	if t.cfg.Logf != nil {
-		t.cfg.Logf(format, args...)
-	}
-}
+// Reconnects reports how many polls failed transiently and entered backoff.
+func (t *Tailer) Reconnects() int64 { return t.reconnects.Load() }
+
+// Rebootstraps reports how many leader-snapshot re-bootstraps were triggered
+// by the leader truncating this replica's position.
+func (t *Tailer) Rebootstraps() int64 { return t.rebootstraps.Load() }
 
 // Run tails the leader until ctx is cancelled (returns nil) or a terminal
 // condition is hit (returns the error): divergence, a failed re-bootstrap,
@@ -80,6 +116,7 @@ func (t *Tailer) Run(ctx context.Context) error {
 	backoff := 100 * time.Millisecond
 	for ctx.Err() == nil {
 		from := t.app.AppliedWALSeq()
+		pollStart := time.Now()
 		recs, leaderSeq, err := t.c.WALRecords(ctx, from, t.cfg.MaxRecords, t.cfg.Wait)
 		if err != nil {
 			if ctx.Err() != nil {
@@ -88,22 +125,35 @@ func (t *Tailer) Run(ctx context.Context) error {
 			t.setDisconnected()
 			switch {
 			case errors.Is(err, ErrDiverged):
+				t.log.Error("replica diverged from leader, stopping",
+					obs.KeyComponent, "replication", obs.KeySeq, from, "error", err)
 				return err
 			case errors.Is(err, ErrTruncated):
 				if t.cfg.Rebootstrap == nil {
+					t.log.Error("position truncated on leader and re-bootstrap disabled, stopping",
+						obs.KeyComponent, "replication", obs.KeySeq, from)
 					return err
 				}
-				t.logf("replication: position %d truncated on the leader, re-bootstrapping from its snapshot", from)
+				t.rebootstraps.Add(1)
+				t.log.Warn("position truncated on leader, re-bootstrapping from its snapshot",
+					obs.KeyComponent, "replication", obs.KeySeq, from)
 				if err := t.rebootstrap(ctx); err != nil {
 					if ctx.Err() != nil {
 						return nil
 					}
+					t.log.Error("re-bootstrap failed, stopping",
+						obs.KeyComponent, "replication", "error", err)
 					return err
 				}
+				t.log.Info("re-bootstrap complete, resuming tail",
+					obs.KeyComponent, "replication", obs.KeySeq, t.app.AppliedWALSeq())
 				backoff = 100 * time.Millisecond
 				continue
 			}
-			t.logf("replication: leader poll failed (retrying in %s): %v", backoff, err)
+			t.reconnects.Add(1)
+			t.log.Warn("leader poll failed, retrying",
+				obs.KeyComponent, "replication", obs.KeySeq, from,
+				"backoff", backoff.String(), "error", err)
 			select {
 			case <-time.After(backoff):
 			case <-ctx.Done():
@@ -112,21 +162,31 @@ func (t *Tailer) Run(ctx context.Context) error {
 			backoff = min(backoff*2, t.cfg.MaxBackoff)
 			continue
 		}
+		if t.pollLat != nil {
+			t.pollLat.Observe(time.Since(pollStart).Seconds())
+		}
 		backoff = 100 * time.Millisecond
+		applyStart := time.Now()
 		for _, rec := range recs {
 			if err := t.app.ApplyReplicated(rec); err != nil {
 				if errors.Is(err, server.ErrSequenceGap) {
 					// A duplicate or out-of-order batch (e.g. a retried poll
 					// overlapping an applied prefix): drop the rest and
 					// re-poll from the applied sequence.
-					t.logf("replication: %v, re-polling", err)
+					t.log.Debug("sequence gap, re-polling",
+						obs.KeyComponent, "replication", "error", err)
 					break
 				}
 				// The engine failed mid-record: the replica's state is
 				// untrusted and must not keep advancing.
 				t.setDisconnected()
+				t.log.Error("replicated apply failed, stopping",
+					obs.KeyComponent, "replication", obs.KeySeq, rec.Seq, "error", err)
 				return err
 			}
+		}
+		if t.applyLat != nil && len(recs) > 0 {
+			t.applyLat.Observe(time.Since(applyStart).Seconds())
 		}
 		t.observe(leaderSeq)
 	}
@@ -145,20 +205,29 @@ func (t *Tailer) rebootstrap(ctx context.Context) error {
 // setDisconnected marks the leader unreachable (or the replica stopped).
 func (t *Tailer) setDisconnected() {
 	t.mu.Lock()
+	wasConnected := t.connected
 	t.connected = false
 	t.mu.Unlock()
+	if wasConnected {
+		t.log.Info("leader disconnected", obs.KeyComponent, "replication")
+	}
 }
 
 // observe publishes the lag picture after one successful poll-and-apply.
 func (t *Tailer) observe(leaderSeq uint64) {
 	applied := t.app.AppliedWALSeq()
 	t.mu.Lock()
+	wasConnected := t.connected
 	t.connected = true
 	t.leaderSeq = leaderSeq
 	if applied >= leaderSeq {
 		t.caughtUpAt = time.Now()
 	}
 	t.mu.Unlock()
+	if !wasConnected {
+		t.log.Info("leader connected",
+			obs.KeyComponent, "replication", obs.KeySeq, applied, "leader_seq", leaderSeq)
+	}
 }
 
 // Stats implements the server's replication-stats provider: wire it with

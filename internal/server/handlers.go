@@ -11,6 +11,7 @@ import (
 
 	"streambc/internal/bc"
 	"streambc/internal/graph"
+	"streambc/internal/obs"
 )
 
 // defaultWaitTimeout bounds how long an ingest request with "wait":true may
@@ -31,15 +32,22 @@ const defaultWaitTimeout = 30 * time.Second
 //	GET  /v1/graph                 graph summary (n, m, directedness, degree)
 //	GET  /v1/stats                 engine and serving counters
 //	POST /v1/snapshot              write a snapshot now
+//	GET  /v1/debug/trace?n=        newest N ingest traces (ring buffer)
 //	GET  /v1/replication/snapshot  stream a consistent snapshot (leader)
 //	GET  /v1/replication/wal       stream WAL records from a sequence (leader)
 //	GET  /v1/replication/status    replication sequences and health (leader)
+//
+// Every route runs behind the instrument middleware: per-route request/status
+// counters, a latency histogram and the slow-request log.
 //
 // On a replica the write endpoints answer 307 to the configured leader URL
 // (503 when none is known); every read endpoint serves locally.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(route, h))
+	}
+	handle("GET /healthz", "/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		if wal := s.getWAL(); wal != nil {
 			if werr := wal.Err(); werr != nil {
 				// Writes are permanently halted until a restart; report it
@@ -51,22 +59,64 @@ func (s *Server) Handler() http.Handler {
 		}
 		w.Write([]byte("ok\n"))
 	})
-	mux.HandleFunc("GET /readyz", s.handleReady)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("POST /v1/updates", s.handleUpdates)
-	mux.HandleFunc("POST /v1/update", s.handleUpdate)
-	mux.HandleFunc("GET /v1/vertices/{v}", s.handleVertex)
-	mux.HandleFunc("GET /v1/edges", s.handleEdge)
-	mux.HandleFunc("GET /v1/top/vertices", s.handleTopVertices)
-	mux.HandleFunc("GET /v1/top/edges", s.handleTopEdges)
-	mux.HandleFunc("GET /v1/graph", s.handleGraph)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
-	mux.HandleFunc("GET /v1/replication/snapshot", s.handleReplSnapshot)
-	mux.HandleFunc("GET /v1/replication/wal", s.handleReplWAL)
-	mux.HandleFunc("GET /v1/replication/status", s.handleReplStatus)
+	handle("GET /readyz", "/readyz", s.handleReady)
+	handle("GET /metrics", "/metrics", s.handleMetrics)
+	handle("POST /v1/updates", "/v1/updates", s.handleUpdates)
+	handle("POST /v1/update", "/v1/update", s.handleUpdate)
+	handle("GET /v1/vertices/{v}", "/v1/vertices/{v}", s.handleVertex)
+	handle("GET /v1/edges", "/v1/edges", s.handleEdge)
+	handle("GET /v1/top/vertices", "/v1/top/vertices", s.handleTopVertices)
+	handle("GET /v1/top/edges", "/v1/top/edges", s.handleTopEdges)
+	handle("GET /v1/graph", "/v1/graph", s.handleGraph)
+	handle("GET /v1/stats", "/v1/stats", s.handleStats)
+	handle("POST /v1/snapshot", "/v1/snapshot", s.handleSnapshot)
+	handle("GET /v1/debug/trace", "/v1/debug/trace", s.handleTrace)
+	handle("GET /v1/replication/snapshot", "/v1/replication/snapshot", s.handleReplSnapshot)
+	handle("GET /v1/replication/wal", "/v1/replication/wal", s.handleReplWAL)
+	handle("GET /v1/replication/status", "/v1/replication/status", s.handleReplStatus)
 	return mux
 }
+
+// instrument wraps one route with the HTTP observability middleware: a
+// per-route/status request counter, a per-route latency histogram, and a
+// warn-level log line for requests at or above Config.SlowRequest.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		d := time.Since(start)
+		code := sw.status
+		if code == 0 {
+			code = http.StatusOK
+		}
+		s.met.httpRequests.With(route, strconv.Itoa(code)).Inc()
+		s.met.httpLatency.With(route).Observe(d.Seconds())
+		if s.cfg.SlowRequest > 0 && d >= s.cfg.SlowRequest {
+			s.log.Warn("slow request",
+				obs.KeyComponent, "http",
+				"route", route, "method", r.Method, "status", code,
+				"seconds", d.Seconds())
+		}
+	}
+}
+
+// statusWriter captures the response status for the middleware. Unwrap keeps
+// http.ResponseController working for the streaming replication routes,
+// which reach through the wrapper to adjust write deadlines.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // handleReady is the readiness probe, distinct from /healthz liveness: a
 // live instance may still be one traffic should not yet be routed to.
@@ -321,14 +371,19 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"updates_applied":   v.stats.UpdatesApplied,
 		"sources_skipped":   v.stats.SourcesSkipped,
 		"sources_updated":   v.stats.SourcesUpdated,
-		"updates_enqueued":  s.met.enqueued.Load(),
-		"updates_rejected":  s.met.rejected.Load(),
-		"updates_coalesced": s.met.coalesced.Load(),
+		"updates_enqueued":  s.met.enqueued.Value(),
+		"updates_rejected":  s.met.rejected.Value(),
+		"updates_coalesced": s.met.coalesced.Value(),
 		"queue_depth":       s.QueueDepth(),
-		"snapshots":         s.met.snapshots.Load(),
+		"snapshots":         s.met.snapshots.Value(),
 		"sampled":           v.sampled,
 		"sampled_sources":   v.sampleSize,
 		"sample_scale":      v.scale,
+		// Quantiles interpolated from the registry histograms (the same data
+		// behind the /metrics summaries).
+		"update_latency_seconds":      quantileFields(s.met.lats),
+		"apply_batch_latency_seconds": quantileFields(s.met.batchLats),
+		"apply_batch_size":            quantileFields(s.met.batchSizes),
 	}
 	if wal := s.walStats(); wal != nil {
 		out["wal_segments"] = wal.segments
@@ -347,7 +402,40 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	writeMetrics(w, s.met, s.QueueDepth(), s.currentView(), s.walStats(), s.replicationStats())
+	s.met.reg.WriteTo(w) //nolint:errcheck // client went away mid-scrape
+}
+
+// handleTrace serves the newest ?n= ingest traces (default 32) from the ring
+// buffer, newest first, with per-stage durations in seconds.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	n := 32
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			httpError(w, http.StatusBadRequest, errors.New("bad n: want a positive integer"))
+			return
+		}
+		n = v
+	}
+	traces := s.traces.Last(n)
+	type traceJSON struct {
+		ID         uint64             `json:"id"`
+		Updates    int                `json:"updates"`
+		EnqueuedAt time.Time          `json:"enqueued_at"`
+		Stages     map[string]float64 `json:"stages_seconds"`
+		Error      string             `json:"error,omitempty"`
+	}
+	out := make([]traceJSON, len(traces))
+	for i, tr := range traces {
+		out[i] = traceJSON{
+			ID:         tr.ID,
+			Updates:    tr.Updates,
+			EnqueuedAt: tr.EnqueuedAt,
+			Stages:     tr.Stages(),
+			Error:      tr.Error,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(out), "traces": out})
 }
 
 // walStats captures the write-ahead log state for serving, or nil when

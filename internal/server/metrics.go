@@ -1,47 +1,208 @@
 package server
 
 import (
-	"fmt"
-	"io"
 	"math"
-	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
 
+	"streambc/internal/obs"
 	"streambc/internal/version"
 )
 
-// metrics holds the serving counters exposed on /metrics. Counters are
-// atomics so the hot path never contends; apply latencies and batch sizes go
-// into small mutex-protected rings from which quantiles are computed on
-// demand.
-type metrics struct {
-	enqueued     atomic.Int64 // updates admitted to the queue
-	applied      atomic.Int64 // updates applied to the engine
-	rejected     atomic.Int64 // updates rejected by the engine (bad ops)
-	coalesced    atomic.Int64 // updates folded away before application
-	batches      atomic.Int64 // drain cycles executed
-	engineBatch  atomic.Int64 // engine ApplyBatch calls issued
-	snapshots    atomic.Int64 // snapshots written
-	snapshotErrs atomic.Int64 // snapshot attempts that failed
-	walAppends   atomic.Int64 // records appended to the write-ahead log
-	walErrs      atomic.Int64 // WAL append/truncate failures
+// metricQuantiles are the quantiles rendered for the latency/size summaries
+// (on /metrics) and reported as p50/p90/p99/max on /v1/stats.
+var metricQuantiles = []float64{0.5, 0.9, 0.99, 1}
 
-	lats       *quantileRing // amortised per-update apply latency (seconds)
-	batchLats  *quantileRing // per-batch apply latency (seconds)
-	batchSizes *quantileRing // engine batch sizes (updates per ApplyBatch)
+// metrics holds the server's instruments, all registered with one obs
+// registry from which /metrics is rendered. Counters incremented on the hot
+// path are plain atomic adds; gauges are scrape-time funcs reading state the
+// server already maintains (the published view, the queue, the WAL), so
+// exposition never adds work to the write path. The WAL and replication
+// families are registered unconditionally but rendered only while the
+// corresponding subsystem is present (obs.Registry.When), preserving the
+// pre-registry behaviour where those sections appeared and disappeared with
+// the subsystem.
+type metrics struct {
+	reg *obs.Registry
+
+	enqueued     *obs.Counter // updates admitted to the queue
+	applied      *obs.Counter // updates applied to the engine
+	rejected     *obs.Counter // updates rejected by the engine (bad ops)
+	coalesced    *obs.Counter // updates folded away before application
+	batches      *obs.Counter // drain cycles executed
+	engineBatch  *obs.Counter // engine ApplyBatch calls issued
+	snapshots    *obs.Counter // snapshots written
+	snapshotErrs *obs.Counter // snapshot attempts that failed
+	walAppends   *obs.Counter // records appended to the write-ahead log
+	walErrs      *obs.Counter // WAL append/truncate failures
+
+	lats       *obs.Histogram // amortised per-update apply latency (seconds)
+	batchLats  *obs.Histogram // per-batch apply latency (seconds)
+	batchSizes *obs.Histogram // engine batch sizes (updates per ApplyBatch)
+
+	httpRequests *obs.CounterVec   // {route, code}
+	httpLatency  *obs.HistogramVec // {route}
+	stages       *obs.HistogramVec // {stage}: the ingest trace histograms
+	walAppendLat *obs.Histogram    // WAL Append wall-clock latency
+	walFsyncLat  *obs.Histogram    // WAL fsync wall-clock latency
 }
 
-func newMetrics(window int) *metrics {
-	if window <= 0 {
-		window = 1024
+// newMetrics registers the server's metric families on reg, in the order the
+// pre-registry exposition rendered them (new families follow at the end).
+// The scrape-time funcs read s's published view and subsystem accessors,
+// which are all safe for concurrent use.
+func newMetrics(s *Server, reg *obs.Registry) *metrics {
+	m := &metrics{reg: reg}
+	reg.GaugeFunc("streambc_build_info",
+		"Build version of the running binary (constant 1).",
+		func() float64 { return 1 }, "version", version.Version)
+	m.enqueued = reg.Counter("streambc_updates_enqueued_total",
+		"Updates admitted to the ingest queue.")
+	m.applied = reg.Counter("streambc_updates_applied_total",
+		"Updates applied to the engine.")
+	m.rejected = reg.Counter("streambc_updates_rejected_total",
+		"Updates rejected by the engine.")
+	m.coalesced = reg.Counter("streambc_updates_coalesced_total",
+		"Updates folded away before reaching the engine.")
+	m.batches = reg.Counter("streambc_update_batches_total",
+		"Drain cycles executed by the ingest pipeline.")
+	m.engineBatch = reg.Counter("streambc_apply_batches_total",
+		"Engine batch calls issued by the pipeline.")
+	reg.IntGaugeFunc("streambc_update_queue_depth",
+		"Updates queued and not yet drained.",
+		func() int64 { return int64(s.QueueDepth()) })
+	m.snapshots = reg.Counter("streambc_snapshots_total", "Snapshots written.")
+	m.snapshotErrs = reg.Counter("streambc_snapshot_errors_total",
+		"Snapshot attempts that failed.")
+
+	// WAL family: rendered only while a write-ahead log is attached (from
+	// construction, or by AttachWAL at promotion).
+	wal := reg.When(func() bool { return s.getWAL() != nil })
+	m.walAppends = wal.Counter("streambc_wal_appends_total",
+		"Records appended to the write-ahead log.")
+	m.walErrs = wal.Counter("streambc_wal_errors_total",
+		"Write-ahead log append or truncate failures.")
+	walGauge := func(read func(*WAL) int64) func() int64 {
+		return func() int64 {
+			if w := s.getWAL(); w != nil {
+				return read(w)
+			}
+			return 0
+		}
 	}
-	return &metrics{
-		lats:       newQuantileRing(window),
-		batchLats:  newQuantileRing(window),
-		batchSizes: newQuantileRing(window),
+	wal.IntGaugeFunc("streambc_wal_segments",
+		"Live write-ahead log segment files.",
+		walGauge(func(w *WAL) int64 { return int64(w.Segments()) }))
+	wal.IntGaugeFunc("streambc_wal_bytes",
+		"Total size of the live write-ahead log segments.",
+		walGauge(func(w *WAL) int64 { return w.Bytes() }))
+	wal.IntGaugeFunc("streambc_wal_sequence",
+		"Sequence number of the next write-ahead log record.",
+		walGauge(func(w *WAL) int64 { return int64(w.Seq()) }))
+	wal.GaugeFunc("streambc_wal_last_fsync_age_seconds",
+		"Seconds since the write-ahead log was last flushed to stable storage.",
+		func() float64 {
+			if w := s.getWAL(); w != nil {
+				return w.LastSyncAge().Seconds()
+			}
+			return 0
+		})
+	m.walAppendLat = wal.Histogram("streambc_wal_append_seconds",
+		"Wall-clock latency of write-ahead log appends (including the fsync under the per-batch policy).",
+		obs.LatencyBuckets())
+	m.walFsyncLat = wal.Histogram("streambc_wal_fsync_seconds",
+		"Wall-clock latency of write-ahead log fsyncs.",
+		obs.LatencyBuckets())
+
+	// Replication family: rendered only while a tailer's stats provider is
+	// installed (it is removed at promotion).
+	repl := reg.When(func() bool { return s.replicationStats() != nil })
+	replStat := func(read func(*ReplicationStats) float64) func() float64 {
+		return func() float64 {
+			if rs := s.replicationStats(); rs != nil {
+				return read(rs)
+			}
+			return 0
+		}
 	}
+	repl.IntGaugeFunc("streambc_replication_connected",
+		"Whether the replica's last leader poll succeeded (1) or not (0).",
+		func() int64 {
+			if rs := s.replicationStats(); rs != nil && rs.Connected {
+				return 1
+			}
+			return 0
+		})
+	repl.IntGaugeFunc("streambc_replication_lag_records",
+		"Leader WAL records not yet applied by this replica.",
+		func() int64 {
+			if rs := s.replicationStats(); rs != nil {
+				return int64(rs.LagRecords)
+			}
+			return 0
+		})
+	repl.GaugeFunc("streambc_replication_lag_seconds",
+		"Seconds since this replica was last at the leader's live edge (0 while caught up).",
+		replStat(func(rs *ReplicationStats) float64 { return rs.LagSeconds }))
+	repl.IntGaugeFunc("streambc_replication_applied_sequence",
+		"Leader WAL sequence this replica's state covers.",
+		func() int64 {
+			if rs := s.replicationStats(); rs != nil {
+				return int64(rs.AppliedSeq)
+			}
+			return 0
+		})
+
+	reg.IntGaugeFunc("streambc_sampled_sources",
+		"Sources whose betweenness data is maintained (sample size k in approximate mode, vertex count n in exact mode).",
+		func() int64 { return int64(s.currentView().sampleSize) })
+	reg.GaugeFunc("streambc_sample_fraction",
+		"Fraction of vertices maintained as sources (1 in exact mode).",
+		func() float64 {
+			v := s.currentView()
+			if v.sampled && v.n > 0 {
+				return float64(v.sampleSize) / float64(v.n)
+			}
+			return 1
+		})
+	reg.GaugeFunc("streambc_sample_error_proxy",
+		"Error proxy sqrt(ln(n)/k) for sampled betweenness estimates (0 in exact mode).",
+		func() float64 {
+			v := s.currentView()
+			if v.sampled && v.sampleSize > 0 {
+				// Hoeffding-style proxy for the relative error of uniform
+				// source sampling: sqrt(ln(n)/k). It is dimensionless and
+				// shrinks as the sample grows; 0 means exact scores.
+				return math.Sqrt(math.Log(math.Max(float64(v.n), 2)) / float64(v.sampleSize))
+			}
+			return 0
+		})
+	reg.CounterFunc("streambc_sources_skipped_total",
+		"Sources skipped by the distance probe.",
+		func() int64 { return s.currentView().stats.SourcesSkipped })
+	reg.CounterFunc("streambc_sources_updated_total",
+		"Sources whose betweenness data was recomputed.",
+		func() int64 { return s.currentView().stats.SourcesUpdated })
+
+	m.lats = reg.Summary("streambc_update_latency_seconds",
+		"Amortised per-update engine apply latency (batch latency / batch size) of recent batches.",
+		obs.LatencyBuckets(), metricQuantiles)
+	m.batchLats = reg.Summary("streambc_apply_batch_latency_seconds",
+		"Engine apply latency of recent batches.",
+		obs.LatencyBuckets(), metricQuantiles)
+	m.batchSizes = reg.Summary("streambc_apply_batch_size",
+		"Updates per engine batch, over recent batches.",
+		obs.SizeBuckets(65536), metricQuantiles)
+
+	m.httpRequests = reg.CounterVec("streambc_http_requests_total",
+		"HTTP requests served, by route pattern and status code.",
+		"route", "code")
+	m.httpLatency = reg.HistogramVec("streambc_http_request_seconds",
+		"HTTP request latency, by route pattern.",
+		obs.LatencyBuckets(), "route")
+	m.stages = reg.HistogramVec("streambc_ingest_stage_seconds",
+		"Per-stage latency of applied ingest drains: enqueue to WAL-durable (wal_durable), to engine-applied (applied), to read-visible (visible), and end to end (total).",
+		obs.LatencyBuckets(), "stage")
+	return m
 }
 
 // observeBatch records one engine ApplyBatch call of the given size: its
@@ -50,188 +211,28 @@ func (m *metrics) observeBatch(d time.Duration, size int) {
 	if size < 1 {
 		return
 	}
-	m.engineBatch.Add(1)
-	s := d.Seconds()
-	m.batchLats.observe(s)
-	m.batchSizes.observe(float64(size))
-	m.lats.observe(s / float64(size))
+	m.engineBatch.Inc()
+	sec := d.Seconds()
+	m.batchLats.Observe(sec)
+	m.batchSizes.Observe(float64(size))
+	m.lats.Observe(sec / float64(size))
 }
 
-// quantileRing is a fixed-size sliding window of observations supporting
-// quantile queries.
-type quantileRing struct {
-	mu   sync.Mutex
-	vals []float64
-	next int
-	n    int
-}
-
-func newQuantileRing(window int) *quantileRing {
-	return &quantileRing{vals: make([]float64, window)}
-}
-
-func (r *quantileRing) observe(v float64) {
-	r.mu.Lock()
-	r.vals[r.next] = v
-	r.next = (r.next + 1) % len(r.vals)
-	if r.n < len(r.vals) {
-		r.n++
+// quantileFields reports a summary's quantiles as a /v1/stats JSON object.
+func quantileFields(h *obs.Histogram) map[string]float64 {
+	return map[string]float64{
+		"p50": h.Quantile(0.5),
+		"p90": h.Quantile(0.9),
+		"p99": h.Quantile(0.99),
+		"max": h.Quantile(1),
 	}
-	r.mu.Unlock()
 }
-
-// quantiles returns the given quantiles (in [0,1]) over the window, or nil
-// when nothing has been recorded.
-func (r *quantileRing) quantiles(qs []float64) []float64 {
-	r.mu.Lock()
-	sample := make([]float64, 0, r.n)
-	if r.n < len(r.vals) {
-		sample = append(sample, r.vals[:r.n]...)
-	} else {
-		sample = append(sample, r.vals...)
-	}
-	r.mu.Unlock()
-	if len(sample) == 0 {
-		return nil
-	}
-	sort.Float64s(sample)
-	out := make([]float64, len(qs))
-	for i, q := range qs {
-		idx := int(q*float64(len(sample))+0.5) - 1
-		if idx < 0 {
-			idx = 0
-		}
-		if idx >= len(sample) {
-			idx = len(sample) - 1
-		}
-		out[i] = sample[idx]
-	}
-	return out
-}
-
-var metricQuantiles = []float64{0.5, 0.9, 0.99, 1}
 
 // walStats is the point-in-time state of the write-ahead log exposed on
-// /metrics (nil when no WAL is configured).
+// /v1/stats (nil when no WAL is configured).
 type walStats struct {
 	segments    int
 	bytes       int64
 	seq         uint64
 	lastSyncAge time.Duration
-}
-
-// writeMetrics renders the Prometheus-style plain-text exposition.
-func writeMetrics(w io.Writer, m *metrics, queueDepth int, v *view, wal *walStats, repl *ReplicationStats) {
-	st := v.stats
-	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
-	p("# HELP streambc_build_info Build version of the running binary (constant 1).\n")
-	p("# TYPE streambc_build_info gauge\n")
-	p("streambc_build_info{version=%q} 1\n", version.Version)
-	summary := func(name string, r *quantileRing) {
-		if vals := r.quantiles(metricQuantiles); vals != nil {
-			for i, q := range metricQuantiles {
-				p("%s{quantile=\"%g\"} %g\n", name, q, vals[i])
-			}
-		}
-	}
-	p("# HELP streambc_updates_enqueued_total Updates admitted to the ingest queue.\n")
-	p("# TYPE streambc_updates_enqueued_total counter\n")
-	p("streambc_updates_enqueued_total %d\n", m.enqueued.Load())
-	p("# HELP streambc_updates_applied_total Updates applied to the engine.\n")
-	p("# TYPE streambc_updates_applied_total counter\n")
-	p("streambc_updates_applied_total %d\n", m.applied.Load())
-	p("# HELP streambc_updates_rejected_total Updates rejected by the engine.\n")
-	p("# TYPE streambc_updates_rejected_total counter\n")
-	p("streambc_updates_rejected_total %d\n", m.rejected.Load())
-	p("# HELP streambc_updates_coalesced_total Updates folded away before reaching the engine.\n")
-	p("# TYPE streambc_updates_coalesced_total counter\n")
-	p("streambc_updates_coalesced_total %d\n", m.coalesced.Load())
-	p("# HELP streambc_update_batches_total Drain cycles executed by the ingest pipeline.\n")
-	p("# TYPE streambc_update_batches_total counter\n")
-	p("streambc_update_batches_total %d\n", m.batches.Load())
-	p("# HELP streambc_apply_batches_total Engine batch calls issued by the pipeline.\n")
-	p("# TYPE streambc_apply_batches_total counter\n")
-	p("streambc_apply_batches_total %d\n", m.engineBatch.Load())
-	p("# HELP streambc_update_queue_depth Updates queued and not yet drained.\n")
-	p("# TYPE streambc_update_queue_depth gauge\n")
-	p("streambc_update_queue_depth %d\n", queueDepth)
-	p("# HELP streambc_snapshots_total Snapshots written.\n")
-	p("# TYPE streambc_snapshots_total counter\n")
-	p("streambc_snapshots_total %d\n", m.snapshots.Load())
-	p("# HELP streambc_snapshot_errors_total Snapshot attempts that failed.\n")
-	p("# TYPE streambc_snapshot_errors_total counter\n")
-	p("streambc_snapshot_errors_total %d\n", m.snapshotErrs.Load())
-	if wal != nil {
-		p("# HELP streambc_wal_appends_total Records appended to the write-ahead log.\n")
-		p("# TYPE streambc_wal_appends_total counter\n")
-		p("streambc_wal_appends_total %d\n", m.walAppends.Load())
-		p("# HELP streambc_wal_errors_total Write-ahead log append or truncate failures.\n")
-		p("# TYPE streambc_wal_errors_total counter\n")
-		p("streambc_wal_errors_total %d\n", m.walErrs.Load())
-		p("# HELP streambc_wal_segments Live write-ahead log segment files.\n")
-		p("# TYPE streambc_wal_segments gauge\n")
-		p("streambc_wal_segments %d\n", wal.segments)
-		p("# HELP streambc_wal_bytes Total size of the live write-ahead log segments.\n")
-		p("# TYPE streambc_wal_bytes gauge\n")
-		p("streambc_wal_bytes %d\n", wal.bytes)
-		p("# HELP streambc_wal_sequence Sequence number of the next write-ahead log record.\n")
-		p("# TYPE streambc_wal_sequence gauge\n")
-		p("streambc_wal_sequence %d\n", wal.seq)
-		p("# HELP streambc_wal_last_fsync_age_seconds Seconds since the write-ahead log was last flushed to stable storage.\n")
-		p("# TYPE streambc_wal_last_fsync_age_seconds gauge\n")
-		p("streambc_wal_last_fsync_age_seconds %g\n", wal.lastSyncAge.Seconds())
-	}
-	if repl != nil {
-		connected := 0
-		if repl.Connected {
-			connected = 1
-		}
-		p("# HELP streambc_replication_connected Whether the replica's last leader poll succeeded (1) or not (0).\n")
-		p("# TYPE streambc_replication_connected gauge\n")
-		p("streambc_replication_connected %d\n", connected)
-		p("# HELP streambc_replication_lag_records Leader WAL records not yet applied by this replica.\n")
-		p("# TYPE streambc_replication_lag_records gauge\n")
-		p("streambc_replication_lag_records %d\n", repl.LagRecords)
-		p("# HELP streambc_replication_lag_seconds Seconds since this replica was last at the leader's live edge (0 while caught up).\n")
-		p("# TYPE streambc_replication_lag_seconds gauge\n")
-		p("streambc_replication_lag_seconds %g\n", repl.LagSeconds)
-		p("# HELP streambc_replication_applied_sequence Leader WAL sequence this replica's state covers.\n")
-		p("# TYPE streambc_replication_applied_sequence gauge\n")
-		p("streambc_replication_applied_sequence %d\n", repl.AppliedSeq)
-	}
-	p("# HELP streambc_sampled_sources Sources whose betweenness data is maintained (sample size k in approximate mode, vertex count n in exact mode).\n")
-	p("# TYPE streambc_sampled_sources gauge\n")
-	p("streambc_sampled_sources %d\n", v.sampleSize)
-	fraction := 1.0
-	if v.sampled && v.n > 0 {
-		fraction = float64(v.sampleSize) / float64(v.n)
-	}
-	p("# HELP streambc_sample_fraction Fraction of vertices maintained as sources (1 in exact mode).\n")
-	p("# TYPE streambc_sample_fraction gauge\n")
-	p("streambc_sample_fraction %g\n", fraction)
-	proxy := 0.0
-	if v.sampled && v.sampleSize > 0 {
-		// Hoeffding-style proxy for the relative error of uniform source
-		// sampling: sqrt(ln(n)/k). It is dimensionless and shrinks as the
-		// sample grows; 0 means exact scores.
-		proxy = math.Sqrt(math.Log(math.Max(float64(v.n), 2)) / float64(v.sampleSize))
-	}
-	p("# HELP streambc_sample_error_proxy Error proxy sqrt(ln(n)/k) for sampled betweenness estimates (0 in exact mode).\n")
-	p("# TYPE streambc_sample_error_proxy gauge\n")
-	p("streambc_sample_error_proxy %g\n", proxy)
-	p("# HELP streambc_sources_skipped_total Sources skipped by the distance probe.\n")
-	p("# TYPE streambc_sources_skipped_total counter\n")
-	p("streambc_sources_skipped_total %d\n", st.SourcesSkipped)
-	p("# HELP streambc_sources_updated_total Sources whose betweenness data was recomputed.\n")
-	p("# TYPE streambc_sources_updated_total counter\n")
-	p("streambc_sources_updated_total %d\n", st.SourcesUpdated)
-	p("# HELP streambc_update_latency_seconds Amortised per-update engine apply latency (batch latency / batch size) of recent batches.\n")
-	p("# TYPE streambc_update_latency_seconds summary\n")
-	summary("streambc_update_latency_seconds", m.lats)
-	p("# HELP streambc_apply_batch_latency_seconds Engine apply latency of recent batches.\n")
-	p("# TYPE streambc_apply_batch_latency_seconds summary\n")
-	summary("streambc_apply_batch_latency_seconds", m.batchLats)
-	p("# HELP streambc_apply_batch_size Updates per engine batch, over recent batches.\n")
-	p("# TYPE streambc_apply_batch_size summary\n")
-	summary("streambc_apply_batch_size", m.batchSizes)
 }

@@ -1,0 +1,397 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"streambc/internal/engine"
+	"streambc/internal/graph"
+)
+
+// ---------------------------------------------------------------------------
+// Exposition-format lint: a promlint-style parser over the full /metrics body,
+// run against every server shape (exact, sampled, WAL-enabled, replica).
+// ---------------------------------------------------------------------------
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelPairRe  = regexp.MustCompile(`([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"`)
+)
+
+// metricsFamily is what the lint parser learned about one metric family.
+type metricsFamily struct {
+	help bool
+	typ  string
+}
+
+// lintMetrics parses one Prometheus text scrape and fails the test on any
+// exposition-format violation: samples without a preceding HELP/TYPE pair,
+// malformed metric or label names, unparsable values, unknown TYPE values,
+// or duplicate series. It returns every sample as series -> value.
+func lintMetrics(t *testing.T, body string) (map[string]metricsFamily, map[string]float64) {
+	t.Helper()
+	families := map[string]metricsFamily{}
+	samples := map[string]float64{}
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(parts) != 2 || parts[1] == "" {
+				t.Fatalf("HELP line without text: %q", line)
+			}
+			f := families[parts[0]]
+			f.help = true
+			families[parts[0]] = f
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.SplitN(strings.TrimPrefix(line, "# TYPE "), " ", 2)
+			if len(parts) != 2 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			switch parts[1] {
+			case "counter", "gauge", "histogram", "summary":
+			default:
+				t.Fatalf("unknown metric type %q in %q", parts[1], line)
+			}
+			f := families[parts[0]]
+			if !f.help {
+				t.Fatalf("TYPE before HELP for %s", parts[0])
+			}
+			f.typ = parts[1]
+			families[parts[0]] = f
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("unexpected comment line: %q", line)
+		default:
+			name, labels, value := parseSample(t, line)
+			if !metricNameRe.MatchString(name) {
+				t.Fatalf("invalid metric name %q in %q", name, line)
+			}
+			fam, ok := families[familyName(name, families)]
+			if !ok || fam.typ == "" {
+				t.Fatalf("sample %q has no preceding HELP/TYPE pair", line)
+			}
+			series := name + "{" + labels + "}"
+			if _, dup := samples[series]; dup {
+				t.Fatalf("duplicate series %s", series)
+			}
+			samples[series] = value
+		}
+	}
+	return families, samples
+}
+
+// familyName maps a sample name to its declaring family: histogram and
+// summary samples carry _bucket/_sum/_count suffixes on the family name.
+func familyName(name string, families map[string]metricsFamily) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		if f, ok := families[base]; ok && (f.typ == "histogram" || f.typ == "summary") {
+			return base
+		}
+	}
+	return name
+}
+
+// parseSample splits one sample line into name, raw label block and value,
+// validating label syntax and that the value parses as a float. The label
+// block is scanned from both ends because label values (route patterns like
+// /v1/vertices/{v}) may themselves contain braces.
+func parseSample(t *testing.T, line string) (name, labels string, value float64) {
+	t.Helper()
+	rest := line
+	if open := strings.Index(line, "{"); open >= 0 {
+		closing := strings.LastIndex(line, "}")
+		if closing < open {
+			t.Fatalf("unbalanced label braces: %q", line)
+		}
+		name, labels, rest = line[:open], line[open+1:closing], line[closing+1:]
+		matched := labelPairRe.FindAllString(labels, -1)
+		if joined := strings.Join(matched, ","); joined != labels {
+			t.Fatalf("malformed label block %q in %q", labels, line)
+		}
+	} else {
+		fields := strings.SplitN(line, " ", 2)
+		if len(fields) != 2 {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		name, rest = fields[0], fields[1]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		t.Fatalf("unparsable value in %q: %v", line, err)
+	}
+	return name, labels, v
+}
+
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d %s", resp.StatusCode, body)
+	}
+	return string(body)
+}
+
+// ingestSome pushes a small deterministic batch through the server so the
+// write-path counters and histograms have observations.
+func ingestSome(t *testing.T, url string) {
+	t.Helper()
+	batch := []updateJSON{
+		{Op: "add", U: 100, V: 101},
+		{Op: "add", U: 101, V: 102},
+		{Op: "add", U: 100, V: 101}, // duplicate: coalesces
+	}
+	var out ingestResponse
+	if code := postJSON(t, url+"/v1/updates", ingestRequest{Updates: batch, Wait: true}, &out); code != http.StatusOK {
+		t.Fatalf("POST /v1/updates: %d", code)
+	}
+}
+
+func TestMetricsExpositionWellFormed(t *testing.T) {
+	walDir := t.TempDir()
+	wal, err := OpenWAL(WALConfig{Dir: walDir, SegmentBytes: 1 << 20}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes := []struct {
+		name  string
+		cfg   Config
+		engFn func(c *engine.Config)
+		repl  bool
+		write bool
+	}{
+		{name: "exact", cfg: Config{}, write: true},
+		{name: "sampled", cfg: Config{}, write: true,
+			engFn: func(c *engine.Config) { c.Sources = []int{0, 2, 4, 6}; c.Scale = 4 }},
+		{name: "wal", cfg: Config{WAL: wal}, write: true},
+		{name: "replica", cfg: Config{Replica: true}, repl: true},
+	}
+	for _, shape := range shapes {
+		t.Run(shape.name, func(t *testing.T) {
+			engCfg := engine.Config{Workers: 2}
+			if shape.engFn != nil {
+				shape.engFn(&engCfg)
+			}
+			eng, err := engine.New(testGraph(t, 16, 24, 5), engCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := New(eng, shape.cfg)
+			if shape.repl {
+				srv.SetReplicationStats(func() ReplicationStats {
+					return ReplicationStats{Connected: true, AppliedSeq: 7, LeaderSeq: 9, LagRecords: 2, LagSeconds: 0.5}
+				})
+			}
+			srv.Start()
+			ts := httptest.NewServer(srv.Handler())
+			t.Cleanup(func() {
+				ts.Close()
+				srv.Close()
+				eng.Close()
+			})
+
+			first := scrape(t, ts.URL)
+			families, firstSamples := lintMetrics(t, first)
+			if shape.repl {
+				for _, want := range []string{
+					"streambc_replication_connected", "streambc_replication_lag_records",
+					"streambc_replication_lag_seconds", "streambc_replication_applied_sequence",
+				} {
+					if _, ok := families[want]; !ok {
+						t.Fatalf("replica scrape missing family %s", want)
+					}
+				}
+			}
+			if shape.write {
+				ingestSome(t, ts.URL)
+			}
+			_, secondSamples := lintMetrics(t, scrape(t, ts.URL))
+
+			// Counters must be monotonic between the two scrapes (the scrape
+			// itself bumps the HTTP counters, so some strictly grow).
+			for series, v1 := range firstSamples {
+				fam := families[familyName(seriesName(series), families)]
+				if fam.typ != "counter" {
+					continue
+				}
+				if v2, ok := secondSamples[series]; ok && v2 < v1 {
+					t.Fatalf("counter %s went backwards: %g -> %g", series, v1, v2)
+				}
+			}
+		})
+	}
+}
+
+func seriesName(series string) string { return series[:strings.Index(series, "{")] }
+
+// ---------------------------------------------------------------------------
+// Ingest tracing: every applied drain must surface on /v1/debug/trace and in
+// the per-stage histograms, covering enqueue -> WAL-durable -> applied ->
+// visible -> total.
+// ---------------------------------------------------------------------------
+
+func TestIngestTraceAndStageHistograms(t *testing.T) {
+	wal, err := OpenWAL(WALConfig{Dir: t.TempDir(), SegmentBytes: 1 << 20}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(testGraph(t, 12, 18, 3), engine.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng, Config{WAL: wal})
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		eng.Close()
+	})
+
+	for i := 0; i < 3; i++ {
+		b, err := srv.Enqueue([]graph.Update{{U: 50 + i, V: 51 + i}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-b.Done()
+	}
+
+	var tracesResp struct {
+		Count  int `json:"count"`
+		Traces []struct {
+			ID     uint64             `json:"id"`
+			Stages map[string]float64 `json:"stages_seconds"`
+			Error  string             `json:"error"`
+		} `json:"traces"`
+	}
+	getJSON(t, ts.URL+"/v1/debug/trace?n=8", &tracesResp)
+	if tracesResp.Count != 3 || len(tracesResp.Traces) != 3 {
+		t.Fatalf("trace ring has %d entries, want 3", tracesResp.Count)
+	}
+	for _, tr := range tracesResp.Traces {
+		if tr.Error != "" {
+			t.Fatalf("trace %d carries error %q", tr.ID, tr.Error)
+		}
+		for _, stage := range []string{"wal_durable", "applied", "visible", "total"} {
+			if _, ok := tr.Stages[stage]; !ok {
+				t.Fatalf("trace %d missing stage %q: %v", tr.ID, stage, tr.Stages)
+			}
+		}
+		if tr.Stages["total"] < tr.Stages["visible"] {
+			t.Fatalf("trace %d: total %g < visible %g", tr.ID, tr.Stages["total"], tr.Stages["visible"])
+		}
+	}
+
+	body := scrape(t, ts.URL)
+	for _, stage := range []string{"wal_durable", "applied", "visible", "total"} {
+		want := fmt.Sprintf(`streambc_ingest_stage_seconds_count{stage="%s"} 3`, stage)
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Differential test: the full observability stack (tracing, histograms,
+// counters, middleware) must not perturb the scores — a stream pushed through
+// the instrumented server matches a bare engine bit for bit.
+// ---------------------------------------------------------------------------
+
+func TestInstrumentationDoesNotChangeScores(t *testing.T) {
+	g := testGraph(t, 16, 30, 21)
+	updates := differentialStream(g)
+
+	served, err := engine.New(g.Clone(), engine.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(served, Config{MaxBatch: 4, TraceCapacity: 8})
+	srv.Start()
+	t.Cleanup(func() {
+		srv.Close()
+		served.Close()
+	})
+	// One update per drain: no coalescing can fire, so the served engine
+	// sees exactly the sequential stream the bare engine does.
+	for _, u := range updates {
+		b, err := srv.Enqueue([]graph.Update{u})
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-b.Done()
+		if errs := b.Errs(); len(errs) > 0 {
+			t.Fatalf("update %+v rejected: %v", u, errs)
+		}
+	}
+
+	bare, err := engine.New(g.Clone(), engine.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { bare.Close() })
+	for _, u := range updates {
+		if _, err := bare.ApplyBatch([]graph.Update{u}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sv, bv := served.VBC(), bare.VBC()
+	if len(sv) != len(bv) {
+		t.Fatalf("VBC length %d vs %d", len(sv), len(bv))
+	}
+	for v := range sv {
+		if sv[v] != bv[v] {
+			t.Fatalf("VBC[%d]: served %v != bare %v", v, sv[v], bv[v])
+		}
+	}
+	se, be := served.EBC(), bare.EBC()
+	if len(se) != len(be) {
+		t.Fatalf("EBC size %d vs %d", len(se), len(be))
+	}
+	for e, score := range se {
+		if bscore, ok := be[e]; !ok || bscore != score {
+			t.Fatalf("EBC[%v]: served %v != bare %v", e, score, bscore)
+		}
+	}
+}
+
+// differentialStream builds a deterministic well-formed update sequence for
+// g: removals of existing edges interleaved with additions of absent ones
+// (including one vertex-growing addition).
+func differentialStream(g *graph.Graph) []graph.Update {
+	var updates []graph.Update
+	edges := g.Edges()
+	for i := 0; i < 3 && i < len(edges); i++ {
+		updates = append(updates, graph.Update{U: edges[i].U, V: edges[i].V, Remove: true})
+	}
+	added := 0
+	for u := 0; u < g.N() && added < 4; u++ {
+		for v := u + 2; v < g.N() && added < 4; v += 3 {
+			if !g.HasEdge(u, v) {
+				updates = append(updates, graph.Update{U: u, V: v})
+				added++
+			}
+		}
+	}
+	updates = append(updates, graph.Update{U: 2, V: g.N()}) // grows the graph
+	return updates
+}

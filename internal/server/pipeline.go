@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
 
 	"streambc/internal/graph"
 )
@@ -23,6 +24,11 @@ var (
 // rejected.
 type Batch struct {
 	done chan struct{}
+
+	// enqueuedAt is when the batch was admitted to the queue — the start of
+	// its ingest trace. Set once under the pipeline lock before the batch is
+	// visible to the drain loop, immutable afterwards.
+	enqueuedAt time.Time
 
 	mu        sync.Mutex
 	applied   int
@@ -127,6 +133,7 @@ func (p *pipeline) enqueue(upds []graph.Update) (*Batch, error) {
 	if p.maxQueue > 0 && len(p.queue) >= p.maxQueue {
 		return nil, ErrQueueFull
 	}
+	b.enqueuedAt = time.Now()
 	if len(upds) == 0 {
 		p.queue = append(p.queue, item{batch: b, barrier: true})
 	} else {

@@ -133,7 +133,7 @@ func (s *Server) ApplyReplicated(rec WALRecord) error {
 		return err
 	}
 	s.met.applied.Add(int64(len(rec.Updates)))
-	s.met.batches.Add(1)
+	s.met.batches.Inc()
 	s.publishView()
 	return nil
 }
@@ -175,6 +175,9 @@ func (s *Server) AttachWAL(w *WAL) error {
 	if !s.wal.CompareAndSwap(nil, w) {
 		return errors.New("server: a write-ahead log is already attached")
 	}
+	// Safe to install after the swap: writes only start once Promote returns,
+	// which the caller orders after AttachWAL.
+	w.SetObservers(s.met.walAppendLat, s.met.walFsyncLat)
 	return nil
 }
 
@@ -216,7 +219,7 @@ func (s *Server) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
 	err := engine.WriteSnapshot(&buf, s.eng)
 	s.mu.RUnlock()
 	if err != nil {
-		s.met.snapshotErrs.Add(1)
+		s.met.snapshotErrs.Inc()
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}

@@ -16,6 +16,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"streambc/internal/engine"
 	"streambc/internal/graph"
 	"streambc/internal/incremental"
+	"streambc/internal/obs"
 )
 
 // ErrIngestHalted is wrapped by Enqueue failures after the write-ahead log
@@ -54,9 +56,20 @@ type Config struct {
 	// write-back source cache (and the reduce granularity) bounded. Values
 	// < 1 mean the default of 256.
 	MaxBatch int
-	// LatencyWindow is the number of recent batch latencies and sizes kept
-	// for the /metrics quantiles. Values < 1 mean the default of 1024.
-	LatencyWindow int
+	// Obs is the metrics registry the server registers its families with and
+	// renders /metrics from. Pass the process-wide registry to combine the
+	// server's metrics with engine or replication instrumentation on one
+	// endpoint; nil creates a private registry.
+	Obs *obs.Registry
+	// Logger receives the server's structured logs (slow requests, trace
+	// debug lines). nil discards them.
+	Logger *slog.Logger
+	// SlowRequest is the request latency at or above which an HTTP request is
+	// logged at warn level (0 disables the slow-request log).
+	SlowRequest time.Duration
+	// TraceCapacity is the size of the ingest trace ring buffer served by
+	// GET /v1/debug/trace. Values < 1 mean the default of 256.
+	TraceCapacity int
 	// Replica puts the server in read-only follower mode: Enqueue fails with
 	// ErrReadOnlyReplica, the write endpoints answer 307 to LeaderURL, and
 	// state advances only through ApplyReplicated (the replication tailer).
@@ -78,12 +91,14 @@ type Server struct {
 	cfg      Config
 	directed bool
 
-	mu   sync.RWMutex // write: pipeline applying a batch; read: snapshotting
-	eng  *engine.Engine
-	pipe *pipeline
-	wal  atomic.Pointer[WAL] // nil when ingest durability is off; set by AttachWAL at promotion
-	met  *metrics
-	view atomic.Pointer[view]
+	mu     sync.RWMutex // write: pipeline applying a batch; read: snapshotting
+	eng    *engine.Engine
+	pipe   *pipeline
+	wal    atomic.Pointer[WAL] // nil when ingest durability is off; set by AttachWAL at promotion
+	met    *metrics
+	log    *slog.Logger
+	traces *obs.TraceRing
+	view   atomic.Pointer[view]
 
 	// replica marks follower mode (cleared by Promote); replStats is the
 	// lag-stats provider installed by the replication tailer.
@@ -122,11 +137,19 @@ func New(eng *engine.Engine, cfg Config) *Server {
 	if cfg.MaxBatch < 1 {
 		cfg.MaxBatch = 256
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.Nop()
+	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	s := &Server{
 		cfg:      cfg,
 		directed: eng.Graph().Directed(),
 		eng:      eng,
-		met:      newMetrics(cfg.LatencyWindow),
+		log:      cfg.Logger,
+		traces:   obs.NewTraceRing(cfg.TraceCapacity),
 		snapStop: make(chan struct{}),
 		snapDone: make(chan struct{}),
 	}
@@ -134,6 +157,10 @@ func New(eng *engine.Engine, cfg Config) *Server {
 		s.wal.Store(cfg.WAL)
 	}
 	s.replica.Store(cfg.Replica)
+	s.met = newMetrics(s, reg)
+	if cfg.WAL != nil {
+		cfg.WAL.SetObservers(s.met.walAppendLat, s.met.walFsyncLat)
+	}
 	s.pipe = newPipeline(s.directed, cfg.MaxQueue, s.applyItems, func(n int) {
 		s.met.coalesced.Add(int64(n))
 	})
@@ -214,7 +241,23 @@ func (s *Server) Enqueue(upds []graph.Update) (*Batch, error) {
 // — and publishes a fresh read view. The returned error (a WAL append, store
 // growth or batch flush failure) is reported by the pipeline on every batch
 // of the drain, since it can affect updates that were coalesced away.
+//
+// Along the way it records the drain's ingest trace: stage timestamps from
+// the enqueue of its oldest update through WAL durability, engine apply and
+// view publication, observed into the streambc_ingest_stage_seconds
+// histograms and the /v1/debug/trace ring.
 func (s *Server) applyItems(items []item, needVertices int) error {
+	tr := obs.IngestTrace{}
+	for _, it := range items {
+		if !it.barrier {
+			if tr.Updates == 0 {
+				// Items are drained in FIFO order: the first surviving update
+				// belongs to the oldest batch still represented in the drain.
+				tr.EnqueuedAt = it.batch.enqueuedAt
+			}
+			tr.Updates++
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	logged := false
@@ -224,7 +267,14 @@ func (s *Server) applyItems(items []item, needVertices int) error {
 		if logged, err = s.logItems(wal, items, needVertices); err != nil {
 			// Nothing of this drain reaches the engine: updates the server
 			// cannot make durable must not become externally visible.
+			s.recordTrace(tr, err)
 			return err
+		}
+		if logged {
+			// Under the per-batch fsync policy the record is durable here;
+			// under interval/off policies this timestamp marks the append
+			// (durability is deferred by configuration).
+			tr.WALDurableAt = time.Now()
 		}
 	}
 	// Grow the graph to cover additions the coalescer folded away, so the
@@ -246,7 +296,8 @@ func (s *Server) applyItems(items []item, needVertices int) error {
 		firstErr = s.applyChunk(items[i:j])
 		i = j
 	}
-	s.met.batches.Add(1)
+	tr.AppliedAt = time.Now()
+	s.met.batches.Inc()
 	if wal != nil {
 		if firstErr == nil {
 			// The engine state now covers everything logged: a snapshot
@@ -264,7 +315,35 @@ func (s *Server) applyItems(items []item, needVertices int) error {
 		}
 	}
 	s.publishView()
+	tr.VisibleAt = time.Now()
+	s.recordTrace(tr, firstErr)
 	return firstErr
+}
+
+// recordTrace stores one drain's ingest trace in the debug ring and feeds its
+// stage durations into the stage histograms. Barrier-only drains (no updates)
+// are not traced.
+func (s *Server) recordTrace(tr obs.IngestTrace, err error) {
+	if tr.Updates == 0 {
+		return
+	}
+	if err != nil {
+		tr.Error = err.Error()
+	}
+	stored := s.traces.Add(tr)
+	stages := stored.Stages()
+	for stage, secs := range stages {
+		s.met.stages.With(stage).Observe(secs)
+	}
+	if err != nil {
+		s.log.Warn("drain failed",
+			obs.KeyComponent, "pipeline", obs.KeyTrace, stored.ID,
+			"updates", stored.Updates, "error", err)
+		return
+	}
+	s.log.Debug("drain applied",
+		obs.KeyComponent, "pipeline", obs.KeyTrace, stored.ID,
+		"updates", stored.Updates, "total_seconds", stages[obs.StageTotal])
 }
 
 // logItems appends the drain's surviving updates (and its vertex-growth
@@ -282,10 +361,10 @@ func (s *Server) logItems(wal *WAL, items []item, needVertices int) (bool, error
 		return false, nil
 	}
 	if _, err := wal.Append(needVertices, upds); err != nil {
-		s.met.walErrs.Add(1)
+		s.met.walErrs.Inc()
 		return false, fmt.Errorf("server: write-ahead log append: %w", err)
 	}
-	s.met.walAppends.Add(1)
+	s.met.walAppends.Inc()
 	return true, nil
 }
 
@@ -306,7 +385,7 @@ func (s *Server) applyChunk(chunk []item) error {
 		applied, err := s.eng.ApplyBatch(upds)
 		s.met.observeBatch(time.Since(start), len(upds))
 		for k := 0; k < applied; k++ {
-			s.met.applied.Add(1)
+			s.met.applied.Inc()
 			chunk[k].batch.noteApplied()
 		}
 		if err == nil {
@@ -320,7 +399,7 @@ func (s *Server) applyChunk(chunk []item) error {
 			// whole drain.
 			return err
 		}
-		s.met.rejected.Add(1)
+		s.met.rejected.Inc()
 		chunk[applied].batch.noteError(fmt.Errorf("%v: %w", chunk[applied].upd, err))
 		chunk = chunk[applied+1:]
 	}
@@ -367,16 +446,16 @@ func (s *Server) Snapshot() (string, error) {
 			// failed): its state no longer matches any log position, and a
 			// snapshot of it would overwrite the last good one — the very
 			// state a restart recovers from. Refuse.
-			s.met.snapshotErrs.Add(1)
+			s.met.snapshotErrs.Inc()
 			return "", fmt.Errorf("server: refusing snapshot of an unrecoverable state: %w", werr)
 		}
 	}
 	path, err := WriteSnapshotFile(s.cfg.SnapshotDir, s.eng)
 	if err != nil {
-		s.met.snapshotErrs.Add(1)
+		s.met.snapshotErrs.Inc()
 		return "", err
 	}
-	s.met.snapshots.Add(1)
+	s.met.snapshots.Inc()
 	if wal != nil {
 		// The snapshot durably covers the engine's WAL offset (nothing can
 		// have been applied since: we hold the read lock), so every segment
@@ -384,7 +463,7 @@ func (s *Server) Snapshot() (string, error) {
 		// the snapshot — the durability point was reached; the failure is
 		// counted and the next snapshot's truncation retries it.
 		if err := wal.TruncateThrough(s.eng.WALOffset()); err != nil {
-			s.met.walErrs.Add(1)
+			s.met.walErrs.Inc()
 		}
 	}
 	return path, nil

@@ -99,7 +99,7 @@ func TestServerSnapshotErrorCounted(t *testing.T) {
 	if _, err := srv.Snapshot(); err == nil {
 		t.Fatal("want a snapshot error")
 	}
-	if got := srv.met.snapshotErrs.Load(); got != 1 {
+	if got := srv.met.snapshotErrs.Value(); got != 1 {
 		t.Fatalf("snapshot error counter = %d, want 1", got)
 	}
 }

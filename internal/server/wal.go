@@ -176,6 +176,25 @@ type WAL struct {
 
 	stopSync chan struct{} // closes the FsyncInterval loop
 	doneSync chan struct{}
+
+	// appendObs and fsyncObs, when non-nil, receive the wall-clock latency in
+	// seconds of every Append call and every actual fsync (set once by
+	// SetObservers before the log is shared across goroutines).
+	appendObs, fsyncObs latencyObserver
+}
+
+// latencyObserver receives one latency observation in seconds (satisfied by
+// *obs.Histogram). An interface here keeps the WAL free of a direct metrics
+// dependency.
+type latencyObserver interface{ Observe(float64) }
+
+// SetObservers installs latency observers for Append calls and fsyncs. Call
+// it right after OpenWAL, before the log is used from multiple goroutines.
+func (w *WAL) SetObservers(append, fsync latencyObserver) {
+	w.mu.Lock()
+	w.appendObs = append
+	w.fsyncObs = fsync
+	w.mu.Unlock()
 }
 
 // walReadPos is a resumable position inside a segment: the byte offset of a
@@ -529,6 +548,10 @@ func (w *WAL) openSegmentLocked() error {
 func (w *WAL) Append(needVertices int, upds []graph.Update) (uint64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.appendObs != nil {
+		start := time.Now()
+		defer func() { w.appendObs.Observe(time.Since(start).Seconds()) }()
+	}
 	if w.err != nil {
 		return 0, w.err
 	}
@@ -683,7 +706,12 @@ func (w *WAL) Err() error {
 
 func (w *WAL) syncLocked() error {
 	if w.dirty {
-		if err := w.f.Sync(); err != nil {
+		start := time.Now()
+		err := w.f.Sync()
+		if w.fsyncObs != nil {
+			w.fsyncObs.Observe(time.Since(start).Seconds())
+		}
+		if err != nil {
 			// An fsync failure means the kernel may have dropped the dirty
 			// pages: the log's durable state is unknowable, poison it.
 			w.err = fmt.Errorf("server: syncing WAL: %w", err)

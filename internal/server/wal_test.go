@@ -944,7 +944,7 @@ func TestPoisonedWALBlocksSnapshot(t *testing.T) {
 	if _, err := srv.Snapshot(); err == nil {
 		t.Fatal("want a refused snapshot after the WAL was poisoned")
 	}
-	if got := srv.met.snapshotErrs.Load(); got != 1 {
+	if got := srv.met.snapshotErrs.Value(); got != 1 {
 		t.Fatalf("snapshot error counter = %d, want 1", got)
 	}
 	// Ingest halts loudly: fire-and-forget callers must not get silent
