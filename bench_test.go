@@ -89,7 +89,7 @@ func BenchmarkIncrementalUpdateWorkers(b *testing.B) { benchStreamUpdates(b, Wit
 // real graphs (Table 4) — and the per-update cost of the out-of-core
 // configuration is dominated by store traffic: one distance-column probe per
 // source plus a record load/save per affected source.
-func diskReplayWorkload(b *testing.B, n, count int) (*Graph, []Update) {
+func diskReplayWorkload(b testing.TB, n, count int) (*Graph, []Update) {
 	b.Helper()
 	g := NewGraph(n)
 	for v := 1; v < n; v++ {

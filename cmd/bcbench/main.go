@@ -7,6 +7,7 @@
 //	bcbench -exp table4
 //	bcbench -exp all -out results.txt
 //	bcbench -exp fig5 -quick          # fast smoke run
+//	bcbench -exp table4 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -15,6 +16,8 @@ import (
 	"io"
 	"log/slog"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"streambc/internal/experiments"
@@ -39,6 +42,8 @@ func main() {
 		scratch     = flag.String("scratch", "", "scratch directory for out-of-core stores")
 		logLevel    = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 		logFormat   = flag.String("log-format", "text", "log encoding: text or json")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile taken after the experiment run to this file")
 		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -88,12 +93,36 @@ func main() {
 		BatchSize:   *batch,
 		SampleK:     *sample,
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	fmt.Fprintf(w, "streambc experiment report (%s, quick=%v, seed=%d)\n\n", time.Now().Format(time.RFC3339), *quick, *seed)
 	start := time.Now()
 	if err := experiments.Run(*exp, cfg, w); err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(w, "total experiment time: %s\n", time.Since(start).Round(time.Millisecond))
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows retained memory
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func fatal(err error) {

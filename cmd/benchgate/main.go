@@ -5,6 +5,13 @@
 // when a baseline file is given — fails with exit status 1 if any baseline
 // benchmark regressed by more than the allowed fraction or disappeared.
 //
+// Allocation counts are advisory (warn-only) for most benchmarks, but hard
+// for the ones matching -alloc-gate: allocs/op is deterministic there —
+// unlike wall-clock it does not move with runner noise — so a regression
+// past -max-alloc-regress fails the gate exactly like a ns/op regression.
+// The default pattern pins the disk-replay hot path, whose allocation
+// behaviour the flat-memory kernel guarantees.
+//
 // Usage:
 //
 //	go test -run NONE -bench 'DiskReplay|PipelineApply' -benchtime=3x -count=3 -benchmem ./... \
@@ -56,8 +63,19 @@ func main() {
 		baseline   = flag.String("baseline", "", "baseline JSON report to gate against (no gating when empty)")
 		maxRegress = flag.Float64("max-regress", 0.25, "maximum tolerated ns/op regression as a fraction of the baseline")
 		memWarn    = flag.Float64("mem-warn", 0.25, "allocs/op or B/op growth fraction above which a warning (never a failure) is emitted")
+		allocGate  = flag.String("alloc-gate", "^BenchmarkDiskReplay", "regexp of benchmarks whose allocs/op regression past -max-alloc-regress is a hard failure (empty disables)")
+		maxAllocs  = flag.Float64("max-alloc-regress", 0.25, "maximum tolerated allocs/op regression for -alloc-gate benchmarks")
 	)
 	flag.Parse()
+
+	var allocGateRe *regexp.Regexp
+	if *allocGate != "" {
+		re, err := regexp.Compile(*allocGate)
+		if err != nil {
+			fatal(fmt.Errorf("bad -alloc-gate pattern: %w", err))
+		}
+		allocGateRe = re
+	}
 
 	report, err := parse(os.Stdin)
 	if err != nil {
@@ -71,10 +89,12 @@ func main() {
 		if base, err = readReport(*baseline); err != nil {
 			fatal(err)
 		}
-		// Allocation counts gate nothing (they are advisory: an intentional
-		// buffering change can trade bytes for speed), but the deltas ride
-		// along in the artifact so reviewers see them without rerunning.
-		report.MemWarnings = memDeltas(base, report, *memWarn)
+		// Allocation counts are advisory for most benchmarks (an intentional
+		// buffering change can trade bytes for speed); the deltas ride along
+		// in the artifact so reviewers see them without rerunning. The
+		// -alloc-gate benchmarks are excluded here — their allocs/op failures
+		// come from gate() instead.
+		report.MemWarnings = memDeltas(base, report, *memWarn, allocGateRe)
 	}
 	if *out != "" {
 		if err := writeReport(*out, report); err != nil {
@@ -88,7 +108,7 @@ func main() {
 	for _, w := range report.MemWarnings {
 		fmt.Fprintln(os.Stderr, "benchgate: WARN:", w)
 	}
-	if failures := gate(base, report, *maxRegress); len(failures) > 0 {
+	if failures := gate(base, report, *maxRegress, allocGateRe, *maxAllocs); len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintln(os.Stderr, "benchgate: FAIL:", f)
 		}
@@ -147,9 +167,11 @@ func parse(f *os.File) (*Report, error) {
 }
 
 // gate compares cur against base: every baseline benchmark must be present
-// and within (1+maxRegress) of its baseline ns/op. Benchmarks only in cur
-// are reported but never gate (they have no baseline yet).
-func gate(base, cur *Report, maxRegress float64) []string {
+// and within (1+maxRegress) of its baseline ns/op; benchmarks matching
+// allocGate must additionally stay within (1+maxAllocs) of their baseline
+// allocs/op. Benchmarks only in cur are reported but never gate (they have
+// no baseline yet).
+func gate(base, cur *Report, maxRegress float64, allocGate *regexp.Regexp, maxAllocs float64) []string {
 	var failures []string
 	for _, name := range sortedNames(base.Benchmarks) {
 		b := base.Benchmarks[name]
@@ -158,22 +180,30 @@ func gate(base, cur *Report, maxRegress float64) []string {
 			failures = append(failures, fmt.Sprintf("%s: missing from this run (baseline %.0f ns/op)", name, b.NsPerOp))
 			continue
 		}
-		if b.NsPerOp <= 0 {
-			continue
+		if b.NsPerOp > 0 {
+			ratio := c.NsPerOp/b.NsPerOp - 1
+			if ratio > maxRegress {
+				failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (+%.1f%%, limit +%.0f%%)",
+					name, c.NsPerOp, b.NsPerOp, ratio*100, maxRegress*100))
+			}
 		}
-		ratio := c.NsPerOp/b.NsPerOp - 1
-		if ratio > maxRegress {
-			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (+%.1f%%, limit +%.0f%%)",
-				name, c.NsPerOp, b.NsPerOp, ratio*100, maxRegress*100))
+		if allocGate != nil && allocGate.MatchString(name) && b.AllocsPerOp > 0 {
+			ratio := float64(c.AllocsPerOp)/float64(b.AllocsPerOp) - 1
+			if ratio > maxAllocs {
+				failures = append(failures, fmt.Sprintf("%s: %d allocs/op vs baseline %d allocs/op (+%.1f%%, limit +%.0f%%)",
+					name, c.AllocsPerOp, b.AllocsPerOp, ratio*100, maxAllocs*100))
+			}
 		}
 	}
 	return failures
 }
 
 // memDeltas reports baseline benchmarks whose allocs/op or B/op grew by more
-// than warnFrac. Purely informational: memory numbers from -benchmem are
-// stable enough to surface but too workload-sensitive to gate on.
-func memDeltas(base, cur *Report, warnFrac float64) []string {
+// than warnFrac. Purely informational for everything outside allocGate
+// (whose allocs/op failures gate() raises instead): memory numbers from
+// -benchmem are stable enough to surface but too workload-sensitive to gate
+// on everywhere.
+func memDeltas(base, cur *Report, warnFrac float64, allocGate *regexp.Regexp) []string {
 	var warnings []string
 	for _, name := range sortedNames(base.Benchmarks) {
 		b := base.Benchmarks[name]
@@ -181,7 +211,7 @@ func memDeltas(base, cur *Report, warnFrac float64) []string {
 		if !ok {
 			continue // gate() already fails the run for the missing benchmark
 		}
-		if b.AllocsPerOp > 0 {
+		if b.AllocsPerOp > 0 && (allocGate == nil || !allocGate.MatchString(name)) {
 			if ratio := float64(c.AllocsPerOp)/float64(b.AllocsPerOp) - 1; ratio > warnFrac {
 				warnings = append(warnings, fmt.Sprintf("%s: %d allocs/op vs baseline %d (+%.1f%%)",
 					name, c.AllocsPerOp, b.AllocsPerOp, ratio*100))

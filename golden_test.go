@@ -1,0 +1,165 @@
+package streambc
+
+// Golden bit-identity test of the incremental engine on the disk-replay
+// workload. The golden file was captured from the engine BEFORE the CSR
+// refactor of the graph core (PR 7) and is deliberately never regenerated in
+// CI: it pins the exact float64 bit patterns of every vertex and edge score,
+// so any change to traversal order, accumulation grouping or graph layout
+// that perturbs even one ULP fails this test. Regenerate only for an
+// intentional, understood change to the scores themselves:
+//
+//	go test -run TestDiskReplayScoresGolden -update-golden .
+//
+// Scores are stored as hexadecimal IEEE-754 bit patterns, not decimals, so
+// the comparison is exact by construction.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden score files")
+
+const goldenPath = "testdata/diskreplay_scores.json"
+
+// goldenScores is the serialised form of one engine configuration's scores.
+type goldenScores struct {
+	VBC []string          `json:"vbc"` // float64 bits, hex, one per vertex
+	EBC map[string]string `json:"ebc"` // "u-v" -> float64 bits, hex
+}
+
+type goldenFile struct {
+	// Applied is the number of stream updates applied before capture; it ends
+	// mid add/remove pair so the final graph differs from the initial one and
+	// both the addition and the removal paths of the kernel are exercised.
+	Applied int                     `json:"applied"`
+	Configs map[string]goldenScores `json:"configs"`
+}
+
+func captureScores(t *testing.T, s *Stream) goldenScores {
+	t.Helper()
+	res := s.Result()
+	g := goldenScores{
+		VBC: make([]string, len(res.VBC)),
+		EBC: make(map[string]string, len(res.EBC)),
+	}
+	for v, x := range res.VBC {
+		g.VBC[v] = fmt.Sprintf("%016x", math.Float64bits(x))
+	}
+	for e, x := range res.EBC {
+		g.EBC[fmt.Sprintf("%d-%d", e.U, e.V)] = fmt.Sprintf("%016x", math.Float64bits(x))
+	}
+	return g
+}
+
+// runGoldenConfig replays the deterministic disk-replay stream through one
+// engine configuration and returns the captured scores.
+func runGoldenConfig(t *testing.T, opts ...Option) goldenScores {
+	t.Helper()
+	g, pairs := diskReplayWorkload(t, 400, 32)
+	s, err := New(g, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const applied = 49 // three batches of 16 plus one single Apply; odd, so it ends mid-pair
+	stream := pairs[:applied-1]
+	for off := 0; off < len(stream); off += 16 {
+		end := min(off+16, len(stream))
+		if _, err := s.ApplyBatch(stream[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One unbatched Apply so the batch-of-one path is pinned too.
+	if err := s.Apply(pairs[applied-1]); err != nil {
+		t.Fatal(err)
+	}
+	return captureScores(t, s)
+}
+
+func TestDiskReplayScoresGolden(t *testing.T) {
+	got := goldenFile{
+		Applied: 49,
+		Configs: map[string]goldenScores{
+			"disk-1worker": runGoldenConfig(t, WithDiskStore(t.TempDir())),
+			"mem-4workers": runGoldenConfig(t, WithWorkers(4)),
+		},
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.MarshalIndent(&got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", goldenPath)
+		return
+	}
+
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update-golden): %v", err)
+	}
+	var want goldenFile
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	if got.Applied != want.Applied {
+		t.Fatalf("applied %d updates, golden captured after %d", got.Applied, want.Applied)
+	}
+	for name, w := range want.Configs {
+		cur, ok := got.Configs[name]
+		if !ok {
+			t.Errorf("config %s missing from run", name)
+			continue
+		}
+		compareGolden(t, name, w, cur)
+	}
+}
+
+func compareGolden(t *testing.T, name string, want, got goldenScores) {
+	t.Helper()
+	if len(got.VBC) != len(want.VBC) {
+		t.Errorf("%s: %d vertex scores, golden has %d", name, len(got.VBC), len(want.VBC))
+		return
+	}
+	bad := 0
+	for v := range want.VBC {
+		if got.VBC[v] != want.VBC[v] {
+			if bad < 5 {
+				t.Errorf("%s: VBC[%d] = %s, golden %s", name, v, got.VBC[v], want.VBC[v])
+			}
+			bad++
+		}
+	}
+	if len(got.EBC) != len(want.EBC) {
+		t.Errorf("%s: %d edge scores, golden has %d", name, len(got.EBC), len(want.EBC))
+	}
+	keys := make([]string, 0, len(want.EBC))
+	for k := range want.EBC {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if got.EBC[k] != want.EBC[k] {
+			if bad < 10 {
+				t.Errorf("%s: EBC[%s] = %s, golden %s", name, k, got.EBC[k], want.EBC[k])
+			}
+			bad++
+		}
+	}
+	if bad > 0 {
+		t.Errorf("%s: %d score mismatches vs pre-CSR golden", name, bad)
+	}
+}

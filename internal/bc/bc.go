@@ -173,13 +173,16 @@ func SingleSource(g *graph.Graph, s int, state *SourceState, queue *[]int) {
 	q = append(q, s)
 	for head := 0; head < len(q); head++ {
 		v := q[head]
-		for _, w := range g.OutNeighbors(v) {
+		dv := state.Dist[v]
+		sv := state.Sigma[v]
+		for _, w32 := range g.Out(v) {
+			w := int(w32)
 			if state.Dist[w] == Unreachable {
-				state.Dist[w] = state.Dist[v] + 1
+				state.Dist[w] = dv + 1
 				q = append(q, w)
 			}
-			if state.Dist[w] == state.Dist[v]+1 {
-				state.Sigma[w] += state.Sigma[v]
+			if state.Dist[w] == dv+1 {
+				state.Sigma[w] += sv
 			}
 		}
 	}
@@ -195,10 +198,13 @@ func SingleSource(g *graph.Graph, s int, state *SourceState, queue *[]int) {
 	// replayed updates must produce bit-identical deltas.
 	for i := len(q) - 1; i >= 0; i-- {
 		w := q[i]
+		dw := state.Dist[w]
+		sw := state.Sigma[w]
 		var dep float64
-		for _, x := range g.OutNeighbors(w) {
-			if state.Dist[x] == state.Dist[w]+1 {
-				dep += state.Sigma[w] / state.Sigma[x] * (1 + state.Delta[x])
+		for _, x32 := range g.Out(w) {
+			x := int(x32)
+			if state.Dist[x] == dw+1 {
+				dep += sw / state.Sigma[x] * (1 + state.Delta[x])
 			}
 		}
 		state.Delta[w] = dep
@@ -219,7 +225,8 @@ func AccumulateSource(g *graph.Graph, s int, state *SourceState, res *Result) {
 		if v != s {
 			res.VBC[v] += state.Delta[v]
 		}
-		for _, w := range g.OutNeighbors(v) {
+		for _, w32 := range g.Out(v) {
+			w := int(w32)
 			if state.Dist[w] == state.Dist[v]+1 {
 				c := state.Sigma[v] / state.Sigma[w] * (1 + state.Delta[w])
 				res.EBC[EdgeKey(g, v, w)] += c

@@ -16,11 +16,15 @@ func Naive(g *graph.Graph) *Result {
 	n := g.N()
 	res := NewResult(n)
 
-	// Forward BFS data from every vertex.
+	// Forward BFS data from every vertex, filled through the allocation-free
+	// variant with a shared scratch queue.
 	dist := make([][]int, n)
 	sigma := make([][]float64, n)
+	queue := make([]int, 0, n)
 	for s := 0; s < n; s++ {
-		dist[s], sigma[s] = g.ShortestPathCounts(s)
+		dist[s] = make([]int, n)
+		sigma[s] = make([]float64, n)
+		g.ShortestPathCountsInto(s, dist[s], sigma[s], queue)
 	}
 
 	// For directed graphs we additionally need sigma(v,t) which is taken from

@@ -31,7 +31,8 @@ func ComputeWithPredecessors(g *graph.Graph) *Result {
 		queue = append(queue, s)
 		for head := 0; head < len(queue); head++ {
 			v := queue[head]
-			for _, w := range g.OutNeighbors(v) {
+			for _, w32 := range g.Out(v) {
+				w := int(w32)
 				if dist[w] == Unreachable {
 					dist[w] = dist[v] + 1
 					queue = append(queue, w)

@@ -52,7 +52,8 @@ func AccumulateSourceScaled(g *graph.Graph, s int, state *SourceState, res *Resu
 		if v != s {
 			res.VBC[v] += scale * state.Delta[v]
 		}
-		for _, w := range g.OutNeighbors(v) {
+		for _, w32 := range g.Out(v) {
+			w := int(w32)
 			if state.Dist[w] == state.Dist[v]+1 {
 				c := state.Sigma[v] / state.Sigma[w] * (1 + state.Delta[w])
 				res.EBC[EdgeKey(g, v, w)] += scale * c

@@ -11,9 +11,33 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"unsafe"
 
 	"streambc/internal/bc"
 )
+
+// hostLittleEndian reports whether the host already stores integers and
+// floats in the on-disk byte order. On such hosts (amd64, arm64, ...) the
+// codec degenerates to bulk copies between the record columns and the I/O
+// buffer; the per-element encoding/binary loops remain as the portable
+// big-endian fallback. The raw byte image of a float64 is exactly its
+// Float64bits round trip, so the fast path is bit-identical to the slow one.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// int32Bytes returns the raw byte image of an int32 column. The pointer is
+// derived from the typed slice — always aligned for its element type — never
+// from the byte buffer, which keeps the conversion valid under checkptr.
+func int32Bytes(v []int32) []byte {
+	return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(v))), len(v)*distWidth)
+}
+
+// float64Bytes returns the raw byte image of a float64 column.
+func float64Bytes(v []float64) []byte {
+	return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(v))), len(v)*sigmaWidth)
+}
 
 // Record layout on disk, per source, for n vertices (little endian):
 //
@@ -45,6 +69,12 @@ func encodeRecord(rec *bc.SourceState, buf []byte) error {
 	if len(buf) != recordSize(n) {
 		return fmt.Errorf("bdstore: encode buffer is %d bytes, want %d", len(buf), recordSize(n))
 	}
+	if hostLittleEndian {
+		off := copy(buf, int32Bytes(rec.Dist))
+		off += copy(buf[off:], float64Bytes(rec.Sigma))
+		copy(buf[off:], float64Bytes(rec.Delta))
+		return nil
+	}
 	off := 0
 	for _, d := range rec.Dist {
 		binary.LittleEndian.PutUint32(buf[off:], uint32(d))
@@ -67,6 +97,12 @@ func decodeRecord(buf []byte, n int, rec *bc.SourceState) error {
 		return fmt.Errorf("bdstore: decode buffer is %d bytes, want %d", len(buf), recordSize(n))
 	}
 	rec.Resize(n)
+	if hostLittleEndian {
+		off := copy(int32Bytes(rec.Dist), buf)
+		off += copy(float64Bytes(rec.Sigma), buf[off:])
+		copy(float64Bytes(rec.Delta), buf[off:])
+		return nil
+	}
 	off := 0
 	for i := 0; i < n; i++ {
 		rec.Dist[i] = int32(binary.LittleEndian.Uint32(buf[off:]))
@@ -93,8 +129,12 @@ func decodeDistances(buf []byte, n int, dist *[]int32) error {
 		d = make([]int32, n)
 	}
 	d = d[:n]
-	for i := 0; i < n; i++ {
-		d[i] = int32(binary.LittleEndian.Uint32(buf[i*distWidth:]))
+	if hostLittleEndian {
+		copy(int32Bytes(d), buf)
+	} else {
+		for i := 0; i < n; i++ {
+			d[i] = int32(binary.LittleEndian.Uint32(buf[i*distWidth:]))
+		}
 	}
 	*dist = d
 	return nil

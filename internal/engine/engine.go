@@ -148,9 +148,10 @@ type worker struct {
 	// deltas holds one partial-score delta per update of the current batch,
 	// in stream order; the reduce phase folds them into the global result
 	// (update-major, worker order) so the outcome is bit-identical to
-	// per-update reduction.
-	deltas    []*incremental.Delta
-	deltaPool []*incremental.Delta
+	// per-update reduction. The flat layout keeps accumulation allocation-free
+	// in steady state (see incremental.FlatDelta).
+	deltas    []*incremental.FlatDelta
+	deltaPool []*incremental.FlatDelta
 
 	tasks chan workerTask
 	acks  chan error
@@ -206,6 +207,15 @@ func New(g *graph.Graph, cfg Config) (*Engine, error) {
 	if err := e.initialize(); err != nil {
 		e.Close()
 		return nil, err
+	}
+	// With every record stored, give each worker its transposed probe plane:
+	// classification then reads two plane rows per update instead of one
+	// distance column per source.
+	for _, w := range e.workers {
+		if err := w.proc.BuildProbeIndex(); err != nil {
+			e.Close()
+			return nil, fmt.Errorf("engine: worker %d: %w", w.id, err)
+		}
 	}
 	if len(e.workers) > 1 {
 		e.pooled = true
@@ -360,7 +370,7 @@ func (w *worker) run(g *graph.Graph) {
 func (w *worker) exec(g *graph.Graph, t workerTask) error {
 	switch t.kind {
 	case taskUpdate:
-		return w.proc.ProcessUpdate(g, w.sources, t.upd, w.nextDelta())
+		return w.proc.ProcessUpdate(g, w.sources, t.upd, w.nextDelta(g.N()))
 	case taskFlush:
 		return w.proc.Flush()
 	}
@@ -369,14 +379,15 @@ func (w *worker) exec(g *graph.Graph, t workerTask) error {
 
 // nextDelta appends (and returns) the delta receiving the changes of the
 // next update of the current batch, reusing pooled deltas across batches.
-func (w *worker) nextDelta() *incremental.Delta {
-	var d *incremental.Delta
+func (w *worker) nextDelta(n int) *incremental.FlatDelta {
+	var d *incremental.FlatDelta
 	if k := len(w.deltaPool); k > 0 {
 		d = w.deltaPool[k-1]
 		w.deltaPool = w.deltaPool[:k-1]
 	} else {
-		d = incremental.NewDelta()
+		d = incremental.NewFlatDelta()
 	}
+	d.Reserve(n)
 	w.deltas = append(w.deltas, d)
 	return d
 }
@@ -668,6 +679,11 @@ func (e *Engine) finishBatch(applied []graph.Update) error {
 	for _, w := range e.workers {
 		w.recycleDeltas()
 	}
+	// The workers are idle between batches (the flush handshake above is the
+	// last task of the batch), so this is the safe point to fold the graph's
+	// delta overlay back into its flat CSR columns: the next batch — and any
+	// snapshot taken between batches — runs on pure flat memory.
+	e.g.Compact()
 	return flushErr
 }
 
@@ -679,7 +695,7 @@ func (e *Engine) finishBatch(applied []graph.Update) error {
 func (e *Engine) growTo(n int) error {
 	old := incremental.GrowGraphAndResult(e.g, e.res, n)
 	for _, w := range e.workers {
-		if err := w.store.Grow(n); err != nil {
+		if err := w.proc.GrowStore(n); err != nil {
 			return fmt.Errorf("engine: growing store of worker %d: %w", w.id, err)
 		}
 	}
@@ -689,7 +705,7 @@ func (e *Engine) growTo(n int) error {
 	for s := old; s < n; s++ {
 		w := e.workers[e.nextRR%len(e.workers)]
 		e.nextRR++
-		if err := w.store.AddSource(s); err != nil {
+		if err := w.proc.AddStoreSource(s); err != nil {
 			return fmt.Errorf("engine: adding source %d to worker %d: %w", s, w.id, err)
 		}
 		w.sources = append(w.sources, s)
@@ -712,7 +728,17 @@ func (e *Engine) Close() error {
 	}
 	var firstErr error
 	for _, w := range e.workers {
-		if w == nil || w.store == nil {
+		if w == nil {
+			continue
+		}
+		if w.proc != nil {
+			// Return the worker's pooled workspace so a successor engine (a
+			// replica rebootstrap, a recovery replay) reuses the scratch
+			// memory instead of allocating fresh columns.
+			w.proc.Release()
+			w.proc = nil
+		}
+		if w.store == nil {
 			continue
 		}
 		if err := w.store.Close(); err != nil && firstErr == nil {

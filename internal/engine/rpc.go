@@ -125,6 +125,9 @@ func (w *WorkerServer) Init(args *InitArgs, reply *incremental.Delta) error {
 			return err
 		}
 	}
+	if err := w.proc.BuildProbeIndex(); err != nil {
+		return err
+	}
 	reply.VBC = make(map[int]float64)
 	for v, x := range partial.VBC {
 		if x != 0 {
@@ -208,7 +211,7 @@ func (w *WorkerServer) AddSources(sources []int, reply *bool) error {
 				return err
 			}
 		}
-		if err := w.store.AddSource(s); err != nil {
+		if err := w.proc.AddStoreSource(s); err != nil {
 			return err
 		}
 		w.sources = append(w.sources, s)
@@ -221,7 +224,7 @@ func (w *WorkerServer) grow(n int) error {
 	for w.g.N() < n {
 		w.g.AddVertex()
 	}
-	if err := w.store.Grow(n); err != nil {
+	if err := w.proc.GrowStore(n); err != nil {
 		return err
 	}
 	return nil

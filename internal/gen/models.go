@@ -77,9 +77,9 @@ func HolmeKim(n, k int, p float64, seed int64) *graph.Graph {
 			var t int
 			if last >= 0 && p > 0 && rng.Float64() < p {
 				// Triad closure: pick a neighbour of the last attached vertex.
-				neigh := g.Neighbors(last)
+				neigh := g.Out(last)
 				if len(neigh) > 0 {
-					t = neigh[rng.Intn(len(neigh))]
+					t = int(neigh[rng.Intn(len(neigh))])
 				} else {
 					t = targets[rng.Intn(len(targets))]
 				}

@@ -8,25 +8,38 @@ const Unreachable = -1
 // out-edges. Unreachable vertices get distance Unreachable.
 func (g *Graph) BFS(s int) []int {
 	dist := make([]int, g.N())
+	g.BFSInto(s, dist, nil)
+	return dist
+}
+
+// BFSInto is the allocation-free form of BFS: it fills dist (which must have
+// length N()) with distances from s, using queue as scratch space when its
+// capacity suffices (pass nil to let the search allocate its own queue).
+// It returns the number of vertices reached, including s itself.
+func (g *Graph) BFSInto(s int, dist []int, queue []int) int {
 	for i := range dist {
 		dist[i] = Unreachable
 	}
 	if s < 0 || s >= g.N() {
-		return dist
+		return 0
 	}
-	queue := make([]int, 0, g.N())
+	if cap(queue) < g.N() {
+		queue = make([]int, 0, g.N())
+	}
+	queue = queue[:0]
 	dist[s] = 0
 	queue = append(queue, s)
 	for head := 0; head < len(queue); head++ {
 		v := queue[head]
-		for _, w := range g.out[v] {
+		for _, w32 := range g.Out(v) {
+			w := int(w32)
 			if dist[w] == Unreachable {
 				dist[w] = dist[v] + 1
 				queue = append(queue, w)
 			}
 		}
 	}
-	return dist
+	return len(queue)
 }
 
 // ShortestPathCounts runs a BFS from s and returns, for every vertex, its
@@ -37,29 +50,48 @@ func (g *Graph) ShortestPathCounts(s int) (dist []int, sigma []float64) {
 	n := g.N()
 	dist = make([]int, n)
 	sigma = make([]float64, n)
+	g.ShortestPathCountsInto(s, dist, sigma, nil)
+	return dist, sigma
+}
+
+// ShortestPathCountsInto is the allocation-free form of ShortestPathCounts:
+// dist and sigma must have length N(); queue is optional scratch space (a nil
+// or undersized queue is allocated internally). It returns the number of
+// vertices reached from s.
+func (g *Graph) ShortestPathCountsInto(s int, dist []int, sigma []float64, queue []int) int {
+	n := g.N()
 	for i := range dist {
 		dist[i] = Unreachable
 	}
-	if s < 0 || s >= n {
-		return dist, sigma
+	for i := range sigma {
+		sigma[i] = 0
 	}
+	if s < 0 || s >= n {
+		return 0
+	}
+	if cap(queue) < n {
+		queue = make([]int, 0, n)
+	}
+	queue = queue[:0]
 	dist[s] = 0
 	sigma[s] = 1
-	queue := make([]int, 0, n)
 	queue = append(queue, s)
 	for head := 0; head < len(queue); head++ {
 		v := queue[head]
-		for _, w := range g.out[v] {
+		dv := dist[v]
+		sv := sigma[v]
+		for _, w32 := range g.Out(v) {
+			w := int(w32)
 			if dist[w] == Unreachable {
-				dist[w] = dist[v] + 1
+				dist[w] = dv + 1
 				queue = append(queue, w)
 			}
-			if dist[w] == dist[v]+1 {
-				sigma[w] += sigma[v]
+			if dist[w] == dv+1 {
+				sigma[w] += sv
 			}
 		}
 	}
-	return dist, sigma
+	return len(queue)
 }
 
 // Eccentricity returns the maximum finite BFS distance from s, or 0 if s has

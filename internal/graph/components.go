@@ -13,6 +13,14 @@ func (g *Graph) Components() [][]int {
 	}
 	var comps [][]int
 	queue := make([]int, 0, n)
+	visit := func(w int, id int, members []int) []int {
+		if comp[w] == -1 {
+			comp[w] = id
+			queue = append(queue, w)
+			members = append(members, w)
+		}
+		return members
+	}
 	for s := 0; s < n; s++ {
 		if comp[s] != -1 {
 			continue
@@ -24,11 +32,13 @@ func (g *Graph) Components() [][]int {
 		members := []int{s}
 		for head := 0; head < len(queue); head++ {
 			v := queue[head]
-			for _, w := range g.undirectedNeighbors(v) {
-				if comp[w] == -1 {
-					comp[w] = id
-					queue = append(queue, w)
-					members = append(members, w)
+			for _, w := range g.Out(v) {
+				members = visit(int(w), id, members)
+			}
+			if g.directed {
+				// Weak connectivity: follow in-edges too.
+				for _, w := range g.In(v) {
+					members = visit(int(w), id, members)
 				}
 			}
 		}
@@ -42,19 +52,6 @@ func (g *Graph) Components() [][]int {
 		return comps[i][0] < comps[j][0]
 	})
 	return comps
-}
-
-// undirectedNeighbors iterates edges in both directions so that directed
-// graphs are treated as their underlying undirected graph (weak
-// connectivity).
-func (g *Graph) undirectedNeighbors(v int) []int {
-	if !g.directed {
-		return g.out[v]
-	}
-	res := make([]int, 0, len(g.out[v])+len(g.in[v]))
-	res = append(res, g.out[v]...)
-	res = append(res, g.in[v]...)
-	return res
 }
 
 // ComponentCount returns the number of (weakly) connected components.
@@ -75,8 +72,8 @@ func (g *Graph) LargestComponent() (*Graph, []int) {
 	}
 	sub := newGraph(len(members), g.directed)
 	for newU, oldU := range members {
-		for _, oldV := range g.out[oldU] {
-			newV, ok := oldToNew[oldV]
+		for _, oldV := range g.Out(oldU) {
+			newV, ok := oldToNew[int(oldV)]
 			if !ok {
 				continue
 			}
@@ -88,6 +85,7 @@ func (g *Graph) LargestComponent() (*Graph, []int) {
 			_ = sub.AddEdge(newU, newV)
 		}
 	}
+	sub.Compact()
 	return sub, members
 }
 

@@ -1,0 +1,199 @@
+package graph
+
+// This file implements the flat-memory adjacency core: a compressed-sparse-row
+// (CSR) base — one offsets column and one neighbours column, both []int32 —
+// plus a small per-vertex delta overlay that absorbs in-flight edge additions
+// and removals. Reads never allocate: a vertex's neighbourhood is either a
+// subslice of the CSR neighbours column or, for a vertex mutated since the
+// last compaction, its overlay row. Overlay rows are fully merged and sorted,
+// so iteration order and binary-search membership are identical for clean and
+// dirty vertices — which keeps the floating-point accumulation order of every
+// betweenness traversal a pure function of the edge set (the bit-identity
+// invariant introduced with the write-ahead log).
+//
+// Mutations copy the affected vertex's row into the overlay once per
+// compaction epoch and then edit it in place; compaction folds every overlay
+// row back into the CSR columns in one sequential pass and recycles the rows.
+// The graph compacts itself when the number of absorbed mutations crosses
+// compactOverlayFraction of the edge count, and the engine additionally
+// compacts after every applied batch, so the overlay stays a few cache lines
+// big in steady state.
+//
+// Readers (Out, In, HasEdge, BFS, Edges, …) never mutate the structure, so
+// concurrent reads — the engine's worker pool scanning neighbourhoods in
+// parallel — are safe; mutations and Compact belong to the single writer
+// between worker tasks, as before.
+
+// compactMinPending is the floor below which the overlay is never compacted
+// automatically (mutating tiny graphs would otherwise compact on every edge).
+const compactMinPending = 32
+
+// compactOverlayFraction triggers automatic compaction when the mutations
+// absorbed since the last compaction exceed M/compactOverlayFraction.
+const compactOverlayFraction = 4
+
+// adjacency is one direction of the graph: CSR base plus delta overlay.
+type adjacency struct {
+	off []int32 // CSR offsets, len n+1
+	dat []int32 // CSR neighbours column, sorted per vertex
+
+	ovIdx   []int32   // per vertex: index into ovRows, or -1 when clean
+	ovRows  [][]int32 // merged, sorted rows of vertices mutated this epoch
+	ovVerts []int32   // vertices with an overlay row, in first-touch order
+	spare   [][]int32 // recycled overlay rows
+
+	offSpare []int32 // double buffers so compaction allocates nothing
+	datSpare []int32
+
+	pending int // mutations absorbed by the overlay since the last compaction
+}
+
+func (a *adjacency) init(n int) {
+	a.off = make([]int32, n+1)
+	a.ovIdx = make([]int32, n)
+	for i := range a.ovIdx {
+		a.ovIdx[i] = -1
+	}
+}
+
+// grow appends vertices up to n (all isolated).
+func (a *adjacency) grow(n int) {
+	last := a.off[len(a.off)-1]
+	for len(a.off)-1 < n {
+		a.off = append(a.off, last)
+		a.ovIdx = append(a.ovIdx, -1)
+	}
+}
+
+// row returns the current sorted neighbour row of v without allocating.
+func (a *adjacency) row(v int) []int32 {
+	if i := a.ovIdx[v]; i >= 0 {
+		return a.ovRows[i]
+	}
+	return a.dat[a.off[v]:a.off[v+1]]
+}
+
+// mutableRow returns the overlay-row index of v, materialising the row (one
+// copy of the CSR row into a recycled buffer) on first touch in this epoch.
+func (a *adjacency) mutableRow(v int) int {
+	if i := a.ovIdx[v]; i >= 0 {
+		return int(i)
+	}
+	base := a.dat[a.off[v]:a.off[v+1]]
+	var r []int32
+	if k := len(a.spare); k > 0 {
+		r, a.spare = a.spare[k-1][:0], a.spare[:k-1]
+	}
+	r = append(r, base...)
+	i := len(a.ovRows)
+	a.ovRows = append(a.ovRows, r)
+	a.ovIdx[v] = int32(i)
+	a.ovVerts = append(a.ovVerts, int32(v))
+	return i
+}
+
+// insert adds x to v's row, keeping it sorted. The caller guarantees x is not
+// already present.
+func (a *adjacency) insert(v int, x int32) {
+	i := a.mutableRow(v)
+	r := a.ovRows[i]
+	p := searchInt32(r, x)
+	r = append(r, 0)
+	copy(r[p+1:], r[p:])
+	r[p] = x
+	a.ovRows[i] = r
+	a.pending++
+}
+
+// remove deletes x from v's row. The caller guarantees x is present.
+func (a *adjacency) remove(v int, x int32) {
+	i := a.mutableRow(v)
+	r := a.ovRows[i]
+	p := searchInt32(r, x)
+	if p < len(r) && r[p] == x {
+		a.ovRows[i] = append(r[:p], r[p+1:]...)
+		a.pending++
+	}
+}
+
+// contains reports membership of x in v's row by binary search.
+func (a *adjacency) contains(v int, x int32) bool {
+	r := a.row(v)
+	p := searchInt32(r, x)
+	return p < len(r) && r[p] == x
+}
+
+// compact folds every overlay row back into the CSR columns with one
+// sequential rebuild of the offsets and neighbours columns (double-buffered,
+// so steady-state compaction performs zero allocations) and recycles the
+// overlay rows.
+func (a *adjacency) compact() {
+	if len(a.ovVerts) == 0 {
+		a.pending = 0
+		return
+	}
+	n := len(a.off) - 1
+	total := int(a.off[n])
+	for _, v := range a.ovVerts {
+		i := a.ovIdx[v]
+		total += len(a.ovRows[i]) - int(a.off[v+1]-a.off[v])
+	}
+	newOff := a.offSpare
+	if cap(newOff) < n+1 {
+		newOff = make([]int32, 0, n+1+n/4)
+	}
+	newOff = newOff[:0]
+	newDat := a.datSpare
+	if cap(newDat) < total {
+		newDat = make([]int32, 0, total+total/4)
+	}
+	newDat = newDat[:0]
+	newOff = append(newOff, 0)
+	for v := 0; v < n; v++ {
+		newDat = append(newDat, a.row(v)...)
+		newOff = append(newOff, int32(len(newDat)))
+	}
+	a.offSpare, a.off = a.off, newOff
+	a.datSpare, a.dat = a.dat, newDat
+	for _, v := range a.ovVerts {
+		i := a.ovIdx[v]
+		a.spare = append(a.spare, a.ovRows[i][:0])
+		a.ovRows[i] = nil
+		a.ovIdx[v] = -1
+	}
+	a.ovRows = a.ovRows[:0]
+	a.ovVerts = a.ovVerts[:0]
+	a.pending = 0
+}
+
+// cloneFrom rebuilds a as a compacted deep copy of src (which is left
+// untouched, overlay included).
+func (a *adjacency) cloneFrom(src *adjacency) {
+	n := len(src.off) - 1
+	a.init(n)
+	total := int(src.off[n])
+	for _, v := range src.ovVerts {
+		i := src.ovIdx[v]
+		total += len(src.ovRows[i]) - int(src.off[v+1]-src.off[v])
+	}
+	a.dat = make([]int32, 0, total)
+	for v := 0; v < n; v++ {
+		a.dat = append(a.dat, src.row(v)...)
+		a.off[v+1] = int32(len(a.dat))
+	}
+}
+
+// searchInt32 returns the smallest index i with s[i] >= x (binary search on a
+// sorted row).
+func searchInt32(s []int32, x int32) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,208 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refGraph is the trivially-correct reference the CSR+overlay implementation
+// is differentially tested against: plain adjacency maps, no flat storage, no
+// overlay, no compaction.
+type refGraph struct {
+	directed bool
+	out      []map[int]bool
+	in       []map[int]bool
+	m        int
+}
+
+func newRefGraph(n int, directed bool) *refGraph {
+	r := &refGraph{directed: directed}
+	for i := 0; i < n; i++ {
+		r.addVertex()
+	}
+	return r
+}
+
+func (r *refGraph) n() int { return len(r.out) }
+
+func (r *refGraph) addVertex() {
+	r.out = append(r.out, map[int]bool{})
+	r.in = append(r.in, map[int]bool{})
+}
+
+func (r *refGraph) hasEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= r.n() || v >= r.n() {
+		return false
+	}
+	return r.out[u][v]
+}
+
+// addEdge mirrors Graph.AddEdge's contract and reports whether the edge was
+// inserted (false means the Graph must have returned an error).
+func (r *refGraph) addEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= r.n() || v >= r.n() || u == v || r.out[u][v] {
+		return false
+	}
+	r.out[u][v] = true
+	if r.directed {
+		r.in[v][u] = true
+	} else {
+		r.out[v][u] = true
+	}
+	r.m++
+	return true
+}
+
+func (r *refGraph) removeEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= r.n() || v >= r.n() || !r.out[u][v] {
+		return false
+	}
+	delete(r.out[u], v)
+	if r.directed {
+		delete(r.in[v], u)
+	} else {
+		delete(r.out[v], u)
+	}
+	r.m--
+	return true
+}
+
+// checkAgainstRef verifies every observable invariant of g against ref: vertex
+// and edge counts, per-vertex degrees, strictly-sorted neighbour rows whose
+// element sets match the reference exactly (out and in), and HasEdge over the
+// full vertex-pair matrix.
+func checkAgainstRef(t *testing.T, g *Graph, ref *refGraph, ctx string) {
+	t.Helper()
+	if g.N() != ref.n() {
+		t.Fatalf("%s: N() = %d, want %d", ctx, g.N(), ref.n())
+	}
+	if g.M() != ref.m {
+		t.Fatalf("%s: M() = %d, want %d", ctx, g.M(), ref.m)
+	}
+	checkRows := func(name string, row func(int) []int32, want []map[int]bool) {
+		for v := 0; v < ref.n(); v++ {
+			got := row(v)
+			if len(got) != len(want[v]) {
+				t.Fatalf("%s: %s(%d) has %d neighbours %v, want %d", ctx, name, v, len(got), got, len(want[v]))
+			}
+			for i, x := range got {
+				if i > 0 && got[i-1] >= x {
+					t.Fatalf("%s: %s(%d) not strictly sorted: %v", ctx, name, v, got)
+				}
+				if !want[v][int(x)] {
+					t.Fatalf("%s: %s(%d) contains %d, reference does not", ctx, name, v, x)
+				}
+			}
+		}
+	}
+	checkRows("Out", g.Out, ref.out)
+	if ref.directed {
+		checkRows("In", g.In, ref.in)
+	} else {
+		checkRows("In", g.In, ref.out) // In must coincide with Out
+	}
+	for v := 0; v < ref.n(); v++ {
+		if g.Degree(v) != len(ref.out[v]) {
+			t.Fatalf("%s: Degree(%d) = %d, want %d", ctx, v, g.Degree(v), len(ref.out[v]))
+		}
+	}
+	for u := 0; u < ref.n(); u++ {
+		for v := 0; v < ref.n(); v++ {
+			if got, want := g.HasEdge(u, v), ref.hasEdge(u, v); got != want {
+				t.Fatalf("%s: HasEdge(%d,%d) = %v, want %v", ctx, u, v, got, want)
+			}
+		}
+	}
+}
+
+// runGraphScript drives one add/remove/grow/compact script through the
+// CSR+overlay graph and the map reference in lockstep, checking all
+// invariants after every operation. The script format is the fuzz input:
+// each operation consumes three bytes (op, u, v).
+func runGraphScript(t *testing.T, directed bool, script []byte) {
+	t.Helper()
+	const n0 = 8
+	g := New(n0)
+	if directed {
+		g = NewDirected(n0)
+	}
+	ref := newRefGraph(n0, directed)
+	for i := 0; i+2 < len(script); i += 3 {
+		op, bu, bv := script[i], script[i+1], script[i+2]
+		u := int(bu) % (ref.n() + 1)
+		v := int(bv) % (ref.n() + 1)
+		switch op % 8 {
+		case 0, 1, 2: // addition-heavy mix keeps the graphs non-trivial
+			wantOK := ref.addEdge(u, v)
+			err := g.AddEdge(u, v)
+			if (err == nil) != wantOK {
+				t.Fatalf("op %d: AddEdge(%d,%d) err=%v, reference ok=%v", i/3, u, v, err, wantOK)
+			}
+		case 3, 4:
+			wantOK := ref.removeEdge(u, v)
+			err := g.RemoveEdge(u, v)
+			if (err == nil) != wantOK {
+				t.Fatalf("op %d: RemoveEdge(%d,%d) err=%v, reference ok=%v", i/3, u, v, err, wantOK)
+			}
+		case 5: // remove a definitely-existing edge when there is one
+			if len(ref.out[u%ref.n()]) > 0 {
+				w := u % ref.n()
+				var x int
+				for x = range ref.out[w] {
+					break
+				}
+				ref.removeEdge(w, x)
+				if err := g.RemoveEdge(w, x); err != nil {
+					t.Fatalf("op %d: RemoveEdge(%d,%d) of existing edge: %v", i/3, w, x, err)
+				}
+			}
+		case 6:
+			if ref.n() < 64 { // keep the full-matrix HasEdge check affordable
+				g.AddVertex()
+				ref.addVertex()
+			}
+		case 7:
+			// Explicit compaction mid-script: must change nothing observable.
+			g.Compact()
+			if p := g.OverlayPending(); p != 0 {
+				t.Fatalf("op %d: OverlayPending() = %d after Compact", i/3, p)
+			}
+		}
+		checkAgainstRef(t, g, ref, "after op")
+	}
+	// Terminal compaction plus a final full check: the folded CSR columns
+	// must present the same graph the overlay did.
+	g.Compact()
+	if p := g.OverlayPending(); p != 0 {
+		t.Fatalf("OverlayPending() = %d after final Compact", p)
+	}
+	checkAgainstRef(t, g, ref, "after final Compact")
+}
+
+// TestGraphDifferentialRandom replays long random mutation scripts through
+// the CSR+overlay graph and the map reference, undirected and directed.
+func TestGraphDifferentialRandom(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		rng := rand.New(rand.NewSource(97))
+		for trial := 0; trial < 8; trial++ {
+			script := make([]byte, 3*120)
+			rng.Read(script)
+			runGraphScript(t, directed, script)
+		}
+	}
+}
+
+// FuzzGraphOverlay is the fuzz entry point over the same harness: `go test
+// -fuzz FuzzGraphOverlay ./internal/graph` explores mutation interleavings
+// (including overlay/compaction boundaries) beyond the random seeds.
+func FuzzGraphOverlay(f *testing.F) {
+	f.Add(false, []byte{0, 1, 2, 0, 2, 3, 3, 1, 2, 7, 0, 0})
+	f.Add(true, []byte{0, 1, 2, 1, 2, 1, 6, 0, 0, 0, 8, 1, 4, 1, 2, 7, 0, 0})
+	f.Add(false, []byte{0, 0, 1, 0, 1, 0, 5, 0, 0, 3, 0, 1})
+	f.Fuzz(func(t *testing.T, directed bool, script []byte) {
+		if len(script) > 3*400 {
+			script = script[:3*400]
+		}
+		runGraphScript(t, directed, script)
+	})
+}

@@ -1,8 +1,8 @@
 // Package graph provides the dynamic graph substrate used by the streaming
-// betweenness framework: an adjacency-list graph supporting online edge
-// additions and removals, for both undirected and directed graphs, together
-// with loaders, generators' building blocks, statistics and traversal
-// utilities.
+// betweenness framework: a compressed-sparse-row graph with a delta overlay
+// supporting online edge additions and removals, for both undirected and
+// directed graphs, together with loaders, generators' building blocks,
+// statistics and traversal utilities.
 //
 // Vertices are dense integer identifiers in the range [0, N()). The graph is
 // simple: self loops and parallel edges are rejected.
@@ -11,7 +11,6 @@ package graph
 import (
 	"errors"
 	"fmt"
-	"sort"
 )
 
 // Common errors returned by mutating operations.
@@ -22,18 +21,19 @@ var (
 	ErrVertexRange   = errors.New("graph: vertex out of range")
 )
 
-// Graph is a simple dynamic graph with dense integer vertices.
+// Graph is a simple dynamic graph with dense integer vertices, stored as flat
+// CSR columns plus a per-vertex delta overlay (see csr.go).
 //
-// For undirected graphs each edge {u,v} is stored in both adjacency lists and
-// counted once by M(). For directed graphs the out- and in-adjacency are kept
-// separately so that shortest-path searches can expand forward along
+// For undirected graphs each edge {u,v} appears in both endpoints' rows and
+// is counted once by M(). For directed graphs the out- and in-adjacency are
+// kept separately so that shortest-path searches can expand forward along
 // out-edges and backtrack along in-edges, as required by the betweenness
 // algorithms.
 type Graph struct {
 	directed bool
-	out      [][]int // out[u] = neighbours reachable from u (undirected: all neighbours)
-	in       [][]int // in[v] = vertices with an edge into v (directed only)
-	m        int     // number of edges
+	out      adjacency // out[u] = neighbours reachable from u (undirected: all neighbours)
+	in       adjacency // in[v] = vertices with an edge into v (directed only)
+	m        int       // number of edges
 }
 
 // New returns an empty undirected graph with n vertices.
@@ -43,12 +43,10 @@ func New(n int) *Graph { return newGraph(n, false) }
 func NewDirected(n int) *Graph { return newGraph(n, true) }
 
 func newGraph(n int, directed bool) *Graph {
-	g := &Graph{
-		directed: directed,
-		out:      make([][]int, n),
-	}
+	g := &Graph{directed: directed}
+	g.out.init(n)
 	if directed {
-		g.in = make([][]int, n)
+		g.in.init(n)
 	}
 	return g
 }
@@ -57,24 +55,28 @@ func newGraph(n int, directed bool) *Graph {
 func (g *Graph) Directed() bool { return g.directed }
 
 // N returns the number of vertices.
-func (g *Graph) N() int { return len(g.out) }
+func (g *Graph) N() int { return len(g.out.off) - 1 }
 
 // M returns the number of edges.
 func (g *Graph) M() int { return g.m }
 
 // AddVertex appends a new isolated vertex and returns its identifier.
 func (g *Graph) AddVertex() int {
-	g.out = append(g.out, nil)
+	n := g.N() + 1
+	g.out.grow(n)
 	if g.directed {
-		g.in = append(g.in, nil)
+		g.in.grow(n)
 	}
-	return len(g.out) - 1
+	return n - 1
 }
 
 // EnsureVertex grows the graph so that vertex id v exists.
 func (g *Graph) EnsureVertex(v int) {
-	for g.N() <= v {
-		g.AddVertex()
+	if v >= g.N() {
+		g.out.grow(v + 1)
+		if g.directed {
+			g.in.grow(v + 1)
+		}
 	}
 }
 
@@ -86,12 +88,13 @@ func (g *Graph) checkVertex(v int) error {
 }
 
 // HasEdge reports whether the edge (u,v) exists. For undirected graphs the
-// order of the endpoints is irrelevant.
+// order of the endpoints is irrelevant. Membership is a binary search on u's
+// sorted row.
 func (g *Graph) HasEdge(u, v int) bool {
 	if u < 0 || v < 0 || u >= g.N() || v >= g.N() {
 		return false
 	}
-	return contains(g.out[u], v)
+	return g.out.contains(u, int32(v))
 }
 
 // AddEdge inserts the edge (u,v). Both endpoints must already exist.
@@ -105,16 +108,17 @@ func (g *Graph) AddEdge(u, v int) error {
 	if u == v {
 		return ErrSelfLoop
 	}
-	if contains(g.out[u], v) {
+	if g.out.contains(u, int32(v)) {
 		return fmt.Errorf("%w: (%d,%d)", ErrDuplicateEdge, u, v)
 	}
-	g.out[u] = insert(g.out[u], v)
+	g.out.insert(u, int32(v))
 	if g.directed {
-		g.in[v] = insert(g.in[v], u)
+		g.in.insert(v, int32(u))
 	} else {
-		g.out[v] = insert(g.out[v], u)
+		g.out.insert(v, int32(u))
 	}
 	g.m++
+	g.maybeCompact()
 	return nil
 }
 
@@ -126,69 +130,91 @@ func (g *Graph) RemoveEdge(u, v int) error {
 	if err := g.checkVertex(v); err != nil {
 		return err
 	}
-	if !contains(g.out[u], v) {
+	if !g.out.contains(u, int32(v)) {
 		return fmt.Errorf("%w: (%d,%d)", ErrMissingEdge, u, v)
 	}
-	g.out[u] = remove(g.out[u], v)
+	g.out.remove(u, int32(v))
 	if g.directed {
-		g.in[v] = remove(g.in[v], u)
+		g.in.remove(v, int32(u))
 	} else {
-		g.out[v] = remove(g.out[v], u)
+		g.out.remove(v, int32(u))
 	}
 	g.m--
+	g.maybeCompact()
 	return nil
 }
 
-// Neighbors returns the adjacency list of v. For directed graphs it is the
-// out-neighbourhood. The returned slice is owned by the graph and must not be
-// modified by the caller.
-func (g *Graph) Neighbors(v int) []int { return g.out[v] }
+// Out returns the sorted out-neighbour row of v (all neighbours for
+// undirected graphs) as a view into the graph's flat storage. It never
+// allocates; the slice is owned by the graph, must not be modified, and is
+// invalidated by the next mutation or Compact.
+func (g *Graph) Out(v int) []int32 { return g.out.row(v) }
 
-// OutNeighbors returns the vertices reachable from v by a single edge.
-func (g *Graph) OutNeighbors(v int) []int { return g.out[v] }
-
-// InNeighbors returns the vertices with an edge into v. For undirected graphs
-// it coincides with Neighbors.
-func (g *Graph) InNeighbors(v int) []int {
+// In returns the sorted in-neighbour row of v. For undirected graphs it
+// coincides with Out. Ownership rules are the same as Out's.
+func (g *Graph) In(v int) []int32 {
 	if g.directed {
-		return g.in[v]
+		return g.in.row(v)
 	}
-	return g.out[v]
+	return g.out.row(v)
+}
+
+// Neighbors returns the adjacency list of v as a freshly allocated slice. For
+// directed graphs it is the out-neighbourhood. Hot paths should iterate
+// Out/In instead, which do not allocate.
+func (g *Graph) Neighbors(v int) []int { return toInts(g.out.row(v)) }
+
+// OutNeighbors returns the vertices reachable from v by a single edge, as a
+// freshly allocated slice.
+func (g *Graph) OutNeighbors(v int) []int { return toInts(g.out.row(v)) }
+
+// InNeighbors returns the vertices with an edge into v, as a freshly
+// allocated slice. For undirected graphs it coincides with Neighbors.
+func (g *Graph) InNeighbors(v int) []int { return toInts(g.In(v)) }
+
+func toInts(row []int32) []int {
+	if len(row) == 0 {
+		return nil
+	}
+	s := make([]int, len(row))
+	for i, x := range row {
+		s[i] = int(x)
+	}
+	return s
 }
 
 // Degree returns the degree of v (out-degree for directed graphs).
-func (g *Graph) Degree(v int) int { return len(g.out[v]) }
+func (g *Graph) Degree(v int) int { return len(g.out.row(v)) }
 
 // InDegree returns the in-degree of v (same as Degree for undirected graphs).
-func (g *Graph) InDegree(v int) int { return len(g.InNeighbors(v)) }
+func (g *Graph) InDegree(v int) int { return len(g.In(v)) }
 
 // Edges returns all edges of the graph. For undirected graphs each edge is
-// reported once with U < V. The result is sorted for determinism.
+// reported once with U < V. The result is sorted (ascending U, then V); this
+// ordering — a pure function of the edge set — is what snapshots serialise,
+// so it must not change across representations.
 func (g *Graph) Edges() []Edge {
 	edges := make([]Edge, 0, g.m)
-	for u := range g.out {
-		for _, v := range g.out[u] {
+	n := g.N()
+	for u := 0; u < n; u++ {
+		for _, v32 := range g.out.row(u) {
+			v := int(v32)
 			if !g.directed && u > v {
 				continue
 			}
 			edges = append(edges, Edge{U: u, V: v})
 		}
 	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].U != edges[j].U {
-			return edges[i].U < edges[j].U
-		}
-		return edges[i].V < edges[j].V
-	})
 	return edges
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph. The copy starts fully compacted;
+// the receiver is left untouched.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{directed: g.directed, m: g.m}
-	c.out = cloneAdj(g.out)
+	c.out.cloneFrom(&g.out)
 	if g.directed {
-		c.in = cloneAdj(g.in)
+		c.in.cloneFrom(&g.in)
 	}
 	return c
 }
@@ -204,42 +230,35 @@ func (g *Graph) Apply(u Update) error {
 	return g.AddEdge(u.U, u.V)
 }
 
-func cloneAdj(adj [][]int) [][]int {
-	c := make([][]int, len(adj))
-	for i, row := range adj {
-		if len(row) == 0 {
-			continue
-		}
-		c[i] = append([]int(nil), row...)
+// Compact folds the delta overlay back into the flat CSR columns. It is
+// automatically invoked when the overlay grows past a fraction of M, and by
+// the engine after each applied batch; callers that finish a bulk load may
+// invoke it explicitly. Compaction changes no observable state, but it
+// invalidates row views returned by Out/In and must not run concurrently
+// with readers.
+func (g *Graph) Compact() {
+	g.out.compact()
+	if g.directed {
+		g.in.compact()
 	}
-	return c
 }
 
-// Adjacency lists are kept sorted at all times, so the neighbourhood order —
+// OverlayPending returns the number of edge-endpoint mutations currently
+// absorbed by the delta overlay (0 when fully compacted). Exposed for tests
+// of the compaction policy.
+func (g *Graph) OverlayPending() int { return g.out.pending + g.in.pending }
+
+func (g *Graph) maybeCompact() {
+	p := g.out.pending + g.in.pending
+	if p > compactMinPending && p > g.m/compactOverlayFraction {
+		g.Compact()
+	}
+}
+
+// Adjacency rows are kept sorted at all times, so the neighbourhood order —
 // and with it the floating-point accumulation order of every betweenness
 // traversal — is a pure function of the edge set, independent of the
 // addition/removal history that produced it. That is what makes scores
 // bit-identical across an uninterrupted run, a snapshot restore (which
 // rebuilds the graph from the sorted edge list) and a write-ahead-log
 // replay. Sorted order also buys O(log deg) membership tests.
-
-func contains(s []int, x int) bool {
-	i := sort.SearchInts(s, x)
-	return i < len(s) && s[i] == x
-}
-
-func insert(s []int, x int) []int {
-	i := sort.SearchInts(s, x)
-	s = append(s, 0)
-	copy(s[i+1:], s[i:])
-	s[i] = x
-	return s
-}
-
-func remove(s []int, x int) []int {
-	i := sort.SearchInts(s, x)
-	if i < len(s) && s[i] == x {
-		return append(s[:i], s[i+1:]...)
-	}
-	return s
-}

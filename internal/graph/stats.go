@@ -51,12 +51,18 @@ func (g *Graph) ClusteringCoefficient(sampleSize int, seed int64) float64 {
 }
 
 func (g *Graph) localClustering(v int) float64 {
-	neigh := g.undirectedNeighbors(v)
-	// Deduplicate for directed graphs where u may appear in both lists.
-	set := make(map[int]struct{}, len(neigh))
-	for _, u := range neigh {
-		if u != v {
-			set[u] = struct{}{}
+	// Deduplicate for directed graphs where u may appear in both rows.
+	set := make(map[int]struct{}, g.Degree(v)+g.InDegree(v))
+	for _, u := range g.Out(v) {
+		if int(u) != v {
+			set[int(u)] = struct{}{}
+		}
+	}
+	if g.directed {
+		for _, u := range g.In(v) {
+			if int(u) != v {
+				set[int(u)] = struct{}{}
+			}
 		}
 	}
 	k := len(set)

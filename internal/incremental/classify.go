@@ -24,8 +24,14 @@ const (
 // the source) and uL (farther). The update must already be applied to the
 // graph; dist holds the distances of the old graph.
 func Classify(dist []int32, upd graph.Update, directed bool) (uH, uL int, kind UpdateKind) {
+	return classifyAt(distOf(dist, upd.U), distOf(dist, upd.V), upd, directed)
+}
+
+// classifyAt is Classify on pre-fetched endpoint distances: d1 and d2 are the
+// old distances of upd.U and upd.V. The probe plane uses it to classify a
+// source from two contiguous reads instead of a full distance column.
+func classifyAt(d1, d2 int32, upd graph.Update, directed bool) (uH, uL int, kind UpdateKind) {
 	u1, u2 := upd.U, upd.V
-	d1, d2 := distOf(dist, u1), distOf(dist, u2)
 
 	if directed {
 		// A directed edge u1->u2 only carries paths entering at u1.

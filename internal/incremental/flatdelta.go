@@ -1,0 +1,181 @@
+package incremental
+
+import (
+	"streambc/internal/bc"
+	"streambc/internal/graph"
+)
+
+// FlatDelta is the in-process engine's partial-score accumulator: the same
+// sparse set of betweenness changes as Delta, but laid out on flat,
+// version-stamped columns so that resetting it between updates is O(1) and
+// steady-state accumulation performs no allocations (Go map clears release
+// bucket memory, so the map-based Delta re-allocates on every refill; the
+// flat layout keeps its arrays). Delta remains the wire type of the net/rpc
+// embodiment, which serialises its exported maps.
+//
+// Bit-identity note: like Delta, FlatDelta aggregates all changes of one
+// (update, worker) pair per key before the single add into the global result,
+// in exactly the order the changes arrive — so the per-slot floating-point
+// sums are identical to the map-based accumulator's.
+type FlatDelta struct {
+	version uint64
+
+	// Vertex changes: dense stamped column plus the touched-vertex list in
+	// first-touch order.
+	vbcVals  []float64
+	vbcStamp []uint64
+	vbcList  []int32
+
+	ebc edgeTable
+}
+
+// NewFlatDelta returns an empty accumulator; its columns grow with use.
+func NewFlatDelta() *FlatDelta {
+	return &FlatDelta{version: 1}
+}
+
+// AddVBC implements Accumulator.
+func (d *FlatDelta) AddVBC(v int, delta float64) {
+	if v >= len(d.vbcVals) {
+		d.growVBC(v + 1)
+	}
+	if d.vbcStamp[v] != d.version {
+		d.vbcStamp[v] = d.version
+		d.vbcVals[v] = delta
+		d.vbcList = append(d.vbcList, int32(v))
+		return
+	}
+	d.vbcVals[v] += delta
+}
+
+// AddEBC implements Accumulator.
+func (d *FlatDelta) AddEBC(e graph.Edge, delta float64) {
+	d.ebc.add(packEdge(e), delta, d.version)
+}
+
+// ApplyTo folds the delta into a full result, in first-touch order. The
+// result's VBC slice must already cover every vertex mentioned by the delta.
+func (d *FlatDelta) ApplyTo(res *bc.Result) {
+	for _, v := range d.vbcList {
+		res.VBC[v] += d.vbcVals[v]
+	}
+	for _, i := range d.ebc.order {
+		s := &d.ebc.slots[i]
+		res.EBC[unpackEdge(s.key)] += s.val
+	}
+}
+
+// Reset clears the delta for reuse, keeping its storage.
+func (d *FlatDelta) Reset() {
+	d.version++
+	d.vbcList = d.vbcList[:0]
+	d.ebc.reset(d.version)
+}
+
+// Reserve sizes the vertex column for graphs of n vertices and gives the edge
+// table its full initial capacity, so that a fresh accumulator reaches its
+// steady-state footprint in a handful of allocations instead of a doubling
+// chain of them.
+func (d *FlatDelta) Reserve(n int) {
+	if n > len(d.vbcVals) {
+		d.vbcVals = growFloat64(d.vbcVals, n)
+		d.vbcStamp = growUint64(d.vbcStamp, n)
+	}
+	if len(d.ebc.slots) == 0 {
+		d.ebc.grow()
+	}
+}
+
+func (d *FlatDelta) growVBC(n int) {
+	// Callers grow one vertex at a time; doubling keeps the growth chain
+	// logarithmic when no Reserve sized the column up front.
+	if m := 2 * len(d.vbcVals); n < m {
+		n = m
+	}
+	d.vbcVals = growFloat64(d.vbcVals, n)
+	d.vbcStamp = growUint64(d.vbcStamp, n)
+}
+
+func packEdge(e graph.Edge) uint64 {
+	return uint64(uint32(e.U))<<32 | uint64(uint32(e.V))
+}
+
+func unpackEdge(key uint64) graph.Edge {
+	return graph.Edge{U: int(int32(key >> 32)), V: int(int32(uint32(key)))}
+}
+
+// edgeTable is a version-stamped open-addressing hash table from packed edge
+// keys to float64 sums, with an insertion-order slot list for deterministic
+// iteration. Load factor is kept at or below 1/2.
+type edgeTable struct {
+	slots   []edgeSlot
+	stamp   []uint64
+	order   []int32
+	version uint64
+}
+
+type edgeSlot struct {
+	key uint64
+	val float64
+}
+
+func (t *edgeTable) reset(version uint64) {
+	t.order = t.order[:0]
+	t.version = version
+}
+
+// hashEdge mixes the packed key (Fibonacci hashing: multiplicative spread of
+// the high bits, which is where U lives).
+func hashEdge(key uint64) uint64 {
+	key *= 0x9E3779B97F4A7C15
+	return key ^ (key >> 29)
+}
+
+func (t *edgeTable) add(key uint64, x float64, version uint64) {
+	if version != t.version {
+		// The owning delta was reset without touching the table.
+		t.reset(version)
+	}
+	if 2*(len(t.order)+1) > len(t.slots) {
+		t.grow()
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := hashEdge(key) & mask; ; i = (i + 1) & mask {
+		if t.stamp[i] != t.version {
+			t.stamp[i] = t.version
+			t.slots[i] = edgeSlot{key: key, val: x}
+			t.order = append(t.order, int32(i))
+			return
+		}
+		if t.slots[i].key == key {
+			t.slots[i].val += x
+			return
+		}
+	}
+}
+
+// grow doubles the table and re-places every live slot, preserving the
+// insertion-order list (values are already aggregated, so re-placement moves
+// them without any floating-point operation).
+func (t *edgeTable) grow() {
+	n := 2 * len(t.slots)
+	if n == 0 {
+		n = 1024
+	}
+	oldSlots, oldOrder := t.slots, t.order
+	t.slots = make([]edgeSlot, n)
+	t.stamp = make([]uint64, n)
+	t.order = make([]int32, 0, len(oldOrder)+n/2)
+	mask := uint64(n - 1)
+	for _, oi := range oldOrder {
+		s := oldSlots[oi]
+		for i := hashEdge(s.key) & mask; ; i = (i + 1) & mask {
+			if t.stamp[i] != t.version {
+				t.stamp[i] = t.version
+				t.slots[i] = s
+				t.order = append(t.order, int32(i))
+				break
+			}
+		}
+	}
+}

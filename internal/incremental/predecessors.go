@@ -95,9 +95,9 @@ func buildPredList(g *graph.Graph, rec *bc.SourceState, v int) []int32 {
 		return nil
 	}
 	var list []int32
-	for _, y := range g.InNeighbors(v) {
+	for _, y := range g.In(v) {
 		if rec.Dist[y] != bc.Unreachable && rec.Dist[y]+1 == rec.Dist[v] {
-			list = append(list, int32(y))
+			list = append(list, y)
 		}
 	}
 	return list

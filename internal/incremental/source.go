@@ -69,9 +69,9 @@ func (su *sourceUpdate) forwardAddition(uH, uL int) {
 // fires and the walk reduces to a pruned path-count correction.
 func (su *sourceUpdate) propagateForward() {
 	ws := su.ws
-	for level := 0; level <= ws.maxBucket && level < len(ws.buckets); level++ {
-		for i := 0; i < len(ws.buckets[level]); i++ {
-			v := ws.buckets[level][i]
+	for level := 0; level <= ws.maxBucket && level < len(ws.heads); level++ {
+		for it := ws.heads[level]; it >= 0; it = ws.qnext[it] {
+			v := int(ws.qv[it])
 			if ws.forwardDone[v] == ws.version || su.dist(v) != int32(level) {
 				continue // already settled, or superseded by a shorter distance
 			}
@@ -81,7 +81,8 @@ func (su *sourceUpdate) propagateForward() {
 			// one level closer to the source (no predecessor lists: plain
 			// neighbour scan, Section 3 "Memory optimisation").
 			var sig float64
-			for _, y := range su.g.InNeighbors(v) {
+			for _, y32 := range su.g.In(v) {
+				y := int(y32)
 				if su.dist(y) == int32(level-1) {
 					sig += su.sigma(y)
 				}
@@ -93,7 +94,8 @@ func (su *sourceUpdate) propagateForward() {
 			}
 			su.markTouched(v)
 
-			for _, w := range su.g.OutNeighbors(v) {
+			for _, w32 := range su.g.Out(v) {
+				w := int(w32)
 				dw := su.dist(w)
 				switch {
 				case dw == bc.Unreachable || dw > int32(level+1):
@@ -147,7 +149,8 @@ func (su *sourceUpdate) forwardRemoval(uH, uL int) {
 	for i := 0; i < len(affected); i++ {
 		a := affected[i]
 		da := su.rec.Dist[a]
-		for _, w := range su.g.OutNeighbors(a) {
+		for _, w32 := range su.g.Out(a) {
+			w := int(w32)
 			if ws.inScope[w] == ws.version || su.rec.Dist[w] != da+1 {
 				continue
 			}
@@ -164,7 +167,8 @@ func (su *sourceUpdate) forwardRemoval(uH, uL int) {
 	// (in-neighbours outside the set keep their old distance, Definition 3.2).
 	for _, v := range affected {
 		best := bc.Unreachable
-		for _, y := range su.g.InNeighbors(v) {
+		for _, y32 := range su.g.In(v) {
+			y := int(y32)
 			if ws.inScope[y] == ws.version {
 				continue
 			}
@@ -181,14 +185,15 @@ func (su *sourceUpdate) forwardRemoval(uH, uL int) {
 			ws.push(int(best), v)
 		}
 	}
-	for level := 0; level <= ws.maxBucket && level < len(ws.buckets); level++ {
-		for i := 0; i < len(ws.buckets[level]); i++ {
-			v := ws.buckets[level][i]
+	for level := 0; level <= ws.maxBucket && level < len(ws.heads); level++ {
+		for it := ws.heads[level]; it >= 0; it = ws.qnext[it] {
+			v := int(ws.qv[it])
 			if ws.forwardDone[v] == ws.version || su.dist(v) != int32(level) {
 				continue
 			}
 			ws.forwardDone[v] = ws.version
-			for _, w := range su.g.OutNeighbors(v) {
+			for _, w32 := range su.g.Out(v) {
+				w := int(w32)
 				if ws.inScope[w] != ws.version || ws.forwardDone[w] == ws.version {
 					continue
 				}
@@ -227,7 +232,8 @@ func (su *sourceUpdate) forwardRemoval(uH, uL int) {
 			ws.push(int(d), v)
 		}
 		dOld := su.rec.Dist[v]
-		for _, w := range su.g.OutNeighbors(v) {
+		for _, w32 := range su.g.Out(v) {
+			w := int(w32)
 			if ws.inScope[w] == ws.version || su.rec.Dist[w] != dOld+1 {
 				continue
 			}
@@ -241,7 +247,8 @@ func (su *sourceUpdate) forwardRemoval(uH, uL int) {
 // that was one level closer to the source before the update.
 func (su *sourceUpdate) hasOldPred(v int) bool {
 	dv := su.rec.Dist[v]
-	for _, y := range su.g.InNeighbors(v) {
+	for _, y32 := range su.g.In(v) {
+		y := int(y32)
 		if su.rec.Dist[y] != bc.Unreachable && su.rec.Dist[y]+1 == dv {
 			return true
 		}
@@ -253,7 +260,8 @@ func (su *sourceUpdate) hasOldPred(v int) bool {
 // in the affected set built so far.
 func (su *sourceUpdate) hasUnaffectedOldPred(v int) bool {
 	dv := su.rec.Dist[v]
-	for _, y := range su.g.InNeighbors(v) {
+	for _, y32 := range su.g.In(v) {
+		y := int(y32)
 		if su.rec.Dist[y]+1 == dv && su.rec.Dist[y] != bc.Unreachable && su.ws.inScope[y] != su.ws.version {
 			return true
 		}
@@ -298,7 +306,8 @@ func (su *sourceUpdate) backward() {
 		if dOld == bc.Unreachable {
 			continue
 		}
-		for _, y := range su.g.InNeighbors(v) {
+		for _, y32 := range su.g.In(v) {
+			y := int(y32)
 			if su.rec.Dist[y] == dOld-1 {
 				seed(y)
 			}
@@ -318,9 +327,9 @@ func (su *sourceUpdate) backward() {
 		su.processLost(v, seed)
 	}
 
-	for level := maxLevel; level >= 0 && level < len(ws.buckets); level-- {
-		for i := 0; i < len(ws.buckets[level]); i++ {
-			w := ws.buckets[level][i]
+	for level := maxLevel; level >= 0 && level < len(ws.heads); level-- {
+		for it := ws.heads[level]; it >= 0; it = ws.qnext[it] {
+			w := int(ws.qv[it])
 			if ws.backwardDone[w] == ws.version || su.dist(w) != int32(level) {
 				continue
 			}
@@ -346,7 +355,8 @@ func (su *sourceUpdate) processLost(v int, seed func(int)) {
 	if dOld == bc.Unreachable {
 		return
 	}
-	for _, y := range su.g.InNeighbors(v) {
+	for _, y32 := range su.g.In(v) {
+		y := int(y32)
 		if su.rec.Dist[y] == dOld-1 {
 			seed(y)
 		}
@@ -362,12 +372,33 @@ func (su *sourceUpdate) processVertex(w, level int, seed func(int)) {
 
 	var dep float64
 	sw := su.sigma(w)
-	for _, x := range su.g.OutNeighbors(w) {
-		if su.dist(x) == int32(level+1) {
-			sx := su.sigma(x)
-			if sx > 0 {
-				dep += sw / sx * (1 + su.delta(x))
+	// The dependency scan touches every out-neighbour; on high-degree
+	// vertices the stamped reads dominate, so the stamp columns and record
+	// columns are hoisted out of the loop.
+	ver := ws.version
+	dStamp, dNew, recDist := ws.dStamp, ws.dNew, su.rec.Dist
+	sStamp, sNew, recSigma := ws.sigmaStamp, ws.sigmaNew, su.rec.Sigma
+	eStamp, eNew, recDelta := ws.deltaStamp, ws.deltaNew, su.rec.Delta
+	succLevel := int32(level + 1)
+	for _, x32 := range su.g.Out(w) {
+		x := int(x32)
+		dx := recDist[x]
+		if dStamp[x] == ver {
+			dx = dNew[x]
+		}
+		if dx != succLevel {
+			continue
+		}
+		sx := recSigma[x]
+		if sStamp[x] == ver {
+			sx = sNew[x]
+		}
+		if sx > 0 {
+			ex := recDelta[x]
+			if eStamp[x] == ver {
+				ex = eNew[x]
 			}
+			dep += sw / sx * (1 + ex)
 		}
 	}
 	su.setDelta(w, dep)
@@ -378,7 +409,16 @@ func (su *sourceUpdate) processVertex(w, level int, seed func(int)) {
 	if !su.isTouched(w) && dep == su.rec.Delta[w] {
 		return // nothing changed: predecessors keep their dependency
 	}
-	for _, y := range su.g.InNeighbors(w) {
+	if level == 1 && su.rec.Dist[w] == 1 {
+		// The only vertex at distance 0 — new or old — is the source, and the
+		// edge (s, w) must exist for w to sit at distance 1, so the
+		// in-neighbour scan reduces to one seed. This matters on hub-like
+		// vertices, whose row is a large fraction of the graph.
+		seed(su.s)
+		return
+	}
+	for _, y32 := range su.g.In(w) {
+		y := int(y32)
 		if su.dist(y) == int32(level-1) {
 			seed(y) // predecessor in the new DAG
 			continue
@@ -398,10 +438,50 @@ func (su *sourceUpdate) processVertex(w, level int, seed func(int)) {
 // well, because dependency changes propagate to predecessors).
 func (su *sourceUpdate) flushEdgeUpdates() {
 	directed := su.g.Directed()
-	for _, w := range su.ws.dirty {
-		for _, x := range su.g.OutNeighbors(w) {
-			if !directed && su.ws.isDirty[x] == su.ws.version && x < w {
-				continue // the other endpoint already handled this edge
+	ws := su.ws
+	for _, w := range ws.dirty {
+		// When w's distance and path count are unchanged — only its
+		// dependency moved — the contribution of an edge towards a clean
+		// (non-dirty) neighbour x can only differ in the orientation where w
+		// is the deeper endpoint: sigma[x]/sigma[w]*(1+delta[w]) is the one
+		// term that reads delta[w], and every other term of either
+		// orientation reads values that did not change. Those edges keep
+		// their contribution exactly, so they are skipped unexamined; on a
+		// directed graph w is always the shallower endpoint of its
+		// out-edges, so every clean out-neighbour is skipped.
+		deltaOnly := su.dist(w) == su.rec.Dist[w] && su.sigma(w) == su.rec.Sigma[w]
+		dwUp := su.rec.Dist[w] - 1
+		row := su.g.Out(w)
+		if deltaOnly && (directed || dwUp == 0) && len(row) > 4*len(ws.dirty) {
+			// High-degree deltaOnly vertex: every clean neighbour is skipped —
+			// except, on an undirected graph with w at distance 1, the one
+			// clean neighbour at distance 0, which can only be the source (and
+			// the edge (w, s) exists, or w would not sit at distance 1). So
+			// instead of scanning the whole row, visit the source and probe
+			// the dirty list against the row, with the same dedup rule as the
+			// scan. The edge set visited is identical, only its order changes,
+			// and each edge key still receives its single AddEBC per source.
+			if !directed && ws.isDirty[su.s] != ws.version {
+				su.updateEdge(w, su.s)
+			}
+			for _, x := range ws.dirty {
+				if !directed && x < w {
+					continue // the other endpoint already handled this edge
+				}
+				if su.g.HasEdge(w, x) {
+					su.updateEdge(w, x)
+				}
+			}
+			continue
+		}
+		for _, x32 := range row {
+			x := int(x32)
+			if ws.isDirty[x] == ws.version {
+				if !directed && x < w {
+					continue // the other endpoint already handled this edge
+				}
+			} else if deltaOnly && (directed || su.rec.Dist[x] != dwUp) {
+				continue // provably unchanged contribution
 			}
 			su.updateEdge(w, x)
 		}

@@ -35,10 +35,37 @@ type SourceProcessor struct {
 	// the first update that affects it) and is promoted to a full record
 	// when the source is affected, so a batch performs at most one
 	// LoadDistances, one Load and one Save per source.
-	idx      map[int]int // source -> index into entries
+	idxArr   []int32 // source -> index into entries, -1 when absent
 	entries  []procEntry
 	recPool  []*bc.SourceState
 	distPool [][]int32
+
+	// Arena backing for fresh cache records (see getRec).
+	arenaRecs  []bc.SourceState
+	arenaDist  []int32
+	arenaSigma []float64
+	arenaDelta []float64
+
+	// Probe plane: a transposed, in-memory mirror of every source's distance
+	// column, with d(s, v) at plane[v*planeCap + planeCol[s]]. Classification
+	// of an update only reads the old distances of its two endpoints
+	// (Section 5.1), so with the plane one update probes every source from
+	// two contiguous rows instead of one store read per source. The plane is
+	// opt-in (BuildProbeIndex); while it is nil the processor probes through
+	// the store, so standalone store users are unaffected. The mirror is
+	// exact — it is updated from ws.dirty after every source update and
+	// tracks store growth — which makes plane classification bit-identical
+	// to the store probe. (UpdateSource re-classifies from the record it
+	// loads, so a plane bug could only cost wasted loads, never wrong
+	// scores, as long as it errs towards "affected".)
+	plane       []int32
+	planeCol    []int32 // source -> column in the plane, -1 when absent
+	planeN      int     // vertices covered (rows)
+	planeS      int     // live columns
+	planeCap    int     // row stride (column capacity, power of two)
+	planeOn     bool    // plane maintenance requested via BuildProbeIndex
+	planeStale  bool    // plane must be rebuilt before its next use
+	batchProbed bool    // plane path already accounted this batch's probes
 
 	// cacheProbes enables the probe-column half of the cache. It only pays
 	// off when more than one update shares the batch; SetBatching turns it
@@ -79,14 +106,44 @@ type procEntry struct {
 }
 
 // NewSourceProcessor returns a processor over store for graphs of (at least)
-// n vertices; the workspace grows automatically with the graph.
+// n vertices; the workspace grows automatically with the graph. The workspace
+// comes from the shared pool: call Release when the processor is retired so
+// the scratch memory can be reused (by replay paths, replication appliers and
+// later processors).
 func NewSourceProcessor(store Store, n int) *SourceProcessor {
-	return &SourceProcessor{
+	p := &SourceProcessor{
 		store: store,
-		ws:    NewWorkspace(n),
-		idx:   make(map[int]int),
+		ws:    AcquireWorkspace(n),
 		scale: 1,
 	}
+	p.ensureIdx(n)
+	return p
+}
+
+// ensureIdx grows the source -> cache-entry index to cover n sources (new
+// slots start empty).
+func (p *SourceProcessor) ensureIdx(n int) {
+	if n <= len(p.idxArr) {
+		return
+	}
+	old := len(p.idxArr)
+	if cap(p.idxArr) >= n {
+		p.idxArr = p.idxArr[:n]
+	} else {
+		grown := make([]int32, n, 2*n)
+		copy(grown, p.idxArr)
+		p.idxArr = grown
+	}
+	for i := old; i < n; i++ {
+		p.idxArr[i] = -1
+	}
+}
+
+// Release returns the processor's pooled scratch memory. The processor must
+// not be used afterwards.
+func (p *SourceProcessor) Release() {
+	ReleaseWorkspace(p.ws)
+	p.ws = nil
 }
 
 // SetScale sets the factor applied to every betweenness change produced by
@@ -158,6 +215,16 @@ func (p *SourceProcessor) ProcessUpdate(g *graph.Graph, sources []int, upd graph
 		p.scaled = ScaledAccumulator{Acc: acc, Scale: p.scale}
 		acc = &p.scaled
 	}
+	p.ensureIdx(n)
+	if p.planeOn && p.planeStale {
+		p.planeStale = false
+		if err := p.rebuildPlane(); err != nil {
+			return err
+		}
+	}
+	if p.plane != nil {
+		return p.processUpdatePlane(g, n, sources, upd, directed, acc)
+	}
 	if sources == nil {
 		for s := 0; s < n; s++ {
 			if err := p.processOne(g, n, s, upd, directed, acc); err != nil {
@@ -174,6 +241,125 @@ func (p *SourceProcessor) ProcessUpdate(g *graph.Graph, sources []int, upd graph
 	return nil
 }
 
+// planeTally accumulates one update's worth of work-counter increments so
+// the per-source classification loop — a thousand sources per update — pays
+// one atomic add per counter per update instead of one per source.
+type planeTally struct {
+	skipped, updated, additions, removals, probes int64
+}
+
+// processUpdatePlane is ProcessUpdate over the transposed probe plane: the
+// update's two endpoint rows hold the old distances of every source, so each
+// source's probe is two contiguous loads instead of a store read. The probe
+// counter keeps its store-path meaning — distance columns consulted: one per
+// source per unbatched update, and one per source per batch when batching
+// (the plane stands in for the column reads the legacy path would make).
+func (p *SourceProcessor) processUpdatePlane(g *graph.Graph, n int, sources []int, upd graph.Update, directed bool, acc Accumulator) error {
+	capS := p.planeCap
+	var rowU, rowV []int32
+	if upd.U < p.planeN {
+		rowU = p.plane[upd.U*capS : (upd.U+1)*capS]
+	}
+	if upd.V < p.planeN {
+		rowV = p.plane[upd.V*capS : (upd.V+1)*capS]
+	}
+	if p.cacheProbes && !p.batchProbed {
+		if sources == nil {
+			p.probes.Add(int64(n))
+		} else {
+			p.probes.Add(int64(len(sources)))
+		}
+		p.batchProbed = true
+	}
+	var t planeTally
+	defer func() {
+		if t.probes != 0 {
+			p.probes.Add(t.probes)
+		}
+		if t.skipped != 0 {
+			p.skipped.Add(t.skipped)
+		}
+		if t.updated != 0 {
+			p.updated.Add(t.updated)
+		}
+		if t.additions != 0 {
+			p.additions.Add(t.additions)
+		}
+		if t.removals != 0 {
+			p.removals.Add(t.removals)
+		}
+	}()
+	if sources == nil {
+		for s := 0; s < n; s++ {
+			if err := p.processOnePlane(g, n, s, upd, directed, acc, rowU, rowV, &t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, s := range sources {
+		if err := p.processOnePlane(g, n, s, upd, directed, acc, rowU, rowV, &t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *SourceProcessor) processOnePlane(g *graph.Graph, n, s int, upd graph.Update, directed bool, acc Accumulator, rowU, rowV []int32, t *planeTally) error {
+	var col int32 = -1
+	if s < len(p.planeCol) {
+		col = p.planeCol[s]
+	}
+	if col < 0 {
+		// Not covered by the plane (a source the plane lost track of between
+		// rebuilds): probe through the store (counted by its own atomics).
+		return p.processOne(g, n, s, upd, directed, acc)
+	}
+	if !p.cacheProbes {
+		t.probes++
+	}
+	du, dv := bc.Unreachable, bc.Unreachable
+	if rowU != nil {
+		du = rowU[col]
+	}
+	if rowV != nil {
+		dv = rowV[col]
+	}
+	switch _, _, kind := classifyAt(du, dv, upd, directed); kind {
+	case KindAddition:
+		t.additions++
+	case KindRemoval:
+		t.removals++
+	default:
+		t.skipped++
+		return nil
+	}
+	if j := p.idxArr[s]; j >= 0 {
+		ent := &p.entries[j]
+		if ent.rec != nil {
+			// Fully cached: the record already reflects every earlier update
+			// of the batch, and the plane mirrors it.
+			ent.rec.Resize(n)
+			if UpdateSource(g, s, upd, ent.rec, acc, p.ws) {
+				ent.dirty = true
+				p.planeWriteBack(s, ent.rec)
+				if p.OnSourceUpdated != nil {
+					p.OnSourceUpdated(s, ent.rec, p.ws.dirty)
+				}
+			}
+			t.updated++
+			return nil
+		}
+		// A probe-only entry from before the plane took over: its column is
+		// store-identical, drop it and load the full record.
+		if ent.dist != nil {
+			p.distPool = append(p.distPool, ent.dist)
+			ent.dist = nil
+		}
+	}
+	return p.loadAndProcess(g, n, s, upd, acc)
+}
+
 // SetBatching declares whether the updates that follow share a batch. With
 // batching on, the probe columns of skipped sources are cached too, so a
 // source is probed against the store once per batch instead of once per
@@ -181,11 +367,221 @@ func (p *SourceProcessor) ProcessUpdate(g *graph.Graph, sources []int, upd graph
 // the source, which promotes it to a full record). With batching off — a
 // batch of one — caching the probe would be pure overhead, so only affected
 // sources are cached. Call between batches only.
-func (p *SourceProcessor) SetBatching(on bool) { p.cacheProbes = on }
+func (p *SourceProcessor) SetBatching(on bool) {
+	p.cacheProbes = on
+	p.batchProbed = false
+}
+
+// probePlaneBudget caps the memory the probe plane may occupy. Beyond it the
+// processor silently keeps probing through the store: the plane trades memory
+// for probe I/O and past this size the trade is no longer obviously right.
+const probePlaneBudget = 64 << 20
+
+// BuildProbeIndex builds the transposed probe plane from the store's current
+// contents and keeps it in sync from then on. Call it once, after the store
+// has been initialised with every source's record, and route all further
+// store growth through GrowStore/AddStoreSource. Oversized planes (beyond an
+// internal memory budget) are skipped silently.
+func (p *SourceProcessor) BuildProbeIndex() error {
+	p.planeOn = true
+	p.planeStale = false
+	if err := p.rebuildPlane(); err != nil {
+		return err
+	}
+	p.preloadRecords()
+	return nil
+}
+
+// preloadRecords warms the write-through record cache from the store, up to
+// the same budget Flush retains under. The first batches after startup would
+// otherwise pay one store read per affected source before the cache fills
+// organically; pre-filling it at index-build time (startup, before any update
+// is in flight) moves that cost out of the update path. Entries are clean and
+// store-identical, exactly the state Flush leaves retained records in, so
+// this is purely a warm-up — any load error simply stops the warm-up.
+func (p *SourceProcessor) preloadRecords() {
+	if p.plane == nil {
+		return
+	}
+	n := p.store.NumVertices()
+	if n <= 0 {
+		return
+	}
+	retain := recCacheBudget / (n * (4 + 8 + 8))
+	p.ensureIdx(n)
+	for _, s := range p.store.Sources() {
+		if len(p.entries) >= retain {
+			return
+		}
+		if s >= len(p.idxArr) || p.idxArr[s] >= 0 {
+			continue
+		}
+		rec := p.getRec()
+		p.loads.Add(1)
+		if err := p.store.Load(s, rec); err != nil {
+			p.recPool = append(p.recPool, rec)
+			return
+		}
+		p.idxArr[s] = int32(len(p.entries))
+		p.entries = append(p.entries, procEntry{src: s, rec: rec})
+	}
+}
+
+func (p *SourceProcessor) dropPlane() {
+	p.plane = nil
+	p.planeN, p.planeS, p.planeCap = 0, 0, 0
+}
+
+// rebuildPlane re-derives the plane from the store, then overlays any records
+// cached by the in-flight batch (they can be newer than the store until the
+// next Flush). Column capacity keeps power-of-two slack so that sources added
+// later slot in without a restride.
+func (p *SourceProcessor) rebuildPlane() error {
+	sources := p.store.Sources()
+	n := p.store.NumVertices()
+	capS := 16
+	for capS < len(sources) {
+		capS *= 2
+	}
+	if int64(n)*int64(capS)*4 > probePlaneBudget {
+		p.dropPlane()
+		return nil
+	}
+	need := n * capS
+	if cap(p.plane) < need {
+		p.plane = make([]int32, need)
+	} else {
+		p.plane = p.plane[:need]
+	}
+	if cap(p.planeCol) < n {
+		p.planeCol = make([]int32, n)
+	} else {
+		p.planeCol = p.planeCol[:n]
+	}
+	for i := range p.planeCol {
+		p.planeCol[i] = -1
+	}
+	p.planeN, p.planeS, p.planeCap = n, len(sources), capS
+	for i, s := range sources {
+		if err := p.store.LoadDistances(s, &p.distBuf); err != nil {
+			p.dropPlane()
+			return fmt.Errorf("incremental: building probe plane for source %d: %w", s, err)
+		}
+		p.planeCol[s] = int32(i)
+		row := p.distBuf
+		for v := 0; v < n; v++ {
+			p.plane[v*capS+i] = distOf(row, v)
+		}
+	}
+	for i := range p.entries {
+		ent := &p.entries[i]
+		if ent.rec == nil {
+			// Probe-only entries are store-identical by construction: no
+			// earlier update of the batch affected them.
+			continue
+		}
+		col := p.planeCol[ent.src]
+		if col < 0 {
+			continue
+		}
+		for v := 0; v < n; v++ {
+			p.plane[v*capS+int(col)] = distOf(ent.rec.Dist, v)
+		}
+	}
+	return nil
+}
+
+// GrowStore extends the store to cover n vertices, keeping the probe plane
+// consistent (new vertices are unreachable from every existing source,
+// exactly how the store pads grown records). Once a plane has been built, all
+// store growth must go through the owning processor.
+func (p *SourceProcessor) GrowStore(n int) error {
+	if err := p.store.Grow(n); err != nil {
+		return err
+	}
+	if p.plane == nil || n <= p.planeN {
+		return nil
+	}
+	if int64(n)*int64(p.planeCap)*4 > probePlaneBudget {
+		p.dropPlane()
+		return nil
+	}
+	old := p.planeN
+	need := n * p.planeCap
+	if cap(p.plane) < need {
+		grown := make([]int32, need)
+		copy(grown, p.plane)
+		p.plane = grown
+	} else {
+		p.plane = p.plane[:need]
+	}
+	for i := old * p.planeCap; i < need; i++ {
+		p.plane[i] = bc.Unreachable
+	}
+	if cap(p.planeCol) < n {
+		grown := make([]int32, n)
+		copy(grown, p.planeCol)
+		p.planeCol = grown
+	} else {
+		p.planeCol = p.planeCol[:n]
+	}
+	for i := old; i < n; i++ {
+		p.planeCol[i] = -1
+	}
+	p.planeN = n
+	return nil
+}
+
+// AddStoreSource registers s as a source of the store, keeping the probe
+// plane consistent: the new source's record sees only itself, so its column
+// is Unreachable everywhere except 0 at s. A source arriving with no column
+// capacity left (or ahead of a GrowStore) marks the plane for rebuild.
+func (p *SourceProcessor) AddStoreSource(s int) error {
+	if err := p.store.AddSource(s); err != nil {
+		return err
+	}
+	if p.plane == nil {
+		return nil
+	}
+	if s >= p.planeN || p.planeS == p.planeCap {
+		p.planeStale = true
+		return nil
+	}
+	col := p.planeS
+	p.planeS++
+	p.planeCol[s] = int32(col)
+	for v := 0; v < p.planeN; v++ {
+		p.plane[v*p.planeCap+col] = bc.Unreachable
+	}
+	p.plane[s*p.planeCap+col] = 0
+	return nil
+}
+
+// planeWriteBack mirrors one source update into the probe plane: after
+// UpdateSource, ws.dirty lists every vertex whose record entries changed and
+// rec already holds the new values.
+func (p *SourceProcessor) planeWriteBack(s int, rec *bc.SourceState) {
+	if p.plane == nil {
+		return
+	}
+	var col int32 = -1
+	if s < len(p.planeCol) {
+		col = p.planeCol[s]
+	}
+	if col < 0 {
+		return
+	}
+	capS := p.planeCap
+	for _, v := range p.ws.dirty {
+		if v < p.planeN {
+			p.plane[v*capS+int(col)] = rec.Dist[v]
+		}
+	}
+}
 
 func (p *SourceProcessor) processOne(g *graph.Graph, n, s int, upd graph.Update, directed bool, acc Accumulator) error {
-	j, ok := p.idx[s]
-	if !ok {
+	j := p.idxArr[s]
+	if j < 0 {
 		if !p.cacheProbes {
 			// Unbatched fast path: probe through the shared buffer and cache
 			// the source only when it is affected.
@@ -199,15 +595,18 @@ func (p *SourceProcessor) processOne(g *graph.Graph, n, s int, upd graph.Update,
 			return p.loadAndProcess(g, n, s, upd, acc)
 		}
 		// First time the batch touches this source: cache its probe column.
-		dist := p.getDist()
+		// The column is loaded directly through the cached entry so that no
+		// local slice header escapes to the heap (this probe runs once per
+		// source per batch and dominated the allocation profile).
+		j = int32(len(p.entries))
+		p.entries = append(p.entries, procEntry{src: s, dist: p.getDist()})
 		p.probes.Add(1)
-		if err := p.store.LoadDistances(s, &dist); err != nil {
-			p.distPool = append(p.distPool, dist)
+		if err := p.store.LoadDistances(s, &p.entries[j].dist); err != nil {
+			p.distPool = append(p.distPool, p.entries[j].dist)
+			p.entries = p.entries[:j]
 			return fmt.Errorf("incremental: loading distances of source %d: %w", s, err)
 		}
-		j = len(p.entries)
-		p.idx[s] = j
-		p.entries = append(p.entries, procEntry{src: s, dist: dist})
+		p.idxArr[s] = j
 	}
 	ent := &p.entries[j]
 	if ent.rec == nil {
@@ -230,6 +629,7 @@ func (p *SourceProcessor) processOne(g *graph.Graph, n, s int, upd graph.Update,
 	}
 	if UpdateSource(g, s, upd, ent.rec, acc, p.ws) {
 		ent.dirty = true
+		p.planeWriteBack(s, ent.rec)
 		if p.OnSourceUpdated != nil {
 			p.OnSourceUpdated(s, ent.rec, p.ws.dirty)
 		}
@@ -249,15 +649,18 @@ func (p *SourceProcessor) loadAndProcess(g *graph.Graph, n, s int, upd graph.Upd
 	}
 	rec.Resize(n)
 	dirty := UpdateSource(g, s, upd, rec, acc, p.ws)
-	if dirty && p.OnSourceUpdated != nil {
-		p.OnSourceUpdated(s, rec, p.ws.dirty)
+	if dirty {
+		p.planeWriteBack(s, rec)
+		if p.OnSourceUpdated != nil {
+			p.OnSourceUpdated(s, rec, p.ws.dirty)
+		}
 	}
-	if j, ok := p.idx[s]; ok {
+	if j := p.idxArr[s]; j >= 0 {
 		ent := &p.entries[j]
 		ent.rec = rec
 		ent.dirty = dirty
 	} else {
-		p.idx[s] = len(p.entries)
+		p.idxArr[s] = int32(len(p.entries))
 		p.entries = append(p.entries, procEntry{src: s, rec: rec, dirty: dirty})
 	}
 	p.updated.Add(1)
@@ -270,40 +673,72 @@ func (p *SourceProcessor) loadAndProcess(g *graph.Graph, n, s int, upd graph.Upd
 // rejections, which never corrupt anything.
 var ErrFlushFailed = errors.New("incremental: batch flush failed")
 
+// recCacheBudget caps the memory the retained-record cache may hold across
+// batches (see Flush).
+const recCacheBudget = 64 << 20
+
 // Flush writes every record modified since the last flush back to the store
 // (at most one Save per source, regardless of how many updates of the batch
-// touched it) and empties the cache. Every cached record is released even
-// when a save fails; the first error is returned, wrapped in ErrFlushFailed.
+// touched it). The cache is write-through: once the probe plane owns all
+// store writes, cleanly saved records are retained across batches up to a
+// memory budget, so a source churned by consecutive batches is not re-read
+// from the store — the store itself stays current at every flush. Probe-only
+// columns are always released, as are all records when no plane is active
+// (standalone embodiments keep the strict load-per-batch behaviour). Records
+// whose save failed are dropped; the first error is returned, wrapped in
+// ErrFlushFailed.
 func (p *SourceProcessor) Flush() error {
 	var firstErr error
+	retain := 0
+	if p.plane != nil {
+		if n := p.store.NumVertices(); n > 0 {
+			retain = recCacheBudget / (n * (4 + 8 + 8))
+		}
+	}
+	kept := p.entries[:0]
 	for i := range p.entries {
-		ent := &p.entries[i]
+		ent := p.entries[i]
+		var saveErr error
 		if ent.dirty {
 			p.saves.Add(1)
-			if err := p.store.Save(ent.src, ent.rec); err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("incremental: saving source %d: %w", ent.src, err)
+			if saveErr = p.store.Save(ent.src, ent.rec); saveErr != nil && firstErr == nil {
+				firstErr = fmt.Errorf("incremental: saving source %d: %w", ent.src, saveErr)
 			}
-		}
-		if ent.rec != nil {
-			p.recPool = append(p.recPool, ent.rec)
-			ent.rec = nil
+			ent.dirty = false
 		}
 		if ent.dist != nil {
 			p.distPool = append(p.distPool, ent.dist)
 			ent.dist = nil
 		}
+		if ent.rec != nil && saveErr == nil && len(kept) < retain {
+			p.idxArr[ent.src] = int32(len(kept))
+			kept = append(kept, ent)
+			continue
+		}
+		if ent.rec != nil {
+			p.recPool = append(p.recPool, ent.rec)
+		}
+		p.idxArr[ent.src] = -1
 	}
-	p.entries = p.entries[:0]
-	clear(p.idx)
+	p.entries = kept
+	p.batchProbed = false
 	if firstErr != nil {
 		return fmt.Errorf("%w: %w", ErrFlushFailed, firstErr)
 	}
 	return nil
 }
 
-// CachedSources returns how many sources the current (unflushed) batch has
-// loaded into the write-back cache.
+// CachedSources returns how many sources the write-back cache currently
+// holds (the unflushed batch's entries plus any records retained across
+// batches by the write-through cache).
 func (p *SourceProcessor) CachedSources() int { return len(p.entries) }
+
+// recChunk is how many records one arena chunk backs. Fresh records are
+// carved out of shared column arrays so that a cold batch touching hundreds
+// of sources costs a handful of allocations instead of four per record; the
+// records themselves live on in recPool, so the arena only ever feeds the
+// high-water mark of a batch.
+const recChunk = 64
 
 func (p *SourceProcessor) getRec() *bc.SourceState {
 	if k := len(p.recPool); k > 0 {
@@ -311,7 +746,28 @@ func (p *SourceProcessor) getRec() *bc.SourceState {
 		p.recPool = p.recPool[:k-1]
 		return rec
 	}
-	return bc.NewSourceState(0)
+	n := p.store.NumVertices()
+	if n <= 0 {
+		return bc.NewSourceState(0)
+	}
+	if len(p.arenaDist) < n {
+		p.arenaRecs = make([]bc.SourceState, recChunk)
+		p.arenaDist = make([]int32, recChunk*n)
+		p.arenaSigma = make([]float64, recChunk*n)
+		p.arenaDelta = make([]float64, recChunk*n)
+	}
+	rec := &p.arenaRecs[0]
+	p.arenaRecs = p.arenaRecs[1:]
+	// Full slice expressions pin the capacity: if the graph grows past n,
+	// Resize reallocates the columns instead of bleeding into the neighbour
+	// record's backing.
+	rec.Dist = p.arenaDist[:n:n]
+	rec.Sigma = p.arenaSigma[:n:n]
+	rec.Delta = p.arenaDelta[:n:n]
+	p.arenaDist = p.arenaDist[n:]
+	p.arenaSigma = p.arenaSigma[n:]
+	p.arenaDelta = p.arenaDelta[n:]
+	return rec
 }
 
 func (p *SourceProcessor) getDist() []int32 {

@@ -70,6 +70,9 @@ func NewUpdater(g *graph.Graph, store Store) (*Updater, error) {
 			return nil, fmt.Errorf("incremental: initialising source %d: %w", s, err)
 		}
 	}
+	if err := u.proc.BuildProbeIndex(); err != nil {
+		return nil, err
+	}
 	return u, nil
 }
 
@@ -111,6 +114,9 @@ func NewSampledUpdater(g *graph.Graph, store Store, scale float64) (*Updater, er
 		if err := store.Save(s, state); err != nil {
 			return nil, fmt.Errorf("incremental: initialising source %d: %w", s, err)
 		}
+	}
+	if err := u.proc.BuildProbeIndex(); err != nil {
+		return nil, err
 	}
 	return u, nil
 }
@@ -160,6 +166,9 @@ func (u *Updater) Apply(upd graph.Update) error {
 	if ferr := u.proc.Flush(); err == nil {
 		err = ferr
 	}
+	// No traversal is in flight between batches: fold the graph's delta
+	// overlay back into its flat columns so the next updates run on pure CSR.
+	u.g.Compact()
 	return err
 }
 
@@ -185,8 +194,14 @@ func (u *Updater) ApplyBatch(updates []graph.Update) (int, error) {
 	if ferr := u.proc.Flush(); ferr != nil {
 		firstErr = errors.Join(firstErr, ferr)
 	}
+	u.g.Compact()
 	return applied, firstErr
 }
+
+// Close releases the Updater's pooled scratch memory. The Updater must not be
+// used afterwards. Closing is optional — an abandoned Updater is simply
+// collected — but closing returns the workspace to the shared pool.
+func (u *Updater) Close() { u.proc.Release() }
 
 // applyOne validates and applies one update without flushing the write-back
 // cache; the caller flushes at the end of the batch.
@@ -236,14 +251,14 @@ func (u *Updater) ApplyAll(updates []graph.Update) (int, error) {
 // sampled sources' shortest paths.
 func (u *Updater) growTo(n int) error {
 	old := GrowGraphAndResult(u.g, u.res, n)
-	if err := u.store.Grow(n); err != nil {
+	if err := u.proc.GrowStore(n); err != nil {
 		return fmt.Errorf("incremental: growing store to %d vertices: %w", n, err)
 	}
 	if u.sources != nil {
 		return nil
 	}
 	for s := old; s < n; s++ {
-		if err := u.store.AddSource(s); err != nil {
+		if err := u.proc.AddStoreSource(s); err != nil {
 			return fmt.Errorf("incremental: adding source %d: %w", s, err)
 		}
 	}

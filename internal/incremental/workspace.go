@@ -1,6 +1,8 @@
 package incremental
 
 import (
+	"sync"
+
 	"streambc/internal/bc"
 	"streambc/internal/graph"
 )
@@ -32,9 +34,19 @@ type Workspace struct {
 	inScope      []uint64 // vertex belongs to the removal scope (old sub-DAG under uL)
 	queuedAt     []uint64 // stamp-guard for backward seeding (value encodes version)
 
-	// Level buckets shared by the forward and backward phases.
-	buckets   [][]int
-	maxBucket int // highest bucket index holding entries for the current phase
+	// Level buckets shared by the forward and backward phases, laid out as a
+	// flat arena: every push appends one (vertex, next) node to qv/qnext and
+	// links it at the tail of its level's intrusive list, so an arbitrary
+	// number of buckets shares two int32 columns instead of one slice header
+	// (plus backing array) per level. Iteration follows the next links, which
+	// reproduces the append-order (FIFO) semantics of the former [][]int
+	// buckets exactly — including entries pushed into the level currently
+	// being drained.
+	heads     []int32 // first arena node of each level, -1 when empty
+	tails     []int32 // last arena node of each level, -1 when empty
+	qv        []int32 // arena: pushed vertex
+	qnext     []int32 // arena: next node in the same level, -1 at the tail
+	maxBucket int     // highest level pushed to in the current phase
 
 	// Vertices whose distance or sigma changed in the forward phase.
 	touched []int
@@ -57,6 +69,27 @@ func NewWorkspace(n int) *Workspace {
 	ws := &Workspace{}
 	ws.grow(n)
 	return ws
+}
+
+// wsPool recycles workspaces across engine batches and replay paths; see
+// AcquireWorkspace.
+var wsPool = sync.Pool{New: func() any { return &Workspace{} }}
+
+// AcquireWorkspace returns a pooled workspace grown to n vertices. Pooled
+// workspaces keep their backing arrays between uses, so steady-state
+// acquisition performs no allocations. Pair with ReleaseWorkspace.
+func AcquireWorkspace(n int) *Workspace {
+	ws := wsPool.Get().(*Workspace)
+	ws.grow(n)
+	return ws
+}
+
+// ReleaseWorkspace returns a workspace obtained from AcquireWorkspace to the
+// pool. The caller must not use it afterwards.
+func ReleaseWorkspace(ws *Workspace) {
+	if ws != nil {
+		wsPool.Put(ws)
+	}
 }
 
 func (ws *Workspace) grow(n int) {
@@ -93,25 +126,42 @@ func (ws *Workspace) reset(n int) {
 // the forward and backward phases of one source and when the workspace is
 // reset.
 func (ws *Workspace) clearBuckets() {
-	for i := 0; i <= ws.maxBucket && i < len(ws.buckets); i++ {
-		ws.buckets[i] = ws.buckets[i][:0]
+	for i := 0; i <= ws.maxBucket && i < len(ws.heads); i++ {
+		ws.heads[i] = -1
+		ws.tails[i] = -1
 	}
+	ws.qv = ws.qv[:0]
+	ws.qnext = ws.qnext[:0]
 	ws.maxBucket = 0
 }
 
-func (ws *Workspace) bucket(level int) *[]int {
-	for len(ws.buckets) <= level {
-		ws.buckets = append(ws.buckets, nil)
+// push appends v to the level's bucket (arena tail insertion, FIFO order).
+func (ws *Workspace) push(level int, v int) {
+	for len(ws.heads) <= level {
+		ws.heads = append(ws.heads, -1)
+		ws.tails = append(ws.tails, -1)
 	}
 	if level > ws.maxBucket {
 		ws.maxBucket = level
 	}
-	return &ws.buckets[level]
+	idx := int32(len(ws.qv))
+	ws.qv = append(ws.qv, int32(v))
+	ws.qnext = append(ws.qnext, -1)
+	if t := ws.tails[level]; t >= 0 {
+		ws.qnext[t] = idx
+	} else {
+		ws.heads[level] = idx
+	}
+	ws.tails[level] = idx
 }
 
-func (ws *Workspace) push(level int, v int) {
-	b := ws.bucket(level)
-	*b = append(*b, v)
+// head returns the first arena node of the level, or -1 when the level is
+// empty or was never pushed to.
+func (ws *Workspace) head(level int) int32 {
+	if level < 0 || level >= len(ws.heads) {
+		return -1
+	}
+	return ws.heads[level]
 }
 
 func growInt32(s []int32, n int) []int32 {
