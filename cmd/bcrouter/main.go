@@ -1,0 +1,194 @@
+// Command bcrouter fronts a cluster of bcserved write-path shards: each
+// shard (started with bcserved -shard i/N) owns one stride of the source
+// pool and computes partial betweenness over it; bcrouter fans every ingest
+// batch to all shards as one numbered record, folds the per-update score
+// deltas they return in shard order, and serves the merged scores over the
+// same HTTP API a single bcserved exposes — bit-identical to a single
+// process running N workers, when every shard runs one worker.
+//
+// Example (a 3-shard cluster):
+//
+//	bcserved -addr :9001 -shard 0/3 -wal-dir s0/wal -snapshot-dir s0 -graph g.txt
+//	bcserved -addr :9002 -shard 1/3 -wal-dir s1/wal -snapshot-dir s1 -graph g.txt
+//	bcserved -addr :9003 -shard 2/3 -wal-dir s2/wal -snapshot-dir s2 -graph g.txt
+//	bcrouter -addr :8080 -shards http://127.0.0.1:9001,http://127.0.0.1:9002,http://127.0.0.1:9003
+//
+// The -shards list must name every shard exactly once, in shard-index order;
+// bcrouter verifies each shard's reported identity at startup, replays
+// records a restarted shard missed from a caught-up peer's write-ahead log,
+// and folds the shards' snapshots into its in-memory baseline before
+// serving. Durability lives entirely in the shards (their WALs and
+// snapshots); bcrouter itself is stateless and safe to restart at any time.
+//
+// Diagnostics go to stderr as structured logs (-log-level, -log-format);
+// profiling endpoints are mounted like bcserved's (-ops-addr).
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"streambc/internal/obs"
+	"streambc/internal/router"
+	"streambc/internal/version"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (host:port)")
+		shardList    = flag.String("shards", "", "comma-separated shard base URLs, in shard-index order (e.g. http://h1:9001,http://h2:9002)")
+		maxQueue     = flag.Int("max-queue", 65536, "ingest queue capacity before updates are rejected with 503")
+		retryEvery   = flag.Duration("retry-interval", 200*time.Millisecond, "pause between fanout retries against an unavailable shard")
+		applyTimeout = flag.Duration("apply-timeout", 30*time.Second, "timeout of one fanout attempt against one shard")
+		statusEvery  = flag.Duration("status-interval", 2*time.Second, "period of the background shard health poll")
+		bootTimeout  = flag.Duration("bootstrap-timeout", time.Minute, "time budget for startup: reaching every shard, catch-up and the baseline fold")
+		logLevel     = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		logFormat    = flag.String("log-format", "text", "log encoding: text or json")
+		opsAddr      = flag.String("ops-addr", "", "serve /debug/pprof/ and /debug/vars on this separate address instead of the main listener")
+		showVersion  = flag.Bool("version", false, "print the build version and exit")
+	)
+	flag.Parse()
+
+	if *showVersion {
+		fmt.Println("bcrouter", version.Version)
+		return
+	}
+	if *shardList == "" {
+		usageError("-shards is required")
+	}
+	if *maxQueue < 1 {
+		usageError("-max-queue must be at least 1")
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		usageError(err.Error())
+	}
+	logger = logger.With(obs.KeyComponent, "bcrouter")
+
+	var conns []router.ShardConn
+	for _, raw := range strings.Split(*shardList, ",") {
+		u := strings.TrimSpace(raw)
+		if u == "" {
+			continue
+		}
+		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+			usageError(fmt.Sprintf("-shards: %q is not a base URL (want scheme://host:port)", u))
+		}
+		conns = append(conns, router.NewHTTPShard(u))
+	}
+	if len(conns) == 0 {
+		usageError("-shards named no shard")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *bootTimeout)
+	rt, err := router.New(ctx, router.Config{
+		Shards:         conns,
+		MaxQueue:       *maxQueue,
+		RetryInterval:  *retryEvery,
+		ApplyTimeout:   *applyTimeout,
+		StatusInterval: *statusEvery,
+		Logger:         logger,
+	})
+	cancel()
+	if err != nil {
+		fatal(logger, "bootstrap failed", "error", err)
+	}
+	rt.Start()
+
+	mux := http.NewServeMux()
+	mux.Handle("/", rt.Handler())
+	startOps(mux, *opsAddr, logger)
+	serve(newHTTPServer(*addr, mux), logger, func() {
+		logger.Info("routing", "version", version.Version, "addr", *addr, "shards", len(conns))
+	}, func() {
+		if err := rt.Close(); err != nil {
+			logger.Error("close failed", "error", err)
+		}
+	})
+}
+
+// opsMux, startOps, newHTTPServer and serve mirror bcserved's (each command
+// is its own main package).
+func opsMux(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+}
+
+func startOps(main *http.ServeMux, opsAddr string, logger *slog.Logger) {
+	if opsAddr == "" {
+		opsMux(main)
+		return
+	}
+	mux := http.NewServeMux()
+	opsMux(mux)
+	srv := &http.Server{Addr: opsAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		logger.Info("ops listener up", "addr", opsAddr)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("ops listener failed", "addr", opsAddr, "error", err)
+		}
+	}()
+}
+
+func newHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+func serve(httpSrv *http.Server, logger *slog.Logger, onUp, closeDown func()) {
+	errc := make(chan error, 1)
+	go func() {
+		onUp()
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		logger.Info("shutting down", "signal", sig.String())
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fatal(logger, "listener failed", "error", err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		logger.Error("HTTP shutdown failed", "error", err)
+	}
+	closeDown()
+}
+
+func fatal(logger *slog.Logger, msg string, args ...any) {
+	logger.Error(msg, args...)
+	os.Exit(1)
+}
+
+func usageError(msg string) {
+	fmt.Fprintln(os.Stderr, "bcrouter:", msg)
+	flag.Usage()
+	os.Exit(2)
+}

@@ -1,0 +1,396 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestShardClusterSIGKILL is the end-to-end sharding test (and the CI
+// shard-cluster step): it builds the real bcserved and bcrouter binaries,
+// runs a 3-shard cluster behind a router, streams updates through the
+// router's HTTP API, SIGKILLs one shard mid-stream (no graceful shutdown),
+// restarts it from its own WAL and snapshot directories, and lets the
+// router's fanout retries re-join it. At the end, every score the router
+// serves must be byte-identical to a clean, uninterrupted single-process
+// replay of the same stream on bcserved -workers 3 — the merge's bitwise
+// contract, across processes and across a kill.
+func TestShardClusterSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the bcserved and bcrouter binaries")
+	}
+	binDir := t.TempDir()
+	served := filepath.Join(binDir, "bcserved")
+	routerBin := filepath.Join(binDir, "bcrouter")
+	for bin, pkg := range map[string]string{served: "../bcserved", routerBin: "."} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			t.Fatalf("building %s: %v", pkg, err)
+		}
+	}
+
+	graphFile, edges := writeClusterGraph(t, 30, 60, 31)
+	batches := makeClusterBatches(30, edges, 12, 6, 37)
+	total := 0
+	for _, b := range batches {
+		total += len(b)
+	}
+
+	// Start the 3 shards, each with its own WAL and snapshot directories.
+	const shards = 3
+	shardArgs := make([][]string, shards)
+	procs := make([]*proc, shards)
+	urls := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		dir := t.TempDir()
+		shardArgs[i] = []string{
+			"-graph", graphFile, "-shard", fmt.Sprintf("%d/%d", i, shards),
+			"-wal-dir", filepath.Join(dir, "wal"), "-snapshot-dir", dir,
+			"-snapshot-interval", "0", "-fsync", "batch", "-max-batch", "8",
+			"-addr", freeClusterAddr(t),
+		}
+		procs[i] = startProc(t, served, shardArgs[i])
+		urls[i] = procs[i].base
+	}
+	rt := startProc(t, routerBin, []string{
+		"-addr", freeClusterAddr(t),
+		"-shards", strings.Join(urls, ","),
+		"-retry-interval", "100ms", "-apply-timeout", "5s", "-status-interval", "200ms",
+	})
+
+	// Stream the batches through the router, one record per POST (the next
+	// batch is not sent until the previous record is merged, so the record
+	// boundaries are exactly the batch boundaries and the clean replay below
+	// can reproduce them).
+	posts := 0
+	post := func(b []map[string]any) {
+		t.Helper()
+		rt.post(t, "/v1/updates", map[string]any{"updates": b})
+		posts++
+	}
+	for i, b := range batches {
+		switch i {
+		case 4:
+			// Snapshot mid-stream: the kill below lands on a shard whose
+			// recovery starts from a snapshot and replays only the WAL tail.
+			rt.post(t, "/v1/snapshot", map[string]any{})
+			post(b)
+		case 7:
+			// SIGKILL shard 1 between records, then keep streaming: the
+			// fanout stalls retrying the dead shard while the other two wait.
+			if err := procs[1].cmd.Process.Signal(syscall.SIGKILL); err != nil {
+				t.Fatal(err)
+			}
+			procs[1].cmd.Wait() //nolint:errcheck // killed on purpose
+			post(b)
+			// The record cannot complete with the shard down.
+			time.Sleep(300 * time.Millisecond)
+			if got := rt.stats(t)["merged_sequence"]; int(got.(float64)) != posts-1 {
+				t.Fatalf("merged_sequence = %v with a shard down, want %d", got, posts-1)
+			}
+			// Restart the shard from its own directories (same address, same
+			// WAL, same snapshots): it replays its log, rebuilds its response
+			// cache, and the router's next retry lands on it.
+			procs[1] = startProc(t, served, shardArgs[1])
+		default:
+			post(b)
+		}
+		rt.waitMerged(t, posts)
+	}
+
+	stats := rt.stats(t)
+	if got := int(stats["updates_applied"].(float64)); got != total {
+		t.Fatalf("router applied %d updates, want %d", got, total)
+	}
+	if stats["halted"] != false {
+		t.Fatalf("router halted: %v", stats)
+	}
+	// Every shard — including the rejoined one — converged to the same log.
+	for i := 0; i < shards; i++ {
+		var st struct {
+			AppliedSeq uint64 `json:"applied_sequence"`
+		}
+		get(t, urls[i]+"/v1/shard/status", &st)
+		if st.AppliedSeq != uint64(posts) {
+			t.Fatalf("shard %d at sequence %d, want %d", i, st.AppliedSeq, posts)
+		}
+	}
+
+	// Clean replay: one uninterrupted bcserved with 3 workers — the engine
+	// whose reduce fold the router's shard-order merge reproduces — fed the
+	// identical batches.
+	clean := startProc(t, served, []string{
+		"-graph", graphFile, "-workers", "3", "-max-batch", "8", "-addr", freeClusterAddr(t),
+	})
+	for _, b := range batches {
+		clean.post(t, "/v1/updates", map[string]any{"updates": b, "wait": true})
+	}
+	if got := int(clean.stats(t)["updates_applied"].(float64)); got != total {
+		t.Fatalf("clean replay applied %d updates, want %d", got, total)
+	}
+
+	// The graphs agree, every vertex score is byte-identical, and the full
+	// edge ranking (scores included) is byte-identical.
+	var rg, cg map[string]any
+	get(t, rt.base+"/v1/graph", &rg)
+	get(t, clean.base+"/v1/graph", &cg)
+	if fmt.Sprint(rg["n"], rg["m"]) != fmt.Sprint(cg["n"], cg["m"]) {
+		t.Fatalf("router graph %v, clean graph %v", rg, cg)
+	}
+	n := int(rg["n"].(float64))
+	for v := 0; v < n; v++ {
+		var rs, cs struct {
+			Score float64 `json:"score"`
+		}
+		get(t, fmt.Sprintf("%s/v1/vertices/%d", rt.base, v), &rs)
+		get(t, fmt.Sprintf("%s/v1/vertices/%d", clean.base, v), &cs)
+		if rs.Score != cs.Score {
+			t.Fatalf("VBC[%d]: router %v, clean %v (must be bit-identical)", v, rs.Score, cs.Score)
+		}
+	}
+	re := rawBody(t, rt.base+"/v1/top/edges?k=100000")
+	ce := rawBody(t, clean.base+"/v1/top/edges?k=100000")
+	if !bytes.Equal(re, ce) {
+		t.Fatalf("edge rankings differ:\nrouter: %s\nclean:  %s", re, ce)
+	}
+	rv := rawBody(t, rt.base+"/v1/top/vertices?k=100000")
+	cv := rawBody(t, clean.base+"/v1/top/vertices?k=100000")
+	if !bytes.Equal(rv, cv) {
+		t.Fatalf("vertex rankings differ:\nrouter: %s\nclean:  %s", rv, cv)
+	}
+}
+
+// proc is one running binary under test.
+type proc struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+func startProc(t *testing.T, bin string, args []string) *proc {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addr := ""
+	for i, a := range args {
+		if a == "-addr" {
+			addr = args[i+1]
+		}
+	}
+	p := &proc{cmd: cmd, base: "http://" + addr}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill() //nolint:errcheck
+			cmd.Wait()         //nolint:errcheck
+		}
+	})
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(p.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return p
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s on %s did not become healthy", bin, addr)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func (p *proc) post(t *testing.T, path string, body map[string]any) {
+	t.Helper()
+	payload, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(p.base+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		data, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST %s: %d: %s", path, resp.StatusCode, data)
+	}
+}
+
+func (p *proc) stats(t *testing.T) map[string]any {
+	t.Helper()
+	var out map[string]any
+	get(t, p.base+"/v1/stats", &out)
+	return out
+}
+
+// waitMerged blocks until the router has merged `records` records — the
+// convergence point after every post, and the re-join point after the kill.
+func (p *proc) waitMerged(t *testing.T, records int) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if int(p.stats(t)["merged_sequence"].(float64)) >= records {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("router did not reach merged sequence %d", records)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func get(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: %d: %s", url, resp.StatusCode, data)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+}
+
+func rawBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d: %s", url, resp.StatusCode, data)
+	}
+	return data
+}
+
+func freeClusterAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	return l.Addr().String()
+}
+
+// writeClusterGraph writes a deterministic connected edge list and returns
+// the path plus the edge set (so the batch generator can avoid duplicate
+// additions — every update in this test must be accepted, keeping the
+// router's record stream and the clean replay's batch stream identical).
+func writeClusterGraph(t *testing.T, n, m int, seed int64) (string, map[[2]int]bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	edges := map[[2]int]bool{}
+	add := func(u, v int) {
+		if u > v {
+			u, v = v, u
+		}
+		if u == v || edges[[2]int{u, v}] {
+			return
+		}
+		edges[[2]int{u, v}] = true
+		fmt.Fprintf(&sb, "%d %d\n", u, v)
+	}
+	for i := 0; i+1 < n; i++ {
+		add(i, i+1)
+	}
+	for len(edges) < m {
+		add(rng.Intn(n), rng.Intn(n))
+	}
+	path := filepath.Join(t.TempDir(), "graph.txt")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, edges
+}
+
+// makeClusterBatches builds a deterministic stream of always-valid update
+// batches against the live edge set: additions of absent pairs (some growing
+// the graph with brand-new vertices), removals of present edges, and never
+// the same edge twice in one batch — so neither side rejects or coalesces
+// anything and both apply exactly the same updates in the same batches.
+func makeClusterBatches(n int, edges map[[2]int]bool, batches, perBatch int, seed int64) [][]map[string]any {
+	rng := rand.New(rand.NewSource(seed))
+	next := n
+	key := func(u, v int) [2]int {
+		if u > v {
+			u, v = v, u
+		}
+		return [2]int{u, v}
+	}
+	var removable [][2]int
+	for e := range edges {
+		removable = append(removable, e)
+	}
+	sort.Slice(removable, func(i, j int) bool {
+		if removable[i][0] != removable[j][0] {
+			return removable[i][0] < removable[j][0]
+		}
+		return removable[i][1] < removable[j][1]
+	})
+	out := make([][]map[string]any, 0, batches)
+	for b := 0; b < batches; b++ {
+		var batch []map[string]any
+		touched := map[[2]int]bool{}
+		for len(batch) < perBatch {
+			switch r := rng.Intn(6); {
+			case r == 0 && len(removable) > 0:
+				i := rng.Intn(len(removable))
+				e := removable[i]
+				if touched[e] {
+					continue
+				}
+				removable = append(removable[:i], removable[i+1:]...)
+				delete(edges, e)
+				touched[e] = true
+				batch = append(batch, map[string]any{"op": "remove", "u": e[0], "v": e[1]})
+			case r == 1:
+				u := rng.Intn(next)
+				e := key(u, next)
+				edges[e] = true
+				removable = append(removable, e)
+				touched[e] = true
+				batch = append(batch, map[string]any{"op": "add", "u": u, "v": next})
+				next++
+			default:
+				u, v := rng.Intn(next), rng.Intn(next)
+				e := key(u, v)
+				if u == v || edges[e] || touched[e] {
+					continue
+				}
+				edges[e] = true
+				removable = append(removable, e)
+				touched[e] = true
+				batch = append(batch, map[string]any{"op": "add", "u": u, "v": v})
+			}
+		}
+		out = append(out, batch)
+	}
+	return out
+}

@@ -20,6 +20,7 @@ import (
 	"net"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"streambc"
@@ -47,6 +48,7 @@ func main() {
 		batch       = flag.Int("batch", 1, "apply updates in batches of this size (one store load/save per affected source per batch)")
 		sample      = flag.Int("sample", 0, "approximate mode: maintain only k uniformly sampled sources, scaling scores by n/k (0 = exact)")
 		sampleSeed  = flag.Int64("sample-seed", 1, "random seed of the source sample")
+		shardSpec   = flag.String("shard", "", "compute only write-path shard i/N of the scores (e.g. 0/3): partial betweenness over source stride i of N; the partials of all N shards sum to the full scores bit-for-bit")
 		serve       = flag.String("serve", "", "run as an RPC worker listening on this address (host:port)")
 		cluster     = flag.String("cluster", "", "comma-separated worker addresses to use as a distributed cluster")
 		logLevel    = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
@@ -75,6 +77,13 @@ func main() {
 	}
 	if *top < 0 {
 		usageError("-top must not be negative")
+	}
+	shardIdx, shardCnt, err := parseShardSpec(*shardSpec)
+	if err != nil {
+		usageError(err.Error())
+	}
+	if shardCnt > 1 && (*cluster != "" || *serve != "") {
+		usageError("-shard cannot be combined with -cluster or -serve")
 	}
 
 	if *serve != "" {
@@ -113,6 +122,9 @@ func main() {
 	if *sample > 0 {
 		opts = append(opts, streambc.WithSampledSources(*sample, *sampleSeed))
 	}
+	if shardCnt > 1 {
+		opts = append(opts, streambc.WithShard(shardIdx, shardCnt))
+	}
 	s, err := streambc.New(g, opts...)
 	if err != nil {
 		fatal(err)
@@ -145,6 +157,10 @@ func main() {
 	if s.Sampled() {
 		fmt.Printf("approximate mode: %d of %d sources sampled (scale %.3f) — scores are unbiased estimates\n",
 			len(s.SampledSources()), s.Graph().N(), s.SampleScale())
+	}
+	if shardCnt > 1 {
+		fmt.Printf("shard %d/%d: partial scores over this shard's source stride — sum all %d shards for the full scores\n",
+			shardIdx, shardCnt, shardCnt)
 	}
 	printTop(s.Result(), *top)
 	if *outPath != "" {
@@ -236,6 +252,28 @@ func fatal(err error) {
 
 // usageError reports a flag-validation failure with the usage text and exits
 // with the conventional status 2.
+// parseShardSpec parses an "i/N" shard position; the empty string means the
+// whole source pool (one shard of one). Mirrors bcserved's flag of the same
+// name so offline runs can reproduce one serving shard's partial scores.
+func parseShardSpec(s string) (idx, cnt int, err error) {
+	if s == "" {
+		return 0, 1, nil
+	}
+	a, b, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("-shard: want i/N (e.g. 0/3), got %q", s)
+	}
+	i, err1 := strconv.Atoi(a)
+	n, err2 := strconv.Atoi(b)
+	if err1 != nil || err2 != nil {
+		return 0, 0, fmt.Errorf("-shard: want i/N (e.g. 0/3), got %q", s)
+	}
+	if n < 1 || i < 0 || i >= n {
+		return 0, 0, fmt.Errorf("-shard: index %d out of range for %d shards", i, n)
+	}
+	return i, n, nil
+}
+
 func usageError(msg string) {
 	fmt.Fprintln(os.Stderr, "bcrun:", msg)
 	flag.Usage()

@@ -50,6 +50,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -80,6 +82,7 @@ func main() {
 		sample       = flag.Int("sample", 0, "approximate mode: maintain only k uniformly sampled sources, scaling scores by n/k (0 = exact; ignored when a sampled snapshot is restored)")
 		sampleSeed   = flag.Int64("sample-seed", 1, "random seed of the source sample")
 		follow       = flag.String("follow", "", "run as a read-only replica of the leader at this base URL (e.g. http://leader:8080)")
+		shardSpec    = flag.String("shard", "", "run as write-path shard i/N behind bcrouter (e.g. 0/3): the engine accumulates betweenness only over source stride i of N; every shard of a cluster must share -graph/-directed/-sample/-sample-seed and have its own -wal-dir and -snapshot-dir")
 		readyMaxLag  = flag.Uint64("ready-max-lag", 1024, "replica readiness: /readyz reports ready only within this many WAL records of the leader")
 		logLevel     = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 		logFormat    = flag.String("log-format", "text", "log encoding: text or json")
@@ -124,6 +127,18 @@ func main() {
 			usageError("-sample cannot be combined with -follow (the source sample comes from the leader's snapshot)")
 		}
 	}
+	shardIdx, shardCnt, err := parseShardSpec(*shardSpec)
+	if err != nil {
+		usageError(err.Error())
+	}
+	if shardCnt > 1 {
+		if *follow != "" {
+			usageError("-shard cannot be combined with -follow (shards replicate through the router's fanout; run followers of individual shards instead)")
+		}
+		if *walDir == "" {
+			usageError("-shard needs -wal-dir (the shard's own log is its crash durability and the router's catch-up source)")
+		}
+	}
 	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
 	if err != nil {
 		usageError(err.Error())
@@ -132,6 +147,9 @@ func main() {
 
 	reg := obs.NewRegistry()
 	cfg := engine.Config{Workers: *workers}
+	if shardCnt > 1 {
+		cfg.ShardIndex, cfg.ShardCount = shardIdx, shardCnt
+	}
 	if *diskDir != "" {
 		if err := os.MkdirAll(*diskDir, 0o755); err != nil {
 			fatal(logger, "creating disk store directory failed", "error", err)
@@ -181,13 +199,28 @@ func main() {
 		if err != nil {
 			fatal(logger, "opening write-ahead log failed", "error", err)
 		}
-		replayed, err := server.ReplayWAL(wal, eng, *maxBatch)
-		if err != nil {
-			fatal(logger, "replaying write-ahead log failed", "error", err)
-		}
-		if replayed > 0 {
-			logger.Info("write-ahead log replayed",
-				"updates", replayed, obs.KeySeq, wal.Seq())
+		if eng.Sharded() {
+			// The shard flavour of replay additionally rebuilds the response
+			// cache of the final logged record, so a router retrying it after
+			// the crash gets the original bytes instead of a sequence gap.
+			replayed, last, err := server.RecoverShardState(wal, eng, *maxBatch, *snapshotDir)
+			if err != nil {
+				fatal(logger, "replaying shard write-ahead log failed", "error", err)
+			}
+			srvCfg.ShardLast = last
+			if replayed > 0 {
+				logger.Info("write-ahead log replayed",
+					"updates", replayed, obs.KeySeq, wal.Seq())
+			}
+		} else {
+			replayed, err := server.ReplayWAL(wal, eng, *maxBatch)
+			if err != nil {
+				fatal(logger, "replaying write-ahead log failed", "error", err)
+			}
+			if replayed > 0 {
+				logger.Info("write-ahead log replayed",
+					"updates", replayed, obs.KeySeq, wal.Seq())
+			}
 		}
 	}
 
@@ -198,9 +231,14 @@ func main() {
 	mux.Handle("/", srv.Handler())
 	startOps(mux, *opsAddr, logger)
 	serve(newHTTPServer(*addr, mux), logger, func() {
-		logger.Info("serving",
+		args := []any{
 			"version", version.Version, "addr", *addr,
-			"n", eng.Graph().N(), "m", eng.Graph().M(), "workers", eng.Workers())
+			"n", eng.Graph().N(), "m", eng.Graph().M(), "workers", eng.Workers(),
+		}
+		if eng.Sharded() {
+			args = append(args, "shard", fmt.Sprintf("%d/%d", eng.ShardIndex(), eng.ShardCount()))
+		}
+		logger.Info("serving", args...)
 	}, func() {
 		if err := srv.Close(); err != nil {
 			logger.Error("close failed", "error", err)
@@ -504,6 +542,27 @@ func configureSampling(cfg *engine.Config, n, sample int, sampleSeed int64) erro
 	cfg.Sources = bc.SampleSources(n, sample, sampleSeed)
 	cfg.Scale = float64(n) / float64(sample)
 	return nil
+}
+
+// parseShardSpec parses the -shard flag: "" means unsharded (shard 0 of 1),
+// otherwise "i/N" with 0 <= i < N.
+func parseShardSpec(s string) (idx, cnt int, err error) {
+	if s == "" {
+		return 0, 1, nil
+	}
+	a, b, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("-shard: want i/N (e.g. 0/3), got %q", s)
+	}
+	i, err1 := strconv.Atoi(a)
+	n, err2 := strconv.Atoi(b)
+	if err1 != nil || err2 != nil {
+		return 0, 0, fmt.Errorf("-shard: want i/N (e.g. 0/3), got %q", s)
+	}
+	if n < 1 || i < 0 || i >= n {
+		return 0, 0, fmt.Errorf("-shard: index %d out of range for %d shards", i, n)
+	}
+	return i, n, nil
 }
 
 // fatal logs at error level and exits non-zero (the structured replacement

@@ -83,11 +83,38 @@ type Config struct {
 	// may be replaced at runtime (a replica's engine is rebuilt on
 	// rebootstrap; re-registering would panic).
 	Obs *obs.Registry
+
+	// ShardIndex/ShardCount select the write-path sharding mode: the engine
+	// owns only the sources whose rank in the global source pool is congruent
+	// to ShardIndex modulo ShardCount — exactly the stride worker ShardIndex
+	// of a ShardCount-worker engine would own (bc.StridedSources), so the sum
+	// of the N shard results reproduces the single-process scores bit for bit
+	// when every shard runs one worker. In exact mode vertices arriving later
+	// in the stream join the stride the same way (vertex v is owned iff
+	// v mod ShardCount == ShardIndex); in sampled mode the sample is fixed, so
+	// the shard's stride of it is too. ShardCount <= 1 means no sharding.
+	ShardIndex int
+	ShardCount int
+
+	// PartitionScores keeps the accumulated scores as per-worker partial
+	// results, folded key-by-key in worker order only when read. The folded
+	// scores of a ShardCount-worker partition engine are bit-identical to the
+	// sum of the ShardCount shard engines' scores (each partial evolves by
+	// exactly the arithmetic of the matching one-worker shard), which is what
+	// the sharding differential harness asserts against. The mode is a
+	// reference for that contract, not a serving configuration: snapshots
+	// store the folded scores and cannot be restored back into it.
+	PartitionScores bool
 }
 
 // Stats aggregates the work counters of all workers. It is the same type as
 // the sequential updater's counters.
 type Stats = incremental.Stats
+
+// ErrClosed is returned by ApplyBatch (and the other mutating entry points)
+// after Close: the worker pool is gone, so late writers get a clean error
+// instead of a send on a closed channel. The serving layer maps it to 503.
+var ErrClosed = errors.New("engine: engine closed")
 
 // Engine maintains betweenness centrality of an evolving graph using a pool
 // of workers, each owning one partition of the source set.
@@ -108,6 +135,22 @@ type Engine struct {
 	// exact mode) and scale the matching estimator factor (1 in exact mode).
 	sample []int
 	scale  float64
+
+	// shardIndex/shardCount record the stride of the global source pool this
+	// engine owns (0/1 when not sharded; see Config.ShardIndex).
+	shardIndex int
+	shardCount int
+
+	// parts holds the per-worker partial results of the partition-scores
+	// mode (nil otherwise); partsDirty marks the folded cache in res stale.
+	parts      []*bc.Result
+	partsDirty bool
+
+	// deltaObs, when non-nil, receives every applied update's per-worker
+	// partial deltas during the reduce phase (see SetDeltaObserver);
+	// obsScratch is the reused slice handed to it.
+	deltaObs   func(upd graph.Update, perWorker []*incremental.FlatDelta)
+	obsScratch []*incremental.FlatDelta
 
 	// applyHist, when non-nil, records the wall-clock latency of every
 	// ApplyBatch call (set when Config.Obs registered the engine's metrics).
@@ -162,21 +205,48 @@ type worker struct {
 // partitions) and returns an engine ready to process updates. The engine
 // takes ownership of g.
 func New(g *graph.Graph, cfg Config) (*Engine, error) {
+	return newEngine(g, cfg, false)
+}
+
+// newEngine is New with one extra restore-path knob: sourcesPreSharded marks
+// cfg.Sources as already being this shard's stride of the global sample (the
+// set a sharded snapshot stores), so the shard stride must not be applied a
+// second time.
+func newEngine(g *graph.Graph, cfg Config, sourcesPreSharded bool) (*Engine, error) {
 	if cfg.Workers < 1 {
 		cfg.Workers = 1
 	}
 	if cfg.Store == nil {
 		cfg.Store = MemFactory()
 	}
+	if cfg.ShardCount > 1 && (cfg.ShardIndex < 0 || cfg.ShardIndex >= cfg.ShardCount) {
+		return nil, fmt.Errorf("engine: shard index %d out of range for %d shards", cfg.ShardIndex, cfg.ShardCount)
+	}
+	if cfg.ShardCount > 1 && cfg.PartitionScores {
+		return nil, errors.New("engine: PartitionScores is the single-process reference for sharding and cannot be combined with it")
+	}
 	n := g.N()
+	// The pool and the estimator scale are resolved over the GLOBAL source
+	// set first — a sampled shard scales by n/k of the whole sample, not of
+	// its stride — and only then cut down to this shard's stride.
 	pool, scale, err := sourcePool(n, cfg)
 	if err != nil {
 		return nil, err
 	}
+	if cfg.ShardCount > 1 && !sourcesPreSharded {
+		pool = bc.StridedSources(pool, cfg.ShardCount, cfg.ShardIndex)
+		if cfg.Sources != nil && len(pool) == 0 {
+			return nil, fmt.Errorf("engine: shard %d/%d owns no sampled sources (the sample must have at least %d entries)",
+				cfg.ShardIndex, cfg.ShardCount, cfg.ShardCount)
+		}
+	}
 	if cfg.Workers > len(pool) && len(pool) > 0 {
 		cfg.Workers = len(pool)
 	}
-	e := &Engine{g: g, res: bc.NewResult(n), scale: scale}
+	e := &Engine{g: g, res: bc.NewResult(n), scale: scale, shardCount: 1}
+	if cfg.ShardCount > 1 {
+		e.shardIndex, e.shardCount = cfg.ShardIndex, cfg.ShardCount
+	}
 	if cfg.Sources != nil {
 		e.sample = pool
 	}
@@ -203,6 +273,12 @@ func New(g *graph.Graph, cfg Config) (*Engine, error) {
 			sources: sources,
 			proc:    proc,
 		})
+	}
+	if cfg.PartitionScores {
+		e.parts = make([]*bc.Result, len(e.workers))
+		for i := range e.parts {
+			e.parts[i] = bc.NewResult(n)
+		}
 	}
 	if err := e.initialize(); err != nil {
 		e.Close()
@@ -343,18 +419,50 @@ func (e *Engine) initialize() error {
 			return err
 		}
 	}
-	for _, p := range partials {
+	for i, p := range partials {
 		if p == nil {
 			continue
 		}
+		// The fold target is the worker's own partial in partition-scores
+		// mode, the shared result otherwise. Folding with += from a zeroed
+		// result (rather than adopting the partial) keeps each partial's
+		// bits exactly those of the matching one-worker shard engine, which
+		// initialises its result by this same loop.
+		dst := e.res
+		if e.parts != nil {
+			dst = e.parts[i]
+		}
 		for v := range p.VBC {
-			e.res.VBC[v] += p.VBC[v]
+			dst.VBC[v] += p.VBC[v]
 		}
 		for k, x := range p.EBC {
-			e.res.EBC[k] += x
+			dst.EBC[k] += x
 		}
 	}
+	e.partsDirty = e.parts != nil
 	return nil
+}
+
+// foldParts refreshes the folded-score cache of the partition-scores mode:
+// the per-worker partials are summed key-by-key in worker order — the
+// arithmetic of folding N one-worker shard results in shard order, which is
+// the equivalence the mode exists to witness. No-op outside the mode or when
+// the cache is fresh.
+func (e *Engine) foldParts() {
+	if e.parts == nil || !e.partsDirty {
+		return
+	}
+	res := bc.NewResult(e.g.N())
+	for _, p := range e.parts {
+		for v := range p.VBC {
+			res.VBC[v] += p.VBC[v]
+		}
+		for k, x := range p.EBC {
+			res.EBC[k] += x
+		}
+	}
+	e.res = res
+	e.partsDirty = false
 }
 
 // run is the persistent loop of one pooled worker: it executes tasks in
@@ -430,16 +538,38 @@ func (e *Engine) dispatch(t workerTask) error {
 func (e *Engine) Graph() *graph.Graph { return e.g }
 
 // Result returns the live betweenness scores.
-func (e *Engine) Result() *bc.Result { return e.res }
+func (e *Engine) Result() *bc.Result { e.foldParts(); return e.res }
 
 // VBC returns the current vertex betweenness (live slice, do not modify).
-func (e *Engine) VBC() []float64 { return e.res.VBC }
+func (e *Engine) VBC() []float64 { e.foldParts(); return e.res.VBC }
 
 // EBC returns the current edge betweenness (live map, do not modify).
-func (e *Engine) EBC() map[graph.Edge]float64 { return e.res.EBC }
+func (e *Engine) EBC() map[graph.Edge]float64 { e.foldParts(); return e.res.EBC }
 
 // Workers returns the number of workers.
 func (e *Engine) Workers() int { return len(e.workers) }
+
+// ShardIndex returns the stride of the global source pool this engine owns
+// (0 when not sharded).
+func (e *Engine) ShardIndex() int { return e.shardIndex }
+
+// ShardCount returns the number of shards the source pool is split across
+// (1 when not sharded).
+func (e *Engine) ShardCount() int { return e.shardCount }
+
+// Sharded reports whether the engine owns only one stride of the source pool.
+func (e *Engine) Sharded() bool { return e.shardCount > 1 }
+
+// SetDeltaObserver installs fn, invoked during the reduce phase of every
+// batch once per applied update, in stream order, with that update's
+// per-worker partial score deltas in worker order — the exact values and
+// order the reducer folds into the global scores. The deltas are owned by
+// the engine and valid only for the duration of the call. The shard serving
+// layer uses this to stream per-update deltas to the merge router. Pass nil
+// to uninstall. Must not be called concurrently with ApplyBatch.
+func (e *Engine) SetDeltaObserver(fn func(upd graph.Update, perWorker []*incremental.FlatDelta)) {
+	e.deltaObs = fn
+}
 
 // Sampled reports whether the engine runs in the sampled-source approximate
 // mode.
@@ -482,7 +612,7 @@ func (e *Engine) Stats() Stats {
 // caller must ensure no update is applied concurrently; the copy can then be
 // read freely while the engine keeps processing updates (the snapshot-on-read
 // pattern used by the serving layer).
-func (e *Engine) ResultSnapshot() *bc.Result { return e.res.Clone() }
+func (e *Engine) ResultSnapshot() *bc.Result { e.foldParts(); return e.res.Clone() }
 
 // SetUpdatesApplied overwrites the cumulative applied-update counter. It is
 // used when restoring an engine from a snapshot so that the applied-update
@@ -550,6 +680,9 @@ func (e *Engine) ReplayRecord(seq uint64, needVertices int, updates []graph.Upda
 // snapshotted values guarantees a bit-exact round trip regardless of
 // floating-point accumulation order.
 func (e *Engine) ReplaceScores(res *bc.Result) error {
+	if e.parts != nil {
+		return errors.New("engine: cannot replace scores of a partition-scores engine (the per-worker partials cannot be recovered from their sum)")
+	}
 	if len(res.VBC) != e.g.N() {
 		return fmt.Errorf("engine: replacing scores: got %d vertex scores for %d vertices", len(res.VBC), e.g.N())
 	}
@@ -565,6 +698,9 @@ func (e *Engine) ReplaceScores(res *bc.Result) error {
 // at least n vertices exist, exactly as an addition referencing vertex n-1
 // would. Isolated vertices have zero betweenness, so no scores change.
 func (e *Engine) EnsureVertices(n int) error {
+	if e.closed {
+		return ErrClosed
+	}
 	if n <= e.g.N() {
 		return nil
 	}
@@ -596,6 +732,9 @@ func (e *Engine) Apply(upd graph.Update) error {
 // in an undefined state (graph, scores and stores may disagree) and the
 // engine should be discarded.
 func (e *Engine) ApplyBatch(updates []graph.Update) (int, error) {
+	if e.closed {
+		return 0, ErrClosed
+	}
 	if len(updates) == 0 {
 		return 0, nil
 	}
@@ -662,9 +801,22 @@ func (e *Engine) stepUpdate(upd graph.Update) error {
 func (e *Engine) finishBatch(applied []graph.Update) error {
 	flushErr := e.dispatch(workerTask{kind: taskFlush})
 	for i, upd := range applied {
+		if e.deltaObs != nil {
+			e.obsScratch = e.obsScratch[:0]
+			for _, w := range e.workers {
+				if i < len(w.deltas) {
+					e.obsScratch = append(e.obsScratch, w.deltas[i])
+				}
+			}
+			e.deltaObs(upd, e.obsScratch)
+		}
 		for _, w := range e.workers {
 			if i < len(w.deltas) {
-				w.deltas[i].ApplyTo(e.res)
+				if e.parts != nil {
+					w.deltas[i].ApplyTo(e.parts[w.id])
+				} else {
+					w.deltas[i].ApplyTo(e.res)
+				}
 			}
 		}
 		if upd.Remove {
@@ -672,9 +824,19 @@ func (e *Engine) finishBatch(applied []graph.Update) error {
 			// accumulated centrality has been driven to zero by the
 			// per-source corrections, drop the entry (a later addition in
 			// the same batch re-creates it).
-			delete(e.res.EBC, bc.EdgeKey(e.g, upd.U, upd.V))
+			key := bc.EdgeKey(e.g, upd.U, upd.V)
+			if e.parts != nil {
+				for _, p := range e.parts {
+					delete(p.EBC, key)
+				}
+			} else {
+				delete(e.res.EBC, key)
+			}
 		}
 		e.applied++
+	}
+	if e.parts != nil && len(applied) > 0 {
+		e.partsDirty = true
 	}
 	for _, w := range e.workers {
 		w.recycleDeltas()
@@ -694,6 +856,11 @@ func (e *Engine) finishBatch(applied []graph.Update) error {
 // grow but no new sources are registered.
 func (e *Engine) growTo(n int) error {
 	old := incremental.GrowGraphAndResult(e.g, e.res, n)
+	for _, p := range e.parts {
+		for len(p.VBC) < n {
+			p.VBC = append(p.VBC, 0)
+		}
+	}
 	for _, w := range e.workers {
 		if err := w.proc.GrowStore(n); err != nil {
 			return fmt.Errorf("engine: growing store of worker %d: %w", w.id, err)
@@ -703,6 +870,11 @@ func (e *Engine) growTo(n int) error {
 		return nil
 	}
 	for s := old; s < n; s++ {
+		if e.shardCount > 1 && s%e.shardCount != e.shardIndex {
+			// Another shard's stride of the vertex set: the record grows
+			// (above) but the source is not ours to maintain.
+			continue
+		}
 		w := e.workers[e.nextRR%len(e.workers)]
 		e.nextRR++
 		if err := w.proc.AddStoreSource(s); err != nil {

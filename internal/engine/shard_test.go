@@ -1,0 +1,312 @@
+package engine
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"streambc/internal/bc"
+	"streambc/internal/graph"
+)
+
+// shardStream builds a mixed stream that also grows the graph: the tail adds
+// edges touching vertices the initial graph does not have, so the per-shard
+// ownership of late-arriving sources is exercised too.
+func shardStream(t *testing.T, g *graph.Graph) []graph.Update {
+	t.Helper()
+	ups := mixedUpdates(t, g, 16, 5)
+	n := g.N()
+	ups = append(ups,
+		graph.Update{U: 0, V: n},     // new vertex n
+		graph.Update{U: n, V: n + 1}, // new vertex n+1
+		graph.Update{U: 1, V: n + 2}, // new vertex n+2
+		graph.Update{U: n + 2, V: 2},
+	)
+	return ups
+}
+
+// sameBits asserts a and b hold identical float64 bit patterns everywhere.
+func sameBits(t *testing.T, context string, a, b *bc.Result) {
+	t.Helper()
+	if len(a.VBC) != len(b.VBC) {
+		t.Fatalf("%s: VBC length %d vs %d", context, len(a.VBC), len(b.VBC))
+	}
+	for v := range a.VBC {
+		if math.Float64bits(a.VBC[v]) != math.Float64bits(b.VBC[v]) {
+			t.Fatalf("%s: VBC[%d] bits %x vs %x (%g vs %g)", context, v,
+				math.Float64bits(a.VBC[v]), math.Float64bits(b.VBC[v]), a.VBC[v], b.VBC[v])
+		}
+	}
+	if len(a.EBC) != len(b.EBC) {
+		t.Fatalf("%s: EBC size %d vs %d", context, len(a.EBC), len(b.EBC))
+	}
+	for e, x := range a.EBC {
+		y, ok := b.EBC[e]
+		if !ok {
+			t.Fatalf("%s: EBC key %v missing from reference", context, e)
+		}
+		if math.Float64bits(x) != math.Float64bits(y) {
+			t.Fatalf("%s: EBC[%v] bits %x vs %x", context, e, math.Float64bits(x), math.Float64bits(y))
+		}
+	}
+}
+
+// sumShards replays the stream through cnt one-worker shard engines and
+// returns the key-by-key sum of their results, added in shard order.
+func sumShards(t *testing.T, g *graph.Graph, ups []graph.Update, cnt int, sources []int) *bc.Result {
+	t.Helper()
+	var out *bc.Result
+	for i := 0; i < cnt; i++ {
+		e, err := New(g.Clone(), Config{Workers: 1, ShardIndex: i, ShardCount: cnt, Sources: sources})
+		if err != nil {
+			t.Fatalf("New(shard %d/%d): %v", i, cnt, err)
+		}
+		if !e.Sharded() || e.ShardIndex() != i || e.ShardCount() != cnt {
+			t.Fatalf("shard identity = %d/%d sharded=%v, want %d/%d", e.ShardIndex(), e.ShardCount(), e.Sharded(), i, cnt)
+		}
+		if _, err := e.ApplyAll(ups); err != nil {
+			t.Fatalf("shard %d/%d: ApplyAll: %v", i, cnt, err)
+		}
+		if out == nil {
+			out = bc.NewResult(len(e.VBC()))
+		}
+		for v, x := range e.VBC() {
+			out.VBC[v] += x
+		}
+		for k, x := range e.EBC() {
+			out.EBC[k] += x
+		}
+		e.Close()
+	}
+	return out
+}
+
+// TestShardSumMatchesPartitionEngineBitwise is the in-package core of the
+// sharding exactness claim: the key-by-key sum of N one-worker shard engines
+// equals, bit for bit, a single N-worker engine that keeps per-worker partial
+// scores and folds them in worker order — for exact and sampled mode, across
+// a stream that removes edges and grows the graph.
+func TestShardSumMatchesPartitionEngineBitwise(t *testing.T) {
+	base := testGraph(t, 36, 100, 11)
+	ups := shardStream(t, base)
+	sample := bc.SampleSources(base.N(), base.N()/3, 9)
+	for _, tc := range []struct {
+		name    string
+		sources []int
+	}{
+		{"exact", nil},
+		{"sampled", sample},
+	} {
+		for _, cnt := range []int{2, 3, 4} {
+			ref, err := New(base.Clone(), Config{Workers: cnt, PartitionScores: true, Sources: tc.sources})
+			if err != nil {
+				t.Fatalf("%s/%d: New(partition): %v", tc.name, cnt, err)
+			}
+			if _, err := ref.ApplyAll(ups); err != nil {
+				t.Fatalf("%s/%d: partition ApplyAll: %v", tc.name, cnt, err)
+			}
+			want := &bc.Result{VBC: ref.VBC(), EBC: ref.EBC()}
+			got := sumShards(t, base, ups, cnt, tc.sources)
+			sameBits(t, tc.name+"/"+string(rune('0'+cnt))+" shards", got, want)
+			if tc.sources == nil {
+				checkEngineAgainstBrandes(t, ref.Graph(), got.VBC, got.EBC, "summed shards")
+			}
+			ref.Close()
+		}
+	}
+}
+
+// TestShardStrideOwnership pins the construction: shard i of n owns exactly
+// bc.StridedSources(pool, n, i) — for the initial sample and, in exact mode,
+// for vertices that arrive after construction.
+func TestShardStrideOwnership(t *testing.T) {
+	base := testGraph(t, 30, 80, 13)
+	sample := bc.SampleSources(base.N(), 12, 3)
+	for i := 0; i < 3; i++ {
+		e, err := New(base.Clone(), Config{Workers: 1, ShardIndex: i, ShardCount: 3, Sources: sample})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		want := bc.StridedSources(sample, 3, i)
+		got := e.SampledSources()
+		if len(got) != len(want) {
+			t.Fatalf("shard %d: %d sources, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("shard %d: sources[%d] = %d, want %d", i, j, got[j], want[j])
+			}
+		}
+		// The sampled shard still scales by n/k of the WHOLE sample.
+		wantScale := float64(base.N()) / float64(len(sample))
+		if math.Abs(e.Scale()-wantScale) > 1e-12 {
+			t.Fatalf("shard %d: scale %g, want %g (n/k of the global sample)", i, e.Scale(), wantScale)
+		}
+		e.Close()
+	}
+
+	// Exact mode: a vertex arriving later joins stride v%n == i, so across
+	// the shards every new source is owned exactly once. Ownership is
+	// observable through the stats: only the owner probes the new source.
+	n := base.N()
+	var owners int64
+	for i := 0; i < 3; i++ {
+		e, err := New(base.Clone(), Config{Workers: 1, ShardIndex: i, ShardCount: 3})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		before := e.Stats()
+		if err := e.Apply(graph.Update{U: 0, V: n}); err != nil {
+			t.Fatalf("Apply: %v", err)
+		}
+		after := e.Stats()
+		probed := (after.SourcesSkipped + after.SourcesUpdated) - (before.SourcesSkipped + before.SourcesUpdated)
+		strideSize := int64(0)
+		for v := i; v < n+1; v += 3 {
+			strideSize++
+		}
+		if probed != strideSize {
+			t.Fatalf("shard %d probed %d sources for the growing update, want its stride size %d", i, probed, strideSize)
+		}
+		owners += probed
+		e.Close()
+	}
+	if owners != int64(n+1) {
+		t.Fatalf("strides probed %d sources in total, want every one of %d exactly once", owners, n+1)
+	}
+}
+
+func TestShardConfigValidation(t *testing.T) {
+	g := testGraph(t, 10, 20, 1)
+	if _, err := New(g.Clone(), Config{ShardIndex: 3, ShardCount: 3}); err == nil {
+		t.Fatal("out-of-range shard index accepted")
+	}
+	if _, err := New(g.Clone(), Config{ShardIndex: -1, ShardCount: 2}); err == nil {
+		t.Fatal("negative shard index accepted")
+	}
+	if _, err := New(g.Clone(), Config{ShardCount: 2, PartitionScores: true}); err == nil {
+		t.Fatal("PartitionScores combined with sharding accepted")
+	}
+	// A sampled shard whose stride of the sample is empty cannot exist.
+	if _, err := New(g.Clone(), Config{ShardIndex: 3, ShardCount: 4, Sources: []int{0, 1, 2}}); err == nil {
+		t.Fatal("shard owning no sampled sources accepted")
+	}
+}
+
+// TestShardSnapshotIdentity pins the restore rules: a sharded snapshot
+// carries its stride and refuses to restore into any other one.
+func TestShardSnapshotIdentity(t *testing.T) {
+	base := testGraph(t, 24, 60, 7)
+	ups := mixedUpdates(t, base, 10, 8)
+	e, err := New(base.Clone(), Config{Workers: 1, ShardIndex: 1, ShardCount: 3})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer e.Close()
+	if _, err := e.ApplyAll(ups); err != nil {
+		t.Fatalf("ApplyAll: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, e); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	st, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if st.ShardIndex != 1 || st.ShardCount != 3 {
+		t.Fatalf("snapshot shard identity = %d/%d, want 1/3", st.ShardIndex, st.ShardCount)
+	}
+
+	// Matching identity restores and reproduces the scores bit for bit.
+	same, err := RestoreEngine(st, Config{Workers: 1, ShardIndex: 1, ShardCount: 3})
+	if err != nil {
+		t.Fatalf("RestoreEngine(matching): %v", err)
+	}
+	sameBits(t, "restored shard", &bc.Result{VBC: same.VBC(), EBC: same.EBC()},
+		&bc.Result{VBC: e.VBC(), EBC: e.EBC()})
+	same.Close()
+
+	// An unconfigured restore adopts the snapshot's identity.
+	adopted, err := RestoreEngine(st, Config{Workers: 1})
+	if err != nil {
+		t.Fatalf("RestoreEngine(unconfigured): %v", err)
+	}
+	if adopted.ShardIndex() != 1 || adopted.ShardCount() != 3 {
+		t.Fatalf("adopted identity = %d/%d, want 1/3", adopted.ShardIndex(), adopted.ShardCount())
+	}
+	adopted.Close()
+
+	// Any other stride is refused: the scores cover exactly stride 1 of 3.
+	if _, err := RestoreEngine(st, Config{ShardIndex: 2, ShardCount: 3}); err == nil ||
+		!strings.Contains(err.Error(), "resharding") {
+		t.Fatalf("restoring into the wrong stride: err = %v, want a resharding refusal", err)
+	}
+	if _, err := RestoreEngine(st, Config{ShardIndex: 1, ShardCount: 4}); err == nil {
+		t.Fatal("restoring into a different shard count accepted")
+	}
+
+	// A non-sharded snapshot cannot seed a shard.
+	full, err := New(base.Clone(), Config{Workers: 1})
+	if err != nil {
+		t.Fatalf("New(full): %v", err)
+	}
+	defer full.Close()
+	var fbuf bytes.Buffer
+	if err := WriteSnapshot(&fbuf, full); err != nil {
+		t.Fatalf("WriteSnapshot(full): %v", err)
+	}
+	fst, err := ReadSnapshot(bytes.NewReader(fbuf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadSnapshot(full): %v", err)
+	}
+	if _, err := RestoreEngine(fst, Config{ShardIndex: 0, ShardCount: 2}); err == nil {
+		t.Fatal("non-sharded snapshot restored into a shard")
+	}
+}
+
+// TestShardSampledSnapshotRoundTrip pins the pre-strided sources rule: a
+// sampled shard's snapshot stores the stride it owns, and restoring must not
+// stride that set a second time.
+func TestShardSampledSnapshotRoundTrip(t *testing.T) {
+	base := testGraph(t, 30, 80, 17)
+	sample := bc.SampleSources(base.N(), 12, 5)
+	ups := mixedUpdates(t, base, 8, 18)
+	e, err := New(base.Clone(), Config{Workers: 1, ShardIndex: 2, ShardCount: 3, Sources: sample})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer e.Close()
+	if _, err := e.ApplyAll(ups); err != nil {
+		t.Fatalf("ApplyAll: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, e); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	st, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	r, err := RestoreEngine(st, Config{Workers: 1})
+	if err != nil {
+		t.Fatalf("RestoreEngine: %v", err)
+	}
+	defer r.Close()
+	want := e.SampledSources()
+	got := r.SampledSources()
+	if len(got) != len(want) {
+		t.Fatalf("restored %d sources, want %d (double-strided?)", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("restored sources[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if math.Float64bits(r.Scale()) != math.Float64bits(e.Scale()) {
+		t.Fatalf("restored scale %g, want %g", r.Scale(), e.Scale())
+	}
+	sameBits(t, "restored sampled shard", &bc.Result{VBC: r.VBC(), EBC: r.EBC()},
+		&bc.Result{VBC: e.VBC(), EBC: e.EBC()})
+}

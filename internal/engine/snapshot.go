@@ -12,9 +12,11 @@ package engine
 //
 //	magic    [8]byte  "STBCSNAP"
 //	version  uvarint  (1 = exact, 2 = adds the sampled-source block,
-//	                   3 = adds the WAL-offset field)
+//	                   3 = adds the WAL-offset field, 4 = adds the shard
+//	                   block)
 //	flags    uvarint  bit 0: directed; bit 1: sampled (version >= 2);
-//	                  bit 2: WAL offset present (version 3)
+//	                  bit 2: WAL offset present (version 3); bit 3: shard
+//	                  block present (version 4)
 //	n        uvarint  number of vertices
 //	m        uvarint  number of edges
 //	edges    m × (uvarint u, uvarint v)
@@ -22,6 +24,10 @@ package engine
 //	-- version 3, when flags bit 2 is set --
 //	walOff   uvarint  write-ahead-log offset the snapshot covers
 //	-- end of WAL block --
+//	-- version 4, when flags bit 3 is set --
+//	shardIdx uvarint  stride of the global source pool this engine owns
+//	shardCnt uvarint  number of shards the pool is split across (>= 2)
+//	-- end of shard block --
 //	-- version >= 2, when flags bit 1 is set --
 //	scale    float64  estimator factor (n/k at construction time)
 //	k        uvarint  sample size
@@ -37,9 +43,14 @@ package engine
 // snapshots stay byte-identical to the pre-sampling format; a sampled engine
 // writes version 2; an engine fed through a write-ahead log (WALOffset > 0)
 // writes version 3, recording the log position its scores cover so recovery
-// replays exactly the uncovered tail. The trailing checksum turns torn or
-// corrupted snapshot files into load errors instead of silently wrong
-// scores.
+// replays exactly the uncovered tail; a write-path shard writes version 4,
+// recording which stride of the source pool its scores cover so recovery (and
+// a follower bootstrapping from the shard) can never silently fold partial
+// scores into the wrong shape. In a sampled shard snapshot the sources block
+// holds the shard's stride of the global sample (the set the engine actually
+// maintains); the scale stays the global n/k. The trailing checksum turns
+// torn or corrupted snapshot files into load errors instead of silently
+// wrong scores.
 
 import (
 	"bufio"
@@ -61,14 +72,17 @@ const (
 	snapshotVersion1 = 1 // exact mode
 	snapshotVersion2 = 2 // sampled-source approximate mode
 	snapshotVersion3 = 3 // adds the WAL-offset field
+	snapshotVersion4 = 4 // adds the shard block
 )
 
 // flagSampled marks a snapshot (version >= 2) carrying a sampled-source
 // block; flagWAL marks a version-3 snapshot carrying the WAL offset it
-// covers.
+// covers; flagShard marks a version-4 snapshot of a write-path shard,
+// carrying the stride of the source pool its scores cover.
 const (
 	flagSampled = 1 << 1
 	flagWAL     = 1 << 2
+	flagShard   = 1 << 3
 )
 
 // ErrBadSnapshot is wrapped by every snapshot decoding failure.
@@ -79,19 +93,24 @@ var ErrBadSnapshot = errors.New("engine: bad snapshot")
 // plus — for a snapshot taken in sampled mode — the source sample and its
 // estimator scale (Sources nil and Scale 0 for exact snapshots), and — for a
 // snapshot taken behind a write-ahead log — the WAL offset the scores cover
-// (0 when no WAL was in use).
+// (0 when no WAL was in use). A snapshot taken by a write-path shard also
+// records which stride of the global source pool its scores cover
+// (ShardCount 0 for non-sharded snapshots).
 type SnapshotState struct {
-	Graph     *graph.Graph
-	Applied   int
-	Scores    *bc.Result
-	Sources   []int
-	Scale     float64
-	WALOffset uint64
+	Graph      *graph.Graph
+	Applied    int
+	Scores     *bc.Result
+	Sources    []int
+	Scale      float64
+	WALOffset  uint64
+	ShardIndex int
+	ShardCount int
 }
 
 // WriteSnapshot serialises the engine's graph, applied-update offset and
 // scores to w. The caller must ensure no update is applied concurrently.
 func WriteSnapshot(w io.Writer, e *Engine) error {
+	e.foldParts() // a partition-scores engine snapshots its folded sum
 	crc := crc32.NewIEEE()
 	bw := bufio.NewWriter(io.MultiWriter(w, crc))
 	if _, err := bw.Write(snapshotMagic[:]); err != nil {
@@ -123,6 +142,10 @@ func WriteSnapshot(w io.Writer, e *Engine) error {
 		version = snapshotVersion3
 		flags |= flagWAL
 	}
+	if e.shardCount > 1 {
+		version = snapshotVersion4
+		flags |= flagShard
+	}
 	edges := g.Edges()
 	fields := []uint64{version, flags, uint64(g.N()), uint64(len(edges))}
 	for _, x := range fields {
@@ -143,6 +166,14 @@ func WriteSnapshot(w io.Writer, e *Engine) error {
 	}
 	if e.walOffset > 0 {
 		if err := writeUvarint(e.walOffset); err != nil {
+			return fmt.Errorf("engine: writing snapshot: %w", err)
+		}
+	}
+	if e.shardCount > 1 {
+		if err := writeUvarint(uint64(e.shardIndex)); err != nil {
+			return fmt.Errorf("engine: writing snapshot: %w", err)
+		}
+		if err := writeUvarint(uint64(e.shardCount)); err != nil {
 			return fmt.Errorf("engine: writing snapshot: %w", err)
 		}
 	}
@@ -256,7 +287,7 @@ func ReadSnapshot(r io.Reader) (*SnapshotState, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version < snapshotVersion1 || version > snapshotVersion3 {
+	if version < snapshotVersion1 || version > snapshotVersion4 {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadSnapshot, version)
 	}
 	flags, err := readUvarint("flags")
@@ -310,6 +341,21 @@ func ReadSnapshot(r io.Reader) (*SnapshotState, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	var shardIndex, shardCount int
+	if version >= snapshotVersion4 && flags&flagShard != 0 {
+		si, err := readUvarint("shard index")
+		if err != nil {
+			return nil, err
+		}
+		sc, err := readUvarint("shard count")
+		if err != nil {
+			return nil, err
+		}
+		if sc < 2 || si >= sc || sc > uint64(maxInt) {
+			return nil, fmt.Errorf("%w: implausible shard %d/%d", ErrBadSnapshot, si, sc)
+		}
+		shardIndex, shardCount = int(si), int(sc)
 	}
 	var sample []int
 	var scale float64
@@ -409,7 +455,11 @@ func ReadSnapshot(r io.Reader) (*SnapshotState, error) {
 		}
 		scores.EBC[bc.EdgeKey(g, es.e.U, es.e.V)] = es.x
 	}
-	return &SnapshotState{Graph: g, Applied: int(applied), Scores: scores, Sources: sample, Scale: scale, WALOffset: walOffset}, nil
+	return &SnapshotState{
+		Graph: g, Applied: int(applied), Scores: scores,
+		Sources: sample, Scale: scale, WALOffset: walOffset,
+		ShardIndex: shardIndex, ShardCount: shardCount,
+	}, nil
 }
 
 // RestoreEngine builds a running engine from a decoded snapshot: it reruns
@@ -421,14 +471,38 @@ func ReadSnapshot(r io.Reader) (*SnapshotState, error) {
 // A snapshot taken in sampled mode records its source sample and estimator
 // scale; those take precedence over cfg.Sources/cfg.Scale, because the
 // snapshotted scores are only coherent with the sample they were accumulated
-// over. Other configuration (workers, store backend) is free to differ from
-// the snapshotted engine's.
+// over. The same holds for the shard identity of a sharded snapshot: a
+// configured shard must match it exactly (the scores cover exactly that
+// stride of the source pool, so restoring into any other stride — or into a
+// non-sharded engine, or a non-sharded snapshot into a shard — would be
+// silently wrong by construction and is refused). An unconfigured cfg adopts
+// the snapshot's shard identity, which is how a replica bootstrapping from a
+// shard's snapshot ends up maintaining the right stride automatically. Other
+// configuration (workers, store backend) is free to differ from the
+// snapshotted engine's.
 func RestoreEngine(st *SnapshotState, cfg Config) (*Engine, error) {
+	if cfg.PartitionScores {
+		return nil, errors.New("engine: cannot restore into a partition-scores engine (snapshots hold the folded sum, not the per-worker partials)")
+	}
+	switch {
+	case st.ShardCount > 1 && cfg.ShardCount > 1:
+		if st.ShardCount != cfg.ShardCount || st.ShardIndex != cfg.ShardIndex {
+			return nil, fmt.Errorf("engine: snapshot covers shard %d/%d, configured as shard %d/%d (resharding requires a fresh initialisation)",
+				st.ShardIndex, st.ShardCount, cfg.ShardIndex, cfg.ShardCount)
+		}
+	case st.ShardCount > 1:
+		cfg.ShardIndex, cfg.ShardCount = st.ShardIndex, st.ShardCount
+	case cfg.ShardCount > 1:
+		return nil, fmt.Errorf("engine: cannot restore a non-sharded snapshot into shard %d/%d (its scores cover every source)",
+			cfg.ShardIndex, cfg.ShardCount)
+	}
 	if st.Sources != nil {
 		cfg.Sources = st.Sources
 		cfg.Scale = st.Scale
 	}
-	e, err := New(st.Graph, cfg)
+	// A sampled sharded snapshot stores the shard's stride of the sample;
+	// constructing from it must not stride a second time.
+	e, err := newEngine(st.Graph, cfg, st.Sources != nil && cfg.ShardCount > 1)
 	if err != nil {
 		return nil, err
 	}

@@ -262,3 +262,27 @@ func TestRunApproxHeadlineSampleSize(t *testing.T) {
 		t.Fatalf("ladder %v missing the headline k=37", res.Rows)
 	}
 }
+
+func TestRunShardQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment drivers skipped in short mode")
+	}
+	res, err := RunShard(quickConfig(t))
+	if err != nil {
+		t.Fatalf("RunShard: %v", err)
+	}
+	if len(res.Rows) != 8 { // {exact, sampled} x {1, 2, 3, 4} shards
+		t.Fatalf("got %d rows, want 8", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.VBCDiff != 0 || row.EBCDiff != 0 || row.ExtraEBC != 0 {
+			t.Fatalf("shards=%d sampled=%v: summed shard scores differ from the single process "+
+				"(vbc=%d ebc=%d extra=%d)", row.Shards, row.Sampled, row.VBCDiff, row.EBCDiff, row.ExtraEBC)
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "write-path sharding") {
+		t.Fatal("Render produced no shard table")
+	}
+}

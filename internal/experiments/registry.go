@@ -30,6 +30,7 @@ var registry = []runner{
 	{"fig9", "Girvan-Newman with incremental edge betweenness", func(c Config) (Renderer, error) { return RunFigure9(c) }},
 	{"batch", "replay throughput, per-update Apply vs ApplyBatch (MO and DO)", func(c Config) (Renderer, error) { return RunBatch(c) }},
 	{"approx", "sampled-source approximate mode: speedup vs VBC error at k = n, n/2, n/4, n/8", func(c Config) (Renderer, error) { return RunApprox(c) }},
+	{"shard", "write-path sharding: sum of N shard partials vs one process, bit for bit", func(c Config) (Renderer, error) { return RunShard(c) }},
 }
 
 // Names returns the available experiment identifiers in run order.

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"streambc/internal/bc"
+	"streambc/internal/engine"
+	"streambc/internal/gen"
+	"streambc/internal/graph"
+)
+
+// This file demonstrates the exactness of write-path sharding: the same mixed
+// addition/removal stream is replayed once per shard count N on N independent
+// shard engines (each owning source stride i of N), the N partial results are
+// summed key by key, and the sum is compared bit for bit against a
+// single-process N-worker engine in partition-scores mode — the reference
+// whose fold groups the per-source additions exactly like the shard sum does.
+// The paper's decomposition of betweenness as a sum over sources makes the
+// split exact — not approximate — and the stride construction makes it
+// bit-identical, which is the invariant bcrouter relies on.
+
+// ShardRow is one sharded replay compared against the single-process one.
+type ShardRow struct {
+	Shards   int           // shard engines run (1 = the single-process baseline)
+	Sampled  bool          // sampled-source approximate mode
+	Elapsed  time.Duration // slowest shard's replay wall-clock
+	Updates  int
+	VBCDiff  int     // vertices whose summed VBC bits differ from the baseline
+	EBCDiff  int     // edges whose summed EBC bits differ from the baseline
+	ExtraEBC int     // edge keys present in exactly one of the two results
+	Speedup  float64 // baseline elapsed / slowest shard elapsed
+}
+
+// ShardResult holds the baseline and the sharded replays.
+type ShardResult struct {
+	N, M    int
+	SampleK int
+	Rows    []ShardRow
+}
+
+// RunShard replays one stream through 1 process and through N ∈ {2, 3, 4}
+// shard engines, exact and sampled, and counts bitwise score differences
+// between the summed shard partials and a single-process N-worker
+// partition-scores engine (all-zero counts are the expected outcome).
+func RunShard(cfg Config) (*ShardResult, error) {
+	cfg = cfg.normalized()
+	n := 400
+	if cfg.Quick {
+		n = 120
+	}
+	g := gen.Connected(gen.HolmeKim(n, 5, 0.6, cfg.Seed))
+	n = g.N()
+	stream, err := mixedStream(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sampleK := cfg.SampleK
+	if sampleK < 1 {
+		sampleK = n / 4
+	}
+	if sampleK > n {
+		sampleK = n
+	}
+	res := &ShardResult{N: n, M: g.M(), SampleK: sampleK}
+	for _, sampled := range []bool{false, true} {
+		var sources []int
+		if sampled {
+			sources = bc.SampleSources(n, sampleK, cfg.Seed+7)
+		}
+		_, baseElapsed, err := runShardOne(g, stream, engine.Config{Workers: 1, Sources: sources})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, ShardRow{
+			Shards: 1, Sampled: sampled, Elapsed: baseElapsed, Updates: len(stream),
+		})
+		for _, shards := range []int{2, 3, 4} {
+			// The bitwise reference: one process, N workers, scores kept as
+			// per-worker partials and folded in worker order on read — the
+			// same grouping of additions the shard sum below produces.
+			ref, _, err := runShardOne(g, stream, engine.Config{
+				Workers: shards, Sources: sources, PartitionScores: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			merged := bc.NewResult(0)
+			slowest := time.Duration(0)
+			for i := 0; i < shards; i++ {
+				part, elapsed, err := runShardOne(g, stream, engine.Config{
+					Workers: 1, Sources: sources, ShardIndex: i, ShardCount: shards,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if elapsed > slowest {
+					slowest = elapsed
+				}
+				sumInto(merged, part)
+			}
+			row := ShardRow{Shards: shards, Sampled: sampled, Elapsed: slowest, Updates: len(stream)}
+			row.VBCDiff, row.EBCDiff, row.ExtraEBC = bitDiff(merged, ref)
+			if slowest > 0 {
+				row.Speedup = baseElapsed.Seconds() / slowest.Seconds()
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// runShardOne replays the stream through one engine built from cfg on a
+// private clone of g.
+func runShardOne(g *graph.Graph, stream []graph.Update, cfg engine.Config) (*bc.Result, time.Duration, error) {
+	eng, err := engine.New(g.Clone(), cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer eng.Close()
+	start := time.Now()
+	for i, upd := range stream {
+		if err := eng.Apply(upd); err != nil {
+			return nil, 0, fmt.Errorf("experiments: shard %d/%d update %d (%v): %w",
+				cfg.ShardIndex, cfg.ShardCount, i, upd, err)
+		}
+	}
+	elapsed := time.Since(start)
+	r := eng.Result()
+	out := bc.NewResult(len(r.VBC))
+	copy(out.VBC, r.VBC)
+	for e, x := range r.EBC {
+		out.EBC[e] = x
+	}
+	return out, elapsed, nil
+}
+
+// sumInto adds part's scores into acc, growing acc's VBC as needed.
+func sumInto(acc, part *bc.Result) {
+	for len(acc.VBC) < len(part.VBC) {
+		acc.VBC = append(acc.VBC, 0)
+	}
+	for v, x := range part.VBC {
+		acc.VBC[v] += x
+	}
+	for e, x := range part.EBC {
+		acc.EBC[e] += x
+	}
+}
+
+// bitDiff counts the keys where a and b hold different float64 bit patterns,
+// plus the edge keys present in only one of them.
+func bitDiff(a, b *bc.Result) (vbc, ebc, extra int) {
+	if len(a.VBC) != len(b.VBC) {
+		extra += abs(len(a.VBC) - len(b.VBC))
+	}
+	for v := 0; v < min(len(a.VBC), len(b.VBC)); v++ {
+		if math.Float64bits(a.VBC[v]) != math.Float64bits(b.VBC[v]) {
+			vbc++
+		}
+	}
+	for e, x := range a.EBC {
+		y, ok := b.EBC[e]
+		if !ok {
+			extra++
+			continue
+		}
+		if math.Float64bits(x) != math.Float64bits(y) {
+			ebc++
+		}
+	}
+	for e := range b.EBC {
+		if _, ok := a.EBC[e]; !ok {
+			extra++
+		}
+	}
+	return vbc, ebc, extra
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Render implements Renderer.
+func (r *ShardResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "write-path sharding exactness (n = %d vertices, m = %d edges, sample k = %d)\n\n",
+		r.N, r.M, r.SampleK)
+	fmt.Fprintf(w, "%-9s %-9s %-10s %-12s %-9s %-9s %-9s %s\n",
+		"mode", "shards", "replay", "updates/s", "speedup", "vbc≠", "ebc≠", "extra-edges")
+	for _, row := range r.Rows {
+		mode := "exact"
+		if row.Sampled {
+			mode = "sampled"
+		}
+		speedup, diffs := "-", "-"
+		if row.Shards > 1 {
+			speedup = fmt.Sprintf("%.2fx", row.Speedup)
+			diffs = ""
+		}
+		tput := 0.0
+		if row.Elapsed > 0 {
+			tput = float64(row.Updates) / row.Elapsed.Seconds()
+		}
+		if diffs == "-" {
+			fmt.Fprintf(w, "%-9s %-9d %-10s %-12.1f %-9s %-9s %-9s %s\n",
+				mode, row.Shards, row.Elapsed.Round(time.Microsecond), tput, speedup, "-", "-", "-")
+			continue
+		}
+		fmt.Fprintf(w, "%-9s %-9d %-10s %-12.1f %-9s %-9d %-9d %d\n",
+			mode, row.Shards, row.Elapsed.Round(time.Microsecond), tput, speedup,
+			row.VBCDiff, row.EBCDiff, row.ExtraEBC)
+	}
+	fmt.Fprintf(w, "\nvbc≠/ebc≠/extra-edges count bitwise differences between the sum of the N shard\n")
+	fmt.Fprintf(w, "partials and the single-process scores — every count must be zero; replay is the\n")
+	fmt.Fprintf(w, "slowest shard's wall-clock (the shards of a cluster run concurrently).\n")
+	fmt.Fprintln(w)
+}

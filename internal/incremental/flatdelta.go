@@ -65,6 +65,26 @@ func (d *FlatDelta) ApplyTo(res *bc.Result) {
 	}
 }
 
+// Each visits the delta's entries in first-touch order — the order ApplyTo
+// folds them — calling vf for every touched vertex and then ef for every
+// touched edge. The shard serving layer uses it to serialise an update's
+// per-worker deltas onto the wire so the merge router can fold them in the
+// same order, preserving bit-identity across the process boundary.
+func (d *FlatDelta) Each(vf func(v int, x float64), ef func(e graph.Edge, x float64)) {
+	for _, v := range d.vbcList {
+		vf(int(v), d.vbcVals[v])
+	}
+	for _, i := range d.ebc.order {
+		s := &d.ebc.slots[i]
+		ef(unpackEdge(s.key), s.val)
+	}
+}
+
+// Len returns the number of touched vertices and edges.
+func (d *FlatDelta) Len() (nv, ne int) {
+	return len(d.vbcList), len(d.ebc.order)
+}
+
 // Reset clears the delta for reuse, keeping its storage.
 func (d *FlatDelta) Reset() {
 	d.version++

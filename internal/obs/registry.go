@@ -14,6 +14,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"regexp"
 	"sort"
 	"strings"
@@ -205,6 +206,72 @@ func (v *CounterVec) With(values ...string) *Counter {
 	v.fam.addSeries(renderLabels(pairs), counterRender(c))
 	v.by[k] = c
 	return c
+}
+
+// Gauge is a settable float value (atomic bit store, lock-free on both the
+// write and the scrape path). Unlike GaugeFunc it owns its value, for state
+// no subsystem maintains on its own — a router's view of a shard's health,
+// the sequence a fanout last acknowledged.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(x float64) { g.bits.Store(math.Float64bits(x)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func gaugeRender(g *Gauge) func(w *bufio.Writer, name, labels string) {
+	return func(w *bufio.Writer, name, labels string) {
+		fmt.Fprintf(w, "%s%s %g\n", name, labels, g.Value())
+	}
+}
+
+// Gauge registers an unlabeled settable gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.familyFor(name, help, "gauge")
+	g := &Gauge{}
+	f.addSeries("", gaugeRender(g))
+	return g
+}
+
+// GaugeVec is a settable gauge family with a fixed label-key schema; series
+// are created on first use via With.
+type GaugeVec struct {
+	fam  *family
+	keys []string
+
+	mu sync.Mutex
+	by map[string]*Gauge
+}
+
+// GaugeVec registers a labeled settable gauge family.
+func (r *Registry) GaugeVec(name, help string, keys ...string) *GaugeVec {
+	if len(keys) == 0 {
+		panic("obs: GaugeVec needs at least one label key")
+	}
+	return &GaugeVec{fam: r.familyFor(name, help, "gauge"), keys: keys, by: make(map[string]*Gauge)}
+}
+
+// With returns the gauge for the given label values (one per key, in key
+// order), creating the series on first use.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if len(values) != len(v.keys) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", v.fam.name, len(v.keys), len(values)))
+	}
+	k := strings.Join(values, "\xff")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g, ok := v.by[k]; ok {
+		return g
+	}
+	g := &Gauge{}
+	pairs := make([]string, 0, 2*len(v.keys))
+	for i, key := range v.keys {
+		pairs = append(pairs, key, values[i])
+	}
+	v.fam.addSeries(renderLabels(pairs), gaugeRender(g))
+	v.by[k] = g
+	return g
 }
 
 // CounterFunc registers a counter whose value is read at scrape time from fn

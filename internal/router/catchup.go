@@ -1,0 +1,163 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"streambc/internal/bc"
+	"streambc/internal/obs"
+	"streambc/internal/replication"
+	"streambc/internal/server"
+)
+
+// catchupBatch is how many records one equalisation pull asks a donor for.
+const catchupBatch = 256
+
+// bootstrap builds the router's merged state from the live cluster:
+//
+//  1. Every shard's status is fetched and verified against its configured
+//     position — shard i must answer ShardIndex i of ShardCount len(Shards),
+//     and directedness/sampling must agree across the cluster.
+//  2. Shards whose applied sequence trails the cluster maximum are equalised:
+//     the missing records are read from a caught-up peer's write-ahead log
+//     and applied through the normal shard-apply path (their delta responses
+//     are discarded — the baseline fold below starts from the equalised
+//     state). Write-all fanout keeps the spread to at most the one record
+//     that was in flight when the previous router stopped.
+//  3. Each shard's snapshot state is fetched and the per-shard scores are
+//     summed, shard-by-shard in index order, into the merged baseline.
+//
+// Exactness caveat: the per-key fold order of step 3 is "shard 0 first" over
+// each shard's TOTAL, not the update-major interleaving the running merge
+// uses, so a re-baselined router matches the single-process bits exactly at
+// sequence 0 (fresh shards: totals and per-update deltas coincide) and
+// matches to ULP-level rounding otherwise. The differential tests therefore
+// pin bit-identity for the running accumulator and for the snapshot-sum
+// against a partition-scores engine, which reproduces this exact fold.
+func (r *Router) bootstrap(ctx context.Context) error {
+	shards := r.cfg.Shards
+	n := len(shards)
+	statuses := make([]server.ShardStatus, n)
+	for i, sc := range shards {
+		st, err := sc.Status(ctx)
+		if err != nil {
+			return fmt.Errorf("router: shard %d (%s) status: %w", i, sc.Name(), err)
+		}
+		statuses[i] = st
+	}
+	for i, st := range statuses {
+		if st.ShardCount != n || st.ShardIndex != i {
+			return fmt.Errorf("router: shard %d (%s) is configured as shard %d of %d, want %d of %d — "+
+				"the -shards list must name every shard once, in shard-index order",
+				i, shards[i].Name(), st.ShardIndex, st.ShardCount, i, n)
+		}
+		if st.Directed != statuses[0].Directed {
+			return fmt.Errorf("router: shard %d is directed=%v but shard 0 is directed=%v",
+				i, st.Directed, statuses[0].Directed)
+		}
+		if st.Sampled != statuses[0].Sampled {
+			return fmt.Errorf("router: shard %d is sampled=%v but shard 0 is sampled=%v",
+				i, st.Sampled, statuses[0].Sampled)
+		}
+		if st.Workers != 1 {
+			// Legal, but cross-process bit-identity with a single engine is
+			// pinned at one worker per shard (the shard's internal fold of
+			// multiple worker deltas regroups the additions).
+			r.log.Warn("shard runs more than one worker; merged scores are exact per shard but "+
+				"not bit-comparable to a single-process engine",
+				obs.KeyComponent, "router", "shard", i, "workers", st.Workers)
+		}
+	}
+	if err := r.equalize(ctx, statuses); err != nil {
+		return err
+	}
+	return r.baseline(ctx, statuses)
+}
+
+// equalize replays missing records from a caught-up peer's write-ahead log
+// into every lagging shard, in sequence order, until the whole cluster
+// stands at the same applied sequence.
+func (r *Router) equalize(ctx context.Context, statuses []server.ShardStatus) error {
+	target, donor := uint64(0), 0
+	for i, st := range statuses {
+		if st.AppliedSeq > target {
+			target, donor = st.AppliedSeq, i
+		}
+	}
+	for i := range statuses {
+		for statuses[i].AppliedSeq < target {
+			from := statuses[i].AppliedSeq
+			recs, _, err := r.cfg.Shards[donor].WALRecords(ctx, from, catchupBatch)
+			if err != nil {
+				if errors.Is(err, replication.ErrTruncated) {
+					return fmt.Errorf("router: shard %d lags at sequence %d but the donor shard %d has "+
+						"truncated its log below that: restore shard %d from a fresh snapshot of its own "+
+						"directories before routing resumes: %w", i, from, donor, i, err)
+				}
+				return fmt.Errorf("router: reading catch-up records %d.. from shard %d: %w", from, donor, err)
+			}
+			if len(recs) == 0 {
+				return fmt.Errorf("router: donor shard %d returned no records at sequence %d (log end behind "+
+					"its applied sequence?)", donor, from)
+			}
+			for _, rec := range recs {
+				if rec.Seq >= target {
+					break
+				}
+				if _, err := r.cfg.Shards[i].Apply(ctx, rec); err != nil {
+					return fmt.Errorf("router: equalising shard %d at record %d: %w", i, rec.Seq, err)
+				}
+				statuses[i].AppliedSeq = rec.Seq + 1
+			}
+			r.log.Info("equalised shard",
+				obs.KeyComponent, "router", "shard", i, "through", statuses[i].AppliedSeq, "target", target)
+		}
+	}
+	return nil
+}
+
+// baseline folds the equalised shards' snapshots into the merged starting
+// state: the graph is taken from shard 0 (all shards hold the identical
+// graph) and every score is the sum of the shards' partials, added in
+// shard-index order.
+func (r *Router) baseline(ctx context.Context, statuses []server.ShardStatus) error {
+	shards := r.cfg.Shards
+	var g0n, g0m int
+	for i, sc := range shards {
+		st, err := sc.State(ctx)
+		if err != nil {
+			return fmt.Errorf("router: shard %d (%s) state: %w", i, sc.Name(), err)
+		}
+		if st.WALOffset != statuses[0].AppliedSeq {
+			return fmt.Errorf("router: shard %d snapshot covers sequence %d, cluster equalised at %d — "+
+				"writes reached a shard outside the router?", i, st.WALOffset, statuses[0].AppliedSeq)
+		}
+		if i == 0 {
+			r.g = st.Graph
+			r.directed = st.Graph.Directed()
+			r.res = bc.NewResult(st.Graph.N())
+			r.sampled = statuses[0].Sampled
+			r.scale = statuses[0].Scale
+			r.seq = st.WALOffset
+			r.applied = int64(st.Applied)
+			g0n, g0m = st.Graph.N(), st.Graph.M()
+		} else if st.Graph.N() != g0n || st.Graph.M() != g0m {
+			return fmt.Errorf("router: shard %d graph (%d vertices, %d edges) differs from shard 0 "+
+				"(%d, %d) at the same sequence — the cluster has forked", i, st.Graph.N(), st.Graph.M(), g0n, g0m)
+		}
+		for v, x := range st.Scores.VBC {
+			r.res.VBC[v] += x
+		}
+		for e, x := range st.Scores.EBC {
+			r.res.EBC[e] += x
+		}
+		if r.sampled {
+			r.sampleK += len(st.Sources)
+		}
+	}
+	r.log.Info("bootstrapped from shard snapshots",
+		obs.KeyComponent, "router",
+		"shards", len(shards), "sequence", r.seq, "vertices", g0n, "edges", g0m)
+	return nil
+}

@@ -1,0 +1,556 @@
+package router
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"streambc/internal/bc"
+	"streambc/internal/engine"
+	"streambc/internal/gen"
+	"streambc/internal/graph"
+	"streambc/internal/server"
+)
+
+// The differential harness: the same stream is driven through a sharded
+// cluster (N one-worker shard servers behind a Router) and through
+// single-process reference engines, and the scores are compared bit for bit
+// at every chunk boundary. Two contracts are pinned:
+//
+//   - running merge: the router's merged accumulator must equal a standard
+//     N-worker engine (whose reduce folds per-update worker deltas into one
+//     running result, update-major);
+//   - snapshot sum: the key-by-key sum of the N shards' snapshots must equal
+//     an N-worker engine in partition-scores mode (whose read fold sums
+//     per-worker totals, shard-major).
+//
+// Both must hold for exact and sampled mode, for N in {2, 3, 4}, and across a
+// shard crash/restart mid-stream.
+
+func testGraph(t *testing.T, n, m int, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for g.M() < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		if err := g.AddEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// testStream builds a mixed addition/removal stream that also grows the graph
+// beyond its initial vertex count.
+func testStream(t *testing.T, g *graph.Graph, count int, seed int64) []graph.Update {
+	t.Helper()
+	ups, err := gen.MixedStream(g, count, 0.35, seed)
+	if err != nil {
+		t.Fatalf("MixedStream: %v", err)
+	}
+	n := g.N()
+	ups = append(ups,
+		graph.Update{U: 0, V: n},
+		graph.Update{U: n, V: n + 1},
+		graph.Update{U: 2, V: n + 2},
+		graph.Update{U: n + 1, V: 3},
+	)
+	return ups
+}
+
+// shardHandle is one shard of an in-process cluster, with everything needed
+// to crash and recover it.
+type shardHandle struct {
+	srv     *server.Server
+	eng     *engine.Engine
+	wal     *server.WAL
+	walDir  string
+	snapDir string
+}
+
+// swapShard is a ShardConn whose target can be replaced at runtime — the
+// restart tests point it at the recovered server while the router retries.
+type swapShard struct {
+	cur atomic.Pointer[LocalShard]
+}
+
+func (s *swapShard) Name() string { return s.cur.Load().Name() }
+func (s *swapShard) Apply(ctx context.Context, rec server.WALRecord) (*server.ShardResponse, error) {
+	return s.cur.Load().Apply(ctx, rec)
+}
+func (s *swapShard) Status(ctx context.Context) (server.ShardStatus, error) {
+	return s.cur.Load().Status(ctx)
+}
+func (s *swapShard) State(ctx context.Context) (*engine.SnapshotState, error) {
+	return s.cur.Load().State(ctx)
+}
+func (s *swapShard) WALRecords(ctx context.Context, from uint64, max int) ([]server.WALRecord, uint64, error) {
+	return s.cur.Load().WALRecords(ctx, from, max)
+}
+func (s *swapShard) Snapshot(ctx context.Context) (string, error) {
+	return s.cur.Load().Snapshot(ctx)
+}
+
+// startShard builds one shard server: a one-worker engine owning stride
+// idx/cnt (over the global sample when sources is non-nil) with its own WAL
+// and snapshot directory.
+func startShard(t *testing.T, g *graph.Graph, idx, cnt int, sources []int) *shardHandle {
+	t.Helper()
+	snapDir := t.TempDir()
+	walDir := filepath.Join(snapDir, "wal")
+	eng, err := engine.New(g.Clone(), engine.Config{
+		Workers: 1, ShardIndex: idx, ShardCount: cnt, Sources: sources,
+	})
+	if err != nil {
+		t.Fatalf("shard %d/%d engine: %v", idx, cnt, err)
+	}
+	wal, err := server.OpenWAL(server.WALConfig{Dir: walDir}, 0)
+	if err != nil {
+		t.Fatalf("shard %d/%d WAL: %v", idx, cnt, err)
+	}
+	srv := server.New(eng, server.Config{WAL: wal, SnapshotDir: snapDir})
+	srv.Start()
+	h := &shardHandle{srv: srv, eng: eng, wal: wal, walDir: walDir, snapDir: snapDir}
+	t.Cleanup(func() {
+		h.srv.Close()
+		h.eng.Close()
+	})
+	return h
+}
+
+// crash abandons the shard without a clean server shutdown: the WAL handle is
+// closed (everything appended is already durable) and the old server is left
+// to fail requests, exactly like a killed process behind a dead socket.
+func (h *shardHandle) crash() {
+	h.wal.Close()
+}
+
+// recover rebuilds the shard from its directories: fresh engine, WAL replay,
+// rebuilt last-response cache — what a restarted bcserved -shard does.
+func (h *shardHandle) recover(t *testing.T, g *graph.Graph, idx, cnt int, sources []int) *shardHandle {
+	t.Helper()
+	eng, err := engine.New(g.Clone(), engine.Config{
+		Workers: 1, ShardIndex: idx, ShardCount: cnt, Sources: sources,
+	})
+	if err != nil {
+		t.Fatalf("recovered shard %d/%d engine: %v", idx, cnt, err)
+	}
+	wal, err := server.OpenWAL(server.WALConfig{Dir: h.walDir}, 0)
+	if err != nil {
+		t.Fatalf("recovered shard %d/%d WAL: %v", idx, cnt, err)
+	}
+	_, last, err := server.RecoverShardState(wal, eng, 0, h.snapDir)
+	if err != nil {
+		t.Fatalf("RecoverShardState: %v", err)
+	}
+	srv := server.New(eng, server.Config{WAL: wal, SnapshotDir: h.snapDir, ShardLast: last})
+	srv.Start()
+	nh := &shardHandle{srv: srv, eng: eng, wal: wal, walDir: h.walDir, snapDir: h.snapDir}
+	t.Cleanup(func() {
+		nh.srv.Close()
+		nh.eng.Close()
+	})
+	return nh
+}
+
+// cluster bundles N shards with a router over swappable connections.
+type cluster struct {
+	shards []*shardHandle
+	conns  []*swapShard
+	router *Router
+}
+
+func startCluster(t *testing.T, g *graph.Graph, cnt int, sources []int) *cluster {
+	t.Helper()
+	c := &cluster{}
+	conns := make([]ShardConn, cnt)
+	for i := 0; i < cnt; i++ {
+		h := startShard(t, g, i, cnt, sources)
+		sw := &swapShard{}
+		sw.cur.Store(NewLocalShard("shard"+string(rune('0'+i)), h.srv))
+		c.shards = append(c.shards, h)
+		c.conns = append(c.conns, sw)
+		conns[i] = sw
+	}
+	rt, err := New(context.Background(), Config{
+		Shards:        conns,
+		RetryInterval: 5 * time.Millisecond,
+		ApplyTimeout:  5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("router.New: %v", err)
+	}
+	rt.Start()
+	t.Cleanup(func() { rt.Close() })
+	c.router = rt
+	return c
+}
+
+func (c *cluster) apply(t *testing.T, upds []graph.Update) {
+	t.Helper()
+	b, err := c.router.Enqueue(upds)
+	if err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := b.Wait(ctx); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if errs := b.Errs(); len(errs) > 0 {
+		t.Fatalf("batch errors: %v", errs)
+	}
+}
+
+// sameBits fails unless a and b are bitwise-identical score sets.
+func sameBits(t *testing.T, context string, aVBC []float64, aEBC map[graph.Edge]float64, b *bc.Result) {
+	t.Helper()
+	if len(aVBC) != len(b.VBC) {
+		t.Fatalf("%s: VBC length %d vs %d", context, len(aVBC), len(b.VBC))
+	}
+	for v := range aVBC {
+		if math.Float64bits(aVBC[v]) != math.Float64bits(b.VBC[v]) {
+			t.Fatalf("%s: VBC[%d] = %x vs %x (%g vs %g)", context, v,
+				math.Float64bits(aVBC[v]), math.Float64bits(b.VBC[v]), aVBC[v], b.VBC[v])
+		}
+	}
+	if len(aEBC) != len(b.EBC) {
+		t.Fatalf("%s: EBC size %d vs %d", context, len(aEBC), len(b.EBC))
+	}
+	for e, x := range aEBC {
+		y, ok := b.EBC[e]
+		if !ok {
+			t.Fatalf("%s: EBC key %v missing", context, e)
+		}
+		if math.Float64bits(x) != math.Float64bits(y) {
+			t.Fatalf("%s: EBC[%v] = %x vs %x", context, e, math.Float64bits(x), math.Float64bits(y))
+		}
+	}
+}
+
+// mergedScores reads the router's current merged view.
+func mergedScores(r *Router) *bc.Result { return r.currentView().res }
+
+// shardSum folds the cluster's shard snapshots key by key in shard order —
+// the same fold the router's bootstrap baseline performs.
+func shardSum(t *testing.T, c *cluster) *bc.Result {
+	t.Helper()
+	var out *bc.Result
+	for i, h := range c.shards {
+		st, err := h.srv.ShardState()
+		if err != nil {
+			t.Fatalf("shard %d state: %v", i, err)
+		}
+		if out == nil {
+			out = bc.NewResult(st.Graph.N())
+		}
+		for v, x := range st.Scores.VBC {
+			out.VBC[v] += x
+		}
+		for e, x := range st.Scores.EBC {
+			out.EBC[e] += x
+		}
+	}
+	return out
+}
+
+// chunks splits ups into runs of size n (the snapshot points of the
+// differential comparison).
+func chunks(ups []graph.Update, n int) [][]graph.Update {
+	var out [][]graph.Update
+	for off := 0; off < len(ups); off += n {
+		out = append(out, ups[off:min(off+n, len(ups))])
+	}
+	return out
+}
+
+// TestDifferentialMergedBitIdentical is satellite 1: the same stream through a
+// single-process engine and through 2-, 3- and 4-shard clusters, exact and
+// sampled, merged VBC/EBC bit-identical at every chunk boundary — both the
+// router's running merge and the sum of the shard snapshots.
+func TestDifferentialMergedBitIdentical(t *testing.T) {
+	base := testGraph(t, 28, 70, 1)
+	stream := testStream(t, base, 24, 2)
+	sample := bc.SampleSources(base.N(), 10, 3)
+	for _, tc := range []struct {
+		name    string
+		sources []int
+	}{
+		{"exact", nil},
+		{"sampled", sample},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, cnt := range []int{2, 3, 4} {
+				c := startCluster(t, base, cnt, tc.sources)
+
+				// Reference A: a standard cnt-worker engine (running merge).
+				refRun, err := engine.New(base.Clone(), engine.Config{Workers: cnt, Sources: tc.sources})
+				if err != nil {
+					t.Fatalf("reference engine: %v", err)
+				}
+				defer refRun.Close()
+				// Reference B: partition-scores engine (snapshot sum).
+				refPart, err := engine.New(base.Clone(), engine.Config{
+					Workers: cnt, Sources: tc.sources, PartitionScores: true,
+				})
+				if err != nil {
+					t.Fatalf("partition engine: %v", err)
+				}
+				defer refPart.Close()
+
+				for ci, chunk := range chunks(stream, 7) {
+					c.apply(t, chunk)
+					if _, err := refRun.ApplyBatch(chunk); err != nil {
+						t.Fatalf("chunk %d: reference ApplyBatch: %v", ci, err)
+					}
+					if _, err := refPart.ApplyBatch(chunk); err != nil {
+						t.Fatalf("chunk %d: partition ApplyBatch: %v", ci, err)
+					}
+					got := mergedScores(c.router)
+					sameBits(t, tc.name+" running merge", refRun.VBC(), refRun.EBC(), got)
+					sum := shardSum(t, c)
+					sameBits(t, tc.name+" snapshot sum", refPart.VBC(), refPart.EBC(), sum)
+				}
+				if v := c.router.currentView(); v.seq == 0 || v.applied == 0 {
+					t.Fatalf("view never advanced: %+v", v)
+				}
+				c.router.Close()
+			}
+		})
+	}
+}
+
+// TestDifferentialShardRestartMidStream crashes one shard mid-stream while
+// the router keeps retrying the in-flight record; the shard recovers by WAL
+// replay, the retry is answered from the rebuilt response cache, and both
+// bitwise contracts still hold for the rest of the stream.
+func TestDifferentialShardRestartMidStream(t *testing.T) {
+	base := testGraph(t, 24, 60, 5)
+	stream := testStream(t, base, 20, 6)
+	parts := chunks(stream, 6)
+	for _, tc := range []struct {
+		name    string
+		sources []int
+	}{
+		{"exact", nil},
+		{"sampled", bc.SampleSources(base.N(), 9, 7)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const cnt = 3
+			c := startCluster(t, base, cnt, tc.sources)
+			refRun, err := engine.New(base.Clone(), engine.Config{Workers: cnt, Sources: tc.sources})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer refRun.Close()
+			refPart, err := engine.New(base.Clone(), engine.Config{
+				Workers: cnt, Sources: tc.sources, PartitionScores: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer refPart.Close()
+
+			applyRef := func(chunk []graph.Update) {
+				t.Helper()
+				if _, err := refRun.ApplyBatch(chunk); err != nil {
+					t.Fatalf("reference ApplyBatch: %v", err)
+				}
+				if _, err := refPart.ApplyBatch(chunk); err != nil {
+					t.Fatalf("partition ApplyBatch: %v", err)
+				}
+			}
+
+			c.apply(t, parts[0])
+			applyRef(parts[0])
+
+			// Crash shard 1, then feed the next chunk while it is down: the
+			// fanout must stall on retries, not fail or skip the shard.
+			c.shards[1].crash()
+			b, err := c.router.Enqueue(parts[1])
+			if err != nil {
+				t.Fatalf("Enqueue during outage: %v", err)
+			}
+			waitCtx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+			err = b.Wait(waitCtx)
+			cancel()
+			if err == nil {
+				t.Fatal("drain completed while a shard was down")
+			}
+
+			// Recover the shard from its own directories and swap it in; the
+			// router's next retry lands on the recovered server.
+			c.shards[1] = c.shards[1].recover(t, base, 1, cnt, tc.sources)
+			c.conns[1].cur.Store(NewLocalShard("shard1*", c.shards[1].srv))
+			waitCtx, cancel = context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if err := b.Wait(waitCtx); err != nil {
+				t.Fatalf("drain after recovery: %v", err)
+			}
+			if errs := b.Errs(); len(errs) > 0 {
+				t.Fatalf("batch errors after recovery: %v", errs)
+			}
+			applyRef(parts[1])
+			sameBits(t, "running merge after restart", refRun.VBC(), refRun.EBC(), mergedScores(c.router))
+			sameBits(t, "snapshot sum after restart", refPart.VBC(), refPart.EBC(), shardSum(t, c))
+
+			// The rest of the stream stays bit-identical.
+			for _, chunk := range parts[2:] {
+				c.apply(t, chunk)
+				applyRef(chunk)
+			}
+			sameBits(t, "running merge at end", refRun.VBC(), refRun.EBC(), mergedScores(c.router))
+			sameBits(t, "snapshot sum at end", refPart.VBC(), refPart.EBC(), shardSum(t, c))
+
+			if c.router.Halted() != nil {
+				t.Fatalf("router halted: %v", c.router.Halted())
+			}
+			c.router.Close()
+		})
+	}
+}
+
+// TestRouterRebootstrapEqualizesLaggard drives two shards apart (one missed
+// the tail of the stream), then bootstraps a fresh router over them: the
+// laggard must be equalised from the donor's WAL and the new baseline must
+// equal the partition-scores reference bit for bit.
+func TestRouterRebootstrapEqualizesLaggard(t *testing.T) {
+	base := testGraph(t, 20, 50, 9)
+	const cnt = 2
+	h0 := startShard(t, base, 0, cnt, nil)
+	h1 := startShard(t, base, 1, cnt, nil)
+
+	refPart, err := engine.New(base.Clone(), engine.Config{Workers: cnt, PartitionScores: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer refPart.Close()
+
+	recs := []server.WALRecord{
+		{Seq: 0, NeedVertices: 0, Updates: []graph.Update{{U: 0, V: 21}, {U: 21, V: 5}}},
+		{Seq: 1, NeedVertices: 0, Updates: []graph.Update{{U: 1, V: 20}, {U: 3, V: 22}}},
+	}
+	for _, rec := range recs {
+		if _, err := h0.srv.ApplyShardRecord(rec); err != nil {
+			t.Fatalf("shard 0 apply %d: %v", rec.Seq, err)
+		}
+		for _, u := range rec.Updates {
+			if err := refPart.Apply(u); err != nil {
+				t.Fatalf("reference apply: %v", err)
+			}
+		}
+	}
+	// Shard 1 misses the second record entirely.
+	if _, err := h1.srv.ApplyShardRecord(recs[0]); err != nil {
+		t.Fatalf("shard 1 apply 0: %v", err)
+	}
+
+	rt, err := New(context.Background(), Config{Shards: []ShardConn{
+		NewLocalShard("s0", h0.srv), NewLocalShard("s1", h1.srv),
+	}})
+	if err != nil {
+		t.Fatalf("router.New over a lagging cluster: %v", err)
+	}
+	defer rt.Close()
+	if st := h1.srv.ShardStatus(); st.AppliedSeq != 2 {
+		t.Fatalf("laggard equalised to %d, want 2", st.AppliedSeq)
+	}
+	v := rt.currentView()
+	if v.seq != 2 {
+		t.Fatalf("router baseline at sequence %d, want 2", v.seq)
+	}
+	sameBits(t, "re-bootstrap baseline", refPart.VBC(), refPart.EBC(), v.res)
+}
+
+// TestRouterBootstrapRejectsMisconfiguredCluster covers the identity checks:
+// shards listed out of order, or with the wrong count, must be refused before
+// anything is merged.
+func TestRouterBootstrapRejectsMisconfiguredCluster(t *testing.T) {
+	base := testGraph(t, 12, 26, 11)
+	h0 := startShard(t, base, 0, 2, nil)
+	h1 := startShard(t, base, 1, 2, nil)
+
+	// Swapped order: shard 1 answers at position 0.
+	if _, err := New(context.Background(), Config{Shards: []ShardConn{
+		NewLocalShard("s1", h1.srv), NewLocalShard("s0", h0.srv),
+	}}); err == nil {
+		t.Fatal("swapped shard order accepted")
+	}
+
+	// Wrong cluster size: two shards of a 2-cluster listed as a 3-cluster
+	// cannot exist, and a single shard of 2 cannot stand alone.
+	if _, err := New(context.Background(), Config{Shards: []ShardConn{
+		NewLocalShard("s0", h0.srv),
+	}}); err == nil {
+		t.Fatal("half a cluster accepted")
+	}
+}
+
+// faultShard wraps a ShardConn and corrupts the response sequence once,
+// simulating a forked or misbehaving shard.
+type faultShard struct {
+	ShardConn
+	corrupt atomic.Bool
+}
+
+func (f *faultShard) Apply(ctx context.Context, rec server.WALRecord) (*server.ShardResponse, error) {
+	resp, err := f.ShardConn.Apply(ctx, rec)
+	if err == nil && f.corrupt.Load() {
+		resp.Seq++
+	}
+	return resp, err
+}
+
+// TestRouterHaltsOnProtocolDisagreement: a shard answering the wrong sequence
+// halts the write path (ingest fails with ErrHalted) while reads keep serving
+// the last merged state.
+func TestRouterHaltsOnProtocolDisagreement(t *testing.T) {
+	base := testGraph(t, 14, 30, 13)
+	const cnt = 2
+	h0 := startShard(t, base, 0, cnt, nil)
+	h1 := startShard(t, base, 1, cnt, nil)
+	f := &faultShard{ShardConn: NewLocalShard("s1", h1.srv)}
+	rt, err := New(context.Background(), Config{
+		Shards:        []ShardConn{NewLocalShard("s0", h0.srv), f},
+		RetryInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	defer rt.Close()
+
+	c := &cluster{router: rt}
+	c.apply(t, []graph.Update{{U: 0, V: 15}})
+	before := mergedScores(rt)
+
+	f.corrupt.Store(true)
+	b, err := rt.Enqueue([]graph.Update{{U: 1, V: 15}})
+	if err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := b.Wait(ctx); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	errs := b.Errs()
+	if len(errs) != 1 {
+		t.Fatalf("batch errors = %v, want exactly the halt", errs)
+	}
+	if rt.Halted() == nil {
+		t.Fatal("router did not halt on a sequence disagreement")
+	}
+	if _, err := rt.Enqueue([]graph.Update{{U: 2, V: 15}}); err == nil {
+		t.Fatal("ingest accepted after the halt")
+	}
+	// Reads still serve the pre-halt merged state.
+	sameBits(t, "post-halt reads", before.VBC, before.EBC, mergedScores(rt))
+}

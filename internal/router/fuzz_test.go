@@ -1,0 +1,185 @@
+package router
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"streambc/internal/bc"
+	"streambc/internal/graph"
+	"streambc/internal/server"
+)
+
+// fuzzVertices bounds the vertex space of the fuzzed deltas so overlapping
+// keys (the interesting case for the fold) are common.
+const fuzzVertices = 24
+
+// buildFuzzResponses deterministically derives a cluster's worth of per-shard
+// delta responses from the fuzz input: `shards` responses, each carrying the
+// same number of updates, with vertex/edge keys drawn from a small space (so
+// shards overlap constantly) and values drawn from the raw bytes (so
+// negatives, zero-sum cancellations, denormals, infinities and NaNs all
+// occur). Returns nil when the input is too short to be interesting.
+func buildFuzzResponses(data []byte, shards, updates int) []*server.ShardResponse {
+	if shards < 1 || shards > 6 || updates < 1 || updates > 8 {
+		return nil
+	}
+	next := func() uint64 {
+		if len(data) < 8 {
+			return 0
+		}
+		x := binary.LittleEndian.Uint64(data)
+		data = data[8:]
+		return x
+	}
+	var prev float64
+	value := func(sel uint64) float64 {
+		switch sel % 4 {
+		case 0:
+			return math.Float64frombits(next()) // arbitrary bits: NaN, Inf, denormal
+		case 1:
+			return float64(int64(next()%4096) - 2048) // small integers
+		case 2:
+			return -prev // exact cancellation of the previous term
+		default:
+			return float64(next()%1024) / 64 // small dyadic rationals
+		}
+	}
+	resps := make([]*server.ShardResponse, shards)
+	for i := range resps {
+		resp := &server.ShardResponse{ShardIndex: i, ShardCount: shards}
+		for j := 0; j < updates; j++ {
+			var u server.ShardUpdateResult
+			nv := int(next() % 5)
+			for k := 0; k < nv; k++ {
+				sel := next()
+				x := value(sel >> 8)
+				u.VBC = append(u.VBC, server.ShardDeltaVertex{V: int(sel % fuzzVertices), X: x})
+				prev = x
+			}
+			ne := int(next() % 5)
+			for k := 0; k < ne; k++ {
+				sel := next()
+				x := value(sel >> 16)
+				e := graph.Edge{U: int(sel % fuzzVertices), V: int((sel >> 8) % fuzzVertices)}
+				u.EBC = append(u.EBC, server.ShardDeltaEdge{E: e, X: x})
+				prev = x
+			}
+			resp.Updates = append(resp.Updates, u)
+		}
+		resps[i] = resp
+	}
+	return resps
+}
+
+// referenceMerge is the trivially-correct model of the router's fold: plain
+// maps, iterated shard by shard in index order, term by term — the same
+// per-key addition sequence, so the comparison below can demand bit equality,
+// not tolerances.
+func referenceMerge(resps []*server.ShardResponse, updates int) (map[int]float64, map[graph.Edge]float64) {
+	vbc := map[int]float64{}
+	ebc := map[graph.Edge]float64{}
+	for j := 0; j < updates; j++ {
+		for _, resp := range resps {
+			u := resp.Updates[j]
+			for _, t := range u.VBC {
+				vbc[t.V] += t.X
+			}
+			for _, t := range u.EBC {
+				ebc[t.E] += t.X
+			}
+		}
+	}
+	return vbc, ebc
+}
+
+// FuzzMergeDelta feeds random per-shard delta sets — overlapping keys,
+// zero-sum cancellations, NaNs, infinities — through the router's actual
+// fold (foldUpdate, the function merge uses record by record) and through the
+// map-reference merge, and requires bit-identical accumulators. It also
+// round-trips every response through the wire codec first, so an
+// encode/decode bug that perturbs even one bit of one term fails the fuzz.
+func FuzzMergeDelta(f *testing.F) {
+	f.Add([]byte("seed"), uint8(2), uint8(1))
+	f.Add(bytes64(0xdeadbeef, 48), uint8(3), uint8(4))
+	f.Add(bytes64(0x7ff0000000000001, 64), uint8(4), uint8(2)) // NaN-patterned
+	f.Fuzz(func(t *testing.T, data []byte, shardsRaw, updatesRaw uint8) {
+		shards := int(shardsRaw%6) + 1
+		updates := int(updatesRaw%8) + 1
+		resps := buildFuzzResponses(data, shards, updates)
+		if resps == nil {
+			t.Skip()
+		}
+		// Wire round trip: the router folds what the codec delivered.
+		for i, resp := range resps {
+			decoded, err := server.DecodeShardResponse(server.EncodeShardResponse(nil, *resp))
+			if err != nil {
+				t.Fatalf("round-tripping shard %d response: %v", i, err)
+			}
+			resps[i] = decoded
+		}
+		res := bc.NewResult(fuzzVertices)
+		for j := 0; j < updates; j++ {
+			foldUpdate(res, resps, j)
+		}
+		wantVBC, wantEBC := referenceMerge(resps, updates)
+		for v, want := range wantVBC {
+			if math.Float64bits(res.VBC[v]) != math.Float64bits(want) {
+				t.Fatalf("VBC[%d] = %x, reference %x", v, math.Float64bits(res.VBC[v]), math.Float64bits(want))
+			}
+		}
+		for v, got := range res.VBC {
+			if got != 0 && math.Float64bits(got) != math.Float64bits(wantVBC[v]) {
+				t.Fatalf("VBC[%d] = %g, reference has %g", v, got, wantVBC[v])
+			}
+		}
+		for e, want := range wantEBC {
+			if math.Float64bits(res.EBC[e]) != math.Float64bits(want) {
+				t.Fatalf("EBC[%v] = %x, reference %x", e, math.Float64bits(res.EBC[e]), math.Float64bits(want))
+			}
+		}
+		for e := range res.EBC {
+			if _, ok := wantEBC[e]; !ok {
+				t.Fatalf("EBC key %v not in reference", e)
+			}
+		}
+	})
+}
+
+// FuzzDecodeShardResponse hammers the wire decoder with raw bytes: it must
+// never panic, and everything it does accept must re-encode to bytes that
+// decode to the same value.
+func FuzzDecodeShardResponse(f *testing.F) {
+	f.Add([]byte("garbage"))
+	f.Add(server.EncodeShardResponse(nil, server.ShardResponse{
+		ShardIndex: 1, ShardCount: 2, Seq: 7,
+		Updates: []server.ShardUpdateResult{
+			{VBC: []server.ShardDeltaVertex{{V: 3, X: 1.5}}},
+			{Rejected: true, Err: "nope"},
+		},
+	}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := server.DecodeShardResponse(data)
+		if err != nil {
+			return
+		}
+		re := server.EncodeShardResponse(nil, *resp)
+		back, err := server.DecodeShardResponse(re)
+		if err != nil {
+			t.Fatalf("re-encoded response does not decode: %v", err)
+		}
+		if back.ShardIndex != resp.ShardIndex || back.Seq != resp.Seq || len(back.Updates) != len(resp.Updates) {
+			t.Fatalf("re-encode changed the response: %+v vs %+v", back, resp)
+		}
+	})
+}
+
+// bytes64 builds a seed-corpus byte string of n 8-byte words derived from x.
+func bytes64(x uint64, n int) []byte {
+	out := make([]byte, 0, 8*n)
+	for i := 0; i < n; i++ {
+		out = binary.LittleEndian.AppendUint64(out, x)
+		x = x*6364136223846793005 + 1442695040888963407
+	}
+	return out
+}

@@ -1,0 +1,403 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"streambc/internal/bc"
+	"streambc/internal/graph"
+)
+
+// defaultWaitTimeout bounds how long an ingest request with "wait":true may
+// block before the router answers 202 anyway.
+const defaultWaitTimeout = 30 * time.Second
+
+// Handler returns the router's HTTP API — the same routes and JSON shapes as
+// a single bcserved, so clients and dashboards do not care whether they talk
+// to one process or a shard cluster:
+//
+//	GET  /healthz          liveness (503 once the write path has halted)
+//	GET  /readyz           readiness (every shard answering and healthy)
+//	GET  /metrics          plain-text serving metrics
+//	POST /v1/updates       ingest a batch of updates (fanned to every shard)
+//	POST /v1/update        ingest a single update
+//	GET  /v1/vertices/{v}  merged betweenness of one vertex
+//	GET  /v1/edges?u=&v=   merged betweenness of one edge
+//	GET  /v1/top/vertices  top-k vertices by merged betweenness
+//	GET  /v1/top/edges     top-k edges by merged betweenness
+//	GET  /v1/graph         graph summary
+//	GET  /v1/stats         router and per-shard counters
+//	POST /v1/snapshot      ask every shard to snapshot now
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, r.instrument(route, h))
+	}
+	handle("GET /healthz", "/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if err := r.Halted(); err != nil {
+			http.Error(w, "unhealthy: "+err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok\n"))
+	})
+	handle("GET /readyz", "/readyz", r.handleReady)
+	handle("GET /metrics", "/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		r.met.reg.WriteTo(w) //nolint:errcheck // client went away mid-scrape
+	})
+	handle("POST /v1/updates", "/v1/updates", r.handleUpdates)
+	handle("POST /v1/update", "/v1/update", r.handleUpdate)
+	handle("GET /v1/vertices/{v}", "/v1/vertices/{v}", r.handleVertex)
+	handle("GET /v1/edges", "/v1/edges", r.handleEdge)
+	handle("GET /v1/top/vertices", "/v1/top/vertices", r.handleTopVertices)
+	handle("GET /v1/top/edges", "/v1/top/edges", r.handleTopEdges)
+	handle("GET /v1/graph", "/v1/graph", r.handleGraph)
+	handle("GET /v1/stats", "/v1/stats", r.handleStats)
+	handle("POST /v1/snapshot", "/v1/snapshot", r.handleSnapshot)
+	return mux
+}
+
+func (r *Router) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, req)
+		code := sw.status
+		if code == 0 {
+			code = http.StatusOK
+		}
+		r.met.httpRequests.With(route, strconv.Itoa(code)).Inc()
+		r.met.httpLatency.With(route).Observe(time.Since(start).Seconds())
+	}
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// handleReady aggregates the cluster: the router is ready while the write
+// path is live and the last status probe of every shard answered healthy. A
+// router fronting an unreachable shard keeps serving reads but reports
+// unready, so load balancers drain it before its queue fills.
+func (r *Router) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if err := r.Halted(); err != nil {
+		http.Error(w, "not ready: "+err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	for i := range r.probes {
+		p := r.probes[i].Load()
+		switch {
+		case p == nil:
+			http.Error(w, fmt.Sprintf("not ready: shard %d not probed yet", i), http.StatusServiceUnavailable)
+			return
+		case p.err != nil:
+			http.Error(w, fmt.Sprintf("not ready: shard %d unreachable: %v", i, p.err), http.StatusServiceUnavailable)
+			return
+		case !p.st.Healthy:
+			http.Error(w, fmt.Sprintf("not ready: shard %d unhealthy", i), http.StatusServiceUnavailable)
+			return
+		}
+	}
+	w.Write([]byte("ready\n"))
+}
+
+type updateJSON struct {
+	Op string `json:"op"` // "add" or "remove"
+	U  int    `json:"u"`
+	V  int    `json:"v"`
+}
+
+func (u updateJSON) toUpdate() (graph.Update, error) {
+	switch u.Op {
+	case "add", "":
+		return graph.Addition(u.U, u.V), nil
+	case "remove":
+		return graph.Removal(u.U, u.V), nil
+	default:
+		return graph.Update{}, fmt.Errorf("unknown op %q (want \"add\" or \"remove\")", u.Op)
+	}
+}
+
+type ingestRequest struct {
+	Updates []updateJSON `json:"updates"`
+	Wait    bool         `json:"wait"`
+}
+
+type ingestResponse struct {
+	Enqueued  int      `json:"enqueued"`
+	Waited    bool     `json:"waited"`
+	Applied   int      `json:"applied"`
+	Coalesced int      `json:"coalesced"` // always 0: the router never coalesces
+	Rejected  int      `json:"rejected"`
+	Errors    []string `json:"errors,omitempty"`
+}
+
+func (r *Router) handleUpdates(w http.ResponseWriter, req *http.Request) {
+	var body ingestRequest
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	r.ingest(w, req, body)
+}
+
+func (r *Router) handleUpdate(w http.ResponseWriter, req *http.Request) {
+	var body struct {
+		updateJSON
+		Wait bool `json:"wait"`
+	}
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	r.ingest(w, req, ingestRequest{Updates: []updateJSON{body.updateJSON}, Wait: body.Wait})
+}
+
+func (r *Router) ingest(w http.ResponseWriter, req *http.Request, body ingestRequest) {
+	if len(body.Updates) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("empty update batch"))
+		return
+	}
+	upds := make([]graph.Update, len(body.Updates))
+	for i, u := range body.Updates {
+		upd, err := u.toUpdate()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("update %d: %w", i, err))
+			return
+		}
+		upds[i] = upd
+	}
+	batch, err := r.Enqueue(upds)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed) || errors.Is(err, ErrHalted) {
+			status = http.StatusServiceUnavailable
+		}
+		httpError(w, status, err)
+		return
+	}
+	resp := ingestResponse{Enqueued: len(upds)}
+	status := http.StatusAccepted
+	if body.Wait {
+		ctx, cancel := context.WithTimeout(req.Context(), defaultWaitTimeout)
+		defer cancel()
+		if err := batch.Wait(ctx); err == nil {
+			resp.Waited = true
+			resp.Applied = batch.Applied()
+			for _, e := range batch.Errs() {
+				resp.Errors = append(resp.Errors, e.Error())
+			}
+			resp.Rejected = len(resp.Errors)
+			status = http.StatusOK
+		}
+	}
+	writeJSON(w, status, resp)
+}
+
+func (r *Router) handleVertex(w http.ResponseWriter, req *http.Request) {
+	vtx, err := strconv.Atoi(req.PathValue("v"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad vertex id: %w", err))
+		return
+	}
+	v := r.currentView()
+	score := 0.0
+	known := vtx >= 0 && vtx < len(v.res.VBC)
+	if known {
+		score = v.res.VBC[vtx]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"vertex": vtx, "known": known, "score": score})
+}
+
+func (r *Router) handleEdge(w http.ResponseWriter, req *http.Request) {
+	u, err1 := strconv.Atoi(req.URL.Query().Get("u"))
+	vtx, err2 := strconv.Atoi(req.URL.Query().Get("v"))
+	if err1 != nil || err2 != nil {
+		httpError(w, http.StatusBadRequest, errors.New("query parameters u and v must be integers"))
+		return
+	}
+	key := graph.Edge{U: u, V: vtx}
+	if !r.directed {
+		key = key.Canonical()
+	}
+	v := r.currentView()
+	score, known := v.res.EBC[key]
+	writeJSON(w, http.StatusOK, map[string]any{"u": u, "v": vtx, "known": known, "score": score})
+}
+
+type vertexScoreJSON struct {
+	Vertex int     `json:"vertex"`
+	Score  float64 `json:"score"`
+}
+
+type edgeScoreJSON struct {
+	U     int     `json:"u"`
+	V     int     `json:"v"`
+	Score float64 `json:"score"`
+}
+
+func (r *Router) handleTopVertices(w http.ResponseWriter, req *http.Request) {
+	k, err := parseK(req, 10)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	v := r.currentView()
+	top := bc.TopVertices(v.res, k)
+	out := make([]vertexScoreJSON, len(top))
+	for i, t := range top {
+		out[i] = vertexScoreJSON{Vertex: t.Vertex, Score: t.Score}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"k": len(out), "vertices": out})
+}
+
+func (r *Router) handleTopEdges(w http.ResponseWriter, req *http.Request) {
+	k, err := parseK(req, 10)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	v := r.currentView()
+	top := bc.TopEdges(v.res, k)
+	out := make([]edgeScoreJSON, len(top))
+	for i, t := range top {
+		out[i] = edgeScoreJSON{U: t.Edge.U, V: t.Edge.V, Score: t.Score}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"k": len(out), "edges": out})
+}
+
+func (r *Router) handleGraph(w http.ResponseWriter, _ *http.Request) {
+	v := r.currentView()
+	avg := 0.0
+	if v.n > 0 {
+		avg = float64(v.m) / float64(v.n)
+		if !v.directed {
+			avg *= 2
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"n":          v.n,
+		"m":          v.m,
+		"directed":   v.directed,
+		"avg_degree": avg,
+	})
+}
+
+// shardStatJSON is one shard's block in /v1/stats, from the last background
+// status probe.
+type shardStatJSON struct {
+	Shard      int    `json:"shard"`
+	Name       string `json:"name"`
+	Up         bool   `json:"up"`
+	Healthy    bool   `json:"healthy"`
+	AppliedSeq uint64 `json:"applied_sequence"`
+	WALSeq     uint64 `json:"wal_sequence"`
+	Error      string `json:"error,omitempty"`
+}
+
+func (r *Router) handleStats(w http.ResponseWriter, _ *http.Request) {
+	v := r.currentView()
+	shards := make([]shardStatJSON, len(r.cfg.Shards))
+	for i, sc := range r.cfg.Shards {
+		sj := shardStatJSON{Shard: i, Name: sc.Name()}
+		if p := r.probes[i].Load(); p != nil {
+			if p.err != nil {
+				sj.Error = p.err.Error()
+			} else {
+				sj.Up = true
+				sj.Healthy = p.st.Healthy
+				sj.AppliedSeq = p.st.AppliedSeq
+				sj.WALSeq = p.st.WALSeq
+			}
+		}
+		shards[i] = sj
+	}
+	out := map[string]any{
+		"updates_applied":  v.applied,
+		"updates_enqueued": r.met.enqueued.Value(),
+		"updates_rejected": v.rejected,
+		"queue_depth":      r.QueueDepth(),
+		"merged_sequence":  v.seq,
+		"halted":           r.Halted() != nil,
+		"sampled":          v.sampled,
+		"sampled_sources":  v.sampleSize,
+		"sample_scale":     v.scale,
+		"shard_count":      len(r.cfg.Shards),
+		"shards":           shards,
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleSnapshot fans the snapshot request to every shard concurrently: the
+// cluster's durable state IS the set of shard snapshots (the router keeps
+// none of its own), so "snapshot now" means "every shard snapshots now".
+func (r *Router) handleSnapshot(w http.ResponseWriter, req *http.Request) {
+	type shardSnap struct {
+		Shard int    `json:"shard"`
+		Path  string `json:"path,omitempty"`
+		Error string `json:"error,omitempty"`
+	}
+	out := make([]shardSnap, len(r.cfg.Shards))
+	var wg sync.WaitGroup
+	for i, sc := range r.cfg.Shards {
+		wg.Add(1)
+		go func(i int, sc ShardConn) {
+			defer wg.Done()
+			path, err := sc.Snapshot(req.Context())
+			out[i] = shardSnap{Shard: i, Path: path}
+			if err != nil {
+				out[i].Error = err.Error()
+			}
+		}(i, sc)
+	}
+	wg.Wait()
+	status := http.StatusOK
+	for _, s := range out {
+		if s.Error != "" {
+			status = http.StatusInternalServerError
+		}
+	}
+	writeJSON(w, status, map[string]any{"shards": out})
+}
+
+func parseK(req *http.Request, def int) (int, error) {
+	raw := req.URL.Query().Get("k")
+	if raw == "" {
+		return def, nil
+	}
+	k, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad k: %w", err)
+	}
+	return k, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]any{"error": err.Error()})
+}
+
+// Compile-time check that both transports satisfy the interface.
+var (
+	_ ShardConn = (*HTTPShard)(nil)
+	_ ShardConn = (*LocalShard)(nil)
+)

@@ -1,0 +1,76 @@
+package router
+
+import (
+	"streambc/internal/obs"
+	"streambc/internal/version"
+)
+
+// metrics holds the router's instruments. The per-shard families are keyed
+// by shard index; streambc_shard_applied_sequence is the gauge operators
+// watch for lag (a shard whose sequence trails the router's merged sequence
+// by more than the one in-flight record is stuck), streambc_shard_up flips
+// on every failed fanout attempt or status probe.
+type metrics struct {
+	reg *obs.Registry
+
+	enqueued *obs.Counter
+	applied  *obs.Counter
+	rejected *obs.Counter
+	drains   *obs.Counter
+
+	drainLat  *obs.Histogram
+	fanoutLat *obs.HistogramVec // {shard}: one fanout attempt round trip
+	retries   *obs.CounterVec   // {shard}: fanout attempts retried
+
+	shardUp   *obs.GaugeVec // {shard}: 1 answering, 0 unavailable/unhealthy
+	shardSeq  *obs.GaugeVec // {shard}: shard's applied sequence
+	mergedSeq *obs.Gauge    // router's merged (next) sequence
+
+	httpRequests *obs.CounterVec   // {route, code}
+	httpLatency  *obs.HistogramVec // {route}
+}
+
+func newMetrics(r *Router, reg *obs.Registry) *metrics {
+	m := &metrics{reg: reg}
+	reg.GaugeFunc("streambc_build_info",
+		"Build version of the running binary (constant 1).",
+		func() float64 { return 1 }, "version", version.Version)
+	m.enqueued = reg.Counter("streambc_router_updates_enqueued_total",
+		"Updates admitted to the router's fanout queue.")
+	m.applied = reg.Counter("streambc_router_updates_applied_total",
+		"Updates applied by every shard and merged.")
+	m.rejected = reg.Counter("streambc_router_updates_rejected_total",
+		"Updates rejected by the cluster (validation failures).")
+	m.drains = reg.Counter("streambc_router_drains_total",
+		"Fanout records acknowledged by every shard.")
+	reg.IntGaugeFunc("streambc_router_queue_depth",
+		"Updates queued and not yet fanned out.",
+		func() int64 { return int64(r.QueueDepth()) })
+	reg.IntGaugeFunc("streambc_router_halted",
+		"1 when the write path has halted on a shard disagreement.",
+		func() int64 {
+			if r.Halted() != nil {
+				return 1
+			}
+			return 0
+		})
+	m.mergedSeq = reg.Gauge("streambc_router_merged_sequence",
+		"The router's next record sequence (every earlier record is merged).")
+	m.shardSeq = reg.GaugeVec("streambc_shard_applied_sequence",
+		"Applied record sequence per shard.", "shard")
+	m.shardUp = reg.GaugeVec("streambc_shard_up",
+		"1 while the shard answers and reports healthy.", "shard")
+	m.drainLat = reg.Histogram("streambc_router_drain_seconds",
+		"Wall-clock latency of one drain: fanout, verification and merge.",
+		obs.LatencyBuckets())
+	m.fanoutLat = reg.HistogramVec("streambc_router_fanout_seconds",
+		"Round-trip latency of one fanout attempt, per shard.",
+		obs.LatencyBuckets(), "shard")
+	m.retries = reg.CounterVec("streambc_router_fanout_retries_total",
+		"Fanout attempts retried against an unavailable shard.", "shard")
+	m.httpRequests = reg.CounterVec("streambc_http_requests_total",
+		"HTTP requests served, by route and status code.", "route", "code")
+	m.httpLatency = reg.HistogramVec("streambc_http_request_seconds",
+		"HTTP request latency by route.", obs.LatencyBuckets(), "route")
+	return m
+}

@@ -1,0 +1,637 @@
+// Package router is the merging front of the sharded write path: N bcserved
+// shards each own one stride of the source pool (engine.Config.ShardIndex of
+// ShardCount) and compute partial betweenness over it; the router fans every
+// accepted ingest drain to all shards as one numbered record, folds the
+// per-update score deltas the shards send back, and serves the single-process
+// HTTP API from the merged state.
+//
+// Exactness. Betweenness is a sum of per-source contributions, and the shard
+// strides partition the source pool exactly as the workers of one
+// ShardCount-worker engine partition it. The router folds each update's
+// deltas in shard-index order, term by term in the shards' own fold order —
+// the same floating-point additions, in the same order, as the reduce phase
+// of that single engine — so with one worker per shard the merged scores are
+// bit-identical to the single-process ones, not merely approximately equal
+// (the differential tests in this package compare bits, not tolerances).
+//
+// Ordering and durability. Records are numbered by a single sequence and
+// fanned out write-all: a drain is acknowledged only after every shard has
+// applied its record, so no shard is ever more than the one in-flight record
+// behind. Each shard appends the record to its own write-ahead log before
+// applying, which makes the cluster's durability the conjunction of the
+// shards'; the router itself keeps no log — at startup it equalises laggards
+// from a peer shard's WAL (see catchup.go), folds the shards' snapshots into
+// a fresh baseline and resumes at their common sequence. A shard that
+// restarts mid-record replays its own log and answers the router's retry
+// from its response cache, so the retry converges without re-applying.
+//
+// Failure model. A transient shard outage stalls the write path (retries
+// with backoff) but never forks it. A protocol disagreement — shards
+// answering different sequences or diverging on which updates they rejected
+// — is unrecoverable by retry; the router halts the write path (ingest
+// answers 503, /healthz reports unhealthy) while continuing to serve reads
+// from the last merged state.
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streambc/internal/bc"
+	"streambc/internal/graph"
+	"streambc/internal/incremental"
+	"streambc/internal/obs"
+	"streambc/internal/server"
+)
+
+// Errors returned by Enqueue (the HTTP layer maps all three to 503).
+var (
+	// ErrQueueFull: admitting the batch would push the ingest queue past its
+	// configured capacity.
+	ErrQueueFull = errors.New("router: ingest queue full")
+	// ErrClosed: the router has been shut down.
+	ErrClosed = errors.New("router: closed")
+	// ErrHalted: the write path halted on a shard protocol disagreement;
+	// reads still serve the last merged state, writes need operator action.
+	ErrHalted = errors.New("router: write path halted")
+)
+
+// Config configures a Router.
+type Config struct {
+	// Shards are the cluster's shard connections, in shard-index order: the
+	// connection at position i must answer with ShardIndex i of ShardCount
+	// len(Shards). New verifies this against every shard's status.
+	Shards []ShardConn
+	// MaxQueue bounds the ingest queue in updates; Enqueue fails with
+	// ErrQueueFull beyond it. Values < 1 mean the default of 65536.
+	MaxQueue int
+	// RetryInterval is the pause between fanout retries against an
+	// unavailable shard. Values <= 0 mean the default of 200ms.
+	RetryInterval time.Duration
+	// ApplyTimeout bounds one fanout attempt against one shard; an attempt
+	// that exceeds it is retried. Values <= 0 mean the default of 30s.
+	ApplyTimeout time.Duration
+	// StatusInterval is the period of the background shard status poll
+	// feeding /readyz and the per-shard gauges. Values <= 0 mean the
+	// default of 2s.
+	StatusInterval time.Duration
+	// Obs is the metrics registry; nil creates a private one.
+	Obs *obs.Registry
+	// Logger receives the router's structured logs; nil discards them.
+	Logger *slog.Logger
+}
+
+// item is one queued update tagged with the batch that submitted it.
+type item struct {
+	upd   graph.Update
+	batch *Batch
+}
+
+// view is the immutable state queries read, swapped atomically after every
+// merged drain.
+type view struct {
+	res        *bc.Result
+	n, m       int
+	directed   bool
+	seq        uint64 // next record sequence (== applied records)
+	applied    int64  // updates applied since the shards were born
+	rejected   int64  // updates rejected since this router started
+	sampled    bool
+	scale      float64
+	sampleSize int
+}
+
+// shardProbe is the result of one background status poll of one shard.
+type shardProbe struct {
+	st  server.ShardStatus
+	err error
+}
+
+// Router merges a cluster of write-path shards behind one serving API.
+// Create it with New (which bootstraps from the shards' state), start the
+// drain loop with Start, and shut down with Close.
+type Router struct {
+	cfg Config
+	log *slog.Logger
+	met *metrics
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []item
+	closed bool
+
+	// haltErr is set once, on a protocol disagreement between shards.
+	haltErr atomic.Pointer[error]
+
+	// Merge state, owned by the drain loop after New.
+	g        *graph.Graph
+	res      *bc.Result
+	directed bool
+	sampled  bool
+	scale    float64
+	sampleK  int // total sampled sources across the cluster (sampled mode)
+	seq      uint64
+	applied  int64
+	rejected int64
+
+	view   atomic.Pointer[view]
+	probes []atomic.Pointer[shardProbe]
+
+	ctx      context.Context
+	cancel   context.CancelFunc
+	started  bool
+	runDone  chan struct{}
+	pollDone chan struct{}
+	closeOne sync.Once
+}
+
+// Batch tracks one Enqueue call: it completes when every update of the batch
+// has been applied or rejected by the whole cluster.
+type Batch struct {
+	done    chan struct{}
+	mu      sync.Mutex
+	applied int
+	errs    []error
+}
+
+func newBatch() *Batch { return &Batch{done: make(chan struct{})} }
+
+// Wait blocks until the batch has been processed or ctx is cancelled.
+func (b *Batch) Wait(ctx context.Context) error {
+	select {
+	case <-b.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Applied returns how many updates of the batch were applied.
+func (b *Batch) Applied() int { b.mu.Lock(); defer b.mu.Unlock(); return b.applied }
+
+// Errs returns the batch's rejection (or drain-failure) errors, in order.
+func (b *Batch) Errs() []error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]error(nil), b.errs...)
+}
+
+func (b *Batch) noteApplied() { b.mu.Lock(); b.applied++; b.mu.Unlock() }
+func (b *Batch) noteError(err error) {
+	b.mu.Lock()
+	b.errs = append(b.errs, err)
+	b.mu.Unlock()
+}
+
+// New connects to the cluster and bootstraps the merged state: it verifies
+// every shard's identity against its position, equalises shards that lag the
+// cluster's maximum sequence by replaying records from a peer's write-ahead
+// log, and folds the shards' snapshots into the merged baseline (see
+// catchup.go). It returns an error when the cluster is unreachable,
+// misconfigured or cannot be equalised.
+func New(ctx context.Context, cfg Config) (*Router, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("router: no shards configured")
+	}
+	if cfg.MaxQueue < 1 {
+		cfg.MaxQueue = 65536
+	}
+	if cfg.RetryInterval <= 0 {
+		cfg.RetryInterval = 200 * time.Millisecond
+	}
+	if cfg.ApplyTimeout <= 0 {
+		cfg.ApplyTimeout = 30 * time.Second
+	}
+	if cfg.StatusInterval <= 0 {
+		cfg.StatusInterval = 2 * time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.Nop()
+	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	r := &Router{
+		cfg:      cfg,
+		log:      cfg.Logger,
+		runDone:  make(chan struct{}),
+		pollDone: make(chan struct{}),
+		probes:   make([]atomic.Pointer[shardProbe], len(cfg.Shards)),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	r.ctx, r.cancel = context.WithCancel(context.Background())
+	r.met = newMetrics(r, reg)
+	if err := r.bootstrap(ctx); err != nil {
+		r.cancel()
+		return nil, err
+	}
+	r.publishView()
+	return r, nil
+}
+
+// Start launches the drain loop and the background status poller.
+func (r *Router) Start() {
+	r.started = true
+	go r.run()
+	go r.pollLoop()
+}
+
+// Close stops the router: further enqueues are rejected, the drain loop
+// finishes the queue it has (retries against an unavailable shard are
+// abandoned — the shards' logs disagree by at most that one in-flight
+// record, which the next startup equalises), and the pollers stop. The
+// shards themselves are not closed; the caller owns them.
+func (r *Router) Close() error {
+	r.closeOne.Do(func() {
+		r.mu.Lock()
+		r.closed = true
+		r.cond.Broadcast()
+		r.mu.Unlock()
+		r.cancel()
+		if r.started {
+			<-r.runDone
+			<-r.pollDone
+		}
+		// Fail whatever is still queued: with the loop gone nothing will.
+		r.mu.Lock()
+		rest := r.queue
+		r.queue = nil
+		r.mu.Unlock()
+		finishItems(rest, ErrClosed)
+	})
+	return nil
+}
+
+// Halted returns the halt reason, or nil while the write path is live.
+func (r *Router) Halted() error {
+	if p := r.haltErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// halt stops the write path permanently (first reason wins).
+func (r *Router) halt(err error) {
+	wrapped := fmt.Errorf("%w: %w", ErrHalted, err)
+	if r.haltErr.CompareAndSwap(nil, &wrapped) {
+		r.log.Error("write path halted", obs.KeyComponent, "router", "error", err)
+	}
+}
+
+// Enqueue admits updates to the fanout queue. The returned Batch completes
+// once every shard has applied the drain containing them.
+func (r *Router) Enqueue(upds []graph.Update) (*Batch, error) {
+	if err := r.Halted(); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	// Admit any batch while the queue has room (it may overshoot by one
+	// batch): rejecting batches larger than the remaining room would make an
+	// oversized batch unservable forever, not throttled.
+	if len(r.queue) >= r.cfg.MaxQueue {
+		return nil, ErrQueueFull
+	}
+	b := newBatch()
+	if len(upds) == 0 {
+		close(b.done)
+		return b, nil
+	}
+	for _, u := range upds {
+		r.queue = append(r.queue, item{upd: u, batch: b})
+	}
+	r.met.enqueued.Add(int64(len(upds)))
+	r.cond.Signal()
+	return b, nil
+}
+
+// QueueDepth returns the number of updates queued and not yet drained.
+func (r *Router) QueueDepth() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.queue)
+}
+
+// run is the drain loop: it takes everything queued and processes it as one
+// record — fanout, verification, merge, view publication.
+func (r *Router) run() {
+	defer close(r.runDone)
+	for {
+		r.mu.Lock()
+		for len(r.queue) == 0 && !r.closed {
+			r.cond.Wait()
+		}
+		if len(r.queue) == 0 {
+			r.mu.Unlock()
+			return
+		}
+		items := r.queue
+		r.queue = nil
+		r.mu.Unlock()
+		r.drain(items)
+	}
+}
+
+// finishItems completes every batch of items, recording err (if any) once
+// per batch.
+func finishItems(items []item, err error) {
+	seen := make(map[*Batch]struct{}, len(items))
+	for _, it := range items {
+		if _, ok := seen[it.batch]; ok {
+			continue
+		}
+		seen[it.batch] = struct{}{}
+		if err != nil {
+			it.batch.noteError(err)
+		}
+		close(it.batch.done)
+	}
+}
+
+// drain ships one drained run of updates as one record: write-all fanout,
+// response verification, shard-order merge, view publication. Updates are
+// not coalesced — every shard must see the identical stream, and the merge
+// is exact for any batching, so there is nothing to gain and a differential
+// bit to lose.
+func (r *Router) drain(items []item) {
+	if err := r.Halted(); err != nil {
+		finishItems(items, err)
+		return
+	}
+	upds := make([]graph.Update, len(items))
+	needVertices := 0
+	for i, it := range items {
+		upds[i] = it.upd
+		// Mirrors the single-process pipeline's growth requirement: valid
+		// additions grow the graph to cover their endpoints (self loops and
+		// negative endpoints are rejected before growing).
+		if u := it.upd; !u.Remove && u.U != u.V && u.U >= 0 && u.V >= 0 {
+			if n := max(u.U, u.V) + 1; n > needVertices {
+				needVertices = n
+			}
+		}
+	}
+	rec := server.WALRecord{Seq: r.seq, NeedVertices: needVertices, Updates: upds}
+	start := time.Now()
+	resps, err := r.fanout(rec)
+	if err != nil {
+		if r.ctx.Err() != nil {
+			finishItems(items, ErrClosed)
+			return
+		}
+		r.halt(err)
+		finishItems(items, r.Halted())
+		return
+	}
+	if err := r.checkResponses(rec, resps); err != nil {
+		r.halt(err)
+		finishItems(items, r.Halted())
+		return
+	}
+	if err := r.merge(rec, resps, items); err != nil {
+		r.halt(err)
+		finishItems(items, r.Halted())
+		return
+	}
+	r.seq = rec.Seq + 1
+	r.met.drains.Inc()
+	r.met.drainLat.Observe(time.Since(start).Seconds())
+	r.publishView()
+	finishItems(items, nil)
+}
+
+// fanout ships rec to every shard concurrently and collects the decoded
+// responses. Unavailable shards are retried until they answer or the router
+// shuts down; any fatal answer cancels the siblings' retries and fails the
+// fanout.
+func (r *Router) fanout(rec server.WALRecord) ([]*server.ShardResponse, error) {
+	ctx, cancel := context.WithCancel(r.ctx)
+	defer cancel()
+	resps := make([]*server.ShardResponse, len(r.cfg.Shards))
+	errs := make([]error, len(r.cfg.Shards))
+	var wg sync.WaitGroup
+	for i, sc := range r.cfg.Shards {
+		wg.Add(1)
+		go func(i int, sc ShardConn) {
+			defer wg.Done()
+			resps[i], errs[i] = r.applyShard(ctx, i, sc, rec)
+			if errs[i] != nil {
+				cancel()
+			}
+		}(i, sc)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return nil, fmt.Errorf("shard %d (%s): record %d: %w", i, r.cfg.Shards[i].Name(), rec.Seq, err)
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard %d (%s): record %d: %w", i, r.cfg.Shards[i].Name(), rec.Seq, err)
+		}
+	}
+	return resps, nil
+}
+
+// applyShard ships rec to one shard, retrying while the shard is merely
+// unavailable. The retried record is always the identical in-flight one, and
+// the shard's response cache answers a retry of a record it already applied,
+// so retries converge without double application.
+func (r *Router) applyShard(ctx context.Context, idx int, sc ShardConn, rec server.WALRecord) (*server.ShardResponse, error) {
+	label := fmt.Sprint(idx)
+	for {
+		actx, acancel := context.WithTimeout(ctx, r.cfg.ApplyTimeout)
+		start := time.Now()
+		resp, err := sc.Apply(actx, rec)
+		acancel()
+		r.met.fanoutLat.With(label).Observe(time.Since(start).Seconds())
+		if err == nil {
+			r.met.shardUp.With(label).Set(1)
+			r.met.shardSeq.With(label).Set(float64(rec.Seq + 1))
+			return resp, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if !errors.Is(err, errShardUnavailable) {
+			return nil, err
+		}
+		r.met.shardUp.With(label).Set(0)
+		r.met.retries.With(label).Inc()
+		r.log.Warn("shard unavailable, retrying",
+			obs.KeyComponent, "router", "shard", idx, "seq", rec.Seq, "error", err)
+		select {
+		case <-time.After(r.cfg.RetryInterval):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// checkResponses verifies the fanout answers agree before anything is
+// merged: every shard must echo the record's sequence, its configured
+// identity, and the identical accept/reject status for every update (the
+// statuses are deterministic functions of identical graph state — any
+// disagreement means the cluster has forked).
+func (r *Router) checkResponses(rec server.WALRecord, resps []*server.ShardResponse) error {
+	n := len(r.cfg.Shards)
+	for i, resp := range resps {
+		if resp.ShardIndex != i || resp.ShardCount != n {
+			return fmt.Errorf("shard %d (%s) answered as shard %d/%d — cluster misconfigured",
+				i, r.cfg.Shards[i].Name(), resp.ShardIndex, resp.ShardCount)
+		}
+		if resp.Seq != rec.Seq {
+			return fmt.Errorf("shard %d answered sequence %d for record %d", i, resp.Seq, rec.Seq)
+		}
+		if len(resp.Updates) != len(rec.Updates) {
+			return fmt.Errorf("shard %d answered %d results for %d updates", i, len(resp.Updates), len(rec.Updates))
+		}
+	}
+	for j := range rec.Updates {
+		want := resps[0].Updates[j].Rejected
+		for i := 1; i < n; i++ {
+			if resps[i].Updates[j].Rejected != want {
+				return fmt.Errorf("shards 0 and %d disagree on update %d of record %d (%v): rejected %v vs %v",
+					i, j, rec.Seq, rec.Updates[j], want, resps[i].Updates[j].Rejected)
+			}
+		}
+	}
+	return nil
+}
+
+// merge folds one verified fanout into the merged state, update-major in
+// shard-index order — exactly the reduce order of a single
+// len(Shards)-worker engine, so the merged scores track the single-process
+// bits (see the package comment).
+func (r *Router) merge(rec server.WALRecord, resps []*server.ShardResponse, items []item) error {
+	if rec.NeedVertices > r.g.N() {
+		incremental.GrowGraphAndResult(r.g, r.res, rec.NeedVertices)
+	}
+	for j, upd := range rec.Updates {
+		if resps[0].Updates[j].Rejected {
+			r.rejected++
+			r.met.rejected.Inc()
+			items[j].batch.noteError(fmt.Errorf("%v: %s", upd, resps[0].Updates[j].Err))
+			continue
+		}
+		if !upd.Remove {
+			if m := max(upd.U, upd.V); m >= r.g.N() {
+				incremental.GrowGraphAndResult(r.g, r.res, m+1)
+			}
+		}
+		if err := r.g.Apply(upd); err != nil {
+			// The shards accepted what our graph refuses: the merged state no
+			// longer mirrors theirs.
+			return fmt.Errorf("merged graph diverged from the shards at record %d update %d (%v): %w",
+				rec.Seq, j, upd, err)
+		}
+		foldUpdate(r.res, resps, j)
+		if upd.Remove {
+			// The edge is gone and its centrality has been driven to zero by
+			// the shards' corrections; drop the entry like the engine does.
+			delete(r.res.EBC, bc.EdgeKey(r.g, upd.U, upd.V))
+		}
+		r.applied++
+		r.met.applied.Inc()
+		items[j].batch.noteApplied()
+	}
+	return nil
+}
+
+// foldUpdate adds update j's per-shard score deltas into res: shard by shard
+// in index order, term by term in each shard's own fold order. This iteration
+// IS the bitwise contract — it performs the same floating-point additions, in
+// the same order, as the reduce phase of a single len(resps)-worker engine —
+// so it is kept as one tiny function and fuzzed against a map-reference merge
+// (see FuzzMergeDelta).
+func foldUpdate(res *bc.Result, resps []*server.ShardResponse, j int) {
+	for _, resp := range resps {
+		u := resp.Updates[j]
+		for _, t := range u.VBC {
+			res.VBC[t.V] += t.X
+		}
+		for _, t := range u.EBC {
+			res.EBC[t.E] += t.X
+		}
+	}
+}
+
+// publishView captures the merged state into an immutable read view.
+func (r *Router) publishView() {
+	r.view.Store(&view{
+		res:        r.res.Clone(),
+		n:          r.g.N(),
+		m:          r.g.M(),
+		directed:   r.directed,
+		seq:        r.seq,
+		applied:    r.applied,
+		rejected:   r.rejected,
+		sampled:    r.sampled,
+		scale:      r.scale,
+		sampleSize: r.sampleSizeNow(),
+	})
+	r.met.mergedSeq.Set(float64(r.seq))
+}
+
+func (r *Router) currentView() *view { return r.view.Load() }
+
+// Result returns a copy of the cluster's current merged scores and the
+// sequence they reflect (the number of records merged so far). The copy is
+// the caller's; reads never block the write path.
+func (r *Router) Result() (*bc.Result, uint64) {
+	v := r.currentView()
+	return v.res.Clone(), v.seq
+}
+
+// sampleSizeNow mirrors the engine's SampleSize: the number of sources
+// maintained cluster-wide (the fixed sample in sampled mode, every vertex in
+// exact mode).
+func (r *Router) sampleSizeNow() int {
+	if r.sampled {
+		return r.sampleK
+	}
+	return r.g.N()
+}
+
+// pollLoop probes every shard's status on a fixed period, feeding /readyz
+// and the per-shard health gauges.
+func (r *Router) pollLoop() {
+	defer close(r.pollDone)
+	ticker := time.NewTicker(r.cfg.StatusInterval)
+	defer ticker.Stop()
+	r.probeShards()
+	for {
+		select {
+		case <-ticker.C:
+			r.probeShards()
+		case <-r.ctx.Done():
+			return
+		}
+	}
+}
+
+func (r *Router) probeShards() {
+	for i, sc := range r.cfg.Shards {
+		ctx, cancel := context.WithTimeout(r.ctx, r.cfg.StatusInterval)
+		st, err := sc.Status(ctx)
+		cancel()
+		r.probes[i].Store(&shardProbe{st: st, err: err})
+		label := fmt.Sprint(i)
+		if err != nil || !st.Healthy {
+			r.met.shardUp.With(label).Set(0)
+			continue
+		}
+		r.met.shardUp.With(label).Set(1)
+		r.met.shardSeq.With(label).Set(float64(st.AppliedSeq))
+	}
+}

@@ -1,0 +1,212 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"streambc/internal/engine"
+	"streambc/internal/replication"
+	"streambc/internal/server"
+)
+
+// errShardUnavailable marks a shard answer the router may retry: the shard is
+// down, restarting, overloaded or mid-shutdown (a network error, a timeout or
+// HTTP 503). Anything else — a sequence gap, a decode failure, an application
+// error — is a protocol-level fact retrying cannot change.
+var errShardUnavailable = errors.New("router: shard unavailable")
+
+// ShardConn is the router's connection to one shard: the fanout/ack apply
+// call plus the status, state and log reads bootstrap and readiness need.
+// HTTPShard speaks to a remote bcserved; LocalShard wraps an in-process
+// *server.Server (the differential tests drive whole clusters through it).
+type ShardConn interface {
+	// Name identifies the shard in logs and errors (for HTTP shards, the
+	// base URL).
+	Name() string
+	// Apply ships one fanout record and returns the shard's decoded
+	// per-update delta response. Sequence gaps surface as
+	// server.ErrShardSequenceGap; retryable outages wrap errShardUnavailable.
+	Apply(ctx context.Context, rec server.WALRecord) (*server.ShardResponse, error)
+	// Status fetches the shard's identity and applied position.
+	Status(ctx context.Context) (server.ShardStatus, error)
+	// State fetches one consistent snapshot of the shard's engine state.
+	State(ctx context.Context) (*engine.SnapshotState, error)
+	// WALRecords reads up to max records of the shard's own log starting at
+	// sequence from (catch-up donor side).
+	WALRecords(ctx context.Context, from uint64, max int) ([]server.WALRecord, uint64, error)
+	// Snapshot asks the shard to write a snapshot now and returns its path.
+	Snapshot(ctx context.Context) (string, error)
+}
+
+// HTTPShard connects to a remote shard over its HTTP API.
+type HTTPShard struct {
+	base string
+	hc   *http.Client
+	repl *replication.Client
+}
+
+// NewHTTPShard returns a connection to the shard at baseURL
+// (scheme://host:port). The underlying client carries no global timeout;
+// bound calls through contexts.
+func NewHTTPShard(baseURL string) *HTTPShard {
+	base := strings.TrimRight(baseURL, "/")
+	return &HTTPShard{base: base, hc: &http.Client{}, repl: replication.NewClient(base)}
+}
+
+func (s *HTTPShard) Name() string { return s.base }
+
+// errBody extracts the {"error": ...} payload of a non-200 answer.
+func errBody(data []byte) string {
+	var payload struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &payload) == nil && payload.Error != "" {
+		return payload.Error
+	}
+	if len(data) > 256 {
+		data = data[:256]
+	}
+	return string(data)
+}
+
+func (s *HTTPShard) Apply(ctx context.Context, rec server.WALRecord) (*server.ShardResponse, error) {
+	body := server.EncodeWALRecord(nil, rec)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.base+"/v1/shard/apply", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", errShardUnavailable, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading apply response: %w", errShardUnavailable, err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusConflict:
+		return nil, fmt.Errorf("%w: %s", server.ErrShardSequenceGap, errBody(data))
+	case http.StatusServiceUnavailable:
+		return nil, fmt.Errorf("%w: %s", errShardUnavailable, errBody(data))
+	default:
+		return nil, fmt.Errorf("router: shard %s apply: status %d: %s", s.base, resp.StatusCode, errBody(data))
+	}
+	return server.DecodeShardResponse(data)
+}
+
+// getJSON issues one GET and decodes the 200 answer into out; non-200
+// answers wrap errShardUnavailable (a status probe of a down shard is the
+// normal retryable case).
+func (s *HTTPShard) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("%w: %w", errShardUnavailable, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return fmt.Errorf("%w: %w", errShardUnavailable, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%w: GET %s: status %d: %s", errShardUnavailable, path, resp.StatusCode, errBody(data))
+	}
+	return json.Unmarshal(data, out)
+}
+
+func (s *HTTPShard) Status(ctx context.Context) (server.ShardStatus, error) {
+	var st server.ShardStatus
+	err := s.getJSON(ctx, "/v1/shard/status", &st)
+	return st, err
+}
+
+func (s *HTTPShard) State(ctx context.Context) (*engine.SnapshotState, error) {
+	return s.repl.Snapshot(ctx)
+}
+
+func (s *HTTPShard) WALRecords(ctx context.Context, from uint64, max int) ([]server.WALRecord, uint64, error) {
+	return s.repl.WALRecords(ctx, from, max, 0)
+}
+
+func (s *HTTPShard) Snapshot(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.base+"/v1/snapshot", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("%w: %w", errShardUnavailable, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("router: shard %s snapshot: status %d: %s", s.base, resp.StatusCode, errBody(data))
+	}
+	var payload struct {
+		Path string `json:"path"`
+	}
+	if err := json.Unmarshal(data, &payload); err != nil {
+		return "", err
+	}
+	return payload.Path, nil
+}
+
+// LocalShard adapts an in-process *server.Server to the ShardConn interface,
+// bypassing HTTP: the differential and fuzz tests run whole shard clusters in
+// one process through it, and an embedded single-binary deployment can too.
+type LocalShard struct {
+	name string
+	srv  *server.Server
+}
+
+// NewLocalShard wraps srv as a shard connection named name.
+func NewLocalShard(name string, srv *server.Server) *LocalShard {
+	return &LocalShard{name: name, srv: srv}
+}
+
+func (l *LocalShard) Name() string { return l.name }
+
+func (l *LocalShard) Apply(_ context.Context, rec server.WALRecord) (*server.ShardResponse, error) {
+	body, err := l.srv.ApplyShardRecord(rec)
+	if err != nil {
+		// Map the shutdown/outage family to the retryable sentinel, exactly
+		// like the HTTP transport maps 503.
+		if errors.Is(err, server.ErrClosed) || errors.Is(err, engine.ErrClosed) ||
+			errors.Is(err, server.ErrIngestHalted) || errors.Is(err, server.ErrWALClosed) {
+			return nil, fmt.Errorf("%w: %w", errShardUnavailable, err)
+		}
+		return nil, err
+	}
+	return server.DecodeShardResponse(body)
+}
+
+func (l *LocalShard) Status(_ context.Context) (server.ShardStatus, error) {
+	return l.srv.ShardStatus(), nil
+}
+
+func (l *LocalShard) State(_ context.Context) (*engine.SnapshotState, error) {
+	return l.srv.ShardState()
+}
+
+func (l *LocalShard) WALRecords(_ context.Context, from uint64, max int) ([]server.WALRecord, uint64, error) {
+	return l.srv.ShardWALRecords(from, max)
+}
+
+func (l *LocalShard) Snapshot(_ context.Context) (string, error) {
+	return l.srv.Snapshot()
+}

@@ -1,0 +1,194 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"streambc/internal/engine"
+	"streambc/internal/graph"
+)
+
+// TestShutdownOrderingUnderLoad is the shutdown-race test: readers hammer the
+// router's HTTP API and an ingester drives the stream while one shard's
+// server and engine are closed mid-flight, then the router itself. Every
+// racing query must get a clean answer (200, 202 or 503 — never a partial or
+// garbled one), ingest failures must come from the shutdown error family, and
+// the merged view must never contain a partial record: whatever sequence the
+// router ends at, its scores equal a reference engine that applied exactly
+// that prefix of the stream. Run under -race (the CI race job does).
+func TestShutdownOrderingUnderLoad(t *testing.T) {
+	base := testGraph(t, 22, 55, 17)
+	stream := testStream(t, base, 56, 18)
+	const cnt = 3
+	c := startCluster(t, base, cnt, nil)
+
+	ts := httptest.NewServer(c.router.Handler())
+	defer ts.Close()
+
+	var (
+		done    = make(chan struct{})
+		readers sync.WaitGroup
+		readErr = make(chan error, 16)
+	)
+	reportRead := func(err error) {
+		select {
+		case readErr <- err:
+		default:
+		}
+	}
+	// Readers: every answer must be complete and well-formed, status 200 or
+	// 503, for the whole life of the cluster — before, during and after the
+	// shard and router shutdowns.
+	for _, path := range []string{"/healthz", "/v1/top/vertices?k=5", "/v1/stats", "/v1/vertices/0"} {
+		readers.Add(1)
+		go func(path string) {
+			defer readers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + path)
+				if err != nil {
+					reportRead(fmt.Errorf("GET %s: %w", path, err))
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					reportRead(fmt.Errorf("GET %s: reading body: %w", path, err))
+					return
+				}
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+					reportRead(fmt.Errorf("GET %s: status %d: %s", path, resp.StatusCode, body))
+					return
+				}
+				if resp.StatusCode == http.StatusOK && strings.Contains(resp.Header.Get("Content-Type"), "json") {
+					var v any
+					if err := json.Unmarshal(body, &v); err != nil {
+						reportRead(fmt.Errorf("GET %s: partial or garbled answer %q: %w", path, body, err))
+						return
+					}
+				}
+			}
+		}(path)
+	}
+
+	// Ingester: one update per record, sequentially, counting clean acks. The
+	// moment the shard dies underneath it, Wait times out or the batch fails
+	// with a shutdown-family error; anything else is a bug.
+	const closeAfter = 12
+	shardDown := make(chan struct{})
+	ingestDone := make(chan int, 1)
+	go func() {
+		acked := 0
+		defer func() { ingestDone <- acked }()
+		for i, u := range stream {
+			b, err := c.router.Enqueue([]graph.Update{u})
+			if err != nil {
+				if !errors.Is(err, ErrClosed) && !errors.Is(err, ErrHalted) && !errors.Is(err, ErrQueueFull) {
+					t.Errorf("Enqueue during shutdown: unexpected error %v", err)
+				}
+				return
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			err = b.Wait(ctx)
+			cancel()
+			if err != nil {
+				return // stalled on the dead shard: expected
+			}
+			if errs := b.Errs(); len(errs) > 0 {
+				for _, e := range errs {
+					if !errors.Is(e, ErrClosed) && !errors.Is(e, ErrHalted) {
+						t.Errorf("batch error during shutdown: %v", e)
+					}
+				}
+				return
+			}
+			acked++
+			if i == closeAfter {
+				close(shardDown)
+			}
+		}
+	}()
+
+	// Mid-stream, close one shard's server and then its engine — the ordering
+	// a real bcserved shutdown performs — while the router is still fanning
+	// out and the readers are still querying.
+	<-shardDown
+	c.shards[2].srv.Close()
+	c.shards[2].eng.Close()
+
+	// Give the router time to hit the dead shard and start retrying, with the
+	// readers still hammering, then shut the router down underneath everyone.
+	time.Sleep(50 * time.Millisecond)
+	c.router.Close()
+
+	acked := <-ingestDone
+	if t.Failed() {
+		return
+	}
+
+	// A closed cluster refuses writes with a clean 503, not a hang or a 500.
+	resp, err := http.Post(ts.URL+"/v1/update", "application/json", strings.NewReader(`{"u":0,"v":1}`))
+	if err != nil {
+		t.Fatalf("POST after close: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST after close: status %d, want 503", resp.StatusCode)
+	}
+	// Direct enqueue too.
+	if _, err := c.router.Enqueue([]graph.Update{{U: 0, V: 1}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Enqueue after close: %v, want ErrClosed", err)
+	}
+
+	// Readers must have survived the whole sequence.
+	close(done)
+	readers.Wait()
+	select {
+	case err := <-readErr:
+		t.Fatal(err)
+	default:
+	}
+
+	// A shard going away is an outage, not a protocol disagreement: the
+	// router must not have halted.
+	if err := c.router.Halted(); err != nil {
+		t.Fatalf("router halted on shard shutdown: %v", err)
+	}
+
+	// No partial merge: the view stopped at some record K >= every clean ack,
+	// and its scores are exactly the first K stream updates — bit for bit
+	// against a fresh reference engine. A merge that folded only some shards
+	// of a record, or half an update, cannot pass this.
+	v := c.router.currentView()
+	if v.seq < uint64(acked) {
+		t.Fatalf("view at sequence %d but %d records were acked", v.seq, acked)
+	}
+	if v.seq > uint64(len(stream)) {
+		t.Fatalf("view at sequence %d beyond the stream (%d)", v.seq, len(stream))
+	}
+	ref, err := engine.New(base.Clone(), engine.Config{Workers: cnt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	for i, u := range stream[:v.seq] {
+		if err := ref.Apply(u); err != nil {
+			t.Fatalf("reference apply %d: %v", i, err)
+		}
+	}
+	sameBits(t, "merged view after shutdown", ref.VBC(), ref.EBC(), v.res)
+}

@@ -36,6 +36,8 @@ const defaultWaitTimeout = 30 * time.Second
 //	GET  /v1/replication/snapshot  stream a consistent snapshot (leader)
 //	GET  /v1/replication/wal       stream WAL records from a sequence (leader)
 //	GET  /v1/replication/status    replication sequences and health (leader)
+//	POST /v1/shard/apply           apply one router fanout record (shard)
+//	GET  /v1/shard/status          shard identity and applied position
 //
 // Every route runs behind the instrument middleware: per-route request/status
 // counters, a latency histogram and the slow-request log.
@@ -74,6 +76,8 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /v1/replication/snapshot", "/v1/replication/snapshot", s.handleReplSnapshot)
 	handle("GET /v1/replication/wal", "/v1/replication/wal", s.handleReplWAL)
 	handle("GET /v1/replication/status", "/v1/replication/status", s.handleReplStatus)
+	handle("POST /v1/shard/apply", "/v1/shard/apply", s.handleShardApply)
+	handle("GET /v1/shard/status", "/v1/shard/status", s.handleShardStatus)
 	return mux
 }
 

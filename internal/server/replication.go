@@ -122,6 +122,9 @@ func (s *Server) ApplyReplicated(rec WALRecord) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closing.Load() {
+		return ErrClosed
+	}
 	if at := s.eng.WALOffset(); rec.Seq != at {
 		return fmt.Errorf("%w: record %d, replica at %d", ErrSequenceGap, rec.Seq, at)
 	}

@@ -83,6 +83,10 @@ type Config struct {
 	// fully caught up — so there is no default coercion here (the bcserved
 	// flag supplies the operational default of 1024).
 	ReadyMaxLag uint64
+	// ShardLast seeds the cached reply to the shard's last applied record,
+	// rebuilt by RecoverShardState during crash recovery, so a router retry
+	// of that record is answered from cache instead of a sequence gap.
+	ShardLast *ShardLastResponse
 }
 
 // Server serves an engine over HTTP. Create one with New, start the
@@ -104,6 +108,17 @@ type Server struct {
 	// lag-stats provider installed by the replication tailer.
 	replica   atomic.Bool
 	replStats atomic.Pointer[func() ReplicationStats]
+
+	// shardLast caches the reply to the last shard record applied (idempotent
+	// router retries; persisted with snapshots — see shard.go).
+	shardLast atomic.Pointer[ShardLastResponse]
+
+	// closing is set at the very start of Close, before the pipeline drains:
+	// write entry points that bypass the pipeline (ApplyShardRecord,
+	// ApplyReplicated) check it under the write lock, so a write racing
+	// shutdown gets a clean ErrClosed instead of landing on an engine whose
+	// pool Close is about to tear down.
+	closing atomic.Bool
 
 	started   bool
 	snapStop  chan struct{}
@@ -156,6 +171,9 @@ func New(eng *engine.Engine, cfg Config) *Server {
 	if cfg.WAL != nil {
 		s.wal.Store(cfg.WAL)
 	}
+	if cfg.ShardLast != nil {
+		s.shardLast.Store(cfg.ShardLast)
+	}
 	s.replica.Store(cfg.Replica)
 	s.met = newMetrics(s, reg)
 	if cfg.WAL != nil {
@@ -186,6 +204,7 @@ func (s *Server) Start() {
 // caller owns it).
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
+		s.closing.Store(true)
 		if s.started {
 			close(s.snapStop)
 			<-s.snapDone
@@ -454,6 +473,17 @@ func (s *Server) Snapshot() (string, error) {
 	if err != nil {
 		s.met.snapshotErrs.Inc()
 		return "", err
+	}
+	// Persist the shard's cached last response alongside the snapshot: when
+	// this snapshot covers the whole log, a restart cannot regenerate those
+	// deltas from replay (they need the pre-update state), and a router retry
+	// of that record must still get the original bytes back. A failed write
+	// does not fail the snapshot — the durability point was reached; the
+	// retry would merely see a sequence gap and trigger catch-up.
+	if s.shardLast.Load() != nil {
+		if err := s.saveShardLast(s.cfg.SnapshotDir); err != nil {
+			s.met.snapshotErrs.Inc()
+		}
 	}
 	s.met.snapshots.Inc()
 	if wal != nil {

@@ -1,0 +1,607 @@
+package server
+
+// Write-path sharding, shard side. A shard is a normal bcserved process whose
+// engine owns one stride of the global source pool (engine.Config.ShardIndex
+// of ShardCount; see bc.StridedSources): it applies every update of the
+// stream, but accumulates betweenness only over its own sources. The merge
+// router (internal/router) fans each accepted drain to all shards as one WAL
+// record and folds the per-update score deltas the shards send back, in shard
+// order — the exact arithmetic the reduce phase of a single ShardCount-worker
+// engine performs, so the merged scores are bit-identical to the
+// single-process ones when every shard runs one worker.
+//
+// Protocol (mounted on every primary, so a plain bcserved is adoptable as
+// shard 0 of 1; refused on replicas):
+//
+//	POST /v1/shard/apply     body: one framed WAL record (EncodeWALRecord).
+//	                         The record's sequence must continue the shard's
+//	                         log exactly; the shard appends it to its own WAL
+//	                         (durability), applies it, and answers with the
+//	                         per-update delta stream (EncodeShardResponse).
+//	                         409: sequence gap. Re-sending the last applied
+//	                         sequence returns the cached response unchanged —
+//	                         the router's retry after a lost reply must not
+//	                         re-apply.
+//	GET  /v1/shard/status    JSON: shard identity, applied sequence, graph
+//	                         summary, health.
+//
+// The response to the last applied record is kept in memory and persisted
+// alongside every snapshot (shard-last-response.bin): after a crash the WAL
+// replay rebuilds it for the final record, and when the snapshot already
+// covers the whole log (so no replay happens and the deltas cannot be
+// regenerated without pre-update state) the persisted copy fills the gap.
+// Either way a router retry of the last record gets the original bytes back.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"streambc/internal/engine"
+	"streambc/internal/graph"
+	"streambc/internal/incremental"
+)
+
+// ErrShardSequenceGap is returned by ApplyShardRecord when the record does
+// not continue exactly at the shard's applied sequence (HTTP 409): the router
+// must equalise the shard from a peer's WAL before resuming the fanout.
+var ErrShardSequenceGap = errors.New("server: shard sequence gap")
+
+// ShardLastResponse is the cached reply to the shard's last applied record,
+// kept for idempotent router retries (Seq is the record's sequence, Body the
+// exact EncodeShardResponse bytes).
+type ShardLastResponse struct {
+	Seq  uint64
+	Body []byte
+}
+
+// shardLastFileName is the snapshot-directory file persisting the cached
+// last response across restarts.
+const shardLastFileName = "shard-last-response.bin"
+
+// ShardDeltaVertex is one vertex term of an update's score delta.
+type ShardDeltaVertex struct {
+	V int
+	X float64
+}
+
+// ShardDeltaEdge is one edge term of an update's score delta.
+type ShardDeltaEdge struct {
+	E graph.Edge
+	X float64
+}
+
+// ShardUpdateResult is the outcome of one update of an applied record: either
+// a rejection (validation failure, deterministic across shards) or the
+// shard's partial score delta, terms in fold order.
+type ShardUpdateResult struct {
+	Rejected bool
+	Err      string
+	VBC      []ShardDeltaVertex
+	EBC      []ShardDeltaEdge
+}
+
+// ShardResponse is the decoded reply to a shard apply: the per-update results
+// of record Seq, in stream order, stamped with the shard's identity so the
+// router can detect a misconfigured cluster before folding anything.
+type ShardResponse struct {
+	ShardIndex int
+	ShardCount int
+	Seq        uint64
+	Updates    []ShardUpdateResult
+}
+
+// Shard response wire format (multi-byte integers as unsigned varints,
+// floats as little-endian IEEE-754 bits):
+//
+//	magic    [4]byte  "SBCD"
+//	version  uvarint  (1)
+//	shardIdx uvarint
+//	shardCnt uvarint
+//	seq      uvarint  sequence of the record this replies to
+//	count    uvarint  number of updates
+//	per update:
+//	  status byte     1 applied, 0 rejected
+//	  -- rejected --
+//	  errLen uvarint, err bytes
+//	  -- applied --
+//	  nv uvarint, nv × (uvarint v, float64 x)
+//	  ne uvarint, ne × (uvarint u, uvarint v, float64 x)
+//	crc      uint32   CRC-32 (IEEE) of every byte before it
+//
+// The delta terms are written in the engine's fold order (FlatDelta
+// first-touch order), so the router re-applies them in exactly the order the
+// shard's own reducer did.
+var shardRespMagic = [4]byte{'S', 'B', 'C', 'D'}
+
+const shardRespVersion = 1
+
+// EncodeShardResponse appends the wire encoding of resp to buf.
+func EncodeShardResponse(buf []byte, resp ShardResponse) []byte {
+	start := len(buf)
+	buf = append(buf, shardRespMagic[:]...)
+	buf = binary.AppendUvarint(buf, shardRespVersion)
+	buf = binary.AppendUvarint(buf, uint64(resp.ShardIndex))
+	buf = binary.AppendUvarint(buf, uint64(resp.ShardCount))
+	buf = binary.AppendUvarint(buf, resp.Seq)
+	buf = binary.AppendUvarint(buf, uint64(len(resp.Updates)))
+	for _, u := range resp.Updates {
+		if u.Rejected {
+			buf = append(buf, 0)
+			buf = binary.AppendUvarint(buf, uint64(len(u.Err)))
+			buf = append(buf, u.Err...)
+			continue
+		}
+		buf = append(buf, 1)
+		buf = binary.AppendUvarint(buf, uint64(len(u.VBC)))
+		for _, t := range u.VBC {
+			buf = binary.AppendUvarint(buf, uint64(t.V))
+			buf = binary.LittleEndian.AppendUint64(buf, floatBits(t.X))
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(u.EBC)))
+		for _, t := range u.EBC {
+			buf = binary.AppendUvarint(buf, uint64(t.E.U))
+			buf = binary.AppendUvarint(buf, uint64(t.E.V))
+			buf = binary.LittleEndian.AppendUint64(buf, floatBits(t.X))
+		}
+	}
+	crc := crc32.ChecksumIEEE(buf[start:])
+	return binary.LittleEndian.AppendUint32(buf, crc)
+}
+
+// ErrBadShardResponse is wrapped by every shard-response decoding failure.
+var ErrBadShardResponse = errors.New("server: bad shard response")
+
+// DecodeShardResponse decodes one shard response, verifying the checksum.
+func DecodeShardResponse(data []byte) (*ShardResponse, error) {
+	if len(data) < len(shardRespMagic)+4 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadShardResponse, len(data))
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if got, want := binary.LittleEndian.Uint32(tail), crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (wire %08x, computed %08x)", ErrBadShardResponse, got, want)
+	}
+	if [4]byte(body[:4]) != shardRespMagic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadShardResponse, body[:4])
+	}
+	p := body[4:]
+	next := func(what string) (uint64, error) {
+		x, n := binary.Uvarint(p)
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: reading %s", ErrBadShardResponse, what)
+		}
+		p = p[n:]
+		return x, nil
+	}
+	nextFloat := func(what string) (float64, error) {
+		if len(p) < 8 {
+			return 0, fmt.Errorf("%w: reading %s", ErrBadShardResponse, what)
+		}
+		x := floatFromBits(binary.LittleEndian.Uint64(p))
+		p = p[8:]
+		return x, nil
+	}
+	version, err := next("version")
+	if err != nil {
+		return nil, err
+	}
+	if version != shardRespVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadShardResponse, version)
+	}
+	resp := &ShardResponse{}
+	si, err := next("shard index")
+	if err != nil {
+		return nil, err
+	}
+	sc, err := next("shard count")
+	if err != nil {
+		return nil, err
+	}
+	if sc < 1 || si >= sc {
+		return nil, fmt.Errorf("%w: implausible shard %d/%d", ErrBadShardResponse, si, sc)
+	}
+	resp.ShardIndex, resp.ShardCount = int(si), int(sc)
+	if resp.Seq, err = next("sequence"); err != nil {
+		return nil, err
+	}
+	count, err := next("update count")
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < count; i++ {
+		if len(p) < 1 {
+			return nil, fmt.Errorf("%w: reading update status", ErrBadShardResponse)
+		}
+		status := p[0]
+		p = p[1:]
+		var u ShardUpdateResult
+		switch status {
+		case 0:
+			u.Rejected = true
+			el, err := next("error length")
+			if err != nil {
+				return nil, err
+			}
+			if uint64(len(p)) < el {
+				return nil, fmt.Errorf("%w: reading error text", ErrBadShardResponse)
+			}
+			u.Err = string(p[:el])
+			p = p[el:]
+		case 1:
+			nv, err := next("vertex delta count")
+			if err != nil {
+				return nil, err
+			}
+			for j := uint64(0); j < nv; j++ {
+				v, err := next("vertex")
+				if err != nil {
+					return nil, err
+				}
+				x, err := nextFloat("vertex delta")
+				if err != nil {
+					return nil, err
+				}
+				u.VBC = append(u.VBC, ShardDeltaVertex{V: int(v), X: x})
+			}
+			ne, err := next("edge delta count")
+			if err != nil {
+				return nil, err
+			}
+			for j := uint64(0); j < ne; j++ {
+				eu, err := next("edge endpoint")
+				if err != nil {
+					return nil, err
+				}
+				ev, err := next("edge endpoint")
+				if err != nil {
+					return nil, err
+				}
+				x, err := nextFloat("edge delta")
+				if err != nil {
+					return nil, err
+				}
+				u.EBC = append(u.EBC, ShardDeltaEdge{E: graph.Edge{U: int(eu), V: int(ev)}, X: x})
+			}
+		default:
+			return nil, fmt.Errorf("%w: update status %d", ErrBadShardResponse, status)
+		}
+		resp.Updates = append(resp.Updates, u)
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadShardResponse, len(p))
+	}
+	return resp, nil
+}
+
+// ApplyShardRecord applies one router fanout record to this shard: appends it
+// to the shard's own write-ahead log (when one is attached), applies its
+// updates exactly as the ingest pipeline would, and returns the encoded
+// per-update delta response. Records must continue the shard's sequence
+// exactly; re-sending the last applied sequence returns the cached response
+// without re-applying (the router retries after a lost reply), and any other
+// mismatch fails with ErrShardSequenceGap. An engine failure after a durable
+// append poisons the WAL, exactly like the ingest path: the shard must
+// restart and recover.
+func (s *Server) ApplyShardRecord(rec WALRecord) ([]byte, error) {
+	if s.Replica() {
+		return nil, ErrReadOnlyReplica
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing.Load() {
+		return nil, ErrClosed
+	}
+	if last := s.shardLast.Load(); last != nil && rec.Seq == last.Seq {
+		return last.Body, nil
+	}
+	wal := s.getWAL()
+	if wal != nil {
+		if werr := wal.Err(); werr != nil {
+			return nil, fmt.Errorf("%w: %w", ErrIngestHalted, werr)
+		}
+		if at := wal.Seq(); rec.Seq != at {
+			return nil, fmt.Errorf("%w: record %d, shard log at %d", ErrShardSequenceGap, rec.Seq, at)
+		}
+		if _, err := wal.Append(rec.NeedVertices, rec.Updates); err != nil {
+			s.met.walErrs.Inc()
+			return nil, fmt.Errorf("server: shard write-ahead log append: %w", err)
+		}
+		s.met.walAppends.Inc()
+	} else if at := s.eng.WALOffset(); rec.Seq != at {
+		return nil, fmt.Errorf("%w: record %d, shard at %d", ErrShardSequenceGap, rec.Seq, at)
+	}
+	body, err := applyRecordCaptured(s.eng, rec, s.cfg.MaxBatch)
+	if err != nil {
+		if wal != nil {
+			// The record is durable but the engine failed mid-apply: the
+			// state matches no log position any more. Poison, like the
+			// ingest pipeline; a restart replays cleanly.
+			wal.poison(fmt.Errorf("server: engine failed after a WAL append, restart to recover: %w", err))
+		}
+		return nil, err
+	}
+	s.met.applied.Add(int64(len(rec.Updates)))
+	s.met.batches.Inc()
+	s.shardLast.Store(&ShardLastResponse{Seq: rec.Seq, Body: body})
+	s.publishView()
+	return body, nil
+}
+
+// applyRecordCaptured applies one WAL record to eng — vertex growth, then the
+// updates in chunks of at most maxBatch with per-update validation rejections
+// skipped, exactly like the ingest pipeline — while capturing every applied
+// update's per-worker score deltas through the engine's delta observer. It
+// returns the encoded ShardResponse and advances the engine's WAL offset past
+// the record. Shared by the live apply path and by crash recovery replaying
+// the final logged record (whose response a router retry may still want).
+func applyRecordCaptured(eng *engine.Engine, rec WALRecord, maxBatch int) ([]byte, error) {
+	if maxBatch < 1 {
+		maxBatch = 256
+	}
+	results := make([]ShardUpdateResult, len(rec.Updates))
+	var blobs []ShardUpdateResult
+	scratch := incremental.NewFlatDelta()
+	eng.SetDeltaObserver(func(_ graph.Update, perWorker []*incremental.FlatDelta) {
+		// Fold the worker deltas into one (for the pinned one-worker-per-shard
+		// deployment this is an exact copy; with more workers the shard's own
+		// reduce uses the same fold, so shard-local scores stay exact while
+		// cross-process bit-identity is only guaranteed at one worker).
+		scratch.Reset()
+		scratch.Reserve(eng.Graph().N())
+		for _, d := range perWorker {
+			d.Each(scratch.AddVBC, scratch.AddEBC)
+		}
+		var u ShardUpdateResult
+		nv, ne := scratch.Len()
+		u.VBC = make([]ShardDeltaVertex, 0, nv)
+		u.EBC = make([]ShardDeltaEdge, 0, ne)
+		scratch.Each(func(v int, x float64) {
+			u.VBC = append(u.VBC, ShardDeltaVertex{V: v, X: x})
+		}, func(e graph.Edge, x float64) {
+			u.EBC = append(u.EBC, ShardDeltaEdge{E: e, X: x})
+		})
+		blobs = append(blobs, u)
+	})
+	defer eng.SetDeltaObserver(nil)
+	if err := eng.EnsureVertices(rec.NeedVertices); err != nil {
+		return nil, err
+	}
+	for start := 0; start < len(rec.Updates); start += maxBatch {
+		end := min(start+maxBatch, len(rec.Updates))
+		i := start
+		for i < end {
+			applied, err := eng.ApplyBatch(rec.Updates[i:end])
+			i += applied
+			if err == nil {
+				break
+			}
+			if i >= end || !incremental.IsValidationError(err) ||
+				errors.Is(err, incremental.ErrFlushFailed) {
+				return nil, err
+			}
+			results[i] = ShardUpdateResult{Rejected: true, Err: err.Error()}
+			i++
+		}
+	}
+	// Match the captured deltas (one per applied update, in stream order)
+	// back to their slots.
+	bi := 0
+	for i := range results {
+		if results[i].Rejected {
+			continue
+		}
+		if bi >= len(blobs) {
+			return nil, fmt.Errorf("server: shard apply captured %d deltas for %d applied updates", len(blobs), bi+1)
+		}
+		results[i].VBC, results[i].EBC = blobs[bi].VBC, blobs[bi].EBC
+		bi++
+	}
+	if bi != len(blobs) {
+		return nil, fmt.Errorf("server: shard apply captured %d deltas, matched %d", len(blobs), bi)
+	}
+	eng.SetWALOffset(rec.Seq + 1)
+	return EncodeShardResponse(nil, ShardResponse{
+		ShardIndex: eng.ShardIndex(),
+		ShardCount: eng.ShardCount(),
+		Seq:        rec.Seq,
+		Updates:    results,
+	}), nil
+}
+
+// RecoverShardState is the shard flavour of ReplayWAL: it replays the
+// uncovered WAL tail into eng and rebuilds the response cache of the final
+// logged record, so a router retrying that record after the crash gets the
+// original reply instead of a sequence gap. When the snapshot already covers
+// the whole log the deltas of the final record cannot be regenerated (they
+// need the pre-update state); the copy persisted next to the snapshot
+// (shard-last-response.bin, written on every snapshot) fills that gap when
+// its sequence still matches. Returns the number of updates replayed and the
+// rebuilt cache (nil when the log is empty and nothing was persisted).
+func RecoverShardState(w *WAL, eng *engine.Engine, maxBatch int, snapshotDir string) (int, *ShardLastResponse, error) {
+	last := w.Seq() // sequence of the NEXT record; last-1 is the final logged one
+	replayed := 0
+	var cache *ShardLastResponse
+	err := w.ReplayFrom(eng.WALOffset(), func(rec WALRecord) error {
+		if last > 0 && rec.Seq == last-1 {
+			body, err := applyRecordCaptured(eng, rec, maxBatch)
+			if err != nil {
+				return err
+			}
+			cache = &ShardLastResponse{Seq: rec.Seq, Body: body}
+		} else if err := eng.ReplayRecord(rec.Seq, rec.NeedVertices, rec.Updates, maxBatch); err != nil {
+			return err
+		}
+		replayed += len(rec.Updates)
+		return nil
+	})
+	if err != nil {
+		return replayed, nil, err
+	}
+	eng.SetWALOffset(w.Seq())
+	if cache == nil && snapshotDir != "" {
+		if persisted, err := LoadShardLastResponse(snapshotDir); err == nil &&
+			persisted != nil && last > 0 && persisted.Seq == last-1 {
+			cache = persisted
+		}
+	}
+	return replayed, cache, nil
+}
+
+// LoadShardLastResponse reads the persisted last-response cache from dir.
+// A missing file returns (nil, nil); a corrupt one returns an error (the
+// body's trailing checksum is verified by decoding it).
+func LoadShardLastResponse(dir string) (*ShardLastResponse, error) {
+	body, err := os.ReadFile(filepath.Join(dir, shardLastFileName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	resp, err := DecodeShardResponse(body)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardLastResponse{Seq: resp.Seq, Body: body}, nil
+}
+
+// saveShardLast persists the cached last response next to the snapshot with
+// the same atomic discipline (temp file, fsync, rename, directory fsync).
+// Called with at least the read lock held, after a successful snapshot.
+func (s *Server) saveShardLast(dir string) error {
+	last := s.shardLast.Load()
+	if last == nil {
+		return nil
+	}
+	tmp, err := os.CreateTemp(dir, shardLastFileName+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(last.Body); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, shardLastFileName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// handleShardApply is POST /v1/shard/apply: one framed WAL record in, the
+// per-update delta response out.
+func (s *Server) handleShardApply(w http.ResponseWriter, r *http.Request) {
+	if s.Replica() {
+		httpError(w, http.StatusPreconditionFailed, errors.New("replicas do not accept shard writes"))
+		return
+	}
+	rec, err := ReadWALRecord(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad shard record: %w", err))
+		return
+	}
+	body, err := s.ApplyShardRecord(rec)
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, ErrShardSequenceGap):
+			status = http.StatusConflict
+		case errors.Is(err, ErrClosed), errors.Is(err, engine.ErrClosed),
+			errors.Is(err, ErrIngestHalted), errors.Is(err, ErrWALClosed):
+			status = http.StatusServiceUnavailable
+		}
+		httpError(w, status, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(len(body)))
+	w.Write(body) //nolint:errcheck // client went away; the cache keeps the reply
+}
+
+// ShardStatus is the shard's identity and applied position, polled by the
+// router for readiness aggregation and catch-up planning (the JSON body of
+// GET /v1/shard/status).
+type ShardStatus struct {
+	ShardIndex     int     `json:"shard_index"`
+	ShardCount     int     `json:"shard_count"`
+	AppliedSeq     uint64  `json:"applied_sequence"`
+	AppliedUpdates int     `json:"applied_updates"`
+	Vertices       int     `json:"vertices"`
+	Edges          int     `json:"edges"`
+	Directed       bool    `json:"directed"`
+	Sampled        bool    `json:"sampled"`
+	Scale          float64 `json:"scale"`
+	Workers        int     `json:"workers"`
+	WALSeq         uint64  `json:"wal_sequence"`
+	Healthy        bool    `json:"healthy"`
+}
+
+// ShardStatus captures the shard's current status (see the type).
+func (s *Server) ShardStatus() ShardStatus {
+	s.mu.RLock()
+	g := s.eng.Graph()
+	st := ShardStatus{
+		ShardIndex:     s.eng.ShardIndex(),
+		ShardCount:     s.eng.ShardCount(),
+		AppliedSeq:     s.eng.WALOffset(),
+		AppliedUpdates: s.eng.Stats().UpdatesApplied,
+		Vertices:       g.N(),
+		Edges:          g.M(),
+		Directed:       g.Directed(),
+		Sampled:        s.eng.Sampled(),
+		Scale:          s.eng.Scale(),
+		Workers:        s.eng.Workers(),
+	}
+	s.mu.RUnlock()
+	st.Healthy = !s.Replica() && !s.closing.Load()
+	if wal := s.getWAL(); wal != nil {
+		st.WALSeq = wal.Seq()
+		st.Healthy = st.Healthy && wal.Err() == nil
+	}
+	return st
+}
+
+// ShardState decodes one consistent snapshot of the shard's engine state —
+// the in-process equivalent of streaming GET /v1/replication/snapshot. The
+// state's WALOffset is the sequence it covers.
+func (s *Server) ShardState() (*engine.SnapshotState, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var buf bytes.Buffer
+	if err := engine.WriteSnapshot(&buf, s.eng); err != nil {
+		return nil, err
+	}
+	return engine.ReadSnapshot(&buf)
+}
+
+// ShardWALRecords reads up to max records of the shard's own log starting at
+// sequence from, returning them with the log's end sequence — the in-process
+// equivalent of GET /v1/replication/wal (no long poll).
+func (s *Server) ShardWALRecords(from uint64, max int) ([]WALRecord, uint64, error) {
+	wal := s.getWAL()
+	if wal == nil {
+		return nil, 0, errors.New("server: shard has no write-ahead log")
+	}
+	return wal.ReadRecords(from, max)
+}
+
+// handleShardStatus is GET /v1/shard/status.
+func (s *Server) handleShardStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.ShardStatus())
+}
+
+func floatBits(x float64) uint64     { return math.Float64bits(x) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,370 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"streambc/internal/engine"
+	"streambc/internal/graph"
+)
+
+// startShardServer builds a one-worker shard server over a WAL in a temp
+// directory, mirroring what `bcserved -shard idx/cnt` assembles.
+func startShardServer(t *testing.T, g *graph.Graph, idx, cnt int) (*Server, string) {
+	t.Helper()
+	dir := t.TempDir()
+	eng, err := engine.New(g, engine.Config{Workers: 1, ShardIndex: idx, ShardCount: cnt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wal := testWAL(t, WALConfig{Dir: filepath.Join(dir, "wal")}, 0)
+	srv := New(eng, Config{WAL: wal, SnapshotDir: dir})
+	srv.Start()
+	t.Cleanup(func() {
+		srv.Close()
+		eng.Close()
+	})
+	return srv, dir
+}
+
+func shardRecord(seq uint64, needVertices int, upds ...graph.Update) WALRecord {
+	return WALRecord{Seq: seq, NeedVertices: needVertices, Updates: upds}
+}
+
+func TestShardResponseCodecRoundTrip(t *testing.T) {
+	resp := ShardResponse{
+		ShardIndex: 2,
+		ShardCount: 3,
+		Seq:        41,
+		Updates: []ShardUpdateResult{
+			{
+				VBC: []ShardDeltaVertex{{V: 0, X: 1.25}, {V: 7, X: -3.5e-9}},
+				EBC: []ShardDeltaEdge{{E: graph.Edge{U: 1, V: 2}, X: 0.75}},
+			},
+			{Rejected: true, Err: "self loop"},
+			{}, // applied, empty delta (no owned source moved)
+		},
+	}
+	body := EncodeShardResponse(nil, resp)
+	got, err := DecodeShardResponse(body)
+	if err != nil {
+		t.Fatalf("DecodeShardResponse: %v", err)
+	}
+	if got.ShardIndex != 2 || got.ShardCount != 3 || got.Seq != 41 || len(got.Updates) != 3 {
+		t.Fatalf("decoded header = %+v", got)
+	}
+	if len(got.Updates[0].VBC) != 2 || got.Updates[0].VBC[1].X != -3.5e-9 ||
+		len(got.Updates[0].EBC) != 1 || got.Updates[0].EBC[0].E != (graph.Edge{U: 1, V: 2}) {
+		t.Fatalf("decoded deltas = %+v", got.Updates[0])
+	}
+	if !got.Updates[1].Rejected || got.Updates[1].Err != "self loop" {
+		t.Fatalf("decoded rejection = %+v", got.Updates[1])
+	}
+	if got.Updates[2].Rejected || len(got.Updates[2].VBC) != 0 {
+		t.Fatalf("decoded empty delta = %+v", got.Updates[2])
+	}
+
+	// Every corruption is detected: truncation, a flipped bit, bad magic.
+	if _, err := DecodeShardResponse(body[:len(body)-3]); !errors.Is(err, ErrBadShardResponse) {
+		t.Fatalf("truncated body: err = %v", err)
+	}
+	for _, i := range []int{0, 5, len(body) / 2, len(body) - 1} {
+		flipped := append([]byte(nil), body...)
+		flipped[i] ^= 0x10
+		if _, err := DecodeShardResponse(flipped); !errors.Is(err, ErrBadShardResponse) {
+			t.Fatalf("bit flip at %d: err = %v", i, err)
+		}
+	}
+	if _, err := DecodeShardResponse([]byte("no")); !errors.Is(err, ErrBadShardResponse) {
+		t.Fatalf("short body: err = %v", err)
+	}
+}
+
+func TestApplyShardRecordSequenceAndIdempotence(t *testing.T) {
+	g := testGraph(t, 12, 30, 1)
+	srv, _ := startShardServer(t, g, 0, 2)
+
+	first, err := srv.ApplyShardRecord(shardRecord(0, 0, graph.Update{U: 0, V: 13, Remove: false}, graph.Update{U: 13, V: 5}))
+	if err != nil {
+		t.Fatalf("ApplyShardRecord(0): %v", err)
+	}
+	firstResp, err := DecodeShardResponse(first)
+	if err != nil {
+		t.Fatalf("decoding first response: %v", err)
+	}
+	if firstResp.Seq != 0 || firstResp.ShardIndex != 0 || firstResp.ShardCount != 2 {
+		t.Fatalf("first response header = %+v", firstResp)
+	}
+	if len(firstResp.Updates) != 2 {
+		t.Fatalf("first response carries %d updates, want 2", len(firstResp.Updates))
+	}
+	// U=0 V=13 grows the graph past NeedVertices=0; the engine grows on
+	// demand, so the update still applies.
+	if firstResp.Updates[0].Rejected || firstResp.Updates[1].Rejected {
+		t.Fatalf("updates rejected: %+v", firstResp.Updates)
+	}
+
+	applied := srv.ShardStatus().AppliedUpdates
+
+	// Retrying the same sequence returns the identical bytes without
+	// re-applying anything.
+	again, err := srv.ApplyShardRecord(shardRecord(0, 0, graph.Update{U: 0, V: 13}, graph.Update{U: 13, V: 5}))
+	if err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	if !bytes.Equal(first, again) {
+		t.Fatal("retried record returned different bytes")
+	}
+	if got := srv.ShardStatus().AppliedUpdates; got != applied {
+		t.Fatalf("retry re-applied updates: %d -> %d", applied, got)
+	}
+
+	// A gap in either direction is refused.
+	if _, err := srv.ApplyShardRecord(shardRecord(5, 0, graph.Update{U: 1, V: 2})); !errors.Is(err, ErrShardSequenceGap) {
+		t.Fatalf("future record: err = %v, want ErrShardSequenceGap", err)
+	}
+
+	// The next sequence continues, including rejections in the middle.
+	second, err := srv.ApplyShardRecord(shardRecord(1, 0,
+		graph.Update{U: 4, V: 4},                 // self loop: rejected
+		graph.Update{U: 9, V: 10, Remove: false}, // fine
+	))
+	if err != nil {
+		t.Fatalf("ApplyShardRecord(1): %v", err)
+	}
+	secondResp, err := DecodeShardResponse(second)
+	if err != nil {
+		t.Fatalf("decoding second response: %v", err)
+	}
+	if !secondResp.Updates[0].Rejected || secondResp.Updates[0].Err == "" {
+		t.Fatalf("self loop not rejected: %+v", secondResp.Updates[0])
+	}
+	if secondResp.Updates[1].Rejected {
+		t.Fatalf("valid update rejected: %+v", secondResp.Updates[1])
+	}
+	if st := srv.ShardStatus(); st.AppliedSeq != 2 || st.WALSeq != 2 {
+		t.Fatalf("status after two records = %+v", st)
+	}
+}
+
+func TestShardApplyHTTP(t *testing.T) {
+	g := testGraph(t, 10, 24, 2)
+	srv, _ := startShardServer(t, g, 1, 3)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	rec := shardRecord(0, 0, graph.Update{U: 0, V: 1, Remove: false})
+	post := func(rec WALRecord) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/shard/apply", "application/octet-stream",
+			bytes.NewReader(EncodeWALRecord(nil, rec)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp, body
+	}
+	resp, body := post(rec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/shard/apply: %d %s", resp.StatusCode, body)
+	}
+	decoded, err := DecodeShardResponse(body)
+	if err != nil {
+		t.Fatalf("decoding HTTP response: %v", err)
+	}
+	if decoded.ShardIndex != 1 || decoded.ShardCount != 3 || decoded.Seq != 0 {
+		t.Fatalf("HTTP response header = %+v", decoded)
+	}
+
+	// A sequence gap maps to 409.
+	if resp, body := post(shardRecord(7, 0, graph.Update{U: 0, V: 2})); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("gap: %d %s, want 409", resp.StatusCode, body)
+	}
+
+	// Garbage maps to 400.
+	gresp, err := http.Post(ts.URL+"/v1/shard/apply", "application/octet-stream",
+		bytes.NewReader([]byte("not a record")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage record: %d, want 400", gresp.StatusCode)
+	}
+
+	// The status endpoint reports the identity.
+	var st ShardStatus
+	getJSON(t, ts.URL+"/v1/shard/status", &st)
+	if st.ShardIndex != 1 || st.ShardCount != 3 || st.AppliedSeq != 1 || !st.Healthy {
+		t.Fatalf("GET /v1/shard/status = %+v", st)
+	}
+}
+
+func TestShardApplyRefusedOnReplica(t *testing.T) {
+	g := testGraph(t, 8, 16, 3)
+	eng, err := engine.New(g, engine.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng, Config{Replica: true})
+	srv.Start()
+	t.Cleanup(func() {
+		srv.Close()
+		eng.Close()
+	})
+	if _, err := srv.ApplyShardRecord(shardRecord(0, 0, graph.Update{U: 0, V: 1})); !errors.Is(err, ErrReadOnlyReplica) {
+		t.Fatalf("replica apply: err = %v, want ErrReadOnlyReplica", err)
+	}
+}
+
+// TestShardRecoveryRebuildsLastResponse crashes a shard (by abandoning the
+// server without closing the engine state cleanly) and proves the WAL replay
+// rebuilds byte-identical state AND the cached reply of the final record.
+func TestShardRecoveryRebuildsLastResponse(t *testing.T) {
+	g := testGraph(t, 14, 36, 4)
+	dir := t.TempDir()
+	walDir := filepath.Join(dir, "wal")
+
+	eng, err := engine.New(g.Clone(), engine.Config{Workers: 1, ShardIndex: 0, ShardCount: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wal, err := OpenWAL(WALConfig{Dir: walDir}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng, Config{WAL: wal})
+	srv.Start()
+	var last []byte
+	for seq := uint64(0); seq < 3; seq++ {
+		u := graph.Update{U: int(seq), V: int(seq) + 5}
+		last, err = srv.ApplyShardRecord(shardRecord(seq, 0, u))
+		if err != nil {
+			t.Fatalf("ApplyShardRecord(%d): %v", seq, err)
+		}
+	}
+	wantVBC := append([]float64(nil), eng.VBC()...)
+	// Simulate the crash: drop the server without Close (the WAL file is
+	// already durable) and recover into a fresh engine from scratch.
+	wal.Close()
+
+	eng2, err := engine.New(g.Clone(), engine.Config{Workers: 1, ShardIndex: 0, ShardCount: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	wal2 := testWAL(t, WALConfig{Dir: walDir}, 0)
+	replayed, cache, err := RecoverShardState(wal2, eng2, 0, dir)
+	if err != nil {
+		t.Fatalf("RecoverShardState: %v", err)
+	}
+	if replayed != 3 {
+		t.Fatalf("replayed %d updates, want 3", replayed)
+	}
+	if cache == nil || cache.Seq != 2 {
+		t.Fatalf("cache = %+v, want sequence 2", cache)
+	}
+	if !bytes.Equal(cache.Body, last) {
+		t.Fatal("recovered last-response bytes differ from the original reply")
+	}
+	if eng2.WALOffset() != 3 {
+		t.Fatalf("recovered WAL offset = %d, want 3", eng2.WALOffset())
+	}
+	for v := range wantVBC {
+		if eng2.VBC()[v] != wantVBC[v] {
+			t.Fatalf("recovered VBC[%d] = %g, want %g", v, eng2.VBC()[v], wantVBC[v])
+		}
+	}
+
+	// A server seeded with the rebuilt cache answers the retry from it.
+	srv2 := New(eng2, Config{WAL: wal2, ShardLast: cache})
+	srv2.Start()
+	defer srv2.Close()
+	body, err := srv2.ApplyShardRecord(shardRecord(2, 0, graph.Update{U: 2, V: 7}))
+	if err != nil {
+		t.Fatalf("retry after recovery: %v", err)
+	}
+	if !bytes.Equal(body, last) {
+		t.Fatal("retry after recovery returned different bytes")
+	}
+	_ = srv
+}
+
+// TestShardLastResponsePersistedWithSnapshot covers the no-replay crash
+// window: when the snapshot covers the whole log, the persisted
+// shard-last-response.bin is the only source of the final record's reply.
+func TestShardLastResponsePersistedWithSnapshot(t *testing.T) {
+	g := testGraph(t, 12, 28, 5)
+	srv, dir := startShardServer(t, g, 0, 2)
+	var last []byte
+	var err error
+	for seq := uint64(0); seq < 2; seq++ {
+		last, err = srv.ApplyShardRecord(shardRecord(seq, 0, graph.Update{U: int(seq), V: int(seq) + 3}))
+		if err != nil {
+			t.Fatalf("ApplyShardRecord(%d): %v", seq, err)
+		}
+	}
+	if _, err := srv.Snapshot(); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	loaded, err := LoadShardLastResponse(dir)
+	if err != nil {
+		t.Fatalf("LoadShardLastResponse: %v", err)
+	}
+	if loaded == nil || loaded.Seq != 1 || !bytes.Equal(loaded.Body, last) {
+		t.Fatalf("persisted cache = %+v, want the sequence-1 reply", loaded)
+	}
+
+	// A corrupt persisted file is refused, not trusted.
+	path := filepath.Join(dir, shardLastFileName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadShardLastResponse(dir); err == nil {
+		t.Fatal("corrupt persisted cache accepted")
+	}
+
+	// A missing file is not an error (fresh shard).
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if loaded, err := LoadShardLastResponse(dir); err != nil || loaded != nil {
+		t.Fatalf("missing cache: %+v, %v", loaded, err)
+	}
+}
+
+func TestShardStateAndWALRecords(t *testing.T) {
+	g := testGraph(t, 10, 22, 6)
+	srv, _ := startShardServer(t, g, 1, 2)
+	for seq := uint64(0); seq < 3; seq++ {
+		if _, err := srv.ApplyShardRecord(shardRecord(seq, 0, graph.Update{U: int(seq), V: int(seq) + 4})); err != nil {
+			t.Fatalf("ApplyShardRecord(%d): %v", seq, err)
+		}
+	}
+	st, err := srv.ShardState()
+	if err != nil {
+		t.Fatalf("ShardState: %v", err)
+	}
+	if st.WALOffset != 3 || st.ShardIndex != 1 || st.ShardCount != 2 {
+		t.Fatalf("state = offset %d shard %d/%d, want 3 and 1/2", st.WALOffset, st.ShardIndex, st.ShardCount)
+	}
+	recs, end, err := srv.ShardWALRecords(1, 10)
+	if err != nil {
+		t.Fatalf("ShardWALRecords: %v", err)
+	}
+	if len(recs) != 2 || recs[0].Seq != 1 || end != 3 {
+		t.Fatalf("records from 1 = %d recs (first %d), end %d", len(recs), recs[0].Seq, end)
+	}
+}

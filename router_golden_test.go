@@ -1,0 +1,143 @@
+package streambc
+
+// Golden bit-identity test of the sharded write path. The router's merged
+// scores are pinned to the SAME golden file as the single-process engine
+// (testdata/diskreplay_scores.json): a cluster of one disk-backed shard must
+// reproduce the "disk-1worker" bits, and a four-shard cluster must reproduce
+// the "mem-4workers" bits, because the router's update-major shard-order
+// merge performs exactly the reduce fold of a 4-worker engine. The golden is
+// never regenerated here — if these comparisons fail, the sharded write path
+// has drifted from the engine, not the other way round.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"streambc/internal/bc"
+	"streambc/internal/engine"
+	"streambc/internal/router"
+	"streambc/internal/server"
+)
+
+// captureResultScores formats a merged result the way the golden file stores
+// scores: hexadecimal IEEE-754 bit patterns.
+func captureResultScores(res *bc.Result) goldenScores {
+	g := goldenScores{
+		VBC: make([]string, len(res.VBC)),
+		EBC: make(map[string]string, len(res.EBC)),
+	}
+	for v, x := range res.VBC {
+		g.VBC[v] = fmt.Sprintf("%016x", math.Float64bits(x))
+	}
+	for e, x := range res.EBC {
+		g.EBC[fmt.Sprintf("%d-%d", e.U, e.V)] = fmt.Sprintf("%016x", math.Float64bits(x))
+	}
+	return g
+}
+
+// runRouterGoldenConfig replays the golden disk-replay workload — the same
+// graph, stream, batching (three batches of 16 plus one single update) and
+// applied count as runGoldenConfig — through a shard cluster behind a router
+// and returns the merged scores.
+func runRouterGoldenConfig(t *testing.T, shards int, disk bool) goldenScores {
+	t.Helper()
+	g, pairs := diskReplayWorkload(t, 400, 32)
+	conns := make([]router.ShardConn, shards)
+	for i := 0; i < shards; i++ {
+		cfg := engine.Config{Workers: 1}
+		if shards > 1 {
+			cfg.ShardIndex, cfg.ShardCount = i, shards
+		}
+		dir := t.TempDir()
+		if disk {
+			store := filepath.Join(dir, "store")
+			if err := os.MkdirAll(store, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			cfg.Store = engine.DiskFactory(store)
+		}
+		eng, err := engine.New(g.Clone(), cfg)
+		if err != nil {
+			t.Fatalf("shard %d engine: %v", i, err)
+		}
+		wal, err := server.OpenWAL(server.WALConfig{Dir: filepath.Join(dir, "wal")}, 0)
+		if err != nil {
+			t.Fatalf("shard %d WAL: %v", i, err)
+		}
+		srv := server.New(eng, server.Config{WAL: wal, SnapshotDir: dir})
+		srv.Start()
+		t.Cleanup(func() {
+			srv.Close()
+			eng.Close()
+		})
+		conns[i] = router.NewLocalShard(fmt.Sprintf("shard%d", i), srv)
+	}
+	rt, err := router.New(context.Background(), router.Config{Shards: conns})
+	if err != nil {
+		t.Fatalf("router.New: %v", err)
+	}
+	rt.Start()
+	t.Cleanup(func() { rt.Close() })
+
+	apply := func(ups []Update) {
+		t.Helper()
+		b, err := rt.Enqueue(ups)
+		if err != nil {
+			t.Fatalf("Enqueue: %v", err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		if err := b.Wait(ctx); err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+		if errs := b.Errs(); len(errs) > 0 {
+			t.Fatalf("batch errors: %v", errs)
+		}
+	}
+	const applied = 49 // mirrors runGoldenConfig exactly
+	stream := pairs[:applied-1]
+	for off := 0; off < len(stream); off += 16 {
+		apply(stream[off:min(off+16, len(stream))])
+	}
+	apply([]Update{pairs[applied-1]})
+
+	res, seq := rt.Result()
+	if want := uint64(len(stream)/16 + 1); seq != want {
+		t.Fatalf("router merged %d records, want %d", seq, want)
+	}
+	return captureResultScores(res)
+}
+
+// TestRouterDiskReplayScoresGolden replays the golden workload through shard
+// clusters and compares the merged scores against the pinned single-process
+// bits, key by key. Never regenerates the golden file.
+func TestRouterDiskReplayScoresGolden(t *testing.T) {
+	if *updateGolden {
+		t.Skip("the golden file is owned by TestDiskReplayScoresGolden; the router must match it, not redefine it")
+	}
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+	var want goldenFile
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]goldenScores{
+		"disk-1worker": runRouterGoldenConfig(t, 1, true),
+		"mem-4workers": runRouterGoldenConfig(t, 4, false),
+	}
+	for name, g := range got {
+		w, ok := want.Configs[name]
+		if !ok {
+			t.Fatalf("golden file has no config %s", name)
+		}
+		compareGolden(t, "router/"+name, w, g)
+	}
+}

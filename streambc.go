@@ -104,6 +104,8 @@ type options struct {
 	sampleK    int
 	sampleSeed int64
 	sampled    bool
+	shardIdx   int
+	shardCnt   int
 }
 
 // Option configures New.
@@ -147,6 +149,22 @@ func WithSampledSources(k int, seed int64) Option {
 		o.sampleK = k
 		o.sampleSeed = seed
 		o.sampled = true
+	}
+}
+
+// WithShard restricts the stream to write-path shard i of n: the stream
+// applies every update of the graph, but accumulates betweenness only over
+// source stride i of n (sources s with s%n == i in exact mode; every n-th
+// sampled source in approximate mode), exactly the partial a one-worker
+// shard of the serving layer's sharded deployment maintains. Summing the
+// partial scores of all n shards over the same stream reproduces the full
+// scores exactly — and bit-for-bit equal to an n-worker engine that folds
+// its per-worker partials in worker order (cmd/bcrun's -shard flag exposes
+// this for offline verification). i must be in [0, n); n < 2 means unsharded.
+func WithShard(i, n int) Option {
+	return func(o *options) {
+		o.shardIdx = i
+		o.shardCnt = n
 	}
 }
 
@@ -202,6 +220,9 @@ func buildConfig(opts []Option) (options, engine.Config, error) {
 		opt(&cfg)
 	}
 	econf := engine.Config{Workers: cfg.workers}
+	if cfg.shardCnt > 1 {
+		econf.ShardIndex, econf.ShardCount = cfg.shardIdx, cfg.shardCnt
+	}
 	if cfg.diskDir != "" {
 		if err := os.MkdirAll(cfg.diskDir, 0o755); err != nil {
 			return cfg, econf, fmt.Errorf("streambc: creating disk store directory: %w", err)
