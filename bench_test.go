@@ -12,10 +12,13 @@ import (
 	"context"
 	"io"
 	"math/rand"
+	"path/filepath"
 	"testing"
 
+	"streambc/internal/bdstore"
 	"streambc/internal/engine"
 	"streambc/internal/experiments"
+	"streambc/internal/incremental"
 	"streambc/internal/server"
 )
 
@@ -161,6 +164,82 @@ func benchDiskReplay(b *testing.B, batchSize int) {
 func BenchmarkDiskReplayApplySingle(b *testing.B)  { benchDiskReplay(b, 1) }
 func BenchmarkDiskReplayApplyBatch16(b *testing.B) { benchDiskReplay(b, 16) }
 func BenchmarkDiskReplayApplyBatch64(b *testing.B) { benchDiskReplay(b, 64) }
+
+// The DiskStore pair benchmarks the v1 single-file store against the v2
+// sharded layout on the two operations that dominate the out-of-core
+// configuration: the per-source distance-column probe (a pread in v1, a page
+// read from the mmap view in v2) and a warm batched replay through the
+// incremental updater (per-update record writes in v1, write-back batching
+// with offset-sorted grouped writes in v2).
+
+func newBenchStoreV1(b *testing.B, n int) incremental.Store {
+	b.Helper()
+	s, err := bdstore.OpenV1(filepath.Join(b.TempDir(), "bd.bin"), n, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func newBenchStoreV2(b *testing.B, n int) incremental.Store {
+	b.Helper()
+	s, err := bdstore.Open(b.TempDir(), bdstore.Options{NumVertices: n})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// benchDiskStoreProbe measures LoadDistances over fully initialised records —
+// the skip probe issued for every source on every update.
+func benchDiskStoreProbe(b *testing.B, mk func(b *testing.B, n int) incremental.Store) {
+	g, _ := diskReplayWorkload(b, 1000, 1)
+	store := mk(b, g.N())
+	defer store.Close()
+	if _, err := incremental.NewUpdater(g, store); err != nil {
+		b.Fatal(err)
+	}
+	n := g.N()
+	var dist []int32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := store.LoadDistances(i%n, &dist); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDiskStoreV1Probe(b *testing.B) { benchDiskStoreProbe(b, newBenchStoreV1) }
+func BenchmarkDiskStoreV2Probe(b *testing.B) { benchDiskStoreProbe(b, newBenchStoreV2) }
+
+// benchDiskStoreApply replays the disk-replay churn in batches of 16 through
+// a sequential updater on the given store; ns/op is per update, directly
+// comparable between the store versions and with BenchmarkDiskReplay*.
+func benchDiskStoreApply(b *testing.B, mk func(b *testing.B, n int) incremental.Store) {
+	g, pairs := diskReplayWorkload(b, 1000, 32)
+	store := mk(b, g.N())
+	defer store.Close()
+	u, err := incremental.NewUpdater(g, store)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batchSize = 16
+	b.ReportAllocs()
+	b.ResetTimer()
+	for applied := 0; applied < b.N; {
+		for off := 0; off < len(pairs); off += batchSize {
+			end := min(off+batchSize, len(pairs))
+			if _, err := u.ApplyBatch(pairs[off:end]); err != nil {
+				b.Fatal(err)
+			}
+			applied += end - off
+		}
+	}
+}
+
+func BenchmarkDiskStoreV1ApplyBatch16(b *testing.B) { benchDiskStoreApply(b, newBenchStoreV1) }
+func BenchmarkDiskStoreV2ApplyBatch16(b *testing.B) { benchDiskStoreApply(b, newBenchStoreV2) }
 
 // benchExperiment runs one table/figure driver at smoke-test scale.
 func benchExperiment(b *testing.B, name string) {

@@ -20,6 +20,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"streambc/internal/bdstore"
 	"streambc/internal/experiments"
 	"streambc/internal/obs"
 	"streambc/internal/version"
@@ -40,6 +41,7 @@ func main() {
 		sample      = flag.Int("sample", 0, "headline sample size k for the approx experiment (0 = n/4)")
 		outPath     = flag.String("out", "", "write the report to this file instead of stdout")
 		scratch     = flag.String("scratch", "", "scratch directory for out-of-core stores")
+		storeSegRec = flag.Int("store-segment-records", 0, "source records per out-of-core segment file (0 = default)")
 		logLevel    = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 		logFormat   = flag.String("log-format", "text", "log encoding: text or json")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
@@ -66,6 +68,9 @@ func main() {
 	if *sample < 0 {
 		usageError("-sample must be 0 (default of n/4) or a positive sample size")
 	}
+	if *storeSegRec < 0 || *storeSegRec > bdstore.MaxSegmentRecords {
+		usageError(fmt.Sprintf("-store-segment-records must be between 1 and %d (or 0 for the default)", bdstore.MaxSegmentRecords))
+	}
 
 	if *list {
 		desc := experiments.Describe()
@@ -86,12 +91,13 @@ func main() {
 	}
 
 	cfg := experiments.Config{
-		Quick:       *quick,
-		Seed:        *seed,
-		UpdateCount: *updates,
-		ScratchDir:  *scratch,
-		BatchSize:   *batch,
-		SampleK:     *sample,
+		Quick:          *quick,
+		Seed:           *seed,
+		UpdateCount:    *updates,
+		ScratchDir:     *scratch,
+		SegmentRecords: *storeSegRec,
+		BatchSize:      *batch,
+		SampleK:        *sample,
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

@@ -25,6 +25,7 @@ import (
 
 	"streambc"
 	"streambc/internal/bc"
+	"streambc/internal/bdstore"
 	"streambc/internal/engine"
 	"streambc/internal/graph"
 	"streambc/internal/obs"
@@ -41,7 +42,9 @@ func main() {
 		updatesPath = flag.String("updates", "", "update-stream file (see bcgen -stream)")
 		directed    = flag.Bool("directed", false, "treat the graph as directed")
 		workers     = flag.Int("workers", 1, "number of parallel workers")
-		diskDir     = flag.String("disk", "", "keep the betweenness data out of core in this directory")
+		diskDir     = flag.String("disk", "", "keep the betweenness data out of core in this directory (alias of -store-dir)")
+		storeDir    = flag.String("store-dir", "", "keep the betweenness data out of core in this directory (sharded segment-file layout, one store per worker)")
+		storeSegRec = flag.Int("store-segment-records", 0, "source records per out-of-core segment file (0 = default; needs -store-dir or -disk)")
 		top         = flag.Int("top", 10, "print the top-k vertices and edges")
 		outPath     = flag.String("out", "", "write all vertex and edge scores to this file")
 		online      = flag.Bool("online", false, "replay the stream using its timestamps and report missed updates")
@@ -77,6 +80,18 @@ func main() {
 	}
 	if *top < 0 {
 		usageError("-top must not be negative")
+	}
+	if *storeDir != "" && *diskDir != "" && *storeDir != *diskDir {
+		usageError("-store-dir and -disk name different directories; use one (they are aliases)")
+	}
+	if *storeDir == "" {
+		*storeDir = *diskDir
+	}
+	if *storeSegRec < 0 || *storeSegRec > bdstore.MaxSegmentRecords {
+		usageError(fmt.Sprintf("-store-segment-records must be between 1 and %d (or 0 for the default)", bdstore.MaxSegmentRecords))
+	}
+	if *storeSegRec > 0 && *storeDir == "" {
+		usageError("-store-segment-records needs -store-dir (or -disk)")
 	}
 	shardIdx, shardCnt, err := parseShardSpec(*shardSpec)
 	if err != nil {
@@ -116,8 +131,11 @@ func main() {
 	}
 
 	opts := []streambc.Option{streambc.WithWorkers(*workers)}
-	if *diskDir != "" {
-		opts = append(opts, streambc.WithDiskStore(*diskDir))
+	if *storeDir != "" {
+		opts = append(opts, streambc.WithDiskStore(*storeDir))
+		if *storeSegRec > 0 {
+			opts = append(opts, streambc.WithStoreOptions(streambc.StoreOptions{SegmentRecords: *storeSegRec}))
+		}
 	}
 	if *sample > 0 {
 		opts = append(opts, streambc.WithSampledSources(*sample, *sampleSeed))

@@ -57,6 +57,7 @@ import (
 	"time"
 
 	"streambc/internal/bc"
+	"streambc/internal/bdstore"
 	"streambc/internal/engine"
 	"streambc/internal/graph"
 	"streambc/internal/obs"
@@ -71,7 +72,9 @@ func main() {
 		graphPath    = flag.String("graph", "", "edge-list file of the initial graph (ignored when a snapshot is restored)")
 		directed     = flag.Bool("directed", false, "treat the graph as directed")
 		workers      = flag.Int("workers", 1, "number of parallel workers")
-		diskDir      = flag.String("disk", "", "keep the betweenness data out of core in this directory")
+		diskDir      = flag.String("disk", "", "keep the betweenness data out of core in this directory (alias of -store-dir)")
+		storeDir     = flag.String("store-dir", "", "keep the betweenness data out of core in this directory (sharded segment-file layout, one store per worker)")
+		storeSegRecs = flag.Int("store-segment-records", 0, "source records per out-of-core segment file (0 = default; needs -store-dir or -disk)")
 		snapshotDir  = flag.String("snapshot-dir", "", "directory for snapshots (enables restore-on-start and snapshot-on-shutdown)")
 		snapInterval = flag.Duration("snapshot-interval", 5*time.Minute, "period of automatic snapshots (0 disables; needs -snapshot-dir)")
 		walDir       = flag.String("wal-dir", "", "directory for the write-ahead log (makes accepted updates durable and replays the uncovered tail on start; on a -follow replica, used only after a promotion)")
@@ -108,6 +111,18 @@ func main() {
 	}
 	if *sample < 0 {
 		usageError("-sample must be 0 (exact) or a positive sample size")
+	}
+	if *storeDir != "" && *diskDir != "" && *storeDir != *diskDir {
+		usageError("-store-dir and -disk name different directories; use one (they are aliases)")
+	}
+	if *storeDir == "" {
+		*storeDir = *diskDir
+	}
+	if *storeSegRecs < 0 || *storeSegRecs > bdstore.MaxSegmentRecords {
+		usageError(fmt.Sprintf("-store-segment-records must be between 1 and %d (or 0 for the default)", bdstore.MaxSegmentRecords))
+	}
+	if *storeSegRecs > 0 && *storeDir == "" {
+		usageError("-store-segment-records needs -store-dir (or -disk)")
 	}
 	fsyncMode, fsyncInterval, err := server.ParseFsyncPolicy(*fsyncPolicy)
 	if err != nil {
@@ -150,11 +165,11 @@ func main() {
 	if shardCnt > 1 {
 		cfg.ShardIndex, cfg.ShardCount = shardIdx, shardCnt
 	}
-	if *diskDir != "" {
-		if err := os.MkdirAll(*diskDir, 0o755); err != nil {
+	if *storeDir != "" {
+		if err := os.MkdirAll(*storeDir, 0o755); err != nil {
 			fatal(logger, "creating disk store directory failed", "error", err)
 		}
-		cfg.Store = engine.DiskFactory(*diskDir)
+		cfg.Store = engine.DiskFactoryOpts(*storeDir, bdstore.Options{SegmentRecords: *storeSegRecs})
 	}
 	walCfg := server.WALConfig{
 		Dir:          *walDir,

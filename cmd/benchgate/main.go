@@ -9,17 +9,18 @@
 // for the ones matching -alloc-gate: allocs/op is deterministic there —
 // unlike wall-clock it does not move with runner noise — so a regression
 // past -max-alloc-regress fails the gate exactly like a ns/op regression.
-// The default pattern pins the disk-replay hot path, whose allocation
-// behaviour the flat-memory kernel guarantees.
+// The default pattern pins the disk-replay hot path and the v1-vs-v2
+// store pair, whose allocation behaviour the flat-memory kernel and the
+// store's pooled write-back stage guarantee.
 //
 // Usage:
 //
-//	go test -run NONE -bench 'DiskReplay|PipelineApply' -benchtime=3x -count=3 -benchmem ./... \
+//	go test -run NONE -bench 'DiskReplay|DiskStore|PipelineApply' -benchtime=3x -count=3 -benchmem ./... \
 //	    | go run ./cmd/benchgate -baseline BENCH_baseline.json -out BENCH_PR4.json -max-regress 0.25
 //
 // Refreshing the committed baseline after an intentional performance change:
 //
-//	go test -run NONE -bench 'DiskReplay|PipelineApply' -benchtime=3x -count=3 -benchmem ./... \
+//	go test -run NONE -bench 'DiskReplay|DiskStore|PipelineApply' -benchtime=3x -count=3 -benchmem ./... \
 //	    | go run ./cmd/benchgate -out BENCH_baseline.json
 package main
 
@@ -63,7 +64,7 @@ func main() {
 		baseline   = flag.String("baseline", "", "baseline JSON report to gate against (no gating when empty)")
 		maxRegress = flag.Float64("max-regress", 0.25, "maximum tolerated ns/op regression as a fraction of the baseline")
 		memWarn    = flag.Float64("mem-warn", 0.25, "allocs/op or B/op growth fraction above which a warning (never a failure) is emitted")
-		allocGate  = flag.String("alloc-gate", "^BenchmarkDiskReplay", "regexp of benchmarks whose allocs/op regression past -max-alloc-regress is a hard failure (empty disables)")
+		allocGate  = flag.String("alloc-gate", "^BenchmarkDisk(Replay|Store)", "regexp of benchmarks whose allocs/op regression past -max-alloc-regress is a hard failure (empty disables)")
 		maxAllocs  = flag.Float64("max-alloc-regress", 0.25, "maximum tolerated allocs/op regression for -alloc-gate benchmarks")
 	)
 	flag.Parse()

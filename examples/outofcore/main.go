@@ -11,6 +11,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"time"
 
 	"streambc"
@@ -35,7 +36,11 @@ func main() {
 		g.N(), g.N(), float64(g.N())*float64(g.N())*20/1e6)
 
 	start := time.Now()
-	s, err := streambc.New(g.Clone(), streambc.WithWorkers(workers), streambc.WithDiskStore(dir))
+	s, err := streambc.New(g.Clone(),
+		streambc.WithWorkers(workers),
+		streambc.WithDiskStore(dir),
+		// 128 sources per segment file: fewer, larger files than the default.
+		streambc.WithStoreOptions(streambc.StoreOptions{SegmentRecords: 128}))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,17 +48,49 @@ func main() {
 	fmt.Printf("offline initialisation (Brandes over %d sources, %d workers): %s\n",
 		g.N(), workers, time.Since(start).Round(time.Millisecond))
 
-	fmt.Println("worker store files:")
+	// Each worker owns a sharded store directory: a MANIFEST plus segment
+	// files of fixed-size records, grouped by source-id prefix.
 	files, err := s.DiskFiles()
 	if err != nil {
 		log.Fatal(err)
 	}
+	type workerFiles struct {
+		segments int
+		bytes    int64
+	}
+	perWorker := map[string]*workerFiles{}
 	for _, path := range files {
 		info, err := os.Stat(path)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  %-28s %8.2f MB\n", filepath.Base(path), float64(info.Size())/1e6)
+		worker := path
+		for filepath.Dir(worker) != dir {
+			worker = filepath.Dir(worker)
+		}
+		wf := perWorker[worker]
+		if wf == nil {
+			wf = &workerFiles{}
+			perWorker[worker] = wf
+		}
+		wf.bytes += info.Size()
+		if filepath.Ext(path) == ".bds" {
+			wf.segments++
+		}
+	}
+	fmt.Println("worker store directories:")
+	workersSorted := make([]string, 0, len(perWorker))
+	for w := range perWorker {
+		workersSorted = append(workersSorted, w)
+	}
+	sort.Strings(workersSorted)
+	for _, w := range workersSorted {
+		wf := perWorker[w]
+		// Segment files are created sparse: with strided source partitions
+		// most slots of every worker's segments are holes, so the apparent
+		// size overstates what the filesystem actually allocates.
+		fmt.Printf("  %-14s %3d segment files %8.2f MB apparent (sparse)\n",
+			filepath.Base(w), wf.segments, float64(wf.bytes)/1e6)
 	}
 
 	stream, err := streambc.MixedUpdates(g, updates, 0.3, 12)

@@ -8,13 +8,15 @@ import (
 	"testing/quick"
 
 	"streambc/internal/bc"
-	"streambc/internal/incremental"
 )
 
-// Both stores must satisfy the incremental.Store interface.
+// Every store must satisfy the Store interface (which incremental.Store
+// aliases — asserting against the local name keeps this package free of an
+// import cycle with incremental).
 var (
-	_ incremental.Store = (*MemStore)(nil)
-	_ incremental.Store = (*DiskStore)(nil)
+	_ Store = (*MemStore)(nil)
+	_ Store = (*DiskStore)(nil)
+	_ Store = (*Sharded)(nil)
 )
 
 func randomRecord(rng *rand.Rand, n int) *bc.SourceState {
@@ -136,7 +138,7 @@ func newDiskStore(t *testing.T, n int) *DiskStore {
 	return d
 }
 
-func storeConformance(t *testing.T, name string, store incremental.Store, n int) {
+func storeConformance(t *testing.T, name string, store Store, n int) {
 	t.Helper()
 	if store.NumVertices() != n {
 		t.Fatalf("%s: NumVertices = %d, want %d", name, store.NumVertices(), n)

@@ -140,6 +140,80 @@ func decodeDistances(buf []byte, n int, dist *[]int32) error {
 	return nil
 }
 
+// decodeRecordPadded fills rec (resized to n vertices) from a record encoded
+// for recN <= n vertices, padding the tail the way Grow does: unreachable
+// distances, zero sigma and delta. It is how the sharded store reads a
+// segment that has not yet been migrated to the current epoch — the result is
+// bit-identical to migrating the record first and reading it after.
+func decodeRecordPadded(buf []byte, recN, n int, rec *bc.SourceState) error {
+	if recN == n {
+		return decodeRecord(buf, n, rec)
+	}
+	if recN > n {
+		return fmt.Errorf("bdstore: record covers %d vertices, store expects at most %d", recN, n)
+	}
+	if len(buf) != recordSize(recN) {
+		return fmt.Errorf("bdstore: decode buffer is %d bytes, want %d", len(buf), recordSize(recN))
+	}
+	rec.Resize(n)
+	if hostLittleEndian {
+		off := copy(int32Bytes(rec.Dist[:recN]), buf)
+		off += copy(float64Bytes(rec.Sigma[:recN]), buf[off:])
+		copy(float64Bytes(rec.Delta[:recN]), buf[off:])
+	} else {
+		off := 0
+		for i := 0; i < recN; i++ {
+			rec.Dist[i] = int32(binary.LittleEndian.Uint32(buf[off:]))
+			off += distWidth
+		}
+		for i := 0; i < recN; i++ {
+			rec.Sigma[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += sigmaWidth
+		}
+		for i := 0; i < recN; i++ {
+			rec.Delta[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += deltaWidth
+		}
+	}
+	for i := recN; i < n; i++ {
+		rec.Dist[i] = bc.Unreachable
+		rec.Sigma[i] = 0
+		rec.Delta[i] = 0
+	}
+	return nil
+}
+
+// decodeDistancesPadded fills dist (resized to n entries) from a distance
+// column of recN <= n entries, padding the tail with unreachable.
+func decodeDistancesPadded(buf []byte, recN, n int, dist *[]int32) error {
+	if recN == n {
+		return decodeDistances(buf, n, dist)
+	}
+	if recN > n {
+		return fmt.Errorf("bdstore: distance column covers %d vertices, store expects at most %d", recN, n)
+	}
+	if len(buf) != distColumnSize(recN) {
+		return fmt.Errorf("bdstore: distance buffer is %d bytes, want %d", len(buf), distColumnSize(recN))
+	}
+	d := *dist
+	if cap(d) < n {
+		d = make([]int32, n)
+	}
+	d = d[:n]
+	if hostLittleEndian {
+		copy(int32Bytes(d[:recN]), buf)
+	} else {
+		for i := 0; i < recN; i++ {
+			d[i] = int32(binary.LittleEndian.Uint32(buf[i*distWidth:]))
+		}
+	}
+	for i := recN; i < n; i++ {
+		d[i] = bc.Unreachable
+	}
+	*dist = d
+	return nil
+}
+
 // initIsolated fills rec (resized to n vertices) with the record of a source
 // that can only reach itself.
 func initIsolated(rec *bc.SourceState, s, n int) {

@@ -36,18 +36,41 @@ var diskMagic = [4]byte{'B', 'D', 'S', '1'}
 
 // NewDiskStore creates (or truncates) the file at path and returns a store
 // managing every vertex of an n-vertex graph as a source.
+//
+// Deprecated: use Open with Options{NumVertices: n} instead. Open defaults
+// to the sharded v2 layout with explicit create-vs-reopen semantics, where
+// this constructor silently truncates an existing store; code that
+// specifically needs the v1 single-file layout should call OpenV1.
 func NewDiskStore(path string, n int) (*DiskStore, error) {
-	sources := make([]int, n)
-	for i := range sources {
-		sources[i] = i
-	}
-	return NewDiskStoreForSources(path, n, sources)
+	return OpenV1(path, n, nil)
 }
 
 // NewDiskStoreForSources creates (or truncates) the file at path and returns
 // a store managing only the given sources of an n-vertex graph, as used by
 // one worker of the parallel engine.
+//
+// Deprecated: use Open with Options{NumVertices: n, Sources: sources}
+// instead. Open defaults to the sharded v2 layout with explicit
+// create-vs-reopen semantics, where this constructor silently truncates an
+// existing store; code that specifically needs the v1 single-file layout
+// should call OpenV1.
 func NewDiskStoreForSources(path string, n int, sources []int) (*DiskStore, error) {
+	return OpenV1(path, n, sources)
+}
+
+// OpenV1 creates (or truncates) a v1 single-file store at path: one flat
+// file of fixed-size records, written through on every Save, wholly
+// rewritten on Grow. It is kept for the v1-vs-v2 benchmark pair and for
+// tooling that must produce the legacy format; new code should use Open,
+// which provides the sharded v2 layout. sources nil means every vertex is a
+// source.
+func OpenV1(path string, n int, sources []int) (*DiskStore, error) {
+	if sources == nil {
+		sources = make([]int, n)
+		for i := range sources {
+			sources[i] = i
+		}
+	}
 	if dir := filepath.Dir(path); dir != "" && dir != "." {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("bdstore: creating directory for %s: %w", path, err)
@@ -244,6 +267,20 @@ func (d *DiskStore) AddSource(s int) error {
 	d.order = append(d.order, s)
 	sort.Ints(d.order)
 	return d.writeHeader()
+}
+
+// Flush implements incremental.Store. The v1 store writes through on every
+// Save, so there is nothing staged to flush.
+func (d *DiskStore) Flush() error { return nil }
+
+// Stats implements incremental.Store.
+func (d *DiskStore) Stats() StoreStats {
+	return StoreStats{
+		Records:  int64(len(d.slots)),
+		Bytes:    d.FileSize(),
+		Dirty:    0,
+		Segments: 1,
+	}
 }
 
 // Close implements incremental.Store.

@@ -1,0 +1,244 @@
+package bdstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The v2 on-disk layout is a flatfs-style sharded directory of segment
+// files. Sources are grouped into fixed-record segments by id prefix:
+//
+//	segment(s) = s / SegmentRecords
+//	slot(s)    = s % SegmentRecords
+//
+// and each segment file lives under a two-hex-digit shard directory derived
+// from the low byte of the segment id, so that no single directory
+// accumulates more than 256 entries per 16Ki sources at the default segment
+// size:
+//
+//	<dir>/MANIFEST
+//	<dir>/<xx>/seg-<segment>.bds
+//
+// A segment file is a fixed header, a presence bitmap (which sources of the
+// segment's id range are managed), a written bitmap (which managed records
+// have been materialised by a flush — unwritten records are synthesised as
+// isolated vertices on read), and SegmentRecords fixed-stride records in the
+// columnar encoding of codec.go. The file is created sparse at full size, so
+// segments whose records were never written cost metadata only.
+const (
+	// DefaultSegmentRecords is the number of source records per segment file
+	// when Options.SegmentRecords is zero.
+	DefaultSegmentRecords = 64
+
+	// MaxSegmentRecords bounds the configurable segment size; beyond this a
+	// single segment file of a large graph would outgrow what the sparse
+	// create and migration rewrite are designed for.
+	MaxSegmentRecords = 1 << 20
+)
+
+// manifestName is the store-level metadata file at the root of a v2 store
+// directory. Its presence is what distinguishes an existing store from an
+// empty directory.
+const manifestName = "MANIFEST"
+
+var (
+	segMagic      = [4]byte{'B', 'D', 'S', '2'}
+	manifestMagic = [4]byte{'B', 'D', 'M', '2'}
+)
+
+const (
+	segVersion      = 2
+	manifestVersion = 2
+
+	// segHeaderFixed is the fixed prefix of a segment file: magic (4),
+	// version (4), recN (8), base source (8), segment records (8).
+	segHeaderFixed = 32
+
+	// manifestSize is magic (4), version (4), n (8), segment records (8).
+	manifestSize = 24
+)
+
+// sourceLoc identifies where a source record lives in the sharded layout.
+type sourceLoc struct {
+	seg  int // segment id
+	slot int // record slot within the segment
+}
+
+// locateSource maps a source id onto its segment and slot for a layout with
+// segRecords records per segment. Both inputs must be validated by the
+// caller (s >= 0, segRecords >= 1).
+func locateSource(s, segRecords int) sourceLoc {
+	return sourceLoc{seg: s / segRecords, slot: s % segRecords}
+}
+
+// shardName returns the shard directory name of a segment: two hex digits
+// from the low byte of the segment id.
+func shardName(seg int) string {
+	return fmt.Sprintf("%02x", seg&0xff)
+}
+
+// segmentFileName returns the file name of a segment within its shard
+// directory.
+func segmentFileName(seg int) string {
+	return fmt.Sprintf("seg-%08d.bds", seg)
+}
+
+// segmentPath returns the path of a segment file relative to the store root.
+func segmentPath(dir string, seg int) string {
+	return filepath.Join(dir, shardName(seg), segmentFileName(seg))
+}
+
+// bitmapBytes is the size of one per-segment bitmap.
+func bitmapBytes(segRecords int) int { return (segRecords + 7) / 8 }
+
+// segRecordsOffset is the file offset of the first record: fixed header plus
+// the presence and written bitmaps.
+func segRecordsOffset(segRecords int) int64 {
+	return segHeaderFixed + 2*int64(bitmapBytes(segRecords))
+}
+
+// segFileSize is the full (sparse) size of a segment file whose records
+// cover recN vertices.
+func segFileSize(segRecords, recN int) int64 {
+	return segRecordsOffset(segRecords) + int64(segRecords)*int64(recordSize(recN))
+}
+
+// segRecordOffset is the file offset of the record in the given slot.
+func segRecordOffset(segRecords, recN, slot int) int64 {
+	return segRecordsOffset(segRecords) + int64(slot)*int64(recordSize(recN))
+}
+
+// bitGet reports whether bit i of the bitmap is set.
+func bitGet(bm []byte, i int) bool { return bm[i>>3]&(1<<uint(i&7)) != 0 }
+
+// bitSet sets bit i of the bitmap.
+func bitSet(bm []byte, i int) { bm[i>>3] |= 1 << uint(i&7) }
+
+// segHeader is the decoded fixed prefix of a segment file.
+type segHeader struct {
+	recN       int // vertices per record (the segment's epoch)
+	base       int // first source id of the segment (segment id * segRecords)
+	segRecords int // records per segment
+}
+
+// encodeSegHeader serialises h into buf, which must be segHeaderFixed bytes.
+func encodeSegHeader(h segHeader, buf []byte) error {
+	if len(buf) != segHeaderFixed {
+		return fmt.Errorf("bdstore: segment header buffer is %d bytes, want %d", len(buf), segHeaderFixed)
+	}
+	copy(buf[0:4], segMagic[:])
+	binary.LittleEndian.PutUint32(buf[4:8], segVersion)
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(h.recN))
+	binary.LittleEndian.PutUint64(buf[16:24], uint64(h.base))
+	binary.LittleEndian.PutUint64(buf[24:32], uint64(h.segRecords))
+	return nil
+}
+
+// decodeSegHeader parses and validates the fixed prefix of a segment file.
+func decodeSegHeader(buf []byte) (segHeader, error) {
+	var h segHeader
+	if len(buf) < segHeaderFixed {
+		return h, fmt.Errorf("bdstore: segment header is %d bytes, want %d", len(buf), segHeaderFixed)
+	}
+	if [4]byte(buf[0:4]) != segMagic {
+		return h, fmt.Errorf("bdstore: bad segment magic %q", buf[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(buf[4:8]); v != segVersion {
+		return h, fmt.Errorf("bdstore: unsupported segment version %d", v)
+	}
+	recN := binary.LittleEndian.Uint64(buf[8:16])
+	base := binary.LittleEndian.Uint64(buf[16:24])
+	segRecords := binary.LittleEndian.Uint64(buf[24:32])
+	const maxInt = int(^uint(0) >> 1)
+	if recN > uint64(maxInt) || base > uint64(maxInt) || segRecords > uint64(maxInt) {
+		return h, fmt.Errorf("bdstore: segment header fields out of range")
+	}
+	h.recN = int(recN)
+	h.base = int(base)
+	h.segRecords = int(segRecords)
+	if h.segRecords < 1 || h.segRecords > MaxSegmentRecords {
+		return h, fmt.Errorf("bdstore: segment records %d out of range [1, %d]", h.segRecords, MaxSegmentRecords)
+	}
+	if h.base%h.segRecords != 0 {
+		return h, fmt.Errorf("bdstore: segment base %d not aligned to %d records", h.base, h.segRecords)
+	}
+	return h, nil
+}
+
+// storeManifest is the decoded MANIFEST of a v2 store directory.
+type storeManifest struct {
+	n          int // current vertex count (the store epoch)
+	segRecords int // records per segment
+}
+
+// writeManifest atomically replaces the MANIFEST of dir: write to a
+// temporary file, fsync, rename. A reader never observes a torn manifest.
+func writeManifest(dir string, m storeManifest) error {
+	buf := make([]byte, manifestSize)
+	copy(buf[0:4], manifestMagic[:])
+	binary.LittleEndian.PutUint32(buf[4:8], manifestVersion)
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(m.n))
+	binary.LittleEndian.PutUint64(buf[16:24], uint64(m.segRecords))
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("bdstore: creating %s: %w", tmp, err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("bdstore: writing %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("bdstore: syncing %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("bdstore: closing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("bdstore: installing manifest: %w", err)
+	}
+	return nil
+}
+
+// readManifest reads and validates the MANIFEST of dir.
+func readManifest(dir string) (storeManifest, error) {
+	var m storeManifest
+	buf, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return m, err
+	}
+	if len(buf) != manifestSize {
+		return m, fmt.Errorf("bdstore: manifest is %d bytes, want %d", len(buf), manifestSize)
+	}
+	if [4]byte(buf[0:4]) != manifestMagic {
+		return m, fmt.Errorf("bdstore: bad manifest magic %q", buf[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(buf[4:8]); v != manifestVersion {
+		return m, fmt.Errorf("bdstore: unsupported manifest version %d", v)
+	}
+	n := binary.LittleEndian.Uint64(buf[8:16])
+	segRecords := binary.LittleEndian.Uint64(buf[16:24])
+	const maxInt = int(^uint(0) >> 1)
+	if n > uint64(maxInt) || segRecords > uint64(maxInt) {
+		return m, fmt.Errorf("bdstore: manifest fields out of range")
+	}
+	m.n = int(n)
+	m.segRecords = int(segRecords)
+	if m.segRecords < 1 || m.segRecords > MaxSegmentRecords {
+		return m, fmt.Errorf("bdstore: manifest segment records %d out of range [1, %d]", m.segRecords, MaxSegmentRecords)
+	}
+	return m, nil
+}
+
+// hasManifest reports whether dir contains a v2 store.
+func hasManifest(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, manifestName))
+	return err == nil
+}

@@ -25,6 +25,10 @@ type memRecord struct {
 
 // NewMemStore returns an in-memory store managing every vertex of an
 // n-vertex graph as a source, each initialised as an isolated vertex.
+//
+// Deprecated: use Open("", Options{NumVertices: n}) — an empty directory
+// selects the in-memory store — or NewMemStoreForSources when the concrete
+// *MemStore type is needed.
 func NewMemStore(n int) *MemStore {
 	sources := make([]int, n)
 	for i := range sources {
@@ -151,6 +155,15 @@ func (m *MemStore) AddSource(s int) error {
 	m.order = append(m.order, s)
 	sort.Ints(m.order)
 	return nil
+}
+
+// Flush implements incremental.Store. Memory is the backing medium; there is
+// never anything staged.
+func (m *MemStore) Flush() error { return nil }
+
+// Stats implements incremental.Store.
+func (m *MemStore) Stats() StoreStats {
+	return StoreStats{Records: int64(len(m.recs)), Bytes: m.Bytes()}
 }
 
 // Close implements incremental.Store.

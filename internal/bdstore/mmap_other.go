@@ -1,0 +1,20 @@
+//go:build !unix
+
+package bdstore
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported reports whether this platform has a memory-map read path at
+// all. Non-unix builds always use the positional-read fallback.
+const mmapSupported = false
+
+var errNoMmap = errors.New("bdstore: mmap not supported on this platform")
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errNoMmap
+}
+
+func munmapFile(b []byte) error { return nil }

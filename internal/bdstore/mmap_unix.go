@@ -1,0 +1,28 @@
+//go:build unix
+
+package bdstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this platform has a memory-map read path at
+// all. When false (or when mapping a particular file fails), the sharded
+// store falls back to plain positional reads.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and shared, so that positional
+// writes through the file descriptor remain coherently visible through the
+// mapping (both go through the same page cache).
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 {
+		return nil, syscall.EINVAL
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping returned by mmapFile.
+func munmapFile(b []byte) error {
+	return syscall.Munmap(b)
+}

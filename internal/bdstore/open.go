@@ -1,0 +1,135 @@
+package bdstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// Mode selects the create-vs-reopen semantics of Open. The zero value is
+// ModeCreate, the safe default: an existing store is never silently
+// destroyed (the v1 constructors' O_TRUNC behaviour is exactly the bug this
+// API replaces).
+type Mode int
+
+const (
+	// ModeCreate initialises a fresh store and fails with ErrStoreExists if
+	// the directory already holds one.
+	ModeCreate Mode = iota
+	// ModeRecreate replaces any existing store in the directory with a fresh
+	// one. It refuses to touch a non-empty directory that does not hold a
+	// store.
+	ModeRecreate
+	// ModeReopen opens an existing store and fails with ErrNoStore if the
+	// directory does not hold one. The source set and vertex count come from
+	// the store itself; Options fields, when non-zero, must agree with it.
+	ModeReopen
+)
+
+// ErrStoreExists is returned by Open in ModeCreate when the directory
+// already holds a store.
+var ErrStoreExists = errors.New("bdstore: store already exists")
+
+// ErrNoStore is returned by Open in ModeReopen when the directory does not
+// hold a store.
+var ErrNoStore = errors.New("bdstore: no store in directory")
+
+// Options configures Open.
+type Options struct {
+	// NumVertices is the vertex count n covered by every record. Required
+	// (non-zero) for ModeCreate and ModeRecreate; for ModeReopen it must be
+	// zero or equal to the stored count.
+	NumVertices int
+
+	// Sources is the managed source set. nil means every vertex is a source
+	// (the full-store convention of the v1 constructors); an empty non-nil
+	// slice means no sources. Must be nil for ModeReopen, where the set is
+	// recovered from the store.
+	Sources []int
+
+	// Mode selects create-vs-reopen semantics; the zero value is ModeCreate.
+	Mode Mode
+
+	// SegmentRecords is the number of source records per segment file
+	// (0 = DefaultSegmentRecords). For ModeReopen it must be zero or equal
+	// to the stored layout.
+	SegmentRecords int
+
+	// DisableMmap forces the positional-read fallback even where mmap is
+	// available. Reads are bit-identical either way.
+	DisableMmap bool
+}
+
+// Open returns a Store backed by the sharded v2 layout rooted at dir, or an
+// in-memory store when dir is empty (""). It replaces the
+// NewDiskStore / NewDiskStoreForSources / NewMemStore constructor zoo with
+// one entry point and explicit create-vs-reopen semantics — reopening an
+// existing store is a deliberate ModeReopen, never an accidental truncate.
+func Open(dir string, o Options) (Store, error) {
+	if o.Mode < ModeCreate || o.Mode > ModeReopen {
+		return nil, fmt.Errorf("bdstore: invalid mode %d", o.Mode)
+	}
+	if o.SegmentRecords < 0 || o.SegmentRecords > MaxSegmentRecords {
+		return nil, fmt.Errorf("bdstore: segment records %d out of range [1, %d]", o.SegmentRecords, MaxSegmentRecords)
+	}
+	if o.NumVertices < 0 {
+		return nil, fmt.Errorf("bdstore: negative vertex count %d", o.NumVertices)
+	}
+	if dir == "" {
+		if o.Mode == ModeReopen {
+			return nil, fmt.Errorf("bdstore: %w: an in-memory store cannot be reopened", ErrNoStore)
+		}
+		return NewMemStoreForSources(o.NumVertices, o.sourceSet()), nil
+	}
+	switch o.Mode {
+	case ModeReopen:
+		if !hasManifest(dir) {
+			return nil, fmt.Errorf("%w: %s", ErrNoStore, dir)
+		}
+		if o.Sources != nil {
+			return nil, fmt.Errorf("bdstore: reopening %s: the source set comes from the store, Options.Sources must be nil", dir)
+		}
+		s, err := reopenSharded(dir, !o.DisableMmap)
+		if err != nil {
+			return nil, err
+		}
+		if o.NumVertices != 0 && o.NumVertices != s.n {
+			s.Close()
+			return nil, fmt.Errorf("bdstore: reopening %s: store covers %d vertices, options say %d", dir, s.n, o.NumVertices)
+		}
+		if o.SegmentRecords != 0 && o.SegmentRecords != s.segRecords {
+			s.Close()
+			return nil, fmt.Errorf("bdstore: reopening %s: store has %d records per segment, options say %d", dir, s.segRecords, o.SegmentRecords)
+		}
+		return s, nil
+	case ModeCreate:
+		if hasManifest(dir) {
+			return nil, fmt.Errorf("%w: %s (use ModeReopen or ModeRecreate)", ErrStoreExists, dir)
+		}
+	case ModeRecreate:
+		if hasManifest(dir) {
+			if err := os.RemoveAll(dir); err != nil {
+				return nil, fmt.Errorf("bdstore: recreating %s: %w", dir, err)
+			}
+		} else if entries, err := os.ReadDir(dir); err == nil && len(entries) > 0 {
+			return nil, fmt.Errorf("bdstore: recreating %s: directory is not empty and holds no store", dir)
+		}
+	}
+	segRecords := o.SegmentRecords
+	if segRecords == 0 {
+		segRecords = DefaultSegmentRecords
+	}
+	return createSharded(dir, o.NumVertices, o.sourceSet(), segRecords, !o.DisableMmap)
+}
+
+// sourceSet materialises the nil-means-every-vertex convention.
+func (o Options) sourceSet() []int {
+	if o.Sources != nil {
+		return o.Sources
+	}
+	sources := make([]int, o.NumVertices)
+	for i := range sources {
+		sources[i] = i
+	}
+	return sources
+}

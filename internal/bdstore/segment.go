@@ -1,0 +1,197 @@
+package bdstore
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// segment is one materialised segment file of a sharded store: a run of
+// segRecords consecutive source ids sharing one fixed-stride file. Records
+// are read through the mmap view when available and through positional reads
+// otherwise; all writes go through the file descriptor (MAP_SHARED keeps the
+// view coherent).
+type segment struct {
+	id   int
+	path string
+	f    *os.File
+
+	recN       int // vertices per record in this file (the segment's epoch)
+	segRecords int
+
+	present []byte // which slots hold a managed source
+	written []byte // which managed slots have a materialised record
+
+	mapped []byte // read-only mmap of the whole file; nil on fallback
+}
+
+func (sg *segment) base() int { return sg.id * sg.segRecords }
+
+func (sg *segment) fileSize() int64 { return segFileSize(sg.segRecords, sg.recN) }
+
+// mapIn establishes the mmap view of the segment file, if the platform and
+// store configuration allow it. Mapping failure is not an error: the segment
+// simply serves reads through pread.
+func (sg *segment) mapIn(useMmap bool) {
+	if !useMmap || !mmapSupported {
+		return
+	}
+	if m, err := mmapFile(sg.f, sg.fileSize()); err == nil {
+		sg.mapped = m
+	}
+}
+
+// unmap drops the mmap view, if any.
+func (sg *segment) unmap() {
+	if sg.mapped != nil {
+		munmapFile(sg.mapped)
+		sg.mapped = nil
+	}
+}
+
+func (sg *segment) close() error {
+	sg.unmap()
+	if sg.f == nil {
+		return nil
+	}
+	err := sg.f.Close()
+	sg.f = nil
+	return err
+}
+
+// recordBytes returns the raw bytes of length bytes of the record in slot,
+// reading through the mmap view when available (zero copy) and into scratch
+// otherwise. The returned slice is only valid until the next call that
+// touches scratch or remaps the segment.
+func (sg *segment) recordBytes(slot, length int, scratch *[]byte) ([]byte, error) {
+	off := segRecordOffset(sg.segRecords, sg.recN, slot)
+	if sg.mapped != nil {
+		end := off + int64(length)
+		if end > int64(len(sg.mapped)) {
+			return nil, fmt.Errorf("bdstore: record read past mapped segment %d", sg.id)
+		}
+		return sg.mapped[off:end:end], nil
+	}
+	b := *scratch
+	if cap(b) < length {
+		b = make([]byte, length)
+		*scratch = b
+	}
+	b = b[:length]
+	if _, err := sg.f.ReadAt(b, off); err != nil {
+		return nil, fmt.Errorf("bdstore: reading segment %d slot %d: %w", sg.id, slot, err)
+	}
+	return b, nil
+}
+
+// writeBitmaps persists the in-memory presence and written bitmaps.
+func (sg *segment) writeBitmaps() error {
+	if _, err := sg.f.WriteAt(sg.present, segHeaderFixed); err != nil {
+		return fmt.Errorf("bdstore: writing presence bitmap of segment %d: %w", sg.id, err)
+	}
+	if _, err := sg.f.WriteAt(sg.written, segHeaderFixed+int64(len(sg.present))); err != nil {
+		return fmt.Errorf("bdstore: writing written bitmap of segment %d: %w", sg.id, err)
+	}
+	return nil
+}
+
+// createSegment materialises a new segment file: header, bitmaps, and a
+// sparse truncate to the full record area. Record payload is never written
+// here — unwritten records are synthesised as isolated vertices on read.
+func createSegment(dir string, id int, recN, segRecords int, present []byte, useMmap bool) (*segment, error) {
+	path := segmentPath(dir, id)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("bdstore: creating shard directory for segment %d: %w", id, err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("bdstore: creating segment %d: %w", id, err)
+	}
+	sg := &segment{
+		id:         id,
+		path:       path,
+		f:          f,
+		recN:       recN,
+		segRecords: segRecords,
+		present:    present,
+		written:    make([]byte, bitmapBytes(segRecords)),
+	}
+	if err := sg.writeHeaderAndBitmaps(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	if err := f.Truncate(sg.fileSize()); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("bdstore: sizing segment %d: %w", id, err)
+	}
+	sg.mapIn(useMmap)
+	return sg, nil
+}
+
+func (sg *segment) writeHeaderAndBitmaps() error {
+	hdr := make([]byte, segHeaderFixed)
+	if err := encodeSegHeader(segHeader{recN: sg.recN, base: sg.base(), segRecords: sg.segRecords}, hdr); err != nil {
+		return err
+	}
+	if _, err := sg.f.WriteAt(hdr, 0); err != nil {
+		return fmt.Errorf("bdstore: writing header of segment %d: %w", sg.id, err)
+	}
+	return sg.writeBitmaps()
+}
+
+// openSegment opens and validates an existing segment file. wantSegRecords
+// and maxRecN come from the store manifest; a segment whose recN is below
+// maxRecN is a stale epoch awaiting migration, which is legal.
+func openSegment(dir string, id int, wantSegRecords, maxRecN int, useMmap bool) (*segment, error) {
+	path := segmentPath(dir, id)
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("bdstore: opening segment %d: %w", id, err)
+	}
+	hdr := make([]byte, segHeaderFixed)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, segHeaderFixed), hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("bdstore: reading header of segment %d: %w", id, err)
+	}
+	h, err := decodeSegHeader(hdr)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("bdstore: segment %d: %w", id, err)
+	}
+	if h.segRecords != wantSegRecords {
+		f.Close()
+		return nil, fmt.Errorf("bdstore: segment %d has %d records per segment, manifest says %d", id, h.segRecords, wantSegRecords)
+	}
+	if h.base != id*wantSegRecords {
+		f.Close()
+		return nil, fmt.Errorf("bdstore: segment %d claims base source %d, want %d", id, h.base, id*wantSegRecords)
+	}
+	if h.recN > maxRecN {
+		f.Close()
+		return nil, fmt.Errorf("bdstore: segment %d covers %d vertices, manifest says %d", id, h.recN, maxRecN)
+	}
+	bm := bitmapBytes(wantSegRecords)
+	bitmaps := make([]byte, 2*bm)
+	if _, err := f.ReadAt(bitmaps, segHeaderFixed); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("bdstore: reading bitmaps of segment %d: %w", id, err)
+	}
+	sg := &segment{
+		id:         id,
+		path:       path,
+		f:          f,
+		recN:       h.recN,
+		segRecords: wantSegRecords,
+		present:    bitmaps[:bm:bm],
+		written:    bitmaps[bm:],
+	}
+	if st, err := f.Stat(); err == nil && st.Size() < sg.fileSize() {
+		f.Close()
+		return nil, fmt.Errorf("bdstore: segment %d is %d bytes, want %d", id, st.Size(), sg.fileSize())
+	}
+	sg.mapIn(useMmap)
+	return sg, nil
+}

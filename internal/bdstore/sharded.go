@@ -1,0 +1,664 @@
+package bdstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"streambc/internal/bc"
+)
+
+// stageBudgetBytes bounds the write-back stage of a Sharded store. Saves
+// accumulate encoded records in memory and Flush writes them out as
+// offset-sorted grouped writes; when a long run of Saves (the engine's
+// initial Brandes pass populates every source back to back) crosses this
+// budget, the stage auto-flushes so the store never holds more than a bounded
+// slice of the record set in memory. Auto-flush points depend only on the
+// Save sequence, so replays stay deterministic.
+const stageBudgetBytes = 8 << 20
+
+// errShardedClosed is returned by every operation on a closed Sharded store.
+var errShardedClosed = errors.New("bdstore: store is closed")
+
+// Sharded is the v2 out-of-core store: a prefix-sharded directory of
+// fixed-record segment files (see layout.go) with an mmap read path,
+// write-back batching and epoch-based growth.
+//
+//   - Reads (Load, LoadDistances) decode straight out of the segment's
+//     read-only mmap view when available — the distance-column probe that
+//     gates every update becomes a page read with no syscall — falling back
+//     to positional reads otherwise.
+//   - Save stages the encoded record in memory; Flush groups staged records
+//     by segment, sorts them by file offset, coalesces contiguous runs into
+//     single writes and updates the written bitmaps. Staged records are
+//     visible to reads immediately (read-your-writes).
+//   - Grow is an epoch bump: it flushes the stage, rewrites the MANIFEST and
+//     returns; segment files are rewritten to the new record stride by a
+//     background maintainer (or inline, one segment at a time, when a flush
+//     targets a segment the maintainer has not reached). Until migrated, a
+//     stale segment serves reads by padding records with unreachable
+//     entries, which is bit-identical to migrating first.
+//
+// A Sharded store is safe for the incremental framework's single-owner use;
+// the internal mutex exists to coordinate with the background maintainer,
+// not to make the store a concurrent data structure.
+type Sharded struct {
+	mu         sync.Mutex
+	dir        string
+	n          int // current vertex count (the store epoch)
+	segRecords int
+	useMmap    bool
+
+	segs  map[int]*segment
+	order []int // managed sources, ascending
+
+	staged      map[int][]byte // source -> encoded record at the current epoch
+	stagedBytes int
+	stagePool   [][]byte
+
+	readBuf  []byte // pread fallback scratch
+	flushBuf []byte // coalesced-write assembly scratch
+
+	growCh   chan struct{}
+	quit     chan struct{}
+	wg       sync.WaitGroup
+	closed   bool
+	maintErr error // first background migration failure; surfaced by Flush
+}
+
+// newSharded wires the common fields and starts the background maintainer.
+func newSharded(dir string, n, segRecords int, useMmap bool) *Sharded {
+	s := &Sharded{
+		dir:        dir,
+		n:          n,
+		segRecords: segRecords,
+		useMmap:    useMmap,
+		segs:       make(map[int]*segment),
+		staged:     make(map[int][]byte),
+		growCh:     make(chan struct{}, 1),
+		quit:       make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.maintain()
+	return s
+}
+
+// createSharded materialises a fresh v2 store in dir: manifest plus one
+// sparse segment file per populated segment. Records are not written —
+// every source starts as the synthesised isolated record, exactly like a
+// fresh MemStore.
+func createSharded(dir string, n int, sources []int, segRecords int, useMmap bool) (*Sharded, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("bdstore: creating %s: %w", dir, err)
+	}
+	if err := writeManifest(dir, storeManifest{n: n, segRecords: segRecords}); err != nil {
+		return nil, err
+	}
+	s := newSharded(dir, n, segRecords, useMmap)
+	// Group the (deduplicated, validated) sources into per-segment presence
+	// bitmaps and materialise each segment once.
+	seen := make(map[int]bool, len(sources))
+	present := make(map[int][]byte)
+	for _, src := range sources {
+		if seen[src] {
+			continue
+		}
+		if src < 0 || src >= n {
+			s.Close()
+			return nil, fmt.Errorf("bdstore: source %d out of range (n=%d)", src, n)
+		}
+		seen[src] = true
+		s.order = append(s.order, src)
+		loc := locateSource(src, segRecords)
+		bm := present[loc.seg]
+		if bm == nil {
+			bm = make([]byte, bitmapBytes(segRecords))
+			present[loc.seg] = bm
+		}
+		bitSet(bm, loc.slot)
+	}
+	sort.Ints(s.order)
+	segIDs := make([]int, 0, len(present))
+	for id := range present {
+		segIDs = append(segIDs, id)
+	}
+	sort.Ints(segIDs)
+	for _, id := range segIDs {
+		sg, err := createSegment(dir, id, n, segRecords, present[id], useMmap)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.segs[id] = sg
+	}
+	return s, nil
+}
+
+// reopenSharded opens an existing v2 store from its manifest and segment
+// files. The managed source set is recovered from the segment presence
+// bitmaps; segments left at an older epoch by an interrupted Grow are picked
+// up by the background maintainer.
+func reopenSharded(dir string, useMmap bool) (*Sharded, error) {
+	m, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	segIDs, err := scanSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := newSharded(dir, m.n, m.segRecords, useMmap)
+	stale := false
+	for _, id := range segIDs {
+		sg, err := openSegment(dir, id, m.segRecords, m.n, useMmap)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.segs[id] = sg
+		if sg.recN < m.n {
+			stale = true
+		}
+		base := sg.base()
+		for slot := 0; slot < m.segRecords; slot++ {
+			if bitGet(sg.present, slot) {
+				s.order = append(s.order, base+slot)
+			}
+		}
+	}
+	sort.Ints(s.order)
+	if stale {
+		s.growCh <- struct{}{}
+	}
+	return s, nil
+}
+
+// scanSegments walks the shard directories of dir and returns the ids of all
+// segment files, ascending.
+func scanSegments(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("bdstore: reading %s: %w", dir, err)
+	}
+	var ids []int
+	for _, e := range entries {
+		if !e.IsDir() || len(e.Name()) != 2 {
+			continue
+		}
+		files, err := os.ReadDir(fmt.Sprintf("%s/%s", dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("bdstore: reading shard %s: %w", e.Name(), err)
+		}
+		for _, fe := range files {
+			var id int
+			if _, err := fmt.Sscanf(fe.Name(), "seg-%d.bds", &id); err != nil {
+				continue
+			}
+			if shardName(id) != e.Name() || segmentFileName(id) != fe.Name() {
+				return nil, fmt.Errorf("bdstore: segment file %s/%s does not match its id %d", e.Name(), fe.Name(), id)
+			}
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Sharded) Dir() string { return s.dir }
+
+// SegmentRecords returns the number of source records per segment file.
+func (s *Sharded) SegmentRecords() int { return s.segRecords }
+
+// MmapActive reports whether at least one segment currently serves reads
+// through an mmap view (false when disabled, unsupported, or no segment is
+// materialised).
+func (s *Sharded) MmapActive() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sg := range s.segs {
+		if sg.mapped != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// NumVertices implements Store.
+func (s *Sharded) NumVertices() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Sources implements Store.
+func (s *Sharded) Sources() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int(nil), s.order...)
+}
+
+// lookupLocked resolves a managed source to its segment and slot.
+func (s *Sharded) lookupLocked(src int) (*segment, int, error) {
+	if src < 0 {
+		return nil, 0, fmt.Errorf("bdstore: source %d not managed by this store", src)
+	}
+	loc := locateSource(src, s.segRecords)
+	sg := s.segs[loc.seg]
+	if sg == nil || !bitGet(sg.present, loc.slot) {
+		return nil, 0, fmt.Errorf("bdstore: source %d not managed by this store", src)
+	}
+	return sg, loc.slot, nil
+}
+
+// Load implements Store.
+func (s *Sharded) Load(src int, rec *bc.SourceState) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errShardedClosed
+	}
+	if buf, ok := s.staged[src]; ok {
+		return decodeRecord(buf, s.n, rec)
+	}
+	sg, slot, err := s.lookupLocked(src)
+	if err != nil {
+		return err
+	}
+	if !bitGet(sg.written, slot) {
+		initIsolated(rec, src, s.n)
+		return nil
+	}
+	buf, err := sg.recordBytes(slot, recordSize(sg.recN), &s.readBuf)
+	if err != nil {
+		return err
+	}
+	return decodeRecordPadded(buf, sg.recN, s.n, rec)
+}
+
+// LoadDistances implements Store. Only the distance column is touched: with
+// an mmap view this is a read of the column's pages, no syscall and no copy
+// beyond the decode into the caller's slice.
+func (s *Sharded) LoadDistances(src int, dist *[]int32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errShardedClosed
+	}
+	if buf, ok := s.staged[src]; ok {
+		return decodeDistances(buf[:distColumnSize(s.n)], s.n, dist)
+	}
+	sg, slot, err := s.lookupLocked(src)
+	if err != nil {
+		return err
+	}
+	if !bitGet(sg.written, slot) {
+		d := *dist
+		if cap(d) < s.n {
+			d = make([]int32, s.n)
+		}
+		d = d[:s.n]
+		for i := range d {
+			d[i] = bc.Unreachable
+		}
+		d[src] = 0
+		*dist = d
+		return nil
+	}
+	buf, err := sg.recordBytes(slot, distColumnSize(sg.recN), &s.readBuf)
+	if err != nil {
+		return err
+	}
+	return decodeDistancesPadded(buf, sg.recN, s.n, dist)
+}
+
+// Save implements Store: the record is encoded into the write-back stage and
+// becomes durable at the next Flush (or when the stage crosses its budget).
+func (s *Sharded) Save(src int, rec *bc.SourceState) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errShardedClosed
+	}
+	if _, _, err := s.lookupLocked(src); err != nil {
+		return err
+	}
+	if len(rec.Dist) != s.n {
+		return fmt.Errorf("bdstore: record has %d vertices, store expects %d", len(rec.Dist), s.n)
+	}
+	size := recordSize(s.n)
+	buf, ok := s.staged[src]
+	if !ok {
+		buf = s.getStageBufLocked(size)
+		s.stagedBytes += size
+	}
+	buf = buf[:size]
+	if err := encodeRecord(rec, buf); err != nil {
+		return err
+	}
+	s.staged[src] = buf
+	if s.stagedBytes >= stageBudgetBytes {
+		return s.flushLocked()
+	}
+	return nil
+}
+
+// getStageBufLocked returns a staging buffer of at least size bytes, reusing
+// returned buffers when possible.
+func (s *Sharded) getStageBufLocked(size int) []byte {
+	for k := len(s.stagePool) - 1; k >= 0; k-- {
+		if cap(s.stagePool[k]) >= size {
+			buf := s.stagePool[k]
+			s.stagePool = append(s.stagePool[:k], s.stagePool[k+1:]...)
+			return buf[:size]
+		}
+	}
+	return make([]byte, size)
+}
+
+// Flush implements Store: staged records are written to their segments as
+// offset-sorted, run-coalesced writes, and the written bitmaps are updated.
+func (s *Sharded) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errShardedClosed
+	}
+	return s.flushLocked()
+}
+
+func (s *Sharded) flushLocked() error {
+	firstErr := s.maintErr
+	s.maintErr = nil
+	if len(s.staged) == 0 {
+		return firstErr
+	}
+	srcs := make([]int, 0, len(s.staged))
+	for src := range s.staged {
+		srcs = append(srcs, src)
+	}
+	sort.Ints(srcs)
+	for i := 0; i < len(srcs); {
+		segID := srcs[i] / s.segRecords
+		j := i
+		for j < len(srcs) && srcs[j]/s.segRecords == segID {
+			j++
+		}
+		if err := s.flushSegmentLocked(segID, srcs[i:j]); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		i = j
+	}
+	for _, src := range srcs {
+		s.stagePool = append(s.stagePool, s.staged[src])
+	}
+	clear(s.staged)
+	s.stagedBytes = 0
+	return firstErr
+}
+
+// flushSegmentLocked writes the staged records of one segment. srcs is
+// ascending, all within the segment. A segment still at an older epoch is
+// migrated first, so record strides never mix within a file.
+func (s *Sharded) flushSegmentLocked(segID int, srcs []int) error {
+	sg := s.segs[segID]
+	if sg == nil {
+		return fmt.Errorf("bdstore: segment %d vanished", segID)
+	}
+	if sg.recN < s.n {
+		if err := s.migrateSegmentLocked(sg); err != nil {
+			return err
+		}
+	}
+	size := recordSize(s.n)
+	for i := 0; i < len(srcs); {
+		j := i + 1
+		for j < len(srcs) && srcs[j] == srcs[j-1]+1 {
+			j++
+		}
+		run := srcs[i:j]
+		off := segRecordOffset(s.segRecords, sg.recN, run[0]%s.segRecords)
+		if len(run) == 1 {
+			if _, err := sg.f.WriteAt(s.staged[run[0]], off); err != nil {
+				return fmt.Errorf("bdstore: writing source %d: %w", run[0], err)
+			}
+		} else {
+			need := len(run) * size
+			if cap(s.flushBuf) < need {
+				s.flushBuf = make([]byte, need)
+			}
+			wb := s.flushBuf[:need]
+			for k, src := range run {
+				copy(wb[k*size:(k+1)*size], s.staged[src])
+			}
+			if _, err := sg.f.WriteAt(wb, off); err != nil {
+				return fmt.Errorf("bdstore: writing sources %d..%d: %w", run[0], run[len(run)-1], err)
+			}
+		}
+		i = j
+	}
+	changed := false
+	for _, src := range srcs {
+		slot := src % s.segRecords
+		if !bitGet(sg.written, slot) {
+			bitSet(sg.written, slot)
+			changed = true
+		}
+	}
+	if changed {
+		return sg.writeBitmaps()
+	}
+	return nil
+}
+
+// migrateSegmentLocked rewrites one segment at the current epoch: every
+// written record is re-encoded with the Grow padding (unreachable distances,
+// zero sigma/delta for the new vertices) into a sibling file, which then
+// atomically replaces the segment. Reads before and after migration are
+// bit-identical; only the stride changes.
+func (s *Sharded) migrateSegmentLocked(sg *segment) error {
+	tmpPath := sg.path + ".mig"
+	f, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("bdstore: creating %s: %w", tmpPath, err)
+	}
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	hdr := make([]byte, segHeaderFixed)
+	if err := encodeSegHeader(segHeader{recN: s.n, base: sg.base(), segRecords: s.segRecords}, hdr); err != nil {
+		return fail(err)
+	}
+	if _, err := f.WriteAt(hdr, 0); err != nil {
+		return fail(fmt.Errorf("bdstore: writing header of %s: %w", tmpPath, err))
+	}
+	if _, err := f.WriteAt(sg.present, segHeaderFixed); err != nil {
+		return fail(fmt.Errorf("bdstore: writing bitmaps of %s: %w", tmpPath, err))
+	}
+	if _, err := f.WriteAt(sg.written, segHeaderFixed+int64(len(sg.present))); err != nil {
+		return fail(fmt.Errorf("bdstore: writing bitmaps of %s: %w", tmpPath, err))
+	}
+	if err := f.Truncate(segFileSize(s.segRecords, s.n)); err != nil {
+		return fail(fmt.Errorf("bdstore: sizing %s: %w", tmpPath, err))
+	}
+	var rec bc.SourceState
+	newBuf := make([]byte, recordSize(s.n))
+	for slot := 0; slot < s.segRecords; slot++ {
+		if !bitGet(sg.written, slot) {
+			continue
+		}
+		old, err := sg.recordBytes(slot, recordSize(sg.recN), &s.readBuf)
+		if err != nil {
+			return fail(err)
+		}
+		if err := decodeRecordPadded(old, sg.recN, s.n, &rec); err != nil {
+			return fail(err)
+		}
+		if err := encodeRecord(&rec, newBuf); err != nil {
+			return fail(err)
+		}
+		if _, err := f.WriteAt(newBuf, segRecordOffset(s.segRecords, s.n, slot)); err != nil {
+			return fail(fmt.Errorf("bdstore: writing migrated slot %d of segment %d: %w", slot, sg.id, err))
+		}
+	}
+	if err := os.Rename(tmpPath, sg.path); err != nil {
+		return fail(fmt.Errorf("bdstore: installing migrated segment %d: %w", sg.id, err))
+	}
+	sg.unmap()
+	sg.f.Close()
+	sg.f = f
+	sg.recN = s.n
+	sg.mapIn(s.useMmap)
+	return nil
+}
+
+// Grow implements Store as an epoch bump: flush the stage at the old stride,
+// record the new vertex count in the manifest and let the background
+// maintainer rewrite segment files. No record payload is rewritten
+// synchronously; stale segments serve reads through padding until migrated.
+func (s *Sharded) Grow(n int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errShardedClosed
+	}
+	if n <= s.n {
+		return nil
+	}
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	if err := writeManifest(s.dir, storeManifest{n: n, segRecords: s.segRecords}); err != nil {
+		return err
+	}
+	s.n = n
+	select {
+	case s.growCh <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// AddSource implements Store. Only bitmaps are written: the new source's
+// record is the synthesised isolated vertex until its first flushed Save.
+func (s *Sharded) AddSource(src int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errShardedClosed
+	}
+	if src < 0 || src >= s.n {
+		return fmt.Errorf("bdstore: source %d out of range (n=%d)", src, s.n)
+	}
+	loc := locateSource(src, s.segRecords)
+	sg := s.segs[loc.seg]
+	if sg == nil {
+		var err error
+		sg, err = createSegment(s.dir, loc.seg, s.n, s.segRecords, make([]byte, bitmapBytes(s.segRecords)), s.useMmap)
+		if err != nil {
+			return err
+		}
+		s.segs[loc.seg] = sg
+	}
+	if bitGet(sg.present, loc.slot) {
+		return fmt.Errorf("bdstore: source %d already managed", src)
+	}
+	bitSet(sg.present, loc.slot)
+	if err := sg.writeBitmaps(); err != nil {
+		return err
+	}
+	at := sort.SearchInts(s.order, src)
+	s.order = append(s.order, 0)
+	copy(s.order[at+1:], s.order[at:])
+	s.order[at] = src
+	return nil
+}
+
+// Stats implements Store.
+func (s *Sharded) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := StoreStats{
+		Records:  int64(len(s.order)),
+		Dirty:    int64(len(s.staged)),
+		Segments: int64(len(s.segs)),
+	}
+	for _, sg := range s.segs {
+		st.Bytes += sg.fileSize()
+	}
+	return st
+}
+
+// Close implements Store: the stage is flushed, the background maintainer is
+// stopped and every segment is unmapped and closed.
+func (s *Sharded) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	err := s.flushLocked()
+	s.closed = true
+	s.mu.Unlock()
+	close(s.quit)
+	s.wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sg := range s.segs {
+		if cerr := sg.close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	s.segs = make(map[int]*segment)
+	return err
+}
+
+// maintain is the background maintainer: after every Grow (and after a
+// reopen that found stale segments) it migrates segments to the current
+// epoch one at a time, holding the store lock only per segment so foreground
+// batches interleave freely.
+func (s *Sharded) maintain() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-s.growCh:
+		}
+		for {
+			select {
+			case <-s.quit:
+				return
+			default:
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				return
+			}
+			var stale *segment
+			for _, sg := range s.segs {
+				if sg.recN < s.n {
+					stale = sg
+					break
+				}
+			}
+			if stale == nil {
+				s.mu.Unlock()
+				break
+			}
+			if err := s.migrateSegmentLocked(stale); err != nil {
+				if s.maintErr == nil {
+					s.maintErr = err
+				}
+				s.mu.Unlock()
+				break
+			}
+			s.mu.Unlock()
+		}
+	}
+}

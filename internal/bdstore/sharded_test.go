@@ -1,0 +1,465 @@
+package bdstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"streambc/internal/bc"
+)
+
+func openSharded(t *testing.T, dir string, o Options) *Sharded {
+	t.Helper()
+	s, err := Open(dir, o)
+	if err != nil {
+		t.Fatalf("Open(%s, %+v): %v", dir, o, err)
+	}
+	sh, ok := s.(*Sharded)
+	if !ok {
+		t.Fatalf("Open returned %T, want *Sharded", s)
+	}
+	return sh
+}
+
+func TestShardedConformance(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"mmap", Options{NumVertices: 6, SegmentRecords: 2}},
+		{"pread", Options{NumVertices: 6, SegmentRecords: 2, DisableMmap: true}},
+		{"one-segment", Options{NumVertices: 6, SegmentRecords: 512}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			storeConformance(t, "sharded/"+tc.name, openSharded(t, t.TempDir(), tc.opts), 6)
+		})
+	}
+}
+
+func TestOpenMemStoreAndErrors(t *testing.T) {
+	s, err := Open("", Options{NumVertices: 4})
+	if err != nil {
+		t.Fatalf("Open(mem): %v", err)
+	}
+	if _, ok := s.(*MemStore); !ok {
+		t.Fatalf("Open(\"\") returned %T, want *MemStore", s)
+	}
+	s.Close()
+	if _, err := Open("", Options{NumVertices: 4, Mode: ModeReopen}); !errors.Is(err, ErrNoStore) {
+		t.Fatalf("reopening a memory store: err = %v, want ErrNoStore", err)
+	}
+	if _, err := Open(t.TempDir(), Options{NumVertices: 4, Mode: Mode(9)}); err == nil {
+		t.Fatal("invalid mode must be rejected")
+	}
+	if _, err := Open(t.TempDir(), Options{NumVertices: 4, SegmentRecords: MaxSegmentRecords + 1}); err == nil {
+		t.Fatal("oversized segment records must be rejected")
+	}
+	if _, err := Open(t.TempDir(), Options{NumVertices: -1}); err == nil {
+		t.Fatal("negative vertex count must be rejected")
+	}
+}
+
+func TestOpenCreateReopenRecreateSemantics(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(21))
+	const n = 11
+
+	s := openSharded(t, dir, Options{NumVertices: n, Sources: []int{1, 4, 9}, SegmentRecords: 4})
+	want := randomRecord(rng, n)
+	if err := s.Save(4, want); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// A second create must refuse to clobber the store.
+	if _, err := Open(dir, Options{NumVertices: n}); !errors.Is(err, ErrStoreExists) {
+		t.Fatalf("ModeCreate on existing store: err = %v, want ErrStoreExists", err)
+	}
+
+	// Reopen recovers the source set and the flushed records; sources never
+	// written still read as fresh isolated records.
+	r := openSharded(t, dir, Options{Mode: ModeReopen})
+	if r.NumVertices() != n {
+		t.Fatalf("reopened NumVertices = %d, want %d", r.NumVertices(), n)
+	}
+	if got := r.Sources(); len(got) != 3 || got[0] != 1 || got[1] != 4 || got[2] != 9 {
+		t.Fatalf("reopened Sources = %v, want [1 4 9]", got)
+	}
+	got := bc.NewSourceState(0)
+	if err := r.Load(4, got); err != nil {
+		t.Fatalf("Load after reopen: %v", err)
+	}
+	if !recordsEqual(want, got) {
+		t.Fatal("reopened record differs from the flushed one")
+	}
+	if err := r.Load(9, got); err != nil {
+		t.Fatalf("Load unwritten source: %v", err)
+	}
+	if got.Dist[9] != 0 || got.Sigma[9] != 1 || got.Dist[0] != bc.Unreachable {
+		t.Fatalf("unwritten source must read as isolated, got %+v", got)
+	}
+	r.Close()
+
+	// Reopen validations: non-zero options must agree with the manifest, and
+	// the source set always comes from the store.
+	if _, err := Open(dir, Options{Mode: ModeReopen, NumVertices: n + 1}); err == nil {
+		t.Fatal("reopen with wrong vertex count must fail")
+	}
+	if _, err := Open(dir, Options{Mode: ModeReopen, SegmentRecords: 8}); err == nil {
+		t.Fatal("reopen with wrong segment size must fail")
+	}
+	if _, err := Open(dir, Options{Mode: ModeReopen, Sources: []int{1}}); err == nil {
+		t.Fatal("reopen with an explicit source set must fail")
+	}
+
+	// Recreate replaces the store...
+	s2 := openSharded(t, dir, Options{NumVertices: 5, Mode: ModeRecreate})
+	if s2.NumVertices() != 5 || len(s2.Sources()) != 5 {
+		t.Fatalf("recreated store: n=%d sources=%d", s2.NumVertices(), len(s2.Sources()))
+	}
+	s2.Close()
+
+	// ...but refuses to delete a non-empty directory that is not a store.
+	plain := t.TempDir()
+	if err := os.WriteFile(filepath.Join(plain, "keep.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(plain, Options{NumVertices: 5, Mode: ModeRecreate}); err == nil {
+		t.Fatal("ModeRecreate must refuse a non-store directory with contents")
+	}
+	// Reopen of a store-less directory is explicit too.
+	if _, err := Open(plain, Options{Mode: ModeReopen}); !errors.Is(err, ErrNoStore) {
+		t.Fatalf("ModeReopen without a store: err = %v, want ErrNoStore", err)
+	}
+}
+
+func TestShardedFlushStatsAndDirtyAccounting(t *testing.T) {
+	const n = 9
+	s := openSharded(t, t.TempDir(), Options{NumVertices: n, SegmentRecords: 4})
+	defer s.Close()
+
+	st := s.Stats()
+	if st.Records != n || st.Dirty != 0 || st.Segments != 3 {
+		t.Fatalf("fresh stats = %+v", st)
+	}
+	if st.Bytes == 0 {
+		t.Fatalf("fresh stats report zero bytes: %+v", st)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	for src := 0; src < 5; src++ {
+		if err := s.Save(src, randomRecord(rng, n)); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+	}
+	if got := s.Stats().Dirty; got != 5 {
+		t.Fatalf("Dirty after 5 staged saves = %d, want 5", got)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if got := s.Stats().Dirty; got != 0 {
+		t.Fatalf("Dirty after flush = %d, want 0", got)
+	}
+	// Staged records must be readable before any flush (read-your-writes).
+	want := randomRecord(rng, n)
+	if err := s.Save(7, want); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got := bc.NewSourceState(0)
+	if err := s.Load(7, got); err != nil {
+		t.Fatalf("Load staged: %v", err)
+	}
+	if !recordsEqual(want, got) {
+		t.Fatal("staged record not visible to Load")
+	}
+	var dist []int32
+	if err := s.LoadDistances(7, &dist); err != nil {
+		t.Fatalf("LoadDistances staged: %v", err)
+	}
+	for i := range dist {
+		if dist[i] != want.Dist[i] {
+			t.Fatalf("staged distance column differs at %d", i)
+		}
+	}
+}
+
+// TestShardedMmapAndPreadAgree drives an identical save/flush/grow sequence
+// through both read paths and requires byte-identical results.
+func TestShardedMmapAndPreadAgree(t *testing.T) {
+	const n = 13
+	mm := openSharded(t, t.TempDir(), Options{NumVertices: n, SegmentRecords: 4})
+	pr := openSharded(t, t.TempDir(), Options{NumVertices: n, SegmentRecords: 4, DisableMmap: true})
+	defer mm.Close()
+	defer pr.Close()
+	if pr.MmapActive() {
+		t.Fatal("DisableMmap store reports an active mapping")
+	}
+
+	rng := rand.New(rand.NewSource(8))
+	for src := 0; src < n; src += 2 {
+		rec := randomRecord(rng, n)
+		if err := mm.Save(src, rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := pr.Save(src, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range []*Sharded{mm, pr} {
+		if err := s.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+		if err := s.Grow(n + 3); err != nil {
+			t.Fatalf("Grow: %v", err)
+		}
+	}
+	a, b := bc.NewSourceState(0), bc.NewSourceState(0)
+	for src := 0; src < n; src++ {
+		if err := mm.Load(src, a); err != nil {
+			t.Fatal(err)
+		}
+		if err := pr.Load(src, b); err != nil {
+			t.Fatal(err)
+		}
+		if !recordsEqual(a, b) {
+			t.Fatalf("mmap and pread records differ for source %d", src)
+		}
+	}
+}
+
+// TestShardedGrowServesPaddedReadsAndMigrates verifies the epoch-based Grow:
+// reads are correct immediately after the epoch bump (padded from stale
+// segments), and the background maintainer eventually rewrites every segment
+// to the new stride without changing what readers see.
+func TestShardedGrowServesPaddedReadsAndMigrates(t *testing.T) {
+	const n, grown = 10, 17
+	s := openSharded(t, t.TempDir(), Options{NumVertices: n, SegmentRecords: 4})
+	defer s.Close()
+
+	rng := rand.New(rand.NewSource(12))
+	want := make([]*bc.SourceState, n)
+	for src := 0; src < n; src++ {
+		want[src] = randomRecord(rng, n)
+		if err := s.Save(src, want[src]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Grow(grown); err != nil {
+		t.Fatalf("Grow: %v", err)
+	}
+
+	check := func(context string) {
+		t.Helper()
+		got := bc.NewSourceState(0)
+		for src := 0; src < n; src++ {
+			if err := s.Load(src, got); err != nil {
+				t.Fatalf("%s: Load(%d): %v", context, src, err)
+			}
+			if len(got.Dist) != grown {
+				t.Fatalf("%s: record length %d, want %d", context, len(got.Dist), grown)
+			}
+			for v := 0; v < len(want[src].Dist); v++ {
+				if got.Dist[v] != want[src].Dist[v] || got.Sigma[v] != want[src].Sigma[v] || got.Delta[v] != want[src].Delta[v] {
+					t.Fatalf("%s: source %d differs at vertex %d", context, src, v)
+				}
+			}
+			for v := len(want[src].Dist); v < grown; v++ {
+				if got.Dist[v] != bc.Unreachable || got.Sigma[v] != 0 || got.Delta[v] != 0 {
+					t.Fatalf("%s: source %d padding wrong at vertex %d", context, src, v)
+				}
+			}
+		}
+	}
+	check("immediately after Grow")
+
+	// A flushed save at the new epoch forces the target segment to the new
+	// stride inline; the maintainer handles the rest. Closing waits for it.
+	upd := randomRecord(rng, grown)
+	if err := s.Save(0, upd); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want[0] = upd
+	check("after a post-grow flush")
+
+	// AddSource beyond the old range lands in a brand-new segment.
+	if err := s.AddSource(grown - 1); err != nil {
+		t.Fatalf("AddSource: %v", err)
+	}
+	got := bc.NewSourceState(0)
+	if err := s.Load(grown-1, got); err != nil {
+		t.Fatalf("Load new source: %v", err)
+	}
+	if got.Dist[grown-1] != 0 || got.Sigma[grown-1] != 1 {
+		t.Fatalf("new source record wrong: %+v", got)
+	}
+
+	// After Close (which stops the maintainer), a reopen must find every
+	// segment at the current epoch or migrate the stragglers itself — either
+	// way, the data reads back unchanged.
+	dir := s.Dir()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r := openSharded(t, dir, Options{Mode: ModeReopen})
+	s = r
+	check("after reopen")
+}
+
+// TestShardedGrowPersistsAcrossAbruptReopen simulates an interrupted Grow:
+// the manifest carries the new epoch while segment files are still at the old
+// stride. A reopen must serve padded reads and finish the migration.
+func TestShardedGrowPersistsAcrossAbruptReopen(t *testing.T) {
+	const n, grown = 6, 9
+	dir := t.TempDir()
+	s := openSharded(t, dir, Options{NumVertices: n, SegmentRecords: 2})
+	rng := rand.New(rand.NewSource(5))
+	want := randomRecord(rng, n)
+	if err := s.Save(3, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bump the epoch behind the store's back: only the manifest moves, as if
+	// the process died right after Grow's manifest write.
+	if err := writeManifest(dir, storeManifest{n: grown, segRecords: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openSharded(t, dir, Options{Mode: ModeReopen})
+	defer r.Close()
+	if r.NumVertices() != grown {
+		t.Fatalf("NumVertices = %d, want %d", r.NumVertices(), grown)
+	}
+	got := bc.NewSourceState(0)
+	if err := r.Load(3, got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Dist) != grown {
+		t.Fatalf("record length %d, want %d", len(got.Dist), grown)
+	}
+	for v := 0; v < n; v++ {
+		if got.Dist[v] != want.Dist[v] || got.Sigma[v] != want.Sigma[v] || got.Delta[v] != want.Delta[v] {
+			t.Fatalf("reopened record differs at vertex %d", v)
+		}
+	}
+	for v := n; v < grown; v++ {
+		if got.Dist[v] != bc.Unreachable {
+			t.Fatalf("padding wrong at vertex %d", v)
+		}
+	}
+}
+
+func TestShardedLayoutOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	s := openSharded(t, dir, Options{NumVertices: 520, Sources: []int{0, 100, 515}, SegmentRecords: 2})
+	defer s.Close()
+	// Sources 0, 100 and 515 live in segments 0, 50 and 257; segment 257
+	// wraps to shard 0x01.
+	for _, want := range []string{
+		filepath.Join(dir, "MANIFEST"),
+		filepath.Join(dir, "00", "seg-00000000.bds"),
+		filepath.Join(dir, "32", "seg-00000050.bds"),
+		filepath.Join(dir, "01", "seg-00000257.bds"),
+	} {
+		if _, err := os.Stat(want); err != nil {
+			t.Errorf("missing %s: %v", want, err)
+		}
+	}
+	if s.SegmentRecords() != 2 {
+		t.Fatalf("SegmentRecords = %d", s.SegmentRecords())
+	}
+	if got := s.Stats().Segments; got != 3 {
+		t.Fatalf("Segments = %d, want 3", got)
+	}
+}
+
+// FuzzSourceLocation checks the source → (segment, slot, offset) mapping
+// invariants for arbitrary ids and segment sizes.
+func FuzzSourceLocation(f *testing.F) {
+	f.Add(0, 64, 100)
+	f.Add(63, 64, 100)
+	f.Add(64, 64, 100)
+	f.Add(1<<30, 3, 7)
+	f.Add(515, 2, 520)
+	f.Fuzz(func(t *testing.T, src, segRecords, recN int) {
+		if src < 0 || segRecords < 1 || segRecords > MaxSegmentRecords {
+			t.Skip()
+		}
+		if recN < 1 || recN > 1<<20 {
+			t.Skip()
+		}
+		loc := locateSource(src, segRecords)
+		if loc.seg < 0 || loc.slot < 0 || loc.slot >= segRecords {
+			t.Fatalf("locateSource(%d, %d) = %+v out of range", src, segRecords, loc)
+		}
+		if loc.seg*segRecords+loc.slot != src {
+			t.Fatalf("locateSource(%d, %d) = %+v does not invert", src, segRecords, loc)
+		}
+		// Slots must map to non-overlapping, in-bounds record windows.
+		off := segRecordOffset(segRecords, recN, loc.slot)
+		if off < segRecordsOffset(segRecords) {
+			t.Fatalf("record offset %d inside header/bitmaps", off)
+		}
+		if end := off + int64(recordSize(recN)); end > segFileSize(segRecords, recN) {
+			t.Fatalf("record [%d, %d) beyond file size %d", off, end, segFileSize(segRecords, recN))
+		}
+		if loc.slot+1 < segRecords {
+			if next := segRecordOffset(segRecords, recN, loc.slot+1); next != off+int64(recordSize(recN)) {
+				t.Fatalf("slots %d and %d overlap or leave a gap", loc.slot, loc.slot+1)
+			}
+		}
+		// The shard path must round-trip through the scanner's validation.
+		if shardName(loc.seg) != filepath.Base(filepath.Dir(segmentPath("root", loc.seg))) {
+			t.Fatalf("shard path mismatch for segment %d", loc.seg)
+		}
+	})
+}
+
+// FuzzSegmentHeader feeds arbitrary bytes to the segment-header codec: it
+// must never panic, and whatever it accepts must re-encode to the same bytes.
+func FuzzSegmentHeader(f *testing.F) {
+	valid := make([]byte, segHeaderFixed)
+	if err := encodeSegHeader(segHeader{recN: 100, base: 128, segRecords: 64}, valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte("BDS2 short"))
+	f.Add(make([]byte, segHeaderFixed))
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		h, err := decodeSegHeader(buf)
+		if err != nil {
+			return
+		}
+		if h.segRecords < 1 || h.segRecords > MaxSegmentRecords || h.base%h.segRecords != 0 {
+			t.Fatalf("decode accepted invalid header %+v", h)
+		}
+		out := make([]byte, segHeaderFixed)
+		if err := encodeSegHeader(h, out); err != nil {
+			t.Fatalf("re-encode of accepted header %+v: %v", h, err)
+		}
+		if string(out) != string(buf[:segHeaderFixed]) {
+			t.Fatalf("header round trip differs:\n in  %x\n out %x", buf[:segHeaderFixed], out)
+		}
+		// Sanity: the decoded sizes must be consistent with the u64 fields.
+		if got := binary.LittleEndian.Uint64(buf[8:16]); got != uint64(h.recN) {
+			t.Fatalf("recN mismatch: %d vs %d", got, h.recN)
+		}
+	})
+}

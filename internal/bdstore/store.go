@@ -1,0 +1,83 @@
+package bdstore
+
+import (
+	"streambc/internal/bc"
+)
+
+// Store abstracts the container of the per-source betweenness data BD[·].
+// This package provides an in-memory store (the "MO" configuration of the
+// paper), the legacy single-file out-of-core store (v1, the shape used for
+// the paper's experiments) and the sharded, mmap-backed out-of-core store
+// (v2, the production layout opened by Open). Sources and vertices are
+// identified by dense integers; a store created for n vertices holds one
+// record of n entries per managed source and can be grown when new vertices
+// arrive in the stream.
+//
+// package incremental re-exports this interface as incremental.Store; the
+// two names are interchangeable.
+type Store interface {
+	// NumVertices returns the number of vertices n covered by every record.
+	NumVertices() int
+
+	// Load fills rec with the record of source s. The caller owns rec; its
+	// slices are resized as needed.
+	Load(s int, rec *bc.SourceState) error
+
+	// Save persists rec as the record of source s. Implementations may stage
+	// the write in memory; Flush forces staged writes down. A Load or
+	// LoadDistances issued after Save always observes the saved record
+	// (read-your-writes), flushed or not.
+	Save(s int, rec *bc.SourceState) error
+
+	// LoadDistances fills dist (resized as needed) with only the distance
+	// column of source s. It is the cheap probe used to skip sources for
+	// which the update cannot change anything (dd = 0).
+	LoadDistances(s int, dist *[]int32) error
+
+	// Flush writes any staged records to the backing medium. It is called by
+	// the incremental framework at the end of every batch. For stores
+	// without a write-back stage (MemStore, the v1 DiskStore) it is a no-op.
+	Flush() error
+
+	// Grow extends every record to cover n vertices. Existing records are
+	// padded with unreachable entries. Growing never removes vertices.
+	Grow(n int) error
+
+	// AddSource registers a new source s. Its record is initialised as an
+	// isolated vertex: distance 0 and a single shortest path to itself,
+	// everything else unreachable. Adding an existing source is an error.
+	AddSource(s int) error
+
+	// Sources returns the identifiers of the sources managed by this store,
+	// in ascending order. A full store manages every vertex as a source; a
+	// partitioned store (one worker of the parallel engine) manages a subset.
+	Sources() []int
+
+	// Stats reports the store's current size and write-back state. It is
+	// cheap (no I/O) and safe to call between batches; the incremental
+	// framework snapshots it at every flush for metrics scraping.
+	Stats() StoreStats
+
+	// Close flushes any staged writes and releases the resources held by the
+	// store (file handles, memory mappings, background maintenance).
+	Close() error
+}
+
+// StoreStats is a point-in-time summary of a store, as reported by
+// Store.Stats and exported through the obs registry.
+type StoreStats struct {
+	// Records is the number of source records the store manages.
+	Records int64
+	// Bytes is the logical size of the backing medium: file bytes for the
+	// out-of-core stores (headers, bitmaps and record payload), record bytes
+	// for MemStore.
+	Bytes int64
+	// Dirty is the number of records staged in the write-back buffer and not
+	// yet flushed to the backing medium. Always zero for stores that write
+	// through (MemStore, the v1 DiskStore).
+	Dirty int64
+	// Segments is the number of segment files backing the store: 1 for the
+	// v1 single-file layout, 0 for MemStore, and the materialised segment
+	// count for the sharded v2 layout.
+	Segments int64
+}

@@ -108,7 +108,12 @@ func Detect(g *graph.Graph, opts Options) (*Result, error) {
 	var updater *incremental.Updater
 	var err error
 	if opts.Method == Incremental {
-		updater, err = incremental.NewUpdater(work, bdstore.NewMemStore(work.N()))
+		store, serr := bdstore.Open("", bdstore.Options{NumVertices: work.N()})
+		if serr == nil {
+			updater, err = incremental.NewUpdater(work, store)
+		} else {
+			err = serr
+		}
 		if err != nil {
 			return nil, fmt.Errorf("community: initialising incremental updater: %w", err)
 		}

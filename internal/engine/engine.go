@@ -50,11 +50,29 @@ func MemFactory() StoreFactory {
 }
 
 // DiskFactory returns a factory producing one on-disk store per worker inside
-// dir (the distributed "DO" configuration, one file per machine/disk).
+// dir (the distributed "DO" configuration, one store per machine/disk). Each
+// worker owns a sharded v2 store rooted at dir/worker-NNN; recreating an
+// engine over the same directory (a bcserved restart rebuilding from
+// snapshot + WAL) replaces the previous run's stores.
 func DiskFactory(dir string) StoreFactory {
+	return DiskFactoryOpts(dir, bdstore.Options{})
+}
+
+// DiskFactoryOpts is DiskFactory with explicit store options (segment size,
+// mmap toggle). NumVertices, Sources and Mode are set per worker by the
+// factory; the remaining fields pass through to bdstore.Open.
+func DiskFactoryOpts(dir string, o bdstore.Options) StoreFactory {
 	return func(id, n int, sources []int) (incremental.Store, error) {
-		path := filepath.Join(dir, fmt.Sprintf("bd-worker-%03d.bin", id))
-		return bdstore.NewDiskStoreForSources(path, n, sources)
+		wo := o
+		wo.NumVertices = n
+		wo.Sources = sources
+		if wo.Sources == nil {
+			// Open treats nil as "every vertex": a worker's partition is
+			// always explicit, even when it happens to be empty.
+			wo.Sources = []int{}
+		}
+		wo.Mode = bdstore.ModeRecreate
+		return bdstore.Open(filepath.Join(dir, fmt.Sprintf("worker-%03d", id)), wo)
 	}
 }
 
@@ -348,6 +366,30 @@ func (e *Engine) registerMetrics(reg *obs.Registry) {
 		sum((*incremental.SourceProcessor).Removals), "kind", "removal")
 	reg.CounterFunc("streambc_updates_classified_total", classified,
 		sum((*incremental.SourceProcessor).Skipped), "kind", "skip")
+	// Store shape and write-back state, summed across the worker stores. The
+	// values are the snapshots taken at each worker's last flush (a quiescent
+	// moment for its store), so scrapes never call into a store mid-batch.
+	sumStat := func(read func(incremental.StoreStats) int64) func() int64 {
+		return func() int64 {
+			var t int64
+			for _, w := range e.workers {
+				t += read(w.proc.StoreStats())
+			}
+			return t
+		}
+	}
+	reg.IntGaugeFunc("streambc_store_records",
+		"Per-source records managed across the worker stores.",
+		sumStat(func(st incremental.StoreStats) int64 { return st.Records }))
+	reg.IntGaugeFunc("streambc_store_bytes",
+		"Logical size in bytes of the worker stores' backing media.",
+		sumStat(func(st incremental.StoreStats) int64 { return st.Bytes }))
+	reg.IntGaugeFunc("streambc_store_dirty_records",
+		"Records staged in the stores' write-back buffers, pending flush.",
+		sumStat(func(st incremental.StoreStats) int64 { return st.Dirty }))
+	reg.IntGaugeFunc("streambc_store_segments",
+		"Segment files backing the worker stores (0 for in-memory stores).",
+		sumStat(func(st incremental.StoreStats) int64 { return st.Segments }))
 }
 
 // sourcePool resolves the configured source set: every vertex in exact mode,
@@ -409,6 +451,12 @@ func (e *Engine) initialize() error {
 					errs[i] = fmt.Errorf("engine: worker %d saving source %d: %w", w.id, s, err)
 					return
 				}
+			}
+			// Push the initial records down before serving: the sharded v2
+			// store stages Saves in memory until flushed.
+			if err := w.store.Flush(); err != nil {
+				errs[i] = fmt.Errorf("engine: worker %d flushing initial records: %w", w.id, err)
+				return
 			}
 			partials[i] = partial
 		}(i, w)

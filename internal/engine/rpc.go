@@ -33,7 +33,8 @@ type InitArgs struct {
 	Edges    []graph.Edge
 	Sources  []int
 	// DiskPath, when non-empty, makes the worker keep its BD partition in an
-	// out-of-core store at that path instead of in memory.
+	// out-of-core store (sharded v2 layout) rooted at that directory instead
+	// of in memory. Any store already in the directory is replaced.
 	DiskPath string
 	// Scale is the estimator factor applied to every betweenness
 	// contribution of this worker's sources (n/k in the sampled-source
@@ -93,7 +94,17 @@ func (w *WorkerServer) Init(args *InitArgs, reply *incremental.Delta) error {
 	var store incremental.Store
 	var err error
 	if args.DiskPath != "" {
-		store, err = bdstore.NewDiskStoreForSources(args.DiskPath, args.N, args.Sources)
+		// DiskPath is this worker's store directory (sharded v2 layout); a
+		// re-Init over the same directory replaces the previous store.
+		sources := args.Sources
+		if sources == nil {
+			sources = []int{}
+		}
+		store, err = bdstore.Open(args.DiskPath, bdstore.Options{
+			NumVertices: args.N,
+			Sources:     sources,
+			Mode:        bdstore.ModeRecreate,
+		})
 		if err != nil {
 			return err
 		}
@@ -124,6 +135,9 @@ func (w *WorkerServer) Init(args *InitArgs, reply *incremental.Delta) error {
 		if err := store.Save(s, state); err != nil {
 			return err
 		}
+	}
+	if err := store.Flush(); err != nil {
+		return err
 	}
 	if err := w.proc.BuildProbeIndex(); err != nil {
 		return err

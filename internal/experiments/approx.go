@@ -138,7 +138,10 @@ func runApproxOne(g *graph.Graph, stream []graph.Update, sources []int, k int) (
 	var err error
 	initStart := time.Now()
 	if sources == nil {
-		u, err = incremental.NewUpdater(work, bdstore.NewMemStore(n))
+		var store bdstore.Store
+		if store, err = bdstore.Open("", bdstore.Options{NumVertices: n}); err == nil {
+			u, err = incremental.NewUpdater(work, store)
+		}
 	} else {
 		u, err = incremental.NewSampledUpdater(work, bdstore.NewMemStoreForSources(n, sources), 0)
 	}

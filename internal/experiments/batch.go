@@ -60,7 +60,7 @@ func RunBatch(cfg Config) (*BatchResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			a, cleanup, err := NewVariantUpdater(g, variant, cfg.ScratchDir)
+			a, cleanup, err := NewVariantUpdater(g, variant, cfg.ScratchDir, cfg.SegmentRecords)
 			if err != nil {
 				cleanup()
 				return nil, err

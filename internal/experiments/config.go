@@ -21,6 +21,9 @@ type Config struct {
 	// ScratchDir hosts temporary on-disk stores (defaults to the system temp
 	// directory).
 	ScratchDir string
+	// SegmentRecords is the number of source records per segment file of the
+	// out-of-core stores; 0 means bdstore.DefaultSegmentRecords.
+	SegmentRecords int
 	// BatchSize is the chunk size used by the batched-replay experiment;
 	// 0 means 16.
 	BatchSize int

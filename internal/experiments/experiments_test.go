@@ -84,7 +84,7 @@ func TestVariantUpdaters(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, v := range []Variant{VariantMP, VariantMO, VariantDO} {
-		upd, cleanup, err := NewVariantUpdater(g.Clone(), v, t.TempDir())
+		upd, cleanup, err := NewVariantUpdater(g.Clone(), v, t.TempDir(), 0)
 		if err != nil {
 			t.Fatalf("%v: %v", v, err)
 		}
@@ -100,7 +100,7 @@ func TestVariantUpdaters(t *testing.T) {
 	if VariantMP.String() != "MP" || VariantMO.String() != "MO" || VariantDO.String() != "DO" {
 		t.Fatal("variant names wrong")
 	}
-	if _, _, err := NewVariantUpdater(g.Clone(), Variant(99), ""); err == nil {
+	if _, _, err := NewVariantUpdater(g.Clone(), Variant(99), "", 0); err == nil {
 		t.Fatal("unknown variant accepted")
 	}
 }
@@ -118,7 +118,7 @@ func TestProfileStreamAndSimulation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	profiles, err := ProfileStream(g, ups, false, t.TempDir())
+	profiles, err := ProfileStream(g, ups, false, t.TempDir(), 0)
 	if err != nil {
 		t.Fatalf("ProfileStream: %v", err)
 	}
@@ -142,7 +142,7 @@ func TestProfileStreamAndSimulation(t *testing.T) {
 	}
 
 	// Disk-backed profiling also works.
-	diskProfiles, err := ProfileStream(g, ups[:2], true, t.TempDir())
+	diskProfiles, err := ProfileStream(g, ups[:2], true, t.TempDir(), 0)
 	if err != nil {
 		t.Fatalf("ProfileStream disk: %v", err)
 	}

@@ -247,7 +247,7 @@ func RunFigure7(cfg Config) (*Figure7Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		profiles, err := ProfileStream(g, ups, false, cfg.ScratchDir)
+		profiles, err := ProfileStream(g, ups, false, cfg.ScratchDir, cfg.SegmentRecords)
 		if err != nil {
 			return nil, fmt.Errorf("figure7 %s: %w", name, err)
 		}
@@ -348,7 +348,7 @@ func RunFigure8(cfg Config) (*Figure8Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		profiles, err := ProfileStream(g, ups, false, cfg.ScratchDir)
+		profiles, err := ProfileStream(g, ups, false, cfg.ScratchDir, cfg.SegmentRecords)
 		if err != nil {
 			return nil, fmt.Errorf("figure8 %s: %w", name, err)
 		}

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"os"
-	"path/filepath"
 	"time"
 
 	"streambc/internal/bc"
@@ -44,14 +43,23 @@ type Applier interface {
 
 // NewVariantUpdater builds an updater of the requested variant over g (which
 // it takes ownership of). The returned cleanup function releases any disk
-// resources and must always be called.
-func NewVariantUpdater(g *graph.Graph, v Variant, scratchDir string) (Applier, func(), error) {
+// resources and must always be called. segmentRecords sizes the segment
+// files of the out-of-core variant (0 = bdstore.DefaultSegmentRecords).
+func NewVariantUpdater(g *graph.Graph, v Variant, scratchDir string, segmentRecords int) (Applier, func(), error) {
 	switch v {
 	case VariantMO:
-		u, err := incremental.NewUpdater(g, bdstore.NewMemStore(g.N()))
+		store, err := bdstore.Open("", bdstore.Options{NumVertices: g.N()})
+		if err != nil {
+			return nil, func() {}, err
+		}
+		u, err := incremental.NewUpdater(g, store)
 		return u, func() {}, err
 	case VariantMP:
-		u, err := incremental.NewPredUpdater(g, bdstore.NewMemStore(g.N()))
+		store, err := bdstore.Open("", bdstore.Options{NumVertices: g.N()})
+		if err != nil {
+			return nil, func() {}, err
+		}
+		u, err := incremental.NewPredUpdater(g, store)
 		return u, func() {}, err
 	case VariantDO:
 		if scratchDir == "" {
@@ -61,7 +69,11 @@ func NewVariantUpdater(g *graph.Graph, v Variant, scratchDir string) (Applier, f
 		if err != nil {
 			return nil, func() {}, err
 		}
-		store, err := bdstore.NewDiskStore(filepath.Join(dir, "bd.bin"), g.N())
+		store, err := bdstore.Open(dir, bdstore.Options{
+			NumVertices:    g.N(),
+			Mode:           bdstore.ModeRecreate,
+			SegmentRecords: segmentRecords,
+		})
 		if err != nil {
 			os.RemoveAll(dir)
 			return nil, func() {}, err
@@ -159,7 +171,7 @@ func (p UpdateProfile) SimulatedWall(workers int) time.Duration {
 // source of every update separately. useDisk selects the out-of-core store.
 // The profiles can then be replayed at any simulated cluster size with
 // SimulatedWall.
-func ProfileStream(g *graph.Graph, updates []graph.Update, useDisk bool, scratchDir string) ([]UpdateProfile, error) {
+func ProfileStream(g *graph.Graph, updates []graph.Update, useDisk bool, scratchDir string, segmentRecords int) ([]UpdateProfile, error) {
 	work := g.Clone()
 	var store incremental.Store
 	var cleanup func()
@@ -171,7 +183,11 @@ func ProfileStream(g *graph.Graph, updates []graph.Update, useDisk bool, scratch
 		if err != nil {
 			return nil, err
 		}
-		ds, err := bdstore.NewDiskStore(filepath.Join(dir, "bd.bin"), work.N())
+		ds, err := bdstore.Open(dir, bdstore.Options{
+			NumVertices:    work.N(),
+			Mode:           bdstore.ModeRecreate,
+			SegmentRecords: segmentRecords,
+		})
 		if err != nil {
 			os.RemoveAll(dir)
 			return nil, err
@@ -179,7 +195,11 @@ func ProfileStream(g *graph.Graph, updates []graph.Update, useDisk bool, scratch
 		store = ds
 		cleanup = func() { ds.Close(); os.RemoveAll(dir) }
 	} else {
-		store = bdstore.NewMemStore(work.N())
+		ms, err := bdstore.Open("", bdstore.Options{NumVertices: work.N()})
+		if err != nil {
+			return nil, err
+		}
+		store = ms
 		cleanup = func() {}
 	}
 	defer cleanup()
@@ -194,6 +214,11 @@ func ProfileStream(g *graph.Graph, updates []graph.Update, useDisk bool, scratch
 		if err := store.Save(s, state); err != nil {
 			return nil, err
 		}
+	}
+	// Settle the offline records so the per-source timings below measure the
+	// steady-state read path, not a first-flush of the initialisation writes.
+	if err := store.Flush(); err != nil {
+		return nil, err
 	}
 
 	ws := incremental.NewWorkspace(work.N())

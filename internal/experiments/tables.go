@@ -130,7 +130,7 @@ func RunTable3(cfg Config) (*Table3Result, error) {
 			return nil, fmt.Errorf("table3 %s: %w", name, err)
 		}
 		baseline := MeasureBrandes(g, cfg.BrandesRuns)
-		upd, cleanup, err := NewVariantUpdater(g.Clone(), VariantMO, cfg.ScratchDir)
+		upd, cleanup, err := NewVariantUpdater(g.Clone(), VariantMO, cfg.ScratchDir, cfg.SegmentRecords)
 		if err != nil {
 			return nil, err
 		}
@@ -243,7 +243,7 @@ func RunTable4(cfg Config) (*Table4Result, error) {
 }
 
 func measureVariant(g *graph.Graph, v Variant, ups []graph.Update, cfg Config) ([]time.Duration, error) {
-	upd, cleanup, err := NewVariantUpdater(g.Clone(), v, cfg.ScratchDir)
+	upd, cleanup, err := NewVariantUpdater(g.Clone(), v, cfg.ScratchDir, cfg.SegmentRecords)
 	if err != nil {
 		return nil, err
 	}
@@ -317,7 +317,7 @@ func RunTable5(cfg Config) (*Table5Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		profiles, err := ProfileStream(g, ups, false, cfg.ScratchDir)
+		profiles, err := ProfileStream(g, ups, false, cfg.ScratchDir, cfg.SegmentRecords)
 		if err != nil {
 			return nil, fmt.Errorf("table5 %s: %w", name, err)
 		}

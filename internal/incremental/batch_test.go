@@ -84,13 +84,16 @@ func TestApplyBatchStoreIO(t *testing.T) {
 	stream := mixedBatchStream(t, base, 12, 62)
 
 	stores := map[string]func(t *testing.T, n int) Store{
-		"mem": func(t *testing.T, n int) Store { return bdstore.NewMemStore(n) },
-		"disk": func(t *testing.T, n int) Store {
-			s, err := bdstore.NewDiskStore(t.TempDir()+"/bd.bin", n)
+		"mem": func(t *testing.T, n int) Store { return memStore(t, n) },
+		"disk-v1": func(t *testing.T, n int) Store {
+			s, err := bdstore.OpenV1(t.TempDir()+"/bd.bin", n, nil)
 			if err != nil {
-				t.Fatalf("NewDiskStore: %v", err)
+				t.Fatalf("OpenV1: %v", err)
 			}
 			return s
+		},
+		"sharded": func(t *testing.T, n int) Store {
+			return shardedStore(t, n, bdstore.Options{SegmentRecords: 4})
 		},
 	}
 	for name, mk := range stores {
@@ -205,7 +208,7 @@ func TestPredUpdaterBatch(t *testing.T) {
 	base := randomConnectedGraph(t, 16, 20, 81, false)
 	stream := mixedBatchStream(t, base, 8, 82)
 
-	p, err := NewPredUpdater(base.Clone(), bdstore.NewMemStore(base.N()))
+	p, err := NewPredUpdater(base.Clone(), memStore(t, base.N()))
 	if err != nil {
 		t.Fatalf("NewPredUpdater: %v", err)
 	}

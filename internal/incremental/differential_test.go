@@ -71,7 +71,7 @@ func checkAgainstBrandes(t *testing.T, u *Updater, context string) {
 
 func newMemUpdater(t *testing.T, g *graph.Graph) *Updater {
 	t.Helper()
-	u, err := NewUpdater(g, bdstore.NewMemStore(g.N()))
+	u, err := NewUpdater(g, memStore(t, g.N()))
 	if err != nil {
 		t.Fatalf("NewUpdater: %v", err)
 	}
@@ -396,9 +396,9 @@ func TestDiskBackedUpdaterMatchesMemory(t *testing.T) {
 	g := randomConnectedGraph(t, 14, 12, 11, false)
 	memU := newMemUpdater(t, g.Clone())
 
-	disk, err := bdstore.NewDiskStore(t.TempDir()+"/bd.bin", g.N())
+	disk, err := bdstore.OpenV1(t.TempDir()+"/bd.bin", g.N(), nil)
 	if err != nil {
-		t.Fatalf("NewDiskStore: %v", err)
+		t.Fatalf("OpenV1: %v", err)
 	}
 	defer disk.Close()
 	diskU, err := NewUpdater(g.Clone(), disk)
@@ -440,7 +440,7 @@ func TestDiskBackedUpdaterMatchesMemory(t *testing.T) {
 
 func TestNewUpdaterStoreMismatch(t *testing.T) {
 	g := graph.New(5)
-	if _, err := NewUpdater(g, bdstore.NewMemStore(3)); err == nil {
+	if _, err := NewUpdater(g, memStore(t, 3)); err == nil {
 		t.Fatal("expected error for store/graph size mismatch")
 	}
 }

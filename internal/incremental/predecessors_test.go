@@ -6,13 +6,12 @@ import (
 	"testing"
 
 	"streambc/internal/bc"
-	"streambc/internal/bdstore"
 	"streambc/internal/graph"
 )
 
 func newPredUpdater(t *testing.T, g *graph.Graph) *PredUpdater {
 	t.Helper()
-	u, err := NewPredUpdater(g, bdstore.NewMemStore(g.N()))
+	u, err := NewPredUpdater(g, memStore(t, g.N()))
 	if err != nil {
 		t.Fatalf("NewPredUpdater: %v", err)
 	}

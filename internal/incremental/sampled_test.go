@@ -117,7 +117,7 @@ func TestSampledUpdaterFullSampleIsExact(t *testing.T) {
 	g, stream := sampledTestGraph(t, 40, 5)
 	n := g.N()
 
-	exact, err := NewUpdater(g.Clone(), bdstore.NewMemStore(n))
+	exact, err := NewUpdater(g.Clone(), memStore(t, n))
 	if err != nil {
 		t.Fatalf("NewUpdater: %v", err)
 	}

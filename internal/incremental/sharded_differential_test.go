@@ -1,0 +1,242 @@
+package incremental
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"streambc/internal/bc"
+	"streambc/internal/bdstore"
+	"streambc/internal/graph"
+)
+
+// mixedScript builds a deterministic add/remove script against g (not
+// mutated), optionally ending each third with an edge to a brand-new vertex
+// so the store has to Grow mid-stream.
+func mixedScript(t *testing.T, g *graph.Graph, steps int, seed int64, withGrowth bool) []graph.Update {
+	t.Helper()
+	sim := g.Clone()
+	rng := rand.New(rand.NewSource(seed))
+	var script []graph.Update
+	for len(script) < steps {
+		if withGrowth && len(script) > 0 && len(script)%(steps/3+1) == 0 {
+			u := rng.Intn(sim.N())
+			upd := graph.Addition(u, sim.N())
+			if err := sim.Apply(upd); err != nil {
+				t.Fatalf("growth apply: %v", err)
+			}
+			script = append(script, upd)
+			continue
+		}
+		if rng.Intn(2) == 0 {
+			a, b := rng.Intn(sim.N()), rng.Intn(sim.N())
+			if a == b || sim.HasEdge(a, b) {
+				continue
+			}
+			if err := sim.AddEdge(a, b); err != nil {
+				t.Fatal(err)
+			}
+			script = append(script, graph.Addition(a, b))
+		} else {
+			edges := sim.Edges()
+			if len(edges) == 0 {
+				continue
+			}
+			e := edges[rng.Intn(len(edges))]
+			if err := sim.RemoveEdge(e.U, e.V); err != nil {
+				t.Fatal(err)
+			}
+			script = append(script, graph.Removal(e.U, e.V))
+		}
+	}
+	return script
+}
+
+// requireExactlyEqual asserts bit-identical scores and stored records
+// between two updaters over the same script.
+func requireExactlyEqual(t *testing.T, ctx string, ref, got *Updater) {
+	t.Helper()
+	if ref.Graph().N() != got.Graph().N() {
+		t.Fatalf("%s: graphs diverged: %d vs %d vertices", ctx, ref.Graph().N(), got.Graph().N())
+	}
+	for v := range ref.VBC() {
+		if ref.VBC()[v] != got.VBC()[v] {
+			t.Fatalf("%s: VBC[%d] = %v, want exactly %v", ctx, v, got.VBC()[v], ref.VBC()[v])
+		}
+	}
+	if len(ref.EBC()) != len(got.EBC()) {
+		t.Fatalf("%s: EBC size %d, want %d", ctx, len(got.EBC()), len(ref.EBC()))
+	}
+	for k, want := range ref.EBC() {
+		if g := got.EBC()[k]; g != want {
+			t.Fatalf("%s: EBC[%v] = %v, want exactly %v", ctx, k, g, want)
+		}
+	}
+	a, b := bc.NewSourceState(0), bc.NewSourceState(0)
+	for _, s := range ref.Store().Sources() {
+		if err := ref.Store().Load(s, a); err != nil {
+			t.Fatalf("%s: ref load %d: %v", ctx, s, err)
+		}
+		if err := got.Store().Load(s, b); err != nil {
+			t.Fatalf("%s: load %d: %v", ctx, s, err)
+		}
+		for v := range a.Dist {
+			if a.Dist[v] != b.Dist[v] || a.Sigma[v] != b.Sigma[v] || a.Delta[v] != b.Delta[v] {
+				t.Fatalf("%s: BD[%d] differs at vertex %d", ctx, s, v)
+			}
+		}
+	}
+}
+
+// TestShardedUpdaterBitIdenticalToMem replays the same script — including
+// vertex growth — on a memory-backed and a sharded v2-backed updater, with
+// both read paths, and requires bit-identical scores and records throughout.
+func TestShardedUpdaterBitIdenticalToMem(t *testing.T) {
+	for _, disableMmap := range []bool{false, true} {
+		g := randomConnectedGraph(t, 14, 12, 23, false)
+		script := mixedScript(t, g, 18, 24, true)
+
+		ref := newMemUpdater(t, g.Clone())
+		store := shardedStore(t, g.N(), bdstore.Options{SegmentRecords: 4, DisableMmap: disableMmap})
+		u, err := NewUpdater(g.Clone(), store)
+		if err != nil {
+			t.Fatalf("NewUpdater(sharded): %v", err)
+		}
+		for i, upd := range script {
+			if err := ref.Apply(upd); err != nil {
+				t.Fatalf("mem apply %d (%v): %v", i, upd, err)
+			}
+			if err := u.Apply(upd); err != nil {
+				t.Fatalf("sharded apply %d (%v): %v", i, upd, err)
+			}
+			requireExactlyEqual(t, fmt.Sprintf("mmapOff=%v step %d", disableMmap, i), ref, u)
+		}
+		checkAgainstBrandes(t, u, "sharded-backed updater")
+		if err := store.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	}
+}
+
+// TestShardedReopenMidScriptExact closes the sharded store halfway through a
+// script (with growth in the first half), reopens it with ModeReopen, resumes
+// with ResumeUpdater and requires the remainder of the replay to stay
+// bit-identical to an uninterrupted memory-backed run.
+func TestShardedReopenMidScriptExact(t *testing.T) {
+	g := randomConnectedGraph(t, 13, 11, 31, false)
+	script := mixedScript(t, g, 16, 32, true)
+	half := len(script) / 2
+
+	ref := newMemUpdater(t, g.Clone())
+	dir := t.TempDir()
+	store, err := bdstore.Open(dir, bdstore.Options{NumVertices: g.N(), SegmentRecords: 4})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	u, err := NewUpdater(g.Clone(), store)
+	if err != nil {
+		t.Fatalf("NewUpdater: %v", err)
+	}
+	for i, upd := range script[:half] {
+		if err := ref.Apply(upd); err != nil {
+			t.Fatalf("ref apply %d: %v", i, err)
+		}
+		if err := u.Apply(upd); err != nil {
+			t.Fatalf("apply %d: %v", i, err)
+		}
+	}
+
+	// Close mid-stream (flushes the stage), reopen, adopt graph and result.
+	liveGraph, liveRes := u.Graph(), u.Result()
+	if err := store.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	reopened, err := bdstore.Open(dir, bdstore.Options{Mode: bdstore.ModeReopen})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer reopened.Close()
+	ru, err := ResumeUpdater(liveGraph, reopened, liveRes)
+	if err != nil {
+		t.Fatalf("ResumeUpdater: %v", err)
+	}
+	if ru.Scale() != 1 || ru.Sources() != nil {
+		t.Fatalf("resumed exact updater reports scale=%v sources=%v", ru.Scale(), ru.Sources())
+	}
+
+	for i, upd := range script[half:] {
+		if err := ref.Apply(upd); err != nil {
+			t.Fatalf("ref apply %d: %v", half+i, err)
+		}
+		if err := ru.Apply(upd); err != nil {
+			t.Fatalf("resumed apply %d: %v", half+i, err)
+		}
+	}
+	requireExactlyEqual(t, "after resumed replay", ref, ru)
+	checkAgainstBrandes(t, ru, "resumed sharded updater")
+}
+
+// TestShardedReopenMidScriptSampled is the approximate-mode variant: a
+// sampled updater over a sharded store survives a close-and-reopen with the
+// recovered source set and the same n/k scale, bit-identical to an
+// uninterrupted sampled run on a memory store.
+func TestShardedReopenMidScriptSampled(t *testing.T) {
+	g := randomConnectedGraph(t, 20, 16, 41, false)
+	script := mixedScript(t, g, 14, 42, false)
+	half := len(script) / 2
+	n := g.N()
+	sources := bc.SampleSources(n, 7, 3)
+
+	refStore := bdstore.NewMemStoreForSources(n, sources)
+	ref, err := NewSampledUpdater(g.Clone(), refStore, 0)
+	if err != nil {
+		t.Fatalf("NewSampledUpdater(mem): %v", err)
+	}
+	dir := t.TempDir()
+	store, err := bdstore.Open(dir, bdstore.Options{NumVertices: n, Sources: sources, SegmentRecords: 4})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	u, err := NewSampledUpdater(g.Clone(), store, 0)
+	if err != nil {
+		t.Fatalf("NewSampledUpdater(sharded): %v", err)
+	}
+	for i, upd := range script[:half] {
+		if err := ref.Apply(upd); err != nil {
+			t.Fatalf("ref apply %d: %v", i, err)
+		}
+		if err := u.Apply(upd); err != nil {
+			t.Fatalf("apply %d: %v", i, err)
+		}
+	}
+
+	liveGraph, liveRes := u.Graph(), u.Result()
+	if err := store.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	reopened, err := bdstore.Open(dir, bdstore.Options{Mode: bdstore.ModeReopen})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer reopened.Close()
+	ru, err := ResumeUpdater(liveGraph, reopened, liveRes)
+	if err != nil {
+		t.Fatalf("ResumeUpdater: %v", err)
+	}
+	if got := ru.Sources(); len(got) != len(sources) {
+		t.Fatalf("resumed sources = %v, want %v", got, sources)
+	}
+	if ru.Scale() != ref.Scale() {
+		t.Fatalf("resumed scale = %v, want %v", ru.Scale(), ref.Scale())
+	}
+
+	for i, upd := range script[half:] {
+		if err := ref.Apply(upd); err != nil {
+			t.Fatalf("ref apply %d: %v", half+i, err)
+		}
+		if err := ru.Apply(upd); err != nil {
+			t.Fatalf("resumed apply %d: %v", half+i, err)
+		}
+	}
+	requireExactlyEqual(t, "after resumed sampled replay", ref, ru)
+}

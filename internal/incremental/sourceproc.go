@@ -90,6 +90,15 @@ type SourceProcessor struct {
 	loads     atomic.Int64 // store Load calls (full records read)
 	saves     atomic.Int64 // store Save calls (dirty records written back)
 
+	// Store stats snapshot, refreshed at every Flush (and when the probe
+	// index is built), so the metrics registry reads a coherent recent view
+	// without calling into the store from the scrape goroutine while a batch
+	// is in flight.
+	stRecords  atomic.Int64
+	stBytes    atomic.Int64
+	stDirty    atomic.Int64
+	stSegments atomic.Int64
+
 	// OnSourceUpdated, when non-nil, is invoked after UpdateSource modified
 	// the record of a source, with the source, its new record and the list
 	// of modified vertices. The slice is only valid for the duration of the
@@ -389,6 +398,10 @@ func (p *SourceProcessor) BuildProbeIndex() error {
 		return err
 	}
 	p.preloadRecords()
+	// Index building happens at startup, before any update is in flight:
+	// seed the stats snapshot so metrics are meaningful before the first
+	// batch flushes.
+	p.snapshotStoreStats()
 	return nil
 }
 
@@ -722,10 +735,38 @@ func (p *SourceProcessor) Flush() error {
 	}
 	p.entries = kept
 	p.batchProbed = false
+	// Push staged writes down to the backing medium (a no-op for
+	// write-through stores) and refresh the stats snapshot while the store
+	// is quiescent.
+	if err := p.store.Flush(); err != nil && firstErr == nil {
+		firstErr = fmt.Errorf("incremental: flushing store: %w", err)
+	}
+	p.snapshotStoreStats()
 	if firstErr != nil {
 		return fmt.Errorf("%w: %w", ErrFlushFailed, firstErr)
 	}
 	return nil
+}
+
+// snapshotStoreStats copies the store's current Stats into atomics readable
+// from the metrics scrape goroutine.
+func (p *SourceProcessor) snapshotStoreStats() {
+	st := p.store.Stats()
+	p.stRecords.Store(st.Records)
+	p.stBytes.Store(st.Bytes)
+	p.stDirty.Store(st.Dirty)
+	p.stSegments.Store(st.Segments)
+}
+
+// StoreStats returns the store stats snapshot taken at the last flush. It is
+// safe to call from any goroutine.
+func (p *SourceProcessor) StoreStats() StoreStats {
+	return StoreStats{
+		Records:  p.stRecords.Load(),
+		Bytes:    p.stBytes.Load(),
+		Dirty:    p.stDirty.Load(),
+		Segments: p.stSegments.Load(),
+	}
 }
 
 // CachedSources returns how many sources the write-back cache currently

@@ -1,45 +1,18 @@
 package incremental
 
 import (
-	"streambc/internal/bc"
+	"streambc/internal/bdstore"
 )
 
 // Store abstracts the container of the per-source betweenness data BD[·].
-// Implementations live in package bdstore: an in-memory store (the "MO"
-// configuration of the paper) and an out-of-core columnar store (the "DO"
-// configuration). Sources and vertices are identified by dense integers; a
-// store created for n vertices holds exactly n source records of n entries
-// each, and can be grown when new vertices arrive in the stream.
-type Store interface {
-	// NumVertices returns the number of vertices n covered by every record.
-	NumVertices() int
+// The canonical definition lives in package bdstore alongside its
+// implementations — an in-memory store (the "MO" configuration of the
+// paper), the legacy v1 single-file store and the sharded mmap-backed v2
+// store opened by bdstore.Open — and is re-exported here so the incremental
+// framework's signatures keep reading naturally. The two names are
+// interchangeable.
+type Store = bdstore.Store
 
-	// Load fills rec with the record of source s. The caller owns rec; its
-	// slices are resized as needed.
-	Load(s int, rec *bc.SourceState) error
-
-	// Save persists rec as the record of source s.
-	Save(s int, rec *bc.SourceState) error
-
-	// LoadDistances fills dist (resized as needed) with only the distance
-	// column of source s. It is the cheap probe used to skip sources for
-	// which the update cannot change anything (dd = 0).
-	LoadDistances(s int, dist *[]int32) error
-
-	// Grow extends every record to cover n vertices. Existing records are
-	// padded with unreachable entries. Growing never removes vertices.
-	Grow(n int) error
-
-	// AddSource registers a new source s. Its record is initialised as an
-	// isolated vertex: distance 0 and a single shortest path to itself,
-	// everything else unreachable. Adding an existing source is an error.
-	AddSource(s int) error
-
-	// Sources returns the identifiers of the sources managed by this store,
-	// in ascending order. A full store manages every vertex as a source; a
-	// partitioned store (one worker of the parallel engine) manages a subset.
-	Sources() []int
-
-	// Close releases any resources held by the store.
-	Close() error
-}
+// StoreStats is a point-in-time summary of a Store, as reported by
+// Store.Stats; see bdstore.StoreStats.
+type StoreStats = bdstore.StoreStats

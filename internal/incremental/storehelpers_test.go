@@ -1,0 +1,32 @@
+package incremental
+
+import (
+	"testing"
+
+	"streambc/internal/bdstore"
+)
+
+// memStore opens an in-memory store over every source of an n-vertex graph
+// through the v2 entry point (the non-deprecated spelling of the old
+// bdstore.NewMemStore).
+func memStore(t testing.TB, n int) Store {
+	t.Helper()
+	s, err := bdstore.Open("", bdstore.Options{NumVertices: n})
+	if err != nil {
+		t.Fatalf("Open(mem): %v", err)
+	}
+	return s
+}
+
+// shardedStore creates a fresh sharded v2 store in its own temp directory.
+// Mutating opts beyond NumVertices (segment size, mmap, sources) is the
+// caller's knob for the differential matrix.
+func shardedStore(t testing.TB, n int, opts bdstore.Options) Store {
+	t.Helper()
+	opts.NumVertices = n
+	s, err := bdstore.Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatalf("Open(sharded): %v", err)
+	}
+	return s
+}

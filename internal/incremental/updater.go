@@ -70,6 +70,51 @@ func NewUpdater(g *graph.Graph, store Store) (*Updater, error) {
 			return nil, fmt.Errorf("incremental: initialising source %d: %w", s, err)
 		}
 	}
+	if err := store.Flush(); err != nil {
+		return nil, fmt.Errorf("incremental: flushing initial records: %w", err)
+	}
+	if err := u.proc.BuildProbeIndex(); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// ResumeUpdater returns an Updater over a store that already holds the
+// per-source records of g — typically a sharded out-of-core store reopened
+// with bdstore.Open in ModeReopen after a restart — together with the
+// centrality scores res accumulated when those records were written. Unlike
+// NewUpdater it runs no Brandes pass and writes nothing: the store's records
+// are the state. The caller is responsible for the invariant that g, res and
+// the store describe the same moment of the stream; the probe index is
+// rebuilt from the store, so scores keep evolving bit-identically to an
+// updater that never stopped.
+//
+// The updater is exact when the store manages every vertex as a source and
+// sampled (with the n/k estimator scale) otherwise.
+func ResumeUpdater(g *graph.Graph, store Store, res *bc.Result) (*Updater, error) {
+	if store.NumVertices() != g.N() {
+		return nil, fmt.Errorf("incremental: store covers %d vertices, graph has %d", store.NumVertices(), g.N())
+	}
+	if len(res.VBC) != g.N() {
+		return nil, fmt.Errorf("incremental: result covers %d vertices, graph has %d", len(res.VBC), g.N())
+	}
+	u := &Updater{
+		g:     g,
+		store: store,
+		res:   res,
+		proc:  NewSourceProcessor(store, g.N()),
+		scale: 1,
+	}
+	sources := store.Sources()
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("incremental: resumed store manages no sources")
+	}
+	if len(sources) < g.N() {
+		u.sources = sources
+		u.scale = float64(g.N()) / float64(len(sources))
+		u.proc.SetScale(u.scale)
+	}
+	u.acc = ResultAccumulator{Res: u.res}
 	if err := u.proc.BuildProbeIndex(); err != nil {
 		return nil, err
 	}
@@ -79,7 +124,7 @@ func NewUpdater(g *graph.Graph, store Store) (*Updater, error) {
 // NewSampledUpdater is the approximate-mode counterpart of NewUpdater: the
 // per-source data is maintained only for the sources managed by store (a
 // uniform sample of the vertex set, typically built with bc.SampleSources and
-// a store from bdstore.NewMemStoreForSources or NewDiskStoreForSources), and
+// a store from bdstore.Open with Options.Sources set to the sample), and
 // every betweenness contribution is multiplied by scale (n/k for a uniform
 // sample of k out of n sources, which makes the estimates unbiased; values
 // <= 0 mean n/k computed from the store). The sample is fixed for the life of
@@ -114,6 +159,9 @@ func NewSampledUpdater(g *graph.Graph, store Store, scale float64) (*Updater, er
 		if err := store.Save(s, state); err != nil {
 			return nil, fmt.Errorf("incremental: initialising source %d: %w", s, err)
 		}
+	}
+	if err := store.Flush(); err != nil {
+		return nil, fmt.Errorf("incremental: flushing initial records: %w", err)
 	}
 	if err := u.proc.BuildProbeIndex(); err != nil {
 		return nil, err

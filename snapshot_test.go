@@ -55,8 +55,20 @@ func TestStreamSnapshotRestore(t *testing.T) {
 		}
 	}
 	files, err := r.DiskFiles()
-	if err != nil || len(files) != 3 {
-		t.Fatalf("restored DiskFiles = %v, %v, want 3 files", files, err)
+	if err != nil {
+		t.Fatalf("DiskFiles: %v", err)
+	}
+	manifests, segments := 0, 0
+	for _, f := range files {
+		switch {
+		case filepath.Base(f) == "MANIFEST":
+			manifests++
+		case strings.HasSuffix(f, ".bds"):
+			segments++
+		}
+	}
+	if manifests != 3 || segments < 3 {
+		t.Fatalf("restored DiskFiles = %v, want one MANIFEST and at least one segment per worker", files)
 	}
 
 	// The restored stream must stay exact under further updates.
@@ -109,9 +121,9 @@ func TestTopKClamping(t *testing.T) {
 	}
 }
 
-func TestDiskFilesSurfacesGlobErrors(t *testing.T) {
-	// A store directory whose name is a malformed glob pattern used to make
-	// DiskFiles silently return nil; it must now return the error.
+func TestDiskFilesHandlesGlobMetacharacters(t *testing.T) {
+	// The glob-based v1 listing choked on store directories whose names were
+	// malformed glob patterns; the walk-based listing must handle them.
 	dir := filepath.Join(t.TempDir(), "bad[dir")
 	s, err := New(buildPath(t, 4), WithDiskStore(dir))
 	if err != nil {
@@ -119,7 +131,10 @@ func TestDiskFilesSurfacesGlobErrors(t *testing.T) {
 	}
 	defer s.Close()
 	files, err := s.DiskFiles()
-	if err == nil {
-		t.Fatalf("DiskFiles = %v, want glob error", files)
+	if err != nil {
+		t.Fatalf("DiskFiles: %v", err)
+	}
+	if len(files) == 0 {
+		t.Fatal("DiskFiles returned no files for a disk-backed stream")
 	}
 }

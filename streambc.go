@@ -31,11 +31,14 @@ package streambc
 
 import (
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"streambc/internal/bc"
+	"streambc/internal/bdstore"
 	"streambc/internal/engine"
 	"streambc/internal/graph"
 	"streambc/internal/incremental"
@@ -101,6 +104,7 @@ func BetweennessParallel(g *Graph, workers int) *Result { return bc.ComputeParal
 type options struct {
 	workers    int
 	diskDir    string
+	storeOpts  StoreOptions
 	sampleK    int
 	sampleSeed int64
 	sampled    bool
@@ -119,12 +123,32 @@ func WithWorkers(n int) Option {
 }
 
 // WithDiskStore keeps the per-source betweenness data out of core, in one
-// columnar binary file per worker inside dir (created if needed). Without
-// this option the data stays in memory. The on-disk layout follows
-// Section 5.1 of the paper; for a graph with n vertices it needs roughly
-// 20*n*n bytes across all workers.
+// sharded store per worker inside dir (created if needed): worker i owns the
+// segment files under dir/worker-00i. Without this option the data stays in
+// memory. Records use the columnar layout of Section 5.1 of the paper; for a
+// graph with n vertices the stores need roughly 20*n*n bytes in total.
+// Reads go through a per-segment mmap view where the platform supports it,
+// and writes are batched per apply; WithStoreOptions tunes both.
 func WithDiskStore(dir string) Option {
 	return func(o *options) { o.diskDir = dir }
+}
+
+// StoreOptions tunes the out-of-core store selected by WithDiskStore.
+type StoreOptions struct {
+	// SegmentRecords is the number of source records grouped into one
+	// segment file (0 = the bdstore default, 64). Larger segments mean fewer
+	// files and longer sequential runs; smaller segments make background
+	// growth rewrites finer-grained.
+	SegmentRecords int
+	// DisableMmap forces the positional-read fallback even where mmap is
+	// available. Scores are bit-identical either way.
+	DisableMmap bool
+}
+
+// WithStoreOptions overrides the out-of-core store tuning. It only has an
+// effect together with WithDiskStore.
+func WithStoreOptions(so StoreOptions) Option {
+	return func(o *options) { o.storeOpts = so }
 }
 
 // WithSampledSources turns on the approximate execution mode: instead of
@@ -223,11 +247,18 @@ func buildConfig(opts []Option) (options, engine.Config, error) {
 	if cfg.shardCnt > 1 {
 		econf.ShardIndex, econf.ShardCount = cfg.shardIdx, cfg.shardCnt
 	}
+	if cfg.storeOpts.SegmentRecords < 0 || cfg.storeOpts.SegmentRecords > bdstore.MaxSegmentRecords {
+		return cfg, econf, fmt.Errorf("streambc: segment records must be in [1, %d] (or 0 for the default), got %d",
+			bdstore.MaxSegmentRecords, cfg.storeOpts.SegmentRecords)
+	}
 	if cfg.diskDir != "" {
 		if err := os.MkdirAll(cfg.diskDir, 0o755); err != nil {
 			return cfg, econf, fmt.Errorf("streambc: creating disk store directory: %w", err)
 		}
-		econf.Store = engine.DiskFactory(cfg.diskDir)
+		econf.Store = engine.DiskFactoryOpts(cfg.diskDir, bdstore.Options{
+			SegmentRecords: cfg.storeOpts.SegmentRecords,
+			DisableMmap:    cfg.storeOpts.DisableMmap,
+		})
 	}
 	return cfg, econf, nil
 }
@@ -349,18 +380,34 @@ func (s *Stream) Replay(stream []Update) (*ReplayReport, error) {
 	return engine.Replay(s.eng, stream)
 }
 
-// DiskFiles returns the paths of the per-worker disk stores when the stream
-// was created with WithDiskStore, or (nil, nil) otherwise. A failure to list
-// the directory (for example a store directory whose name forms a malformed
-// glob pattern) is reported instead of being silently swallowed.
+// DiskFiles returns the files backing the per-worker disk stores when the
+// stream was created with WithDiskStore, or (nil, nil) otherwise: every
+// worker's MANIFEST and segment files in the sharded v2 layout, plus any
+// legacy v1 bd-worker-*.bin files found in the directory. A failure to walk
+// the directory is reported instead of being silently swallowed.
 func (s *Stream) DiskFiles() ([]string, error) {
 	if s.diskDir == "" {
 		return nil, nil
 	}
-	matches, err := filepath.Glob(filepath.Join(s.diskDir, "bd-worker-*.bin"))
+	var files []string
+	err := filepath.WalkDir(s.diskDir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		switch {
+		case strings.HasSuffix(path, ".bds"),
+			strings.HasSuffix(path, ".bin"),
+			filepath.Base(path) == "MANIFEST":
+			files = append(files, path)
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("streambc: listing disk store files: %w", err)
 	}
-	sort.Strings(matches)
-	return matches, nil
+	sort.Strings(files)
+	return files, nil
 }

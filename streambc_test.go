@@ -3,6 +3,8 @@ package streambc
 import (
 	"errors"
 	"math"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -58,8 +60,25 @@ func TestStreamWithDiskStore(t *testing.T) {
 		t.Fatalf("New: %v", err)
 	}
 	defer s.Close()
-	if files, err := s.DiskFiles(); err != nil || len(files) != 2 {
-		t.Fatalf("DiskFiles = %v, %v, want 2 files", files, err)
+	files, err := s.DiskFiles()
+	if err != nil {
+		t.Fatalf("DiskFiles: %v", err)
+	}
+	// Two workers, each backed by a sharded store: one MANIFEST plus at
+	// least one segment file per worker directory.
+	segWorkers := map[string]bool{}
+	manifests := 0
+	for _, f := range files {
+		switch {
+		case strings.HasSuffix(f, ".bds"):
+			// dir/worker-NNN/<shard>/seg-*.bds -> dir/worker-NNN
+			segWorkers[filepath.Dir(filepath.Dir(f))] = true
+		case filepath.Base(f) == "MANIFEST":
+			manifests++
+		}
+	}
+	if manifests != 2 || len(segWorkers) != 2 {
+		t.Fatalf("DiskFiles = %v, want a MANIFEST and segments for each of 2 workers", files)
 	}
 	adds, err := RandomAdditions(s.Graph(), 10, 1)
 	if err != nil {
