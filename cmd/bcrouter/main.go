@@ -21,7 +21,12 @@
 // snapshots); bcrouter itself is stateless and safe to restart at any time.
 //
 // Diagnostics go to stderr as structured logs (-log-level, -log-format);
-// profiling endpoints are mounted like bcserved's (-ops-addr).
+// profiling endpoints are mounted like bcserved's (-ops-addr). bcrouter is
+// also the cluster's observability front: GET /metrics re-exports every
+// shard's metric families under a shard label next to the router's own,
+// GET /v1/cluster/status aggregates shard position, lag and health, and
+// GET /v1/debug/trace?trace=<id> stitches one ingest's distributed trace
+// from the router's and the shards' span rings.
 package main
 
 import (
@@ -53,6 +58,8 @@ func main() {
 		applyTimeout = flag.Duration("apply-timeout", 30*time.Second, "timeout of one fanout attempt against one shard")
 		statusEvery  = flag.Duration("status-interval", 2*time.Second, "period of the background shard health poll")
 		bootTimeout  = flag.Duration("bootstrap-timeout", time.Minute, "time budget for startup: reaching every shard, catch-up and the baseline fold")
+		slowReq      = flag.Duration("slow-request", time.Second, "log a warning for HTTP requests slower than this (0 disables)")
+		traceRing    = flag.Int("trace-ring", 256, "drain trace ring capacity served by /v1/debug/trace")
 		logLevel     = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 		logFormat    = flag.String("log-format", "text", "log encoding: text or json")
 		opsAddr      = flag.String("ops-addr", "", "serve /debug/pprof/ and /debug/vars on this separate address instead of the main listener")
@@ -98,6 +105,8 @@ func main() {
 		RetryInterval:  *retryEvery,
 		ApplyTimeout:   *applyTimeout,
 		StatusInterval: *statusEvery,
+		SlowRequest:    *slowReq,
+		TraceCapacity:  *traceRing,
 		Logger:         logger,
 	})
 	cancel()

@@ -16,6 +16,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"streambc/internal/obs"
 )
 
 // TestShardClusterSIGKILL is the end-to-end sharding test (and the CI
@@ -88,6 +90,10 @@ func TestShardClusterSIGKILL(t *testing.T) {
 			// recovery starts from a snapshot and replays only the WAL tail.
 			rt.post(t, "/v1/snapshot", map[string]any{})
 			post(b)
+			// Mid-load, all shards up: the router's federation plane must
+			// serve a parseable shard-labelled exposition and a full-health
+			// cluster status.
+			checkClusterObservability(t, rt, shards, -1)
 		case 7:
 			// SIGKILL shard 1 between records, then keep streaming: the
 			// fanout stalls retrying the dead shard while the other two wait.
@@ -101,6 +107,10 @@ func TestShardClusterSIGKILL(t *testing.T) {
 			if got := rt.stats(t)["merged_sequence"]; int(got.(float64)) != posts-1 {
 				t.Fatalf("merged_sequence = %v with a shard down, want %d", got, posts-1)
 			}
+			// With a shard dead mid-record, the monitoring plane must degrade,
+			// not fail: the scrape still serves with the dead shard's gauge at
+			// 0, and the cluster status reports it down.
+			checkClusterObservability(t, rt, shards, 1)
 			// Restart the shard from its own directories (same address, same
 			// WAL, same snapshots): it replays its log, rebuilds its response
 			// cache, and the router's next retry lands on it.
@@ -170,6 +180,86 @@ func TestShardClusterSIGKILL(t *testing.T) {
 	cv := rawBody(t, clean.base+"/v1/top/vertices?k=100000")
 	if !bytes.Equal(rv, cv) {
 		t.Fatalf("vertex rankings differ:\nrouter: %s\nclean:  %s", rv, cv)
+	}
+}
+
+// checkClusterObservability scrapes the router's federated /metrics and
+// /v1/cluster/status against the real binaries: the exposition must parse
+// strictly, streambc_cluster_shard_up must read 1 for every live shard and 0
+// for downShard (-1 when all shards are up), live shards' families must be
+// present under their shard label, and the status document must agree.
+func checkClusterObservability(t *testing.T, rt *proc, shards, downShard int) {
+	t.Helper()
+	fams, err := obs.ParseExposition(rawBody(t, rt.base+"/metrics"))
+	if err != nil {
+		t.Fatalf("federated /metrics does not parse: %v", err)
+	}
+	up := map[string]string{}
+	labelled := map[string]bool{}
+	for _, f := range fams {
+		if f.Name == "streambc_cluster_shard_up" {
+			for _, s := range f.Samples {
+				up[s.Labels] = s.Value
+			}
+			continue
+		}
+		if f.Name != "streambc_wal_appends_total" {
+			continue // a family only shards export: its shard labels are the stamp
+		}
+		for _, s := range f.Samples {
+			for i := 0; i < shards; i++ {
+				if strings.Contains(s.Labels, fmt.Sprintf("shard=%q", fmt.Sprint(i))) {
+					labelled[fmt.Sprint(i)] = true
+				}
+			}
+		}
+	}
+	for i := 0; i < shards; i++ {
+		key := fmt.Sprintf("{shard=%q}", fmt.Sprint(i))
+		want := "1"
+		if i == downShard {
+			want = "0"
+		}
+		if up[key] != want {
+			t.Fatalf("cluster_shard_up%s = %q, want %s", key, up[key], want)
+		}
+		if i != downShard && !labelled[fmt.Sprint(i)] {
+			t.Fatalf("live shard %d's families missing from the federated page", i)
+		}
+	}
+	if downShard >= 0 && labelled[fmt.Sprint(downShard)] {
+		t.Fatalf("dead shard %d's families still on the federated page", downShard)
+	}
+
+	var st struct {
+		ShardCount    int `json:"shard_count"`
+		ShardsHealthy int `json:"shards_healthy"`
+		Shards        []struct {
+			Up    bool   `json:"up"`
+			Error string `json:"error"`
+		} `json:"shards"`
+	}
+	get(t, rt.base+"/v1/cluster/status", &st)
+	if st.ShardCount != shards || len(st.Shards) != shards {
+		t.Fatalf("cluster status shape: %+v", st)
+	}
+	wantHealthy := shards
+	if downShard >= 0 {
+		wantHealthy--
+	}
+	if st.ShardsHealthy != wantHealthy {
+		t.Fatalf("shards_healthy = %d, want %d", st.ShardsHealthy, wantHealthy)
+	}
+	for i, sj := range st.Shards {
+		if i == downShard {
+			if sj.Up || sj.Error == "" {
+				t.Fatalf("dead shard %d reported %+v", i, sj)
+			}
+			continue
+		}
+		if !sj.Up {
+			t.Fatalf("live shard %d reported down: %+v", i, sj)
+		}
 	}
 }
 

@@ -26,6 +26,8 @@ type DiskStore struct {
 
 	buf     []byte // reusable record buffer
 	distBuf []byte // reusable distance-column buffer
+
+	preadReads int64 // record reads served (this layout always preads)
 }
 
 // diskHeaderSize is the fixed file prefix: magic (4), version (4), n (8),
@@ -152,6 +154,7 @@ func (d *DiskStore) Load(s int, rec *bc.SourceState) error {
 		d.buf = make([]byte, size)
 	}
 	buf := d.buf[:size]
+	d.preadReads++
 	if _, err := d.f.ReadAt(buf, d.slotOffset(slot)); err != nil {
 		return fmt.Errorf("bdstore: reading source %d from %s: %w", s, d.path, err)
 	}
@@ -193,6 +196,7 @@ func (d *DiskStore) LoadDistances(s int, dist *[]int32) error {
 		d.distBuf = make([]byte, size)
 	}
 	buf := d.distBuf[:size]
+	d.preadReads++
 	if _, err := d.f.ReadAt(buf, d.slotOffset(slot)); err != nil {
 		return fmt.Errorf("bdstore: reading distances of source %d from %s: %w", s, d.path, err)
 	}
@@ -276,10 +280,11 @@ func (d *DiskStore) Flush() error { return nil }
 // Stats implements incremental.Store.
 func (d *DiskStore) Stats() StoreStats {
 	return StoreStats{
-		Records:  int64(len(d.slots)),
-		Bytes:    d.FileSize(),
-		Dirty:    0,
-		Segments: 1,
+		Records:    int64(len(d.slots)),
+		Bytes:      d.FileSize(),
+		Dirty:      0,
+		Segments:   1,
+		PreadReads: d.preadReads,
 	}
 }
 

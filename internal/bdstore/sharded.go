@@ -6,6 +6,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"time"
 
 	"streambc/internal/bc"
 )
@@ -66,6 +67,15 @@ type Sharded struct {
 	wg       sync.WaitGroup
 	closed   bool
 	maintErr error // first background migration failure; surfaced by Flush
+
+	// Instrumentation, all guarded by mu: cumulative counters reported
+	// through Stats, plus the optional flush-latency observer the engine
+	// installs to feed its histogram.
+	flushes    int64
+	migrations int64
+	mmapReads  int64
+	preadReads int64
+	flushObs   func(seconds float64)
 }
 
 // newSharded wires the common fields and starts the background maintainer.
@@ -271,11 +281,22 @@ func (s *Sharded) Load(src int, rec *bc.SourceState) error {
 		initIsolated(rec, src, s.n)
 		return nil
 	}
+	s.noteReadLocked(sg)
 	buf, err := sg.recordBytes(slot, recordSize(sg.recN), &s.readBuf)
 	if err != nil {
 		return err
 	}
 	return decodeRecordPadded(buf, sg.recN, s.n, rec)
+}
+
+// noteReadLocked counts one record read about to hit the backing medium,
+// split by the path that will serve it.
+func (s *Sharded) noteReadLocked(sg *segment) {
+	if sg.mapped != nil {
+		s.mmapReads++
+	} else {
+		s.preadReads++
+	}
 }
 
 // LoadDistances implements Store. Only the distance column is touched: with
@@ -307,6 +328,7 @@ func (s *Sharded) LoadDistances(src int, dist *[]int32) error {
 		*dist = d
 		return nil
 	}
+	s.noteReadLocked(sg)
 	buf, err := sg.recordBytes(slot, distColumnSize(sg.recN), &s.readBuf)
 	if err != nil {
 		return err
@@ -375,6 +397,7 @@ func (s *Sharded) flushLocked() error {
 	if len(s.staged) == 0 {
 		return firstErr
 	}
+	start := time.Now()
 	srcs := make([]int, 0, len(s.staged))
 	for src := range s.staged {
 		srcs = append(srcs, src)
@@ -396,7 +419,22 @@ func (s *Sharded) flushLocked() error {
 	}
 	clear(s.staged)
 	s.stagedBytes = 0
+	s.flushes++
+	if s.flushObs != nil {
+		s.flushObs(time.Since(start).Seconds())
+	}
 	return firstErr
+}
+
+// SetFlushObserver installs a callback invoked after every flush that wrote
+// staged records, with the flush's wall-clock duration in seconds. The engine
+// uses it to feed its streambc_store_flush_seconds histogram. Pass nil to
+// remove the observer. The callback runs under the store's lock — keep it
+// cheap and never call back into the store.
+func (s *Sharded) SetFlushObserver(fn func(seconds float64)) {
+	s.mu.Lock()
+	s.flushObs = fn
+	s.mu.Unlock()
 }
 
 // flushSegmentLocked writes the staged records of one segment. srcs is
@@ -513,6 +551,7 @@ func (s *Sharded) migrateSegmentLocked(sg *segment) error {
 	sg.f = f
 	sg.recN = s.n
 	sg.mapIn(s.useMmap)
+	s.migrations++
 	return nil
 }
 
@@ -583,9 +622,13 @@ func (s *Sharded) Stats() StoreStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := StoreStats{
-		Records:  int64(len(s.order)),
-		Dirty:    int64(len(s.staged)),
-		Segments: int64(len(s.segs)),
+		Records:    int64(len(s.order)),
+		Dirty:      int64(len(s.staged)),
+		Segments:   int64(len(s.segs)),
+		Flushes:    s.flushes,
+		Migrations: s.migrations,
+		MmapReads:  s.mmapReads,
+		PreadReads: s.preadReads,
 	}
 	for _, sg := range s.segs {
 		st.Bytes += sg.fileSize()

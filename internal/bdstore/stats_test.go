@@ -1,0 +1,155 @@
+package bdstore
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"streambc/internal/bc"
+)
+
+// TestStoreReadPathCounters pins the medium-read accounting: reads answered
+// from the write-back stage count under neither path, flushed records read
+// back count under exactly the path the store serves them from.
+func TestStoreReadPathCounters(t *testing.T) {
+	const n = 9
+	for _, tc := range []struct {
+		name        string
+		disableMmap bool
+	}{
+		{"mmap", false},
+		{"pread", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := openSharded(t, t.TempDir(), Options{
+				NumVertices: n, SegmentRecords: 4, DisableMmap: tc.disableMmap,
+			})
+			defer s.Close()
+
+			st := s.Stats()
+			if st.Flushes != 0 || st.Migrations != 0 || st.MmapReads != 0 || st.PreadReads != 0 {
+				t.Fatalf("fresh counters not zero: %+v", st)
+			}
+
+			rng := rand.New(rand.NewSource(21))
+			if err := s.Save(2, randomRecord(rng, n)); err != nil {
+				t.Fatal(err)
+			}
+			// Read-your-writes from the stage touches no backing medium.
+			got := bc.NewSourceState(0)
+			if err := s.Load(2, got); err != nil {
+				t.Fatal(err)
+			}
+			if st := s.Stats(); st.MmapReads != 0 || st.PreadReads != 0 {
+				t.Fatalf("staged read hit the medium: %+v", st)
+			}
+			if err := s.Flush(); err != nil {
+				t.Fatal(err)
+			}
+
+			if err := s.Load(2, got); err != nil {
+				t.Fatal(err)
+			}
+			var dist []int32
+			if err := s.LoadDistances(2, &dist); err != nil {
+				t.Fatal(err)
+			}
+			st = s.Stats()
+			if total := st.MmapReads + st.PreadReads; total != 2 {
+				t.Fatalf("2 medium reads issued, counted %d: %+v", total, st)
+			}
+			if tc.disableMmap && st.MmapReads != 0 {
+				t.Fatalf("pread store counted mmap reads: %+v", st)
+			}
+			if !tc.disableMmap && s.MmapActive() && st.MmapReads != 2 {
+				t.Fatalf("mmap store split reads wrong: %+v", st)
+			}
+		})
+	}
+}
+
+// TestStoreFlushCountersAndObserver: empty flushes count nothing and fire no
+// observer; every flush that wrote staged records counts once and fires the
+// observer exactly once; a post-grow flush migrates the touched segment and
+// counts it.
+func TestStoreFlushCountersAndObserver(t *testing.T) {
+	const n = 8
+	s := openSharded(t, t.TempDir(), Options{NumVertices: n, SegmentRecords: 4})
+	defer s.Close()
+
+	var calls atomic.Int64
+	var negative atomic.Bool
+	s.SetFlushObserver(func(seconds float64) {
+		calls.Add(1)
+		if seconds < 0 {
+			negative.Store(true)
+		}
+	})
+
+	// Nothing staged: no flush counted, no observation.
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Flushes != 0 || calls.Load() != 0 {
+		t.Fatalf("empty flush counted: %+v, %d observations", st, calls.Load())
+	}
+
+	rng := rand.New(rand.NewSource(23))
+	if err := s.Save(1, randomRecord(rng, n)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Flushes < 1 {
+		t.Fatalf("staged flush not counted: %+v", st)
+	}
+	// The observer fires exactly once per counted flush, whoever flushed.
+	if calls.Load() != st.Flushes {
+		t.Fatalf("%d observations for %d flushes", calls.Load(), st.Flushes)
+	}
+	if negative.Load() {
+		t.Fatal("observer saw a negative duration")
+	}
+
+	// Grow bumps the epoch; the next flushed save rewrites its segment at the
+	// new stride, which must count as a migration.
+	if err := s.Grow(n + 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(1, randomRecord(rng, n+3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Migrations < 1 {
+		t.Fatalf("post-grow flush migrated nothing: %+v", st)
+	}
+	if calls.Load() != s.Stats().Flushes {
+		t.Fatalf("%d observations for %d flushes", calls.Load(), s.Stats().Flushes)
+	}
+}
+
+// TestDiskStoreReadCounter: the v1 layout counts every record read as a pread.
+func TestDiskStoreReadCounter(t *testing.T) {
+	const n = 6
+	d, err := OpenV1(t.TempDir()+"/v1.bds", n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	rec := bc.NewSourceState(0)
+	if err := d.Load(3, rec); err != nil {
+		t.Fatal(err)
+	}
+	var dist []int32
+	if err := d.LoadDistances(3, &dist); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.PreadReads != 2 || st.MmapReads != 0 {
+		t.Fatalf("v1 read counters = %+v, want 2 preads", st)
+	}
+}

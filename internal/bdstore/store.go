@@ -80,4 +80,19 @@ type StoreStats struct {
 	// v1 single-file layout, 0 for MemStore, and the materialised segment
 	// count for the sharded v2 layout.
 	Segments int64
+	// Flushes counts write-back flushes that wrote staged records to the
+	// backing medium (explicit Flush calls and budget-triggered auto-flushes;
+	// flushes with an empty stage do not count). Always zero for stores that
+	// write through.
+	Flushes int64
+	// Migrations counts segment files rewritten to a newer epoch after a
+	// Grow. Only the sharded v2 layout migrates.
+	Migrations int64
+	// MmapReads and PreadReads split the record reads served to the engine
+	// (Load and LoadDistances hitting the backing medium) by read path:
+	// through the mmap view versus the positional-read fallback. Reads
+	// answered from the write-back stage or synthesised for never-written
+	// sources count under neither.
+	MmapReads  int64
+	PreadReads int64
 }

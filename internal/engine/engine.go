@@ -390,6 +390,30 @@ func (e *Engine) registerMetrics(reg *obs.Registry) {
 	reg.IntGaugeFunc("streambc_store_segments",
 		"Segment files backing the worker stores (0 for in-memory stores).",
 		sumStat(func(st incremental.StoreStats) int64 { return st.Segments }))
+	reg.CounterFunc("streambc_store_flushes_total",
+		"Write-back flushes that wrote staged records to the backing media.",
+		sumStat(func(st incremental.StoreStats) int64 { return st.Flushes }))
+	reg.CounterFunc("streambc_store_migrations_total",
+		"Segment files rewritten to a newer epoch after a Grow.",
+		sumStat(func(st incremental.StoreStats) int64 { return st.Migrations }))
+	reads := "Record reads served from the stores' backing media, by read path."
+	reg.CounterFunc("streambc_store_medium_reads_total", reads,
+		sumStat(func(st incremental.StoreStats) int64 { return st.MmapReads }), "path", "mmap")
+	reg.CounterFunc("streambc_store_medium_reads_total", reads,
+		sumStat(func(st incremental.StoreStats) int64 { return st.PreadReads }), "path", "pread")
+	// Stores with a write-back stage report each flush's wall-clock duration
+	// through the observer hook; write-through stores have no flushes to time.
+	flushHist := reg.Histogram("streambc_store_flush_seconds",
+		"Wall-clock duration of store write-back flushes.",
+		obs.LatencyBuckets())
+	type flushObserved interface {
+		SetFlushObserver(func(seconds float64))
+	}
+	for _, w := range e.workers {
+		if fo, ok := w.store.(flushObserved); ok {
+			fo.SetFlushObserver(flushHist.Observe)
+		}
+	}
 }
 
 // sourcePool resolves the configured source set: every vertex in exact mode,

@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"streambc/internal/obs"
+)
+
+// TestStoreMetricsExported: an engine built over the disk store and a metrics
+// registry must export the full streambc_store_* surface — shape gauges,
+// flush/migration counters, the per-path medium-read counter and the
+// flush-latency histogram — with the counters actually moving.
+func TestStoreMetricsExported(t *testing.T) {
+	base := testGraph(t, 25, 70, 9)
+	reg := obs.NewRegistry()
+	e, err := New(base.Clone(), Config{Workers: 2, Store: DiskFactory(t.TempDir()), Obs: reg})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer e.Close()
+	if _, err := e.ApplyAll(mixedUpdates(t, base, 10, 11)); err != nil {
+		t.Fatalf("ApplyAll: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if _, err := reg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := obs.ParseExposition(buf.Bytes())
+	if err != nil {
+		t.Fatalf("engine exposition does not parse: %v\n%s", err, buf.String())
+	}
+	byName := map[string]*obs.ExpoFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	for _, want := range []string{
+		"streambc_store_records", "streambc_store_bytes",
+		"streambc_store_dirty_records", "streambc_store_segments",
+		"streambc_store_flushes_total", "streambc_store_migrations_total",
+		"streambc_store_medium_reads_total", "streambc_store_flush_seconds",
+	} {
+		if byName[want] == nil {
+			t.Fatalf("family %s missing from a store-backed engine's registry", want)
+		}
+	}
+
+	sampleValue := func(name string) float64 {
+		t.Helper()
+		f := byName[name]
+		if len(f.Samples) != 1 {
+			t.Fatalf("%s has %d samples, want 1", name, len(f.Samples))
+		}
+		v, err := strconv.ParseFloat(f.Samples[0].Value, 64)
+		if err != nil {
+			t.Fatalf("%s value %q: %v", name, f.Samples[0].Value, err)
+		}
+		return v
+	}
+	if v := sampleValue("streambc_store_records"); v != float64(base.N()) {
+		t.Fatalf("streambc_store_records = %g, want one per source (%d)", v, base.N())
+	}
+	// Every worker flushed its initial records at startup and again per batch.
+	if v := sampleValue("streambc_store_flushes_total"); v < 2 {
+		t.Fatalf("streambc_store_flushes_total = %g, want >= workers", v)
+	}
+
+	// The medium-read counter splits by path, one series each.
+	readsFam := byName["streambc_store_medium_reads_total"]
+	paths := map[string]bool{}
+	for _, s := range readsFam.Samples {
+		for _, p := range []string{"mmap", "pread"} {
+			if strings.Contains(s.Labels, `path="`+p+`"`) {
+				paths[p] = true
+			}
+		}
+	}
+	if !paths["mmap"] || !paths["pread"] {
+		t.Fatalf("medium reads missing a path series: %+v", readsFam.Samples)
+	}
+
+	// The flush histogram observed those flushes.
+	countSample := 0.0
+	for _, s := range byName["streambc_store_flush_seconds"].Samples {
+		if s.Name == "streambc_store_flush_seconds_count" {
+			v, err := strconv.ParseFloat(s.Value, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			countSample = v
+		}
+	}
+	if countSample < 2 {
+		t.Fatalf("flush histogram count = %g, want >= workers", countSample)
+	}
+}

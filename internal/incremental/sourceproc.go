@@ -94,10 +94,14 @@ type SourceProcessor struct {
 	// index is built), so the metrics registry reads a coherent recent view
 	// without calling into the store from the scrape goroutine while a batch
 	// is in flight.
-	stRecords  atomic.Int64
-	stBytes    atomic.Int64
-	stDirty    atomic.Int64
-	stSegments atomic.Int64
+	stRecords    atomic.Int64
+	stBytes      atomic.Int64
+	stDirty      atomic.Int64
+	stSegments   atomic.Int64
+	stFlushes    atomic.Int64
+	stMigrations atomic.Int64
+	stMmapReads  atomic.Int64
+	stPreadReads atomic.Int64
 
 	// OnSourceUpdated, when non-nil, is invoked after UpdateSource modified
 	// the record of a source, with the source, its new record and the list
@@ -756,16 +760,24 @@ func (p *SourceProcessor) snapshotStoreStats() {
 	p.stBytes.Store(st.Bytes)
 	p.stDirty.Store(st.Dirty)
 	p.stSegments.Store(st.Segments)
+	p.stFlushes.Store(st.Flushes)
+	p.stMigrations.Store(st.Migrations)
+	p.stMmapReads.Store(st.MmapReads)
+	p.stPreadReads.Store(st.PreadReads)
 }
 
 // StoreStats returns the store stats snapshot taken at the last flush. It is
 // safe to call from any goroutine.
 func (p *SourceProcessor) StoreStats() StoreStats {
 	return StoreStats{
-		Records:  p.stRecords.Load(),
-		Bytes:    p.stBytes.Load(),
-		Dirty:    p.stDirty.Load(),
-		Segments: p.stSegments.Load(),
+		Records:    p.stRecords.Load(),
+		Bytes:      p.stBytes.Load(),
+		Dirty:      p.stDirty.Load(),
+		Segments:   p.stSegments.Load(),
+		Flushes:    p.stFlushes.Load(),
+		Migrations: p.stMigrations.Load(),
+		MmapReads:  p.stMmapReads.Load(),
+		PreadReads: p.stPreadReads.Load(),
 	}
 }
 

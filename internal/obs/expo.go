@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-exposition parsing, for the router's federation plane: the
+// router scrapes each shard's /metrics, parses the families, stamps a shard
+// label onto every series and re-renders everything as one exposition. The
+// parser is deliberately strict about the invariants our own renderer
+// guarantees (HELP before TYPE before samples, one block per family) so a
+// malformed shard exposition fails the merge loudly instead of producing a
+// silently unscrapable federated page.
+
+// ExpoSample is one parsed sample line: a metric name (which may carry a
+// histogram/summary suffix), its rendered label set (`{k="v",...}` or "") and
+// the value text exactly as exposed.
+type ExpoSample struct {
+	Name   string
+	Labels string
+	Value  string
+}
+
+// ExpoFamily is one parsed metric family: the HELP/TYPE header plus every
+// sample that belongs to it, in exposition order.
+type ExpoFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []ExpoSample
+}
+
+// expoTypes are the metric types our renderer emits; anything else in a
+// scraped exposition is a protocol error.
+var expoTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true,
+}
+
+// ParseExposition parses a Prometheus text exposition into its families. It
+// enforces the shape the obs renderer produces: every family announces HELP
+// then TYPE before its samples, sample names resolve to a declared family
+// (directly or via the _bucket/_sum/_count suffixes of histograms and
+// summaries), and every value parses as a float.
+func ParseExposition(body []byte) ([]*ExpoFamily, error) {
+	var (
+		fams   []*ExpoFamily
+		byName = make(map[string]*ExpoFamily)
+		cur    *ExpoFamily // family of the most recent HELP, awaiting TYPE
+	)
+	for ln, line := range strings.Split(string(body), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			if name == "" {
+				return nil, fmt.Errorf("obs: exposition line %d: HELP without a name", ln+1)
+			}
+			if _, dup := byName[name]; dup {
+				return nil, fmt.Errorf("obs: exposition line %d: duplicate family %q", ln+1, name)
+			}
+			cur = &ExpoFamily{Name: name, Help: help}
+			byName[name] = cur
+			fams = append(fams, cur)
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("obs: exposition line %d: malformed TYPE", ln+1)
+			}
+			if cur == nil || cur.Name != fields[0] || cur.Type != "" {
+				return nil, fmt.Errorf("obs: exposition line %d: TYPE %q without a preceding HELP", ln+1, fields[0])
+			}
+			if !expoTypes[fields[1]] {
+				return nil, fmt.Errorf("obs: exposition line %d: unknown type %q", ln+1, fields[1])
+			}
+			cur.Type = fields[1]
+		case strings.HasPrefix(line, "#"):
+			// Other comments are legal exposition content; skip them.
+		default:
+			s, err := parseExpoSample(line)
+			if err != nil {
+				return nil, fmt.Errorf("obs: exposition line %d: %w", ln+1, err)
+			}
+			fam := byName[s.Name]
+			if fam == nil {
+				fam = byName[expoFamilyName(s.Name)]
+			}
+			if fam == nil {
+				return nil, fmt.Errorf("obs: exposition line %d: sample %q has no family header", ln+1, s.Name)
+			}
+			if fam.Type == "" {
+				return nil, fmt.Errorf("obs: exposition line %d: family %q has HELP but no TYPE", ln+1, fam.Name)
+			}
+			fam.Samples = append(fam.Samples, s)
+		}
+	}
+	return fams, nil
+}
+
+// parseExpoSample splits one sample line into name, label block and value.
+// Label values may contain spaces and escaped quotes, so the value is taken
+// from the right and the labels are the braced middle.
+func parseExpoSample(line string) (ExpoSample, error) {
+	var s ExpoSample
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndex(line, "}")
+		if j < i {
+			return s, fmt.Errorf("malformed sample %q", line)
+		}
+		s.Name = line[:i]
+		s.Labels = line[i : j+1]
+		rest = strings.TrimSpace(line[j+1:])
+	} else {
+		var ok bool
+		s.Name, rest, ok = strings.Cut(line, " ")
+		if !ok {
+			return s, fmt.Errorf("sample %q has no value", line)
+		}
+	}
+	// Drop an optional timestamp: "value [timestamp]".
+	val, _, _ := strings.Cut(strings.TrimSpace(rest), " ")
+	if val == "" {
+		return s, fmt.Errorf("sample %q has no value", line)
+	}
+	if _, err := strconv.ParseFloat(val, 64); err != nil {
+		return s, fmt.Errorf("sample %q: value %q is not a float", line, val)
+	}
+	if s.Name == "" || !nameRE.MatchString(s.Name) {
+		return s, fmt.Errorf("sample %q has an invalid metric name", line)
+	}
+	s.Value = val
+	return s, nil
+}
+
+// expoFamilyName maps a sample name to its family name, resolving the
+// histogram/summary suffixes.
+func expoFamilyName(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+// MergeLabels inserts one more key="value" pair into an already-rendered
+// label block ("" or `{...}`), keeping the result a valid exposition label
+// set. It is the federation stamp: MergeLabels(s.Labels, "shard", "2").
+func MergeLabels(labels, key, value string) string {
+	return mergeLabel(labels, key, escapeLabel(value))
+}
+
+// WriteExposition renders families back into text-exposition form: one
+// HELP/TYPE block per family followed by its samples, in slice order — the
+// inverse of ParseExposition, used to emit the federated page.
+func WriteExposition(w io.Writer, fams []*ExpoFamily) error {
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		b.WriteString("# HELP ")
+		b.WriteString(f.Name)
+		if f.Help != "" {
+			b.WriteByte(' ')
+			b.WriteString(f.Help)
+		}
+		b.WriteString("\n# TYPE ")
+		b.WriteString(f.Name)
+		b.WriteByte(' ')
+		b.WriteString(f.Type)
+		b.WriteByte('\n')
+		for _, s := range f.Samples {
+			b.WriteString(s.Name)
+			b.WriteString(s.Labels)
+			b.WriteByte(' ')
+			b.WriteString(s.Value)
+			b.WriteByte('\n')
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

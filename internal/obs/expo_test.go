@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseExpositionOfOwnRegistry(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_ops_total", "Operations.").Add(3)
+	reg.Gauge("test_depth", "Depth.").Set(2)
+	reg.CounterVec("test_hits_total", "Hits.", "path").With("a").Inc()
+	reg.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 1}).Observe(0.5)
+
+	var buf bytes.Buffer
+	if _, err := reg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseExposition(buf.Bytes())
+	if err != nil {
+		t.Fatalf("own exposition does not parse: %v\n%s", err, buf.String())
+	}
+	byName := map[string]*ExpoFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	if f := byName["test_ops_total"]; f == nil || f.Type != "counter" || len(f.Samples) != 1 || f.Samples[0].Value != "3" {
+		t.Fatalf("test_ops_total parsed as %+v", f)
+	}
+	hist := byName["test_latency_seconds"]
+	if hist == nil || hist.Type != "histogram" {
+		t.Fatalf("histogram family parsed as %+v", hist)
+	}
+	// The _bucket/_sum/_count samples must resolve to the histogram family.
+	names := map[string]bool{}
+	for _, s := range hist.Samples {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"test_latency_seconds_bucket", "test_latency_seconds_sum", "test_latency_seconds_count"} {
+		if !names[want] {
+			t.Fatalf("histogram sample %s missing (have %v)", want, names)
+		}
+	}
+}
+
+func TestWriteExpositionRoundTrip(t *testing.T) {
+	fams := []*ExpoFamily{
+		{Name: "alpha_total", Help: "Alpha with spaces in help.", Type: "counter", Samples: []ExpoSample{
+			{Name: "alpha_total", Labels: "", Value: "7"},
+			{Name: "alpha_total", Labels: `{shard="1",path="a b"}`, Value: "2.5"},
+		}},
+		{Name: "beta", Help: "", Type: "gauge", Samples: []ExpoSample{
+			{Name: "beta", Labels: `{x="y"}`, Value: "0"},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := WriteExposition(&buf, fams); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseExposition(buf.Bytes())
+	if err != nil {
+		t.Fatalf("rendered exposition does not parse: %v\n%s", err, buf.String())
+	}
+	if !reflect.DeepEqual(got, fams) {
+		t.Fatalf("round trip changed families:\n got %+v\nwant %+v", got, fams)
+	}
+}
+
+func TestParseExpositionRejectsMalformed(t *testing.T) {
+	for name, body := range map[string]string{
+		"duplicate family": "# HELP a_total A.\n# TYPE a_total counter\na_total 1\n" +
+			"# HELP a_total A again.\n# TYPE a_total counter\na_total 2\n",
+		"type without help":     "# TYPE a_total counter\na_total 1\n",
+		"help without type":     "# HELP a_total A.\na_total 1\n",
+		"sample without family": "a_total 1\n",
+		"unknown type":          "# HELP a A.\n# TYPE a enum\na 1\n",
+		"non-float value":       "# HELP a A.\n# TYPE a gauge\na one\n",
+		"no value":              "# HELP a A.\n# TYPE a gauge\na\n",
+	} {
+		if fams, err := ParseExposition([]byte(body)); err == nil {
+			t.Fatalf("%s accepted: %+v", name, fams)
+		}
+	}
+}
+
+func TestMergeLabels(t *testing.T) {
+	for _, tc := range []struct {
+		labels, key, value, want string
+	}{
+		{"", "shard", "2", `{shard="2"}`},
+		{`{path="a"}`, "shard", "0", `{path="a",shard="0"}`},
+		{`{le="0.5"}`, "shard", "1", `{le="0.5",shard="1"}`},
+	} {
+		if got := MergeLabels(tc.labels, tc.key, tc.value); got != tc.want {
+			t.Fatalf("MergeLabels(%q, %q, %q) = %q, want %q", tc.labels, tc.key, tc.value, got, tc.want)
+		}
+	}
+	// A stamped page must still parse strictly.
+	body := "# HELP a_total A.\n# TYPE a_total counter\na_total" +
+		MergeLabels(`{x="y"}`, "shard", "3") + " 1\n"
+	if _, err := ParseExposition([]byte(body)); err != nil {
+		t.Fatalf("stamped sample does not parse: %v", err)
+	}
+}
+
+func TestParseExpositionSkipsCommentsAndTimestamps(t *testing.T) {
+	body := "# a stray comment\n# HELP a_total A.\n# TYPE a_total counter\na_total 4 1700000000\n"
+	fams, err := ParseExposition([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 1 || len(fams[0].Samples) != 1 || fams[0].Samples[0].Value != "4" {
+		t.Fatalf("parsed %+v", fams)
+	}
+	if strings.Contains(fams[0].Samples[0].Value, "1700000000") {
+		t.Fatal("timestamp leaked into the value")
+	}
+}

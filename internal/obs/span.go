@@ -1,0 +1,316 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Distributed tracing for the sharded cluster. One ingest through bcrouter
+// spans several processes — router fanout, per-shard WAL append and apply,
+// replica tailing — and the span model here is what stitches those hops back
+// into one trace: a 16-byte trace ID minted at the root, an 8-byte span ID
+// per unit of work, and a W3C-traceparent-style header that carries the
+// (trace, parent span) pair across every HTTP hop.
+
+// TraceID identifies one distributed trace: every span recorded for one
+// ingest, on any process, carries the same TraceID.
+type TraceID [16]byte
+
+// SpanID identifies one span within a trace.
+type SpanID [8]byte
+
+// NewTraceID returns a cryptographically random, non-zero trace ID.
+func NewTraceID() TraceID {
+	var id TraceID
+	fill(id[:])
+	return id
+}
+
+// NewSpanID returns a cryptographically random, non-zero span ID.
+func NewSpanID() SpanID {
+	var id SpanID
+	fill(id[:])
+	return id
+}
+
+// fill fills b with random bytes and guarantees it is non-zero (the all-zero
+// ID is the traceparent "invalid" sentinel).
+func fill(b []byte) {
+	if _, err := rand.Read(b); err != nil {
+		panic(fmt.Sprintf("obs: reading random ID bytes: %v", err))
+	}
+	for _, x := range b {
+		if x != 0 {
+			return
+		}
+	}
+	b[len(b)-1] = 1
+}
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// String renders the ID as 16 lowercase hex digits.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// MarshalJSON renders the ID as a hex string.
+func (id TraceID) MarshalJSON() ([]byte, error) { return json.Marshal(id.String()) }
+
+// UnmarshalJSON parses a 32-hex-digit string.
+func (id *TraceID) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseTraceID(s)
+	if err != nil {
+		return err
+	}
+	*id = parsed
+	return nil
+}
+
+// MarshalJSON renders the ID as a hex string.
+func (id SpanID) MarshalJSON() ([]byte, error) { return json.Marshal(id.String()) }
+
+// UnmarshalJSON parses a 16-hex-digit string.
+func (id *SpanID) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseSpanID(s)
+	if err != nil {
+		return err
+	}
+	*id = parsed
+	return nil
+}
+
+// ParseTraceID parses 32 hex digits into a TraceID.
+func ParseTraceID(s string) (TraceID, error) {
+	var id TraceID
+	if len(s) != 2*len(id) {
+		return id, fmt.Errorf("obs: trace ID %q: want %d hex digits", s, 2*len(id))
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return TraceID{}, fmt.Errorf("obs: trace ID %q: %w", s, err)
+	}
+	return id, nil
+}
+
+// ParseSpanID parses 16 hex digits into a SpanID.
+func ParseSpanID(s string) (SpanID, error) {
+	var id SpanID
+	if len(s) != 2*len(id) {
+		return id, fmt.Errorf("obs: span ID %q: want %d hex digits", s, 2*len(id))
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return SpanID{}, fmt.Errorf("obs: span ID %q: %w", s, err)
+	}
+	return id, nil
+}
+
+// SpanContext is the propagated part of a span: which trace it belongs to and
+// which span is the parent of any work done under it.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+}
+
+// Valid reports whether both IDs are non-zero (an invalid context means "no
+// caller trace": the receiver starts a fresh root).
+func (sc SpanContext) Valid() bool { return !sc.TraceID.IsZero() && !sc.SpanID.IsZero() }
+
+// NewSpanContext mints a fresh root context: new trace, new root span.
+func NewSpanContext() SpanContext {
+	return SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+}
+
+// Child returns a context in the same trace with a fresh span ID — the
+// context handed to a sub-operation so its spans parent under sc.SpanID.
+func (sc SpanContext) Child() SpanContext {
+	return SpanContext{TraceID: sc.TraceID, SpanID: NewSpanID()}
+}
+
+// TraceparentHeader is the HTTP header carrying the span context, in the W3C
+// Trace Context format: 00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>.
+const TraceparentHeader = "Traceparent"
+
+// Traceparent renders the context as a version-00 traceparent value with the
+// sampled flag set.
+func (sc SpanContext) Traceparent() string {
+	return "00-" + sc.TraceID.String() + "-" + sc.SpanID.String() + "-01"
+}
+
+// ParseTraceparent parses a version-00 traceparent value. Unknown versions,
+// malformed fields and all-zero IDs return an error.
+func ParseTraceparent(s string) (SpanContext, error) {
+	var sc SpanContext
+	// 2 (version) + 1 + 32 (trace) + 1 + 16 (span) + 1 + 2 (flags)
+	if len(s) != 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return sc, fmt.Errorf("obs: malformed traceparent %q", s)
+	}
+	if s[:2] != "00" {
+		return sc, fmt.Errorf("obs: unsupported traceparent version %q", s[:2])
+	}
+	tid, err := ParseTraceID(s[3:35])
+	if err != nil {
+		return sc, err
+	}
+	sid, err := ParseSpanID(s[36:52])
+	if err != nil {
+		return sc, err
+	}
+	if _, err := hex.DecodeString(s[53:55]); err != nil {
+		return sc, fmt.Errorf("obs: malformed traceparent flags %q", s[53:55])
+	}
+	sc = SpanContext{TraceID: tid, SpanID: sid}
+	if !sc.Valid() {
+		return SpanContext{}, fmt.Errorf("obs: traceparent %q has a zero ID", s)
+	}
+	return sc, nil
+}
+
+// InjectTrace writes the context into h as a traceparent header. An invalid
+// context injects nothing.
+func InjectTrace(h http.Header, sc SpanContext) {
+	if sc.Valid() {
+		h.Set(TraceparentHeader, sc.Traceparent())
+	}
+}
+
+// TraceFromHeader extracts the span context from an incoming request's
+// headers. A missing or malformed header returns the invalid zero context —
+// callers treat that as "start a fresh trace".
+func TraceFromHeader(h http.Header) SpanContext {
+	v := h.Get(TraceparentHeader)
+	if v == "" {
+		return SpanContext{}
+	}
+	sc, err := ParseTraceparent(v)
+	if err != nil {
+		return SpanContext{}
+	}
+	return sc
+}
+
+type spanCtxKey struct{}
+
+// ContextWithSpan returns ctx carrying sc, for in-process hops that cross an
+// interface boundary without HTTP headers (the router handing a per-shard
+// child context to a ShardConn).
+func ContextWithSpan(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, sc)
+}
+
+// SpanFromContext extracts the span context from ctx, or the invalid zero
+// context when none was attached.
+func SpanFromContext(ctx context.Context) SpanContext {
+	sc, _ := ctx.Value(spanCtxKey{}).(SpanContext)
+	return sc
+}
+
+// Span is one completed unit of work within a trace. ParentID is zero for a
+// trace's root span; Attrs carries small string-valued facts (sequence
+// numbers, shard indexes, cache hits) for the debug endpoint.
+type Span struct {
+	TraceID   TraceID           `json:"trace_id"`
+	SpanID    SpanID            `json:"span_id"`
+	ParentID  SpanID            `json:"parent_id"`
+	Component string            `json:"component"`
+	Name      string            `json:"name"`
+	Start     time.Time         `json:"start"`
+	End       time.Time         `json:"end"`
+	Attrs     map[string]string `json:"attrs,omitempty"`
+	Error     string            `json:"error,omitempty"`
+}
+
+// Duration returns the span's wall-clock length.
+func (s Span) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// SpanRing is a fixed-capacity ring of the most recently completed spans,
+// safe for concurrent use. It is the per-process span store the debug
+// endpoints read from; old spans are evicted, never flushed anywhere.
+type SpanRing struct {
+	mu   sync.Mutex
+	buf  []Span
+	next int
+	n    int
+}
+
+// DefaultSpanCapacity is the span ring size used when a capacity < 1 is
+// requested: ~8 spans per ingest across a deep cluster, times the trace
+// ring's default of 256 traces.
+const DefaultSpanCapacity = 2048
+
+// NewSpanRing returns a ring holding up to capacity spans (values < 1 mean
+// DefaultSpanCapacity).
+func NewSpanRing(capacity int) *SpanRing {
+	if capacity < 1 {
+		capacity = DefaultSpanCapacity
+	}
+	return &SpanRing{buf: make([]Span, capacity)}
+}
+
+// Add stores one completed span, evicting the oldest when full.
+func (r *SpanRing) Add(s Span) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf[r.next] = s
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// ByTrace returns every held span of the given trace, oldest first (start
+// order within the process; cross-process ordering is the caller's stitch).
+func (r *SpanRing) ByTrace(id TraceID) []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Span
+	for i := r.n; i >= 1; i-- {
+		idx := (r.next - i + len(r.buf)) % len(r.buf)
+		if r.buf[idx].TraceID == id {
+			out = append(out, r.buf[idx])
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// LastInto appends up to n spans, newest first, to dst and returns the
+// extended slice (dst may be nil; its capacity is reused).
+func (r *SpanRing) LastInto(dst []Span, n int) []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n > r.n || n < 0 {
+		n = r.n
+	}
+	for i := 1; i <= n; i++ {
+		idx := (r.next - i + len(r.buf)) % len(r.buf)
+		dst = append(dst, r.buf[idx])
+	}
+	return dst
+}
+
+// Len returns how many spans the ring currently holds.
+func (r *SpanRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := NewSpanContext()
+	if !sc.Valid() {
+		t.Fatal("fresh span context invalid")
+	}
+	tp := sc.Traceparent()
+	if len(tp) != 55 || !strings.HasPrefix(tp, "00-") || !strings.HasSuffix(tp, "-01") {
+		t.Fatalf("malformed traceparent %q", tp)
+	}
+	got, err := ParseTraceparent(tp)
+	if err != nil {
+		t.Fatalf("ParseTraceparent(%q): %v", tp, err)
+	}
+	if got != sc {
+		t.Fatalf("round trip changed the context: %+v vs %+v", got, sc)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	valid := NewSpanContext().Traceparent()
+	zeroTrace := "00-" + strings.Repeat("0", 32) + "-" + NewSpanID().String() + "-01"
+	zeroSpan := "00-" + NewTraceID().String() + "-" + strings.Repeat("0", 16) + "-01"
+	for _, bad := range []string{
+		"",
+		"00",
+		valid[:54],                          // truncated
+		valid + "0",                         // too long
+		"01" + valid[2:],                    // unknown version
+		strings.Replace(valid, "-", "_", 1), // wrong separator
+		"00-" + strings.Repeat("g", 32) + valid[35:],      // non-hex trace ID
+		valid[:36] + strings.Repeat("g", 16) + valid[52:], // non-hex span ID
+		valid[:53] + "zz", // non-hex flags
+		zeroTrace,
+		zeroSpan,
+	} {
+		if sc, err := ParseTraceparent(bad); err == nil {
+			t.Fatalf("ParseTraceparent(%q) accepted: %+v", bad, sc)
+		}
+	}
+}
+
+func TestInjectAndExtractTrace(t *testing.T) {
+	h := http.Header{}
+	sc := NewSpanContext()
+	InjectTrace(h, sc)
+	if got := TraceFromHeader(h); got != sc {
+		t.Fatalf("header round trip: %+v vs %+v", got, sc)
+	}
+
+	// An invalid context injects nothing.
+	empty := http.Header{}
+	InjectTrace(empty, SpanContext{})
+	if empty.Get(TraceparentHeader) != "" {
+		t.Fatal("invalid context injected a traceparent")
+	}
+	// Missing or malformed headers extract the zero context.
+	if got := TraceFromHeader(empty); got.Valid() {
+		t.Fatalf("missing header produced a valid context: %+v", got)
+	}
+	empty.Set(TraceparentHeader, "garbage")
+	if got := TraceFromHeader(empty); got.Valid() {
+		t.Fatalf("malformed header produced a valid context: %+v", got)
+	}
+}
+
+func TestChildKeepsTraceMintsSpan(t *testing.T) {
+	root := NewSpanContext()
+	child := root.Child()
+	if child.TraceID != root.TraceID {
+		t.Fatal("child left the trace")
+	}
+	if child.SpanID == root.SpanID || child.SpanID.IsZero() {
+		t.Fatalf("child span ID %s not fresh", child.SpanID)
+	}
+}
+
+func TestContextWithSpanRoundTrip(t *testing.T) {
+	sc := NewSpanContext()
+	ctx := ContextWithSpan(context.Background(), sc)
+	if got := SpanFromContext(ctx); got != sc {
+		t.Fatalf("context round trip: %+v vs %+v", got, sc)
+	}
+	if got := SpanFromContext(context.Background()); got.Valid() {
+		t.Fatalf("bare context produced a valid span context: %+v", got)
+	}
+}
+
+func TestTraceIDJSONRoundTrip(t *testing.T) {
+	type pair struct {
+		Trace TraceID `json:"trace"`
+		Span  SpanID  `json:"span"`
+	}
+	in := pair{Trace: NewTraceID(), Span: NewSpanID()}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out pair
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("JSON round trip changed IDs: %+v vs %+v", out, in)
+	}
+	var bad pair
+	if err := json.Unmarshal([]byte(`{"trace":"xyz","span":""}`), &bad); err == nil {
+		t.Fatal("malformed trace ID accepted")
+	}
+}
+
+func TestSpanRingByTraceAndEviction(t *testing.T) {
+	ring := NewSpanRing(4)
+	t0 := time.Unix(1000, 0)
+	a, b := NewTraceID(), NewTraceID()
+	add := func(id TraceID, name string, at time.Duration) {
+		ring.Add(Span{TraceID: id, SpanID: NewSpanID(), Name: name, Start: t0.Add(at)})
+	}
+	// Insert out of start order: ByTrace must sort by start time.
+	add(a, "second", 2*time.Second)
+	add(b, "other", 1*time.Second)
+	add(a, "first", 1*time.Second)
+
+	got := ring.ByTrace(a)
+	if len(got) != 2 || got[0].Name != "first" || got[1].Name != "second" {
+		t.Fatalf("ByTrace(a) = %+v, want [first second]", got)
+	}
+	if got := ring.ByTrace(b); len(got) != 1 || got[0].Name != "other" {
+		t.Fatalf("ByTrace(b) = %+v", got)
+	}
+
+	// Three more inserts overflow the 4-slot ring, evicting the two oldest
+	// inserts (a/second and b/other).
+	add(a, "third", 3*time.Second)
+	add(a, "fourth", 4*time.Second)
+	add(a, "fifth", 5*time.Second)
+	if ring.Len() != 4 {
+		t.Fatalf("Len = %d, want the capacity 4", ring.Len())
+	}
+	got = ring.ByTrace(a)
+	if len(got) != 4 || got[0].Name != "first" || got[3].Name != "fifth" {
+		t.Fatalf("ByTrace(a) after eviction = %+v", got)
+	}
+	if got := ring.ByTrace(b); len(got) != 0 {
+		t.Fatalf("evicted trace still served: %+v", got)
+	}
+
+	// LastInto is newest first and reuses dst.
+	dst := ring.LastInto(nil, 2)
+	if len(dst) != 2 || dst[0].Name != "fifth" || dst[1].Name != "fourth" {
+		t.Fatalf("LastInto = %+v", dst)
+	}
+	dst = ring.LastInto(dst[:0], -1)
+	if len(dst) != 4 {
+		t.Fatalf("LastInto(-1) returned %d spans, want all 4", len(dst))
+	}
+}

@@ -21,6 +21,7 @@ const (
 // monotonic sequence assigned by the ring on Add.
 type IngestTrace struct {
 	ID           uint64    `json:"id"`
+	TraceID      TraceID   `json:"trace_id"`
 	Updates      int       `json:"updates"`
 	EnqueuedAt   time.Time `json:"enqueued_at"`
 	WALDurableAt time.Time `json:"-"`
@@ -85,19 +86,25 @@ func (r *TraceRing) Add(t IngestTrace) IngestTrace {
 	return t
 }
 
-// Last returns up to n traces, newest first.
+// Last returns up to n traces, newest first. It allocates a fresh slice per
+// call; the debug handler uses LastInto with a pooled buffer instead.
 func (r *TraceRing) Last(n int) []IngestTrace {
+	return r.LastInto(nil, n)
+}
+
+// LastInto appends up to n traces, newest first, to dst and returns the
+// extended slice (dst may be nil; its capacity is reused).
+func (r *TraceRing) LastInto(dst []IngestTrace, n int) []IngestTrace {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if n > r.n || n < 0 {
 		n = r.n
 	}
-	out := make([]IngestTrace, 0, n)
 	for i := 1; i <= n; i++ {
 		idx := (r.next - i + len(r.buf)) % len(r.buf)
-		out = append(out, r.buf[idx])
+		dst = append(dst, r.buf[idx])
 	}
-	return out
+	return dst
 }
 
 // Len returns how many traces the ring currently holds.

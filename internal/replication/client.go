@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"streambc/internal/engine"
+	"streambc/internal/obs"
 	"streambc/internal/server"
 )
 
@@ -112,27 +113,37 @@ func (c *Client) Snapshot(ctx context.Context) (*engine.SnapshotState, error) {
 // the leader's log end sequence. An empty batch with a fresh leader sequence
 // is the normal caught-up answer.
 func (c *Client) WALRecords(ctx context.Context, from uint64, max int, wait time.Duration) ([]server.WALRecord, uint64, error) {
+	recs, leaderSeq, _, err := c.WALRecordsTraced(ctx, from, max, wait)
+	return recs, leaderSeq, err
+}
+
+// WALRecordsTraced is WALRecords plus the leader's trace map: for each
+// returned record still held in the leader's sequence→trace ring, the span
+// context the record was originally appended under. The map may be nil or
+// partial — trace context is advisory and never gates application.
+func (c *Client) WALRecordsTraced(ctx context.Context, from uint64, max int, wait time.Duration) ([]server.WALRecord, uint64, map[uint64]obs.SpanContext, error) {
 	path := fmt.Sprintf("/v1/replication/wal?from=%d&max=%d&wait=%s", from, max, wait)
 	resp, err := c.do(ctx, path)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	defer resp.Body.Close()
 	leaderSeq, err := strconv.ParseUint(resp.Header.Get(server.WalSeqHeader), 10, 64)
 	if err != nil {
-		return nil, 0, fmt.Errorf("replication: bad %s header: %w", server.WalSeqHeader, err)
+		return nil, 0, nil, fmt.Errorf("replication: bad %s header: %w", server.WalSeqHeader, err)
 	}
+	traces := server.ParseWALTraceMap(resp.Header.Get(server.WalTraceMapHeader))
 	var recs []server.WALRecord
 	for {
 		rec, err := server.ReadWALRecord(resp.Body)
 		if err == io.EOF {
-			return recs, leaderSeq, nil
+			return recs, leaderSeq, traces, nil
 		}
 		if err != nil {
 			// A record that frames but fails its CRC (or a cut stream) is a
 			// transport problem: drop the batch and let the tailer re-poll
 			// from its applied sequence.
-			return nil, leaderSeq, fmt.Errorf("replication: reading WAL stream: %w", err)
+			return nil, leaderSeq, nil, fmt.Errorf("replication: reading WAL stream: %w", err)
 		}
 		recs = append(recs, rec)
 	}

@@ -117,7 +117,7 @@ func (t *Tailer) Run(ctx context.Context) error {
 	for ctx.Err() == nil {
 		from := t.app.AppliedWALSeq()
 		pollStart := time.Now()
-		recs, leaderSeq, err := t.c.WALRecords(ctx, from, t.cfg.MaxRecords, t.cfg.Wait)
+		recs, leaderSeq, traces, err := t.c.WALRecordsTraced(ctx, from, t.cfg.MaxRecords, t.cfg.Wait)
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil
@@ -168,7 +168,7 @@ func (t *Tailer) Run(ctx context.Context) error {
 		backoff = 100 * time.Millisecond
 		applyStart := time.Now()
 		for _, rec := range recs {
-			if err := t.app.ApplyReplicated(rec); err != nil {
+			if err := t.applyOne(rec, traces[rec.Seq]); err != nil {
 				if errors.Is(err, server.ErrSequenceGap) {
 					// A duplicate or out-of-order batch (e.g. a retried poll
 					// overlapping an applied prefix): drop the rest and
@@ -191,6 +191,22 @@ func (t *Tailer) Run(ctx context.Context) error {
 		t.observe(leaderSeq)
 	}
 	return nil
+}
+
+// tracedApplier is the optional extension of Applier that accepts the
+// leader's per-record trace context (implemented by *server.Server): the
+// replica then records its apply span under the originating ingest's trace.
+type tracedApplier interface {
+	ApplyReplicatedTraced(rec server.WALRecord, sc obs.SpanContext) error
+}
+
+// applyOne applies one replicated record, passing its trace context through
+// when both the leader shipped one and the applier can accept it.
+func (t *Tailer) applyOne(rec server.WALRecord, sc obs.SpanContext) error {
+	if ta, ok := t.app.(tracedApplier); ok && sc.Valid() {
+		return ta.ApplyReplicatedTraced(rec, sc)
+	}
+	return t.app.ApplyReplicated(rec)
 }
 
 // rebootstrap replaces the replica's state with a fresh leader snapshot.

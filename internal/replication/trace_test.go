@@ -1,0 +1,75 @@
+package replication
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"streambc/internal/engine"
+	"streambc/internal/obs"
+)
+
+// TestReplicationExtendsIngestTrace: an ingest traced on the leader is
+// extended to the follower through the WAL stream's trace map — the follower
+// records a replica_apply span under the SAME trace ID, parented to the span
+// the leader noted for that record's sequence.
+func TestReplicationExtendsIngestTrace(t *testing.T) {
+	g := testGraph(t, 16, 30, 51)
+	leader := startLeader(t, g.Clone(), engine.Config{Workers: 2}, t.TempDir(), t.TempDir())
+	f := startFollower(t, leader.ts.URL, t.TempDir(), engine.Config{Workers: 2})
+
+	for _, batch := range testStream(52, 16, 3, 4) {
+		enqueueWait(t, leader.srv, batch)
+	}
+	waitCaughtUp(t, f, leader.wal.Seq())
+
+	// The leader's newest drain trace, via the same debug endpoint an
+	// operator would use.
+	resp, err := http.Get(leader.ts.URL + "/v1/debug/trace?n=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/debug/trace: %d %s", resp.StatusCode, body)
+	}
+	var listing struct {
+		Traces []struct {
+			TraceID obs.TraceID `json:"trace_id"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(body, &listing); err != nil {
+		t.Fatalf("decoding %q: %v", body, err)
+	}
+	if len(listing.Traces) == 0 {
+		t.Fatal("leader recorded no drain traces")
+	}
+	id := listing.Traces[0].TraceID
+	if id.IsZero() {
+		t.Fatal("leader trace has no trace ID")
+	}
+
+	leaderSpans := leader.srv.SpansByTrace(id)
+	if len(leaderSpans) == 0 {
+		t.Fatal("leader holds no spans for its newest trace")
+	}
+	leaderIDs := make(map[obs.SpanID]bool, len(leaderSpans))
+	for _, sp := range leaderSpans {
+		leaderIDs[sp.SpanID] = true
+	}
+
+	followerSpans := f.srv.SpansByTrace(id)
+	if len(followerSpans) == 0 {
+		t.Fatal("follower recorded no spans under the leader's trace — the trace map did not propagate")
+	}
+	for _, sp := range followerSpans {
+		if sp.Component != "replica" || sp.Name != "replica_apply" {
+			t.Fatalf("unexpected follower span %s/%s", sp.Component, sp.Name)
+		}
+		if !leaderIDs[sp.ParentID] {
+			t.Fatalf("replica span parented under %s, which is not a leader span of this trace", sp.ParentID)
+		}
+	}
+}

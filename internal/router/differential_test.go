@@ -13,6 +13,7 @@ import (
 	"streambc/internal/engine"
 	"streambc/internal/gen"
 	"streambc/internal/graph"
+	"streambc/internal/obs"
 	"streambc/internal/server"
 )
 
@@ -96,6 +97,12 @@ func (s *swapShard) WALRecords(ctx context.Context, from uint64, max int) ([]ser
 }
 func (s *swapShard) Snapshot(ctx context.Context) (string, error) {
 	return s.cur.Load().Snapshot(ctx)
+}
+func (s *swapShard) Metrics(ctx context.Context) ([]byte, error) {
+	return s.cur.Load().Metrics(ctx)
+}
+func (s *swapShard) Spans(ctx context.Context, trace obs.TraceID) ([]obs.Span, error) {
+	return s.cur.Load().Spans(ctx, trace)
 }
 
 // startShard builds one shard server: a one-worker engine owning stride

@@ -1,0 +1,263 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"streambc/internal/obs"
+)
+
+// The router's federation plane: one scrape of the router answers for the
+// whole cluster. GET /metrics concurrently scrapes every shard's exposition,
+// stamps a shard label onto each series and merges them with the router's own
+// families into a single page; GET /v1/cluster/status aggregates shard
+// identity, position, lag and health into one JSON document; and the ?trace=
+// form of GET /v1/debug/trace stitches one distributed trace's spans from the
+// router's ring and every shard's.
+
+// handleMetrics serves the federated exposition. A shard that cannot be
+// scraped degrades the page — its families are absent and its
+// streambc_cluster_shard_up gauge reads 0 — but never fails the scrape: the
+// monitoring plane must keep answering precisely when shards are down.
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	bodies := make([][]byte, len(r.cfg.Shards))
+	errs := make([]error, len(r.cfg.Shards))
+	var wg sync.WaitGroup
+	for i, sc := range r.cfg.Shards {
+		wg.Add(1)
+		go func(i int, sc ShardConn) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(req.Context(), r.cfg.ScrapeTimeout)
+			defer cancel()
+			bodies[i], errs[i] = sc.Metrics(ctx)
+		}(i, sc)
+	}
+	wg.Wait()
+	// Stamp the scrape-health gauges before rendering the local registry so
+	// one page is self-consistent: the exposition that omits shard i's
+	// families is the same one whose streambc_cluster_shard_up{shard="i"}
+	// reads 0.
+	for i, err := range errs {
+		v := 1.0
+		if err != nil {
+			v = 0
+		}
+		r.met.clusterUp.With(strconv.Itoa(i)).Set(v)
+	}
+	var local bytes.Buffer
+	if _, err := r.met.reg.WriteTo(&local); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	// The router's own families anchor the page (and the merge order): a
+	// shard family already exported locally keeps one HELP/TYPE block with
+	// the shard series appended after the router's.
+	fams, err := obs.ParseExposition(local.Bytes())
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("rendering local metrics: %w", err))
+		return
+	}
+	byName := make(map[string]*obs.ExpoFamily, len(fams))
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	for i, body := range bodies {
+		if errs[i] != nil {
+			r.log.Warn("federation scrape failed",
+				obs.KeyComponent, "router", "shard", i, "error", errs[i])
+			continue
+		}
+		shardFams, err := obs.ParseExposition(body)
+		if err != nil {
+			// A shard answering garbage is degraded the same way as a shard
+			// not answering: log, zero its gauge, keep the page serving.
+			r.log.Warn("federation scrape unparsable",
+				obs.KeyComponent, "router", "shard", i, "error", err)
+			r.met.clusterUp.With(strconv.Itoa(i)).Set(0)
+			continue
+		}
+		label := strconv.Itoa(i)
+		for _, f := range shardFams {
+			dst := byName[f.Name]
+			if dst == nil {
+				dst = &obs.ExpoFamily{Name: f.Name, Help: f.Help, Type: f.Type}
+				byName[f.Name] = dst
+				fams = append(fams, dst)
+			}
+			for _, s := range f.Samples {
+				s.Labels = obs.MergeLabels(s.Labels, "shard", label)
+				dst.Samples = append(dst.Samples, s)
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	obs.WriteExposition(w, fams) //nolint:errcheck // client went away mid-scrape
+}
+
+// clusterShardJSON is one shard's block in /v1/cluster/status: identity and
+// position from a fresh status fetch, lag relative to the router's merged
+// sequence.
+type clusterShardJSON struct {
+	Shard      int    `json:"shard"`
+	Name       string `json:"name"`
+	Up         bool   `json:"up"`
+	Healthy    bool   `json:"healthy"`
+	ShardIndex int    `json:"shard_index"`
+	ShardCount int    `json:"shard_count"`
+	AppliedSeq uint64 `json:"applied_sequence"`
+	WALSeq     uint64 `json:"wal_sequence"`
+	LagRecords uint64 `json:"lag_records"`
+	Workers    int    `json:"workers"`
+	Vertices   int    `json:"vertices"`
+	Edges      int    `json:"edges"`
+	Error      string `json:"error,omitempty"`
+}
+
+// handleClusterStatus aggregates fresh per-shard status fetches and the
+// router's merged position into one JSON document — the single answer to
+// "where is the cluster right now".
+func (r *Router) handleClusterStatus(w http.ResponseWriter, req *http.Request) {
+	v := r.currentView()
+	shards := make([]clusterShardJSON, len(r.cfg.Shards))
+	var wg sync.WaitGroup
+	for i, sc := range r.cfg.Shards {
+		wg.Add(1)
+		go func(i int, sc ShardConn) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(req.Context(), r.cfg.ScrapeTimeout)
+			defer cancel()
+			sj := clusterShardJSON{Shard: i, Name: sc.Name()}
+			st, err := sc.Status(ctx)
+			if err != nil {
+				sj.Error = err.Error()
+			} else {
+				sj.Up = true
+				sj.Healthy = st.Healthy
+				sj.ShardIndex = st.ShardIndex
+				sj.ShardCount = st.ShardCount
+				sj.AppliedSeq = st.AppliedSeq
+				sj.WALSeq = st.WALSeq
+				sj.Workers = st.Workers
+				sj.Vertices = st.Vertices
+				sj.Edges = st.Edges
+				if v.seq > st.AppliedSeq {
+					sj.LagRecords = v.seq - st.AppliedSeq
+				}
+			}
+			shards[i] = sj
+		}(i, sc)
+	}
+	wg.Wait()
+	healthy := 0
+	for _, sj := range shards {
+		if sj.Up && sj.Healthy {
+			healthy++
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"router": map[string]any{
+			"merged_sequence":  v.seq,
+			"updates_applied":  v.applied,
+			"updates_rejected": v.rejected,
+			"queue_depth":      r.QueueDepth(),
+			"halted":           r.Halted() != nil,
+			"sampled":          v.sampled,
+			"sampled_sources":  v.sampleSize,
+			"sample_scale":     v.scale,
+		},
+		"shard_count":    len(r.cfg.Shards),
+		"shards_healthy": healthy,
+		"shards":         shards,
+	})
+}
+
+// handleTrace serves the newest ?n= drain traces (default 32), newest first.
+// With ?trace= (a 32-hex-digit trace ID) it instead stitches the whole
+// distributed trace: the router's own spans plus every shard's, fetched
+// concurrently, merged oldest first — one ingest's full cluster-wide
+// lifecycle on one page.
+func (r *Router) handleTrace(w http.ResponseWriter, req *http.Request) {
+	if raw := req.URL.Query().Get("trace"); raw != "" {
+		id, err := obs.ParseTraceID(raw)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad trace: %w", err))
+			return
+		}
+		spans := r.stitchTrace(req.Context(), id)
+		writeJSON(w, http.StatusOK, map[string]any{
+			"trace_id": id, "count": len(spans), "spans": spans,
+		})
+		return
+	}
+	n := 32
+	if raw := req.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			httpError(w, http.StatusBadRequest, errors.New("bad n: want a positive integer"))
+			return
+		}
+		n = v
+	}
+	traces := r.traces.Last(n)
+	type traceJSON struct {
+		ID         uint64             `json:"id"`
+		TraceID    obs.TraceID        `json:"trace_id"`
+		Updates    int                `json:"updates"`
+		EnqueuedAt time.Time          `json:"enqueued_at"`
+		Stages     map[string]float64 `json:"stages_seconds"`
+		Error      string             `json:"error,omitempty"`
+	}
+	out := make([]traceJSON, len(traces))
+	for i, tr := range traces {
+		out[i] = traceJSON{
+			ID:         tr.ID,
+			TraceID:    tr.TraceID,
+			Updates:    tr.Updates,
+			EnqueuedAt: tr.EnqueuedAt,
+			Stages:     tr.Stages(),
+			Error:      tr.Error,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(out), "traces": out})
+}
+
+// stitchTrace collects every span of one trace the cluster holds: the
+// router's ring plus a concurrent fetch from each shard, sorted by start
+// time. Shards that cannot answer contribute nothing (their spans are simply
+// missing from the stitched view, like any expired span).
+func (r *Router) stitchTrace(ctx context.Context, id obs.TraceID) []obs.Span {
+	perShard := make([][]obs.Span, len(r.cfg.Shards))
+	var wg sync.WaitGroup
+	for i, sc := range r.cfg.Shards {
+		wg.Add(1)
+		go func(i int, sc ShardConn) {
+			defer wg.Done()
+			sctx, cancel := context.WithTimeout(ctx, r.cfg.ScrapeTimeout)
+			defer cancel()
+			spans, err := sc.Spans(sctx, id)
+			if err != nil {
+				r.log.Warn("trace stitch fetch failed",
+					obs.KeyComponent, "router", "shard", i, "error", err)
+				return
+			}
+			perShard[i] = spans
+		}(i, sc)
+	}
+	spans := r.spans.ByTrace(id)
+	wg.Wait()
+	for _, ss := range perShard {
+		spans = append(spans, ss...)
+	}
+	sort.SliceStable(spans, func(a, b int) bool { return spans[a].Start.Before(spans[b].Start) })
+	if spans == nil {
+		spans = []obs.Span{}
+	}
+	return spans
+}

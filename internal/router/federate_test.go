@@ -1,0 +1,305 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"streambc/internal/obs"
+	"streambc/internal/server"
+)
+
+// Federation tests: bcrouter's GET /metrics must serve one strictly parseable
+// exposition covering the router and every shard (each shard series stamped
+// with a shard label), degrade — never fail — when a shard cannot be scraped,
+// and keep counters monotonic across scrapes; GET /v1/cluster/status must
+// aggregate identity, position, lag and health the same way.
+
+// scrape fetches and strictly parses the router's federated /metrics page.
+func scrape(t *testing.T, rt *Router) []*obs.ExpoFamily {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d: %s", rec.Code, rec.Body.String())
+	}
+	fams, err := obs.ParseExposition(rec.Body.Bytes())
+	if err != nil {
+		t.Fatalf("federated exposition does not parse: %v", err)
+	}
+	return fams
+}
+
+func famIndex(fams []*obs.ExpoFamily) map[string]*obs.ExpoFamily {
+	out := make(map[string]*obs.ExpoFamily, len(fams))
+	for _, f := range fams {
+		out[f.Name] = f
+	}
+	return out
+}
+
+// shardUpValues returns the streambc_cluster_shard_up samples keyed by their
+// label block.
+func shardUpValues(t *testing.T, fams []*obs.ExpoFamily) map[string]string {
+	t.Helper()
+	up := famIndex(fams)["streambc_cluster_shard_up"]
+	if up == nil {
+		t.Fatal("streambc_cluster_shard_up missing from the federated page")
+	}
+	out := make(map[string]string, len(up.Samples))
+	for _, s := range up.Samples {
+		out[s.Labels] = s.Value
+	}
+	return out
+}
+
+// counterValues flattens every counter sample to name+labels -> value.
+func counterValues(t *testing.T, fams []*obs.ExpoFamily) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	for _, f := range fams {
+		if f.Type != "counter" {
+			continue
+		}
+		for _, s := range f.Samples {
+			v, err := strconv.ParseFloat(s.Value, 64)
+			if err != nil {
+				t.Fatalf("counter %s%s: %v", s.Name, s.Labels, err)
+			}
+			out[s.Name+s.Labels] = v
+		}
+	}
+	return out
+}
+
+// hasShardSeries reports whether shard idx's scrape made it onto the page,
+// using a family only shards export (the router has no WAL): its series can
+// carry a shard label solely via the federation stamp, unlike the router's
+// own shard-labelled gauges.
+func hasShardSeries(fams []*obs.ExpoFamily, idx string) bool {
+	needle := `shard="` + idx + `"`
+	for _, f := range fams {
+		if f.Name != "streambc_wal_appends_total" {
+			continue
+		}
+		for _, s := range f.Samples {
+			if strings.Contains(s.Labels, needle) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestFederatedMetricsExposition: a healthy 3-shard cluster serves one strict
+// exposition with every shard up, every shard's families shard-labelled, and
+// all counters monotonic across scrapes with ingest in between.
+func TestFederatedMetricsExposition(t *testing.T) {
+	base := testGraph(t, 20, 48, 41)
+	stream := testStream(t, base, 12, 42)
+	parts := chunks(stream, 8)
+	const cnt = 3
+	c := startCluster(t, base, cnt, nil)
+	c.apply(t, parts[0])
+
+	fams := scrape(t, c.router)
+	up := shardUpValues(t, fams)
+	for i := 0; i < cnt; i++ {
+		key := `{shard="` + strconv.Itoa(i) + `"}`
+		if up[key] != "1" {
+			t.Fatalf("cluster_shard_up%s = %q, want 1 (have %v)", key, up[key], up)
+		}
+	}
+	for i := 0; i < cnt; i++ {
+		if !hasShardSeries(fams, strconv.Itoa(i)) {
+			t.Fatalf("no series labelled shard=%d on the federated page", i)
+		}
+	}
+
+	before := counterValues(t, fams)
+	if len(before) == 0 {
+		t.Fatal("no counter samples on the federated page")
+	}
+	c.apply(t, parts[1])
+	after := counterValues(t, scrape(t, c.router))
+	for key, a := range before {
+		b, ok := after[key]
+		if !ok {
+			t.Fatalf("counter %s disappeared between scrapes", key)
+		}
+		if b < a {
+			t.Fatalf("counter %s went backwards: %g -> %g", key, a, b)
+		}
+	}
+	// The shards did work between the scrapes, so at least one shard-labelled
+	// counter must have moved.
+	moved := false
+	for key, a := range before {
+		if strings.Contains(key, `shard="`) && after[key] > a {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("no shard counter advanced across an ingest")
+	}
+}
+
+// flakyConn wraps a ShardConn whose observability surface can be switched off
+// (scrapes and status fetches fail) while the write path keeps working — a
+// shard that is alive but unmonitorable.
+type flakyConn struct {
+	ShardConn
+	down atomic.Bool
+}
+
+func (f *flakyConn) Metrics(ctx context.Context) ([]byte, error) {
+	if f.down.Load() {
+		return nil, errors.New("scrape refused")
+	}
+	return f.ShardConn.Metrics(ctx)
+}
+
+func (f *flakyConn) Status(ctx context.Context) (server.ShardStatus, error) {
+	if f.down.Load() {
+		return server.ShardStatus{}, errors.New("status refused")
+	}
+	return f.ShardConn.Status(ctx)
+}
+
+// TestFederationDegradesWhenShardDown: an unscrapable shard zeroes its
+// streambc_cluster_shard_up gauge and drops its families, but the page still
+// serves 200 and parses; /v1/cluster/status reports the shard down with the
+// error text instead of failing.
+func TestFederationDegradesWhenShardDown(t *testing.T) {
+	base := testGraph(t, 16, 36, 45)
+	const cnt = 3
+	conns := make([]ShardConn, cnt)
+	wrapped := make([]*flakyConn, cnt)
+	for i := 0; i < cnt; i++ {
+		h := startShard(t, base, i, cnt, nil)
+		w := &flakyConn{ShardConn: NewLocalShard("s"+strconv.Itoa(i), h.srv)}
+		wrapped[i] = w
+		conns[i] = w
+	}
+	rt, err := New(context.Background(), Config{
+		Shards:        conns,
+		RetryInterval: 5 * time.Millisecond,
+		ApplyTimeout:  5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("router.New: %v", err)
+	}
+	rt.Start()
+	t.Cleanup(func() { rt.Close() })
+
+	wrapped[1].down.Store(true)
+	fams := scrape(t, rt)
+	up := shardUpValues(t, fams)
+	for i := 0; i < cnt; i++ {
+		key := `{shard="` + strconv.Itoa(i) + `"}`
+		want := "1"
+		if i == 1 {
+			want = "0"
+		}
+		if up[key] != want {
+			t.Fatalf("cluster_shard_up%s = %q, want %s", key, up[key], want)
+		}
+	}
+	if hasShardSeries(fams, "1") {
+		t.Fatal("downed shard's families still on the federated page")
+	}
+	if !hasShardSeries(fams, "0") || !hasShardSeries(fams, "2") {
+		t.Fatal("healthy shards' families missing from the degraded page")
+	}
+
+	st := clusterStatus(t, rt)
+	if st.ShardCount != cnt || len(st.Shards) != cnt {
+		t.Fatalf("cluster status shape: count=%d shards=%d", st.ShardCount, len(st.Shards))
+	}
+	if st.Shards[1].Up {
+		t.Fatal("downed shard reported up")
+	}
+	if st.Shards[1].Error == "" {
+		t.Fatal("downed shard carries no error text")
+	}
+	if st.ShardsHealthy != cnt-1 {
+		t.Fatalf("shards_healthy = %d, want %d", st.ShardsHealthy, cnt-1)
+	}
+	for _, i := range []int{0, 2} {
+		sj := st.Shards[i]
+		if !sj.Up || !sj.Healthy || sj.LagRecords != 0 {
+			t.Fatalf("healthy shard %d degraded: %+v", i, sj)
+		}
+	}
+}
+
+// clusterStatusJSON mirrors the /v1/cluster/status document.
+type clusterStatusJSON struct {
+	Router struct {
+		MergedSequence uint64 `json:"merged_sequence"`
+		Halted         bool   `json:"halted"`
+	} `json:"router"`
+	ShardCount    int                `json:"shard_count"`
+	ShardsHealthy int                `json:"shards_healthy"`
+	Shards        []clusterShardJSON `json:"shards"`
+}
+
+func clusterStatus(t *testing.T, rt *Router) clusterStatusJSON {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, "/v1/cluster/status", nil)
+	rec := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/v1/cluster/status status %d: %s", rec.Code, rec.Body.String())
+	}
+	var st clusterStatusJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("decoding cluster status: %v", err)
+	}
+	return st
+}
+
+// TestClusterStatusAggregates: after an ingest every shard reports the same
+// applied sequence as the router's merged view, with zero lag, correct
+// identity and full health.
+func TestClusterStatusAggregates(t *testing.T) {
+	base := testGraph(t, 18, 40, 47)
+	stream := testStream(t, base, 10, 48)
+	const cnt = 3
+	c := startCluster(t, base, cnt, nil)
+	c.apply(t, stream)
+
+	st := clusterStatus(t, c.router)
+	if st.Router.MergedSequence == 0 {
+		t.Fatal("router merged sequence never advanced")
+	}
+	if st.Router.Halted {
+		t.Fatal("router reports halted")
+	}
+	if st.ShardCount != cnt || st.ShardsHealthy != cnt || len(st.Shards) != cnt {
+		t.Fatalf("cluster shape: %+v", st)
+	}
+	for i, sj := range st.Shards {
+		if !sj.Up || !sj.Healthy {
+			t.Fatalf("shard %d not healthy: %+v", i, sj)
+		}
+		if sj.Shard != i || sj.ShardIndex != i || sj.ShardCount != cnt {
+			t.Fatalf("shard %d identity: %+v", i, sj)
+		}
+		if sj.AppliedSeq != st.Router.MergedSequence {
+			t.Fatalf("shard %d at sequence %d, router at %d", i, sj.AppliedSeq, st.Router.MergedSequence)
+		}
+		if sj.LagRecords != 0 {
+			t.Fatalf("shard %d lag = %d records at idle", i, sj.LagRecords)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"streambc/internal/bc"
 	"streambc/internal/graph"
+	"streambc/internal/obs"
 )
 
 // defaultWaitTimeout bounds how long an ingest request with "wait":true may
@@ -22,18 +23,20 @@ const defaultWaitTimeout = 30 * time.Second
 // a single bcserved, so clients and dashboards do not care whether they talk
 // to one process or a shard cluster:
 //
-//	GET  /healthz          liveness (503 once the write path has halted)
-//	GET  /readyz           readiness (every shard answering and healthy)
-//	GET  /metrics          plain-text serving metrics
-//	POST /v1/updates       ingest a batch of updates (fanned to every shard)
-//	POST /v1/update        ingest a single update
-//	GET  /v1/vertices/{v}  merged betweenness of one vertex
-//	GET  /v1/edges?u=&v=   merged betweenness of one edge
-//	GET  /v1/top/vertices  top-k vertices by merged betweenness
-//	GET  /v1/top/edges     top-k edges by merged betweenness
-//	GET  /v1/graph         graph summary
-//	GET  /v1/stats         router and per-shard counters
-//	POST /v1/snapshot      ask every shard to snapshot now
+//	GET  /healthz           liveness (503 once the write path has halted)
+//	GET  /readyz            readiness (every shard answering and healthy)
+//	GET  /metrics           federated metrics: router + every shard, shard-labelled
+//	POST /v1/updates        ingest a batch of updates (fanned to every shard)
+//	POST /v1/update         ingest a single update
+//	GET  /v1/vertices/{v}   merged betweenness of one vertex
+//	GET  /v1/edges?u=&v=    merged betweenness of one edge
+//	GET  /v1/top/vertices   top-k vertices by merged betweenness
+//	GET  /v1/top/edges      top-k edges by merged betweenness
+//	GET  /v1/graph          graph summary
+//	GET  /v1/stats          router and per-shard counters
+//	GET  /v1/cluster/status aggregated shard identity, position, lag and health
+//	GET  /v1/debug/trace    recent drain traces; ?trace= stitches one trace's spans
+//	POST /v1/snapshot       ask every shard to snapshot now
 func (r *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	handle := func(pattern, route string, h http.HandlerFunc) {
@@ -47,10 +50,7 @@ func (r *Router) Handler() http.Handler {
 		w.Write([]byte("ok\n"))
 	})
 	handle("GET /readyz", "/readyz", r.handleReady)
-	handle("GET /metrics", "/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		r.met.reg.WriteTo(w) //nolint:errcheck // client went away mid-scrape
-	})
+	handle("GET /metrics", "/metrics", r.handleMetrics)
 	handle("POST /v1/updates", "/v1/updates", r.handleUpdates)
 	handle("POST /v1/update", "/v1/update", r.handleUpdate)
 	handle("GET /v1/vertices/{v}", "/v1/vertices/{v}", r.handleVertex)
@@ -59,6 +59,8 @@ func (r *Router) Handler() http.Handler {
 	handle("GET /v1/top/edges", "/v1/top/edges", r.handleTopEdges)
 	handle("GET /v1/graph", "/v1/graph", r.handleGraph)
 	handle("GET /v1/stats", "/v1/stats", r.handleStats)
+	handle("GET /v1/cluster/status", "/v1/cluster/status", r.handleClusterStatus)
+	handle("GET /v1/debug/trace", "/v1/debug/trace", r.handleTrace)
 	handle("POST /v1/snapshot", "/v1/snapshot", r.handleSnapshot)
 	return mux
 }
@@ -72,8 +74,15 @@ func (r *Router) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		if code == 0 {
 			code = http.StatusOK
 		}
+		elapsed := time.Since(start)
 		r.met.httpRequests.With(route, strconv.Itoa(code)).Inc()
-		r.met.httpLatency.With(route).Observe(time.Since(start).Seconds())
+		r.met.httpLatency.With(route).Observe(elapsed.Seconds())
+		if slow := r.cfg.SlowRequest; slow > 0 && elapsed >= slow {
+			r.log.Warn("slow request",
+				obs.KeyComponent, "http",
+				"route", route, "method", req.Method, "status", code,
+				"seconds", elapsed.Seconds())
+		}
 	}
 }
 
@@ -88,6 +97,10 @@ func (w *statusWriter) WriteHeader(code int) {
 	}
 	w.ResponseWriter.WriteHeader(code)
 }
+
+// Unwrap lets http.ResponseController reach the underlying writer's optional
+// interfaces (flush, deadlines) through the instrumentation wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // handleReady aggregates the cluster: the router is ready while the write
 // path is live and the last status probe of every shard answered healthy. A

@@ -25,6 +25,7 @@ type metrics struct {
 	shardUp   *obs.GaugeVec // {shard}: 1 answering, 0 unavailable/unhealthy
 	shardSeq  *obs.GaugeVec // {shard}: shard's applied sequence
 	mergedSeq *obs.Gauge    // router's merged (next) sequence
+	clusterUp *obs.GaugeVec // {shard}: 1 while the last federation scrape succeeded
 
 	httpRequests *obs.CounterVec   // {route, code}
 	httpLatency  *obs.HistogramVec // {route}
@@ -60,6 +61,8 @@ func newMetrics(r *Router, reg *obs.Registry) *metrics {
 		"Applied record sequence per shard.", "shard")
 	m.shardUp = reg.GaugeVec("streambc_shard_up",
 		"1 while the shard answers and reports healthy.", "shard")
+	m.clusterUp = reg.GaugeVec("streambc_cluster_shard_up",
+		"1 while the shard answered the router's last federation scrape.", "shard")
 	m.drainLat = reg.Histogram("streambc_router_drain_seconds",
 		"Wall-clock latency of one drain: fanout, verification and merge.",
 		obs.LatencyBuckets())

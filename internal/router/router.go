@@ -38,6 +38,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -80,6 +81,16 @@ type Config struct {
 	// feeding /readyz and the per-shard gauges. Values <= 0 mean the
 	// default of 2s.
 	StatusInterval time.Duration
+	// ScrapeTimeout bounds the federation plane's per-shard fetches (the
+	// /metrics scrape fan-in, /v1/cluster/status and trace stitching).
+	// Values <= 0 mean the default of 2s.
+	ScrapeTimeout time.Duration
+	// SlowRequest is the latency at or above which a served HTTP request is
+	// logged at warn level. Values <= 0 disable slow-request logging.
+	SlowRequest time.Duration
+	// TraceCapacity sets how many recent drain traces GET /v1/debug/trace
+	// can list. Values < 1 mean the default of 256.
+	TraceCapacity int
 	// Obs is the metrics registry; nil creates a private one.
 	Obs *obs.Registry
 	// Logger receives the router's structured logs; nil discards them.
@@ -142,6 +153,9 @@ type Router struct {
 	view   atomic.Pointer[view]
 	probes []atomic.Pointer[shardProbe]
 
+	traces *obs.TraceRing
+	spans  *obs.SpanRing
+
 	ctx      context.Context
 	cancel   context.CancelFunc
 	started  bool
@@ -153,13 +167,14 @@ type Router struct {
 // Batch tracks one Enqueue call: it completes when every update of the batch
 // has been applied or rejected by the whole cluster.
 type Batch struct {
-	done    chan struct{}
-	mu      sync.Mutex
-	applied int
-	errs    []error
+	done       chan struct{}
+	enqueuedAt time.Time
+	mu         sync.Mutex
+	applied    int
+	errs       []error
 }
 
-func newBatch() *Batch { return &Batch{done: make(chan struct{})} }
+func newBatch() *Batch { return &Batch{done: make(chan struct{}), enqueuedAt: time.Now()} }
 
 // Wait blocks until the batch has been processed or ctx is cancelled.
 func (b *Batch) Wait(ctx context.Context) error {
@@ -210,6 +225,9 @@ func New(ctx context.Context, cfg Config) (*Router, error) {
 	if cfg.StatusInterval <= 0 {
 		cfg.StatusInterval = 2 * time.Second
 	}
+	if cfg.ScrapeTimeout <= 0 {
+		cfg.ScrapeTimeout = 2 * time.Second
+	}
 	if cfg.Logger == nil {
 		cfg.Logger = obs.Nop()
 	}
@@ -223,6 +241,8 @@ func New(ctx context.Context, cfg Config) (*Router, error) {
 		runDone:  make(chan struct{}),
 		pollDone: make(chan struct{}),
 		probes:   make([]atomic.Pointer[shardProbe], len(cfg.Shards)),
+		traces:   obs.NewTraceRing(cfg.TraceCapacity),
+		spans:    obs.NewSpanRing(0),
 	}
 	r.cond = sync.NewCond(&r.mu)
 	r.ctx, r.cancel = context.WithCancel(context.Background())
@@ -381,39 +401,93 @@ func (r *Router) drain(items []item) {
 		}
 	}
 	rec := server.WALRecord{Seq: r.seq, NeedVertices: needVertices, Updates: upds}
+	// One root span context per drain: the fanout derives one child per shard
+	// from it, and the shards' traceparent headers extend the same trace — the
+	// whole cluster-wide lifecycle of this record shares sc.TraceID.
+	sc := obs.NewSpanContext()
+	tr := obs.IngestTrace{TraceID: sc.TraceID, Updates: len(items), EnqueuedAt: items[0].batch.enqueuedAt}
+	for _, it := range items[1:] {
+		if t := it.batch.enqueuedAt; t.Before(tr.EnqueuedAt) {
+			tr.EnqueuedAt = t
+		}
+	}
 	start := time.Now()
-	resps, err := r.fanout(rec)
+	resps, err := r.fanout(sc, rec)
 	if err != nil {
 		if r.ctx.Err() != nil {
 			finishItems(items, ErrClosed)
 			return
 		}
+		r.recordTrace(tr, sc, err)
 		r.halt(err)
 		finishItems(items, r.Halted())
 		return
 	}
+	// Every shard has appended and applied the record: the cluster-durable
+	// point of this drain.
+	tr.WALDurableAt = time.Now()
 	if err := r.checkResponses(rec, resps); err != nil {
+		r.recordTrace(tr, sc, err)
 		r.halt(err)
 		finishItems(items, r.Halted())
 		return
 	}
 	if err := r.merge(rec, resps, items); err != nil {
+		r.recordTrace(tr, sc, err)
 		r.halt(err)
 		finishItems(items, r.Halted())
 		return
 	}
+	tr.AppliedAt = time.Now()
 	r.seq = rec.Seq + 1
 	r.met.drains.Inc()
 	r.met.drainLat.Observe(time.Since(start).Seconds())
 	r.publishView()
+	tr.VisibleAt = time.Now()
+	r.recordTrace(tr, sc, nil)
 	finishItems(items, nil)
+}
+
+// recordTrace stores one drain's ingest trace and synthesizes its router-side
+// spans: the root "ingest" span (the ancestor of every shard's spans via the
+// fanout children) plus "merge" and "publish" children for the stages the
+// drain reached. GET /v1/debug/trace serves both.
+func (r *Router) recordTrace(tr obs.IngestTrace, sc obs.SpanContext, err error) {
+	if err != nil {
+		tr.Error = err.Error()
+	}
+	stored := r.traces.Add(tr)
+	end := tr.VisibleAt
+	for _, t := range []time.Time{tr.AppliedAt, tr.WALDurableAt, time.Now()} {
+		if end.IsZero() {
+			end = t
+		}
+	}
+	if !tr.WALDurableAt.IsZero() && !tr.AppliedAt.IsZero() {
+		r.spans.Add(obs.Span{
+			TraceID: sc.TraceID, SpanID: obs.NewSpanID(), ParentID: sc.SpanID,
+			Component: "router", Name: "merge", Start: tr.WALDurableAt, End: tr.AppliedAt,
+		})
+	}
+	if !tr.AppliedAt.IsZero() && !tr.VisibleAt.IsZero() {
+		r.spans.Add(obs.Span{
+			TraceID: sc.TraceID, SpanID: obs.NewSpanID(), ParentID: sc.SpanID,
+			Component: "router", Name: "publish", Start: tr.AppliedAt, End: tr.VisibleAt,
+		})
+	}
+	r.spans.Add(obs.Span{
+		TraceID: sc.TraceID, SpanID: sc.SpanID,
+		Component: "router", Name: "ingest", Start: tr.EnqueuedAt, End: end,
+		Attrs: map[string]string{"updates": strconv.Itoa(tr.Updates)},
+		Error: stored.Error,
+	})
 }
 
 // fanout ships rec to every shard concurrently and collects the decoded
 // responses. Unavailable shards are retried until they answer or the router
 // shuts down; any fatal answer cancels the siblings' retries and fails the
 // fanout.
-func (r *Router) fanout(rec server.WALRecord) ([]*server.ShardResponse, error) {
+func (r *Router) fanout(root obs.SpanContext, rec server.WALRecord) ([]*server.ShardResponse, error) {
 	ctx, cancel := context.WithCancel(r.ctx)
 	defer cancel()
 	resps := make([]*server.ShardResponse, len(r.cfg.Shards))
@@ -423,7 +497,7 @@ func (r *Router) fanout(rec server.WALRecord) ([]*server.ShardResponse, error) {
 		wg.Add(1)
 		go func(i int, sc ShardConn) {
 			defer wg.Done()
-			resps[i], errs[i] = r.applyShard(ctx, i, sc, rec)
+			resps[i], errs[i] = r.applyShard(ctx, root, i, sc, rec)
 			if errs[i] != nil {
 				cancel()
 			}
@@ -447,9 +521,18 @@ func (r *Router) fanout(rec server.WALRecord) ([]*server.ShardResponse, error) {
 // unavailable. The retried record is always the identical in-flight one, and
 // the shard's response cache answers a retry of a record it already applied,
 // so retries converge without double application.
-func (r *Router) applyShard(ctx context.Context, idx int, sc ShardConn, rec server.WALRecord) (*server.ShardResponse, error) {
+func (r *Router) applyShard(ctx context.Context, root obs.SpanContext, idx int, sc ShardConn, rec server.WALRecord) (*server.ShardResponse, error) {
 	label := fmt.Sprint(idx)
+	// One child context for the whole retry loop, minted once: every attempt
+	// — including the retry a restarted shard answers from its response cache
+	// — carries the identical traceparent, so the record's shard-side spans
+	// land in the drain's trace no matter how many attempts it took.
+	ssc := root.Child()
+	ctx = obs.ContextWithSpan(ctx, ssc)
+	fanStart := time.Now()
+	attempts := 0
 	for {
+		attempts++
 		actx, acancel := context.WithTimeout(ctx, r.cfg.ApplyTimeout)
 		start := time.Now()
 		resp, err := sc.Apply(actx, rec)
@@ -458,12 +541,14 @@ func (r *Router) applyShard(ctx context.Context, idx int, sc ShardConn, rec serv
 		if err == nil {
 			r.met.shardUp.With(label).Set(1)
 			r.met.shardSeq.With(label).Set(float64(rec.Seq + 1))
+			r.noteFanoutSpan(ssc, root, idx, attempts, rec.Seq, fanStart, nil)
 			return resp, nil
 		}
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
 		if !errors.Is(err, errShardUnavailable) {
+			r.noteFanoutSpan(ssc, root, idx, attempts, rec.Seq, fanStart, err)
 			return nil, err
 		}
 		r.met.shardUp.With(label).Set(0)
@@ -476,6 +561,24 @@ func (r *Router) applyShard(ctx context.Context, idx int, sc ShardConn, rec serv
 			return nil, ctx.Err()
 		}
 	}
+}
+
+// noteFanoutSpan records the router-side span of one shard's fanout: the span
+// the shard's own "shard_apply" span is parented under.
+func (r *Router) noteFanoutSpan(ssc obs.SpanContext, root obs.SpanContext, idx, attempts int, seq uint64, start time.Time, err error) {
+	sp := obs.Span{
+		TraceID: ssc.TraceID, SpanID: ssc.SpanID, ParentID: root.SpanID,
+		Component: "router", Name: "fanout_shard", Start: start, End: time.Now(),
+		Attrs: map[string]string{
+			"shard":    strconv.Itoa(idx),
+			"attempts": strconv.Itoa(attempts),
+			"seq":      strconv.FormatUint(seq, 10),
+		},
+	}
+	if err != nil {
+		sp.Error = err.Error()
+	}
+	r.spans.Add(sp)
 }
 
 // checkResponses verifies the fanout answers agree before anything is

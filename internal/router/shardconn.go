@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"streambc/internal/engine"
+	"streambc/internal/obs"
 	"streambc/internal/replication"
 	"streambc/internal/server"
 )
@@ -42,6 +43,13 @@ type ShardConn interface {
 	WALRecords(ctx context.Context, from uint64, max int) ([]server.WALRecord, uint64, error)
 	// Snapshot asks the shard to write a snapshot now and returns its path.
 	Snapshot(ctx context.Context) (string, error)
+	// Metrics scrapes the shard's metrics endpoint and returns the raw
+	// Prometheus text exposition (the router's federation plane re-exports it
+	// under a shard label).
+	Metrics(ctx context.Context) ([]byte, error)
+	// Spans fetches the shard's spans of one distributed trace, oldest first
+	// (the router's /v1/debug/trace stitches them under the router's spans).
+	Spans(ctx context.Context, trace obs.TraceID) ([]obs.Span, error)
 }
 
 // HTTPShard connects to a remote shard over its HTTP API.
@@ -82,6 +90,10 @@ func (s *HTTPShard) Apply(ctx context.Context, rec server.WALRecord) (*server.Sh
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	// The fanout attaches the drain's per-shard span context to ctx; the
+	// traceparent header extends the trace across the process boundary (and a
+	// retry re-sends the identical header, keeping the trace ID stable).
+	obs.InjectTrace(req.Header, obs.SpanFromContext(ctx))
 	resp, err := s.hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", errShardUnavailable, err)
@@ -166,6 +178,38 @@ func (s *HTTPShard) Snapshot(ctx context.Context) (string, error) {
 	return payload.Path, nil
 }
 
+// Metrics scrapes the shard's GET /metrics and returns the raw exposition.
+func (s *HTTPShard) Metrics(ctx context.Context) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", errShardUnavailable, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", errShardUnavailable, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%w: GET /metrics: status %d: %s", errShardUnavailable, resp.StatusCode, errBody(data))
+	}
+	return data, nil
+}
+
+// Spans fetches the shard's spans of one trace from its debug endpoint.
+func (s *HTTPShard) Spans(ctx context.Context, trace obs.TraceID) ([]obs.Span, error) {
+	var payload struct {
+		Spans []obs.Span `json:"spans"`
+	}
+	if err := s.getJSON(ctx, "/v1/debug/trace?trace="+trace.String(), &payload); err != nil {
+		return nil, err
+	}
+	return payload.Spans, nil
+}
+
 // LocalShard adapts an in-process *server.Server to the ShardConn interface,
 // bypassing HTTP: the differential and fuzz tests run whole shard clusters in
 // one process through it, and an embedded single-binary deployment can too.
@@ -181,8 +225,8 @@ func NewLocalShard(name string, srv *server.Server) *LocalShard {
 
 func (l *LocalShard) Name() string { return l.name }
 
-func (l *LocalShard) Apply(_ context.Context, rec server.WALRecord) (*server.ShardResponse, error) {
-	body, err := l.srv.ApplyShardRecord(rec)
+func (l *LocalShard) Apply(ctx context.Context, rec server.WALRecord) (*server.ShardResponse, error) {
+	body, err := l.srv.ApplyShardRecordTraced(rec, obs.SpanFromContext(ctx))
 	if err != nil {
 		// Map the shutdown/outage family to the retryable sentinel, exactly
 		// like the HTTP transport maps 503.
@@ -209,4 +253,12 @@ func (l *LocalShard) WALRecords(_ context.Context, from uint64, max int) ([]serv
 
 func (l *LocalShard) Snapshot(_ context.Context) (string, error) {
 	return l.srv.Snapshot()
+}
+
+func (l *LocalShard) Metrics(_ context.Context) ([]byte, error) {
+	return l.srv.MetricsText()
+}
+
+func (l *LocalShard) Spans(_ context.Context, trace obs.TraceID) ([]obs.Span, error) {
+	return l.srv.SpansByTrace(trace), nil
 }

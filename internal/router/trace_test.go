@@ -1,0 +1,252 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"strconv"
+	"testing"
+	"time"
+
+	"streambc/internal/engine"
+	"streambc/internal/graph"
+	"streambc/internal/obs"
+	"streambc/internal/server"
+)
+
+// Trace-propagation tests: one ingest through the router must yield ONE
+// distributed trace — the router's root ingest span an ancestor of every span
+// any shard recorded for that drain — stitched back together by GET
+// /v1/debug/trace?trace=. The contract must survive idempotent retries (the
+// retry reuses the original trace ID, so a cache-answered replay joins the
+// attempt that did the work) and a shard crash/WAL-replay cycle, and the
+// instrumentation must not perturb a single score bit.
+
+// assertConnectedTrace fails unless spans form one tree under trace id: a
+// single root (the router's ingest span), every parent reference resolving
+// within the set, and each of the cnt shards contributing its full apply
+// pipeline (fanout_shard → shard_apply → wal_append + apply).
+func assertConnectedTrace(t *testing.T, id obs.TraceID, spans []obs.Span, cnt int) {
+	t.Helper()
+	if len(spans) == 0 {
+		t.Fatal("stitched trace holds no spans")
+	}
+	byID := make(map[obs.SpanID]obs.Span, len(spans))
+	var root *obs.Span
+	for i := range spans {
+		sp := spans[i]
+		if sp.TraceID != id {
+			t.Fatalf("span %s/%s carries trace %s, want %s", sp.Component, sp.Name, sp.TraceID, id)
+		}
+		if sp.SpanID.IsZero() {
+			t.Fatalf("span %s/%s has a zero span ID", sp.Component, sp.Name)
+		}
+		byID[sp.SpanID] = sp
+		if sp.ParentID.IsZero() {
+			if root != nil {
+				t.Fatalf("two roots: %s/%s and %s/%s", root.Component, root.Name, sp.Component, sp.Name)
+			}
+			root = &spans[i]
+		}
+	}
+	if root == nil {
+		t.Fatal("no root span in the stitched trace")
+	}
+	if root.Component != "router" || root.Name != "ingest" {
+		t.Fatalf("root span is %s/%s, want router/ingest", root.Component, root.Name)
+	}
+	children := make(map[obs.SpanID]map[string]int)
+	for _, sp := range spans {
+		if sp.ParentID.IsZero() {
+			continue
+		}
+		if _, ok := byID[sp.ParentID]; !ok {
+			t.Fatalf("span %s/%s has dangling parent %s — the trace is not connected",
+				sp.Component, sp.Name, sp.ParentID)
+		}
+		m := children[sp.ParentID]
+		if m == nil {
+			m = make(map[string]int)
+			children[sp.ParentID] = m
+		}
+		m[sp.Name]++
+	}
+	if got := children[root.SpanID]["fanout_shard"]; got != cnt {
+		t.Fatalf("root has %d fanout_shard children, want %d", got, cnt)
+	}
+	fanouts := make(map[string]obs.Span, cnt)
+	for _, sp := range spans {
+		if sp.Name == "fanout_shard" {
+			fanouts[sp.Attrs["shard"]] = sp
+		}
+	}
+	if len(fanouts) != cnt {
+		t.Fatalf("fanout spans name %d distinct shards, want %d", len(fanouts), cnt)
+	}
+	for shard, fo := range fanouts {
+		applies := 0
+		for _, sp := range spans {
+			if sp.Name != "shard_apply" || sp.ParentID != fo.SpanID {
+				continue
+			}
+			applies++
+			if sp.Attrs["cached"] == "true" {
+				continue // a cache-answered retry does no WAL/apply work
+			}
+			kids := children[sp.SpanID]
+			if kids["wal_append"] != 1 || kids["apply"] != 1 {
+				t.Fatalf("shard %s: shard_apply children = %v, want one wal_append and one apply",
+					shard, kids)
+			}
+		}
+		if applies == 0 {
+			t.Fatalf("shard %s contributed no shard_apply span", shard)
+		}
+	}
+}
+
+// TestRouterIngestProducesOneConnectedTrace drives a stream through a 3-shard
+// cluster next to a 3-worker reference engine: scores stay bit-identical (the
+// instrumentation is free) and the newest drain stitches into one connected
+// trace covering the router and every shard.
+func TestRouterIngestProducesOneConnectedTrace(t *testing.T) {
+	base := testGraph(t, 24, 60, 21)
+	stream := testStream(t, base, 18, 22)
+	const cnt = 3
+	c := startCluster(t, base, cnt, nil)
+	ref, err := engine.New(base.Clone(), engine.Config{Workers: cnt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	for ci, chunk := range chunks(stream, 6) {
+		c.apply(t, chunk)
+		if _, err := ref.ApplyBatch(chunk); err != nil {
+			t.Fatalf("chunk %d: reference ApplyBatch: %v", ci, err)
+		}
+		sameBits(t, "traced ingest chunk "+strconv.Itoa(ci), ref.VBC(), ref.EBC(), mergedScores(c.router))
+	}
+
+	traces := c.router.traces.Last(1)
+	if len(traces) != 1 {
+		t.Fatalf("trace ring holds %d traces, want at least 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.TraceID.IsZero() {
+		t.Fatal("drain trace has no trace ID")
+	}
+	if tr.Error != "" {
+		t.Fatalf("drain trace recorded an error: %s", tr.Error)
+	}
+	spans := c.router.stitchTrace(context.Background(), tr.TraceID)
+	assertConnectedTrace(t, tr.TraceID, spans, cnt)
+}
+
+// TestRouterTraceSurvivesShardCrashRetry crashes a shard mid-drain: the
+// router's retries reuse the same per-shard span context, so once the shard
+// recovers by WAL replay the drain still stitches into one connected trace —
+// with the retried shard's fanout span reporting more than one attempt — and
+// the scores still match the reference bit for bit.
+func TestRouterTraceSurvivesShardCrashRetry(t *testing.T) {
+	base := testGraph(t, 24, 60, 25)
+	stream := testStream(t, base, 16, 26)
+	parts := chunks(stream, 6)
+	const cnt = 3
+	c := startCluster(t, base, cnt, nil)
+	ref, err := engine.New(base.Clone(), engine.Config{Workers: cnt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	c.apply(t, parts[0])
+	if _, err := ref.ApplyBatch(parts[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash shard 1, enqueue the next chunk: the drain must stall on retries.
+	c.shards[1].crash()
+	b, err := c.router.Enqueue(parts[1])
+	if err != nil {
+		t.Fatalf("Enqueue during outage: %v", err)
+	}
+	waitCtx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	err = b.Wait(waitCtx)
+	cancel()
+	if err == nil {
+		t.Fatal("drain completed while a shard was down")
+	}
+
+	c.shards[1] = c.shards[1].recover(t, base, 1, cnt, nil)
+	c.conns[1].cur.Store(NewLocalShard("shard1*", c.shards[1].srv))
+	waitCtx, cancel = context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := b.Wait(waitCtx); err != nil {
+		t.Fatalf("drain after recovery: %v", err)
+	}
+	if errs := b.Errs(); len(errs) > 0 {
+		t.Fatalf("batch errors after recovery: %v", errs)
+	}
+	if _, err := ref.ApplyBatch(parts[1]); err != nil {
+		t.Fatal(err)
+	}
+	sameBits(t, "scores after crash retry", ref.VBC(), ref.EBC(), mergedScores(c.router))
+
+	traces := c.router.traces.Last(1)
+	if len(traces) != 1 {
+		t.Fatal("no trace recorded for the retried drain")
+	}
+	tr := traces[0]
+	spans := c.router.stitchTrace(context.Background(), tr.TraceID)
+	assertConnectedTrace(t, tr.TraceID, spans, cnt)
+	for _, sp := range spans {
+		if sp.Name != "fanout_shard" || sp.Attrs["shard"] != "1" {
+			continue
+		}
+		attempts, err := strconv.Atoi(sp.Attrs["attempts"])
+		if err != nil || attempts < 2 {
+			t.Fatalf("shard 1 fanout attempts = %q, want >= 2", sp.Attrs["attempts"])
+		}
+	}
+}
+
+// TestShardCachedRetryJoinsOriginalTrace pins the retry/trace contract at the
+// shard: re-sending the last applied record under the same span context (what
+// the router's retry does) returns the cached body and records a cached=true
+// shard_apply span in the SAME trace, parented like the original.
+func TestShardCachedRetryJoinsOriginalTrace(t *testing.T) {
+	base := testGraph(t, 20, 50, 31)
+	h := startShard(t, base, 0, 1, nil)
+	rec := server.WALRecord{Seq: 0, Updates: []graph.Update{{U: 0, V: 21}, {U: 21, V: 5}}}
+
+	sc := obs.NewSpanContext()
+	body1, err := h.srv.ApplyShardRecordTraced(rec, sc)
+	if err != nil {
+		t.Fatalf("first apply: %v", err)
+	}
+	body2, err := h.srv.ApplyShardRecordTraced(rec, sc)
+	if err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("cached retry returned a different body")
+	}
+
+	spans := h.srv.SpansByTrace(sc.TraceID)
+	var applies, cached int
+	for _, sp := range spans {
+		if sp.Name != "shard_apply" {
+			continue
+		}
+		applies++
+		if sp.ParentID != sc.SpanID {
+			t.Fatalf("shard_apply parented under %s, want the caller's span %s", sp.ParentID, sc.SpanID)
+		}
+		if sp.Attrs["cached"] == "true" {
+			cached++
+		}
+	}
+	if applies != 2 || cached != 1 {
+		t.Fatalf("shard_apply spans = %d (cached %d), want 2 with exactly 1 cached", applies, cached)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"streambc/internal/bc"
@@ -409,9 +410,32 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.met.reg.WriteTo(w) //nolint:errcheck // client went away mid-scrape
 }
 
+// tracePool recycles the trace slices the debug handler copies the ring into:
+// handleTrace runs per request, and without the pool every hit re-allocates a
+// full ring's worth of IngestTrace values.
+var tracePool = sync.Pool{New: func() any { return new([]obs.IngestTrace) }}
+
 // handleTrace serves the newest ?n= ingest traces (default 32) from the ring
-// buffer, newest first, with per-stage durations in seconds.
+// buffer, newest first, with per-stage durations in seconds. With ?trace=
+// (a 32-hex-digit trace ID) it instead returns every span this process holds
+// for that distributed trace, oldest first — the shard half of the router's
+// cross-process trace stitching.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if raw := r.URL.Query().Get("trace"); raw != "" {
+		id, err := obs.ParseTraceID(raw)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad trace: %w", err))
+			return
+		}
+		spans := s.SpansByTrace(id)
+		if spans == nil {
+			spans = []obs.Span{}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"trace_id": id, "count": len(spans), "spans": spans,
+		})
+		return
+	}
 	n := 32
 	if raw := r.URL.Query().Get("n"); raw != "" {
 		v, err := strconv.Atoi(raw)
@@ -421,9 +445,11 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		}
 		n = v
 	}
-	traces := s.traces.Last(n)
+	bufp := tracePool.Get().(*[]obs.IngestTrace)
+	traces := s.traces.LastInto((*bufp)[:0], n)
 	type traceJSON struct {
 		ID         uint64             `json:"id"`
+		TraceID    obs.TraceID        `json:"trace_id"`
 		Updates    int                `json:"updates"`
 		EnqueuedAt time.Time          `json:"enqueued_at"`
 		Stages     map[string]float64 `json:"stages_seconds"`
@@ -433,12 +459,15 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	for i, tr := range traces {
 		out[i] = traceJSON{
 			ID:         tr.ID,
+			TraceID:    tr.TraceID,
 			Updates:    tr.Updates,
 			EnqueuedAt: tr.EnqueuedAt,
 			Stages:     tr.Stages(),
 			Error:      tr.Error,
 		}
 	}
+	*bufp = traces[:0]
+	tracePool.Put(bufp)
 	writeJSON(w, http.StatusOK, map[string]any{"count": len(out), "traces": out})
 }
 

@@ -305,6 +305,9 @@ func (s *Server) handleReplWAL(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set(WalSeqHeader, strconv.FormatUint(end, 10))
+	if tm := s.traceMapHeader(recs); tm != "" {
+		w.Header().Set(WalTraceMapHeader, tm)
+	}
 	var buf []byte
 	for _, rec := range recs {
 		buf = EncodeWALRecord(buf[:0], rec)

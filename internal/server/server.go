@@ -102,7 +102,13 @@ type Server struct {
 	met    *metrics
 	log    *slog.Logger
 	traces *obs.TraceRing
+	spans  *obs.SpanRing
 	view   atomic.Pointer[view]
+
+	// seqTraces maps recent WAL sequences to the trace they were appended
+	// under, so the replication endpoint can ship each record's trace context
+	// to followers (see tracing.go).
+	seqTraces seqTraceMap
 
 	// replica marks follower mode (cleared by Promote); replStats is the
 	// lag-stats provider installed by the replication tailer.
@@ -165,6 +171,7 @@ func New(eng *engine.Engine, cfg Config) *Server {
 		eng:      eng,
 		log:      cfg.Logger,
 		traces:   obs.NewTraceRing(cfg.TraceCapacity),
+		spans:    obs.NewSpanRing(0),
 		snapStop: make(chan struct{}),
 		snapDone: make(chan struct{}),
 	}
@@ -266,7 +273,11 @@ func (s *Server) Enqueue(upds []graph.Update) (*Batch, error) {
 // view publication, observed into the streambc_ingest_stage_seconds
 // histograms and the /v1/debug/trace ring.
 func (s *Server) applyItems(items []item, needVertices int) error {
-	tr := obs.IngestTrace{}
+	// Each drain is the root of one distributed trace: locally-produced spans
+	// carry sc, and the WAL sequence→trace map lets replication extend the
+	// trace to followers.
+	sc := obs.NewSpanContext()
+	tr := obs.IngestTrace{TraceID: sc.TraceID}
 	for _, it := range items {
 		if !it.barrier {
 			if tr.Updates == 0 {
@@ -283,10 +294,11 @@ func (s *Server) applyItems(items []item, needVertices int) error {
 	wal := s.getWAL()
 	if wal != nil {
 		var err error
-		if logged, err = s.logItems(wal, items, needVertices); err != nil {
+		var seq uint64
+		if seq, logged, err = s.logItems(wal, items, needVertices); err != nil {
 			// Nothing of this drain reaches the engine: updates the server
 			// cannot make durable must not become externally visible.
-			s.recordTrace(tr, err)
+			s.recordTrace(tr, sc, err)
 			return err
 		}
 		if logged {
@@ -294,6 +306,7 @@ func (s *Server) applyItems(items []item, needVertices int) error {
 			// under interval/off policies this timestamp marks the append
 			// (durability is deferred by configuration).
 			tr.WALDurableAt = time.Now()
+			s.seqTraces.note(seq, sc)
 		}
 	}
 	// Grow the graph to cover additions the coalescer folded away, so the
@@ -335,14 +348,14 @@ func (s *Server) applyItems(items []item, needVertices int) error {
 	}
 	s.publishView()
 	tr.VisibleAt = time.Now()
-	s.recordTrace(tr, firstErr)
+	s.recordTrace(tr, sc, firstErr)
 	return firstErr
 }
 
-// recordTrace stores one drain's ingest trace in the debug ring and feeds its
-// stage durations into the stage histograms. Barrier-only drains (no updates)
-// are not traced.
-func (s *Server) recordTrace(tr obs.IngestTrace, err error) {
+// recordTrace stores one drain's ingest trace in the debug ring, feeds its
+// stage durations into the stage histograms and synthesizes its span tree.
+// Barrier-only drains (no updates) are not traced.
+func (s *Server) recordTrace(tr obs.IngestTrace, sc obs.SpanContext, err error) {
 	if tr.Updates == 0 {
 		return
 	}
@@ -354,6 +367,7 @@ func (s *Server) recordTrace(tr obs.IngestTrace, err error) {
 	for stage, secs := range stages {
 		s.met.stages.With(stage).Observe(secs)
 	}
+	s.recordPipelineSpans(stored, sc)
 	if err != nil {
 		s.log.Warn("drain failed",
 			obs.KeyComponent, "pipeline", obs.KeyTrace, stored.ID,
@@ -366,10 +380,10 @@ func (s *Server) recordTrace(tr obs.IngestTrace, err error) {
 }
 
 // logItems appends the drain's surviving updates (and its vertex-growth
-// requirement) to the write-ahead log as one record, reporting whether a
-// record was written. Drains with nothing to make durable — barriers only —
-// are not logged.
-func (s *Server) logItems(wal *WAL, items []item, needVertices int) (bool, error) {
+// requirement) to the write-ahead log as one record, reporting the appended
+// record's sequence and whether a record was written. Drains with nothing to
+// make durable — barriers only — are not logged.
+func (s *Server) logItems(wal *WAL, items []item, needVertices int) (uint64, bool, error) {
 	upds := make([]graph.Update, 0, len(items))
 	for _, it := range items {
 		if !it.barrier {
@@ -377,14 +391,15 @@ func (s *Server) logItems(wal *WAL, items []item, needVertices int) (bool, error
 		}
 	}
 	if len(upds) == 0 && needVertices <= s.eng.Graph().N() {
-		return false, nil
+		return 0, false, nil
 	}
-	if _, err := wal.Append(needVertices, upds); err != nil {
+	seq, err := wal.Append(needVertices, upds)
+	if err != nil {
 		s.met.walErrs.Inc()
-		return false, fmt.Errorf("server: write-ahead log append: %w", err)
+		return 0, false, fmt.Errorf("server: write-ahead log append: %w", err)
 	}
 	s.met.walAppends.Inc()
-	return true, nil
+	return seq, true, nil
 }
 
 // applyChunk ships one bounded run of updates to the engine. A rejected

@@ -42,10 +42,13 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
+	"time"
 
 	"streambc/internal/engine"
 	"streambc/internal/graph"
 	"streambc/internal/incremental"
+	"streambc/internal/obs"
 )
 
 // ErrShardSequenceGap is returned by ApplyShardRecord when the record does
@@ -289,16 +292,67 @@ func DecodeShardResponse(data []byte) (*ShardResponse, error) {
 // append poisons the WAL, exactly like the ingest path: the shard must
 // restart and recover.
 func (s *Server) ApplyShardRecord(rec WALRecord) ([]byte, error) {
+	return s.ApplyShardRecordTraced(rec, obs.SpanContext{})
+}
+
+// ApplyShardRecordTraced is ApplyShardRecord with the router's trace context
+// attached: the shard's spans (the apply itself, its WAL append and engine
+// apply) are recorded under the caller's trace ID, parented to the caller's
+// span. An invalid context starts a fresh local trace instead. Because the
+// router reuses one span context across retries of a record, a retry answered
+// from the last-response cache lands in the same trace as the original apply
+// (recorded as a cached=true span).
+func (s *Server) ApplyShardRecordTraced(rec WALRecord, sc obs.SpanContext) ([]byte, error) {
 	if s.Replica() {
 		return nil, ErrReadOnlyReplica
 	}
+	// applySC identifies the shard_apply span: same trace as the caller (or a
+	// fresh one), fresh span ID that WAL-append/apply children and downstream
+	// replica spans parent under.
+	applySC := sc.Child()
+	if !sc.Valid() {
+		applySC = obs.NewSpanContext()
+	}
+	start := time.Now()
+	span := obs.Span{
+		TraceID: applySC.TraceID, SpanID: applySC.SpanID, ParentID: sc.SpanID,
+		Component: "shard", Name: "shard_apply", Start: start,
+		Attrs: map[string]string{
+			"seq":     strconv.FormatUint(rec.Seq, 10),
+			"updates": strconv.Itoa(len(rec.Updates)),
+		},
+	}
+	body, err := s.applyShardRecordLocked(rec, applySC, &span)
+	span.End = time.Now()
+	if err != nil {
+		span.Error = err.Error()
+	}
+	s.spans.Add(span)
+	return body, err
+}
+
+// applyShardRecordLocked is the body of ApplyShardRecordTraced: the sequence
+// checks, WAL append, captured apply and cache update, under the write lock.
+// It records the wal_append and apply child spans of span as it goes and may
+// annotate span's attributes (cache hits).
+func (s *Server) applyShardRecordLocked(rec WALRecord, applySC obs.SpanContext, span *obs.Span) ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closing.Load() {
 		return nil, ErrClosed
 	}
 	if last := s.shardLast.Load(); last != nil && rec.Seq == last.Seq {
+		// A router retry of the last applied record: answered from cache, and
+		// traced as such — the retry carries the original trace ID, so this
+		// span joins the spans of the attempt that did the work.
+		span.Attrs["cached"] = "true"
 		return last.Body, nil
+	}
+	child := func(name string, start, stop time.Time) {
+		s.spans.Add(obs.Span{
+			TraceID: applySC.TraceID, SpanID: obs.NewSpanID(), ParentID: applySC.SpanID,
+			Component: "shard", Name: name, Start: start, End: stop,
+		})
 	}
 	wal := s.getWAL()
 	if wal != nil {
@@ -308,14 +362,21 @@ func (s *Server) ApplyShardRecord(rec WALRecord) ([]byte, error) {
 		if at := wal.Seq(); rec.Seq != at {
 			return nil, fmt.Errorf("%w: record %d, shard log at %d", ErrShardSequenceGap, rec.Seq, at)
 		}
+		walStart := time.Now()
 		if _, err := wal.Append(rec.NeedVertices, rec.Updates); err != nil {
 			s.met.walErrs.Inc()
 			return nil, fmt.Errorf("server: shard write-ahead log append: %w", err)
 		}
 		s.met.walAppends.Inc()
+		child("wal_append", walStart, time.Now())
+		// The record is durable under the caller's trace: remember the
+		// mapping so the replication stream can extend the trace to replicas
+		// tailing this shard's log.
+		s.seqTraces.note(rec.Seq, applySC)
 	} else if at := s.eng.WALOffset(); rec.Seq != at {
 		return nil, fmt.Errorf("%w: record %d, shard at %d", ErrShardSequenceGap, rec.Seq, at)
 	}
+	applyStart := time.Now()
 	body, err := applyRecordCaptured(s.eng, rec, s.cfg.MaxBatch)
 	if err != nil {
 		if wal != nil {
@@ -326,6 +387,7 @@ func (s *Server) ApplyShardRecord(rec WALRecord) ([]byte, error) {
 		}
 		return nil, err
 	}
+	child("apply", applyStart, time.Now())
 	s.met.applied.Add(int64(len(rec.Updates)))
 	s.met.batches.Inc()
 	s.shardLast.Store(&ShardLastResponse{Seq: rec.Seq, Body: body})
@@ -513,7 +575,10 @@ func (s *Server) handleShardApply(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad shard record: %w", err))
 		return
 	}
-	body, err := s.ApplyShardRecord(rec)
+	// The router's traceparent header carries the ingest's trace: the spans
+	// recorded for this apply join it, and a retry (which re-sends the same
+	// header) lands in the same trace even when served from the cache.
+	body, err := s.ApplyShardRecordTraced(rec, obs.TraceFromHeader(r.Header))
 	if err != nil {
 		status := http.StatusInternalServerError
 		switch {

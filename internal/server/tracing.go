@@ -1,0 +1,194 @@
+package server
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"streambc/internal/obs"
+)
+
+// WalTraceMapHeader is the replication response header mapping the streamed
+// records' sequences to the trace contexts they were appended under, as
+// comma-separated "seq=traceparent" pairs. Records whose trace has aged out
+// of the leader's sequence→trace ring are simply absent; the follower applies
+// them untraced.
+const WalTraceMapHeader = "X-Streambc-Trace-Map"
+
+// Distributed-trace support for the server: per-process span recording for
+// the pipeline, the shard apply path and the replica apply path, plus the
+// sequence→trace map that lets the replication WAL stream carry each record's
+// originating trace to the followers.
+
+// seqTraceEntries is the capacity of the sequence→trace ring: how many recent
+// WAL records keep their trace context available for replication serving. A
+// follower lagging further than this simply tails untraced records.
+const seqTraceEntries = 1024
+
+// seqTraceMap remembers the span context under which recent WAL records were
+// appended, keyed by record sequence. It is a fixed ring indexed by seq%N —
+// sequences are assigned densely, so the ring holds exactly the last N
+// records with no eviction bookkeeping.
+type seqTraceMap struct {
+	mu      sync.Mutex
+	entries [seqTraceEntries]seqTraceEntry
+}
+
+type seqTraceEntry struct {
+	seq uint64
+	sc  obs.SpanContext
+	set bool
+}
+
+// note records the trace context of record seq.
+func (m *seqTraceMap) note(seq uint64, sc obs.SpanContext) {
+	if !sc.Valid() {
+		return
+	}
+	m.mu.Lock()
+	m.entries[seq%seqTraceEntries] = seqTraceEntry{seq: seq, sc: sc, set: true}
+	m.mu.Unlock()
+}
+
+// get returns the trace context of record seq, if it is still held.
+func (m *seqTraceMap) get(seq uint64) (obs.SpanContext, bool) {
+	m.mu.Lock()
+	e := m.entries[seq%seqTraceEntries]
+	m.mu.Unlock()
+	if !e.set || e.seq != seq {
+		return obs.SpanContext{}, false
+	}
+	return e.sc, true
+}
+
+// recordPipelineSpans synthesizes the span tree of one applied drain from its
+// ingest-trace stage timestamps: a root "ingest" span under the drain's trace
+// plus one child per pipeline stage the drain reached. Called by recordTrace,
+// so standalone daemons get browsable spans from the same data that feeds the
+// stage histograms.
+func (s *Server) recordPipelineSpans(tr obs.IngestTrace, sc obs.SpanContext) {
+	if !sc.Valid() || tr.EnqueuedAt.IsZero() {
+		return
+	}
+	end := tr.VisibleAt
+	for _, t := range []time.Time{tr.AppliedAt, tr.WALDurableAt, tr.EnqueuedAt} {
+		if end.IsZero() {
+			end = t
+		}
+	}
+	child := func(name string, start, stop time.Time) {
+		s.spans.Add(obs.Span{
+			TraceID: sc.TraceID, SpanID: obs.NewSpanID(), ParentID: sc.SpanID,
+			Component: "server", Name: name, Start: start, End: stop,
+		})
+	}
+	last := tr.EnqueuedAt
+	if !tr.WALDurableAt.IsZero() {
+		child("wal_append", last, tr.WALDurableAt)
+		last = tr.WALDurableAt
+	}
+	if !tr.AppliedAt.IsZero() {
+		child("apply", last, tr.AppliedAt)
+		last = tr.AppliedAt
+	}
+	if !tr.VisibleAt.IsZero() {
+		child("publish", last, tr.VisibleAt)
+	}
+	s.spans.Add(obs.Span{
+		TraceID: sc.TraceID, SpanID: sc.SpanID,
+		Component: "server", Name: "ingest", Start: tr.EnqueuedAt, End: end,
+		Attrs: map[string]string{"updates": strconv.Itoa(tr.Updates)},
+		Error: tr.Error,
+	})
+}
+
+// traceMapHeader renders the WalTraceMapHeader value for one batch of
+// records about to be streamed to a follower: the "seq=traceparent" pairs of
+// every record whose trace context the sequence→trace ring still holds.
+func (s *Server) traceMapHeader(recs []WALRecord) string {
+	var b strings.Builder
+	for _, rec := range recs {
+		sc, ok := s.seqTraces.get(rec.Seq)
+		if !ok {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatUint(rec.Seq, 10))
+		b.WriteByte('=')
+		b.WriteString(sc.Traceparent())
+	}
+	return b.String()
+}
+
+// ParseWALTraceMap parses a WalTraceMapHeader value back into its
+// sequence→context map. Malformed pairs are skipped — the trace map is
+// advisory; a bad entry must never fail record application.
+func ParseWALTraceMap(v string) map[uint64]obs.SpanContext {
+	if v == "" {
+		return nil
+	}
+	out := make(map[uint64]obs.SpanContext)
+	for _, pair := range strings.Split(v, ",") {
+		seqStr, tp, ok := strings.Cut(pair, "=")
+		if !ok {
+			continue
+		}
+		seq, err := strconv.ParseUint(seqStr, 10, 64)
+		if err != nil {
+			continue
+		}
+		sc, err := obs.ParseTraceparent(tp)
+		if err != nil {
+			continue
+		}
+		out[seq] = sc
+	}
+	return out
+}
+
+// SpansByTrace returns every span this process holds for the given trace,
+// oldest first — the per-shard half of the router's trace stitching.
+func (s *Server) SpansByTrace(id obs.TraceID) []obs.Span {
+	return s.spans.ByTrace(id)
+}
+
+// MetricsText renders the server's metrics registry as a Prometheus text
+// exposition — the in-process equivalent of scraping GET /metrics, used by
+// LocalShard connections in the router's federation plane.
+func (s *Server) MetricsText() ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := s.met.reg.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ApplyReplicatedTraced is ApplyReplicated with the originating trace context
+// attached (shipped by the leader in the WAL stream's trace map): the replica
+// records a "replica_apply" span under the ingest's trace, extending it to
+// replica visibility. The replication tailer calls this in preference to
+// ApplyReplicated when the applier supports it.
+func (s *Server) ApplyReplicatedTraced(rec WALRecord, sc obs.SpanContext) error {
+	if !sc.Valid() {
+		return s.ApplyReplicated(rec)
+	}
+	start := time.Now()
+	err := s.ApplyReplicated(rec)
+	sp := obs.Span{
+		TraceID: sc.TraceID, SpanID: obs.NewSpanID(), ParentID: sc.SpanID,
+		Component: "replica", Name: "replica_apply", Start: start, End: time.Now(),
+		Attrs: map[string]string{
+			"seq":     strconv.FormatUint(rec.Seq, 10),
+			"updates": strconv.Itoa(len(rec.Updates)),
+		},
+	}
+	if err != nil {
+		sp.Error = err.Error()
+	}
+	s.spans.Add(sp)
+	return err
+}

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"streambc/internal/graph"
+	"streambc/internal/obs"
+)
+
+func TestSeqTraceMapNoteAndGet(t *testing.T) {
+	var m seqTraceMap
+	if _, ok := m.get(0); ok {
+		t.Fatal("empty map answered sequence 0")
+	}
+	sc := obs.NewSpanContext()
+	m.note(7, sc)
+	got, ok := m.get(7)
+	if !ok || got != sc {
+		t.Fatalf("get(7) = %+v, %v", got, ok)
+	}
+	// Invalid contexts are never stored.
+	m.note(8, obs.SpanContext{})
+	if _, ok := m.get(8); ok {
+		t.Fatal("invalid context stored")
+	}
+	// The ring holds the last seqTraceEntries records: a later sequence
+	// reusing the slot evicts the old one, and the evicted sequence must not
+	// be answered with the newer context.
+	later := obs.NewSpanContext()
+	m.note(7+seqTraceEntries, later)
+	if _, ok := m.get(7); ok {
+		t.Fatal("evicted sequence still answered")
+	}
+	got, ok = m.get(7 + seqTraceEntries)
+	if !ok || got != later {
+		t.Fatalf("get(%d) = %+v, %v", 7+seqTraceEntries, got, ok)
+	}
+}
+
+func TestParseWALTraceMap(t *testing.T) {
+	if m := ParseWALTraceMap(""); m != nil {
+		t.Fatalf("empty header parsed to %v", m)
+	}
+	a, b := obs.NewSpanContext(), obs.NewSpanContext()
+	hdr := "3=" + a.Traceparent() + ",9=" + b.Traceparent()
+	m := ParseWALTraceMap(hdr)
+	if len(m) != 2 || m[3] != a || m[9] != b {
+		t.Fatalf("parsed %v from %q", m, hdr)
+	}
+	// Malformed pairs are skipped, never fatal: the map is advisory.
+	hdr = "notanumber=" + a.Traceparent() + ",5,6=garbage,9=" + b.Traceparent()
+	m = ParseWALTraceMap(hdr)
+	if len(m) != 1 || m[9] != b {
+		t.Fatalf("malformed pairs not skipped: %v", m)
+	}
+}
+
+// TestTraceMapHeaderRoundTrip drives the leader half (traceMapHeader over the
+// sequence→trace ring) into the follower half (ParseWALTraceMap) and checks
+// records without a held trace are simply absent.
+func TestTraceMapHeaderRoundTrip(t *testing.T) {
+	srv, _ := startServer(t, testGraph(t, 12, 24, 3), Config{})
+	scs := map[uint64]obs.SpanContext{}
+	recs := make([]WALRecord, 0, 3)
+	for seq := uint64(0); seq < 3; seq++ {
+		recs = append(recs, WALRecord{Seq: seq})
+		if seq == 1 {
+			continue // record 1 aged out / was never traced
+		}
+		sc := obs.NewSpanContext()
+		scs[seq] = sc
+		srv.seqTraces.note(seq, sc)
+	}
+	hdr := srv.traceMapHeader(recs)
+	if strings.Contains(hdr, "1=") {
+		t.Fatalf("untraced record in the header: %q", hdr)
+	}
+	m := ParseWALTraceMap(hdr)
+	if len(m) != len(scs) {
+		t.Fatalf("round trip kept %d entries, want %d (%q)", len(m), len(scs), hdr)
+	}
+	for seq, sc := range scs {
+		if m[seq] != sc {
+			t.Fatalf("sequence %d: %+v != %+v", seq, m[seq], sc)
+		}
+	}
+}
+
+// TestApplyReplicatedTracedRecordsSpan: a replica applying a record under a
+// leader-shipped trace context records a replica_apply span in that trace,
+// parented under the leader's span; an invalid context records nothing.
+func TestApplyReplicatedTracedRecordsSpan(t *testing.T) {
+	g := testGraph(t, 16, 30, 13)
+	srv, _ := startServer(t, g, Config{Replica: true})
+
+	sc := obs.NewSpanContext()
+	rec := WALRecord{Seq: 0, NeedVertices: 17, Updates: []graph.Update{{U: 0, V: 16}, {U: 16, V: 1}}}
+	if err := srv.ApplyReplicatedTraced(rec, sc); err != nil {
+		t.Fatalf("ApplyReplicatedTraced: %v", err)
+	}
+	spans := srv.SpansByTrace(sc.TraceID)
+	if len(spans) != 1 {
+		t.Fatalf("replica recorded %d spans, want 1", len(spans))
+	}
+	sp := spans[0]
+	if sp.Component != "replica" || sp.Name != "replica_apply" || sp.ParentID != sc.SpanID {
+		t.Fatalf("replica span = %+v", sp)
+	}
+	if sp.Attrs["seq"] != "0" || sp.Attrs["updates"] != strconv.Itoa(len(rec.Updates)) {
+		t.Fatalf("replica span attrs = %v", sp.Attrs)
+	}
+
+	before := len(srv.spans.LastInto(nil, -1))
+	rec2 := WALRecord{Seq: 1, Updates: []graph.Update{{U: 2, V: 16}}}
+	if err := srv.ApplyReplicatedTraced(rec2, obs.SpanContext{}); err != nil {
+		t.Fatalf("untraced apply: %v", err)
+	}
+	if after := len(srv.spans.LastInto(nil, -1)); after != before {
+		t.Fatalf("untraced apply recorded %d spans", after-before)
+	}
+}
